@@ -1,0 +1,242 @@
+//! SCEV-lite affine expressions: `c0 + Σ ci·si` where each symbol `si` is
+//! an induction-variable phi or a loop-invariant SSA value.
+
+use splendid_ir::{BinOp, CastOp, Function, InstKind, Value};
+use std::collections::BTreeMap;
+
+/// An affine expression over SSA-value symbols.
+///
+/// Symbols are ordered in a `BTreeMap` so equal expressions compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    /// Coefficient per symbol (never zero).
+    pub terms: BTreeMap<Value, i64>,
+    /// Constant part.
+    pub konst: i64,
+}
+
+impl Affine {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Affine {
+        Affine { terms: BTreeMap::new(), konst: c }
+    }
+
+    /// The expression `1·v`.
+    pub fn symbol(v: Value) -> Affine {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, 1);
+        Affine { terms, konst: 0 }
+    }
+
+    /// Whether the expression is a plain constant.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Coefficient of `v` (zero when absent).
+    pub fn coeff(&self, v: Value) -> i64 {
+        self.terms.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Sum of two affine expressions.
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut out = self.clone();
+        out.konst += other.konst;
+        for (v, c) in &other.terms {
+            let e = out.terms.entry(*v).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                out.terms.remove(v);
+            }
+        }
+        out
+    }
+
+    /// Difference of two affine expressions.
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1))
+    }
+
+    /// The expression scaled by a constant.
+    pub fn scale(&self, k: i64) -> Affine {
+        if k == 0 {
+            return Affine::constant(0);
+        }
+        Affine {
+            terms: self.terms.iter().map(|(v, c)| (*v, c * k)).collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    /// The expression with symbol `v` substituted by `repl`.
+    pub fn substitute(&self, v: Value, repl: &Affine) -> Affine {
+        let c = self.coeff(v);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut base = self.clone();
+        base.terms.remove(&v);
+        base.add(&repl.scale(c))
+    }
+}
+
+/// Context for building affine expressions: decides which values are
+/// symbols (induction variables or invariants) and which must be expanded.
+pub struct AffineBuilder<'a> {
+    func: &'a Function,
+    /// Values treated as opaque symbols (typically IV phis of enclosing
+    /// loops plus anything loop-invariant).
+    is_symbol: Box<dyn Fn(Value) -> bool + 'a>,
+    depth_limit: u32,
+}
+
+impl<'a> AffineBuilder<'a> {
+    /// New builder; `is_symbol(v)` returns true for values that should
+    /// remain opaque symbols rather than being expanded through their
+    /// defining instruction.
+    pub fn new(func: &'a Function, is_symbol: impl Fn(Value) -> bool + 'a) -> AffineBuilder<'a> {
+        AffineBuilder { func, is_symbol: Box::new(is_symbol), depth_limit: 32 }
+    }
+
+    /// Build the affine form of `v`, or `None` if it is not affine in the
+    /// chosen symbols.
+    pub fn build(&self, v: Value) -> Option<Affine> {
+        self.build_inner(v, self.depth_limit)
+    }
+
+    fn build_inner(&self, v: Value, depth: u32) -> Option<Affine> {
+        if depth == 0 {
+            return None;
+        }
+        if let Some(c) = v.as_int() {
+            return Some(Affine::constant(c));
+        }
+        if (self.is_symbol)(v) {
+            return Some(Affine::symbol(v));
+        }
+        let id = v.as_inst()?;
+        match &self.func.inst(id).kind {
+            InstKind::Bin { op: BinOp::Add, lhs, rhs } => {
+                Some(self.build_inner(*lhs, depth - 1)?.add(&self.build_inner(*rhs, depth - 1)?))
+            }
+            InstKind::Bin { op: BinOp::Sub, lhs, rhs } => {
+                Some(self.build_inner(*lhs, depth - 1)?.sub(&self.build_inner(*rhs, depth - 1)?))
+            }
+            InstKind::Bin { op: BinOp::Mul, lhs, rhs } => {
+                let l = self.build_inner(*lhs, depth - 1)?;
+                let r = self.build_inner(*rhs, depth - 1)?;
+                if l.is_const() {
+                    Some(r.scale(l.konst))
+                } else if r.is_const() {
+                    Some(l.scale(r.konst))
+                } else {
+                    None
+                }
+            }
+            InstKind::Bin { op: BinOp::Shl, lhs, rhs } => {
+                let r = self.build_inner(*rhs, depth - 1)?;
+                if r.is_const() && (0..63).contains(&r.konst) {
+                    Some(self.build_inner(*lhs, depth - 1)?.scale(1 << r.konst))
+                } else {
+                    None
+                }
+            }
+            InstKind::Cast { op: CastOp::Sext | CastOp::Zext | CastOp::Trunc, val } => {
+                // Index arithmetic in our kernels never overflows; treat
+                // integer casts as transparent.
+                self.build_inner(*val, depth - 1)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Type;
+
+    #[test]
+    fn algebra() {
+        let x = Value::Arg(0);
+        let y = Value::Arg(1);
+        let a = Affine::symbol(x).scale(3).add(&Affine::constant(5));
+        let b = Affine::symbol(y).add(&Affine::symbol(x).scale(-3));
+        let sum = a.add(&b);
+        assert_eq!(sum.coeff(x), 0);
+        assert_eq!(sum.coeff(y), 1);
+        assert_eq!(sum.konst, 5);
+        assert!(!sum.is_const());
+        assert!(Affine::constant(2).is_const());
+        let diff = a.sub(&a);
+        assert_eq!(diff, Affine::constant(0));
+    }
+
+    #[test]
+    fn substitution() {
+        let x = Value::Arg(0);
+        let y = Value::Arg(1);
+        // 2x + 1 with x := y + 3  =>  2y + 7
+        let e = Affine::symbol(x).scale(2).add(&Affine::constant(1));
+        let r = Affine::symbol(y).add(&Affine::constant(3));
+        let s = e.substitute(x, &r);
+        assert_eq!(s.coeff(y), 2);
+        assert_eq!(s.konst, 7);
+        // substituting an absent symbol is the identity
+        assert_eq!(e.substitute(y, &r), e);
+    }
+
+    #[test]
+    fn builds_from_ssa() {
+        // v = ((i * 4) + (j << 1)) - 7, with i and j symbols.
+        let mut b = FuncBuilder::new("f", &[("i", Type::I64), ("j", Type::I64)], Type::Void);
+        let i = b.arg(0);
+        let j = b.arg(1);
+        let t0 = b.bin(BinOp::Mul, Type::I64, i, Value::i64(4), "");
+        let t1 = b.bin(BinOp::Shl, Type::I64, j, Value::i64(1), "");
+        let t2 = b.bin(BinOp::Add, Type::I64, t0, t1, "");
+        let t3 = b.bin(BinOp::Sub, Type::I64, t2, Value::i64(7), "");
+        b.ret(None);
+        let f = b.finish();
+        let builder = AffineBuilder::new(&f, |v| matches!(v, Value::Arg(_)));
+        let e = builder.build(t3).expect("affine");
+        assert_eq!(e.coeff(i), 4);
+        assert_eq!(e.coeff(j), 2);
+        assert_eq!(e.konst, -7);
+    }
+
+    #[test]
+    fn cast_is_transparent() {
+        let mut b = FuncBuilder::new("f", &[("i", Type::I32)], Type::Void);
+        let i = b.arg(0);
+        let w = b.cast(CastOp::Sext, i, Type::I64, "");
+        let t = b.bin(BinOp::Mul, Type::I64, w, Value::i64(8), "");
+        b.ret(None);
+        let f = b.finish();
+        let builder = AffineBuilder::new(&f, |v| matches!(v, Value::Arg(_)));
+        let e = builder.build(t).expect("affine");
+        assert_eq!(e.coeff(i), 8);
+    }
+
+    #[test]
+    fn non_affine_rejected() {
+        // i * j is not affine.
+        let mut b = FuncBuilder::new("f", &[("i", Type::I64), ("j", Type::I64)], Type::Void);
+        let t = b.bin(BinOp::Mul, Type::I64, b.arg(0), b.arg(1), "");
+        b.ret(None);
+        let f = b.finish();
+        let builder = AffineBuilder::new(&f, |v| matches!(v, Value::Arg(_)));
+        assert!(builder.build(t).is_none());
+    }
+
+    #[test]
+    fn division_rejected() {
+        let mut b = FuncBuilder::new("f", &[("i", Type::I64)], Type::Void);
+        let t = b.bin(BinOp::SDiv, Type::I64, b.arg(0), Value::i64(2), "");
+        b.ret(None);
+        let f = b.finish();
+        let builder = AffineBuilder::new(&f, |v| matches!(v, Value::Arg(_)));
+        assert!(builder.build(t).is_none());
+    }
+}

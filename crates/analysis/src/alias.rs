@@ -1,0 +1,159 @@
+//! Conservative alias analysis over memory roots.
+//!
+//! A *root* is the base object an address is derived from: a global, an
+//! alloca, a pointer argument, or unknown. Distinct named objects (globals,
+//! allocas) never alias; pointer arguments may alias anything except
+//! provably distinct locals — matching the paper's §3.5.1 scenario where
+//! Polly must emit runtime aliasing checks for pointer-argument arrays.
+
+use splendid_ir::{Function, InstId, InstKind, Value};
+
+/// The base object of a memory address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemRoot {
+    /// A module global.
+    Global(splendid_ir::GlobalId),
+    /// A stack allocation in the current function.
+    Alloca(InstId),
+    /// The n-th pointer argument of the current function.
+    Arg(u32),
+    /// Something we cannot track (loaded pointer, call result, ...).
+    Unknown,
+}
+
+/// Result of an alias query between two roots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AliasResult {
+    /// The two addresses can never overlap.
+    NoAlias,
+    /// The addresses may overlap.
+    MayAlias,
+    /// Same root object (offsets may still differ).
+    SameRoot,
+}
+
+/// Resolve the root object of an address value by walking gep chains.
+pub fn mem_root(f: &Function, addr: Value) -> MemRoot {
+    let mut cur = addr;
+    loop {
+        match cur {
+            Value::Global(g) => return MemRoot::Global(g),
+            Value::Arg(i) => return MemRoot::Arg(i),
+            Value::Inst(id) => match &f.inst(id).kind {
+                InstKind::Alloca { .. } => return MemRoot::Alloca(id),
+                InstKind::Gep { base, .. } => cur = *base,
+                InstKind::Cast { op: splendid_ir::CastOp::Bitcast, val } => cur = *val,
+                _ => return MemRoot::Unknown,
+            },
+            _ => return MemRoot::Unknown,
+        }
+    }
+}
+
+/// Alias relation between two roots.
+pub fn alias(a: MemRoot, b: MemRoot) -> AliasResult {
+    use MemRoot::*;
+    match (a, b) {
+        (Unknown, _) | (_, Unknown) => AliasResult::MayAlias,
+        (Global(x), Global(y)) => {
+            if x == y {
+                AliasResult::SameRoot
+            } else {
+                AliasResult::NoAlias
+            }
+        }
+        (Alloca(x), Alloca(y)) => {
+            if x == y {
+                AliasResult::SameRoot
+            } else {
+                AliasResult::NoAlias
+            }
+        }
+        (Arg(x), Arg(y)) if x == y => AliasResult::SameRoot,
+        // An argument may point to a global or to another argument's
+        // object; it cannot point to a local alloca of this function
+        // (nothing in our C subset leaks alloca addresses into callers).
+        (Arg(_), Alloca(_)) | (Alloca(_), Arg(_)) => AliasResult::NoAlias,
+        (Global(_), Alloca(_)) | (Alloca(_), Global(_)) => AliasResult::NoAlias,
+        (Arg(_), Arg(_)) | (Arg(_), Global(_)) | (Global(_), Arg(_)) => AliasResult::MayAlias,
+    }
+}
+
+/// Whether the pair is a candidate for a *runtime* disambiguation check:
+/// both roots are trackable and at least one is a pointer argument.
+pub fn checkable_at_runtime(a: MemRoot, b: MemRoot) -> bool {
+    use MemRoot::*;
+    matches!(
+        (a, b),
+        (Arg(_), Arg(_)) | (Arg(_), Global(_)) | (Global(_), Arg(_))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{GlobalId, MemType, Type};
+
+    #[test]
+    fn roots_resolve_through_geps() {
+        let mut b = FuncBuilder::new(
+            "f",
+            &[("A", Type::Ptr), ("B", Type::Ptr)],
+            Type::Void,
+        );
+        let a0 = b.alloca(MemType::array1(Type::F64, 4), "buf");
+        let g = Value::Global(GlobalId(3));
+        let p1 = b.gep(MemType::Scalar(Type::F64), g, vec![Value::i64(2)], "");
+        let p2 = b.gep(MemType::Scalar(Type::F64), p1, vec![Value::i64(1)], "");
+        let p3 = b.gep(MemType::Scalar(Type::F64), b.arg(0), vec![Value::i64(0)], "");
+        let p4 = b.gep(MemType::Scalar(Type::F64), a0, vec![Value::i64(0)], "");
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(mem_root(&f, p2), MemRoot::Global(GlobalId(3)));
+        assert_eq!(mem_root(&f, p3), MemRoot::Arg(0));
+        assert!(matches!(mem_root(&f, p4), MemRoot::Alloca(_)));
+        assert_eq!(mem_root(&f, Value::Arg(1)), MemRoot::Arg(1));
+    }
+
+    #[test]
+    fn unknown_root_for_loaded_pointer() {
+        let mut b = FuncBuilder::new("f", &[("pp", Type::Ptr)], Type::Void);
+        let p = b.load(Type::Ptr, b.arg(0), "");
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(mem_root(&f, p), MemRoot::Unknown);
+    }
+
+    #[test]
+    fn alias_matrix() {
+        use MemRoot::*;
+        let g0 = Global(GlobalId(0));
+        let g1 = Global(GlobalId(1));
+        let a0 = Alloca(InstId(0));
+        let a1 = Alloca(InstId(5));
+        assert_eq!(alias(g0, g0), AliasResult::SameRoot);
+        assert_eq!(alias(g0, g1), AliasResult::NoAlias);
+        assert_eq!(alias(a0, a1), AliasResult::NoAlias);
+        assert_eq!(alias(a0, a0), AliasResult::SameRoot);
+        assert_eq!(alias(Arg(0), Arg(0)), AliasResult::SameRoot);
+        assert_eq!(alias(Arg(0), Arg(1)), AliasResult::MayAlias);
+        assert_eq!(alias(Arg(0), g0), AliasResult::MayAlias);
+        assert_eq!(alias(Arg(0), a0), AliasResult::NoAlias);
+        assert_eq!(alias(Unknown, g0), AliasResult::MayAlias);
+    }
+
+    #[test]
+    fn runtime_checkability() {
+        use MemRoot::*;
+        assert!(checkable_at_runtime(Arg(0), Arg(1)));
+        assert!(checkable_at_runtime(Arg(0), Global(GlobalId(0))));
+        assert!(!checkable_at_runtime(Unknown, Arg(0)));
+        assert!(!checkable_at_runtime(
+            Global(GlobalId(0)),
+            Global(GlobalId(1))
+        ));
+    }
+
+    use splendid_ir::InstId;
+}

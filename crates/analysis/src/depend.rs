@@ -1,0 +1,448 @@
+//! Data dependence testing for loop parallelization.
+//!
+//! Classifies a counted loop as DOALL (no loop-carried dependences), DOALL
+//! behind runtime aliasing checks (the Figure-2 scenario of the paper), or
+//! not parallelizable, using ZIV and strong-SIV subscript tests on affine
+//! address expressions.
+
+use crate::affine::{Affine, AffineBuilder};
+use crate::alias::{alias, checkable_at_runtime, mem_root, AliasResult, MemRoot};
+use crate::indvar::CountedLoop;
+use crate::loops::{LoopId, LoopInfo};
+use splendid_ir::{Callee, Function, InstId, InstKind, Value};
+
+/// A memory access inside a loop, with its address in affine form (bytes
+/// from the root object).
+#[derive(Debug, Clone)]
+pub struct LoopAccess {
+    /// The load or store instruction.
+    pub inst: InstId,
+    /// Whether the access writes.
+    pub is_write: bool,
+    /// Base object.
+    pub root: MemRoot,
+    /// Byte offset from the root, affine in IVs and invariants; `None` when
+    /// the address is not affine.
+    pub offset: Option<Affine>,
+}
+
+/// Result of the DOALL classification of a loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DoallResult {
+    /// Provably no loop-carried dependence.
+    Doall,
+    /// DOALL provided the listed root pairs do not overlap at runtime;
+    /// the parallelizer versions the loop behind explicit checks.
+    DoallWithChecks(Vec<(MemRoot, MemRoot)>),
+    /// Not parallelizable; the reason is a short diagnostic.
+    NotDoall(String),
+}
+
+/// External callees considered pure (safe inside a DOALL body).
+pub fn is_pure_external(name: &str) -> bool {
+    matches!(name, "exp" | "sqrt" | "fabs" | "log" | "sin" | "cos" | "pow" | "floor")
+}
+
+/// Collect all loop memory accesses with affine byte offsets relative to
+/// their root. `is_symbol` decides which values stay symbolic (enclosing
+/// IVs + loop invariants).
+pub fn collect_accesses(
+    f: &Function,
+    li: &LoopInfo,
+    lid: LoopId,
+    is_symbol: &dyn Fn(Value) -> bool,
+) -> Vec<LoopAccess> {
+    let l = li.get(lid);
+    let builder = AffineBuilder::new(f, is_symbol);
+    let mut out = Vec::new();
+    for &bb in &l.blocks {
+        for &i in &f.block(bb).insts {
+            let (ptr, is_write) = match &f.inst(i).kind {
+                InstKind::Load { ptr } => (*ptr, false),
+                InstKind::Store { ptr, .. } => (*ptr, true),
+                _ => continue,
+            };
+            let root = mem_root(f, ptr);
+            let offset = address_offset(f, &builder, ptr);
+            out.push(LoopAccess { inst: i, is_write, root, offset });
+        }
+    }
+    out
+}
+
+/// Affine byte offset of `addr` from its root, walking gep chains.
+fn address_offset(f: &Function, builder: &AffineBuilder, addr: Value) -> Option<Affine> {
+    let mut total = Affine::constant(0);
+    let mut cur = addr;
+    loop {
+        match cur {
+            Value::Global(_) | Value::Arg(_) => return Some(total),
+            Value::Inst(id) => match &f.inst(id).kind {
+                InstKind::Alloca { .. } => return Some(total),
+                InstKind::Gep { elem, base, indices } => {
+                    let strides = elem.gep_strides();
+                    for (k, idx) in indices.iter().enumerate() {
+                        let e = builder.build(*idx)?;
+                        total = total.add(&e.scale(strides[k] as i64));
+                    }
+                    cur = *base;
+                }
+                InstKind::Cast { op: splendid_ir::CastOp::Bitcast, val } => cur = *val,
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+}
+
+/// Test whether two accesses on the same root may carry a dependence across
+/// iterations of the candidate IV (given as the phi value `iv`).
+/// `trip` bounds realizable dependence distances when known.
+///
+/// Returns `true` if a cross-iteration dependence may exist.
+fn cross_iteration_dep(a: &LoopAccess, b: &LoopAccess, iv: Value, trip: Option<i64>) -> bool {
+    let (Some(ea), Some(eb)) = (&a.offset, &b.offset) else {
+        return true; // non-affine: be conservative
+    };
+    let ca = ea.coeff(iv);
+    let cb = eb.coeff(iv);
+    // Remaining parts with the candidate IV removed.
+    let mut ra = ea.clone();
+    ra.terms.remove(&iv);
+    let mut rb = eb.clone();
+    rb.terms.remove(&iv);
+
+    if ca != cb {
+        // Weak SIV / MIV: conservative. (Equal symbolic rests with unequal
+        // coefficients can still collide across iterations.)
+        return true;
+    }
+    let diff = ra.sub(&rb);
+    if !diff.is_const() {
+        // Symbolic difference (e.g. offsets in different invariants):
+        // cannot prove independence.
+        return true;
+    }
+    let d0 = diff.konst;
+    if ca == 0 {
+        // ZIV on the candidate IV: the same address (when d0 == 0) is
+        // touched by every iteration — a cross-iteration dependence.
+        // Different constant addresses never collide.
+        return d0 == 0;
+    }
+    // Strong SIV: collision iff ca*(i' - i) == d0 for distinct iterations,
+    // i.e. d0 divisible by ca with a nonzero quotient whose magnitude is
+    // realizable within the trip count.
+    if d0 % ca != 0 {
+        return false;
+    }
+    let dist = d0 / ca;
+    if dist == 0 {
+        return false;
+    }
+    match trip {
+        Some(t) => dist.abs() < t,
+        None => true,
+    }
+}
+
+/// Classify whether the counted loop `lid` with IV `cl` is DOALL.
+///
+/// `trip_hint` bounds strong-SIV distances when known (distances at or
+/// beyond the trip count cannot be realized).
+pub fn classify_doall(
+    f: &Function,
+    li: &LoopInfo,
+    lid: LoopId,
+    cl: &CountedLoop,
+    is_symbol: &dyn Fn(Value) -> bool,
+) -> DoallResult {
+    let l = li.get(lid);
+
+    // 1. Side effects other than memory: impure calls kill parallelism.
+    for &bb in &l.blocks {
+        for &i in &f.block(bb).insts {
+            if let InstKind::Call { callee, .. } = &f.inst(i).kind {
+                match callee {
+                    Callee::External(name) if is_pure_external(name) => {}
+                    Callee::External(name) => {
+                        return DoallResult::NotDoall(format!("impure call to {name}"))
+                    }
+                    Callee::Func(_) => {
+                        return DoallResult::NotDoall("call to internal function".into())
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Scalar loop-carried values: any header phi other than the IV is a
+    // recurrence (e.g. a reduction), which this prototype does not
+    // parallelize — mirroring the paper's future-work note on reductions.
+    for &i in &f.block(l.header).insts {
+        if let InstKind::Phi { .. } = f.inst(i).kind {
+            if i != cl.iv {
+                return DoallResult::NotDoall("loop-carried scalar recurrence".into());
+            }
+        } else {
+            break;
+        }
+    }
+
+    // 3. Memory dependences.
+    let accesses = collect_accesses(f, li, lid, is_symbol);
+    let iv = Value::Inst(cl.iv);
+    let trip = cl.const_trip_count();
+    let mut checks: Vec<(MemRoot, MemRoot)> = Vec::new();
+    for (x, a) in accesses.iter().enumerate() {
+        for b in accesses.iter().skip(x) {
+            if !a.is_write && !b.is_write {
+                continue;
+            }
+            match alias(a.root, b.root) {
+                AliasResult::NoAlias => {}
+                AliasResult::SameRoot => {
+                    if cross_iteration_dep(a, b, iv, trip) {
+                        return DoallResult::NotDoall(format!(
+                            "loop-carried memory dependence on {:?}",
+                            a.root
+                        ));
+                    }
+                }
+                AliasResult::MayAlias => {
+                    if checkable_at_runtime(a.root, b.root) {
+                        let pair = if a.root <= b.root {
+                            (a.root, b.root)
+                        } else {
+                            (b.root, a.root)
+                        };
+                        if !checks.contains(&pair) {
+                            checks.push(pair);
+                        }
+                    } else {
+                        return DoallResult::NotDoall(format!(
+                            "untrackable may-alias between {:?} and {:?}",
+                            a.root, b.root
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if checks.is_empty() {
+        DoallResult::Doall
+    } else {
+        DoallResult::DoallWithChecks(checks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domtree::DomTree;
+    use crate::indvar::recognize_counted_loop;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, GlobalId, IPred, MemType, Type};
+
+    /// Build `for (i=0;i<n;i++) body(b, iv)` and classify it.
+    /// `body` receives the builder and the IV value, emits the loop body.
+    fn classify(
+        params: &[(&str, Type)],
+        body: impl FnOnce(&mut FuncBuilder, Value),
+    ) -> DoallResult {
+        let mut b = FuncBuilder::new("f", params, Type::Void);
+        let header = b.new_block("header");
+        let bodyb = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let c = b.icmp(IPred::Slt, iv, Value::i64(1000), "");
+        b.cond_br(c, bodyb, exit);
+        b.switch_to(bodyb);
+        body(&mut b, iv);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        let latch = b.current_block();
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((latch, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        let lid = li.top_level()[0];
+        let cl = recognize_counted_loop(&f, &li, lid).expect("counted");
+        let ivv = Value::Inst(cl.iv);
+        let inst_blocks = f.inst_blocks();
+        let l = li.get(lid).clone();
+        let is_symbol = move |v: Value| {
+            if v == ivv {
+                return true;
+            }
+            match v {
+                Value::Inst(i) => match inst_blocks[i.index()] {
+                    Some(bb) => !l.contains(bb),
+                    None => false,
+                },
+                _ => true,
+            }
+        };
+        classify_doall(&f, &li, lid, &cl, &is_symbol)
+    }
+
+    const ARR: GlobalId = GlobalId(0);
+    fn arr_ty() -> MemType {
+        MemType::array1(Type::F64, 1000)
+    }
+
+    #[test]
+    fn simple_doall() {
+        // A[i] = A[i] + 1  — same subscript, coeff != 0 => same-iteration only.
+        let r = classify(&[], |b, iv| {
+            let p = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), iv], "");
+            let x = b.load(Type::F64, p, "");
+            let y = b.bin(BinOp::FAdd, Type::F64, x, Value::f64(1.0), "");
+            b.store(y, p);
+        });
+        assert_eq!(r, DoallResult::Doall);
+    }
+
+    #[test]
+    fn stencil_carried_dependence() {
+        // A[i+1] = A[i]  — distance 1 => loop-carried.
+        let r = classify(&[], |b, iv| {
+            let p0 = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), iv], "");
+            let x = b.load(Type::F64, p0, "");
+            let i1 = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+            let p1 = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), i1], "");
+            b.store(x, p1);
+        });
+        assert!(matches!(r, DoallResult::NotDoall(_)), "{r:?}");
+    }
+
+    #[test]
+    fn distinct_globals_independent() {
+        // B[i] = A[i] with A, B distinct globals.
+        let r = classify(&[], |b, iv| {
+            let pa = b.gep(arr_ty(), Value::Global(GlobalId(0)), vec![Value::i64(0), iv], "");
+            let x = b.load(Type::F64, pa, "");
+            let pb = b.gep(arr_ty(), Value::Global(GlobalId(1)), vec![Value::i64(0), iv], "");
+            b.store(x, pb);
+        });
+        assert_eq!(r, DoallResult::Doall);
+    }
+
+    #[test]
+    fn pointer_args_need_checks() {
+        // B[i] = A[i] with A, B pointer arguments => runtime checks.
+        let r = classify(&[("A", Type::Ptr), ("B", Type::Ptr)], |b, iv| {
+            let pa = b.gep(MemType::Scalar(Type::F64), b.arg(0), vec![iv], "");
+            let x = b.load(Type::F64, pa, "");
+            let pb = b.gep(MemType::Scalar(Type::F64), b.arg(1), vec![iv], "");
+            b.store(x, pb);
+        });
+        match r {
+            DoallResult::DoallWithChecks(pairs) => {
+                assert_eq!(pairs, vec![(MemRoot::Arg(0), MemRoot::Arg(1))]);
+            }
+            other => panic!("expected checks, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accumulator_not_doall() {
+        // sum += A[i] via a scalar phi — recognized as a recurrence.
+        let mut b = FuncBuilder::new("f", &[], Type::F64);
+        let header = b.new_block("header");
+        let bodyb = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let acc = b.phi(Type::F64, vec![(entry, Value::f64(0.0))], "sum");
+        let c = b.icmp(IPred::Slt, iv, Value::i64(100), "");
+        b.cond_br(c, bodyb, exit);
+        b.switch_to(bodyb);
+        let p = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), iv], "");
+        let x = b.load(Type::F64, p, "");
+        let acc2 = b.bin(BinOp::FAdd, Type::F64, acc, x, "");
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        for (phi, val) in [(iv, next), (acc, acc2)] {
+            if let Value::Inst(pid) = phi {
+                if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(pid).kind {
+                    incomings.push((bodyb, val));
+                }
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        let lid = li.top_level()[0];
+        let cl = recognize_counted_loop(&f, &li, lid).expect("counted");
+        let r = classify_doall(&f, &li, lid, &cl, &|v| !matches!(v, Value::Inst(_)));
+        assert!(matches!(r, DoallResult::NotDoall(ref m) if m.contains("recurrence")), "{r:?}");
+    }
+
+    #[test]
+    fn write_to_fixed_cell_not_doall() {
+        // A[0] = i as f64 — every iteration writes the same cell.
+        let r = classify(&[], |b, iv| {
+            let x = b.cast(splendid_ir::CastOp::SiToFp, iv, Type::F64, "");
+            let p = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), Value::i64(0)], "");
+            b.store(x, p);
+        });
+        assert!(matches!(r, DoallResult::NotDoall(_)), "{r:?}");
+    }
+
+    #[test]
+    fn reads_only_is_doall() {
+        // Only loads, no stores: trivially parallel.
+        let r = classify(&[], |b, iv| {
+            let p = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), iv], "");
+            let _ = b.load(Type::F64, p, "");
+        });
+        assert_eq!(r, DoallResult::Doall);
+    }
+
+    #[test]
+    fn pure_call_allowed_impure_rejected() {
+        let r = classify(&[], |b, iv| {
+            let p = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), iv], "");
+            let x = b.load(Type::F64, p, "");
+            let e = b.call(Callee::External("exp".into()), vec![x], Type::F64, "");
+            b.store(e, p);
+        });
+        assert_eq!(r, DoallResult::Doall);
+
+        let r = classify(&[], |b, iv| {
+            let p = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), iv], "");
+            let x = b.load(Type::F64, p, "");
+            let e = b.call(Callee::External("rand".into()), vec![x], Type::F64, "");
+            b.store(e, p);
+        });
+        assert!(matches!(r, DoallResult::NotDoall(ref m) if m.contains("rand")), "{r:?}");
+    }
+
+    #[test]
+    fn strided_writes_independent() {
+        // A[2i] = A[2i+1]: delta = 1, not divisible by 2 => independent.
+        let r = classify(&[], |b, iv| {
+            let two_i = b.bin(BinOp::Mul, Type::I64, iv, Value::i64(2), "");
+            let two_i1 = b.bin(BinOp::Add, Type::I64, two_i, Value::i64(1), "");
+            let p0 = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), two_i1], "");
+            let x = b.load(Type::F64, p0, "");
+            let p1 = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), two_i], "");
+            b.store(x, p1);
+        });
+        assert_eq!(r, DoallResult::Doall);
+    }
+}

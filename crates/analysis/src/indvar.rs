@@ -1,0 +1,421 @@
+//! Counted-loop recognition: induction variable, init, step, and bound.
+//!
+//! Both *top-tested* loops (`for`-shaped: the exit condition sits in the
+//! header) and *bottom-tested* loops (rotated, `do-while`-shaped: the exit
+//! condition sits in the latch) are recognized. The loop-rotate
+//! de-transformer in the decompiler relies on this to rebuild canonical
+//! `for` loops, and the parallelizer relies on it to compute thread-local
+//! bounds.
+
+use crate::loops::{Loop, LoopInfo};
+use splendid_ir::{BinOp, BlockId, Function, IPred, InstId, InstKind, Value};
+
+/// A recognized counted loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountedLoop {
+    /// The induction-variable phi in the loop header.
+    pub iv: InstId,
+    /// Initial value of the induction variable (incoming from outside).
+    pub init: Value,
+    /// The increment instruction (`iv.next = iv + step`).
+    pub next: InstId,
+    /// Constant step (negative for down-counting loops).
+    pub step: i64,
+    /// The comparison instruction controlling the exit.
+    pub cmp: InstId,
+    /// Predicate of `cmp` normalized so the induction side is the LHS.
+    pub pred: IPred,
+    /// Loop-invariant bound (RHS of the normalized comparison).
+    pub bound: Value,
+    /// Whether the comparison tests `next` (rotated loops typically test the
+    /// incremented value) rather than `iv` itself.
+    pub cmp_uses_next: bool,
+    /// Block holding the exit test.
+    pub test_block: BlockId,
+    /// Whether the test is at the bottom of the loop (rotated/do-while
+    /// form) rather than in the header.
+    pub bottom_tested: bool,
+    /// Whether the loop continues when the comparison is true.
+    pub continue_on_true: bool,
+}
+
+impl CountedLoop {
+    /// Trip count if `init` and `bound` are integer constants.
+    ///
+    /// Counts the iterations of the *body* as executed. For bottom-tested
+    /// loops the body runs at least once.
+    pub fn const_trip_count(&self) -> Option<i64> {
+        let init = self.init.as_int()?;
+        let bound = self.bound.as_int()?;
+        // Normalize to "continue while iv <pred> bound" over the value the
+        // comparison actually tests.
+        let pred = if self.continue_on_true { self.pred } else { self.pred.negated() };
+        let step = self.step;
+        if step == 0 {
+            return None;
+        }
+        // First tested value.
+        let first = if self.cmp_uses_next { init + step } else { init };
+        let dist = match pred {
+            IPred::Slt => bound - first,
+            IPred::Sle => bound - first + 1,
+            IPred::Sgt => first - bound,
+            IPred::Sge => first - bound + 1,
+            _ => return None,
+        };
+        let mag = step.abs();
+        let iters_after_first_test = if dist <= 0 { 0 } else { (dist + mag - 1) / mag };
+        Some(if self.bottom_tested {
+            // Body ran once before the first test.
+            1 + iters_after_first_test
+        } else {
+            iters_after_first_test
+        })
+    }
+}
+
+fn is_invariant(_f: &Function, l: &Loop, v: Value, inst_blocks: &[Option<BlockId>]) -> bool {
+    match v {
+        Value::Inst(i) => match inst_blocks[i.index()] {
+            Some(b) => !l.contains(b),
+            None => false,
+        },
+        _ => true, // args, constants, globals, functions
+    }
+}
+
+/// Try to recognize `l` as a counted loop.
+///
+/// Requirements: a unique preheader and latch; an IV phi `iv` in the header
+/// with `iv.next = iv ± const`; a unique exiting block that is the header
+/// (top-tested) or the latch (bottom-tested); and an exit condition
+/// `icmp(ivish, bound)` with loop-invariant `bound` where `ivish` is `iv`
+/// or `iv.next`.
+pub fn recognize_counted_loop(f: &Function, li: &LoopInfo, lid: crate::LoopId) -> Option<CountedLoop> {
+    let l = li.get(lid);
+    let preheader = l.preheader(f)?;
+    let latch = l.single_latch()?;
+    let inst_blocks = f.inst_blocks();
+
+    // The unique exiting block must be the header or the latch.
+    let test_block = match l.exiting.as_slice() {
+        [single] => *single,
+        _ => return None,
+    };
+    let bottom_tested = if test_block == l.header && test_block != latch {
+        false
+    } else if test_block == latch {
+        // A single-block loop (header == latch) is treated as
+        // bottom-tested, which matches the rotated form produced by loop
+        // rotation.
+        true
+    } else {
+        return None;
+    };
+
+    // The exit test: condbr on an icmp in the test block.
+    let term = f.terminator(test_block)?;
+    let (cond, then_bb, else_bb) = match f.inst(term).kind {
+        InstKind::CondBr { cond, then_bb, else_bb } => (cond, then_bb, else_bb),
+        _ => return None,
+    };
+    let cmp_id = cond.as_inst()?;
+    let (pred0, lhs, rhs) = match f.inst(cmp_id).kind {
+        InstKind::ICmp { pred, lhs, rhs } => (pred, lhs, rhs),
+        _ => return None,
+    };
+    let continue_on_true = if l.contains(then_bb) && !l.contains(else_bb) {
+        true
+    } else if l.contains(else_bb) && !l.contains(then_bb) {
+        false
+    } else {
+        return None;
+    };
+
+    // Scan header phis for an induction variable.
+    for &phi_id in &f.block(l.header).insts {
+        let InstKind::Phi { ref incomings } = f.inst(phi_id).kind else {
+            break; // phis are a prefix of the block
+        };
+        if incomings.len() != 2 {
+            continue;
+        }
+        let mut init = None;
+        let mut next_val = None;
+        for &(bb, v) in incomings {
+            if bb == preheader {
+                init = Some(v);
+            } else if bb == latch {
+                next_val = Some(v);
+            }
+        }
+        let (init, next_val) = match (init, next_val) {
+            (Some(i), Some(n)) => (i, n),
+            _ => continue,
+        };
+        let next_id = match next_val.as_inst() {
+            Some(id) => id,
+            None => continue,
+        };
+        let step = match f.inst(next_id).kind {
+            InstKind::Bin { op: BinOp::Add, lhs, rhs } => {
+                if lhs == Value::Inst(phi_id) {
+                    rhs.as_int()
+                } else if rhs == Value::Inst(phi_id) {
+                    lhs.as_int()
+                } else {
+                    None
+                }
+            }
+            InstKind::Bin { op: BinOp::Sub, lhs, rhs } => {
+                if lhs == Value::Inst(phi_id) {
+                    rhs.as_int().map(|c| -c)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let Some(step) = step else { continue };
+        if step == 0 {
+            continue;
+        }
+
+        // The comparison must involve iv or next on one side and an
+        // invariant bound on the other.
+        let iv_value = Value::Inst(phi_id);
+        let next_value = Value::Inst(next_id);
+        let (pred, ivish, bound) = if lhs == iv_value || lhs == next_value {
+            (pred0, lhs, rhs)
+        } else if rhs == iv_value || rhs == next_value {
+            (pred0.swapped(), rhs, lhs)
+        } else {
+            continue;
+        };
+        if !is_invariant(f, l, bound, &inst_blocks) {
+            continue;
+        }
+        return Some(CountedLoop {
+            iv: phi_id,
+            init,
+            next: next_id,
+            step,
+            cmp: cmp_id,
+            pred,
+            bound,
+            cmp_uses_next: ivish == next_value,
+            test_block,
+            bottom_tested,
+            continue_on_true,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domtree::DomTree;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Type;
+
+    /// for (i = init; i < n; i += step) ;  (top-tested)
+    fn top_tested(init: i64, step: i64) -> Function {
+        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(init))], "i");
+        let c = b.icmp(IPred::Slt, iv, b.arg(0), "cmp");
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(step), "i.next");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    /// do { i += 1; } while (i.next <= n);  (rotated, single block)
+    fn bottom_tested(init: i64, bound: i64) -> Function {
+        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(body);
+        b.switch_to(body);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(init))], "i");
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        let c = b.icmp(IPred::Sle, next, Value::i64(bound), "cmp");
+        b.cond_br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    fn analyze(f: &Function) -> Option<CountedLoop> {
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        assert_eq!(li.loops.len(), 1);
+        recognize_counted_loop(f, &li, crate::LoopId(0))
+    }
+
+    #[test]
+    fn recognizes_top_tested() {
+        let f = top_tested(0, 1);
+        let cl = analyze(&f).expect("counted");
+        assert_eq!(cl.init, Value::i64(0));
+        assert_eq!(cl.step, 1);
+        assert_eq!(cl.pred, IPred::Slt);
+        assert_eq!(cl.bound, Value::Arg(0));
+        assert!(!cl.bottom_tested);
+        assert!(!cl.cmp_uses_next);
+        assert!(cl.continue_on_true);
+    }
+
+    #[test]
+    fn recognizes_bottom_tested() {
+        let f = bottom_tested(0, 10);
+        let cl = analyze(&f).expect("counted");
+        assert!(cl.bottom_tested);
+        assert!(cl.cmp_uses_next);
+        assert_eq!(cl.pred, IPred::Sle);
+        assert_eq!(cl.step, 1);
+        // do-while from i=0 while (i+1 <= 10): body runs for i = 0..=10.
+        assert_eq!(cl.const_trip_count(), Some(11));
+    }
+
+    #[test]
+    fn trip_count_top_tested() {
+        // for (i=0; i<10; ++i) => 10 iterations, but bound is an arg here;
+        // use a constant-bound variant built by patching.
+        let mut f = top_tested(0, 1);
+        // Replace the arg bound with a constant by editing the icmp.
+        for inst in &mut f.insts {
+            if let InstKind::ICmp { rhs, .. } = &mut inst.kind {
+                *rhs = Value::i64(10);
+            }
+        }
+        let cl = analyze(&f).expect("counted");
+        assert_eq!(cl.const_trip_count(), Some(10));
+    }
+
+    #[test]
+    fn trip_count_with_step() {
+        let mut f = top_tested(2, 3);
+        for inst in &mut f.insts {
+            if let InstKind::ICmp { rhs, .. } = &mut inst.kind {
+                *rhs = Value::i64(11);
+            }
+        }
+        let cl = analyze(&f).expect("counted");
+        // i = 2, 5, 8 (11 excluded) => 3 iterations.
+        assert_eq!(cl.const_trip_count(), Some(3));
+    }
+
+    #[test]
+    fn zero_trip_when_bound_below_init() {
+        let mut f = top_tested(5, 1);
+        for inst in &mut f.insts {
+            if let InstKind::ICmp { rhs, .. } = &mut inst.kind {
+                *rhs = Value::i64(3);
+            }
+        }
+        let cl = analyze(&f).expect("counted");
+        assert_eq!(cl.const_trip_count(), Some(0));
+    }
+
+    #[test]
+    fn rejects_variant_bound() {
+        // Make the bound a value computed inside the loop.
+        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(body);
+        b.switch_to(body);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        let wobble = b.bin(BinOp::Mul, Type::I64, next, Value::i64(2), "");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        let c = b.icmp(IPred::Slt, next, wobble, "");
+        b.cond_br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        assert!(analyze(&f).is_none());
+    }
+
+    #[test]
+    fn down_counting_loop() {
+        // do { i -= 1; } while (i > 0)
+        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(body);
+        b.switch_to(body);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(10))], "i");
+        let next = b.bin(BinOp::Sub, Type::I64, iv, Value::i64(1), "");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        let c = b.icmp(IPred::Sgt, next, Value::i64(0), "");
+        b.cond_br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cl = analyze(&f).expect("counted");
+        assert_eq!(cl.step, -1);
+        // i starts 10; body runs for next = 9..1 plus the first: 10 times.
+        assert_eq!(cl.const_trip_count(), Some(10));
+    }
+
+    #[test]
+    fn swapped_comparison_normalized() {
+        // while (n > i) — bound on the LHS.
+        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let c = b.icmp(IPred::Sgt, b.arg(0), iv, "");
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cl = analyze(&f).expect("counted");
+        assert_eq!(cl.pred, IPred::Slt); // normalized to iv < n
+        assert_eq!(cl.bound, Value::Arg(0));
+    }
+}

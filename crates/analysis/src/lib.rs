@@ -1,0 +1,34 @@
+//! Analyses over the SPLENDID IR.
+//!
+//! This crate provides the analysis substrate both the optimizer/parallelizer
+//! (the "Polly side") and the decompiler (the "SPLENDID side") are built on:
+//!
+//! * [`domtree`] — dominator trees via the Cooper–Harvey–Kennedy algorithm;
+//! * [`loops`] — natural-loop detection with nesting, preheaders, latches,
+//!   and exits;
+//! * [`indvar`] — counted-loop recognition (induction variable, init, step,
+//!   bound) for both bottom-tested (rotated) and top-tested loops;
+//! * [`affine`] — SCEV-lite affine expressions over induction variables and
+//!   loop-invariant symbols;
+//! * [`depend`] — ZIV/strong-SIV data dependence tests classifying loops as
+//!   DOALL or not;
+//! * [`liveness`] — block-level live-value analysis;
+//! * [`alias`] — a conservative points-to-root alias analysis that also
+//!   reports when the *only* obstacle is pointer-argument aliasing (so the
+//!   parallelizer can version the loop behind a runtime check, as in the
+//!   paper's Figure 2).
+
+pub mod affine;
+pub mod alias;
+pub mod depend;
+pub mod domtree;
+pub mod indvar;
+pub mod liveness;
+pub mod loops;
+
+pub use affine::Affine;
+pub use alias::{AliasResult, MemRoot};
+pub use depend::{DoallResult, LoopAccess};
+pub use domtree::DomTree;
+pub use indvar::CountedLoop;
+pub use loops::{Loop, LoopId, LoopInfo};

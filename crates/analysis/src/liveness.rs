@@ -1,0 +1,170 @@
+//! Block-level liveness of SSA values.
+//!
+//! Used by the decompiler's variable-conflict reasoning and by tests as an
+//! oracle for lifetime overlap questions.
+
+use splendid_ir::{BlockId, Function, InstId, InstKind, Value};
+use std::collections::HashSet;
+
+/// Live-in / live-out sets of instruction results per block.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Values live on entry to each block.
+    pub live_in: Vec<HashSet<InstId>>,
+    /// Values live on exit from each block.
+    pub live_out: Vec<HashSet<InstId>>,
+}
+
+impl Liveness {
+    /// Compute liveness for all instruction results in `f`.
+    ///
+    /// Phi semantics: a phi's incoming value is treated as used at the end
+    /// of the corresponding predecessor block.
+    pub fn compute(f: &Function) -> Liveness {
+        let n = f.blocks.len();
+        let mut live_in = vec![HashSet::new(); n];
+        let mut live_out = vec![HashSet::new(); n];
+
+        // Per-block use/def, with phi uses attributed to predecessors.
+        let mut use_sets = vec![HashSet::new(); n];
+        let mut def_sets = vec![HashSet::new(); n];
+        // Extra uses injected at the end of predecessor blocks by phis.
+        let mut phi_uses_at: Vec<HashSet<InstId>> = vec![HashSet::new(); n];
+        for bb in f.block_ids() {
+            for &i in &f.block(bb).insts {
+                let inst = f.inst(i);
+                if let InstKind::Phi { incomings } = &inst.kind {
+                    for (pred, v) in incomings {
+                        if let Value::Inst(d) = v {
+                            phi_uses_at[pred.index()].insert(*d);
+                        }
+                    }
+                } else {
+                    inst.kind.for_each_operand(|v| {
+                        if let Value::Inst(d) = v {
+                            if !def_sets[bb.index()].contains(&d) {
+                                use_sets[bb.index()].insert(d);
+                            }
+                        }
+                    });
+                }
+                if inst.has_result() {
+                    def_sets[bb.index()].insert(i);
+                }
+            }
+        }
+
+        // Backward fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bb in f.block_ids().collect::<Vec<_>>().into_iter().rev() {
+                let mut out: HashSet<InstId> = phi_uses_at[bb.index()].clone();
+                for s in f.successors(bb) {
+                    for &v in &live_in[s.index()] {
+                        out.insert(v);
+                    }
+                    // Phi defs of the successor are not live into it from
+                    // this edge beyond their incoming use, which
+                    // phi_uses_at already covers; remove successor phis.
+                    for &i in &f.block(s).insts {
+                        if matches!(f.inst(i).kind, InstKind::Phi { .. }) {
+                            out.remove(&i);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let mut inn: HashSet<InstId> = use_sets[bb.index()].clone();
+                for &v in &out {
+                    if !def_sets[bb.index()].contains(&v) {
+                        inn.insert(v);
+                    }
+                }
+                if out != live_out[bb.index()] || inn != live_in[bb.index()] {
+                    live_out[bb.index()] = out;
+                    live_in[bb.index()] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Whether value `v` is live out of block `bb`.
+    pub fn is_live_out(&self, bb: BlockId, v: InstId) -> bool {
+        self.live_out[bb.index()].contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, IPred, Type};
+
+    #[test]
+    fn straight_line() {
+        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::I64);
+        let a = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "a");
+        let c = b.bin(BinOp::Mul, Type::I64, a, a, "c");
+        b.ret(Some(c));
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        // Nothing is live across the single block boundary.
+        assert!(lv.live_in[0].is_empty());
+        assert!(lv.live_out[0].is_empty());
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn value_live_across_blocks() {
+        let mut b = FuncBuilder::new("f", &[("p", Type::I1)], Type::I64);
+        let then_b = b.new_block("then");
+        let else_b = b.new_block("else");
+        let a = b.bin(BinOp::Add, Type::I64, Value::i64(1), Value::i64(2), "a");
+        b.cond_br(b.arg(0), then_b, else_b);
+        b.switch_to(then_b);
+        b.ret(Some(a));
+        b.switch_to(else_b);
+        b.ret(Some(Value::i64(0)));
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        let a_id = a.as_inst().unwrap();
+        assert!(lv.is_live_out(f.entry, a_id));
+        assert!(lv.live_in[then_b.index()].contains(&a_id));
+        assert!(!lv.live_in[else_b.index()].contains(&a_id));
+    }
+
+    #[test]
+    fn loop_iv_live_around_back_edge() {
+        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let c = b.icmp(IPred::Slt, iv, b.arg(0), "");
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        let next_id = next.as_inst().unwrap();
+        // `next` is used by the header phi, i.e. live out of the body.
+        assert!(lv.is_live_out(body, next_id));
+        // The phi itself is not live into the header from the entry edge
+        // beyond its incoming use.
+        assert!(!lv.live_out[entry.index()].contains(&iv.as_inst().unwrap()));
+    }
+}

@@ -1,0 +1,335 @@
+//! Natural-loop detection with nesting, preheaders, latches, and exits.
+
+use crate::domtree::DomTree;
+use splendid_ir::{BlockId, Function};
+use std::collections::HashSet;
+
+/// Identifier of a loop within a [`LoopInfo`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    /// Index into [`LoopInfo::loops`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Header block (target of the back edges).
+    pub header: BlockId,
+    /// Latch blocks (sources of back edges into the header).
+    pub latches: Vec<BlockId>,
+    /// All blocks of the loop, including the header.
+    pub blocks: Vec<BlockId>,
+    /// Innermost enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Loops immediately nested inside this one.
+    pub children: Vec<LoopId>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+    /// Blocks inside the loop with a successor outside (exiting blocks).
+    pub exiting: Vec<BlockId>,
+    /// Blocks outside the loop that are successors of exiting blocks.
+    pub exits: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Whether `b` belongs to the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+
+    /// The unique preheader: the single predecessor of the header outside
+    /// the loop, provided the header has exactly one such predecessor.
+    pub fn preheader(&self, f: &Function) -> Option<BlockId> {
+        let preds = f.predecessors();
+        let outside: Vec<BlockId> = preds[self.header.index()]
+            .iter()
+            .copied()
+            .filter(|p| !self.contains(*p))
+            .collect();
+        match outside.as_slice() {
+            [single] => Some(*single),
+            _ => None,
+        }
+    }
+
+    /// The unique latch, if the loop has exactly one back edge.
+    pub fn single_latch(&self) -> Option<BlockId> {
+        match self.latches.as_slice() {
+            [single] => Some(*single),
+            _ => None,
+        }
+    }
+
+    /// The unique exit block, if any.
+    pub fn single_exit(&self) -> Option<BlockId> {
+        match self.exits.as_slice() {
+            [single] => Some(*single),
+            _ => None,
+        }
+    }
+}
+
+/// All natural loops of a function, with nesting resolved.
+#[derive(Debug, Clone, Default)]
+pub struct LoopInfo {
+    /// Loop arena, indexed by [`LoopId`]. Ordered outer-before-inner.
+    pub loops: Vec<Loop>,
+    /// Innermost loop containing each block, if any.
+    block_loop: Vec<Option<LoopId>>,
+}
+
+impl LoopInfo {
+    /// Detect all natural loops in `f` using dominator information.
+    pub fn compute(f: &Function, dt: &DomTree) -> LoopInfo {
+        // Find back edges: a -> h where h dominates a.
+        let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
+        for &b in dt.rpo() {
+            for s in f.successors(b) {
+                if dt.dominates(s, b) {
+                    back_edges.push((b, s));
+                }
+            }
+        }
+        // Group back edges by header; compute the natural loop of each
+        // header as the union over its back edges.
+        let mut headers: Vec<BlockId> = back_edges.iter().map(|(_, h)| *h).collect();
+        headers.sort();
+        headers.dedup();
+        let preds = f.predecessors();
+        let mut raw: Vec<(BlockId, Vec<BlockId>, HashSet<BlockId>)> = Vec::new();
+        for h in headers {
+            let latches: Vec<BlockId> = back_edges
+                .iter()
+                .filter(|(_, hh)| *hh == h)
+                .map(|(l, _)| *l)
+                .collect();
+            let mut body: HashSet<BlockId> = HashSet::new();
+            body.insert(h);
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(x) = stack.pop() {
+                if body.insert(x) {
+                    for &p in &preds[x.index()] {
+                        if dt.is_reachable(p) {
+                            stack.push(p);
+                        }
+                    }
+                } else if x == h {
+                    // header already present
+                }
+            }
+            raw.push((h, latches, body));
+        }
+
+        // Sort outer loops first (larger body first; ties by header id) so
+        // parents precede children in the arena.
+        raw.sort_by(|a, b| b.2.len().cmp(&a.2.len()).then(a.0.cmp(&b.0)));
+
+        let mut info = LoopInfo {
+            loops: Vec::new(),
+            block_loop: vec![None; f.blocks.len()],
+        };
+        for (h, latches, body) in raw {
+            let id = LoopId(info.loops.len() as u32);
+            // The innermost existing loop containing our header is the
+            // parent (its body strictly contains ours).
+            let parent = info.block_loop[h.index()];
+            let depth = parent.map_or(1, |p| info.loops[p.index()].depth + 1);
+            if let Some(p) = parent {
+                info.loops[p.index()].children.push(id);
+            }
+            let mut blocks: Vec<BlockId> = body.iter().copied().collect();
+            blocks.sort();
+            let mut exiting = Vec::new();
+            let mut exits = Vec::new();
+            for &b in &blocks {
+                for s in f.successors(b) {
+                    if !body.contains(&s) {
+                        if !exiting.contains(&b) {
+                            exiting.push(b);
+                        }
+                        if !exits.contains(&s) {
+                            exits.push(s);
+                        }
+                    }
+                }
+            }
+            for &b in &blocks {
+                // Later (smaller, inner) loops overwrite; since we process
+                // outer-first, the final value is the innermost loop.
+                info.block_loop[b.index()] = Some(id);
+            }
+            info.loops.push(Loop {
+                header: h,
+                latches,
+                blocks,
+                parent,
+                children: Vec::new(),
+                depth,
+                exiting,
+                exits,
+            });
+        }
+        info
+    }
+
+    /// Innermost loop containing `b`, if any.
+    pub fn loop_of(&self, b: BlockId) -> Option<LoopId> {
+        self.block_loop.get(b.index()).copied().flatten()
+    }
+
+    /// Access a loop by id.
+    pub fn get(&self, id: LoopId) -> &Loop {
+        &self.loops[id.index()]
+    }
+
+    /// Ids of all loops, outermost-first order.
+    pub fn ids(&self) -> impl Iterator<Item = LoopId> + '_ {
+        (0..self.loops.len() as u32).map(LoopId)
+    }
+
+    /// Ids of top-level (non-nested) loops.
+    pub fn top_level(&self) -> Vec<LoopId> {
+        self.ids()
+            .filter(|id| self.get(*id).parent.is_none())
+            .collect()
+    }
+
+    /// Whether loop `outer` contains loop `inner` (reflexive).
+    pub fn loop_contains(&self, outer: LoopId, inner: LoopId) -> bool {
+        let mut cur = Some(inner);
+        while let Some(l) = cur {
+            if l == outer {
+                return true;
+            }
+            cur = self.get(l).parent;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Type;
+
+    fn cfg(adj: &[&[u32]]) -> Function {
+        let mut b = FuncBuilder::new("t", &[("c", Type::I1)], Type::Void);
+        let blocks: Vec<BlockId> = (0..adj.len())
+            .map(|i| {
+                if i == 0 {
+                    b.current_block()
+                } else {
+                    b.new_block(&format!("n{i}"))
+                }
+            })
+            .collect();
+        for (i, succs) in adj.iter().enumerate() {
+            b.switch_to(blocks[i]);
+            match succs.len() {
+                0 => b.ret(None),
+                1 => b.br(blocks[succs[0] as usize]),
+                2 => {
+                    let c = b.arg(0);
+                    b.cond_br(c, blocks[succs[0] as usize], blocks[succs[1] as usize])
+                }
+                _ => panic!(),
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn single_loop() {
+        // 0 -> 1 ; 1 -> 2,3 ; 2 -> 1 ; 3 ret
+        let f = cfg(&[&[1], &[2, 3], &[1], &[]]);
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        assert_eq!(li.loops.len(), 1);
+        let l = &li.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert_eq!(l.blocks, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.exits, vec![BlockId(3)]);
+        assert_eq!(l.preheader(&f), Some(BlockId(0)));
+        assert_eq!(li.loop_of(BlockId(2)), Some(LoopId(0)));
+        assert_eq!(li.loop_of(BlockId(0)), None);
+    }
+
+    #[test]
+    fn nested_loops() {
+        // 0 -> 1 (outer header); 1 -> 2,5 ; 2 (inner header) -> 3,4 ;
+        // 3 -> 2 (inner latch) ; 4 -> 1 (outer latch) ; 5 ret
+        let f = cfg(&[&[1], &[2, 5], &[3, 4], &[2], &[1], &[]]);
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        assert_eq!(li.loops.len(), 2);
+        let outer_id = li.top_level()[0];
+        let outer = li.get(outer_id);
+        assert_eq!(outer.header, BlockId(1));
+        assert_eq!(outer.depth, 1);
+        assert_eq!(outer.children.len(), 1);
+        let inner_id = outer.children[0];
+        let inner = li.get(inner_id);
+        assert_eq!(inner.header, BlockId(2));
+        assert_eq!(inner.depth, 2);
+        assert_eq!(inner.parent, Some(outer_id));
+        // Inner blocks resolve to the inner loop.
+        assert_eq!(li.loop_of(BlockId(3)), Some(inner_id));
+        assert_eq!(li.loop_of(BlockId(4)), Some(outer_id));
+        assert!(li.loop_contains(outer_id, inner_id));
+        assert!(!li.loop_contains(inner_id, outer_id));
+        assert!(li.loop_contains(inner_id, inner_id));
+    }
+
+    #[test]
+    fn rotated_loop_shape() {
+        // Rotated (bottom-tested): 0 -> 1 ; 1 -> 1,2 ; 2 ret
+        let f = cfg(&[&[1], &[1, 2], &[]]);
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        assert_eq!(li.loops.len(), 1);
+        let l = &li.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.single_latch(), Some(BlockId(1)));
+        assert_eq!(l.single_exit(), Some(BlockId(2)));
+        assert_eq!(l.exiting, vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn two_sibling_loops() {
+        // 0 -> 1 ; 1 -> 1,2 ; 2 -> 2,3 ; 3 ret
+        let f = cfg(&[&[1], &[1, 2], &[2, 3], &[]]);
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        assert_eq!(li.loops.len(), 2);
+        assert_eq!(li.top_level().len(), 2);
+    }
+
+    #[test]
+    fn multi_latch_loop() {
+        // 0 -> 1 ; 1 -> 2,3 ; 2 -> 1 ; 3 -> 1,4 ; 4 ret  (two latches)
+        let f = cfg(&[&[1], &[2, 3], &[1], &[1, 4], &[]]);
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        assert_eq!(li.loops.len(), 1);
+        let l = &li.loops[0];
+        assert_eq!(l.latches.len(), 2);
+        assert_eq!(l.single_latch(), None);
+    }
+
+    #[test]
+    fn no_loops() {
+        let f = cfg(&[&[1, 2], &[3], &[3], &[]]);
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        assert!(li.loops.is_empty());
+        assert!(li.top_level().is_empty());
+    }
+}

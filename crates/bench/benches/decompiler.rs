@@ -1,0 +1,76 @@
+//! Criterion benches for the decompiler itself, including the DESIGN.md
+//! ablations: guard elimination and expression folding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splendid_core::{decompile, SplendidOptions, Variant};
+use splendid_polybench::{benchmarks, Harness};
+
+fn parallel_gemm() -> splendid_ir::Module {
+    let b = benchmarks().into_iter().find(|b| b.name == "gemm").unwrap();
+    let (m, _) = Harness::polly(b.sequential).unwrap();
+    m
+}
+
+fn bench_full_decompile(c: &mut Criterion) {
+    let m = parallel_gemm();
+    c.bench_function("splendid/decompile gemm (full)", |bench| {
+        bench.iter(|| decompile(&m, &SplendidOptions::default()).unwrap())
+    });
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let m = parallel_gemm();
+    for (name, variant) in [("v1", Variant::V1), ("portable", Variant::Portable)] {
+        c.bench_function(&format!("splendid/decompile gemm ({name})"), |bench| {
+            bench.iter(|| {
+                decompile(&m, &SplendidOptions { variant, ..Default::default() }).unwrap()
+            })
+        });
+    }
+}
+
+fn bench_ablation_guard_elim(c: &mut Criterion) {
+    let m = parallel_gemm();
+    c.bench_function("ablation/no-guard-elimination", |bench| {
+        bench.iter(|| {
+            decompile(
+                &m,
+                &SplendidOptions { guard_elimination: false, ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_ablation_no_fold(c: &mut Criterion) {
+    let m = parallel_gemm();
+    c.bench_function("ablation/statement-per-instruction", |bench| {
+        bench.iter(|| {
+            decompile(
+                &m,
+                &SplendidOptions { inline_expressions: false, ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let m = parallel_gemm();
+    c.bench_function("baselines/rellic-like gemm", |bench| {
+        bench.iter(|| splendid_baselines::decompile_rellic_like(&m))
+    });
+    c.bench_function("baselines/ghidra-like gemm", |bench| {
+        bench.iter(|| splendid_baselines::decompile_ghidra_like(&m))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_full_decompile,
+    bench_variants,
+    bench_ablation_guard_elim,
+    bench_ablation_no_fold,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benches for the naturalness metrics (BLEU-4, LoC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splendid_metrics::{bleu4, loc, parallel_representation_loc};
+use splendid_polybench::{benchmarks, Harness};
+
+fn bench_bleu(c: &mut Criterion) {
+    let b = benchmarks().into_iter().find(|b| b.name == "gemm").unwrap();
+    let art = Harness::pipeline(&b).unwrap();
+    c.bench_function("metrics/bleu4 gemm-vs-ref", |bench| {
+        bench.iter(|| bleu4(&art.splendid.source, b.reference))
+    });
+    c.bench_function("metrics/bleu4 rellic-vs-ref", |bench| {
+        bench.iter(|| bleu4(&art.rellic.source, b.reference))
+    });
+}
+
+fn bench_loc(c: &mut Criterion) {
+    let b = benchmarks().into_iter().find(|b| b.name == "gemm").unwrap();
+    let art = Harness::pipeline(&b).unwrap();
+    c.bench_function("metrics/loc", |bench| {
+        bench.iter(|| loc(&art.splendid.source))
+    });
+    c.bench_function("metrics/parallel-representation-loc", |bench| {
+        bench.iter(|| parallel_representation_loc(&art.rellic.source))
+    });
+}
+
+criterion_group!(benches, bench_bleu, bench_loc);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the compiler-side pipeline: frontend, -O2,
+//! parallelizer, and the interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splendid_cfront::{lower_program, parse_program, LowerOptions};
+use splendid_interp::{MachineConfig, Vm};
+use splendid_parallel::{parallelize_module, ParallelizeOptions};
+use splendid_polybench::{benchmarks, Harness};
+use splendid_transforms::{optimize_module, O2Options};
+
+fn bench_frontend(c: &mut Criterion) {
+    let b = benchmarks().into_iter().find(|b| b.name == "gemm").unwrap();
+    c.bench_function("cfront/parse+lower gemm", |bench| {
+        bench.iter(|| {
+            let prog = parse_program(b.sequential).unwrap();
+            lower_program(&prog, "gemm", &LowerOptions::default()).unwrap()
+        })
+    });
+}
+
+fn bench_o2(c: &mut Criterion) {
+    let b = benchmarks().into_iter().find(|b| b.name == "gemm").unwrap();
+    let prog = parse_program(b.sequential).unwrap();
+    let m0 = lower_program(&prog, "gemm", &LowerOptions::default()).unwrap();
+    c.bench_function("transforms/O2 gemm", |bench| {
+        bench.iter(|| {
+            let mut m = m0.clone();
+            optimize_module(&mut m, &O2Options::default())
+        })
+    });
+}
+
+fn bench_parallelize(c: &mut Criterion) {
+    let b = benchmarks().into_iter().find(|b| b.name == "gemm").unwrap();
+    let prog = parse_program(b.sequential).unwrap();
+    let mut m0 = lower_program(&prog, "gemm", &LowerOptions::default()).unwrap();
+    optimize_module(&mut m0, &O2Options::default());
+    c.bench_function("parallel/polly-sim gemm", |bench| {
+        bench.iter(|| {
+            let mut m = m0.clone();
+            parallelize_module(&mut m, &ParallelizeOptions::default())
+        })
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    // Interpreter throughput on a small kernel (jacobi-1d, one time step).
+    let src = r#"
+#define N 500
+double A[500];
+double B[500];
+void kernel() {
+  int i;
+  for (i = 1; i < N - 1; i++) {
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+  }
+}
+"#;
+    let m = Harness::compile(src, splendid_cfront::OmpRuntime::LibOmp).unwrap();
+    c.bench_function("interp/jacobi-1d step", |bench| {
+        bench.iter(|| {
+            let mut vm = Vm::new(&m, MachineConfig::default());
+            vm.call_by_name("kernel", &[]).unwrap();
+            vm.cycles()
+        })
+    });
+}
+
+criterion_group!(benches, bench_frontend, bench_o2, bench_parallelize, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments all          # everything (what EXPERIMENTS.md records)
+//! experiments table3       # one artifact
+//! experiments fig6
+//! ```
+
+use splendid_bench::tables::{table1, table2};
+use splendid_bench::*;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let run = |name: &str| which == "all" || which == name;
+    if run("table1") {
+        println!("== Table 1: decompiler feature comparison ==\n{}", table1());
+    }
+    if run("table2") {
+        println!("== Table 2: SPLENDID techniques ==\n{}", table2());
+    }
+    if run("table3") {
+        let (_, text) = table3();
+        println!("== Table 3: compiler vs programmer parallelization ==\n{text}");
+    }
+    if run("table4") {
+        let (_, text) = table4();
+        println!("== Table 4: LoC similarity to reference ==\n{text}");
+    }
+    if run("fig1") {
+        println!("== Figure 1: motivating example ==\n{}", fig1());
+    }
+    if run("fig2") {
+        println!("== Figure 2: aliasing-check case study ==\n{}", fig2());
+    }
+    if run("fig3") {
+        println!("== Figure 3: preserved optimizations ==\n{}", fig3());
+    }
+    if run("fig5") {
+        println!("== Figure 5: variable-conflict example ==\n{}", fig5());
+    }
+    if run("fig6") {
+        let (_, text) = fig6();
+        println!("== Figure 6: portability speedups (28 cores) ==\n{text}");
+    }
+    if run("fig7") {
+        let (_, text) = fig7();
+        println!("== Figure 7: BLEU-4 naturalness ==\n{text}");
+    }
+    if run("fig8") {
+        let (_, text) = fig8();
+        println!("== Figure 8: variable-name reconstruction ==\n{text}");
+    }
+    if run("fig9") {
+        let (_, text) = fig9();
+        println!("== Figure 9: collaborative parallelization ==\n{text}");
+    }
+    if run("fig10") || run("fig11") {
+        println!("== Figures 10/11: BLEU mechanics ==\n{}", fig10_11());
+    }
+    if run("ablations") {
+        println!("== Ablations (DESIGN.md design choices) ==\n{}", ablations());
+    }
+}

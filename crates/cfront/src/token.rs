@@ -1,0 +1,307 @@
+//! C lexer, shared by the parser and by the BLEU metric's tokenizer.
+
+/// A C token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CToken {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Punctuation or operator, e.g. `"+"`, `"<="`, `"("`.
+    Punct(String),
+    /// A `#pragma ...` line, with the text after `#pragma`.
+    Pragma(String),
+    /// A `#define NAME value` line.
+    Define(String, i64),
+}
+
+/// Lexical error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize C source. `//` and `/* */` comments are skipped; `#pragma` and
+/// `#define` lines become dedicated tokens; other preprocessor lines are
+/// rejected.
+pub fn lex(src: &str) -> Result<Vec<(CToken, usize)>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let n = chars.len();
+    let mut line = 1usize;
+    let two_char = [
+        "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--", "<<", ">>",
+    ];
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            i += 2;
+            while i + 1 < n && !(chars[i] == '*' && chars[i + 1] == '/') {
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 2).min(n);
+            continue;
+        }
+        // Preprocessor.
+        if c == '#' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if let Some(rest) = text.strip_prefix("#pragma") {
+                out.push((CToken::Pragma(rest.trim().to_string()), line));
+            } else if let Some(rest) = text.strip_prefix("#define") {
+                let mut parts = rest.trim().split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| LexError { line, msg: "#define needs a name".into() })?;
+                let value = parts
+                    .next()
+                    .ok_or_else(|| LexError { line, msg: "#define needs a value".into() })?;
+                let v: i64 = value.parse().map_err(|e| LexError {
+                    line,
+                    msg: format!("#define value must be an integer: {e}"),
+                })?;
+                out.push((CToken::Define(name.to_string(), v), line));
+            } else if text.starts_with("#include") {
+                // Includes are ignored (we have no headers).
+            } else {
+                return Err(LexError { line, msg: format!("unsupported preprocessor line: {text}") });
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push((CToken::Ident(chars[start..i].iter().collect()), line));
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < n && chars[i + 1].is_ascii_digit()) {
+            let start = i;
+            let mut is_float = false;
+            while i < n {
+                let d = chars[i];
+                if d.is_ascii_digit() {
+                    i += 1;
+                } else if d == '.' {
+                    is_float = true;
+                    i += 1;
+                } else if d == 'e' || d == 'E' {
+                    is_float = true;
+                    i += 1;
+                    if i < n && (chars[i] == '+' || chars[i] == '-') {
+                        i += 1;
+                    }
+                } else if d == 'x' || d == 'X' {
+                    i += 1; // hex prefix
+                } else if d.is_ascii_hexdigit()
+                    || matches!(d, 'l' | 'L' | 'u' | 'U')
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            // Suffixes (f, L, u) are accepted and ignored.
+            let mut text_trim = text.as_str();
+            while let Some(stripped) = text_trim
+                .strip_suffix(['f', 'F', 'l', 'L', 'u', 'U'])
+            {
+                is_float |= text_trim.ends_with(['f', 'F']);
+                text_trim = stripped;
+            }
+            if is_float || text_trim.contains('.') {
+                let v: f64 = text_trim.parse().map_err(|e| LexError {
+                    line,
+                    msg: format!("bad float literal '{text}': {e}"),
+                })?;
+                out.push((CToken::Float(v), line));
+            } else if let Some(hex) = text_trim.strip_prefix("0x").or_else(|| text_trim.strip_prefix("0X")) {
+                let v = i64::from_str_radix(hex, 16).map_err(|e| LexError {
+                    line,
+                    msg: format!("bad hex literal '{text}': {e}"),
+                })?;
+                out.push((CToken::Int(v), line));
+            } else {
+                let v: i64 = text_trim.parse().map_err(|e| LexError {
+                    line,
+                    msg: format!("bad int literal '{text}': {e}"),
+                })?;
+                out.push((CToken::Int(v), line));
+            }
+            continue;
+        }
+        // Operators and punctuation.
+        if i + 1 < n {
+            let pair: String = chars[i..i + 2].iter().collect();
+            if two_char.contains(&pair.as_str()) {
+                out.push((CToken::Punct(pair), line));
+                i += 2;
+                continue;
+            }
+        }
+        if "+-*/%<>=!&|(){}[];,?:.".contains(c) {
+            out.push((CToken::Punct(c.to_string()), line));
+            i += 1;
+            continue;
+        }
+        return Err(LexError { line, msg: format!("unexpected character '{c}'") });
+    }
+    Ok(out)
+}
+
+/// Tokenize into plain strings for n-gram metrics (BLEU). Pragmas are
+/// split into their words; defines contribute name and value.
+pub fn tokens_for_metrics(src: &str) -> Vec<String> {
+    let Ok(toks) = lex(src) else {
+        // Fall back to whitespace splitting for unlexable text so metrics
+        // never fail on baseline output.
+        return src.split_whitespace().map(|s| s.to_string()).collect();
+    };
+    let mut out = Vec::new();
+    for (t, _) in toks {
+        match t {
+            CToken::Ident(s) => out.push(s),
+            CToken::Int(v) => out.push(v.to_string()),
+            CToken::Float(v) => out.push(format!("{v:?}")),
+            CToken::Punct(p) => out.push(p),
+            CToken::Pragma(p) => {
+                out.push("#pragma".into());
+                out.extend(p.split_whitespace().map(|s| s.to_string()));
+            }
+            CToken::Define(n, v) => {
+                out.push("#define".into());
+                out.push(n);
+                out.push(v.to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<CToken> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        let t = kinds("x = a[i] + 3.5;");
+        assert_eq!(
+            t,
+            vec![
+                CToken::Ident("x".into()),
+                CToken::Punct("=".into()),
+                CToken::Ident("a".into()),
+                CToken::Punct("[".into()),
+                CToken::Ident("i".into()),
+                CToken::Punct("]".into()),
+                CToken::Punct("+".into()),
+                CToken::Float(3.5),
+                CToken::Punct(";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        let t = kinds("i <= n && j != 0 || k >= 2; i += 1; i++;");
+        assert!(t.contains(&CToken::Punct("<=".into())));
+        assert!(t.contains(&CToken::Punct("&&".into())));
+        assert!(t.contains(&CToken::Punct("!=".into())));
+        assert!(t.contains(&CToken::Punct("||".into())));
+        assert!(t.contains(&CToken::Punct(">=".into())));
+        assert!(t.contains(&CToken::Punct("+=".into())));
+        assert!(t.contains(&CToken::Punct("++".into())));
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_tracked() {
+        let toks = lex("a; // comment\n/* multi\nline */ b;").unwrap();
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].1, 1);
+        assert_eq!(toks[2].1, 3); // b on line 3
+    }
+
+    #[test]
+    fn pragma_and_define() {
+        let t = kinds("#define N 4000\n#pragma omp parallel for\nint x;");
+        assert_eq!(t[0], CToken::Define("N".into(), 4000));
+        assert_eq!(t[1], CToken::Pragma("omp parallel for".into()));
+    }
+
+    #[test]
+    fn number_forms() {
+        let t = kinds("0 42 3.5 1e-3 2. 0x10 1.0f 7L");
+        assert_eq!(
+            t,
+            vec![
+                CToken::Int(0),
+                CToken::Int(42),
+                CToken::Float(3.5),
+                CToken::Float(1e-3),
+                CToken::Float(2.0),
+                CToken::Int(16),
+                CToken::Float(1.0),
+                CToken::Int(7),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("int $x;").is_err());
+        assert!(lex("#woof").is_err());
+    }
+
+    #[test]
+    fn metrics_tokens_split_pragmas() {
+        let t = tokens_for_metrics("#pragma omp for schedule(static) nowait\nx=1;");
+        assert!(t.contains(&"#pragma".to_string()));
+        assert!(t.contains(&"omp".to_string()));
+        assert!(t.contains(&"schedule(static)".to_string()));
+        assert!(t.contains(&"nowait".to_string()));
+    }
+}

@@ -1,0 +1,143 @@
+//! Parallel Semantic Analyzer: discover fork calls and their outlined
+//! regions (paper §4.1.1).
+
+use splendid_ir::{Callee, FuncId, InstId, InstKind, Module, Value};
+use splendid_parallel::runtime::{KMPC_FORK_CALL, KMPC_FOR_STATIC_FINI, KMPC_FOR_STATIC_INIT};
+
+/// One discovered parallel region invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForkSite {
+    /// Function containing the fork call.
+    pub caller: FuncId,
+    /// The fork call instruction.
+    pub call: InstId,
+    /// The outlined region function.
+    pub region: FuncId,
+    /// Values passed to the region after the implicit function operand
+    /// (i.e. the region's parameters beyond `tid`).
+    pub args: Vec<Value>,
+}
+
+/// Runtime-call structure found inside a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionRuntime {
+    /// The `__kmpc_for_static_init_8` call.
+    pub static_init: InstId,
+    /// The `__kmpc_for_static_fini` call.
+    pub static_fini: InstId,
+    /// Whether any barrier call exists between fini and the region's end
+    /// (its absence lets the pragma generator emit `nowait`).
+    pub has_barrier: bool,
+}
+
+/// Scan a module for fork sites.
+pub fn find_fork_sites(module: &Module) -> Vec<ForkSite> {
+    let mut out = Vec::new();
+    for fid in module.func_ids() {
+        let f = module.func(fid);
+        let owners = f.inst_blocks();
+        for (idx, inst) in f.insts.iter().enumerate() {
+            if owners[idx].is_none() {
+                continue;
+            }
+            let InstKind::Call { callee: Callee::External(name), args } = &inst.kind else {
+                continue;
+            };
+            if name != KMPC_FORK_CALL {
+                continue;
+            }
+            let Some(Value::Function(region)) = args.first().copied() else {
+                continue;
+            };
+            out.push(ForkSite {
+                caller: fid,
+                call: InstId(idx as u32),
+                region,
+                args: args[1..].to_vec(),
+            });
+        }
+    }
+    out
+}
+
+/// Identify the static-schedule runtime calls inside a region function.
+pub fn find_region_runtime(module: &Module, region: FuncId) -> Option<RegionRuntime> {
+    let f = module.func(region);
+    let owners = f.inst_blocks();
+    let mut static_init = None;
+    let mut static_fini = None;
+    let mut has_barrier = false;
+    for (idx, inst) in f.insts.iter().enumerate() {
+        if owners[idx].is_none() {
+            continue;
+        }
+        if let InstKind::Call { callee: Callee::External(name), .. } = &inst.kind {
+            match name.as_str() {
+                KMPC_FOR_STATIC_INIT => static_init = Some(InstId(idx as u32)),
+                KMPC_FOR_STATIC_FINI => static_fini = Some(InstId(idx as u32)),
+                "__kmpc_barrier" => has_barrier = true,
+                _ => {}
+            }
+        }
+    }
+    Some(RegionRuntime {
+        static_init: static_init?,
+        static_fini: static_fini?,
+        has_barrier,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_cfront::{lower_program, parse_program, LowerOptions};
+    use splendid_parallel::{parallelize_module, ParallelizeOptions};
+    use splendid_transforms::{optimize_module, O2Options};
+
+    fn parallel_module() -> Module {
+        let src = r#"
+#define N 256
+double A[256];
+void k(double alpha) {
+  int i;
+  for (i = 0; i < N; i++) {
+    A[i] = A[i] * alpha;
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let mut m = lower_program(&prog, "t", &LowerOptions::default()).unwrap();
+        optimize_module(&mut m, &O2Options::default());
+        let rep = parallelize_module(&mut m, &ParallelizeOptions::default());
+        assert_eq!(rep.parallelized_count(), 1);
+        m
+    }
+
+    #[test]
+    fn finds_fork_site_and_region() {
+        let m = parallel_module();
+        let sites = find_fork_sites(&m);
+        assert_eq!(sites.len(), 1);
+        let site = &sites[0];
+        assert!(m.func(site.region).is_outlined);
+        // lb, ub, alpha.
+        assert_eq!(site.args.len(), m.func(site.region).params.len() - 1);
+    }
+
+    #[test]
+    fn finds_region_runtime_pair() {
+        let m = parallel_module();
+        let site = &find_fork_sites(&m)[0];
+        let rt = find_region_runtime(&m, site.region).expect("runtime calls");
+        assert!(!rt.has_barrier, "polly-style single-loop regions have no barrier");
+        assert_ne!(rt.static_init, rt.static_fini);
+    }
+
+    #[test]
+    fn sequential_module_has_no_sites() {
+        let src = "double A[4];\nvoid k() { A[0] = 1.0; }";
+        let prog = parse_program(src).unwrap();
+        let m = lower_program(&prog, "t", &LowerOptions::default()).unwrap();
+        assert!(find_fork_sites(&m).is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! Parallel Region Detransformer and Loop Inliner (paper §4.1.2).
+//!
+//! Rewrites each outlined parallel region into a *sequential* loop:
+//!
+//! 1. **Loop parameter restoration** — the thread-local bounds loaded after
+//!    `__kmpc_for_static_init_8` are replaced by the *original* loop
+//!    parameters, which ride along as the init call's final operands;
+//! 2. **Parallel runtime elimination** — the bound allocas/stores/loads and
+//!    every runtime call are deleted;
+//! 3. a pragma *marker* pseudo-call is left at the loop entry recording the
+//!    schedule and barrier facts the Pragma Generator needs after inlining;
+//! 4. **Loop inlining** — the fork call is rewritten into a direct call and
+//!    inlined, substituting fork arguments for region parameters. This
+//!    substitution is also what lets caller-side `dbg` metadata reach
+//!    region code (variable naming through inlining, §3.3/§3.4).
+
+use crate::analyzer::{find_fork_sites, find_region_runtime};
+use splendid_ir::{Callee, FuncId, Inst, InstId, InstKind, Module, Type, Value};
+use splendid_parallel::runtime::KMPC_BARRIER;
+
+/// Marker pseudo-call carrying pragma facts across inlining. Deleted by
+/// the structurer after pragma generation.
+pub const PRAGMA_MARKER: &str = "splendid.omp.mark";
+
+/// Facts recorded by a marker: `(chunk, nowait)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerInfo {
+    /// `schedule(static, chunk)`; 0 means plain `schedule(static)`.
+    pub chunk: i64,
+    /// Whether the loop can carry `nowait`.
+    pub nowait: bool,
+}
+
+/// Decode a marker call instruction.
+pub fn decode_marker(kind: &InstKind) -> Option<MarkerInfo> {
+    if let InstKind::Call { callee: Callee::External(name), args } = kind {
+        if name == PRAGMA_MARKER && args.len() == 2 {
+            return Some(MarkerInfo {
+                chunk: args[0].as_int()?,
+                nowait: args[1].as_int()? != 0,
+            });
+        }
+    }
+    None
+}
+
+/// Report of one detransformed region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionReport {
+    /// Region function name.
+    pub region_name: String,
+    /// Caller function name.
+    pub caller_name: String,
+    /// Number of parallelization-setup instructions removed.
+    pub setup_removed: usize,
+}
+
+/// Detransform every parallel region in the module and inline it back into
+/// its caller. Outlined functions are removed afterwards.
+pub fn detransform_and_inline(module: &mut Module) -> Result<Vec<RegionReport>, String> {
+    let sites = find_fork_sites(module);
+    let mut reports = Vec::new();
+    let mut detransformed: Vec<FuncId> = Vec::new();
+    for site in &sites {
+        if !detransformed.contains(&site.region) {
+            let removed = detransform_region(module, site.region)?;
+            detransformed.push(site.region);
+            reports.push(RegionReport {
+                region_name: module.func(site.region).name.clone(),
+                caller_name: module.func(site.caller).name.clone(),
+                setup_removed: removed,
+            });
+        }
+        // Rewrite the fork into a direct call (tid := 0) and inline it.
+        let f = module.func_mut(site.caller);
+        let mut args = vec![Value::i64(0)];
+        args.extend(site.args.iter().copied());
+        f.inst_mut(site.call).kind = InstKind::Call {
+            callee: Callee::Func(site.region),
+            args,
+        };
+        splendid_transforms::inline::inline_call(module, site.caller, site.call)
+            .map_err(|e| format!("inlining parallel region failed: {e}"))?;
+        let f = module.func_mut(site.caller);
+        splendid_transforms::dce::eliminate_dead_code(f);
+        splendid_transforms::simplify_cfg::simplify_cfg(f);
+        splendid_transforms::dce::eliminate_dead_code(f);
+    }
+    // Outlined regions have been absorbed; drop them.
+    let roots: Vec<String> = module
+        .functions
+        .iter()
+        .filter(|f| !f.is_outlined)
+        .map(|f| f.name.clone())
+        .collect();
+    let root_refs: Vec<&str> = roots.iter().map(|s| s.as_str()).collect();
+    splendid_transforms::inline::strip_dead_functions(module, &root_refs);
+    Ok(reports)
+}
+
+/// Detransform one region in place (without inlining). Returns the number
+/// of setup instructions removed.
+pub fn detransform_region(module: &mut Module, region: FuncId) -> Result<usize, String> {
+    let rt = find_region_runtime(module, region)
+        .ok_or("region has no static init/fini runtime pair")?;
+    let f = module.func_mut(region);
+    let mut removed = 0usize;
+
+    // Decode the init call:
+    // (tid, p_lb, p_ub, step, chunk, orig_lb, orig_ub_incl).
+    let init_args = match &f.inst(rt.static_init).kind {
+        InstKind::Call { args, .. } => args.clone(),
+        _ => return Err("static init is not a call".into()),
+    };
+    if init_args.len() != 7 {
+        return Err(format!(
+            "static init expects 7 operands, found {}",
+            init_args.len()
+        ));
+    }
+    let p_lb = init_args[1];
+    let p_ub = init_args[2];
+    let chunk = init_args[4].as_int().unwrap_or(0);
+    let orig_lb = init_args[5];
+    let orig_ub = init_args[6];
+
+    // Restore loop parameters: loads of the thread-local bounds become the
+    // original sequential bounds.
+    let owners = f.inst_blocks();
+    let mut to_delete: Vec<InstId> = Vec::new();
+    for (idx, inst) in f.insts.iter().enumerate() {
+        if owners[idx].is_none() {
+            continue;
+        }
+        let id = InstId(idx as u32);
+        match &inst.kind {
+            InstKind::Load { ptr } if *ptr == p_lb => {
+                to_delete.push(id);
+            }
+            InstKind::Load { ptr } if *ptr == p_ub => {
+                to_delete.push(id);
+            }
+            InstKind::Store { ptr, .. } if *ptr == p_lb || *ptr == p_ub => {
+                to_delete.push(id);
+            }
+            _ => {}
+        }
+    }
+    // Replace uses first, then delete.
+    for &id in &to_delete {
+        let repl = match &f.inst(id).kind {
+            InstKind::Load { ptr } if *ptr == p_lb => Some(orig_lb),
+            InstKind::Load { ptr } if *ptr == p_ub => Some(orig_ub),
+            _ => None,
+        };
+        if let Some(r) = repl {
+            f.replace_all_uses(Value::Inst(id), r);
+        }
+    }
+    for id in to_delete {
+        f.delete_inst(id);
+        removed += 1;
+    }
+
+    // Delete the runtime calls and the bound allocas.
+    for id in [rt.static_init, rt.static_fini] {
+        f.delete_inst(id);
+        removed += 1;
+    }
+    for p in [p_lb, p_ub] {
+        if let Some(a) = p.as_inst() {
+            if matches!(f.inst(a).kind, InstKind::Alloca { .. }) {
+                f.delete_inst(a);
+                removed += 1;
+            }
+        }
+    }
+    // Barriers inside the region are runtime-specific too.
+    let owners = f.inst_blocks();
+    let barriers: Vec<InstId> = f
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(idx, inst)| {
+            owners[*idx].is_some()
+                && matches!(
+                    &inst.kind,
+                    InstKind::Call { callee: Callee::External(n), .. } if n == KMPC_BARRIER
+                )
+        })
+        .map(|(idx, _)| InstId(idx as u32))
+        .collect();
+    for b in barriers {
+        f.delete_inst(b);
+        removed += 1;
+    }
+
+    // Leave the pragma marker at the start of the entry block.
+    let marker = f.add_inst(Inst::new(
+        InstKind::Call {
+            callee: Callee::External(PRAGMA_MARKER.into()),
+            args: vec![Value::i64(chunk), Value::bool(!rt.has_barrier)],
+        },
+        Type::Void,
+    ));
+    let entry = f.entry;
+    f.block_mut(entry).insts.insert(0, marker);
+
+    splendid_transforms::dce::eliminate_dead_code(f);
+    splendid_ir::verify::verify_function(f)
+        .map_err(|e| format!("detransformed region fails verification: {e}"))?;
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_analysis::domtree::DomTree;
+    use splendid_analysis::indvar::recognize_counted_loop;
+    use splendid_analysis::loops::LoopInfo;
+    use splendid_cfront::{lower_program, parse_program, LowerOptions};
+    use splendid_parallel::runtime::KMPC_FORK_CALL;
+    use splendid_parallel::{parallelize_module, ParallelizeOptions};
+    use splendid_transforms::{optimize_module, O2Options};
+
+    const SRC: &str = r#"
+#define N 256
+double A[256];
+void k(double alpha) {
+  int i;
+  for (i = 0; i < N; i++) {
+    A[i] = A[i] * alpha;
+  }
+}
+"#;
+
+    fn parallel_module(src: &str) -> Module {
+        let prog = parse_program(src).unwrap();
+        let mut m = lower_program(&prog, "t", &LowerOptions::default()).unwrap();
+        optimize_module(&mut m, &O2Options::default());
+        parallelize_module(&mut m, &ParallelizeOptions::default());
+        m
+    }
+
+    fn has_runtime_calls(m: &Module) -> bool {
+        m.functions.iter().any(|f| {
+            f.insts.iter().enumerate().any(|(idx, i)| {
+                f.inst_blocks()[idx].is_some()
+                    && matches!(
+                        &i.kind,
+                        InstKind::Call { callee: Callee::External(n), .. }
+                            if splendid_parallel::runtime::is_parallel_runtime_symbol(n)
+                    )
+            })
+        })
+    }
+
+    #[test]
+    fn removes_all_runtime_calls_and_inlines() {
+        let mut m = parallel_module(SRC);
+        assert!(has_runtime_calls(&m));
+        let reports = detransform_and_inline(&mut m).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].setup_removed >= 6);
+        assert!(!has_runtime_calls(&m), "all __kmpc calls must be gone");
+        // The outlined function is gone; only `k` remains.
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].name, "k");
+        splendid_ir::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn restored_loop_is_counted_with_original_bounds() {
+        let mut m = parallel_module(SRC);
+        detransform_and_inline(&mut m).unwrap();
+        let f = &m.functions[0];
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        assert_eq!(li.loops.len(), 1, "one sequential loop recovered");
+        let cl = recognize_counted_loop(f, &li, li.ids().next().unwrap()).expect("counted");
+        // Restored to the full iteration space: 0 ..= 255.
+        assert_eq!(cl.init.as_int(), Some(0));
+        assert_eq!(cl.bound.as_int(), Some(255));
+        assert_eq!(cl.step, 1);
+        assert!(cl.bottom_tested, "still rotated until the structurer de-rotates");
+    }
+
+    #[test]
+    fn marker_survives_inlining() {
+        let mut m = parallel_module(SRC);
+        detransform_and_inline(&mut m).unwrap();
+        let f = &m.functions[0];
+        let owners = f.inst_blocks();
+        let marker = f
+            .insts
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| owners[*idx].is_some())
+            .find_map(|(_, i)| decode_marker(&i.kind));
+        let info = marker.expect("marker present after inlining");
+        assert_eq!(info.chunk, 0);
+        assert!(info.nowait, "no barrier in the region => nowait");
+    }
+
+    #[test]
+    fn detransformed_module_semantics_preserved() {
+        // Execute the parallel module and the detransformed sequential
+        // module; memory results must match.
+        let src = r#"
+#define N 128
+double A[128];
+void init() { int i; for (i = 0; i < N; i++) { A[i] = i * 0.5; } }
+void k() {
+  int i;
+  for (i = 0; i < N; i++) {
+    A[i] = A[i] * 2.0 + 1.0;
+  }
+}
+"#;
+        let mut m = parallel_module(src);
+        let run = |m: &Module| {
+            use splendid_interp::{MachineConfig, Vm};
+            let mut vm = Vm::new(m, MachineConfig::default());
+            vm.call_by_name("init", &[]).unwrap();
+            vm.call_by_name("k", &[]).unwrap();
+            vm.checksum_global("A").unwrap()
+        };
+        let before = run(&m);
+        detransform_and_inline(&mut m).unwrap();
+        let after = run(&m);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn fork_call_gone_from_caller() {
+        let mut m = parallel_module(SRC);
+        detransform_and_inline(&mut m).unwrap();
+        for f in &m.functions {
+            for i in &f.insts {
+                if let InstKind::Call { callee: Callee::External(n), .. } = &i.kind {
+                    assert_ne!(n, KMPC_FORK_CALL);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Natural variable reconstruction (paper §4.3, Algorithms 1 and 2).
+//!
+//! * **Variable Proposer / Metadata Interpreter**: `dbg` intrinsics map SSA
+//!   values to source variables; a phi with an unmapped result adopts the
+//!   proposal of its incoming values (phi-web combination).
+//! * **Algorithm 1 — Most Recent Variable Definitions**: a forward dataflow
+//!   computing, at each instruction, which definition of each source
+//!   variable is current (`OUT = GEN ∪ (IN − KILL)`, joined by union).
+//! * **Algorithm 2 — Conflicting Definition Removal**: at every use of a
+//!   value proposed to be variable `v`, if a *different* definition of `v`
+//!   is the most recent one, that other mapping is removed — two SSA values
+//!   with overlapping lifetimes can never share a source name. Removal
+//!   changes the dataflow, so the pair of algorithms iterates to a
+//!   fixpoint.
+//!
+//! Values that end up without a valid source mapping are named from their
+//! register hint ("somewhat meaningful, e.g. `indvar`"), uniquified.
+
+use splendid_ir::{FuncId, InstId, InstKind, Module, Value, VarId};
+use std::collections::{HashMap, HashSet};
+
+/// Where a generated variable name came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NameOrigin {
+    /// Restored from debug metadata (possibly transferred through region
+    /// inlining).
+    SourceVariable,
+    /// Fallback: virtual-register hint or synthesized name.
+    Register,
+}
+
+/// Result of variable naming for one function.
+#[derive(Debug, Clone, Default)]
+pub struct Naming {
+    /// Name assigned to each instruction that produces a nameable value.
+    pub names: HashMap<InstId, (String, NameOrigin)>,
+}
+
+impl Naming {
+    /// Name for an instruction result, if one was assigned.
+    pub fn name_of(&self, id: InstId) -> Option<&str> {
+        self.names.get(&id).map(|(n, _)| n.as_str())
+    }
+
+    /// Distinct variable names with their origin (for the Figure-8 metric).
+    pub fn distinct_vars(&self) -> Vec<(String, NameOrigin)> {
+        let mut seen = HashMap::new();
+        for (name, origin) in self.names.values() {
+            // SourceVariable wins if any instruction restored it.
+            let e = seen.entry(name.clone()).or_insert(*origin);
+            if *origin == NameOrigin::SourceVariable {
+                *e = NameOrigin::SourceVariable;
+            }
+        }
+        let mut v: Vec<_> = seen.into_iter().collect();
+        v.sort();
+        v
+    }
+}
+
+type Defs = HashMap<VarId, HashSet<Value>>;
+
+fn join(into: &mut Defs, from: &Defs) -> bool {
+    let mut changed = false;
+    for (var, defs) in from {
+        let e = into.entry(*var).or_default();
+        for d in defs {
+            changed |= e.insert(*d);
+        }
+    }
+    changed
+}
+
+/// Run the Variable Proposer + Algorithms 1 and 2 for `fid`.
+pub fn assign_names(module: &Module, fid: FuncId) -> Naming {
+    assign_names_with(module, fid, true)
+}
+
+/// Variant with metadata disabled: every value gets a register name (used
+/// by the paper's SPLENDID-v1/Portable evaluation variants, which turn
+/// variable renaming off).
+pub fn assign_register_names(module: &Module, fid: FuncId) -> Naming {
+    assign_names_with(module, fid, false)
+}
+
+fn assign_names_with(module: &Module, fid: FuncId, use_metadata: bool) -> Naming {
+    let f = module.func(fid);
+    let owners = f.inst_blocks();
+
+    // --- Variable Proposer + Metadata Interpreter ----------------------
+    // proposals: value -> source variable.
+    let mut proposals: HashMap<Value, VarId> = HashMap::new();
+    if use_metadata {
+        for (idx, inst) in f.insts.iter().enumerate() {
+            if owners[idx].is_none() {
+                continue;
+            }
+            if let InstKind::DbgValue { val, var } = inst.kind {
+                if matches!(val, Value::Inst(_)) {
+                    proposals.entry(val).or_insert(var);
+                }
+            }
+        }
+    }
+    // Phi-web combination: a phi adopts (and shares) the proposal of its
+    // incomings; incomings without proposals adopt the phi's.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (idx, inst) in f.insts.iter().enumerate() {
+            if owners[idx].is_none() {
+                continue;
+            }
+            let phi_val = Value::Inst(InstId(idx as u32));
+            if let InstKind::Phi { incomings } = &inst.kind {
+                let mut var = proposals.get(&phi_val).copied();
+                if var.is_none() {
+                    var = incomings
+                        .iter()
+                        .find_map(|(_, v)| proposals.get(v).copied());
+                }
+                let Some(var) = var else { continue };
+                for v in std::iter::once(phi_val)
+                    .chain(incomings.iter().map(|(_, v)| *v))
+                {
+                    if matches!(v, Value::Inst(_)) && !proposals.contains_key(&v) {
+                        proposals.insert(v, var);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Algorithms 1 + 2, iterated to a fixpoint -----------------------
+    loop {
+        // Algorithm 1: block-level IN/OUT of most-recent definitions.
+        let nblocks = f.blocks.len();
+        let mut block_in: Vec<Defs> = vec![Defs::new(); nblocks];
+        let mut block_out: Vec<Defs> = vec![Defs::new(); nblocks];
+        let rpo = f.reverse_post_order();
+        let preds = f.predecessors();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in &rpo {
+                let mut inn = Defs::new();
+                for &p in &preds[bb.index()] {
+                    join(&mut inn, &block_out[p.index()]);
+                }
+                let mut out = inn.clone();
+                apply_block_transfer(f, bb, &proposals, &mut out);
+                if inn != block_in[bb.index()] || out != block_out[bb.index()] {
+                    block_in[bb.index()] = inn;
+                    block_out[bb.index()] = out;
+                    changed = true;
+                }
+            }
+        }
+
+        // Algorithm 2: validate every use; collect conflicting mappings.
+        let mut to_remove: HashSet<Value> = HashSet::new();
+        for &bb in &rpo {
+            let mut cur = block_in[bb.index()].clone();
+            for &i in &f.block(bb).insts {
+                let inst = f.inst(i);
+                if !matches!(inst.kind, InstKind::DbgValue { .. }) {
+                    inst.kind.for_each_operand(|op| {
+                        if let Some(var) = proposals.get(&op) {
+                            if let Some(defs) = cur.get(var) {
+                                // The used definition must be the (only)
+                                // most recent one; any other live
+                                // definition of the same variable
+                                // conflicts and loses its mapping.
+                                for d in defs {
+                                    if d != &op && proposals.get(d) == Some(var) {
+                                        to_remove.insert(*d);
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+                transfer_inst(f, i, &proposals, &mut cur);
+            }
+        }
+        if to_remove.is_empty() {
+            break;
+        }
+        for v in to_remove {
+            proposals.remove(&v);
+        }
+    }
+
+    // --- Variable Generator ---------------------------------------------
+    let mut naming = Naming::default();
+    let mut used_names: HashSet<String> = HashSet::new();
+    // Source-variable names are shared by design.
+    for (v, var) in &proposals {
+        if let Value::Inst(id) = v {
+            let name = module.di_vars[var.index()].name.clone();
+            used_names.insert(name.clone());
+            naming
+                .names
+                .insert(*id, (name, NameOrigin::SourceVariable));
+        }
+    }
+    // Everything else falls back to its register hint, uniquified.
+    for (idx, inst) in f.insts.iter().enumerate() {
+        let id = InstId(idx as u32);
+        if owners[idx].is_none() || !inst.has_result() || naming.names.contains_key(&id) {
+            continue;
+        }
+        let base = inst
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("v{}", id.0))
+            .replace('.', "_");
+        let mut candidate = base.clone();
+        let mut k = 1;
+        while used_names.contains(&candidate) {
+            candidate = format!("{base}{k}");
+            k += 1;
+        }
+        used_names.insert(candidate.clone());
+        naming.names.insert(id, (candidate, NameOrigin::Register));
+    }
+    naming
+}
+
+fn apply_block_transfer(
+    f: &splendid_ir::Function,
+    bb: splendid_ir::BlockId,
+    proposals: &HashMap<Value, VarId>,
+    state: &mut Defs,
+) {
+    for &i in &f.block(bb).insts {
+        transfer_inst(f, i, proposals, state);
+    }
+}
+
+/// GEN/KILL of one instruction for Algorithm 1: a `dbg` intrinsic whose
+/// value still carries a valid proposal (re)defines its variable, and so
+/// does the *definition* of any proposed value itself (phi-web members
+/// inherit their def event from the web even when optimization dropped
+/// their own `dbg` intrinsic).
+fn transfer_inst(
+    f: &splendid_ir::Function,
+    i: InstId,
+    proposals: &HashMap<Value, VarId>,
+    state: &mut Defs,
+) {
+    let inst = f.inst(i);
+    if let InstKind::DbgValue { val, var } = inst.kind {
+        let proposed = proposals.get(&val) == Some(&var) || val.is_const();
+        if proposed {
+            let e = state.entry(var).or_default();
+            e.clear(); // KILL the old definitions
+            e.insert(val); // GEN the new one
+        }
+    } else if inst.has_result() {
+        if let Some(var) = proposals.get(&Value::Inst(i)) {
+            let e = state.entry(*var).or_default();
+            e.clear();
+            e.insert(Value::Inst(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, Type};
+
+    /// The Figure-5 shape: %1 and %2 both dbg-mapped to `var`, with %1
+    /// used after %2's definition — a conflict; %3 mapped later with no
+    /// overlap.
+    fn figure5() -> (Module, FuncId) {
+        let mut m = Module::new("m");
+        let var = m.intern_di_var("var", "f");
+        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::Void);
+        // A: %1 = ...
+        let v1 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "");
+        b.dbg_value(v1, var); // B
+        // C: func(%1) — modeled as a pure use.
+        let _use1 = b.bin(BinOp::Mul, Type::I64, v1, Value::i64(2), "");
+        // D: %2 = ...
+        let v2 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(2), "");
+        b.dbg_value(v2, var); // E
+        // F: func(%1) — %1 used after %2's def: conflict.
+        let _use2 = b.bin(BinOp::Mul, Type::I64, v1, Value::i64(3), "");
+        // G: %3 = ...; no more uses of %1/%2 afterwards.
+        let v3 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(3), "");
+        b.dbg_value(v3, var); // H
+        let _use3 = b.bin(BinOp::Mul, Type::I64, v3, Value::i64(4), "");
+        b.ret(None);
+        let fid = m.push_function(b.finish());
+        (m, fid, )
+    }
+
+    #[test]
+    fn figure5_conflict_resolution() {
+        let (m, fid) = figure5();
+        let naming = assign_names(&m, fid);
+        let f = m.func(fid);
+        // Identify v1, v2, v3 by their constant operands.
+        let find = |c: i64| -> InstId {
+            f.insts
+                .iter()
+                .enumerate()
+                .find(|(_, i)| match &i.kind {
+                    InstKind::Bin { op: BinOp::Add, rhs, .. } => rhs.as_int() == Some(c),
+                    _ => false,
+                })
+                .map(|(idx, _)| InstId(idx as u32))
+                .unwrap()
+        };
+        let (v1, v2, v3) = (find(1), find(2), find(3));
+        // %1 keeps the name (used at F where it must still be `var`).
+        assert_eq!(naming.name_of(v1), Some("var"));
+        // %2's mapping was removed: it gets a register name.
+        assert_eq!(naming.names[&v2].1, NameOrigin::Register);
+        assert_ne!(naming.name_of(v2), Some("var"));
+        // %3 maps to var again (no conflict).
+        assert_eq!(naming.name_of(v3), Some("var"));
+    }
+
+    #[test]
+    fn no_conflict_all_restored() {
+        let mut m = Module::new("m");
+        let var = m.intern_di_var("x", "f");
+        let mut b = FuncBuilder::new("f", &[("a", Type::I64)], Type::I64);
+        let v1 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "");
+        b.dbg_value(v1, var);
+        let v2 = b.bin(BinOp::Mul, Type::I64, v1, Value::i64(2), "");
+        b.dbg_value(v2, var);
+        b.ret(Some(v2));
+        let fid = m.push_function(b.finish());
+        let naming = assign_names(&m, fid);
+        // v1's last use (in v2's def) precedes v2's dbg event, so both may
+        // be `x`.
+        assert_eq!(naming.name_of(v1.as_inst().unwrap()), Some("x"));
+        assert_eq!(naming.name_of(v2.as_inst().unwrap()), Some("x"));
+    }
+
+    #[test]
+    fn phi_web_shares_name() {
+        let mut m = Module::new("m");
+        let var = m.intern_di_var("i", "f");
+        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(body);
+        b.switch_to(body);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "");
+        b.dbg_value(iv, var);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        let c = b.icmp(splendid_ir::IPred::Slt, next, b.arg(0), "");
+        b.cond_br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let fid = m.push_function(b.finish());
+        let naming = assign_names(&m, fid);
+        assert_eq!(naming.name_of(iv.as_inst().unwrap()), Some("i"));
+        // next adopted the phi's variable through web combination.
+        assert_eq!(naming.name_of(next.as_inst().unwrap()), Some("i"));
+    }
+
+    #[test]
+    fn unmapped_values_get_unique_register_names() {
+        let mut m = Module::new("m");
+        let mut b = FuncBuilder::new("f", &[("a", Type::I64)], Type::I64);
+        let v1 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "tmp");
+        let v2 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(2), "tmp");
+        let v3 = b.bin(BinOp::Add, Type::I64, v1, v2, "");
+        b.ret(Some(v3));
+        let fid = m.push_function(b.finish());
+        let naming = assign_names(&m, fid);
+        let names: HashSet<&str> = [v1, v2, v3]
+            .iter()
+            .map(|v| naming.name_of(v.as_inst().unwrap()).unwrap())
+            .collect();
+        assert_eq!(names.len(), 3, "names must be unique: {names:?}");
+        assert!(names.contains("tmp"));
+        assert!(names.contains("tmp1"));
+    }
+
+    #[test]
+    fn distinct_vars_metric() {
+        let (m, fid) = figure5();
+        let naming = assign_names(&m, fid);
+        let vars = naming.distinct_vars();
+        let restored = vars
+            .iter()
+            .filter(|(_, o)| *o == NameOrigin::SourceVariable)
+            .count();
+        assert_eq!(restored, 1, "only `var` is source-restored: {vars:?}");
+        assert!(vars.len() > 1, "register-named values exist too");
+    }
+}

@@ -1,0 +1,46 @@
+//! Pragma Generator (paper §4.1.3): map recovered runtime facts to OpenMP
+//! directives, choosing the most performing correct translation and
+//! minimizing clauses.
+
+use crate::detransform::MarkerInfo;
+use splendid_cfront::ast::{OmpClauses, Schedule};
+
+/// Build the `omp for` clauses for a recovered static-scheduled loop.
+///
+/// * `schedule(static)` (or `schedule(static, chunk)` when the runtime was
+///   given an explicit chunk);
+/// * `nowait` whenever the region contained no barrier after the loop —
+///   the *most performing* of the two correct translations (§4.1.3);
+/// * no `private` clause: the induction variable is declared inside the
+///   loop header, which makes it private by default (clause minimization).
+pub fn clauses_for(info: MarkerInfo) -> OmpClauses {
+    OmpClauses {
+        schedule: Some(if info.chunk > 0 {
+            Schedule::StaticChunk(info.chunk as u32)
+        } else {
+            Schedule::Static
+        }),
+        nowait: info.nowait,
+        private: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_static_nowait() {
+        let c = clauses_for(MarkerInfo { chunk: 0, nowait: true });
+        assert_eq!(c.schedule, Some(Schedule::Static));
+        assert!(c.nowait);
+        assert!(c.private.is_empty());
+    }
+
+    #[test]
+    fn chunked_schedule() {
+        let c = clauses_for(MarkerInfo { chunk: 8, nowait: false });
+        assert_eq!(c.schedule, Some(Schedule::StaticChunk(8)));
+        assert!(!c.nowait);
+    }
+}

@@ -1,0 +1,22 @@
+//! IR interpreter and performance model.
+//!
+//! This crate substitutes for the paper's 28-core Xeon testbed (DESIGN.md
+//! documents the substitution). It provides two things at once:
+//!
+//! 1. **Functional execution** of SPLENDID IR, including both OpenMP
+//!    runtime flavors (`__kmpc_*` and `GOMP_*`): a fork call executes the
+//!    outlined region once per logical thread with static-schedule bounds,
+//!    so a decompiled-and-recompiled program can be checked for *semantic
+//!    equivalence* against the original by comparing memory checksums.
+//! 2. **A cycle cost model**: each instruction charges a cost from a
+//!    [`machine::CompilerProfile`] ("clang" or "gcc"); a parallel region
+//!    costs `fork_overhead + max(per-thread cycles)`, with a memory
+//!    bandwidth ceiling that caps the speedup of streaming kernels. This
+//!    reproduces the *shape* of the paper's Figure 6 and Figure 9 speedups
+//!    without the authors' hardware.
+
+pub mod machine;
+pub mod vm;
+
+pub use machine::{CompilerProfile, MachineConfig};
+pub use vm::{ExecError, RtVal, Vm};

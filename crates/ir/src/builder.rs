@@ -1,0 +1,208 @@
+//! Convenience builder for constructing functions instruction by
+//! instruction, positioned at the end of a current block.
+
+use crate::{
+    BinOp, BlockId, Callee, CastOp, FPred, Function, IPred, Inst, InstKind, MemType,
+    Param, Type, Value, VarId,
+};
+
+/// Builds a [`Function`] by appending instructions to a current insertion
+/// block, in the style of LLVM's `IRBuilder`.
+pub struct FuncBuilder {
+    func: Function,
+    cur: BlockId,
+}
+
+impl FuncBuilder {
+    /// Start building a function with the given name, parameters, and
+    /// return type. The insertion point is the entry block.
+    pub fn new(name: &str, params: &[(&str, Type)], ret_ty: Type) -> FuncBuilder {
+        let params = params
+            .iter()
+            .map(|(n, t)| Param { name: (*n).into(), ty: *t })
+            .collect();
+        let func = Function::new(name, params, ret_ty);
+        let cur = func.entry;
+        FuncBuilder { func, cur }
+    }
+
+    /// Finish building and return the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// The function under construction (for inspection mid-build).
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Mutable access to the function under construction.
+    pub fn func_mut(&mut self) -> &mut Function {
+        &mut self.func
+    }
+
+    /// Current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Create a new block without moving the insertion point.
+    pub fn new_block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Move the insertion point to the end of `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// The n-th function parameter as a value.
+    pub fn arg(&self, i: u32) -> Value {
+        assert!((i as usize) < self.func.params.len(), "argument out of range");
+        Value::Arg(i)
+    }
+
+    /// `i64` constant.
+    pub fn const_i64(&self, v: i64) -> Value {
+        Value::i64(v)
+    }
+
+    /// `f64` constant.
+    pub fn const_f64(&self, v: f64) -> Value {
+        Value::f64(v)
+    }
+
+    fn push(&mut self, kind: InstKind, ty: Type, name: &str) -> Value {
+        let inst = if name.is_empty() {
+            Inst::new(kind, ty)
+        } else {
+            Inst::named(kind, ty, name)
+        };
+        let id = self.func.append_inst(self.cur, inst);
+        Value::Inst(id)
+    }
+
+    /// Append a binary operation.
+    pub fn bin(&mut self, op: BinOp, ty: Type, lhs: Value, rhs: Value, name: &str) -> Value {
+        self.push(InstKind::Bin { op, lhs, rhs }, ty, name)
+    }
+
+    /// Append an integer comparison.
+    pub fn icmp(&mut self, pred: IPred, lhs: Value, rhs: Value, name: &str) -> Value {
+        self.push(InstKind::ICmp { pred, lhs, rhs }, Type::I1, name)
+    }
+
+    /// Append a float comparison.
+    pub fn fcmp(&mut self, pred: FPred, lhs: Value, rhs: Value, name: &str) -> Value {
+        self.push(InstKind::FCmp { pred, lhs, rhs }, Type::I1, name)
+    }
+
+    /// Append an alloca.
+    pub fn alloca(&mut self, mem: MemType, name: &str) -> Value {
+        self.push(InstKind::Alloca { mem }, Type::Ptr, name)
+    }
+
+    /// Append a typed load.
+    pub fn load(&mut self, ty: Type, ptr: Value, name: &str) -> Value {
+        self.push(InstKind::Load { ptr }, ty, name)
+    }
+
+    /// Append a store.
+    pub fn store(&mut self, val: Value, ptr: Value) {
+        self.push(InstKind::Store { val, ptr }, Type::Void, "");
+    }
+
+    /// Append a `getelementptr`.
+    pub fn gep(&mut self, elem: MemType, base: Value, indices: Vec<Value>, name: &str) -> Value {
+        self.push(InstKind::Gep { elem, base, indices }, Type::Ptr, name)
+    }
+
+    /// Append a call; `ret_ty == Type::Void` means no result.
+    pub fn call(&mut self, callee: Callee, args: Vec<Value>, ret_ty: Type, name: &str) -> Value {
+        self.push(InstKind::Call { callee, args }, ret_ty, name)
+    }
+
+    /// Append an empty phi to be filled in later; returns the value.
+    pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, Value)>, name: &str) -> Value {
+        self.push(InstKind::Phi { incomings }, ty, name)
+    }
+
+    /// Append a cast.
+    pub fn cast(&mut self, op: CastOp, val: Value, to: Type, name: &str) -> Value {
+        self.push(InstKind::Cast { op, val }, to, name)
+    }
+
+    /// Append a select.
+    pub fn select(&mut self, cond: Value, then_val: Value, else_val: Value, ty: Type, name: &str) -> Value {
+        self.push(InstKind::Select { cond, then_val, else_val }, ty, name)
+    }
+
+    /// Append an unconditional branch terminator.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(InstKind::Br { target }, Type::Void, "");
+    }
+
+    /// Append a conditional branch terminator.
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
+        self.push(InstKind::CondBr { cond, then_bb, else_bb }, Type::Void, "");
+    }
+
+    /// Append a return terminator.
+    pub fn ret(&mut self, val: Option<Value>) {
+        self.push(InstKind::Ret { val }, Type::Void, "");
+    }
+
+    /// Append an `unreachable` terminator.
+    pub fn unreachable(&mut self) {
+        self.push(InstKind::Unreachable, Type::Void, "");
+    }
+
+    /// Append a `dbg.value` intrinsic relating `val` to debug variable
+    /// `var`.
+    pub fn dbg_value(&mut self, val: Value, var: VarId) {
+        self.push(InstKind::DbgValue { val, var }, Type::Void, "");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_loop_skeleton() {
+        // for (i = 0; i < n; i++) ;
+        let mut b = FuncBuilder::new("count", &[("n", Type::I64)], Type::Void);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let cond = b.icmp(IPred::Slt, iv, b.arg(0), "cmp");
+        b.cond_br(cond, body, exit);
+        b.switch_to(body);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        // Patch the phi with the back edge.
+        if let Value::Inst(phi_id) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(phi_id).kind {
+                incomings.push((body, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.successors(header), vec![body, exit]);
+        assert_eq!(f.successors(body), vec![header]);
+        crate::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "argument out of range")]
+    fn arg_bounds_checked() {
+        let b = FuncBuilder::new("f", &[], Type::Void);
+        b.arg(0);
+    }
+}

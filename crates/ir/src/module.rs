@@ -1,0 +1,472 @@
+//! Modules, functions, basic blocks, globals, and debug variables.
+
+use crate::{
+    BlockId, FuncId, GlobalId, Inst, InstId, InstKind, MemType, Type, Value, VarId,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A function parameter.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Param {
+    /// Source-level name of the parameter.
+    pub name: String,
+    /// Scalar type of the parameter.
+    pub ty: Type,
+}
+
+/// A basic block: a label plus an ordered list of instructions ending in a
+/// terminator.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Block {
+    /// Label, unique within the function.
+    pub name: String,
+    /// Instruction ids in execution order. The last one is the terminator
+    /// in a verified function.
+    pub insts: Vec<InstId>,
+}
+
+/// A function: parameters, return type, and arenas of blocks and
+/// instructions.
+///
+/// Instructions live in a per-function arena ([`Function::insts`]) and blocks
+/// reference them by id, so passes can splice, delete (via
+/// [`InstKind::Nop`]), and move instructions without invalidating ids.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret_ty: Type,
+    /// Block arena, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// Instruction arena, indexed by [`InstId`].
+    pub insts: Vec<Inst>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Whether this function is an outlined OpenMP parallel region (set by
+    /// the parallelizer; consumed by the decompiler and interpreter).
+    pub is_outlined: bool,
+}
+
+impl Function {
+    /// Create an empty function with a fresh entry block named `"entry"`.
+    pub fn new(name: impl Into<String>, params: Vec<Param>, ret_ty: Type) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            ret_ty,
+            blocks: vec![Block { name: "entry".into(), insts: Vec::new() }],
+            insts: Vec::new(),
+            entry: BlockId(0),
+            is_outlined: false,
+        }
+    }
+
+    /// Immutable access to an instruction.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable access to an instruction.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// Immutable access to a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Allocate a new empty block with the given label.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { name: name.into(), insts: Vec::new() });
+        id
+    }
+
+    /// Allocate an instruction in the arena without placing it in a block.
+    pub fn add_inst(&mut self, inst: Inst) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(inst);
+        id
+    }
+
+    /// Allocate an instruction and append it to `block`.
+    pub fn append_inst(&mut self, block: BlockId, inst: Inst) -> InstId {
+        let id = self.add_inst(inst);
+        self.blocks[block.index()].insts.push(id);
+        id
+    }
+
+    /// All block ids in arena order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// The terminator instruction of a block, if the block is non-empty and
+    /// ends in one.
+    pub fn terminator(&self, block: BlockId) -> Option<InstId> {
+        let last = *self.block(block).insts.last()?;
+        self.inst(last).kind.is_terminator().then_some(last)
+    }
+
+    /// Successor blocks of `block` (empty if it lacks a branch terminator).
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        match self.terminator(block) {
+            Some(t) => self.inst(t).kind.successors(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Compute predecessors for every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            for s in self.successors(b) {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Scalar type of a value in the context of this function.
+    pub fn value_type(&self, v: Value) -> Type {
+        match v {
+            Value::Inst(id) => self.inst(id).ty,
+            Value::Arg(i) => self.params[i as usize].ty,
+            Value::ConstInt { ty, .. } => ty,
+            Value::ConstF64(_) => Type::F64,
+            Value::Global(_) | Value::Function(_) => Type::Ptr,
+            Value::Undef(ty) => ty,
+        }
+    }
+
+    /// Replace every use of `from` with `to` across all instructions.
+    pub fn replace_all_uses(&mut self, from: Value, to: Value) {
+        for inst in &mut self.insts {
+            inst.kind.for_each_operand_mut(|v| {
+                if *v == from {
+                    *v = to;
+                }
+            });
+        }
+    }
+
+    /// Delete an instruction: mark it [`InstKind::Nop`] and remove it from
+    /// whichever block holds it. Uses of its result become invalid; callers
+    /// must have rewritten them first.
+    pub fn delete_inst(&mut self, id: InstId) {
+        self.insts[id.index()].kind = InstKind::Nop;
+        self.insts[id.index()].ty = Type::Void;
+        for block in &mut self.blocks {
+            block.insts.retain(|&i| i != id);
+        }
+    }
+
+    /// Blocks in reverse post-order from the entry (unreachable blocks are
+    /// excluded).
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        let mut stack = vec![(self.entry, 0usize)];
+        visited[self.entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = self.successors(b);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// The block containing each instruction (index by [`InstId`]);
+    /// `None` for instructions not placed in any block.
+    pub fn inst_blocks(&self) -> Vec<Option<BlockId>> {
+        let mut owner = vec![None; self.insts.len()];
+        for b in self.block_ids() {
+            for &i in &self.block(b).insts {
+                owner[i.index()] = Some(b);
+            }
+        }
+        owner
+    }
+
+    /// Number of instructions currently placed in blocks.
+    pub fn live_inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// Initializer for a global.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum GlobalInit {
+    /// Zero-initialized.
+    Zero,
+    /// All `f64` elements set to the given value.
+    SplatF64(f64),
+}
+
+/// A module-level global memory object.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Shape of the object.
+    pub mem: MemType,
+    /// Initializer.
+    pub init: GlobalInit,
+}
+
+/// A source-level variable described by debug metadata, the analogue of
+/// LLVM's `DILocalVariable`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DiVariable {
+    /// Source name (`"i"`, `"A"`, ...).
+    pub name: String,
+    /// Name of the function whose scope declared the variable.
+    pub scope: String,
+}
+
+/// A translation unit: functions, globals, and debug variables.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (source file stem).
+    pub name: String,
+    /// Function arena, indexed by [`FuncId`].
+    pub functions: Vec<Function>,
+    /// Global arena, indexed by [`GlobalId`].
+    pub globals: Vec<Global>,
+    /// Debug-variable arena, indexed by [`VarId`].
+    pub di_vars: Vec<DiVariable>,
+}
+
+impl Module {
+    /// New empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+            di_vars: Vec::new(),
+        }
+    }
+
+    /// Append a function, returning its id.
+    pub fn push_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(f);
+        id
+    }
+
+    /// Append a global, returning its id.
+    pub fn push_global(&mut self, g: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(g);
+        id
+    }
+
+    /// Intern a debug variable (deduplicated on `(name, scope)`).
+    pub fn intern_di_var(&mut self, name: &str, scope: &str) -> VarId {
+        if let Some(i) = self
+            .di_vars
+            .iter()
+            .position(|v| v.name == name && v.scope == scope)
+        {
+            return VarId(i as u32);
+        }
+        let id = VarId(self.di_vars.len() as u32);
+        self.di_vars.push(DiVariable { name: name.into(), scope: scope.into() });
+        id
+    }
+
+    /// Immutable access to a function.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to a function.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Find a function by symbol name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Find a global by symbol name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
+    }
+
+    /// Map from function name to id for bulk lookups.
+    pub fn func_names(&self) -> HashMap<&str, FuncId> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), FuncId(i as u32)))
+            .collect()
+    }
+
+    /// All function ids in arena order.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.functions.len() as u32).map(FuncId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Inst, InstKind};
+
+    fn linear_func() -> Function {
+        // entry: v0 = add a, 1 ; ret v0
+        let mut f = Function::new(
+            "f",
+            vec![Param { name: "a".into(), ty: Type::I64 }],
+            Type::I64,
+        );
+        let v0 = f.append_inst(
+            f.entry,
+            Inst::new(
+                InstKind::Bin { op: BinOp::Add, lhs: Value::Arg(0), rhs: Value::i64(1) },
+                Type::I64,
+            ),
+        );
+        f.append_inst(
+            f.entry,
+            Inst::new(InstKind::Ret { val: Some(Value::Inst(v0)) }, Type::Void),
+        );
+        f
+    }
+
+    #[test]
+    fn append_and_terminator() {
+        let f = linear_func();
+        assert_eq!(f.live_inst_count(), 2);
+        let t = f.terminator(f.entry).unwrap();
+        assert!(f.inst(t).kind.is_terminator());
+    }
+
+    #[test]
+    fn value_types() {
+        let f = linear_func();
+        assert_eq!(f.value_type(Value::Arg(0)), Type::I64);
+        assert_eq!(f.value_type(Value::Inst(InstId(0))), Type::I64);
+        assert_eq!(f.value_type(Value::f64(0.0)), Type::F64);
+        assert_eq!(f.value_type(Value::Global(GlobalId(0))), Type::Ptr);
+    }
+
+    #[test]
+    fn replace_uses() {
+        let mut f = linear_func();
+        f.replace_all_uses(Value::Arg(0), Value::i64(10));
+        let mut ops = Vec::new();
+        f.inst(InstId(0)).kind.for_each_operand(|v| ops.push(v));
+        assert_eq!(ops, vec![Value::i64(10), Value::i64(1)]);
+    }
+
+    #[test]
+    fn delete_inst_removes_from_block() {
+        let mut f = linear_func();
+        f.delete_inst(InstId(0));
+        assert_eq!(f.live_inst_count(), 1);
+        assert!(matches!(f.inst(InstId(0)).kind, InstKind::Nop));
+    }
+
+    #[test]
+    fn rpo_diamond() {
+        //     e
+        //    / \
+        //   a   b
+        //    \ /
+        //     x
+        let mut f = Function::new("g", vec![], Type::Void);
+        let a = f.add_block("a");
+        let b = f.add_block("b");
+        let x = f.add_block("x");
+        f.append_inst(
+            f.entry,
+            Inst::new(
+                InstKind::CondBr { cond: Value::bool(true), then_bb: a, else_bb: b },
+                Type::Void,
+            ),
+        );
+        f.append_inst(a, Inst::new(InstKind::Br { target: x }, Type::Void));
+        f.append_inst(b, Inst::new(InstKind::Br { target: x }, Type::Void));
+        f.append_inst(x, Inst::new(InstKind::Ret { val: None }, Type::Void));
+        let rpo = f.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(*rpo.last().unwrap(), x);
+        let preds = f.predecessors();
+        assert_eq!(preds[x.index()].len(), 2);
+    }
+
+    #[test]
+    fn rpo_excludes_unreachable() {
+        let mut f = Function::new("g", vec![], Type::Void);
+        let dead = f.add_block("dead");
+        f.append_inst(f.entry, Inst::new(InstKind::Ret { val: None }, Type::Void));
+        f.append_inst(dead, Inst::new(InstKind::Ret { val: None }, Type::Void));
+        let rpo = f.reverse_post_order();
+        assert_eq!(rpo, vec![f.entry]);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new("m");
+        let id = m.push_function(linear_func());
+        assert_eq!(m.func_by_name("f"), Some(id));
+        assert_eq!(m.func_by_name("nope"), None);
+        let g = m.push_global(Global {
+            name: "A".into(),
+            mem: MemType::array1(Type::F64, 4),
+            init: GlobalInit::Zero,
+        });
+        assert_eq!(m.global_by_name("A"), Some(g));
+    }
+
+    #[test]
+    fn di_var_interning() {
+        let mut m = Module::new("m");
+        let a = m.intern_di_var("i", "f");
+        let b = m.intern_di_var("i", "f");
+        let c = m.intern_di_var("i", "g");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(m.di_vars.len(), 2);
+    }
+
+    #[test]
+    fn inst_blocks_ownership() {
+        let f = linear_func();
+        let owners = f.inst_blocks();
+        assert_eq!(owners[0], Some(f.entry));
+        assert_eq!(owners[1], Some(f.entry));
+    }
+}

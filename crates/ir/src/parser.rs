@@ -1,0 +1,1099 @@
+//! Parser for the textual format produced by [`crate::printer`].
+//!
+//! The grammar is line-oriented; see the printer module docs for a sample.
+//! Parsing renumbers instruction and block ids densely, so a parse of a
+//! printed module is structurally equal to the original up to id renaming
+//! (and exactly equal when the original ids were already dense).
+
+use crate::{
+    BinOp, Block, BlockId, Callee, CastOp, DiVariable, FPred, FuncId, Function, Global,
+    GlobalInit, IPred, Inst, InstId, InstKind, MemType, Module, Param, Type, Value, VarId,
+};
+use std::collections::HashMap;
+
+/// Error produced when parsing fails, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// `%12` with optional `:hint`.
+    Reg(u32, Option<String>),
+    /// `$3`.
+    Arg(u32),
+    /// `@name`.
+    Sym(String),
+    /// `!4`.
+    Meta(u32),
+    /// Bare identifier or keyword.
+    Ident(String),
+    /// Numeric literal (int, float, or 0x hex), kept as text.
+    Num(String),
+    /// Quoted string literal (unescaped content).
+    Str(String),
+    /// Single punctuation character.
+    Punct(char),
+    /// `->`.
+    Arrow,
+}
+
+fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>> {
+    let err = |msg: String| ParseError { line: lineno, msg };
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    let n = bytes.len();
+    let ident_char = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == '.';
+    while i < n {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == ';' {
+            break; // comment to end of line
+        }
+        match c {
+            '%' | '$' | '!' => {
+                i += 1;
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(err(format!("expected number after '{c}'")));
+                }
+                let num: u32 = bytes[start..i]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .map_err(|e| err(format!("bad id: {e}")))?;
+                match c {
+                    '%' => {
+                        let hint = if i < n && bytes[i] == ':' && i + 1 < n && ident_char(bytes[i + 1]) {
+                            i += 1;
+                            let hs = i;
+                            while i < n && ident_char(bytes[i]) {
+                                i += 1;
+                            }
+                            Some(bytes[hs..i].iter().collect())
+                        } else {
+                            None
+                        };
+                        toks.push(Tok::Reg(num, hint));
+                    }
+                    '$' => toks.push(Tok::Arg(num)),
+                    _ => toks.push(Tok::Meta(num)),
+                }
+            }
+            '@' => {
+                i += 1;
+                let start = i;
+                while i < n && ident_char(bytes[i]) {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(err("expected symbol after '@'".into()));
+                }
+                toks.push(Tok::Sym(bytes[start..i].iter().collect()));
+            }
+            '"' => {
+                i += 1;
+                let start = i;
+                while i < n && bytes[i] != '"' {
+                    i += 1;
+                }
+                if i == n {
+                    return Err(err("unterminated string".into()));
+                }
+                toks.push(Tok::Str(bytes[start..i].iter().collect()));
+                i += 1;
+            }
+            '-' if i + 1 < n && bytes[i + 1] == '>' => {
+                toks.push(Tok::Arrow);
+                i += 2;
+            }
+            '-' | '+' if i + 1 < n && bytes[i + 1].is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == '.'
+                        || bytes[i] == '+'
+                        || bytes[i] == '-')
+                {
+                    // Stop '+'/'-' unless preceded by exponent marker.
+                    if (bytes[i] == '+' || bytes[i] == '-')
+                        && !matches!(bytes[i - 1], 'e' | 'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok::Num(bytes[start..i].iter().collect()));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == '.'
+                        || bytes[i] == '+'
+                        || bytes[i] == '-')
+                {
+                    if (bytes[i] == '+' || bytes[i] == '-')
+                        && !matches!(bytes[i - 1], 'e' | 'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok::Num(bytes[start..i].iter().collect()));
+            }
+            ',' | '(' | ')' | '[' | ']' | '{' | '}' | ':' | '=' => {
+                toks.push(Tok::Punct(c));
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && ident_char(bytes[i]) {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                // `-inf` handled via Ident("inf") after Punct? We lex
+                // identifiers plainly; "inf"/"nan" handled at parse time.
+                toks.push(Tok::Ident(word));
+            }
+            '-' => {
+                // Bare '-' only appears before 'inf'.
+                if line[i..].starts_with("-inf") {
+                    toks.push(Tok::Ident("-inf".into()));
+                    i += 4;
+                } else {
+                    return Err(err(format!("unexpected character '{c}'")));
+                }
+            }
+            other => return Err(err(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    lineno: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [Tok], lineno: usize) -> Cursor<'a> {
+        Cursor { toks, pos: 0, lineno }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(ParseError { line: self.lineno, msg: msg.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<()> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => self.err(format!("expected '{c}', got {other:?}")),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(p)) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => self.err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        let s = self.expect_ident()?;
+        if s == kw {
+            Ok(())
+        } else {
+            self.err(format!("expected '{kw}', got '{s}'"))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+}
+
+struct SymbolTables {
+    globals: HashMap<String, crate::GlobalId>,
+    funcs: HashMap<String, FuncId>,
+}
+
+fn parse_type(c: &mut Cursor) -> Result<Type> {
+    let name = c.expect_ident()?;
+    Type::from_name(&name).ok_or_else(|| ParseError {
+        line: c.lineno,
+        msg: format!("unknown type '{name}'"),
+    })
+}
+
+fn parse_mem_type(c: &mut Cursor) -> Result<MemType> {
+    if c.eat_punct('[') {
+        let mut dims = Vec::new();
+        loop {
+            match c.next() {
+                Some(Tok::Num(n)) => {
+                    let d: u64 = n.parse().map_err(|e| ParseError {
+                        line: c.lineno,
+                        msg: format!("bad dimension: {e}"),
+                    })?;
+                    dims.push(d);
+                    c.expect_kw("x")?;
+                }
+                Some(Tok::Ident(name)) => {
+                    let elem = Type::from_name(&name).ok_or_else(|| ParseError {
+                        line: c.lineno,
+                        msg: format!("unknown element type '{name}'"),
+                    })?;
+                    c.expect_punct(']')?;
+                    return Ok(MemType::Array { elem, dims });
+                }
+                other => {
+                    return Err(ParseError {
+                        line: c.lineno,
+                        msg: format!("bad array type near {other:?}"),
+                    })
+                }
+            }
+        }
+    } else {
+        Ok(MemType::Scalar(parse_type(c)?))
+    }
+}
+
+fn parse_f64_payload(c: &mut Cursor) -> Result<Value> {
+    match c.next() {
+        Some(Tok::Num(n)) => {
+            if let Some(hex) = n.strip_prefix("0x") {
+                let bits = u64::from_str_radix(hex, 16).map_err(|e| ParseError {
+                    line: c.lineno,
+                    msg: format!("bad float bits: {e}"),
+                })?;
+                Ok(Value::ConstF64(bits))
+            } else {
+                let x: f64 = n.parse().map_err(|e| ParseError {
+                    line: c.lineno,
+                    msg: format!("bad float '{n}': {e}"),
+                })?;
+                Ok(Value::f64(x))
+            }
+        }
+        Some(Tok::Ident(s)) if s == "inf" => Ok(Value::f64(f64::INFINITY)),
+        Some(Tok::Ident(s)) if s == "-inf" => Ok(Value::f64(f64::NEG_INFINITY)),
+        other => Err(ParseError {
+            line: c.lineno,
+            msg: format!("expected float payload, got {other:?}"),
+        }),
+    }
+}
+
+fn parse_value(
+    c: &mut Cursor,
+    regs: &HashMap<u32, InstId>,
+    syms: &SymbolTables,
+) -> Result<Value> {
+    match c.next() {
+        Some(Tok::Reg(n, _)) => regs
+            .get(&n)
+            .map(|id| Value::Inst(*id))
+            .ok_or_else(|| ParseError {
+                line: c.lineno,
+                msg: format!("use of undefined register %{n}"),
+            }),
+        Some(Tok::Arg(i)) => Ok(Value::Arg(i)),
+        Some(Tok::Sym(name)) => {
+            if let Some(g) = syms.globals.get(&name) {
+                Ok(Value::Global(*g))
+            } else if let Some(f) = syms.funcs.get(&name) {
+                Ok(Value::Function(*f))
+            } else {
+                Err(ParseError {
+                    line: c.lineno,
+                    msg: format!("unknown symbol @{name}"),
+                })
+            }
+        }
+        Some(Tok::Ident(tyname)) if tyname == "undef" => {
+            Ok(Value::Undef(parse_type(c)?))
+        }
+        Some(Tok::Ident(tyname)) => {
+            let ty = Type::from_name(&tyname).ok_or_else(|| ParseError {
+                line: c.lineno,
+                msg: format!("expected value, got '{tyname}'"),
+            })?;
+            if ty == Type::F64 {
+                parse_f64_payload(c)
+            } else {
+                match c.next() {
+                    Some(Tok::Num(n)) => {
+                        let v: i64 = n.parse().map_err(|e| ParseError {
+                            line: c.lineno,
+                            msg: format!("bad int '{n}': {e}"),
+                        })?;
+                        Ok(Value::ConstInt { ty, val: v })
+                    }
+                    other => Err(ParseError {
+                        line: c.lineno,
+                        msg: format!("expected int constant, got {other:?}"),
+                    }),
+                }
+            }
+        }
+        other => Err(ParseError {
+            line: c.lineno,
+            msg: format!("expected value, got {other:?}"),
+        }),
+    }
+}
+
+fn parse_block_ref(c: &mut Cursor, blocks: &HashMap<u32, BlockId>) -> Result<BlockId> {
+    let id = c.expect_ident()?;
+    let n: u32 = id
+        .strip_prefix("bb")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError {
+            line: c.lineno,
+            msg: format!("expected block reference, got '{id}'"),
+        })?;
+    blocks.get(&n).copied().ok_or_else(|| ParseError {
+        line: c.lineno,
+        msg: format!("unknown block bb{n}"),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_inst_line(
+    toks: &[Tok],
+    lineno: usize,
+    regs: &HashMap<u32, InstId>,
+    blocks: &HashMap<u32, BlockId>,
+    syms: &SymbolTables,
+) -> Result<Inst> {
+    let mut c = Cursor::new(toks, lineno);
+    // Optional result prefix: %N(:hint) =
+    let mut name_hint = None;
+    let has_result = matches!(c.peek(), Some(Tok::Reg(..)));
+    if has_result {
+        if let Some(Tok::Reg(_, hint)) = c.next() {
+            name_hint = hint;
+        }
+        c.expect_punct('=')?;
+    }
+    let op = c.expect_ident()?;
+    let mut inst = if let Some(bin) = BinOp::from_name(&op) {
+        let ty = parse_type(&mut c)?;
+        let lhs = parse_value(&mut c, regs, syms)?;
+        c.expect_punct(',')?;
+        let rhs = parse_value(&mut c, regs, syms)?;
+        Inst::new(InstKind::Bin { op: bin, lhs, rhs }, ty)
+    } else {
+        match op.as_str() {
+            "icmp" => {
+                let p = c.expect_ident()?;
+                let pred = IPred::from_name(&p).ok_or_else(|| ParseError {
+                    line: lineno,
+                    msg: format!("bad icmp predicate '{p}'"),
+                })?;
+                let lhs = parse_value(&mut c, regs, syms)?;
+                c.expect_punct(',')?;
+                let rhs = parse_value(&mut c, regs, syms)?;
+                Inst::new(InstKind::ICmp { pred, lhs, rhs }, Type::I1)
+            }
+            "fcmp" => {
+                let p = c.expect_ident()?;
+                let pred = FPred::from_name(&p).ok_or_else(|| ParseError {
+                    line: lineno,
+                    msg: format!("bad fcmp predicate '{p}'"),
+                })?;
+                let lhs = parse_value(&mut c, regs, syms)?;
+                c.expect_punct(',')?;
+                let rhs = parse_value(&mut c, regs, syms)?;
+                Inst::new(InstKind::FCmp { pred, lhs, rhs }, Type::I1)
+            }
+            "alloca" => {
+                let mem = parse_mem_type(&mut c)?;
+                Inst::new(InstKind::Alloca { mem }, Type::Ptr)
+            }
+            "load" => {
+                let ty = parse_type(&mut c)?;
+                c.expect_punct(',')?;
+                let ptr = parse_value(&mut c, regs, syms)?;
+                Inst::new(InstKind::Load { ptr }, ty)
+            }
+            "store" => {
+                let val = parse_value(&mut c, regs, syms)?;
+                c.expect_punct(',')?;
+                let ptr = parse_value(&mut c, regs, syms)?;
+                Inst::new(InstKind::Store { val, ptr }, Type::Void)
+            }
+            "gep" => {
+                let elem = parse_mem_type(&mut c)?;
+                c.expect_punct(',')?;
+                let base = parse_value(&mut c, regs, syms)?;
+                let mut indices = Vec::new();
+                while c.eat_punct(',') {
+                    indices.push(parse_value(&mut c, regs, syms)?);
+                }
+                Inst::new(InstKind::Gep { elem, base, indices }, Type::Ptr)
+            }
+            "call" => {
+                let ty = parse_type(&mut c)?;
+                let callee = match c.next() {
+                    Some(Tok::Sym(name)) => {
+                        let f = syms.funcs.get(&name).ok_or_else(|| ParseError {
+                            line: lineno,
+                            msg: format!("unknown function @{name}"),
+                        })?;
+                        Callee::Func(*f)
+                    }
+                    Some(Tok::Ident(kw)) if kw == "ext" => match c.next() {
+                        Some(Tok::Str(s)) => Callee::External(s),
+                        other => {
+                            return Err(ParseError {
+                                line: lineno,
+                                msg: format!("expected string after ext, got {other:?}"),
+                            })
+                        }
+                    },
+                    other => {
+                        return Err(ParseError {
+                            line: lineno,
+                            msg: format!("bad callee {other:?}"),
+                        })
+                    }
+                };
+                c.expect_punct('(')?;
+                let mut args = Vec::new();
+                if !c.eat_punct(')') {
+                    loop {
+                        args.push(parse_value(&mut c, regs, syms)?);
+                        if c.eat_punct(')') {
+                            break;
+                        }
+                        c.expect_punct(',')?;
+                    }
+                }
+                Inst::new(InstKind::Call { callee, args }, ty)
+            }
+            "phi" => {
+                let ty = parse_type(&mut c)?;
+                let mut incomings = Vec::new();
+                while c.eat_punct('[') {
+                    let bb = parse_block_ref(&mut c, blocks)?;
+                    c.expect_punct(':')?;
+                    let v = parse_value(&mut c, regs, syms)?;
+                    c.expect_punct(']')?;
+                    incomings.push((bb, v));
+                }
+                Inst::new(InstKind::Phi { incomings }, ty)
+            }
+            "cast" => {
+                let o = c.expect_ident()?;
+                let cop = CastOp::from_name(&o).ok_or_else(|| ParseError {
+                    line: lineno,
+                    msg: format!("bad cast op '{o}'"),
+                })?;
+                let val = parse_value(&mut c, regs, syms)?;
+                c.expect_kw("to")?;
+                let ty = parse_type(&mut c)?;
+                Inst::new(InstKind::Cast { op: cop, val }, ty)
+            }
+            "select" => {
+                let ty = parse_type(&mut c)?;
+                let cond = parse_value(&mut c, regs, syms)?;
+                c.expect_punct(',')?;
+                let then_val = parse_value(&mut c, regs, syms)?;
+                c.expect_punct(',')?;
+                let else_val = parse_value(&mut c, regs, syms)?;
+                Inst::new(InstKind::Select { cond, then_val, else_val }, ty)
+            }
+            "br" => {
+                let t = parse_block_ref(&mut c, blocks)?;
+                Inst::new(InstKind::Br { target: t }, Type::Void)
+            }
+            "condbr" => {
+                let cond = parse_value(&mut c, regs, syms)?;
+                c.expect_punct(',')?;
+                let t = parse_block_ref(&mut c, blocks)?;
+                c.expect_punct(',')?;
+                let e = parse_block_ref(&mut c, blocks)?;
+                Inst::new(InstKind::CondBr { cond, then_bb: t, else_bb: e }, Type::Void)
+            }
+            "ret" => {
+                if matches!(c.peek(), Some(Tok::Ident(s)) if s == "void") {
+                    c.next();
+                    Inst::new(InstKind::Ret { val: None }, Type::Void)
+                } else {
+                    let v = parse_value(&mut c, regs, syms)?;
+                    Inst::new(InstKind::Ret { val: Some(v) }, Type::Void)
+                }
+            }
+            "unreachable" => Inst::new(InstKind::Unreachable, Type::Void),
+            "nop" => Inst::new(InstKind::Nop, Type::Void),
+            "dbg" => {
+                let v = parse_value(&mut c, regs, syms)?;
+                c.expect_punct(',')?;
+                match c.next() {
+                    Some(Tok::Meta(n)) => {
+                        Inst::new(InstKind::DbgValue { val: v, var: VarId(n) }, Type::Void)
+                    }
+                    other => {
+                        return Err(ParseError {
+                            line: lineno,
+                            msg: format!("expected !N after dbg, got {other:?}"),
+                        })
+                    }
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    msg: format!("unknown opcode '{other}'"),
+                })
+            }
+        }
+    };
+    inst.name = name_hint;
+    // Optional trailing `line=N`.
+    if matches!(c.peek(), Some(Tok::Ident(s)) if s == "line") {
+        c.next();
+        c.expect_punct('=')?;
+        match c.next() {
+            Some(Tok::Num(n)) => {
+                inst.dbg_line = Some(n.parse().map_err(|e| ParseError {
+                    line: lineno,
+                    msg: format!("bad line number: {e}"),
+                })?);
+            }
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    msg: format!("expected number after line=, got {other:?}"),
+                })
+            }
+        }
+    }
+    if !c.at_end() {
+        return Err(ParseError {
+            line: lineno,
+            msg: format!("trailing tokens: {:?}", &c.toks[c.pos..]),
+        });
+    }
+    Ok(inst)
+}
+
+/// Parse a module from its textual form.
+pub fn parse_module(text: &str) -> Result<Module> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut module = Module::new("unnamed");
+    let mut syms = SymbolTables { globals: HashMap::new(), funcs: HashMap::new() };
+
+    // Pre-scan: register function and global names so bodies can forward-
+    // reference them (e.g. the fork call referencing an outlined region
+    // defined later in the file).
+    let mut func_order = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("func @") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
+                .collect();
+            if name.is_empty() {
+                return Err(ParseError { line: idx + 1, msg: "missing function name".into() });
+            }
+            let id = FuncId(func_order.len() as u32);
+            syms.funcs.insert(name.clone(), id);
+            func_order.push(name);
+        } else if let Some(rest) = line.strip_prefix("global @") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
+                .collect();
+            let id = crate::GlobalId(syms.globals.len() as u32);
+            syms.globals.insert(name, id);
+        }
+    }
+
+    let mut i = 0;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let line = lines[i].trim();
+        i += 1;
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let toks = lex_line(line, lineno)?;
+        let mut c = Cursor::new(&toks, lineno);
+        match c.peek() {
+            Some(Tok::Ident(kw)) if kw == "module" => {
+                c.next();
+                match c.next() {
+                    Some(Tok::Str(s)) => module.name = s,
+                    other => {
+                        return Err(ParseError {
+                            line: lineno,
+                            msg: format!("expected module name string, got {other:?}"),
+                        })
+                    }
+                }
+            }
+            Some(Tok::Ident(kw)) if kw == "global" => {
+                c.next();
+                let name = match c.next() {
+                    Some(Tok::Sym(s)) => s,
+                    other => {
+                        return Err(ParseError {
+                            line: lineno,
+                            msg: format!("expected @name, got {other:?}"),
+                        })
+                    }
+                };
+                c.expect_punct(':')?;
+                let mem = parse_mem_type(&mut c)?;
+                c.expect_punct('=')?;
+                let init = match c.next() {
+                    Some(Tok::Ident(s)) if s == "zero" => GlobalInit::Zero,
+                    Some(Tok::Ident(s)) if s == "splat" => match c.next() {
+                        Some(Tok::Num(n)) => GlobalInit::SplatF64(n.parse().map_err(|e| {
+                            ParseError { line: lineno, msg: format!("bad splat: {e}") }
+                        })?),
+                        other => {
+                            return Err(ParseError {
+                                line: lineno,
+                                msg: format!("expected number after splat, got {other:?}"),
+                            })
+                        }
+                    },
+                    other => {
+                        return Err(ParseError {
+                            line: lineno,
+                            msg: format!("bad global initializer {other:?}"),
+                        })
+                    }
+                };
+                module.globals.push(Global { name, mem, init });
+            }
+            Some(Tok::Ident(kw)) if kw == "divar" => {
+                c.next();
+                let id = match c.next() {
+                    Some(Tok::Meta(n)) => n,
+                    other => {
+                        return Err(ParseError {
+                            line: lineno,
+                            msg: format!("expected !N, got {other:?}"),
+                        })
+                    }
+                };
+                c.expect_punct('=')?;
+                let name = match c.next() {
+                    Some(Tok::Str(s)) => s,
+                    other => {
+                        return Err(ParseError {
+                            line: lineno,
+                            msg: format!("expected variable name, got {other:?}"),
+                        })
+                    }
+                };
+                c.expect_kw("in")?;
+                let scope = match c.next() {
+                    Some(Tok::Str(s)) => s,
+                    other => {
+                        return Err(ParseError {
+                            line: lineno,
+                            msg: format!("expected scope name, got {other:?}"),
+                        })
+                    }
+                };
+                if id as usize != module.di_vars.len() {
+                    return Err(ParseError {
+                        line: lineno,
+                        msg: format!("divar ids must be dense, got !{id}"),
+                    });
+                }
+                module.di_vars.push(DiVariable { name, scope });
+            }
+            Some(Tok::Ident(kw)) if kw == "func" => {
+                // Parse header.
+                c.next();
+                let fname = match c.next() {
+                    Some(Tok::Sym(s)) => s,
+                    other => {
+                        return Err(ParseError {
+                            line: lineno,
+                            msg: format!("expected @name, got {other:?}"),
+                        })
+                    }
+                };
+                c.expect_punct('(')?;
+                let mut params = Vec::new();
+                if !c.eat_punct(')') {
+                    loop {
+                        match c.next() {
+                            Some(Tok::Reg(_, Some(pname))) => {
+                                // `$0:name ty` lexes `$0` as Arg though...
+                                let ty = parse_type(&mut c)?;
+                                params.push(Param { name: pname, ty });
+                            }
+                            Some(Tok::Arg(_)) => {
+                                // `$0:name ty` — Arg token then `:name`.
+                                c.expect_punct(':')?;
+                                let pname = c.expect_ident()?;
+                                let ty = parse_type(&mut c)?;
+                                params.push(Param { name: pname, ty });
+                            }
+                            other => {
+                                return Err(ParseError {
+                                    line: lineno,
+                                    msg: format!("bad parameter {other:?}"),
+                                })
+                            }
+                        }
+                        if c.eat_punct(')') {
+                            break;
+                        }
+                        c.expect_punct(',')?;
+                    }
+                }
+                match c.next() {
+                    Some(Tok::Arrow) => {}
+                    other => {
+                        return Err(ParseError {
+                            line: lineno,
+                            msg: format!("expected '->', got {other:?}"),
+                        })
+                    }
+                }
+                let ret_ty = parse_type(&mut c)?;
+                let is_outlined =
+                    matches!(c.peek(), Some(Tok::Ident(s)) if s == "outlined");
+                if is_outlined {
+                    c.next();
+                }
+                c.expect_punct('{')?;
+
+                // Collect body lines until the closing brace.
+                let body_start = i;
+                let mut depth = 1;
+                while i < lines.len() {
+                    let l = lines[i].trim();
+                    if l == "}" {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                if depth != 0 {
+                    return Err(ParseError {
+                        line: lineno,
+                        msg: format!("unterminated function @{fname}"),
+                    });
+                }
+                let body = &lines[body_start..i];
+                i += 1; // consume "}"
+
+                let func = parse_function_body(
+                    &fname, params, ret_ty, is_outlined, body, body_start, &syms,
+                )?;
+                module.functions.push(func);
+            }
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    msg: format!("unexpected top-level token {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(module)
+}
+
+fn parse_function_body(
+    name: &str,
+    params: Vec<Param>,
+    ret_ty: Type,
+    is_outlined: bool,
+    body: &[&str],
+    body_start: usize,
+    syms: &SymbolTables,
+) -> Result<Function> {
+    // First pass: lex all lines, map printed block ids and register ids to
+    // dense ids.
+    let mut lexed: Vec<(usize, Vec<Tok>)> = Vec::new();
+    for (off, raw) in body.iter().enumerate() {
+        let lineno = body_start + off + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        lexed.push((lineno, lex_line(line, lineno)?));
+    }
+    let mut blocks_map: HashMap<u32, BlockId> = HashMap::new();
+    let mut regs_map: HashMap<u32, InstId> = HashMap::new();
+    let mut block_names: Vec<String> = Vec::new();
+    let mut n_insts = 0u32;
+    for (lineno, toks) in &lexed {
+        // Block header: Ident("bbN") Ident(name) ':'  (name optional).
+        if let Some(Tok::Ident(first)) = toks.first() {
+            if let Some(num) = first.strip_prefix("bb").and_then(|s| s.parse::<u32>().ok()) {
+                if matches!(toks.last(), Some(Tok::Punct(':'))) {
+                    let bname = match toks.get(1) {
+                        Some(Tok::Ident(n)) => n.clone(),
+                        _ => format!("bb{num}"),
+                    };
+                    let id = BlockId(block_names.len() as u32);
+                    if blocks_map.insert(num, id).is_some() {
+                        return Err(ParseError {
+                            line: *lineno,
+                            msg: format!("duplicate block bb{num}"),
+                        });
+                    }
+                    block_names.push(bname);
+                    continue;
+                }
+            }
+        }
+        // Instruction line: allocate an arena slot; record definition.
+        if let Some(Tok::Reg(n, _)) = toks.first() {
+            if matches!(toks.get(1), Some(Tok::Punct('='))) {
+                regs_map.insert(*n, InstId(n_insts));
+            }
+        }
+        n_insts += 1;
+    }
+    if block_names.is_empty() {
+        return Err(ParseError {
+            line: body_start + 1,
+            msg: format!("function @{name} has no blocks"),
+        });
+    }
+
+    let mut func = Function {
+        name: name.into(),
+        params,
+        ret_ty,
+        blocks: block_names
+            .iter()
+            .map(|n| Block { name: n.clone(), insts: Vec::new() })
+            .collect(),
+        insts: Vec::new(),
+        entry: BlockId(0),
+        is_outlined,
+    };
+
+    // Second pass: parse instructions into the current block.
+    let mut cur_block: Option<BlockId> = None;
+    let mut next_block_idx = 0u32;
+    for (lineno, toks) in &lexed {
+        if let Some(Tok::Ident(first)) = toks.first() {
+            if first.starts_with("bb")
+                && first[2..].parse::<u32>().is_ok()
+                && matches!(toks.last(), Some(Tok::Punct(':')))
+            {
+                cur_block = Some(BlockId(next_block_idx));
+                next_block_idx += 1;
+                continue;
+            }
+        }
+        let bb = cur_block.ok_or_else(|| ParseError {
+            line: *lineno,
+            msg: "instruction before any block label".into(),
+        })?;
+        let inst = parse_inst_line(toks, *lineno, &regs_map, &blocks_map, syms)?;
+        func.append_inst(bb, inst);
+    }
+    Ok(func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::module_str;
+
+    const SAMPLE: &str = r#"
+module "demo"
+global @A : [8 x f64] = zero
+divar !0 = "i" in "f"
+
+func @f($0:n i64) -> i64 {
+bb0 entry:
+  br bb1
+bb1 header:
+  %1:i = phi i64 [bb0: i64 0] [bb2: %4]
+  dbg %1, !0
+  %3 = icmp slt %1, $0
+  condbr %3, bb2, bb3
+bb2 body:
+  %4 = add i64 %1, i64 1 line=3
+  br bb1
+bb3 exit:
+  ret %1
+}
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let m = parse_module(SAMPLE).unwrap();
+        assert_eq!(m.name, "demo");
+        assert_eq!(m.globals.len(), 1);
+        assert_eq!(m.di_vars.len(), 1);
+        assert_eq!(m.functions.len(), 1);
+        let f = &m.functions[0];
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.params[0].name, "n");
+        crate::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = parse_module(SAMPLE).unwrap();
+        let text = module_str(&m);
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(m, m2, "parse(print(m)) differs:\n{text}");
+    }
+
+    #[test]
+    fn parses_float_forms() {
+        let src = r#"
+module "f"
+func @g() -> f64 {
+bb0 entry:
+  %0 = fadd f64 f64 2.5, f64 -0.125
+  %1 = fadd f64 %0, f64 inf
+  %2 = fadd f64 %1, f64 -inf
+  %3 = fadd f64 %2, f64 0x7ff8000000000000
+  %4 = fadd f64 %3, f64 1e-30
+  ret %4
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let text = module_str(&m);
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn parses_calls_and_geps() {
+        let src = r#"
+module "c"
+global @A : [4 x 5 x f64] = splat 1.5
+func @main() -> void {
+bb0 entry:
+  %0 = gep [4 x 5 x f64], @A, i64 0, i64 1, i64 2
+  %1 = load f64, %0
+  %2 = call f64 ext "exp"(%1)
+  call void @helper(%2, @helper2)
+  ret void
+}
+func @helper($0:x f64, $1:fp ptr) -> void {
+bb0 entry:
+  ret void
+}
+func @helper2() -> void outlined {
+bb0 entry:
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        assert!(m.functions[2].is_outlined);
+        let text = module_str(&m);
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let src = "module \"x\"\nbogus line here\n";
+        let err = parse_module(src).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn undefined_register_rejected() {
+        let src = r#"
+module "x"
+func @f() -> void {
+bb0 entry:
+  %0 = add i64 %5, i64 1
+  ret void
+}
+"#;
+        let err = parse_module(src).unwrap_err();
+        assert!(err.msg.contains("undefined register"));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let src = r#"
+module "x"
+func @f() -> void {
+bb0 entry:
+  frobnicate i64 1
+}
+"#;
+        let err = parse_module(src).unwrap_err();
+        assert!(err.msg.contains("unknown opcode"), "{err}");
+    }
+
+    #[test]
+    fn select_and_cast_round_trip() {
+        let src = r#"
+module "s"
+func @f($0:x i64) -> f64 {
+bb0 entry:
+  %0 = icmp sgt $0, i64 0
+  %1 = select i64 %0, $0, i64 0
+  %2 = cast sitofp %1 to f64
+  ret %2
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let m2 = parse_module(&module_str(&m)).unwrap();
+        assert_eq!(m, m2);
+    }
+}

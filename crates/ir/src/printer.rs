@@ -1,0 +1,251 @@
+//! Textual printing of modules, functions, and instructions.
+//!
+//! The format is LLVM-flavored but simplified and fully round-trippable via
+//! [`crate::parser`]:
+//!
+//! ```text
+//! module "jacobi"
+//! global @A : [4000 x f64] = zero
+//! divar !0 = "i" in "kernel"
+//! func @kernel($0:A ptr, $1:n i64) -> void {
+//! bb0 entry:
+//!   %0:i = phi i64 [bb0: i64 0] [bb1: %1]
+//!   %1 = add i64 %0, i64 1
+//!   condbr %2, bb1, bb2
+//! ...
+//! ```
+//!
+//! Instruction results are written `%<id>` or `%<id>:<hint>`; arguments are
+//! `$<index>`; globals and functions are `@<name>`; constants are written
+//! with an explicit type (`i64 5`, `f64 2.5`); debug variables are
+//! `!<id>`.
+
+use crate::{Callee, Function, GlobalInit, InstKind, Module, Value};
+use std::fmt::Write;
+
+/// Render a value operand.
+pub fn value_str(v: Value) -> String {
+    match v {
+        Value::Inst(id) => format!("%{}", id.0),
+        Value::Arg(i) => format!("${i}"),
+        Value::ConstInt { ty, val } => format!("{ty} {val}"),
+        Value::ConstF64(bits) => {
+            let x = f64::from_bits(bits);
+            if x.is_nan() {
+                format!("f64 {bits:#x}")
+            } else if x == f64::INFINITY {
+                "f64 inf".to_string()
+            } else if x == f64::NEG_INFINITY {
+                "f64 -inf".to_string()
+            } else {
+                // `{:?}` guarantees round-trip for finite f64.
+                format!("f64 {x:?}")
+            }
+        }
+        Value::Global(g) => format!("@g{}", g.0),
+        Value::Function(f) => format!("@f{}", f.0),
+        Value::Undef(ty) => format!("undef {ty}"),
+    }
+}
+
+fn value_str_in(m: &Module, v: Value) -> String {
+    match v {
+        Value::Global(g) => format!("@{}", m.globals[g.index()].name),
+        Value::Function(f) => format!("@{}", m.functions[f.index()].name),
+        other => value_str(other),
+    }
+}
+
+/// Render one instruction (without trailing newline), resolving global and
+/// function names through `module`.
+pub fn inst_str(module: &Module, func: &Function, id: crate::InstId) -> String {
+    let inst = func.inst(id);
+    let v = |val: Value| value_str_in(module, val);
+    let mut s = String::new();
+    if inst.has_result() {
+        write!(s, "%{}", id.0).unwrap();
+        if let Some(name) = &inst.name {
+            write!(s, ":{name}").unwrap();
+        }
+        s.push_str(" = ");
+    }
+    match &inst.kind {
+        InstKind::Bin { op, lhs, rhs } => {
+            write!(s, "{} {} {}, {}", op.name(), inst.ty, v(*lhs), v(*rhs)).unwrap()
+        }
+        InstKind::ICmp { pred, lhs, rhs } => {
+            write!(s, "icmp {} {}, {}", pred.name(), v(*lhs), v(*rhs)).unwrap()
+        }
+        InstKind::FCmp { pred, lhs, rhs } => {
+            write!(s, "fcmp {} {}, {}", pred.name(), v(*lhs), v(*rhs)).unwrap()
+        }
+        InstKind::Alloca { mem } => write!(s, "alloca {mem}").unwrap(),
+        InstKind::Load { ptr } => write!(s, "load {}, {}", inst.ty, v(*ptr)).unwrap(),
+        InstKind::Store { val, ptr } => {
+            write!(s, "store {}, {}", v(*val), v(*ptr)).unwrap()
+        }
+        InstKind::Gep { elem, base, indices } => {
+            write!(s, "gep {elem}, {}", v(*base)).unwrap();
+            for i in indices {
+                write!(s, ", {}", v(*i)).unwrap();
+            }
+        }
+        InstKind::Call { callee, args } => {
+            write!(s, "call {} ", inst.ty).unwrap();
+            match callee {
+                Callee::Func(f) => {
+                    write!(s, "@{}", module.functions[f.index()].name).unwrap()
+                }
+                Callee::External(name) => write!(s, "ext \"{name}\"").unwrap(),
+            }
+            s.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&v(*a));
+            }
+            s.push(')');
+        }
+        InstKind::Phi { incomings } => {
+            write!(s, "phi {}", inst.ty).unwrap();
+            for (bb, val) in incomings {
+                write!(s, " [bb{}: {}]", bb.0, v(*val)).unwrap();
+            }
+        }
+        InstKind::Cast { op, val } => {
+            write!(s, "cast {} {} to {}", op.name(), v(*val), inst.ty).unwrap()
+        }
+        InstKind::Select { cond, then_val, else_val } => {
+            write!(s, "select {} {}, {}, {}", inst.ty, v(*cond), v(*then_val), v(*else_val))
+                .unwrap()
+        }
+        InstKind::Br { target } => write!(s, "br bb{}", target.0).unwrap(),
+        InstKind::CondBr { cond, then_bb, else_bb } => {
+            write!(s, "condbr {}, bb{}, bb{}", v(*cond), then_bb.0, else_bb.0).unwrap()
+        }
+        InstKind::Ret { val: Some(val) } => write!(s, "ret {}", v(*val)).unwrap(),
+        InstKind::Ret { val: None } => s.push_str("ret void"),
+        InstKind::Unreachable => s.push_str("unreachable"),
+        InstKind::DbgValue { val, var } => {
+            write!(s, "dbg {}, !{}", v(*val), var.0).unwrap()
+        }
+        InstKind::Nop => s.push_str("nop"),
+    }
+    if let Some(line) = inst.dbg_line {
+        write!(s, " line={line}").unwrap();
+    }
+    s
+}
+
+/// Render a function.
+pub fn function_str(module: &Module, func: &Function) -> String {
+    let mut s = String::new();
+    write!(s, "func @{}(", func.name).unwrap();
+    for (i, p) in func.params.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write!(s, "${i}:{} {}", p.name, p.ty).unwrap();
+    }
+    write!(s, ") -> {}", func.ret_ty).unwrap();
+    if func.is_outlined {
+        s.push_str(" outlined");
+    }
+    s.push_str(" {\n");
+    for bb in func.block_ids() {
+        let block = func.block(bb);
+        writeln!(s, "bb{} {}:", bb.0, block.name).unwrap();
+        for &i in &block.insts {
+            writeln!(s, "  {}", inst_str(module, func, i)).unwrap();
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Render a whole module.
+pub fn module_str(module: &Module) -> String {
+    let mut s = String::new();
+    writeln!(s, "module \"{}\"", module.name).unwrap();
+    for g in &module.globals {
+        write!(s, "global @{} : {}", g.name, g.mem).unwrap();
+        match g.init {
+            GlobalInit::Zero => s.push_str(" = zero\n"),
+            GlobalInit::SplatF64(x) => writeln!(s, " = splat {x:?}").unwrap(),
+        }
+    }
+    for (i, dv) in module.di_vars.iter().enumerate() {
+        writeln!(s, "divar !{} = \"{}\" in \"{}\"", i, dv.name, dv.scope).unwrap();
+    }
+    for f in &module.functions {
+        s.push('\n');
+        s.push_str(&function_str(module, f));
+    }
+    s
+}
+
+impl std::fmt::Display for Module {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&module_str(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::{BinOp, IPred, MemType, Type};
+
+    #[test]
+    fn prints_simple_function() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::I64);
+        let x = b.arg(0);
+        let s = b.bin(BinOp::Add, Type::I64, x, Value::i64(2), "sum");
+        let c = b.icmp(IPred::Sgt, s, Value::i64(0), "");
+        let sel = b.select(c, s, Value::i64(0), Type::I64, "");
+        b.ret(Some(sel));
+        m.push_function(b.finish());
+        let text = module_str(&m);
+        assert!(text.contains("func @f($0:x i64) -> i64 {"));
+        assert!(text.contains("%0:sum = add i64 $0, i64 2"));
+        assert!(text.contains("icmp sgt %0, i64 0"));
+        assert!(text.contains("ret %2"));
+    }
+
+    #[test]
+    fn prints_memory_and_calls() {
+        let mut m = Module::new("t");
+        m.push_global(crate::Global {
+            name: "A".into(),
+            mem: MemType::array1(Type::F64, 8),
+            init: GlobalInit::Zero,
+        });
+        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let g = Value::Global(crate::GlobalId(0));
+        let p = b.gep(MemType::array1(Type::F64, 8), g, vec![Value::i64(0), Value::i64(3)], "p");
+        let x = b.load(Type::F64, p, "x");
+        let e = b.call(Callee::External("exp".into()), vec![x], Type::F64, "e");
+        b.store(e, p);
+        b.ret(None);
+        m.push_function(b.finish());
+        let text = module_str(&m);
+        assert!(text.contains("global @A : [8 x f64] = zero"));
+        assert!(text.contains("gep [8 x f64], @A, i64 0, i64 3"));
+        assert!(text.contains("call f64 ext \"exp\"(%1)"));
+    }
+
+    #[test]
+    fn float_constants_render() {
+        assert_eq!(value_str(Value::f64(2.5)), "f64 2.5");
+        assert_eq!(value_str(Value::f64(f64::INFINITY)), "f64 inf");
+        assert_eq!(value_str(Value::f64(f64::NEG_INFINITY)), "f64 -inf");
+        assert!(value_str(Value::f64(f64::NAN)).starts_with("f64 0x"));
+    }
+
+    #[test]
+    fn undef_renders() {
+        assert_eq!(value_str(Value::Undef(Type::I64)), "undef i64");
+    }
+}

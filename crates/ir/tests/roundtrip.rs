@@ -1,0 +1,85 @@
+//! Property test: printing and re-parsing random modules is the identity
+//! (up to dense id renumbering, which the builder already guarantees).
+
+use proptest::prelude::*;
+use splendid_ir::builder::FuncBuilder;
+use splendid_ir::{parser::parse_module, printer::module_str, BinOp, IPred, MemType, Module, Type, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Int(BinOp, i64),
+    Float(f64),
+    Cmp(IPred, i64),
+    Mem,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::And),
+                Just(BinOp::Xor)
+            ],
+            any::<i32>()
+        )
+            .prop_map(|(o, c)| Op::Int(o, c as i64)),
+        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Op::Float),
+        (prop_oneof![Just(IPred::Slt), Just(IPred::Eq), Just(IPred::Sge)], any::<i16>())
+            .prop_map(|(p, c)| Op::Cmp(p, c as i64)),
+        Just(Op::Mem),
+    ]
+}
+
+fn build(ops: &[Op]) -> Module {
+    let mut m = Module::new("prop");
+    let var = m.intern_di_var("x", "f");
+    let mut b = FuncBuilder::new("f", &[("a", Type::I64)], Type::I64);
+    let slot = b.alloca(MemType::array1(Type::F64, 8), "buf");
+    let mut acc = b.arg(0);
+    let mut facc = Value::f64(1.0);
+    for op in ops {
+        match op {
+            Op::Int(o, c) => acc = b.bin(*o, Type::I64, acc, Value::i64(*c), ""),
+            Op::Float(x) => {
+                facc = b.bin(BinOp::FAdd, Type::F64, facc, Value::f64(*x), "")
+            }
+            Op::Cmp(p, c) => {
+                let cond = b.icmp(*p, acc, Value::i64(*c), "");
+                acc = b.select(cond, acc, Value::i64(0), Type::I64, "");
+                b.dbg_value(acc, var);
+            }
+            Op::Mem => {
+                let p = b.gep(
+                    MemType::array1(Type::F64, 8),
+                    slot,
+                    vec![Value::i64(0), Value::i64(3)],
+                    "",
+                );
+                b.store(facc, p);
+                facc = b.load(Type::F64, p, "");
+            }
+        }
+    }
+    b.ret(Some(acc));
+    m.push_function(b.finish());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_roundtrip(ops in prop::collection::vec(op_strategy(), 0..24)) {
+        let m = build(&ops);
+        splendid_ir::verify::verify_module(&m).unwrap();
+        let text = module_str(&m);
+        let m2 = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(&m, &m2, "round-trip mismatch:\n{}", text);
+        // And the round-trip is a fixpoint.
+        let text2 = module_str(&m2);
+        prop_assert_eq!(text, text2);
+    }
+}

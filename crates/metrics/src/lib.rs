@@ -1,0 +1,7 @@
+//! Naturalness metrics (paper §5.1.4 and Appendix A).
+
+pub mod bleu;
+pub mod loc;
+
+pub use bleu::{bleu4, bleu4_tokens, ngram_precision};
+pub use loc::{loc, parallel_representation_loc};

@@ -1,0 +1,110 @@
+//! Lines-of-code metrics for Table 4.
+
+/// Non-blank lines of code.
+pub fn loc(src: &str) -> usize {
+    src.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+/// Lines attributable to the *parallel representation*: OpenMP pragmas and
+/// the braces of parallel regions on the natural side, and every line
+/// mentioning a parallel-runtime symbol (plus the bodies of outlined
+/// region functions) on the unnatural side.
+pub fn parallel_representation_loc(src: &str) -> usize {
+    let runtime_markers = ["__kmpc", "GOMP_", "omp_"];
+    let mut count = 0;
+    let mut inside_region_fn = false;
+    let mut brace_depth = 0i32;
+    let mut pending_parallel_brace = false;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        // Outlined region functions are wholly parallel representation.
+        if !inside_region_fn
+            && (t.contains("_polly_par") || t.contains("_omp_par"))
+            && t.contains('(')
+            && t.ends_with('{')
+        {
+            inside_region_fn = true;
+            brace_depth = 0;
+        }
+        if inside_region_fn {
+            count += 1;
+            brace_depth += t.matches('{').count() as i32;
+            brace_depth -= t.matches('}').count() as i32;
+            if brace_depth <= 0 {
+                inside_region_fn = false;
+            }
+            continue;
+        }
+        if t.starts_with("#pragma omp") {
+            count += 1;
+            if t.contains("omp parallel") && !t.contains("for") {
+                pending_parallel_brace = true;
+            }
+            continue;
+        }
+        if pending_parallel_brace && t == "{" {
+            count += 1; // the region's opening brace
+            pending_parallel_brace = false;
+            continue;
+        }
+        if runtime_markers.iter().any(|m| t.contains(m)) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_skips_blanks() {
+        assert_eq!(loc("a\n\n  \nb\n"), 2);
+        assert_eq!(loc(""), 0);
+    }
+
+    #[test]
+    fn pragmas_counted() {
+        let src = r#"
+void k() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 9; i = i + 1) {
+      A[i] = 0.0;
+    }
+  }
+}
+"#;
+        // parallel pragma + its brace + for pragma = 3 (closing braces not
+        // attributed, matching the paper's "including brackets" loosely).
+        assert_eq!(parallel_representation_loc(src), 3);
+    }
+
+    #[test]
+    fn runtime_calls_counted() {
+        let src = r#"
+void k() {
+  __kmpc_fork_call(kernel_polly_par1, 0, 255, alpha);
+}
+void kernel_polly_par1(long tid, long lb, long ub, double alpha) {
+  __kmpc_for_static_init_8(tid, lb_addr, ub_addr, 1, 0, lb, ub);
+  do {
+  } while (x);
+  __kmpc_for_static_fini(tid);
+}
+"#;
+        // One fork line in `k` + the entire 6-line region function.
+        assert_eq!(parallel_representation_loc(src), 7);
+    }
+
+    #[test]
+    fn sequential_code_scores_zero() {
+        let src = "void f() {\n  for (int i = 0; i < 4; i++) {\n    A[i] = 0.0;\n  }\n}\n";
+        assert_eq!(parallel_representation_loc(src), 0);
+    }
+}

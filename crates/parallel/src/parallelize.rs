@@ -1,0 +1,984 @@
+//! DOALL detection and loop outlining to parallel runtime calls.
+
+use crate::runtime::*;
+use splendid_analysis::depend::{classify_doall, DoallResult};
+use splendid_analysis::domtree::DomTree;
+use splendid_analysis::indvar::{recognize_counted_loop, CountedLoop};
+use splendid_analysis::loops::{LoopId, LoopInfo};
+use splendid_analysis::MemRoot;
+use splendid_ir::{
+    BinOp, Block, BlockId, Callee, FuncId, Function, IPred, Inst, InstId, InstKind,
+    Module, Param, Type, Value,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Options for [`parallelize_module`].
+#[derive(Debug, Clone)]
+pub struct ParallelizeOptions {
+    /// Version may-alias loops behind runtime overlap checks (Figure 2).
+    pub version_aliasing: bool,
+    /// Minimum estimated dynamic work (instructions × trips) for a loop to
+    /// be worth a fork; 0 disables the check. Polly applies comparable
+    /// profitability heuristics before emitting parallel code.
+    pub min_work: u64,
+    /// Restrict parallelization to functions with these names (empty =
+    /// all). The PolyBench harness points this at kernel functions so
+    /// initialization loops stay sequential, as in the paper's timing
+    /// methodology.
+    pub only_functions: Vec<String>,
+}
+
+impl Default for ParallelizeOptions {
+    fn default() -> ParallelizeOptions {
+        ParallelizeOptions {
+            version_aliasing: true,
+            min_work: 0,
+            only_functions: Vec::new(),
+        }
+    }
+}
+
+/// What happened to one candidate loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopOutcome {
+    /// Outlined into the named parallel region; `versioned` when a runtime
+    /// aliasing check guards it.
+    Parallelized {
+        /// Name of the outlined region function.
+        region: String,
+        /// Whether a sequential fallback guards the region.
+        versioned: bool,
+        /// Loop nest depth (1 = outermost).
+        depth: u32,
+    },
+    /// Left sequential.
+    Rejected {
+        /// Diagnostic.
+        reason: String,
+        /// Loop nest depth.
+        depth: u32,
+    },
+}
+
+/// Per-function parallelization report.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelizeReport {
+    /// `(function name, outcomes per candidate loop)`.
+    pub functions: Vec<(String, Vec<LoopOutcome>)>,
+}
+
+impl ParallelizeReport {
+    /// Total number of loops parallelized.
+    pub fn parallelized_count(&self) -> usize {
+        self.functions
+            .iter()
+            .flat_map(|(_, o)| o)
+            .filter(|o| matches!(o, LoopOutcome::Parallelized { .. }))
+            .count()
+    }
+}
+
+/// Parallelize every non-outlined function in the module.
+pub fn parallelize_module(module: &mut Module, opts: &ParallelizeOptions) -> ParallelizeReport {
+    let mut report = ParallelizeReport::default();
+    for fid in module.func_ids().collect::<Vec<_>>() {
+        if module.func(fid).is_outlined {
+            continue;
+        }
+        if !opts.only_functions.is_empty()
+            && !opts.only_functions.contains(&module.func(fid).name)
+        {
+            continue;
+        }
+        let outcomes = parallelize_function(module, fid, opts);
+        if !outcomes.is_empty() {
+            report
+                .functions
+                .push((module.func(fid).name.clone(), outcomes));
+        }
+    }
+    report
+}
+
+fn parallelize_function(
+    module: &mut Module,
+    fid: FuncId,
+    opts: &ParallelizeOptions,
+) -> Vec<LoopOutcome> {
+    let mut outcomes = Vec::new();
+    // Loops are identified across transformations by the InstId of their
+    // IV increment, which is stable (arena ids are never reused).
+    let mut visited: HashSet<InstId> = HashSet::new();
+    // Instructions belonging to sequential fallback clones: loops made of
+    // these must never be (re-)parallelized.
+    let mut frozen: HashSet<InstId> = HashSet::new();
+    let mut region_counter = 0usize;
+    loop {
+        let f = module.func(fid);
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        // Candidate order: outermost first; children only when the parent
+        // was rejected.
+        let candidate = find_candidate(f, &li, &visited, &frozen);
+        let Some((lid, cl, depth)) = candidate else {
+            break;
+        };
+        visited.insert(cl.next);
+        match try_parallelize(module, fid, lid, &cl, opts, &mut region_counter, &mut frozen) {
+            Ok((region, versioned)) => {
+                outcomes.push(LoopOutcome::Parallelized { region, versioned, depth })
+            }
+            Err(reason) => outcomes.push(LoopOutcome::Rejected { reason, depth }),
+        }
+    }
+    outcomes
+}
+
+/// Pick the next unvisited loop, outermost-first; descend into children of
+/// visited (i.e. previously rejected) loops.
+fn find_candidate(
+    f: &Function,
+    li: &LoopInfo,
+    visited: &HashSet<InstId>,
+    frozen: &HashSet<InstId>,
+) -> Option<(LoopId, CountedLoop, u32)> {
+    let mut queue: Vec<LoopId> = li.top_level();
+    while let Some(lid) = queue.pop() {
+        let l = li.get(lid);
+        match recognize_counted_loop(f, li, lid) {
+            Some(cl) => {
+                // Sequential fallback clones are never candidates (and
+                // neither are their inner loops).
+                if frozen.contains(&cl.next) {
+                    continue;
+                }
+                if !visited.contains(&cl.next) {
+                    return Some((lid, cl, l.depth));
+                }
+                // Visited (rejected): descend.
+                queue.extend(l.children.iter().copied());
+            }
+            None => {
+                // Not counted: descend into children.
+                queue.extend(l.children.iter().copied());
+            }
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_parallelize(
+    module: &mut Module,
+    fid: FuncId,
+    lid: LoopId,
+    cl: &CountedLoop,
+    opts: &ParallelizeOptions,
+    region_counter: &mut usize,
+    frozen: &mut HashSet<InstId>,
+) -> Result<(String, bool), String> {
+    {
+        let f = module.func(fid);
+        if f.inst(cl.iv).ty != Type::I64 {
+            return Err("induction variable is not 64-bit".into());
+        }
+        if cl.step <= 0 {
+            return Err("only up-counting loops are parallelized".into());
+        }
+        let cont_pred = if cl.continue_on_true { cl.pred } else { cl.pred.negated() };
+        if !matches!(cont_pred, IPred::Slt | IPred::Sle) {
+            return Err(format!("unsupported continue predicate {cont_pred:?}"));
+        }
+    }
+
+    // Profitability: skip loops whose whole nest does too little work to
+    // amortize a fork.
+    if opts.min_work > 0 {
+        let f = module.func(fid);
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        let work = estimate_work(f, &li, lid);
+        if work < opts.min_work {
+            return Err(format!(
+                "not profitable (estimated work {work} < {})",
+                opts.min_work
+            ));
+        }
+    }
+
+    // Dependence test.
+    let checks = {
+        let f = module.func(fid);
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        let l = li.get(lid).clone();
+        let owners = f.inst_blocks();
+        // Symbols: IV phis of loops nested in `lid` + anything defined
+        // outside `lid`.
+        let mut nested_ivs: HashSet<Value> = HashSet::new();
+        for inner in li.ids() {
+            if li.loop_contains(lid, inner) {
+                for &i in &f.block(li.get(inner).header).insts {
+                    if matches!(f.inst(i).kind, InstKind::Phi { .. }) {
+                        nested_ivs.insert(Value::Inst(i));
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        let loop_blocks: HashSet<BlockId> = l.blocks.iter().copied().collect();
+        let is_symbol = move |v: Value| {
+            if nested_ivs.contains(&v) {
+                return true;
+            }
+            match v {
+                Value::Inst(i) => match owners[i.index()] {
+                    Some(b) => !loop_blocks.contains(&b),
+                    None => false,
+                },
+                _ => true,
+            }
+        };
+        match classify_doall(f, &li, lid, cl, &is_symbol) {
+            DoallResult::Doall => Vec::new(),
+            DoallResult::DoallWithChecks(pairs) => {
+                if !opts.version_aliasing {
+                    return Err("may-alias and versioning disabled".into());
+                }
+                pairs
+            }
+            DoallResult::NotDoall(reason) => return Err(reason),
+        }
+    };
+
+    let versioned = !checks.is_empty();
+    if versioned {
+        let cloned = version_loop(module, fid, lid, cl, &checks)?;
+        frozen.extend(cloned);
+    }
+
+    // Re-resolve the loop after potential versioning (block ids moved).
+    let (lid, cl) = {
+        let f = module.func(fid);
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        let mut found = None;
+        for cand in li.ids() {
+            if let Some(c) = recognize_counted_loop(f, &li, cand) {
+                if c.next == cl.next {
+                    found = Some((cand, c));
+                    break;
+                }
+            }
+        }
+        found.ok_or("loop lost during versioning")?
+    };
+
+    *region_counter += 1;
+    let region_name = format!("{}_polly_par{}", module.func(fid).name, *region_counter);
+    outline_loop(module, fid, lid, &cl, &region_name)?;
+    Ok((region_name, versioned))
+}
+
+/// Rough dynamic-work estimate for a loop nest: instruction count of the
+/// loop body scaled by the (constant or assumed) trip counts of the loop
+/// and every nested loop.
+fn estimate_work(f: &Function, li: &LoopInfo, lid: LoopId) -> u64 {
+    const UNKNOWN_TRIP: i64 = 64;
+    let l = li.get(lid);
+    // Per-block weight = its trip product over the enclosing loops inside
+    // `lid`.
+    let mut total = 0u64;
+    for &bb in &l.blocks {
+        let mut trips = 1i64;
+        let mut cur = li.loop_of(bb);
+        while let Some(c) = cur {
+            let trip = recognize_counted_loop(f, li, c)
+                .and_then(|cl| cl.const_trip_count())
+                .unwrap_or(UNKNOWN_TRIP)
+                .max(1);
+            trips = trips.saturating_mul(trip);
+            if c == lid {
+                break;
+            }
+            cur = li.get(c).parent;
+        }
+        total = total.saturating_add(
+            (f.block(bb).insts.len() as i64).saturating_mul(trips) as u64,
+        );
+    }
+    total
+}
+
+/// Compute `(lb, ub_incl)` values (inserting instructions into `block`
+/// before its terminator) describing the sequential iteration space.
+fn iteration_space(
+    f: &mut Function,
+    block: BlockId,
+    cl: &CountedLoop,
+) -> (Value, Value) {
+    let cont_pred = if cl.continue_on_true { cl.pred } else { cl.pred.negated() };
+    let lb = cl.init;
+    let ub = match cont_pred {
+        IPred::Sle => cl.bound,
+        // Constant bounds fold immediately so the decompiled loop reads
+        // `i <= 47` rather than `i <= 48 - 1`.
+        IPred::Slt if cl.bound.as_int().is_some() => {
+            Value::i64(cl.bound.as_int().unwrap() - 1)
+        }
+        IPred::Slt => {
+            let sub = f.add_inst(Inst::named(
+                InstKind::Bin { op: BinOp::Sub, lhs: cl.bound, rhs: Value::i64(1) },
+                Type::I64,
+                "ub.incl",
+            ));
+            let pos = f.block(block).insts.len() - 1;
+            f.block_mut(block).insts.insert(pos, sub);
+            Value::Inst(sub)
+        }
+        _ => unreachable!("checked in try_parallelize"),
+    };
+    (lb, ub)
+}
+
+/// Outline the loop into a parallel region and replace it with a fork call.
+fn outline_loop(
+    module: &mut Module,
+    fid: FuncId,
+    lid: LoopId,
+    cl: &CountedLoop,
+    region_name: &str,
+) -> Result<(), String> {
+    let (l, preheader, exit) = {
+        let f = module.func(fid);
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        let l = li.get(lid).clone();
+        let preheader = l.preheader(f).ok_or("loop has no preheader")?;
+        let exit = l.single_exit().ok_or("loop has multiple exits")?;
+        (l, preheader, exit)
+    };
+    let loop_blocks: HashSet<BlockId> = l.blocks.iter().copied().collect();
+
+    // Captured values: operands of loop instructions defined outside the
+    // loop (instructions and caller arguments). Constants and globals pass
+    // through unchanged.
+    let (captures, clone_src) = {
+        let f = module.func(fid);
+        let owners = f.inst_blocks();
+        let mut captures: Vec<Value> = Vec::new();
+        let mut add_capture = |v: Value| {
+            let needs = match v {
+                Value::Inst(d) => owners[d.index()]
+                    .map(|b| !loop_blocks.contains(&b))
+                    .unwrap_or(false),
+                Value::Arg(_) => true,
+                _ => false,
+            };
+            if needs && !captures.contains(&v) {
+                captures.push(v);
+            }
+        };
+        for &bb in &l.blocks {
+            for &i in &f.block(bb).insts {
+                f.inst(i).kind.for_each_operand(|v| add_capture(v));
+            }
+        }
+        (captures, f.clone())
+    };
+
+    // Build the region function.
+    let mut params = vec![
+        Param { name: "tid".into(), ty: Type::I64 },
+        Param { name: "lb".into(), ty: Type::I64 },
+        Param { name: "ub".into(), ty: Type::I64 },
+    ];
+    for (k, v) in captures.iter().enumerate() {
+        let (name, ty) = match v {
+            Value::Inst(d) => (
+                clone_src
+                    .inst(*d)
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("cap{k}")),
+                clone_src.inst(*d).ty,
+            ),
+            Value::Arg(a) => (
+                clone_src.params[*a as usize].name.clone(),
+                clone_src.params[*a as usize].ty,
+            ),
+            _ => unreachable!("only insts and args are captured"),
+        };
+        params.push(Param { name, ty });
+    }
+    let mut region = Function::new(region_name, params, Type::Void);
+    region.is_outlined = true;
+    region.blocks.clear();
+
+    // Entry: thread-local bound slots + static init + guard.
+    let entry = {
+        let id = BlockId(region.blocks.len() as u32);
+        region.blocks.push(Block { name: "entry".into(), insts: Vec::new() });
+        id
+    };
+    region.entry = entry;
+    let finish = {
+        let id = BlockId(region.blocks.len() as u32);
+        region.blocks.push(Block { name: "runtime.finish".into(), insts: Vec::new() });
+        id
+    };
+
+    let tid = Value::Arg(0);
+    let lb_param = Value::Arg(1);
+    let ub_param = Value::Arg(2);
+    let plb = region.append_inst(
+        entry,
+        Inst::named(InstKind::Alloca { mem: splendid_ir::MemType::Scalar(Type::I64) }, Type::Ptr, "lb.addr"),
+    );
+    let pub_ = region.append_inst(
+        entry,
+        Inst::named(InstKind::Alloca { mem: splendid_ir::MemType::Scalar(Type::I64) }, Type::Ptr, "ub.addr"),
+    );
+    region.append_inst(
+        entry,
+        Inst::new(InstKind::Store { val: lb_param, ptr: Value::Inst(plb) }, Type::Void),
+    );
+    region.append_inst(
+        entry,
+        Inst::new(InstKind::Store { val: ub_param, ptr: Value::Inst(pub_) }, Type::Void),
+    );
+    region.append_inst(
+        entry,
+        Inst::new(
+            InstKind::Call {
+                callee: Callee::External(KMPC_FOR_STATIC_INIT.into()),
+                args: vec![
+                    tid,
+                    Value::Inst(plb),
+                    Value::Inst(pub_),
+                    Value::i64(cl.step),
+                    Value::i64(0),
+                    lb_param,
+                    ub_param,
+                ],
+            },
+            Type::Void,
+        ),
+    );
+    let lbt = region.append_inst(
+        entry,
+        Inst::named(InstKind::Load { ptr: Value::Inst(plb) }, Type::I64, "lb"),
+    );
+    let ubt = region.append_inst(
+        entry,
+        Inst::named(InstKind::Load { ptr: Value::Inst(pub_) }, Type::I64, "ub"),
+    );
+    let guard = region.append_inst(
+        entry,
+        Inst::named(
+            InstKind::ICmp { pred: IPred::Sgt, lhs: Value::Inst(lbt), rhs: Value::Inst(ubt) },
+            Type::I1,
+            "guard",
+        ),
+    );
+
+    // Clone the loop blocks into the region.
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    for &bb in &l.blocks {
+        let id = BlockId(region.blocks.len() as u32);
+        region
+            .blocks
+            .push(Block { name: clone_src.block(bb).name.clone(), insts: Vec::new() });
+        block_map.insert(bb, id);
+    }
+    // Pre-reserve instruction ids.
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    for &bb in &l.blocks {
+        for &i in &clone_src.block(bb).insts {
+            let slot = region.add_inst(Inst::new(InstKind::Nop, Type::Void));
+            inst_map.insert(i, slot);
+        }
+    }
+    let capture_param = |v: Value| -> Option<Value> {
+        captures
+            .iter()
+            .position(|c| *c == v)
+            .map(|k| Value::Arg(3 + k as u32))
+    };
+    for &bb in &l.blocks {
+        let nb = block_map[&bb];
+        for &i in &clone_src.block(bb).insts {
+            let mut inst = clone_src.inst(i).clone();
+            inst.kind.for_each_operand_mut(|v| {
+                if let Some(m) = inst_map.get(&match v {
+                    Value::Inst(d) => *d,
+                    _ => InstId(u32::MAX),
+                }) {
+                    *v = Value::Inst(*m);
+                } else if let Some(p) = capture_param(*v) {
+                    *v = p;
+                }
+            });
+            match &mut inst.kind {
+                InstKind::Br { target } => {
+                    *target = *block_map.get(target).unwrap_or(&finish);
+                }
+                InstKind::CondBr { then_bb, else_bb, .. } => {
+                    *then_bb = *block_map.get(then_bb).unwrap_or(&finish);
+                    *else_bb = *block_map.get(else_bb).unwrap_or(&finish);
+                }
+                InstKind::Phi { incomings } => {
+                    for (b, v) in incomings.iter_mut() {
+                        match block_map.get(b) {
+                            Some(nb) => *b = *nb,
+                            None => {
+                                // Incoming from outside the loop: this is
+                                // the IV's init edge, redirected to the
+                                // region entry with the thread-local lower
+                                // bound.
+                                *b = entry;
+                                *v = Value::Inst(lbt);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            let ni = inst_map[&i];
+            *region.inst_mut(ni) = inst;
+            region.block_mut(nb).insts.push(ni);
+        }
+    }
+
+    // Rebuild the exit test on the thread-local upper bound.
+    let cmp_clone = inst_map[&cl.cmp];
+    let testee = if cl.cmp_uses_next { cl.next } else { cl.iv };
+    let testee_clone = Value::Inst(inst_map[&testee]);
+    region.inst_mut(cmp_clone).kind = InstKind::ICmp {
+        pred: IPred::Sle,
+        lhs: testee_clone,
+        rhs: Value::Inst(ubt),
+    };
+    // Its branch continues into the loop when true.
+    let test_block_clone = block_map[&cl.test_block];
+    let term = region.terminator(test_block_clone).ok_or("missing test terminator")?;
+    let continue_target = {
+        let InstKind::CondBr { then_bb, else_bb, .. } = region.inst(term).kind else {
+            return Err("test block does not end in a conditional branch".into());
+        };
+        if then_bb == finish {
+            else_bb
+        } else {
+            then_bb
+        }
+    };
+    region.inst_mut(term).kind = InstKind::CondBr {
+        cond: Value::Inst(cmp_clone),
+        then_bb: continue_target,
+        else_bb: finish,
+    };
+
+    // Wire the entry guard.
+    let loop_entry_clone = block_map[&l.header];
+    region.append_inst(
+        entry,
+        Inst::new(
+            InstKind::CondBr {
+                cond: Value::Inst(guard),
+                then_bb: finish,
+                else_bb: loop_entry_clone,
+            },
+            Type::Void,
+        ),
+    );
+
+    // Finish block: fini + ret. (No barrier: the region join synchronizes,
+    // which is why SPLENDID's pragma generator can choose `nowait`.)
+    region.append_inst(
+        finish,
+        Inst::new(
+            InstKind::Call { callee: Callee::External(KMPC_FOR_STATIC_FINI.into()), args: vec![tid] },
+            Type::Void,
+        ),
+    );
+    region.append_inst(finish, Inst::new(InstKind::Ret { val: None }, Type::Void));
+
+    let region_id = module.push_function(region);
+
+    // Caller side: compute the iteration space, emit the fork, bypass the
+    // loop.
+    let f = module.func_mut(fid);
+    let (lb_v, ub_v) = iteration_space(f, preheader, cl);
+    let mut args = vec![Value::Function(region_id), lb_v, ub_v];
+    args.extend(captures.iter().copied());
+    let fork = f.add_inst(Inst::new(
+        InstKind::Call { callee: Callee::External(KMPC_FORK_CALL.into()), args },
+        Type::Void,
+    ));
+    let pos = f.block(preheader).insts.len() - 1;
+    f.block_mut(preheader).insts.insert(pos, fork);
+    let pre_term = f.terminator(preheader).expect("preheader terminator");
+    f.inst_mut(pre_term).kind = InstKind::Br { target: exit };
+    splendid_transforms::dce::eliminate_dead_code(f);
+    splendid_transforms::simplify_cfg::simplify_cfg(f);
+    Ok(())
+}
+
+/// Version a may-alias loop: insert runtime overlap checks selecting
+/// between the (to-be-parallelized) original loop and a sequential clone.
+/// Returns the instruction ids of the sequential fallback clone (so the
+/// caller can freeze them against re-parallelization).
+fn version_loop(
+    module: &mut Module,
+    fid: FuncId,
+    lid: LoopId,
+    cl: &CountedLoop,
+    checks: &[(MemRoot, MemRoot)],
+) -> Result<Vec<InstId>, String> {
+    let f = module.func_mut(fid);
+    let (l, preheader) = {
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        let l = li.get(lid).clone();
+        let preheader = l.preheader(f).ok_or("loop has no preheader")?;
+        (l, preheader)
+    };
+
+    // Clone the loop as the sequential fallback.
+    let map = splendid_transforms::clone::clone_blocks(f, &l.blocks, ".seq");
+
+    // New blocks for routing.
+    let par_path = f.add_block("par.path");
+    let seq_path = f.add_block("seq.path");
+
+    // The preheader's terminator moves to par_path; seq_path gets a copy
+    // targeting the clone.
+    let pre_term = f.terminator(preheader).ok_or("preheader terminator")?;
+    let term_kind = f.inst(pre_term).kind.clone();
+    let retarget = |kind: &InstKind, to_clone: bool| -> InstKind {
+        let mut k = kind.clone();
+        match &mut k {
+            InstKind::Br { target } => {
+                if to_clone {
+                    *target = map.block(*target);
+                }
+            }
+            InstKind::CondBr { then_bb, else_bb, .. } => {
+                if to_clone {
+                    *then_bb = map.block(*then_bb);
+                    *else_bb = map.block(*else_bb);
+                }
+            }
+            _ => {}
+        }
+        k
+    };
+    let par_term = f.add_inst(Inst::new(retarget(&term_kind, false), Type::Void));
+    f.block_mut(par_path).insts.push(par_term);
+    let seq_term = f.add_inst(Inst::new(retarget(&term_kind, true), Type::Void));
+    f.block_mut(seq_path).insts.push(seq_term);
+
+    // Compute the overlap checks in the preheader.
+    let (_, ub_v) = iteration_space(f, preheader, cl);
+    let one_past = f.add_inst(Inst::named(
+        InstKind::Bin { op: BinOp::Add, lhs: ub_v, rhs: Value::i64(1) },
+        Type::I64,
+        "extent",
+    ));
+    let pos = f.block(preheader).insts.len() - 1;
+    f.block_mut(preheader).insts.insert(pos, one_past);
+    let root_ptr = |r: MemRoot| -> Value {
+        match r {
+            MemRoot::Arg(a) => Value::Arg(a),
+            MemRoot::Global(g) => Value::Global(g),
+            MemRoot::Alloca(i) => Value::Inst(i),
+            MemRoot::Unknown => unreachable!("unknown roots rejected earlier"),
+        }
+    };
+    let mut all_ok: Option<Value> = None;
+    for (a, b) in checks {
+        let (pa, pb) = (root_ptr(*a), root_ptr(*b));
+        let mut emit = |inst: Inst| -> Value {
+            let id = f.add_inst(inst);
+            let pos = f.block(preheader).insts.len() - 1;
+            f.block_mut(preheader).insts.insert(pos, id);
+            Value::Inst(id)
+        };
+        let end_a = emit(Inst::named(
+            InstKind::Gep {
+                elem: splendid_ir::MemType::Scalar(Type::F64),
+                base: pa,
+                indices: vec![Value::Inst(one_past)],
+            },
+            Type::Ptr,
+            "end.a",
+        ));
+        let end_b = emit(Inst::named(
+            InstKind::Gep {
+                elem: splendid_ir::MemType::Scalar(Type::F64),
+                base: pb,
+                indices: vec![Value::Inst(one_past)],
+            },
+            Type::Ptr,
+            "end.b",
+        ));
+        let a_before_b = emit(Inst::new(
+            InstKind::ICmp { pred: IPred::Sle, lhs: end_a, rhs: pb },
+            Type::I1,
+        ));
+        let b_before_a = emit(Inst::new(
+            InstKind::ICmp { pred: IPred::Sle, lhs: end_b, rhs: pa },
+            Type::I1,
+        ));
+        let disjoint = emit(Inst::named(
+            InstKind::Bin { op: BinOp::Or, lhs: a_before_b, rhs: b_before_a },
+            Type::I1,
+            "noalias",
+        ));
+        all_ok = Some(match all_ok {
+            None => disjoint,
+            Some(prev) => emit(Inst::new(
+                InstKind::Bin { op: BinOp::And, lhs: prev, rhs: disjoint },
+                Type::I1,
+            )),
+        });
+    }
+    let cond = all_ok.ok_or("no checks to emit")?;
+
+    // Route through the version switch.
+    f.inst_mut(pre_term).kind = InstKind::CondBr {
+        cond,
+        then_bb: par_path,
+        else_bb: seq_path,
+    };
+
+    // Fix phi incomings: original loop header's outside-incoming now flows
+    // from par_path; the clone's from seq_path.
+    for (orig, routed) in [(l.header, par_path), (map.block(l.header), seq_path)] {
+        for &i in &f.block(orig).insts.clone() {
+            if let InstKind::Phi { incomings } = &mut f.inst_mut(i).kind {
+                for (b, _) in incomings {
+                    if *b == preheader {
+                        *b = routed;
+                    }
+                }
+            }
+        }
+    }
+    Ok(map.insts.values().copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_cfront::{lower_program, parse_program, LowerOptions};
+    use splendid_transforms::{optimize_module, O2Options};
+
+    fn prepare(src: &str) -> Module {
+        let prog = parse_program(src).unwrap();
+        let mut m = lower_program(&prog, "t", &LowerOptions::default()).unwrap();
+        optimize_module(&mut m, &O2Options::default());
+        m
+    }
+
+    const VECSCALE: &str = r#"
+#define N 1000
+double A[1000];
+void k(double alpha) {
+  int i;
+  for (i = 0; i < N; i++) {
+    A[i] = A[i] * alpha;
+  }
+}
+"#;
+
+    #[test]
+    fn parallelizes_doall_loop() {
+        let mut m = prepare(VECSCALE);
+        let report = parallelize_module(&mut m, &ParallelizeOptions::default());
+        assert_eq!(report.parallelized_count(), 1, "{report:?}");
+        splendid_ir::verify::verify_module(&m).unwrap();
+        // A fork call exists in the kernel; an outlined region exists.
+        let region = m.functions.iter().find(|f| f.is_outlined).expect("region");
+        assert!(region.name.contains("polly_par"));
+        let k = m.func(m.func_by_name("k").unwrap());
+        let has_fork = k.insts.iter().any(|i| {
+            matches!(&i.kind, InstKind::Call { callee: Callee::External(n), .. } if n == KMPC_FORK_CALL)
+        });
+        assert!(has_fork);
+        // No loop remains in the kernel.
+        let dt = DomTree::compute(k);
+        let li = LoopInfo::compute(k, &dt);
+        assert!(li.loops.is_empty());
+    }
+
+    #[test]
+    fn region_has_figure1_shape() {
+        let mut m = prepare(VECSCALE);
+        parallelize_module(&mut m, &ParallelizeOptions::default());
+        let region = m.functions.iter().find(|f| f.is_outlined).unwrap();
+        // static init, loads of lb/ub, guard icmp sgt, fini.
+        let mut saw_init = false;
+        let mut saw_fini = false;
+        let mut saw_guard = false;
+        for i in &region.insts {
+            match &i.kind {
+                InstKind::Call { callee: Callee::External(n), args } if n == KMPC_FOR_STATIC_INIT => {
+                    saw_init = true;
+                    assert_eq!(args.len(), 7);
+                }
+                InstKind::Call { callee: Callee::External(n), .. } if n == KMPC_FOR_STATIC_FINI => {
+                    saw_fini = true;
+                }
+                InstKind::ICmp { pred: IPred::Sgt, .. } => saw_guard = true,
+                _ => {}
+            }
+        }
+        assert!(saw_init && saw_fini && saw_guard);
+        splendid_ir::verify::verify_function(region).unwrap();
+    }
+
+    #[test]
+    fn captures_scalars() {
+        let mut m = prepare(VECSCALE);
+        parallelize_module(&mut m, &ParallelizeOptions::default());
+        let region = m.functions.iter().find(|f| f.is_outlined).unwrap();
+        // tid, lb, ub + alpha.
+        assert_eq!(region.params.len(), 4);
+        assert!(region.params.iter().any(|p| p.name == "alpha"));
+    }
+
+    #[test]
+    fn stencil_rejected() {
+        let src = r#"
+double A[1000];
+void k() {
+  int i;
+  for (i = 0; i < 999; i++) {
+    A[i+1] = A[i];
+  }
+}
+"#;
+        let mut m = prepare(src);
+        let report = parallelize_module(&mut m, &ParallelizeOptions::default());
+        assert_eq!(report.parallelized_count(), 0);
+        let outcomes = &report.functions[0].1;
+        assert!(matches!(
+            &outcomes[0],
+            LoopOutcome::Rejected { reason, .. } if reason.contains("dependence")
+        ));
+    }
+
+    #[test]
+    fn nested_parallelizes_outer_only() {
+        let src = r#"
+#define N 64
+double A[64][64];
+void k() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      A[i][j] = A[i][j] + 1.0;
+    }
+  }
+}
+"#;
+        let mut m = prepare(src);
+        let report = parallelize_module(&mut m, &ParallelizeOptions::default());
+        assert_eq!(report.parallelized_count(), 1);
+        // The region contains the inner loop.
+        let region = m.functions.iter().find(|f| f.is_outlined).unwrap();
+        let dt = DomTree::compute(region);
+        let li = LoopInfo::compute(region, &dt);
+        assert_eq!(li.loops.len(), 2, "outer thread loop + inner loop");
+        splendid_ir::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn may_alias_versioned() {
+        let src = r#"
+void may_alias(double* A, double* B, double* C) {
+  int i;
+  for (i = 0; i < 999; i++) {
+    A[i+1] = M_PI * B[i] + exp(C[i]);
+  }
+}
+"#;
+        let mut m = prepare(src);
+        let report = parallelize_module(&mut m, &ParallelizeOptions::default());
+        assert_eq!(report.parallelized_count(), 1, "{report:?}");
+        let LoopOutcome::Parallelized { versioned, .. } = &report.functions[0].1[0] else {
+            panic!("{report:?}");
+        };
+        assert!(*versioned);
+        splendid_ir::verify::verify_module(&m).unwrap();
+        // Both a fork call and a sequential loop remain in the function.
+        let k = m.func(m.func_by_name("may_alias").unwrap());
+        let has_fork = k.insts.iter().any(|i| {
+            matches!(&i.kind, InstKind::Call { callee: Callee::External(n), .. } if n == KMPC_FORK_CALL)
+        });
+        assert!(has_fork);
+        let dt = DomTree::compute(k);
+        let li = LoopInfo::compute(k, &dt);
+        assert_eq!(li.loops.len(), 1, "sequential fallback loop remains");
+    }
+
+    #[test]
+    fn versioning_disabled_rejects() {
+        let src = r#"
+void f(double* A, double* B) {
+  int i;
+  for (i = 0; i < 100; i++) {
+    A[i] = B[i];
+  }
+}
+"#;
+        let mut m = prepare(src);
+        let opts = ParallelizeOptions { version_aliasing: false, ..Default::default() };
+        let report = parallelize_module(&mut m, &opts);
+        assert_eq!(report.parallelized_count(), 0);
+    }
+
+    #[test]
+    fn two_loops_both_parallelized() {
+        let src = r#"
+#define N 100
+double A[100];
+double B[100];
+void k() {
+  int i;
+  for (i = 0; i < N; i++) {
+    A[i] = 1.0;
+  }
+  for (i = 0; i < N; i++) {
+    B[i] = 2.0;
+  }
+}
+"#;
+        let mut m = prepare(src);
+        let report = parallelize_module(&mut m, &ParallelizeOptions::default());
+        assert_eq!(report.parallelized_count(), 2, "{report:?}");
+        assert_eq!(m.functions.iter().filter(|f| f.is_outlined).count(), 2);
+        splendid_ir::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn impure_call_rejected() {
+        // A call to an internal function inside the loop blocks DOALL.
+        let src = r#"
+double A[10];
+void helper() { A[0] = 1.0; }
+void k() {
+  int i;
+  for (i = 0; i < 10; i++) {
+    helper();
+  }
+}
+"#;
+        let mut m = prepare(src);
+        let report = parallelize_module(&mut m, &ParallelizeOptions::default());
+        assert_eq!(report.parallelized_count(), 0);
+    }
+}

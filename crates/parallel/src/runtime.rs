@@ -1,0 +1,50 @@
+//! OpenMP runtime entry-point names recognized across the workspace.
+//!
+//! The parallelizer emits the libomp-style symbols; the C frontend can emit
+//! either flavor; the interpreter implements both; the decompiler
+//! pattern-matches the libomp names (as the paper's SPLENDID matches the
+//! LLVM/OpenMP runtime).
+
+/// libomp-style fork: `(region_fn, lb, ub, captures...)`.
+pub const KMPC_FORK_CALL: &str = "__kmpc_fork_call";
+/// libomp-style static-schedule init:
+/// `(tid, p_lb, p_ub, step, chunk, orig_lb, orig_ub_incl)`.
+pub const KMPC_FOR_STATIC_INIT: &str = "__kmpc_for_static_init_8";
+/// libomp-style static-schedule fini: `(tid)`.
+pub const KMPC_FOR_STATIC_FINI: &str = "__kmpc_for_static_fini";
+/// libomp-style barrier: `(tid)`.
+pub const KMPC_BARRIER: &str = "__kmpc_barrier";
+
+/// libgomp-style fork (same operand shape as the kmpc fork).
+pub const GOMP_PARALLEL: &str = "GOMP_parallel";
+/// libgomp-style static bounds (same operand shape as the kmpc init).
+pub const GOMP_LOOP_STATIC_BOUNDS: &str = "GOMP_loop_static_bounds";
+/// libgomp-style barrier.
+pub const GOMP_BARRIER: &str = "GOMP_barrier";
+
+/// Whether a symbol is any known parallel-runtime entry point.
+pub fn is_parallel_runtime_symbol(name: &str) -> bool {
+    matches!(
+        name,
+        KMPC_FORK_CALL
+            | KMPC_FOR_STATIC_INIT
+            | KMPC_FOR_STATIC_FINI
+            | KMPC_BARRIER
+            | GOMP_PARALLEL
+            | GOMP_LOOP_STATIC_BOUNDS
+            | GOMP_BARRIER
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(is_parallel_runtime_symbol(KMPC_FORK_CALL));
+        assert!(is_parallel_runtime_symbol(GOMP_BARRIER));
+        assert!(!is_parallel_runtime_symbol("exp"));
+        assert!(!is_parallel_runtime_symbol("malloc"));
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end pipeline harness driving every experiment.
+
+use crate::kernels::Benchmark;
+use splendid_baselines::{decompile_ghidra_like, decompile_rellic_like, BaselineOutput};
+use splendid_cfront::{lower_program, parse_program, LowerOptions, OmpRuntime};
+use splendid_core::{decompile, DecompileOutput, SplendidOptions};
+use splendid_interp::{CompilerProfile, MachineConfig, Vm};
+use splendid_ir::Module;
+use splendid_parallel::{parallelize_module, ParallelizeOptions, ParallelizeReport};
+use splendid_transforms::{optimize_module, O2Options};
+
+/// Minimum estimated work for the Polly-sim profitability check (see
+/// `ParallelizeOptions::min_work`).
+pub const MIN_PARALLEL_WORK: u64 = 20_000;
+
+/// Everything produced for one benchmark by the full pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineArtifacts {
+    /// Parallel IR after `-O2` + Polly-sim.
+    pub parallel_module: Module,
+    /// What the parallelizer did per loop.
+    pub report: ParallelizeReport,
+    /// SPLENDID full-variant decompilation.
+    pub splendid: DecompileOutput,
+    /// Rellic-like baseline output.
+    pub rellic: BaselineOutput,
+    /// Ghidra-like baseline output.
+    pub ghidra: BaselineOutput,
+}
+
+/// Harness errors carry context about which stage failed.
+#[derive(Debug, Clone)]
+pub struct HarnessError(pub String);
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "harness error: {}", self.0)
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// The pipeline harness.
+pub struct Harness;
+
+impl Harness {
+    /// Compile C source to optimized IR with the given OpenMP runtime.
+    pub fn compile(src: &str, runtime: OmpRuntime) -> Result<Module, HarnessError> {
+        let prog = parse_program(src).map_err(|e| HarnessError(format!("parse: {e}")))?;
+        let mut m = lower_program(&prog, "bench", &LowerOptions { runtime })
+            .map_err(|e| HarnessError(format!("lower: {e}")))?;
+        optimize_module(&mut m, &O2Options::default());
+        Ok(m)
+    }
+
+    /// Compile sequential source and run the Polly-sim parallelizer over
+    /// its kernel function.
+    pub fn polly(src: &str) -> Result<(Module, ParallelizeReport), HarnessError> {
+        let mut m = Self::compile(src, OmpRuntime::LibOmp)?;
+        let opts = ParallelizeOptions {
+            version_aliasing: true,
+            min_work: MIN_PARALLEL_WORK,
+            only_functions: vec!["kernel".into()],
+        };
+        let report = parallelize_module(&mut m, &opts);
+        Ok((m, report))
+    }
+
+    /// Run init + kernel; returns `(checksum over check_globals, kernel
+    /// cycles)`.
+    pub fn run(
+        module: &Module,
+        config: MachineConfig,
+        check_globals: &[&str],
+    ) -> Result<(f64, u64), HarnessError> {
+        let mut vm = Vm::new(module, config);
+        if module.func_by_name("init").is_some() {
+            vm.call_by_name("init", &[])
+                .map_err(|e| HarnessError(format!("init: {e}")))?;
+        }
+        let before = vm.cycles();
+        vm.call_by_name("kernel", &[])
+            .map_err(|e| HarnessError(format!("kernel: {e}")))?;
+        let cycles = vm.cycles() - before;
+        let mut sum = 0.0;
+        for g in check_globals {
+            sum += vm
+                .checksum_global(g)
+                .map_err(|e| HarnessError(format!("checksum {g}: {e}")))?;
+        }
+        Ok((sum, cycles))
+    }
+
+    /// Sequential-baseline cycles of a source under a profile.
+    pub fn run_source(
+        src: &str,
+        runtime: OmpRuntime,
+        profile: CompilerProfile,
+        check_globals: &[&str],
+    ) -> Result<(f64, u64), HarnessError> {
+        let m = Self::compile(src, runtime)?;
+        Self::run(&m, MachineConfig::xeon_28core(profile), check_globals)
+    }
+
+    /// Full pipeline for a benchmark: Polly-sim + SPLENDID + baselines.
+    pub fn pipeline(bench: &Benchmark) -> Result<PipelineArtifacts, HarnessError> {
+        let (parallel_module, report) = Self::polly(bench.sequential)?;
+        let splendid = decompile(&parallel_module, &SplendidOptions::default())
+            .map_err(|e| HarnessError(format!("splendid: {e}")))?;
+        let rellic = decompile_rellic_like(&parallel_module);
+        let ghidra = decompile_ghidra_like(&parallel_module);
+        Ok(PipelineArtifacts { parallel_module, report, splendid, rellic, ghidra })
+    }
+
+    /// Recompile decompiled source and execute it, returning the checksum
+    /// and kernel cycles.
+    pub fn recompile_and_run(
+        source: &str,
+        runtime: OmpRuntime,
+        profile: CompilerProfile,
+        check_globals: &[&str],
+    ) -> Result<(f64, u64), HarnessError> {
+        Self::run_source(source, runtime, profile, check_globals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{benchmark, benchmarks};
+
+    #[test]
+    fn gemm_pipeline_end_to_end() {
+        let b = benchmark("gemm").unwrap();
+        let art = Harness::pipeline(&b).unwrap();
+        assert_eq!(art.report.parallelized_count(), 1, "{:?}", art.report);
+        let s = &art.splendid.source;
+        assert!(s.contains("#pragma omp parallel"), "{s}");
+        assert!(!s.contains("__kmpc"), "{s}");
+
+        // Semantics: sequential == parallel == decompiled-and-recompiled.
+        let seq = Harness::run_source(
+            b.sequential,
+            OmpRuntime::LibOmp,
+            CompilerProfile::clang(),
+            b.check_globals,
+        )
+        .unwrap();
+        let par = Harness::run(
+            &art.parallel_module,
+            MachineConfig::default(),
+            b.check_globals,
+        )
+        .unwrap();
+        assert_eq!(seq.0, par.0, "parallelization must preserve semantics");
+        for rt in [OmpRuntime::LibOmp, OmpRuntime::LibGomp] {
+            let re = Harness::recompile_and_run(
+                &art.splendid.source,
+                rt,
+                CompilerProfile::gcc(),
+                b.check_globals,
+            )
+            .unwrap();
+            assert_eq!(re.0, seq.0, "decompiled code must match under {rt:?}");
+        }
+        // Performance: the parallel version is much faster than sequential.
+        let speedup = seq.1 as f64 / par.1 as f64;
+        assert!(speedup > 4.0, "expected real speedup, got {speedup:.2}");
+    }
+
+    #[test]
+    fn every_benchmark_parallelizes_like_its_reference() {
+        for b in benchmarks() {
+            let (_, report) = Harness::polly(b.sequential).unwrap();
+            let expected = b.reference.matches("#pragma omp for").count();
+            assert_eq!(
+                report.parallelized_count(),
+                expected,
+                "{}: reference pragmas vs parallelizer disagree: {:?}",
+                b.name,
+                report
+            );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_semantics_preserved_through_decompilation() {
+        for b in benchmarks() {
+            let art = Harness::pipeline(&b)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let seq = Harness::run_source(
+                b.sequential,
+                OmpRuntime::LibOmp,
+                CompilerProfile::clang(),
+                b.check_globals,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let re = Harness::recompile_and_run(
+                &art.splendid.source,
+                OmpRuntime::LibGomp,
+                CompilerProfile::gcc(),
+                b.check_globals,
+            )
+            .unwrap_or_else(|e| panic!("{}: recompile: {e}\n{}", b.name, art.splendid.source));
+            assert!(seq.0.is_finite(), "{}: non-finite checksum", b.name);
+            assert_eq!(seq.0, re.0, "{}: checksum mismatch", b.name);
+        }
+    }
+}

@@ -1,0 +1,1946 @@
+//! The 16 PolyBench benchmarks (paper Table 3 / Figure 6), in the
+//! supported C subset at laptop-scale problem sizes.
+//!
+//! Every benchmark has an `init` function (untimed, kept sequential, as in
+//! PolyBench's methodology) and a `kernel` function (the timed region the
+//! parallelizer targets). References follow the paper's §5.1.2
+//! construction: sequential code plus pragmas exactly where the Polly-sim
+//! parallelizes, written in SPLENDID's pragma style.
+
+/// A benchmark: sources, parallelization specs, and harness metadata.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (paper's spelling).
+    pub name: &'static str,
+    /// Sequential source — the pipeline input.
+    pub sequential: &'static str,
+    /// Reference code for naturalness metrics (§5.1.2).
+    pub reference: &'static str,
+    /// Runnable hand-parallelized variant (`None` outside the Figure-9
+    /// subset; Table 3 then uses `manual_loops` only).
+    pub manual: Option<&'static str>,
+    /// Collaborative variant: SPLENDID output + a few manual lines
+    /// (Figure-9 subset only).
+    pub collab: Option<&'static str>,
+    /// Lines the programmer changes on top of SPLENDID output (Figure 9
+    /// annotations).
+    pub collab_loc_changed: usize,
+    /// Loops the programmer parallelizes on their own (Table 3).
+    pub manual_loops: usize,
+    /// Of those, how many the compiler also parallelizes (Table 3's
+    /// "Eliminated Manual Parallelization").
+    pub overlap_loops: usize,
+    /// Globals to checksum for semantic comparison.
+    pub check_globals: &'static [&'static str],
+}
+
+macro_rules! bench {
+    ($name:literal, seq: $seq:expr, ref_: $refr:expr, manual: $manual:expr,
+     collab: $collab:expr, collab_loc: $cloc:expr, manual_loops: $ml:expr,
+     overlap: $ov:expr, check: $check:expr) => {
+        Benchmark {
+            name: $name,
+            sequential: $seq,
+            reference: $refr,
+            manual: $manual,
+            collab: $collab,
+            collab_loc_changed: $cloc,
+            manual_loops: $ml,
+            overlap_loops: $ov,
+            check_globals: $check,
+        }
+    };
+}
+
+// ---------------------------------------------------------------- 2mm ----
+
+const SEQ_2MM: &str = r#"
+#define NI 48
+double A[48][48];
+double B[48][48];
+double C[48][48];
+double D[48][48];
+double tmp[48][48];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NI; j++) {
+      A[i][j] = (i * j % 9 + 1) * 0.125;
+      B[i][j] = (i * (j + 1) % 7 + 1) * 0.25;
+      C[i][j] = ((i + 3) * j % 11 + 1) * 0.5;
+      D[i][j] = (i * (j + 2) % 5 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NI; j++) {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < NI; k++) {
+        tmp[i][j] = tmp[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NI; j++) {
+      D[i][j] = D[i][j] * 1.2;
+      for (k = 0; k < NI; k++) {
+        D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+      }
+    }
+  }
+}
+"#;
+
+const REF_2MM: &str = r#"
+#define NI 48
+double A[48][48];
+double B[48][48];
+double C[48][48];
+double D[48][48];
+double tmp[48][48];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < NI; i++) {
+    for (int j = 0; j < NI; j++) {
+      A[i][j] = (i * j % 9 + 1) * 0.125;
+      B[i][j] = (i * (j + 1) % 7 + 1) * 0.25;
+      C[i][j] = ((i + 3) * j % 11 + 1) * 0.5;
+      D[i][j] = (i * (j + 2) % 5 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int j;
+  int k;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 47; i = i + 1) {
+      for (int j = 0; j < NI; j++) {
+        tmp[i][j] = 0.0;
+        for (int k = 0; k < NI; k++) {
+          tmp[i][j] = tmp[i][j] + 1.5 * A[i][k] * B[k][j];
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 47; i = i + 1) {
+      for (int j = 0; j < NI; j++) {
+        D[i][j] = D[i][j] * 1.2;
+        for (int k = 0; k < NI; k++) {
+          D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+        }
+      }
+    }
+  }
+}
+"#;
+
+// ---------------------------------------------------------------- 3mm ----
+
+const SEQ_3MM: &str = r#"
+#define NI 40
+double A[40][40];
+double B[40][40];
+double C[40][40];
+double D[40][40];
+double E[40][40];
+double F[40][40];
+double G[40][40];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NI; j++) {
+      A[i][j] = (i * j % 9 + 1) * 0.125;
+      B[i][j] = (i * (j + 1) % 7 + 1) * 0.25;
+      C[i][j] = ((i + 3) * j % 11 + 1) * 0.5;
+      D[i][j] = (i * (j + 2) % 5 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NI; j++) {
+      E[i][j] = 0.0;
+      for (k = 0; k < NI; k++) {
+        E[i][j] = E[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NI; j++) {
+      F[i][j] = 0.0;
+      for (k = 0; k < NI; k++) {
+        F[i][j] = F[i][j] + C[i][k] * D[k][j];
+      }
+    }
+  }
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NI; j++) {
+      G[i][j] = 0.0;
+      for (k = 0; k < NI; k++) {
+        G[i][j] = G[i][j] + E[i][k] * F[k][j];
+      }
+    }
+  }
+}
+"#;
+
+const REF_3MM: &str = r#"
+#define NI 40
+double A[40][40];
+double B[40][40];
+double C[40][40];
+double D[40][40];
+double E[40][40];
+double F[40][40];
+double G[40][40];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < NI; i++) {
+    for (int j = 0; j < NI; j++) {
+      A[i][j] = (i * j % 9 + 1) * 0.125;
+      B[i][j] = (i * (j + 1) % 7 + 1) * 0.25;
+      C[i][j] = ((i + 3) * j % 11 + 1) * 0.5;
+      D[i][j] = (i * (j + 2) % 5 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int j;
+  int k;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 39; i = i + 1) {
+      for (int j = 0; j < NI; j++) {
+        E[i][j] = 0.0;
+        for (int k = 0; k < NI; k++) {
+          E[i][j] = E[i][j] + A[i][k] * B[k][j];
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 39; i = i + 1) {
+      for (int j = 0; j < NI; j++) {
+        F[i][j] = 0.0;
+        for (int k = 0; k < NI; k++) {
+          F[i][j] = F[i][j] + C[i][k] * D[k][j];
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 39; i = i + 1) {
+      for (int j = 0; j < NI; j++) {
+        G[i][j] = 0.0;
+        for (int k = 0; k < NI; k++) {
+          G[i][j] = G[i][j] + E[i][k] * F[k][j];
+        }
+      }
+    }
+  }
+}
+"#;
+
+// ---------------------------------------------------------------- adi ----
+
+const SEQ_ADI: &str = r#"
+#define N 80
+#define TSTEPS 2
+double X[80][80];
+double A[80][80];
+double B[80][80];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      X[i][j] = (i * (j + 1) % 13 + 1) * 0.25;
+      A[i][j] = (i * (j + 2) % 11 + 1) * 0.03125;
+      B[i][j] = ((i + 1) * j % 7 + 2) * 1.0;
+    }
+  }
+}
+
+void kernel() {
+  int t;
+  int i;
+  int j;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 0; i < N; i++) {
+      for (j = 1; j < N; j++) {
+        X[i][j] = X[i][j] - X[i][j-1] * A[i][j] / B[i][j-1];
+        B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i][j-1];
+      }
+    }
+    for (j = 0; j < N; j++) {
+      for (i = 1; i < N; i++) {
+        X[i][j] = X[i][j] - X[i-1][j] * A[i][j] / B[i-1][j];
+        B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i-1][j];
+      }
+    }
+  }
+}
+"#;
+
+const REF_ADI: &str = r#"
+#define N 80
+#define TSTEPS 2
+double X[80][80];
+double A[80][80];
+double B[80][80];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      X[i][j] = (i * (j + 1) % 13 + 1) * 0.25;
+      A[i][j] = (i * (j + 2) % 11 + 1) * 0.03125;
+      B[i][j] = ((i + 1) * j % 7 + 2) * 1.0;
+    }
+  }
+}
+
+void kernel() {
+  int t;
+  int i;
+  int j;
+  for (int t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 0; i <= 79; i = i + 1) {
+        for (int j = 1; j < N; j++) {
+          X[i][j] = X[i][j] - X[i][j-1] * A[i][j] / B[i][j-1];
+          B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i][j-1];
+        }
+      }
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t j = 0; j <= 79; j = j + 1) {
+        for (int i = 1; i < N; i++) {
+          X[i][j] = X[i][j] - X[i-1][j] * A[i][j] / B[i-1][j];
+          B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i-1][j];
+        }
+      }
+    }
+  }
+}
+"#;
+
+// --------------------------------------------------------------- atax ----
+
+const SEQ_ATAX: &str = r#"
+#define N 120
+double A[120][120];
+double x[120];
+double y[120];
+double tmp[120];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    x[i] = 1.0 + i * 0.015625;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      A[i][j] = ((i + j) % 17 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    }
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      y[j] = y[j] + A[i][j] * tmp[i];
+    }
+  }
+}
+"#;
+
+const REF_ATAX: &str = r#"
+#define N 120
+double A[120][120];
+double x[120];
+double y[120];
+double tmp[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    x[i] = 1.0 + i * 0.015625;
+    y[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i + j) % 17 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      tmp[i] = 0.0;
+      for (int j = 0; j < N; j++) {
+        tmp[i] = tmp[i] + A[i][j] * x[j];
+      }
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      y[j] = y[j] + A[i][j] * tmp[i];
+    }
+  }
+}
+"#;
+
+/// Manual: the programmer annotated the easy first nest only.
+const MAN_ATAX: &str = r#"
+#define N 120
+double A[120][120];
+double x[120];
+double y[120];
+double tmp[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    x[i] = 1.0 + i * 0.015625;
+    y[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i + j) % 17 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  #pragma omp parallel for schedule(static)
+  for (int i2 = 0; i2 < N; i2++) {
+    tmp[i2] = 0.0;
+    for (int j2 = 0; j2 < N; j2++) {
+      tmp[i2] = tmp[i2] + A[i2][j2] * x[j2];
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      y[j] = y[j] + A[i][j] * tmp[i];
+    }
+  }
+}
+"#;
+
+/// Collaborative: on top of SPLENDID's output (first nest already
+/// parallel), the programmer interchanges the second nest and adds one
+/// pragma — 3 changed lines.
+const COLLAB_ATAX: &str = r#"
+#define N 120
+double A[120][120];
+double x[120];
+double y[120];
+double tmp[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    x[i] = 1.0 + i * 0.015625;
+    y[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i + j) % 17 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i2 = 0; i2 <= 119; i2 = i2 + 1) {
+      tmp[i2] = 0.0;
+      for (int j2 = 0; j2 < N; j2++) {
+        tmp[i2] = tmp[i2] + A[i2][j2] * x[j2];
+      }
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (int j = 0; j < N; j++) {
+    for (int i = 0; i < N; i++) {
+      y[j] = y[j] + A[i][j] * tmp[i];
+    }
+  }
+}
+"#;
+
+// --------------------------------------------------------------- bicg ----
+
+const SEQ_BICG: &str = r#"
+#define N 120
+double A[120][120];
+double s[120];
+double q[120];
+double p[120];
+double r[120];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    p[i] = (i % 11 + 1) * 0.0625;
+    r[i] = (i % 7 + 1) * 0.125;
+    s[i] = 0.0;
+    q[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      A[i][j] = ((i * 3 + j) % 13 + 1) * 0.03125;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+"#;
+
+const REF_BICG: &str = SEQ_BICG; // the Polly-sim parallelizes nothing here
+
+/// Manual: the programmer distributed by hand and annotated the q part.
+const MAN_BICG: &str = r#"
+#define N 120
+double A[120][120];
+double s[120];
+double q[120];
+double p[120];
+double r[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    p[i] = (i % 11 + 1) * 0.0625;
+    r[i] = (i % 7 + 1) * 0.125;
+    s[i] = 0.0;
+    q[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i * 3 + j) % 13 + 1) * 0.03125;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (int i2 = 0; i2 < N; i2++) {
+    q[i2] = 0.0;
+    for (int j2 = 0; j2 < N; j2++) {
+      q[i2] = q[i2] + A[i2][j2] * p[j2];
+    }
+  }
+}
+"#;
+
+/// Collaborative: distribution + interchange of the s part + two pragmas
+/// on SPLENDID output — 4 changed lines.
+const COLLAB_BICG: &str = r#"
+#define N 120
+double A[120][120];
+double s[120];
+double q[120];
+double p[120];
+double r[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    p[i] = (i % 11 + 1) * 0.0625;
+    r[i] = (i % 7 + 1) * 0.125;
+    s[i] = 0.0;
+    q[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i * 3 + j) % 13 + 1) * 0.03125;
+    }
+  }
+}
+
+void kernel() {
+  #pragma omp parallel for schedule(static)
+  for (int j = 0; j < N; j++) {
+    for (int i = 0; i < N; i++) {
+      s[j] = s[j] + r[i] * A[i][j];
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (int i2 = 0; i2 < N; i2++) {
+    q[i2] = 0.0;
+    for (int j2 = 0; j2 < N; j2++) {
+      q[i2] = q[i2] + A[i2][j2] * p[j2];
+    }
+  }
+}
+"#;
+
+// ------------------------------------------------------------ doitgen ----
+
+const SEQ_DOITGEN: &str = r#"
+#define NQ 24
+double A[24][24][24];
+double Anew[24][24][24];
+double C4[24][24];
+
+void init() {
+  int r;
+  int q;
+  int p;
+  for (r = 0; r < NQ; r++) {
+    for (q = 0; q < NQ; q++) {
+      for (p = 0; p < NQ; p++) {
+        A[r][q][p] = ((r * q + p) % 9 + 1) * 0.0625;
+      }
+    }
+  }
+  for (q = 0; q < NQ; q++) {
+    for (p = 0; p < NQ; p++) {
+      C4[q][p] = ((q + p * 2) % 7 + 1) * 0.125;
+    }
+  }
+}
+
+void kernel() {
+  int r;
+  int q;
+  int p;
+  int S;
+  for (r = 0; r < NQ; r++) {
+    for (q = 0; q < NQ; q++) {
+      for (p = 0; p < NQ; p++) {
+        Anew[r][q][p] = 0.0;
+        for (S = 0; S < NQ; S++) {
+          Anew[r][q][p] = Anew[r][q][p] + A[r][q][S] * C4[S][p];
+        }
+      }
+    }
+  }
+  for (r = 0; r < NQ; r++) {
+    for (q = 0; q < NQ; q++) {
+      for (p = 0; p < NQ; p++) {
+        A[r][q][p] = Anew[r][q][p];
+      }
+    }
+  }
+}
+"#;
+
+const REF_DOITGEN: &str = r#"
+#define NQ 24
+double A[24][24][24];
+double Anew[24][24][24];
+double C4[24][24];
+
+void init() {
+  int r;
+  int q;
+  int p;
+  for (int r = 0; r < NQ; r++) {
+    for (int q = 0; q < NQ; q++) {
+      for (int p = 0; p < NQ; p++) {
+        A[r][q][p] = ((r * q + p) % 9 + 1) * 0.0625;
+      }
+    }
+  }
+  for (int q = 0; q < NQ; q++) {
+    for (int p = 0; p < NQ; p++) {
+      C4[q][p] = ((q + p * 2) % 7 + 1) * 0.125;
+    }
+  }
+}
+
+void kernel() {
+  int q;
+  int p;
+  int S;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t r = 0; r <= 23; r = r + 1) {
+      for (int q = 0; q < NQ; q++) {
+        for (int p = 0; p < NQ; p++) {
+          Anew[r][q][p] = 0.0;
+          for (int S = 0; S < NQ; S++) {
+            Anew[r][q][p] = Anew[r][q][p] + A[r][q][S] * C4[S][p];
+          }
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t r = 0; r <= 23; r = r + 1) {
+      for (int q = 0; q < NQ; q++) {
+        for (int p = 0; p < NQ; p++) {
+          A[r][q][p] = Anew[r][q][p];
+        }
+      }
+    }
+  }
+}
+"#;
+
+// ------------------------------------------------------------ fdtd-2d ----
+
+const SEQ_FDTD: &str = r#"
+#define N 80
+#define TSTEPS 4
+double ex[80][80];
+double ey[80][80];
+double hz[80][80];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      ex[i][j] = (i * (j + 1) % 11 + 1) * 0.125;
+      ey[i][j] = (i * (j + 2) % 7 + 1) * 0.25;
+      hz[i][j] = ((i + 3) * j % 13 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int t;
+  int i;
+  int j;
+  for (t = 0; t < TSTEPS; t++) {
+    for (j = 0; j < N; j++) {
+      ey[0][j] = t * 0.1;
+    }
+    for (i = 1; i < N; i++) {
+      for (j = 0; j < N; j++) {
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i-1][j]);
+      }
+    }
+    for (i = 0; i < N; i++) {
+      for (j = 1; j < N; j++) {
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j-1]);
+      }
+    }
+    for (i = 0; i < N - 1; i++) {
+      for (j = 0; j < N - 1; j++) {
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+      }
+    }
+  }
+}
+"#;
+
+const REF_FDTD: &str = r#"
+#define N 80
+#define TSTEPS 4
+double ex[80][80];
+double ey[80][80];
+double hz[80][80];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      ex[i][j] = (i * (j + 1) % 11 + 1) * 0.125;
+      ey[i][j] = (i * (j + 2) % 7 + 1) * 0.25;
+      hz[i][j] = ((i + 3) * j % 13 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int t;
+  int i;
+  int j;
+  for (int t = 0; t < TSTEPS; t++) {
+    for (int j = 0; j < N; j++) {
+      ey[0][j] = t * 0.1;
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 1; i <= 79; i = i + 1) {
+        for (int j = 0; j < N; j++) {
+          ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i-1][j]);
+        }
+      }
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 0; i <= 79; i = i + 1) {
+        for (int j = 1; j < N; j++) {
+          ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j-1]);
+        }
+      }
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 0; i <= 78; i = i + 1) {
+        for (int j = 0; j < N - 1; j++) {
+          hz[i][j] = hz[i][j] - 0.7 * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+        }
+      }
+    }
+  }
+}
+"#;
+
+/// Manual: the programmer annotated the ey and hz nests (missed ex).
+const MAN_FDTD: &str = r#"
+#define N 80
+#define TSTEPS 4
+double ex[80][80];
+double ey[80][80];
+double hz[80][80];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      ex[i][j] = (i * (j + 1) % 11 + 1) * 0.125;
+      ey[i][j] = (i * (j + 2) % 7 + 1) * 0.25;
+      hz[i][j] = ((i + 3) * j % 13 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int t;
+  int i;
+  int j;
+  for (int t = 0; t < TSTEPS; t++) {
+    for (int j = 0; j < N; j++) {
+      ey[0][j] = t * 0.1;
+    }
+    #pragma omp parallel for schedule(static)
+    for (int i1 = 1; i1 < N; i1++) {
+      for (int j1 = 0; j1 < N; j1++) {
+        ey[i1][j1] = ey[i1][j1] - 0.5 * (hz[i1][j1] - hz[i1-1][j1]);
+      }
+    }
+    for (int i = 0; i < N; i++) {
+      for (int j = 1; j < N; j++) {
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j-1]);
+      }
+    }
+    #pragma omp parallel for schedule(static)
+    for (int i2 = 0; i2 < N - 1; i2++) {
+      for (int j2 = 0; j2 < N - 1; j2++) {
+        hz[i2][j2] = hz[i2][j2] - 0.7 * (ex[i2][j2+1] - ex[i2][j2] + ey[i2+1][j2] - ey[i2][j2]);
+      }
+    }
+  }
+}
+"#;
+
+// ----------------------------------------------------- floyd-warshall ----
+
+const SEQ_FLOYD: &str = r#"
+#define N 60
+double path[60][60];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      path[i][j] = (i * j % 7 + 1) * 1.0 + (i + j) % 13;
+    }
+  }
+}
+
+void kernel() {
+  int k;
+  int i;
+  int j;
+  for (k = 0; k < N; k++) {
+    for (i = 0; i < N; i++) {
+      for (j = 0; j < N; j++) {
+        if (path[i][k] + path[k][j] < path[i][j]) {
+          path[i][j] = path[i][k] + path[k][j];
+        }
+      }
+    }
+  }
+}
+"#;
+
+const REF_FLOYD: &str = SEQ_FLOYD; // dependences defeat the Polly-sim here
+
+// --------------------------------------------------------------- gemm ----
+
+const SEQ_GEMM: &str = r#"
+#define NI 48
+double A[48][48];
+double B[48][48];
+double C[48][48];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NI; j++) {
+      A[i][j] = (i * j % 9 + 1) * 0.125;
+      B[i][j] = (i * (j + 1) % 7 + 1) * 0.25;
+      C[i][j] = ((i + 3) * j % 11 + 1) * 0.5;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NI; j++) {
+      C[i][j] = C[i][j] * 1.2;
+      for (k = 0; k < NI; k++) {
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+"#;
+
+const REF_GEMM: &str = r#"
+#define NI 48
+double A[48][48];
+double B[48][48];
+double C[48][48];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < NI; i++) {
+    for (int j = 0; j < NI; j++) {
+      A[i][j] = (i * j % 9 + 1) * 0.125;
+      B[i][j] = (i * (j + 1) % 7 + 1) * 0.25;
+      C[i][j] = ((i + 3) * j % 11 + 1) * 0.5;
+    }
+  }
+}
+
+void kernel() {
+  int j;
+  int k;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 47; i = i + 1) {
+      for (int j = 0; j < NI; j++) {
+        C[i][j] = C[i][j] * 1.2;
+        for (int k = 0; k < NI; k++) {
+          C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+        }
+      }
+    }
+  }
+}
+"#;
+
+// ------------------------------------------------------------- gemver ----
+
+const SEQ_GEMVER: &str = r#"
+#define N 120
+double A[120][120];
+double u1[120];
+double v1[120];
+double u2[120];
+double v2[120];
+double w[120];
+double x[120];
+double y[120];
+double z[120];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    u1[i] = (i % 9 + 1) * 0.125;
+    v1[i] = ((i + 1) % 7 + 1) * 0.0625;
+    u2[i] = ((i + 2) % 11 + 1) * 0.03125;
+    v2[i] = ((i + 3) % 5 + 1) * 0.25;
+    y[i] = (i % 13 + 1) * 0.015625;
+    z[i] = (i % 17 + 1) * 0.0078125;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      A[i][j] = ((i * 2 + j) % 19 + 1) * 0.015625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      x[j] = x[j] + 1.1 * A[i][j] * y[i];
+    }
+  }
+  for (i = 0; i < N; i++) {
+    x[i] = x[i] + z[i];
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      w[i] = w[i] + 1.3 * A[i][j] * x[j];
+    }
+  }
+}
+"#;
+
+const REF_GEMVER: &str = r#"
+#define N 120
+double A[120][120];
+double u1[120];
+double v1[120];
+double u2[120];
+double v2[120];
+double w[120];
+double x[120];
+double y[120];
+double z[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    u1[i] = (i % 9 + 1) * 0.125;
+    v1[i] = ((i + 1) % 7 + 1) * 0.0625;
+    u2[i] = ((i + 2) % 11 + 1) * 0.03125;
+    v2[i] = ((i + 3) % 5 + 1) * 0.25;
+    y[i] = (i % 13 + 1) * 0.015625;
+    z[i] = (i % 17 + 1) * 0.0078125;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i * 2 + j) % 19 + 1) * 0.015625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      for (int j = 0; j < N; j++) {
+        A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+      }
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      x[j] = x[j] + 1.1 * A[i][j] * y[i];
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    x[i] = x[i] + z[i];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      for (int j = 0; j < N; j++) {
+        w[i] = w[i] + 1.3 * A[i][j] * x[j];
+      }
+    }
+  }
+}
+"#;
+
+/// Manual: the programmer annotated the first and last nests.
+const MAN_GEMVER: &str = r#"
+#define N 120
+double A[120][120];
+double u1[120];
+double v1[120];
+double u2[120];
+double v2[120];
+double w[120];
+double x[120];
+double y[120];
+double z[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    u1[i] = (i % 9 + 1) * 0.125;
+    v1[i] = ((i + 1) % 7 + 1) * 0.0625;
+    u2[i] = ((i + 2) % 11 + 1) * 0.03125;
+    v2[i] = ((i + 3) % 5 + 1) * 0.25;
+    y[i] = (i % 13 + 1) * 0.015625;
+    z[i] = (i % 17 + 1) * 0.0078125;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i * 2 + j) % 19 + 1) * 0.015625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  #pragma omp parallel for schedule(static)
+  for (int i1 = 0; i1 < N; i1++) {
+    for (int j1 = 0; j1 < N; j1++) {
+      A[i1][j1] = A[i1][j1] + u1[i1] * v1[j1] + u2[i1] * v2[j1];
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      x[j] = x[j] + 1.1 * A[i][j] * y[i];
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    x[i] = x[i] + z[i];
+  }
+  #pragma omp parallel for schedule(static)
+  for (int i4 = 0; i4 < N; i4++) {
+    for (int j4 = 0; j4 < N; j4++) {
+      w[i4] = w[i4] + 1.3 * A[i4][j4] * x[j4];
+    }
+  }
+}
+"#;
+
+/// Collaborative: SPLENDID has nests 1 and 4 parallel; the programmer
+/// interchanges nest 2 and adds a pragma — 3 changed lines.
+const COLLAB_GEMVER: &str = r#"
+#define N 120
+double A[120][120];
+double u1[120];
+double v1[120];
+double u2[120];
+double v2[120];
+double w[120];
+double x[120];
+double y[120];
+double z[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    u1[i] = (i % 9 + 1) * 0.125;
+    v1[i] = ((i + 1) % 7 + 1) * 0.0625;
+    u2[i] = ((i + 2) % 11 + 1) * 0.03125;
+    v2[i] = ((i + 3) % 5 + 1) * 0.25;
+    y[i] = (i % 13 + 1) * 0.015625;
+    z[i] = (i % 17 + 1) * 0.0078125;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i * 2 + j) % 19 + 1) * 0.015625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i1 = 0; i1 <= 119; i1 = i1 + 1) {
+      for (int j = 0; j < N; j++) {
+        A[i1][j] = A[i1][j] + u1[i1] * v1[j] + u2[i1] * v2[j];
+      }
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (int j2 = 0; j2 < N; j2++) {
+    for (int i = 0; i < N; i++) {
+      x[j2] = x[j2] + 1.1 * A[i][j2] * y[i];
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    x[i] = x[i] + z[i];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i4 = 0; i4 <= 119; i4 = i4 + 1) {
+      for (int j = 0; j < N; j++) {
+        w[i4] = w[i4] + 1.3 * A[i4][j] * x[j];
+      }
+    }
+  }
+}
+"#;
+
+// ------------------------------------------------------------ gesummv ----
+
+const SEQ_GESUMMV: &str = r#"
+#define N 120
+double A[120][120];
+double B[120][120];
+double x[120];
+double y[120];
+double tmp[120];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    x[i] = (i % 9 + 1) * 0.0625;
+    for (j = 0; j < N; j++) {
+      A[i][j] = ((i + j * 2) % 11 + 1) * 0.03125;
+      B[i][j] = ((i * 2 + j) % 13 + 1) * 0.015625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = 1.25 * tmp[i] + 1.75 * y[i];
+  }
+}
+"#;
+
+const REF_GESUMMV: &str = r#"
+#define N 120
+double A[120][120];
+double B[120][120];
+double x[120];
+double y[120];
+double tmp[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    x[i] = (i % 9 + 1) * 0.0625;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i + j * 2) % 11 + 1) * 0.03125;
+      B[i][j] = ((i * 2 + j) % 13 + 1) * 0.015625;
+    }
+  }
+}
+
+void kernel() {
+  int j;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      tmp[i] = 0.0;
+      y[i] = 0.0;
+      for (int j = 0; j < N; j++) {
+        tmp[i] = A[i][j] * x[j] + tmp[i];
+        y[i] = B[i][j] * x[j] + y[i];
+      }
+      y[i] = 1.25 * tmp[i] + 1.75 * y[i];
+    }
+  }
+}
+"#;
+
+// ---------------------------------------------------- jacobi-1d-imper ----
+
+const SEQ_JAC1D: &str = r#"
+#define N 2000
+#define TSTEPS 6
+double A[2000];
+double B[2000];
+
+void init() {
+  int i;
+  for (i = 0; i < N; i++) {
+    A[i] = (i % 17 + 2) * 0.25;
+    B[i] = 0.0;
+  }
+}
+
+void kernel() {
+  int t;
+  int i;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++) {
+      B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+    }
+    for (i = 1; i < N - 1; i++) {
+      A[i] = B[i];
+    }
+  }
+}
+"#;
+
+const REF_JAC1D: &str = r#"
+#define N 2000
+#define TSTEPS 6
+double A[2000];
+double B[2000];
+
+void init() {
+  int i;
+  for (int i = 0; i < N; i++) {
+    A[i] = (i % 17 + 2) * 0.25;
+    B[i] = 0.0;
+  }
+}
+
+void kernel() {
+  int t;
+  int i;
+  for (int t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 1; i <= 1998; i = i + 1) {
+        B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+      }
+    }
+    for (int i = 1; i < N - 1; i++) {
+      A[i] = B[i];
+    }
+  }
+}
+"#;
+
+/// Manual: the programmer annotated the stencil loop only.
+const MAN_JAC1D: &str = r#"
+#define N 2000
+#define TSTEPS 6
+double A[2000];
+double B[2000];
+
+void init() {
+  int i;
+  for (int i = 0; i < N; i++) {
+    A[i] = (i % 17 + 2) * 0.25;
+    B[i] = 0.0;
+  }
+}
+
+void kernel() {
+  int t;
+  int i;
+  for (int t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel for schedule(static)
+    for (int i1 = 1; i1 < N - 1; i1++) {
+      B[i1] = (A[i1-1] + A[i1] + A[i1+1]) / 3.0;
+    }
+    for (int i = 1; i < N - 1; i++) {
+      A[i] = B[i];
+    }
+  }
+}
+"#;
+
+/// Collaborative: SPLENDID parallelized the stencil; the programmer adds a
+/// pragma to the copy-back loop the compiler's profitability heuristic
+/// skipped — 2 changed lines.
+const COLLAB_JAC1D: &str = r#"
+#define N 2000
+#define TSTEPS 6
+double A[2000];
+double B[2000];
+
+void init() {
+  int i;
+  for (int i = 0; i < N; i++) {
+    A[i] = (i % 17 + 2) * 0.25;
+    B[i] = 0.0;
+  }
+}
+
+void kernel() {
+  int t;
+  for (int t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 1; i <= 1998; i = i + 1) {
+        B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+      }
+    }
+    #pragma omp parallel for schedule(static)
+    for (int i2 = 1; i2 < N - 1; i2++) {
+      A[i2] = B[i2];
+    }
+  }
+}
+"#;
+
+// ---------------------------------------------------- jacobi-2d-imper ----
+
+const SEQ_JAC2D: &str = r#"
+#define N 100
+#define TSTEPS 4
+double A[100][100];
+double B[100][100];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      A[i][j] = ((i + 1) * (j + 2) % 19 + 1) * 0.125;
+      B[i][j] = 0.0;
+    }
+  }
+}
+
+void kernel() {
+  int t;
+  int i;
+  int j;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++) {
+      for (j = 1; j < N - 1; j++) {
+        B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1] + A[i+1][j] + A[i-1][j]);
+      }
+    }
+    for (i = 1; i < N - 1; i++) {
+      for (j = 1; j < N - 1; j++) {
+        A[i][j] = B[i][j];
+      }
+    }
+  }
+}
+"#;
+
+const REF_JAC2D: &str = r#"
+#define N 100
+#define TSTEPS 4
+double A[100][100];
+double B[100][100];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i + 1) * (j + 2) % 19 + 1) * 0.125;
+      B[i][j] = 0.0;
+    }
+  }
+}
+
+void kernel() {
+  int t;
+  int j;
+  for (int t = 0; t < TSTEPS; t++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 1; i <= 98; i = i + 1) {
+        for (int j = 1; j < N - 1; j++) {
+          B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1] + A[i+1][j] + A[i-1][j]);
+        }
+      }
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 1; i <= 98; i = i + 1) {
+        for (int j = 1; j < N - 1; j++) {
+          A[i][j] = B[i][j];
+        }
+      }
+    }
+  }
+}
+"#;
+
+// ---------------------------------------------------------------- mvt ----
+
+const SEQ_MVT: &str = r#"
+#define N 120
+double A[120][120];
+double x1[120];
+double x2[120];
+double y1[120];
+double y2[120];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    x1[i] = (i % 9 + 1) * 0.0625;
+    x2[i] = ((i + 4) % 7 + 1) * 0.03125;
+    y1[i] = (i % 11 + 1) * 0.125;
+    y2[i] = ((i + 2) % 13 + 1) * 0.25;
+    for (j = 0; j < N; j++) {
+      A[i][j] = ((i * 2 + j * 3) % 17 + 1) * 0.015625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      x1[i] = x1[i] + A[i][j] * y1[j];
+    }
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      x2[i] = x2[i] + A[j][i] * y2[j];
+    }
+  }
+}
+"#;
+
+const REF_MVT: &str = r#"
+#define N 120
+double A[120][120];
+double x1[120];
+double x2[120];
+double y1[120];
+double y2[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    x1[i] = (i % 9 + 1) * 0.0625;
+    x2[i] = ((i + 4) % 7 + 1) * 0.03125;
+    y1[i] = (i % 11 + 1) * 0.125;
+    y2[i] = ((i + 2) % 13 + 1) * 0.25;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i * 2 + j * 3) % 17 + 1) * 0.015625;
+    }
+  }
+}
+
+void kernel() {
+  int j;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      for (int j = 0; j < N; j++) {
+        x1[i] = x1[i] + A[i][j] * y1[j];
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      for (int j = 0; j < N; j++) {
+        x2[i] = x2[i] + A[j][i] * y2[j];
+      }
+    }
+  }
+}
+"#;
+
+// -------------------------------------------------------------- syr2k ----
+
+const SEQ_SYR2K: &str = r#"
+#define N 48
+double A[48][48];
+double B[48][48];
+double C[48][48];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      A[i][j] = (i * j % 9 + 1) * 0.125;
+      B[i][j] = ((i + 2) * j % 7 + 1) * 0.25;
+      C[i][j] = ((i + 3) * (j + 1) % 11 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      C[i][j] = C[i][j] * 1.3;
+      for (k = 0; k < N; k++) {
+        C[i][j] = C[i][j] + 1.1 * A[i][k] * B[j][k] + 1.1 * B[i][k] * A[j][k];
+      }
+    }
+  }
+}
+"#;
+
+const REF_SYR2K: &str = r#"
+#define N 48
+double A[48][48];
+double B[48][48];
+double C[48][48];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (i * j % 9 + 1) * 0.125;
+      B[i][j] = ((i + 2) * j % 7 + 1) * 0.25;
+      C[i][j] = ((i + 3) * (j + 1) % 11 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int j;
+  int k;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 47; i = i + 1) {
+      for (int j = 0; j < N; j++) {
+        C[i][j] = C[i][j] * 1.3;
+        for (int k = 0; k < N; k++) {
+          C[i][j] = C[i][j] + 1.1 * A[i][k] * B[j][k] + 1.1 * B[i][k] * A[j][k];
+        }
+      }
+    }
+  }
+}
+"#;
+
+// --------------------------------------------------------------- syrk ----
+
+const SEQ_SYRK: &str = r#"
+#define N 48
+double A[48][48];
+double C[48][48];
+
+void init() {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      A[i][j] = (i * j % 9 + 1) * 0.125;
+      C[i][j] = ((i + 3) * (j + 1) % 11 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      C[i][j] = C[i][j] * 1.3;
+      for (k = 0; k < N; k++) {
+        C[i][j] = C[i][j] + 1.1 * A[i][k] * A[j][k];
+      }
+    }
+  }
+}
+"#;
+
+const REF_SYRK: &str = r#"
+#define N 48
+double A[48][48];
+double C[48][48];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (i * j % 9 + 1) * 0.125;
+      C[i][j] = ((i + 3) * (j + 1) % 11 + 1) * 0.0625;
+    }
+  }
+}
+
+void kernel() {
+  int j;
+  int k;
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 47; i = i + 1) {
+      for (int j = 0; j < N; j++) {
+        C[i][j] = C[i][j] * 1.3;
+        for (int k = 0; k < N; k++) {
+          C[i][j] = C[i][j] + 1.1 * A[i][k] * A[j][k];
+        }
+      }
+    }
+  }
+}
+"#;
+
+
+/// Manual: the programmer annotated the first product only.
+const MAN_MVT: &str = r#"
+#define N 120
+double A[120][120];
+double x1[120];
+double x2[120];
+double y1[120];
+double y2[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    x1[i] = (i % 9 + 1) * 0.0625;
+    x2[i] = ((i + 4) % 7 + 1) * 0.03125;
+    y1[i] = (i % 11 + 1) * 0.125;
+    y2[i] = ((i + 2) % 13 + 1) * 0.25;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i * 2 + j * 3) % 17 + 1) * 0.015625;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  #pragma omp parallel for schedule(static)
+  for (int i1 = 0; i1 < N; i1++) {
+    for (int j1 = 0; j1 < N; j1++) {
+      x1[i1] = x1[i1] + A[i1][j1] * y1[j1];
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      x2[i] = x2[i] + A[j][i] * y2[j];
+    }
+  }
+}
+"#;
+
+/// Manual gesummv: the programmer annotated the (only) nest, same loop the
+/// compiler finds.
+const MAN_GESUMMV: &str = r#"
+#define N 120
+double A[120][120];
+double B[120][120];
+double x[120];
+double y[120];
+double tmp[120];
+
+void init() {
+  int i;
+  int j;
+  for (int i = 0; i < N; i++) {
+    x[i] = (i % 9 + 1) * 0.0625;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((i + j * 2) % 11 + 1) * 0.03125;
+      B[i][j] = ((i * 2 + j) % 13 + 1) * 0.015625;
+    }
+  }
+}
+
+void kernel() {
+  #pragma omp parallel for schedule(static)
+  for (int i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = 1.25 * tmp[i] + 1.75 * y[i];
+  }
+}
+"#;
+
+/// The 16 benchmarks in the paper's Table 3 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        bench!("2mm", seq: SEQ_2MM, ref_: REF_2MM, manual: None, collab: None,
+               collab_loc: 0, manual_loops: 2, overlap: 2,
+               check: &["D", "tmp"]),
+        bench!("3mm", seq: SEQ_3MM, ref_: REF_3MM, manual: None, collab: None,
+               collab_loc: 0, manual_loops: 3, overlap: 3,
+               check: &["G"]),
+        bench!("adi", seq: SEQ_ADI, ref_: REF_ADI, manual: None, collab: None,
+               collab_loc: 0, manual_loops: 1, overlap: 1,
+               check: &["X", "B"]),
+        bench!("atax", seq: SEQ_ATAX, ref_: REF_ATAX, manual: Some(MAN_ATAX),
+               collab: Some(COLLAB_ATAX), collab_loc: 3, manual_loops: 1, overlap: 1,
+               check: &["y"]),
+        bench!("bicg", seq: SEQ_BICG, ref_: REF_BICG, manual: Some(MAN_BICG),
+               collab: Some(COLLAB_BICG), collab_loc: 4, manual_loops: 1, overlap: 0,
+               check: &["s", "q"]),
+        bench!("doitgen", seq: SEQ_DOITGEN, ref_: REF_DOITGEN, manual: None,
+               collab: None, collab_loc: 0, manual_loops: 2, overlap: 2,
+               check: &["A"]),
+        bench!("fdtd-2d", seq: SEQ_FDTD, ref_: REF_FDTD, manual: Some(MAN_FDTD),
+               collab: Some(REF_FDTD), collab_loc: 0, manual_loops: 2, overlap: 2,
+               check: &["ex", "ey", "hz"]),
+        bench!("floyd-warshall", seq: SEQ_FLOYD, ref_: REF_FLOYD, manual: None,
+               collab: None, collab_loc: 0, manual_loops: 1, overlap: 0,
+               check: &["path"]),
+        bench!("gemm", seq: SEQ_GEMM, ref_: REF_GEMM, manual: None, collab: None,
+               collab_loc: 0, manual_loops: 1, overlap: 1,
+               check: &["C"]),
+        bench!("gemver", seq: SEQ_GEMVER, ref_: REF_GEMVER, manual: Some(MAN_GEMVER),
+               collab: Some(COLLAB_GEMVER), collab_loc: 3, manual_loops: 2, overlap: 2,
+               check: &["A", "w", "x"]),
+        bench!("gesummv", seq: SEQ_GESUMMV, ref_: REF_GESUMMV,
+               manual: Some(MAN_GESUMMV), collab: Some(REF_GESUMMV),
+               collab_loc: 0, manual_loops: 1, overlap: 1,
+               check: &["y"]),
+        bench!("jacobi-1d-imper", seq: SEQ_JAC1D, ref_: REF_JAC1D,
+               manual: Some(MAN_JAC1D), collab: Some(COLLAB_JAC1D), collab_loc: 2,
+               manual_loops: 1, overlap: 1, check: &["A", "B"]),
+        bench!("jacobi-2d-imper", seq: SEQ_JAC2D, ref_: REF_JAC2D, manual: None,
+               collab: None, collab_loc: 0, manual_loops: 2, overlap: 2,
+               check: &["A", "B"]),
+        bench!("mvt", seq: SEQ_MVT, ref_: REF_MVT, manual: Some(MAN_MVT),
+               collab: Some(REF_MVT), collab_loc: 0, manual_loops: 2, overlap: 2,
+               check: &["x1", "x2"]),
+        bench!("syr2k", seq: SEQ_SYR2K, ref_: REF_SYR2K, manual: None, collab: None,
+               collab_loc: 0, manual_loops: 1, overlap: 1,
+               check: &["C"]),
+        bench!("syrk", seq: SEQ_SYRK, ref_: REF_SYRK, manual: None, collab: None,
+               collab_loc: 0, manual_loops: 1, overlap: 1,
+               check: &["C"]),
+    ]
+}
+
+/// Look a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_benchmarks_in_table3_order() {
+        let b = benchmarks();
+        assert_eq!(b.len(), 16);
+        assert_eq!(b[0].name, "2mm");
+        assert_eq!(b[15].name, "syrk");
+    }
+
+    #[test]
+    fn all_sources_parse_and_lower() {
+        for b in benchmarks() {
+            for (tag, src) in [
+                ("seq", Some(b.sequential)),
+                ("ref", Some(b.reference)),
+                ("manual", b.manual),
+                ("collab", b.collab),
+            ] {
+                let Some(src) = src else { continue };
+                let prog = splendid_cfront::parse_program(src)
+                    .unwrap_or_else(|e| panic!("{} {tag}: {e}", b.name));
+                splendid_cfront::lower_program(
+                    &prog,
+                    b.name,
+                    &splendid_cfront::LowerOptions::default(),
+                )
+                .unwrap_or_else(|e| panic!("{} {tag}: {e}", b.name));
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_subset_has_seven_entries() {
+        let n = benchmarks().iter().filter(|b| b.collab.is_some()).count();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn check_globals_exist() {
+        for b in benchmarks() {
+            let prog = splendid_cfront::parse_program(b.sequential).unwrap();
+            for g in b.check_globals {
+                assert!(
+                    prog.globals.iter().any(|(n, _)| n == g),
+                    "{}: missing global {g}",
+                    b.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! PolyBench benchmarks and the end-to-end evaluation harness.
+//!
+//! The 16 benchmarks of the paper's evaluation (§5.1.1), written in the
+//! supported C subset at laptop-scale problem sizes (DESIGN.md documents
+//! the substitution). Each benchmark carries:
+//!
+//! * the **sequential** source (pipeline input),
+//! * the **reference** source — the sequential code with OpenMP pragmas
+//!   added exactly where the Polly-sim parallelizes, in SPLENDID's pragma
+//!   style (the paper's §5.1.2 reference-code construction),
+//! * manual-parallelization data (how many loops a programmer annotates
+//!   and how many overlap with the compiler — Table 3),
+//! * for the Figure-9 subset: a runnable **manual** variant and the
+//!   **collaborative** variant (SPLENDID output + a few hand lines).
+//!
+//! [`harness`] drives the full pipeline: C → IR → `-O2` → Polly-sim →
+//! {execute, decompile, recompile, re-execute, measure}.
+
+pub mod harness;
+pub mod kernels;
+
+pub use harness::{Harness, PipelineArtifacts};
+pub use kernels::{benchmarks, Benchmark};

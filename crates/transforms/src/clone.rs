@@ -1,0 +1,146 @@
+//! Region-cloning utilities shared by inlining, unrolling, distribution,
+//! and the parallelizer's loop versioning.
+
+use splendid_ir::{BlockId, Function, InstId, InstKind, Value};
+use std::collections::HashMap;
+
+/// Result of cloning a set of blocks inside one function.
+#[derive(Debug, Clone)]
+pub struct CloneMap {
+    /// Original block -> cloned block.
+    pub blocks: HashMap<BlockId, BlockId>,
+    /// Original instruction -> cloned instruction.
+    pub insts: HashMap<InstId, InstId>,
+}
+
+impl CloneMap {
+    /// Remapped block, or the original if it was outside the cloned set.
+    pub fn block(&self, b: BlockId) -> BlockId {
+        self.blocks.get(&b).copied().unwrap_or(b)
+    }
+
+    /// Remapped value: instruction results defined in the cloned region map
+    /// to their clones; everything else is unchanged.
+    pub fn value(&self, v: Value) -> Value {
+        match v {
+            Value::Inst(i) => Value::Inst(self.insts.get(&i).copied().unwrap_or(i)),
+            other => other,
+        }
+    }
+}
+
+/// Clone `blocks` (and all their instructions) within `f`.
+///
+/// Branch targets and operands referring *inside* the set are remapped to
+/// the clones; references to the outside are left untouched. Phi incomings
+/// from outside blocks keep their original predecessor — callers must fix
+/// them up according to how they stitch the clone into the CFG.
+pub fn clone_blocks(f: &mut Function, blocks: &[BlockId], suffix: &str) -> CloneMap {
+    let mut map = CloneMap { blocks: HashMap::new(), insts: HashMap::new() };
+    // Pass 1: create blocks and clone instructions verbatim.
+    for &b in blocks {
+        let name = format!("{}{}", f.block(b).name, suffix);
+        let nb = f.add_block(name);
+        map.blocks.insert(b, nb);
+    }
+    for &b in blocks {
+        for &i in &f.block(b).insts.clone() {
+            let inst = f.inst(i).clone();
+            let ni = f.add_inst(inst);
+            map.insts.insert(i, ni);
+            let nb = map.blocks[&b];
+            f.block_mut(nb).insts.push(ni);
+        }
+    }
+    // Pass 2: remap operands and targets in the clones.
+    for (&_orig, &ni) in &map.insts {
+        let mut kind = f.inst(ni).kind.clone();
+        kind.for_each_operand_mut(|v| *v = map.value(*v));
+        match &mut kind {
+            InstKind::Br { target } => *target = map.block(*target),
+            InstKind::CondBr { then_bb, else_bb, .. } => {
+                *then_bb = map.block(*then_bb);
+                *else_bb = map.block(*else_bb);
+            }
+            InstKind::Phi { incomings } => {
+                for (b, _) in incomings {
+                    *b = map.block(*b);
+                }
+            }
+            _ => {}
+        }
+        f.inst_mut(ni).kind = kind;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, IPred, Type};
+
+    #[test]
+    fn clones_loop_region() {
+        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let c = b.icmp(IPred::Slt, iv, b.arg(0), "");
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        let before_blocks = f.blocks.len();
+        let map = clone_blocks(&mut f, &[header, body], ".clone");
+        assert_eq!(f.blocks.len(), before_blocks + 2);
+        // The cloned header's phi refers to the cloned body for its back
+        // edge and keeps the outside (entry) incoming.
+        let ch = map.blocks[&header];
+        let phi = f.block(ch).insts[0];
+        let InstKind::Phi { incomings } = &f.inst(phi).kind else { panic!() };
+        let blocks: Vec<BlockId> = incomings.iter().map(|(b, _)| *b).collect();
+        assert!(blocks.contains(&entry));
+        assert!(blocks.contains(&map.blocks[&body]));
+        // The cloned body's increment uses the cloned phi.
+        let cb = map.blocks[&body];
+        let add = f.block(cb).insts[0];
+        let InstKind::Bin { lhs, .. } = f.inst(add).kind else { panic!() };
+        assert_eq!(lhs, Value::Inst(phi));
+        // The cloned branch exits to the ORIGINAL exit block (outside set).
+        let InstKind::CondBr { else_bb, .. } =
+            f.inst(f.terminator(ch).unwrap()).kind
+        else {
+            panic!()
+        };
+        assert_eq!(else_bb, exit);
+    }
+
+    #[test]
+    fn clone_is_disjoint() {
+        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let x = b.bin(BinOp::Add, Type::I64, Value::i64(1), Value::i64(2), "");
+        let _ = x;
+        b.ret(None);
+        let mut f = b.finish();
+        let entry = f.entry;
+        let before = f.insts.len();
+        let map = clone_blocks(&mut f, &[entry], ".c");
+        assert_eq!(f.insts.len(), before * 2);
+        for (o, n) in &map.insts {
+            assert_ne!(o, n);
+        }
+    }
+}

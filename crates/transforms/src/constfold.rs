@@ -1,0 +1,359 @@
+//! Constant folding and algebraic simplification.
+
+use splendid_ir::{BinOp, CastOp, FPred, Function, IPred, InstId, InstKind, Type, Value};
+
+/// Fold constants and algebraic identities until a fixpoint. Returns the
+/// number of instructions folded.
+pub fn fold_constants(f: &mut Function) -> usize {
+    let mut folded = 0;
+    loop {
+        let mut changed = false;
+        for idx in 0..f.insts.len() {
+            let id = InstId(idx as u32);
+            if matches!(f.inst(id).kind, InstKind::Nop) {
+                continue;
+            }
+            if let Some(v) = fold_inst(f, id) {
+                f.replace_all_uses(Value::Inst(id), v);
+                f.delete_inst(id);
+                folded += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return folded;
+        }
+    }
+}
+
+/// The folded value of instruction `id`, if it can be computed or
+/// simplified away.
+pub fn fold_inst(f: &Function, id: InstId) -> Option<Value> {
+    let inst = f.inst(id);
+    match &inst.kind {
+        InstKind::Bin { op, lhs, rhs } => fold_bin(*op, *lhs, *rhs, inst.ty),
+        InstKind::ICmp { pred, lhs, rhs } => {
+            let (a, b) = (lhs.as_int()?, rhs.as_int()?);
+            Some(Value::bool(eval_ipred(*pred, a, b)))
+        }
+        InstKind::FCmp { pred, lhs, rhs } => {
+            let (a, b) = (lhs.as_f64()?, rhs.as_f64()?);
+            Some(Value::bool(match pred {
+                FPred::Oeq => a == b,
+                FPred::One => a != b,
+                FPred::Olt => a < b,
+                FPred::Ole => a <= b,
+                FPred::Ogt => a > b,
+                FPred::Oge => a >= b,
+            }))
+        }
+        InstKind::Select { cond, then_val, else_val } => match cond.as_int() {
+            Some(1) => Some(*then_val),
+            Some(0) => Some(*else_val),
+            _ => (then_val == else_val).then_some(*then_val),
+        },
+        InstKind::Cast { op, val } => fold_cast(*op, *val, inst.ty),
+        _ => None,
+    }
+}
+
+/// Evaluate an integer predicate on constants.
+pub fn eval_ipred(pred: IPred, a: i64, b: i64) -> bool {
+    match pred {
+        IPred::Eq => a == b,
+        IPred::Ne => a != b,
+        IPred::Slt => a < b,
+        IPred::Sle => a <= b,
+        IPred::Sgt => a > b,
+        IPred::Sge => a >= b,
+    }
+}
+
+/// Evaluate an integer binary op on constants (wrapping), truncated to the
+/// result type's width.
+pub fn eval_int_bin(op: BinOp, a: i64, b: i64, ty: Type) -> Option<i64> {
+    let raw = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::SDiv => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::AShr => a.wrapping_shr(b as u32),
+        _ => return None,
+    };
+    Some(truncate_to(raw, ty))
+}
+
+/// Sign-truncate `v` to the width of integer type `ty`.
+pub fn truncate_to(v: i64, ty: Type) -> i64 {
+    match ty.int_bits() {
+        Some(64) | None => v,
+        // `i1` is kept canonical as 0/1 so boolean constants have a single
+        // representation.
+        Some(1) => v & 1,
+        Some(bits) => {
+            let shift = 64 - bits;
+            (v << shift) >> shift
+        }
+    }
+}
+
+fn fold_bin(op: BinOp, lhs: Value, rhs: Value, ty: Type) -> Option<Value> {
+    // Full constant folding.
+    if let (Some(a), Some(b)) = (lhs.as_int(), rhs.as_int()) {
+        return eval_int_bin(op, a, b, ty).map(|v| Value::ConstInt { ty, val: v });
+    }
+    if let (Some(a), Some(b)) = (lhs.as_f64(), rhs.as_f64()) {
+        let r = match op {
+            BinOp::FAdd => a + b,
+            BinOp::FSub => a - b,
+            BinOp::FMul => a * b,
+            BinOp::FDiv => a / b,
+            _ => return None,
+        };
+        return Some(Value::f64(r));
+    }
+    // Algebraic identities (integer only; float identities would change
+    // NaN/sign semantics).
+    let zero = Value::ConstInt { ty, val: 0 };
+    let one = Value::ConstInt { ty, val: 1 };
+    match op {
+        BinOp::Add => {
+            if rhs == zero {
+                return Some(lhs);
+            }
+            if lhs == zero {
+                return Some(rhs);
+            }
+        }
+        BinOp::Sub => {
+            if rhs == zero {
+                return Some(lhs);
+            }
+            if lhs == rhs {
+                return Some(zero);
+            }
+        }
+        BinOp::Mul => {
+            if rhs == one {
+                return Some(lhs);
+            }
+            if lhs == one {
+                return Some(rhs);
+            }
+            if rhs == zero || lhs == zero {
+                return Some(zero);
+            }
+        }
+        BinOp::SDiv => {
+            if rhs == one {
+                return Some(lhs);
+            }
+        }
+        BinOp::And => {
+            if lhs == rhs {
+                return Some(lhs);
+            }
+        }
+        BinOp::Or => {
+            if lhs == rhs {
+                return Some(lhs);
+            }
+            if rhs == zero {
+                return Some(lhs);
+            }
+            if lhs == zero {
+                return Some(rhs);
+            }
+        }
+        BinOp::Xor => {
+            if lhs == rhs {
+                return Some(zero);
+            }
+        }
+        BinOp::Shl | BinOp::AShr => {
+            if rhs == zero {
+                return Some(lhs);
+            }
+        }
+        _ => {}
+    }
+    None
+}
+
+fn fold_cast(op: CastOp, val: Value, to: Type) -> Option<Value> {
+    match op {
+        CastOp::Sext | CastOp::Trunc => {
+            let v = val.as_int()?;
+            Some(Value::ConstInt { ty: to, val: truncate_to(v, to) })
+        }
+        CastOp::Zext => {
+            let v = val.as_int()?;
+            // Zero-extend from the source width; source type is encoded in
+            // the constant itself.
+            let masked = match val {
+                Value::ConstInt { ty: src, .. } => match src.int_bits() {
+                    Some(64) | None => v,
+                    Some(bits) => v & ((1i64 << bits) - 1),
+                },
+                _ => v,
+            };
+            Some(Value::ConstInt { ty: to, val: masked })
+        }
+        CastOp::SiToFp => {
+            let v = val.as_int()?;
+            Some(Value::f64(v as f64))
+        }
+        CastOp::FpToSi => {
+            let v = val.as_f64()?;
+            Some(Value::ConstInt { ty: to, val: truncate_to(v as i64, to) })
+        }
+        CastOp::Bitcast => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+
+    #[test]
+    fn folds_arithmetic_chain() {
+        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let a = b.bin(BinOp::Add, Type::I64, Value::i64(2), Value::i64(3), "");
+        let c = b.bin(BinOp::Mul, Type::I64, a, Value::i64(4), "");
+        b.ret(Some(c));
+        let mut f = b.finish();
+        let n = fold_constants(&mut f);
+        assert_eq!(n, 2);
+        let ret = f
+            .insts
+            .iter()
+            .find_map(|i| match i.kind {
+                InstKind::Ret { val } => val,
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ret, Value::i64(20));
+        splendid_ir::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn identities() {
+        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::I64);
+        let x = b.arg(0);
+        let a = b.bin(BinOp::Add, Type::I64, x, Value::i64(0), "");
+        let m = b.bin(BinOp::Mul, Type::I64, a, Value::i64(1), "");
+        let s = b.bin(BinOp::Sub, Type::I64, m, Value::i64(0), "");
+        b.ret(Some(s));
+        let mut f = b.finish();
+        fold_constants(&mut f);
+        let ret = f
+            .insts
+            .iter()
+            .find_map(|i| match i.kind {
+                InstKind::Ret { val } => val,
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ret, x);
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let d = b.bin(BinOp::SDiv, Type::I64, Value::i64(1), Value::i64(0), "");
+        b.ret(Some(d));
+        let mut f = b.finish();
+        assert_eq!(fold_constants(&mut f), 0);
+    }
+
+    #[test]
+    fn float_folding() {
+        let mut b = FuncBuilder::new("f", &[], Type::F64);
+        let a = b.bin(BinOp::FMul, Type::F64, Value::f64(2.0), Value::f64(3.5), "");
+        b.ret(Some(a));
+        let mut f = b.finish();
+        fold_constants(&mut f);
+        let ret = f
+            .insts
+            .iter()
+            .find_map(|i| match i.kind {
+                InstKind::Ret { val } => val,
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ret, Value::f64(7.0));
+    }
+
+    #[test]
+    fn cmp_and_select_fold() {
+        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let c = b.icmp(IPred::Slt, Value::i64(1), Value::i64(2), "");
+        let s = b.select(c, Value::i64(10), Value::i64(20), Type::I64, "");
+        b.ret(Some(s));
+        let mut f = b.finish();
+        fold_constants(&mut f);
+        let ret = f
+            .insts
+            .iter()
+            .find_map(|i| match i.kind {
+                InstKind::Ret { val } => val,
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ret, Value::i64(10));
+    }
+
+    #[test]
+    fn casts_fold() {
+        let mut b = FuncBuilder::new("f", &[], Type::F64);
+        let w = b.cast(CastOp::Sext, Value::i32(-5), Type::I64, "");
+        let x = b.cast(CastOp::SiToFp, w, Type::F64, "");
+        b.ret(Some(x));
+        let mut f = b.finish();
+        fold_constants(&mut f);
+        let ret = f
+            .insts
+            .iter()
+            .find_map(|i| match i.kind {
+                InstKind::Ret { val } => val,
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ret, Value::f64(-5.0));
+    }
+
+    #[test]
+    fn truncation_semantics() {
+        assert_eq!(truncate_to(0x1_0000_0001, Type::I32), 1);
+        assert_eq!(truncate_to(255, Type::I8), -1);
+        assert_eq!(truncate_to(1, Type::I1), 1);
+        assert_eq!(truncate_to(2, Type::I1), 0);
+        assert_eq!(truncate_to(i64::MAX, Type::I64), i64::MAX);
+    }
+
+    #[test]
+    fn float_identities_not_applied() {
+        // x + 0.0 must not fold (x could be -0.0).
+        let mut b = FuncBuilder::new("f", &[("x", Type::F64)], Type::F64);
+        let a = b.bin(BinOp::FAdd, Type::F64, b.arg(0), Value::f64(0.0), "");
+        b.ret(Some(a));
+        let mut f = b.finish();
+        assert_eq!(fold_constants(&mut f), 0);
+    }
+}

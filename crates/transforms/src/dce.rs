@@ -1,0 +1,149 @@
+//! Dead code elimination: remove pure instructions whose results are unused.
+
+use splendid_ir::{Function, InstId, InstKind, Value};
+use std::collections::HashSet;
+
+/// Remove unused pure instructions via mark-and-sweep: everything not
+/// transitively reachable from a side-effecting instruction is dead. This
+/// also removes dead *phi cycles* (mutually-referencing phis with no
+/// outside user), which use-counting cannot.
+pub fn eliminate_dead_code(f: &mut Function) -> usize {
+    let placed = f.inst_blocks();
+    // Roots: side-effecting instructions (stores, calls, terminators).
+    // `dbg` intrinsics do not keep values alive (as in LLVM).
+    let mut live: HashSet<InstId> = HashSet::new();
+    let mut work: Vec<InstId> = Vec::new();
+    for (idx, inst) in f.insts.iter().enumerate() {
+        if placed[idx].is_none() || matches!(inst.kind, InstKind::DbgValue { .. }) {
+            continue;
+        }
+        if inst.kind.has_side_effects() || inst.kind.is_terminator() {
+            let id = InstId(idx as u32);
+            if live.insert(id) {
+                work.push(id);
+            }
+        }
+    }
+    while let Some(i) = work.pop() {
+        f.inst(i).kind.for_each_operand(|v| {
+            if let Value::Inst(d) = v {
+                if live.insert(d) {
+                    work.push(d);
+                }
+            }
+        });
+    }
+    let mut removed = 0;
+    for (idx, inst) in f.insts.clone().iter().enumerate() {
+        let id = InstId(idx as u32);
+        if placed[idx].is_none()
+            || live.contains(&id)
+            || matches!(inst.kind, InstKind::DbgValue { .. })
+        {
+            continue;
+        }
+        if inst.has_result() && !inst.kind.has_side_effects() {
+            f.delete_inst(id);
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        scrub_dangling_dbg(f);
+    }
+    removed
+}
+
+/// Remove `dbg` intrinsics whose value operand refers to a deleted
+/// instruction (used after passes that drop values without rewriting their
+/// debug uses).
+pub fn scrub_dangling_dbg(f: &mut Function) -> usize {
+    let mut removed = 0;
+    let mut dangling = Vec::new();
+    let placed = f.inst_blocks();
+    for (idx, inst) in f.insts.iter().enumerate() {
+        if placed[idx].is_none() {
+            continue;
+        }
+        if let InstKind::DbgValue { val, .. } = inst.kind {
+            if let Value::Inst(d) = val {
+                if matches!(f.inst(d).kind, InstKind::Nop) {
+                    dangling.push(InstId(idx as u32));
+                }
+            }
+        }
+    }
+    for id in dangling {
+        f.delete_inst(id);
+        removed += 1;
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, MemType, Type};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::I64);
+        let dead1 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "");
+        let _dead2 = b.bin(BinOp::Mul, Type::I64, dead1, Value::i64(2), "");
+        let live = b.bin(BinOp::Sub, Type::I64, b.arg(0), Value::i64(3), "");
+        b.ret(Some(live));
+        let mut f = b.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 2);
+        assert_eq!(f.live_inst_count(), 2);
+        splendid_ir::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut b = FuncBuilder::new("f", &[("p", Type::Ptr)], Type::Void);
+        b.store(Value::i64(1), b.arg(0));
+        let _unused_load = b.load(Type::I64, b.arg(0), "");
+        b.call(splendid_ir::Callee::External("foo".into()), vec![], Type::I64, "");
+        b.ret(None);
+        let mut f = b.finish();
+        // The load is pure and unused: removed. Store and call stay.
+        assert_eq!(eliminate_dead_code(&mut f), 1);
+        assert_eq!(f.live_inst_count(), 3);
+    }
+
+    #[test]
+    fn keeps_used_alloca() {
+        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let a = b.alloca(MemType::Scalar(Type::I64), "");
+        b.store(Value::i64(1), a);
+        let v = b.load(Type::I64, a, "");
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+    }
+
+    #[test]
+    fn removes_unused_alloca() {
+        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        b.alloca(MemType::Scalar(Type::I64), "");
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 1);
+    }
+
+    #[test]
+    fn scrubs_dangling_dbg() {
+        let mut m = splendid_ir::Module::new("m");
+        let var = m.intern_di_var("x", "f");
+        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let v = b.bin(BinOp::Add, Type::I64, Value::i64(1), Value::i64(2), "");
+        b.dbg_value(v, var);
+        b.ret(None);
+        let mut f = b.finish();
+        // The dbg use keeps `v` alive from DCE's perspective? No: dbg is a
+        // use, so DCE keeps it. Simulate a pass deleting v directly.
+        f.delete_inst(v.as_inst().unwrap());
+        assert_eq!(scrub_dangling_dbg(&mut f), 1);
+        splendid_ir::verify::verify_function(&f).unwrap();
+    }
+}

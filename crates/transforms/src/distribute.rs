@@ -1,0 +1,312 @@
+//! Loop distribution: split one loop into several, each computing an
+//! independent group of stores (paper Figure 3, and the manual optimization
+//! programmers apply to `atax`/`bicg` in the collaborative case study).
+
+use crate::clone::clone_blocks;
+use crate::dce::{eliminate_dead_code, scrub_dangling_dbg};
+use splendid_analysis::alias::{alias, mem_root, AliasResult, MemRoot};
+use splendid_analysis::domtree::DomTree;
+use splendid_analysis::loops::{LoopId, LoopInfo};
+use splendid_ir::{Function, InstId, InstKind};
+
+/// Distribute the (unique) outermost loop of `f` into one loop per written
+/// memory root, when legal. Returns the number of resulting loops.
+pub fn distribute_outermost(f: &mut Function) -> Result<usize, String> {
+    let dt = DomTree::compute(f);
+    let li = LoopInfo::compute(f, &dt);
+    let tops = li.top_level();
+    let [lid] = tops.as_slice() else {
+        return Err(format!("expected exactly one top-level loop, found {}", tops.len()));
+    };
+    distribute_loop(f, &li, *lid)
+}
+
+/// Distribute loop `lid` by written memory root.
+///
+/// Legality: each written root belongs to exactly one group; dependences
+/// between groups (a group loading a root another group writes) must be
+/// acyclic, and groups are emitted in dependence order. All loop structure
+/// (inner loops, IV) is cloned per group; dead code in each clone is
+/// removed.
+pub fn distribute_loop(f: &mut Function, li: &LoopInfo, lid: LoopId) -> Result<usize, String> {
+    let l = li.get(lid).clone();
+    let exits = l.exits.clone();
+    let [exit] = exits.as_slice() else {
+        return Err("loop must have a single exit".into());
+    };
+    let exiting = l.exiting.clone();
+    let [exiting] = exiting.as_slice() else {
+        return Err("loop must have a single exiting block".into());
+    };
+
+    // Group stores by root; collect load roots per group.
+    let mut groups: Vec<(MemRoot, Vec<InstId>)> = Vec::new();
+    for &bb in &l.blocks {
+        for &i in &f.block(bb).insts {
+            if let InstKind::Store { ptr, .. } = f.inst(i).kind {
+                let root = mem_root(f, ptr);
+                if root == MemRoot::Unknown {
+                    return Err("store with untrackable root".into());
+                }
+                match groups.iter_mut().find(|(r, _)| *r == root) {
+                    Some((_, v)) => v.push(i),
+                    None => groups.push((root, vec![i])),
+                }
+            }
+        }
+    }
+    if groups.len() < 2 {
+        return Err("fewer than two store groups; nothing to distribute".into());
+    }
+
+    // Dependence edges between groups: group B -> A if B's computation
+    // loads a root written by A (B must run after A). We keep the original
+    // textual order and only verify it is consistent (no backward edge).
+    let load_roots_of = |f: &Function, stores: &[InstId]| -> Vec<MemRoot> {
+        // All loads in the loop that (transitively) feed these stores.
+        let mut needed: Vec<InstId> = stores.to_vec();
+        let mut seen: std::collections::HashSet<InstId> = needed.iter().copied().collect();
+        let mut roots = Vec::new();
+        while let Some(i) = needed.pop() {
+            f.inst(i).kind.for_each_operand(|v| {
+                if let splendid_ir::Value::Inst(d) = v {
+                    if seen.insert(d) {
+                        needed.push(d);
+                    }
+                }
+            });
+            if let InstKind::Load { ptr } = f.inst(i).kind {
+                roots.push(mem_root(f, ptr));
+            }
+        }
+        roots
+    };
+    for (ai, (aroot, _)) in groups.iter().enumerate() {
+        for (bi, (_, bstores)) in groups.iter().enumerate() {
+            if ai <= bi {
+                continue;
+            }
+            // Earlier group (bi < ai is false here; ai > bi): does the
+            // earlier group (bi) read what a later group (ai) writes?
+            let b_loads = load_roots_of(f, bstores);
+            if b_loads
+                .iter()
+                .any(|r| alias(*r, *aroot) != AliasResult::NoAlias)
+            {
+                return Err("backward dependence between store groups".into());
+            }
+        }
+    }
+
+    // Clone the loop body once per extra group and chain: the original
+    // exiting edge targets the next clone's header instead of the exit.
+    let loop_blocks = l.blocks.clone();
+    let mut chain_tail_exiting = *exiting;
+    let mut all_regions: Vec<Vec<InstId>> = vec![groups[0].1.clone()];
+    for (gi, _) in groups.iter().enumerate().skip(1) {
+        let map = clone_blocks(f, &loop_blocks, &format!(".d{gi}"));
+        // Retarget the previous region's exit edge to this clone's header.
+        let new_header = map.block(l.header);
+        let t = f.terminator(chain_tail_exiting).expect("exiting terminator");
+        let mut kind = f.inst(t).kind.clone();
+        match &mut kind {
+            InstKind::CondBr { then_bb, else_bb, .. } => {
+                if *then_bb == *exit {
+                    *then_bb = new_header;
+                }
+                if *else_bb == *exit {
+                    *else_bb = new_header;
+                }
+            }
+            InstKind::Br { target } => *target = new_header,
+            _ => return Err("unexpected exiting terminator".into()),
+        }
+        f.inst_mut(t).kind = kind;
+        // The clone's header phis had incomings from the original
+        // preheader; those edges now come from the previous exiting block.
+        let preds_outside: Vec<_> = {
+            let preds = f.predecessors();
+            preds[l.header.index()]
+                .iter()
+                .copied()
+                .filter(|p| !loop_blocks.contains(p))
+                .collect()
+        };
+        for &i in &f.block(new_header).insts.clone() {
+            if let InstKind::Phi { incomings } = &mut f.inst_mut(i).kind {
+                for (b, _) in incomings {
+                    if preds_outside.contains(b) {
+                        *b = chain_tail_exiting;
+                    }
+                }
+            }
+        }
+        chain_tail_exiting = map.block(*exiting);
+        all_regions.push(groups[gi].1.iter().map(|s| map.insts[s]).collect());
+    }
+
+    // In each region, delete the stores belonging to all other groups.
+    for (gi, _) in groups.iter().enumerate() {
+        for (gj, stores) in all_regions.iter().enumerate() {
+            if gi == gj {
+                continue;
+            }
+            // Stores of group gj living in region gi: region 0 holds the
+            // original stores of every group; region k holds clones.
+            let _ = stores;
+        }
+    }
+    // Simpler and equivalent: region r keeps only group r's stores. Build
+    // the set of stores to delete per region.
+    let region_block_sets: Vec<Vec<splendid_ir::BlockId>> = {
+        let dt = DomTree::compute(f);
+        let li2 = LoopInfo::compute(f, &dt);
+        // Map each region by its kept store's block.
+        all_regions
+            .iter()
+            .map(|stores| {
+                let owners = f.inst_blocks();
+                let bb = owners[stores[0].index()].expect("store placed");
+                let lid2 = li2.loop_of(bb).expect("store in loop");
+                // Outermost enclosing loop of that block.
+                let mut cur = lid2;
+                while let Some(p) = li2.get(cur).parent {
+                    cur = p;
+                }
+                li2.get(cur).blocks.clone()
+            })
+            .collect()
+    };
+    for (r, blocks) in region_block_sets.iter().enumerate() {
+        let keep: &[InstId] = &all_regions[r];
+        let mut to_delete = Vec::new();
+        for &bb in blocks {
+            for &i in &f.block(bb).insts {
+                if matches!(f.inst(i).kind, InstKind::Store { .. }) && !keep.contains(&i) {
+                    to_delete.push(i);
+                }
+            }
+        }
+        for i in to_delete {
+            f.delete_inst(i);
+        }
+    }
+    scrub_dangling_dbg(f);
+    eliminate_dead_code(f);
+    crate::simplify_cfg::simplify_cfg(f);
+    Ok(groups.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, GlobalId, IPred, MemType, Type, Value};
+
+    /// for (i) { A[i] = i; B[i] = 2*i; }
+    fn two_store_loop() -> Function {
+        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let latch = b.new_block("latch");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let c = b.icmp(IPred::Slt, iv, Value::i64(100), "");
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let at = MemType::array1(Type::F64, 100);
+        let x = b.cast(splendid_ir::CastOp::SiToFp, iv, Type::F64, "");
+        let pa = b.gep(at.clone(), Value::Global(GlobalId(0)), vec![Value::i64(0), iv], "");
+        b.store(x, pa);
+        let two_i = b.bin(BinOp::Mul, Type::I64, iv, Value::i64(2), "");
+        let y = b.cast(splendid_ir::CastOp::SiToFp, two_i, Type::F64, "");
+        let pb = b.gep(at, Value::Global(GlobalId(1)), vec![Value::i64(0), iv], "");
+        b.store(y, pb);
+        b.br(latch);
+        b.switch_to(latch);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((latch, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn distributes_two_groups() {
+        let mut f = two_store_loop();
+        let n = distribute_outermost(&mut f).unwrap();
+        assert_eq!(n, 2);
+        splendid_ir::verify::verify_function(&f).unwrap();
+        // Two loops now exist, each with exactly one store.
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        assert_eq!(li.top_level().len(), 2);
+        for lid in li.top_level() {
+            let stores = li
+                .get(lid)
+                .blocks
+                .iter()
+                .flat_map(|&bb| f.block(bb).insts.clone())
+                .filter(|&i| matches!(f.inst(i).kind, InstKind::Store { .. }))
+                .count();
+            assert_eq!(stores, 1);
+        }
+    }
+
+    #[test]
+    fn single_group_rejected() {
+        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let c = b.icmp(IPred::Slt, iv, Value::i64(10), "");
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let x = b.cast(splendid_ir::CastOp::SiToFp, iv, Type::F64, "");
+        let p = b.gep(
+            MemType::array1(Type::F64, 10),
+            Value::Global(GlobalId(0)),
+            vec![Value::i64(0), iv],
+            "",
+        );
+        b.store(x, p);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        let latch = b.current_block();
+        if let Value::Inst(pid) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(pid).kind {
+                incomings.push((latch, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(distribute_outermost(&mut f).is_err());
+    }
+
+    #[test]
+    fn distribution_preserves_iv_per_loop() {
+        let mut f = two_store_loop();
+        distribute_outermost(&mut f).unwrap();
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        use splendid_analysis::indvar::recognize_counted_loop;
+        for lid in li.top_level() {
+            let cl = recognize_counted_loop(&f, &li, lid).expect("counted after distribution");
+            assert_eq!(cl.step, 1);
+            assert_eq!(cl.init, Value::i64(0));
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Function inlining.
+
+use splendid_ir::{
+    BlockId, Callee, FuncId, Function, Inst, InstId, InstKind, Module, Type, Value,
+};
+use std::collections::HashMap;
+
+/// Inline the direct call `call_inst` (which must live in `caller`).
+///
+/// Returns an error for indirect calls, arity mismatches, or calls to
+/// external symbols.
+pub fn inline_call(module: &mut Module, caller: FuncId, call_inst: InstId) -> Result<(), String> {
+    let (callee_id, args) = {
+        let f = module.func(caller);
+        match &f.inst(call_inst).kind {
+            InstKind::Call { callee: Callee::Func(id), args } => (*id, args.clone()),
+            InstKind::Call { callee: Callee::External(n), .. } => {
+                return Err(format!("cannot inline external call to {n}"))
+            }
+            _ => return Err("not a call instruction".into()),
+        }
+    };
+    if callee_id == caller {
+        return Err("cannot inline recursive call".into());
+    }
+    let callee = module.func(callee_id).clone();
+    if callee.params.len() != args.len() {
+        return Err("arity mismatch".into());
+    }
+
+    let f = module.func_mut(caller);
+
+    // Locate the call within its block.
+    let owners = f.inst_blocks();
+    let call_bb = owners[call_inst.index()].ok_or("call not placed in a block")?;
+    let pos = f
+        .block(call_bb)
+        .insts
+        .iter()
+        .position(|&i| i == call_inst)
+        .ok_or("call not found in its block")?;
+
+    // Split the block: instructions after the call move to a continuation.
+    let cont_bb = f.add_block(format!("{}.cont", f.block(call_bb).name));
+    let tail: Vec<InstId> = f.block_mut(call_bb).insts.split_off(pos + 1);
+    f.block_mut(cont_bb).insts = tail;
+    // The call itself is removed from the original block.
+    f.block_mut(call_bb).insts.pop();
+    // Phis in the old successors must now name the continuation block.
+    let moved_term = f.terminator(cont_bb);
+    if let Some(t) = moved_term {
+        for s in f.inst(t).kind.successors() {
+            for &i in &f.block(s).insts.clone() {
+                if let InstKind::Phi { incomings } = &mut f.inst_mut(i).kind {
+                    for (p, _) in incomings {
+                        if *p == call_bb {
+                            *p = cont_bb;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Copy callee blocks and instructions into the caller with remapping.
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    for (idx, block) in callee.blocks.iter().enumerate() {
+        let nb = f.add_block(format!("{}.{}", callee.name, block.name));
+        block_map.insert(BlockId(idx as u32), nb);
+    }
+    // Pre-reserve caller-side ids for every placed callee instruction so a
+    // single remapping pass suffices (callee and caller ids are distinct
+    // arenas and may collide numerically).
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    for block in &callee.blocks {
+        for &i in &block.insts {
+            let slot = f.add_inst(Inst::new(InstKind::Nop, Type::Void));
+            inst_map.insert(i, slot);
+        }
+    }
+    let mut returns: Vec<(BlockId, Option<Value>)> = Vec::new();
+    for (bidx, block) in callee.blocks.iter().enumerate() {
+        let nb = block_map[&BlockId(bidx as u32)];
+        for &i in &block.insts {
+            let mut inst = callee.insts[i.index()].clone();
+            // Remap operands of the pristine callee copy: args -> call
+            // arguments, instruction results -> reserved clones.
+            inst.kind.for_each_operand_mut(|v| {
+                *v = match *v {
+                    Value::Arg(a) => args[a as usize],
+                    Value::Inst(d) => Value::Inst(inst_map[&d]),
+                    other => other,
+                };
+            });
+            match &mut inst.kind {
+                InstKind::Br { target } => *target = block_map[target],
+                InstKind::CondBr { then_bb, else_bb, .. } => {
+                    *then_bb = block_map[then_bb];
+                    *else_bb = block_map[else_bb];
+                }
+                InstKind::Phi { incomings } => {
+                    for (b, _) in incomings {
+                        *b = block_map[b];
+                    }
+                }
+                InstKind::Ret { val } => {
+                    returns.push((nb, *val));
+                    inst.kind = InstKind::Br { target: cont_bb };
+                    inst.ty = Type::Void;
+                }
+                _ => {}
+            }
+            let ni = inst_map[&i];
+            *f.inst_mut(ni) = inst;
+            f.block_mut(nb).insts.push(ni);
+        }
+    }
+
+    // Branch from the call site into the inlined entry.
+    let entry_clone = block_map[&callee.entry];
+    let br = f.add_inst(Inst::new(InstKind::Br { target: entry_clone }, Type::Void));
+    f.block_mut(call_bb).insts.push(br);
+
+    // Wire up the call's result.
+    let call_ty = f.inst(call_inst).ty;
+    if call_ty != Type::Void {
+        let result: Value = match returns.as_slice() {
+            [] => Value::Undef(call_ty),
+            [(_, Some(v))] => *v,
+            _ => {
+                // Multiple returns: merge through a phi in the continuation.
+                let incomings = returns
+                    .iter()
+                    .map(|(b, v)| (*b, v.unwrap_or(Value::Undef(call_ty))))
+                    .collect();
+                let phi = f.add_inst(Inst::new(InstKind::Phi { incomings }, call_ty));
+                f.block_mut(cont_bb).insts.insert(0, phi);
+                Value::Inst(phi)
+            }
+        };
+        f.replace_all_uses(Value::Inst(call_inst), result);
+    }
+    f.delete_inst(call_inst);
+    Ok(())
+}
+
+/// Inline every call to `callee` across the module; returns how many call
+/// sites were inlined.
+pub fn inline_all_calls_to(module: &mut Module, callee: FuncId) -> usize {
+    let mut count = 0;
+    for caller in module.func_ids().collect::<Vec<_>>() {
+        if caller == callee {
+            continue;
+        }
+        loop {
+            let site = {
+                let f = module.func(caller);
+                let owners = f.inst_blocks();
+                (0..f.insts.len()).map(|i| InstId(i as u32)).find(|&i| {
+                    owners[i.index()].is_some()
+                        && matches!(
+                            &f.inst(i).kind,
+                            InstKind::Call { callee: Callee::Func(c), .. } if *c == callee
+                        )
+                })
+            };
+            match site {
+                Some(s) => {
+                    inline_call(module, caller, s).expect("inlinable");
+                    count += 1;
+                }
+                None => break,
+            }
+        }
+    }
+    count
+}
+
+/// Remove functions that are never referenced (as callee or function-pointer
+/// operand) and are not `main`-like roots. `roots` names functions to keep.
+pub fn strip_dead_functions(module: &mut Module, roots: &[&str]) -> usize {
+    let mut used = vec![false; module.functions.len()];
+    for (i, f) in module.functions.iter().enumerate() {
+        if roots.contains(&f.name.as_str()) {
+            used[i] = true;
+        }
+    }
+    // Propagate reachability.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..module.functions.len() {
+            if !used[i] {
+                continue;
+            }
+            let mut referenced = Vec::new();
+            for inst in &module.functions[i].insts {
+                if let InstKind::Call { callee: Callee::Func(c), .. } = &inst.kind {
+                    referenced.push(c.index());
+                }
+                inst.kind.for_each_operand(|v| {
+                    if let Value::Function(fid) = v {
+                        referenced.push(fid.index());
+                    }
+                });
+            }
+            for r in referenced {
+                if !used[r] {
+                    used[r] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    let removed = used.iter().filter(|u| !**u).count();
+    if removed == 0 {
+        return 0;
+    }
+    // Compact with id rewriting.
+    let mut remap: Vec<Option<FuncId>> = vec![None; module.functions.len()];
+    let mut kept: Vec<Function> = Vec::new();
+    for (i, f) in module.functions.drain(..).enumerate() {
+        if used[i] {
+            remap[i] = Some(FuncId(kept.len() as u32));
+            kept.push(f);
+        }
+    }
+    for f in &mut kept {
+        for inst in &mut f.insts {
+            if let InstKind::Call { callee: Callee::Func(c), .. } = &mut inst.kind {
+                *c = remap[c.index()].expect("callee kept");
+            }
+            inst.kind.for_each_operand_mut(|v| {
+                if let Value::Function(fid) = v {
+                    *v = Value::Function(remap[fid.index()].expect("function kept"));
+                }
+            });
+        }
+    }
+    module.functions = kept;
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, IPred};
+
+    fn make_module() -> (Module, FuncId, FuncId) {
+        let mut m = Module::new("m");
+        // callee: double(x) = x * 2
+        let mut cb = FuncBuilder::new("double", &[("x", Type::I64)], Type::I64);
+        let r = cb.bin(BinOp::Mul, Type::I64, cb.arg(0), Value::i64(2), "");
+        cb.ret(Some(r));
+        let callee = m.push_function(cb.finish());
+        // caller: f(y) = double(y) + 1
+        let mut fb = FuncBuilder::new("f", &[("y", Type::I64)], Type::I64);
+        let c = fb.call(Callee::Func(callee), vec![fb.arg(0)], Type::I64, "");
+        let s = fb.bin(BinOp::Add, Type::I64, c, Value::i64(1), "");
+        fb.ret(Some(s));
+        let caller = m.push_function(fb.finish());
+        (m, caller, callee)
+    }
+
+    #[test]
+    fn inlines_simple_call() {
+        let (mut m, caller, callee) = make_module();
+        let n = inline_all_calls_to(&mut m, callee);
+        assert_eq!(n, 1);
+        splendid_ir::verify::verify_module(&m).unwrap();
+        // No call instructions remain in the caller.
+        let f = m.func(caller);
+        let owners = f.inst_blocks();
+        for (i, inst) in f.insts.iter().enumerate() {
+            if owners[i].is_some() {
+                assert!(!matches!(inst.kind, InstKind::Call { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn inlined_result_flows() {
+        let (mut m, caller, callee) = make_module();
+        inline_all_calls_to(&mut m, callee);
+        crate::simplify_cfg::simplify_cfg(m.func_mut(caller));
+        crate::constfold::fold_constants(m.func_mut(caller));
+        splendid_ir::verify::verify_function(m.func(caller)).unwrap();
+        // f(y) should now compute y*2+1 inline: a mul and an add.
+        let f = m.func(caller);
+        let owners = f.inst_blocks();
+        let kinds: Vec<_> = f
+            .insts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| owners[*i].is_some())
+            .map(|(_, inst)| &inst.kind)
+            .collect();
+        assert!(kinds.iter().any(|k| matches!(k, InstKind::Bin { op: BinOp::Mul, .. })));
+        assert!(kinds.iter().any(|k| matches!(k, InstKind::Bin { op: BinOp::Add, .. })));
+    }
+
+    #[test]
+    fn inlines_branchy_callee() {
+        let mut m = Module::new("m");
+        // callee: abs(x) = x < 0 ? -x : x with two returns.
+        let mut cb = FuncBuilder::new("abs", &[("x", Type::I64)], Type::I64);
+        let neg_b = cb.new_block("neg");
+        let pos_b = cb.new_block("pos");
+        let c = cb.icmp(IPred::Slt, cb.arg(0), Value::i64(0), "");
+        cb.cond_br(c, neg_b, pos_b);
+        cb.switch_to(neg_b);
+        let n = cb.bin(BinOp::Sub, Type::I64, Value::i64(0), cb.arg(0), "");
+        cb.ret(Some(n));
+        cb.switch_to(pos_b);
+        cb.ret(Some(cb.arg(0)));
+        let callee = m.push_function(cb.finish());
+        let mut fb = FuncBuilder::new("g", &[("y", Type::I64)], Type::I64);
+        let r = fb.call(Callee::Func(callee), vec![fb.arg(0)], Type::I64, "");
+        fb.ret(Some(r));
+        let caller = m.push_function(fb.finish());
+        inline_call(&mut m, caller, InstId(0)).unwrap();
+        splendid_ir::verify::verify_module(&m).unwrap();
+        // A merge phi must exist in the continuation.
+        let f = m.func(caller);
+        assert!(f
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, InstKind::Phi { .. })));
+    }
+
+    #[test]
+    fn rejects_external_and_recursive() {
+        let mut m = Module::new("m");
+        let mut fb = FuncBuilder::new("f", &[], Type::F64);
+        let e = fb.call(Callee::External("exp".into()), vec![Value::f64(1.0)], Type::F64, "");
+        fb.ret(Some(e));
+        let caller = m.push_function(fb.finish());
+        assert!(inline_call(&mut m, caller, InstId(0)).is_err());
+
+        let mut rb = FuncBuilder::new("r", &[], Type::Void);
+        rb.call(Callee::Func(FuncId(1)), vec![], Type::Void, "");
+        rb.ret(None);
+        let rec = m.push_function(rb.finish());
+        assert!(inline_call(&mut m, rec, InstId(0)).is_err());
+    }
+
+    #[test]
+    fn strips_dead_functions() {
+        let (mut m, caller, callee) = make_module();
+        inline_all_calls_to(&mut m, callee);
+        let removed = strip_dead_functions(&mut m, &["f"]);
+        assert_eq!(removed, 1);
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].name, "f");
+        splendid_ir::verify::verify_module(&m).unwrap();
+        let _ = caller;
+    }
+}

@@ -1,0 +1,25 @@
+//! Optimizer passes over the SPLENDID IR.
+//!
+//! These passes form the "compiler side" of the reproduction: they produce
+//! exactly the IR artifacts the paper's decompiler must cope with —
+//! SSA form with phi webs ([`mem2reg`]), rotated bottom-tested loops with
+//! guard checks ([`loop_rotate`]), hoisted loop-invariant code that has lost
+//! its debug metadata ([`licm`]), plus the aggressive transformations the
+//! decompiler deliberately *preserves* ([`unroll`], [`distribute`]; paper
+//! §3.5.2 and Figure 3).
+//!
+//! The [`pipeline`] module chains them into an `-O2`-like sequence.
+
+pub mod clone;
+pub mod constfold;
+pub mod dce;
+pub mod distribute;
+pub mod inline;
+pub mod licm;
+pub mod loop_rotate;
+pub mod mem2reg;
+pub mod pipeline;
+pub mod simplify_cfg;
+pub mod unroll;
+
+pub use pipeline::{optimize_function, optimize_module, O2Options};

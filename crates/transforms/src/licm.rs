@@ -1,0 +1,312 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists pure loop-invariant computations — and loads whose address is
+//! invariant and not clobbered by any store in the loop — into the loop
+//! preheader. As the paper notes (§5.3.2), hoisted instructions lose their
+//! association with source variables: LICM here *drops* the `dbg` links of
+//! hoisted loads, which is precisely why SPLENDID cannot reconstruct 100%
+//! of variable names (Figure 8).
+
+use splendid_analysis::alias::{alias, mem_root, AliasResult};
+use splendid_analysis::domtree::DomTree;
+use splendid_analysis::loops::LoopInfo;
+use splendid_ir::{Function, InstId, InstKind, Value};
+use std::collections::HashSet;
+
+/// Hoist invariant code out of every loop (innermost first). Returns the
+/// number of instructions hoisted.
+pub fn hoist_invariants(f: &mut Function) -> usize {
+    let dt = DomTree::compute(f);
+    let li = LoopInfo::compute(f, &dt);
+    let mut hoisted = 0;
+    // Innermost first: process in reverse arena order (outer loops are
+    // created first).
+    for lid in li.ids().collect::<Vec<_>>().into_iter().rev() {
+        hoisted += hoist_one_loop(f, &li, lid);
+    }
+    hoisted
+}
+
+fn hoist_one_loop(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -> usize {
+    let l = li.get(lid).clone();
+    let Some(preheader) = l.preheader(f) else { return 0 };
+    // Only hoist into a preheader that unconditionally enters the loop;
+    // otherwise hoisted code would run when the loop does not.
+    if f.successors(preheader) != vec![l.header] {
+        return 0;
+    }
+
+    let loop_blocks: HashSet<_> = l.blocks.iter().copied().collect();
+    let in_loop = |v: Value, invariant: &HashSet<InstId>| -> bool {
+        match v {
+            Value::Inst(i) => {
+                if invariant.contains(&i) {
+                    return false;
+                }
+                let owners = f.inst_blocks();
+                owners[i.index()].map(|b| loop_blocks.contains(&b)).unwrap_or(false)
+            }
+            _ => false,
+        }
+    };
+
+    // Stores in the loop, for load-hoisting safety.
+    let mut store_roots = Vec::new();
+    let mut has_calls = false;
+    for &bb in &l.blocks {
+        for &i in &f.block(bb).insts {
+            match &f.inst(i).kind {
+                InstKind::Store { ptr, .. } => store_roots.push(mem_root(f, *ptr)),
+                InstKind::Call { .. } => has_calls = true,
+                _ => {}
+            }
+        }
+    }
+
+    let mut invariant: HashSet<InstId> = HashSet::new();
+    let mut to_hoist: Vec<InstId> = Vec::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &bb in &l.blocks {
+            for &i in &f.block(bb).insts.clone() {
+                if invariant.contains(&i) {
+                    continue;
+                }
+                let inst = f.inst(i);
+                let hoistable = match &inst.kind {
+                    InstKind::Bin { lhs, rhs, .. }
+                    | InstKind::ICmp { lhs, rhs, .. }
+                    | InstKind::FCmp { lhs, rhs, .. } => {
+                        !in_loop(*lhs, &invariant) && !in_loop(*rhs, &invariant)
+                    }
+                    InstKind::Cast { val, .. } => !in_loop(*val, &invariant),
+                    InstKind::Select { cond, then_val, else_val } => {
+                        !in_loop(*cond, &invariant)
+                            && !in_loop(*then_val, &invariant)
+                            && !in_loop(*else_val, &invariant)
+                    }
+                    InstKind::Gep { base, indices, .. } => {
+                        !in_loop(*base, &invariant)
+                            && indices.iter().all(|x| !in_loop(*x, &invariant))
+                    }
+                    InstKind::Load { ptr } => {
+                        // Safe when the address is invariant, no store in
+                        // the loop may alias it, and no call could write it.
+                        if in_loop(*ptr, &invariant) || has_calls {
+                            false
+                        } else {
+                            let root = mem_root(f, *ptr);
+                            store_roots
+                                .iter()
+                                .all(|s| alias(root, *s) == AliasResult::NoAlias)
+                        }
+                    }
+                    _ => false,
+                };
+                // Division can trap; only hoist when the divisor is a
+                // nonzero constant.
+                let hoistable = hoistable
+                    && match &inst.kind {
+                        InstKind::Bin { op, rhs, .. }
+                            if matches!(op, splendid_ir::BinOp::SDiv | splendid_ir::BinOp::SRem) =>
+                        {
+                            matches!(rhs.as_int(), Some(c) if c != 0)
+                        }
+                        _ => true,
+                    };
+                if hoistable {
+                    invariant.insert(i);
+                    to_hoist.push(i);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Move hoisted instructions to the preheader, before its terminator,
+    // preserving their relative order.
+    let count = to_hoist.len();
+    for i in &to_hoist {
+        // Hoisted values lose source association (see module docs): detach
+        // any dbg intrinsics naming them inside the loop.
+        let mut dbg_to_drop = Vec::new();
+        for &bb in &l.blocks {
+            for &d in &f.block(bb).insts {
+                if let InstKind::DbgValue { val, .. } = f.inst(d).kind {
+                    if val == Value::Inst(*i) {
+                        dbg_to_drop.push(d);
+                    }
+                }
+            }
+        }
+        for d in dbg_to_drop {
+            f.delete_inst(d);
+        }
+        for bb in &l.blocks {
+            f.block_mut(*bb).insts.retain(|x| x != i);
+        }
+        let term_pos = f.block(preheader).insts.len() - 1;
+        f.block_mut(preheader).insts.insert(term_pos, *i);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, GlobalId, IPred, MemType, Type};
+
+    /// Build for (i=0;i<n;i++) { body } returning (function, body block).
+    fn with_loop(
+        params: &[(&str, Type)],
+        body: impl FnOnce(&mut FuncBuilder, Value),
+    ) -> Function {
+        let mut b = FuncBuilder::new("f", params, Type::Void);
+        let header = b.new_block("header");
+        let bodyb = b.new_block("body");
+        let latch = b.new_block("latch");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let c = b.icmp(IPred::Slt, iv, Value::i64(100), "");
+        b.cond_br(c, bodyb, exit);
+        b.switch_to(bodyb);
+        body(&mut b, iv);
+        b.br(latch);
+        b.switch_to(latch);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((latch, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn hoists_invariant_arithmetic() {
+        let f0 = with_loop(&[("n", Type::I64)], |b, iv| {
+            let inv = b.bin(BinOp::Mul, Type::I64, b.arg(0), Value::i64(8), "inv");
+            let _use = b.bin(BinOp::Add, Type::I64, inv, iv, "");
+        });
+        let mut f = f0;
+        let n = hoist_invariants(&mut f);
+        assert_eq!(n, 1);
+        splendid_ir::verify::verify_function(&f).unwrap();
+        // The multiply now sits in the preheader (entry block).
+        let entry_ops: Vec<_> = f.block(f.entry).insts.clone();
+        assert!(entry_ops.iter().any(|&i| matches!(
+            f.inst(i).kind,
+            InstKind::Bin { op: BinOp::Mul, .. }
+        )));
+    }
+
+    #[test]
+    fn hoists_safe_load() {
+        // Load from global B (never stored) is hoisted; store goes to A.
+        let f0 = with_loop(&[], |b, iv| {
+            let pb = b.gep(
+                MemType::array1(Type::F64, 100),
+                Value::Global(GlobalId(1)),
+                vec![Value::i64(0), Value::i64(0)],
+                "",
+            );
+            let x = b.load(Type::F64, pb, "");
+            let pa = b.gep(
+                MemType::array1(Type::F64, 100),
+                Value::Global(GlobalId(0)),
+                vec![Value::i64(0), iv],
+                "",
+            );
+            b.store(x, pa);
+        });
+        let mut f = f0;
+        let n = hoist_invariants(&mut f);
+        // gep(B) and load(B) both hoist.
+        assert_eq!(n, 2);
+        splendid_ir::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn does_not_hoist_aliased_load() {
+        // Load and store hit the same global: the load must stay.
+        let f0 = with_loop(&[], |b, iv| {
+            let p0 = b.gep(
+                MemType::array1(Type::F64, 100),
+                Value::Global(GlobalId(0)),
+                vec![Value::i64(0), Value::i64(0)],
+                "",
+            );
+            let x = b.load(Type::F64, p0, "");
+            let pa = b.gep(
+                MemType::array1(Type::F64, 100),
+                Value::Global(GlobalId(0)),
+                vec![Value::i64(0), iv],
+                "",
+            );
+            b.store(x, pa);
+        });
+        let mut f = f0;
+        let n = hoist_invariants(&mut f);
+        // Only the invariant-address gep hoists, not the load (and not the
+        // gep indexed by the IV).
+        assert_eq!(n, 1);
+        let hoisted_loads = f
+            .block(f.entry)
+            .insts
+            .iter()
+            .filter(|&&i| matches!(f.inst(i).kind, InstKind::Load { .. }))
+            .count();
+        assert_eq!(hoisted_loads, 0);
+    }
+
+    #[test]
+    fn variant_computation_stays() {
+        let f0 = with_loop(&[], |b, iv| {
+            let v = b.bin(BinOp::Mul, Type::I64, iv, Value::i64(8), "");
+            let _ = b.bin(BinOp::Add, Type::I64, v, Value::i64(1), "");
+        });
+        let mut f = f0;
+        assert_eq!(hoist_invariants(&mut f), 0);
+    }
+
+    #[test]
+    fn hoisted_load_loses_dbg_link() {
+        let mut m = splendid_ir::Module::new("m");
+        let var = m.intern_di_var("t", "f");
+        let f0 = with_loop(&[], |b, iv| {
+            let pb = b.gep(
+                MemType::array1(Type::F64, 100),
+                Value::Global(GlobalId(1)),
+                vec![Value::i64(0), Value::i64(0)],
+                "",
+            );
+            let x = b.load(Type::F64, pb, "");
+            b.dbg_value(x, var);
+            let pa = b.gep(
+                MemType::array1(Type::F64, 100),
+                Value::Global(GlobalId(0)),
+                vec![Value::i64(0), iv],
+                "",
+            );
+            b.store(x, pa);
+        });
+        let mut f = f0;
+        hoist_invariants(&mut f);
+        // The dbg link naming the hoisted load was dropped.
+        let dbg_count = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::DbgValue { .. }))
+            .count();
+        assert_eq!(dbg_count, 0);
+        splendid_ir::verify::verify_function(&f).unwrap();
+    }
+}

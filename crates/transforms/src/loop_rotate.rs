@@ -1,0 +1,349 @@
+//! Loop rotation: turn top-tested (`for`-shaped) counted loops into the
+//! guarded bottom-tested (`do-while`-shaped) form.
+//!
+//! This is the normalization pass the paper's §2.2 identifies as the main
+//! obstacle to natural decompilation: after rotation, naive decompilers can
+//! only emit `do { ... } while (...)` wrapped in a guard `if`. The guard
+//! check inserted here is exactly the one SPLENDID's Loop-Rotate
+//! Detransformer later proves redundant and removes.
+
+use splendid_analysis::domtree::DomTree;
+use splendid_analysis::indvar::recognize_counted_loop;
+use splendid_analysis::loops::LoopInfo;
+use splendid_ir::{Function, Inst, InstId, InstKind, Type, Value};
+use std::collections::HashSet;
+
+/// Rotate every rotatable counted loop in `f`. Returns how many loops were
+/// rotated.
+pub fn rotate_loops(f: &mut Function) -> usize {
+    let mut rotated = 0;
+    loop {
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        let mut did = false;
+        for lid in li.ids() {
+            if rotate_one(f, &li, lid) {
+                rotated += 1;
+                did = true;
+                break; // analyses invalidated; recompute
+            }
+        }
+        if !did {
+            return rotated;
+        }
+    }
+}
+
+/// Rotate a single loop if it is top-tested, counted, and safe to rotate.
+///
+/// Safety requirements: the only value defined inside the loop and used
+/// outside is none (no loop-closed values), and the header contains only
+/// the IV phi, the exit comparison, and the terminator.
+fn rotate_one(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -> bool {
+    let Some(cl) = recognize_counted_loop(f, li, lid) else { return false };
+    if cl.bottom_tested {
+        return false; // already rotated
+    }
+    let l = li.get(lid).clone();
+    let Some(preheader) = l.preheader(f) else { return false };
+    let Some(latch) = l.single_latch() else { return false };
+    let Some(exit) = l.single_exit() else { return false };
+    if l.header == latch {
+        return false; // degenerate
+    }
+
+    // No value defined in the loop may be used outside it (we do not build
+    // loop-closed SSA here).
+    let loop_blocks: HashSet<_> = l.blocks.iter().copied().collect();
+    let owners = f.inst_blocks();
+    for bb in f.block_ids() {
+        let outside = !loop_blocks.contains(&bb);
+        if !outside {
+            continue;
+        }
+        for &i in &f.block(bb).insts {
+            let mut escapes = false;
+            f.inst(i).kind.for_each_operand(|v| {
+                if let Value::Inst(d) = v {
+                    if owners[d.index()].map(|b| loop_blocks.contains(&b)).unwrap_or(false) {
+                        escapes = true;
+                    }
+                }
+            });
+            if escapes {
+                return false;
+            }
+        }
+    }
+
+    // The header must contain only phis, the comparison, and the condbr —
+    // anything else would need sinking.
+    for &i in &f.block(l.header).insts {
+        match &f.inst(i).kind {
+            InstKind::Phi { .. } | InstKind::CondBr { .. } => {}
+            InstKind::ICmp { .. } if i == cl.cmp => {}
+            InstKind::DbgValue { .. } => {}
+            _ => return false,
+        }
+    }
+    // Exactly one phi (the IV): other recurrences would need cloning.
+    let phi_count = f
+        .block(l.header)
+        .insts
+        .iter()
+        .filter(|&&i| matches!(f.inst(i).kind, InstKind::Phi { .. }))
+        .count();
+    if phi_count != 1 {
+        return false;
+    }
+
+    // Identify the body entry: the in-loop successor of the header.
+    let body_entry = f
+        .successors(l.header)
+        .into_iter()
+        .find(|s| loop_blocks.contains(s) )
+        .expect("loop has body");
+
+    // 0. The guard must live in a block that unconditionally enters the
+    //    loop; a conditional preheader terminator (e.g. the exiting latch
+    //    of a previous rotated loop) would be corrupted by guard insertion.
+    //    Leave such loops top-tested — the decompiler's structurer emits
+    //    canonical `for` loops for those directly.
+    {
+        let pre_term = f.terminator(preheader).expect("preheader terminator");
+        if !matches!(f.inst(pre_term).kind, InstKind::Br { .. }) {
+            return false;
+        }
+    }
+
+    // 1. Guard in the preheader: clone the exit comparison with the IV
+    //    replaced by its initial value.
+    let guard_cmp = {
+        let InstKind::ICmp { pred, lhs, rhs } = f.inst(cl.cmp).kind else {
+            return false;
+        };
+        let sub = |v: Value| if v == Value::Inst(cl.iv) { cl.init } else { v };
+        let mut inst = Inst::new(
+            InstKind::ICmp { pred, lhs: sub(lhs), rhs: sub(rhs) },
+            Type::I1,
+        );
+        inst.name = Some("guard".into());
+        f.add_inst(inst)
+    };
+    // Replace the preheader terminator `br header` with the guard branch.
+    let pre_term = f.terminator(preheader).expect("preheader terminator");
+    assert!(matches!(f.inst(pre_term).kind, InstKind::Br { .. }));
+    let (guard_then, guard_else) = if cl.continue_on_true {
+        (body_entry, exit)
+    } else {
+        (exit, body_entry)
+    };
+    f.inst_mut(pre_term).kind = InstKind::CondBr {
+        cond: Value::Inst(guard_cmp),
+        then_bb: guard_then,
+        else_bb: guard_else,
+    };
+    let term_pos = f.block(preheader).insts.len() - 1;
+    f.block_mut(preheader).insts.insert(term_pos, guard_cmp);
+
+    // 2. Move the IV phi from the header into the body entry, retargeting
+    //    its incoming edges: preheader -> body_entry (init value) and
+    //    latch -> body_entry (next value).
+    let phi_id = cl.iv;
+    f.block_mut(l.header).insts.retain(|&i| i != phi_id);
+    f.block_mut(body_entry).insts.insert(0, phi_id);
+    // Incoming blocks stay (preheader, latch) — both now branch straight
+    // to body_entry.
+
+    // 3. Build the bottom test in the latch: a fresh comparison on the
+    //    incremented value, branching back to the body entry or out.
+    let InstKind::ICmp { pred, lhs, rhs } = f.inst(cl.cmp).kind else {
+        return false;
+    };
+    let sub = |v: Value| if v == Value::Inst(cl.iv) { Value::Inst(cl.next) } else { v };
+    let mut rot_cmp_inst = Inst::new(
+        InstKind::ICmp { pred, lhs: sub(lhs), rhs: sub(rhs) },
+        Type::I1,
+    );
+    rot_cmp_inst.name = f.inst(cl.cmp).name.clone();
+    let rot_cmp = f.add_inst(rot_cmp_inst);
+    let latch_term = f.terminator(latch).expect("latch terminator");
+    if !matches!(f.inst(latch_term).kind, InstKind::Br { .. }) {
+        return false; // latch already branches conditionally: leave as is
+    }
+    let (rot_then, rot_else) = if cl.continue_on_true {
+        (body_entry, exit)
+    } else {
+        (exit, body_entry)
+    };
+    f.inst_mut(latch_term).kind = InstKind::CondBr {
+        cond: Value::Inst(rot_cmp),
+        then_bb: rot_then,
+        else_bb: rot_else,
+    };
+    let term_pos = f.block(latch).insts.len() - 1;
+    f.block_mut(latch).insts.insert(term_pos, rot_cmp);
+
+    // 4. The old header is now dead weight: delete its cmp/condbr and make
+    //    every branch to it target nothing (it becomes unreachable since
+    //    preheader and latch both bypass it).
+    for &i in &f.block(l.header).insts.clone() {
+        f.delete_inst(i);
+    }
+    // Keep the block present but empty; simplify_cfg removes it. Give it a
+    // self-terminator to satisfy the verifier if run before cleanup.
+    let dead_term = f.add_inst(Inst::new(InstKind::Unreachable, Type::Void));
+    f.block_mut(l.header).insts.push(dead_term);
+
+    // 5. Cleanup: the old cmp users (none left), unreachable header, and
+    //    possible straight-line merges.
+    crate::simplify_cfg::simplify_cfg(f);
+    true
+}
+
+/// Whether any loop in the function is in rotated (bottom-tested counted)
+/// form — a convenience used by tests and the decompiler's sanity checks.
+pub fn has_rotated_loop(f: &Function) -> bool {
+    let dt = DomTree::compute(f);
+    let li = LoopInfo::compute(f, &dt);
+    li.ids().collect::<Vec<_>>().into_iter().any(|lid| {
+        recognize_counted_loop(f, &li, lid)
+            .map(|cl| cl.bottom_tested)
+            .unwrap_or(false)
+    })
+}
+
+/// The id of the guard comparison feeding a conditional branch around a
+/// rotated loop, if `block` ends in such a guard.
+pub fn guard_of_block(f: &Function, block: splendid_ir::BlockId) -> Option<InstId> {
+    let t = f.terminator(block)?;
+    if let InstKind::CondBr { cond, .. } = f.inst(t).kind {
+        let c = cond.as_inst()?;
+        if matches!(f.inst(c).kind, InstKind::ICmp { .. }) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, GlobalId, IPred, MemType};
+
+    /// Canonical frontend shape:
+    /// entry -> header(phi, cmp, condbr) -> body -> latch(iv.next) -> header
+    fn for_loop_with_store() -> Function {
+        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let latch = b.new_block("latch");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let c = b.icmp(IPred::Slt, iv, b.arg(0), "cmp");
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let p = b.gep(
+            MemType::array1(Type::F64, 1000),
+            Value::Global(GlobalId(0)),
+            vec![Value::i64(0), iv],
+            "",
+        );
+        let x = b.cast(splendid_ir::CastOp::SiToFp, iv, Type::F64, "");
+        b.store(x, p);
+        b.br(latch);
+        b.switch_to(latch);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        if let Value::Inst(pid) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(pid).kind {
+                incomings.push((latch, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn rotates_canonical_for_loop() {
+        let mut f = for_loop_with_store();
+        assert!(!has_rotated_loop(&f));
+        let n = rotate_loops(&mut f);
+        assert_eq!(n, 1);
+        splendid_ir::verify::verify_function(&f).unwrap();
+        assert!(has_rotated_loop(&f), "loop should now be bottom-tested:\n{f:?}");
+    }
+
+    #[test]
+    fn rotation_preserves_counted_semantics() {
+        let mut f = for_loop_with_store();
+        rotate_loops(&mut f);
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        assert_eq!(li.loops.len(), 1);
+        let cl = recognize_counted_loop(&f, &li, li.ids().next().unwrap()).expect("counted");
+        assert!(cl.bottom_tested);
+        assert!(cl.cmp_uses_next);
+        assert_eq!(cl.step, 1);
+        assert_eq!(cl.init, Value::i64(0));
+        assert_eq!(cl.bound, Value::Arg(0));
+        assert_eq!(cl.pred, IPred::Slt);
+    }
+
+    #[test]
+    fn guard_check_inserted() {
+        let mut f = for_loop_with_store();
+        rotate_loops(&mut f);
+        // The entry block (preheader) now ends in a conditional guard.
+        let g = guard_of_block(&f, f.entry).expect("guard");
+        let InstKind::ICmp { pred, lhs, rhs } = f.inst(g).kind else { panic!() };
+        assert_eq!(pred, IPred::Slt);
+        assert_eq!(lhs, Value::i64(0)); // iv replaced by init
+        assert_eq!(rhs, Value::Arg(0));
+    }
+
+    #[test]
+    fn already_rotated_untouched() {
+        let mut f = for_loop_with_store();
+        rotate_loops(&mut f);
+        let before = f.clone();
+        let n = rotate_loops(&mut f);
+        assert_eq!(n, 0);
+        assert_eq!(f, before);
+    }
+
+    #[test]
+    fn loop_with_escaping_value_not_rotated() {
+        // return the final iv: the value escapes the loop.
+        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::I64);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let latch = b.new_block("latch");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let c = b.icmp(IPred::Slt, iv, b.arg(0), "");
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        b.br(latch);
+        b.switch_to(latch);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        if let Value::Inst(pid) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(pid).kind {
+                incomings.push((latch, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(iv));
+        let mut f = b.finish();
+        assert_eq!(rotate_loops(&mut f), 0);
+    }
+}

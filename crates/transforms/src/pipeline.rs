@@ -1,0 +1,171 @@
+//! The `-O2`-like optimization pipeline used before parallelization.
+//!
+//! Mirrors the paper's setup: source → IR → `-O2` (SSA construction,
+//! folding, LICM, CFG cleanup, loop rotation) → Polly-style parallelizer.
+
+use splendid_ir::{FuncId, Module};
+
+/// Options controlling the pipeline.
+#[derive(Debug, Clone)]
+pub struct O2Options {
+    /// Run loop rotation (the pass the decompiler later de-transforms).
+    pub rotate_loops: bool,
+    /// Run loop-invariant code motion.
+    pub licm: bool,
+}
+
+impl Default for O2Options {
+    fn default() -> O2Options {
+        O2Options { rotate_loops: true, licm: true }
+    }
+}
+
+/// Statistics from one pipeline run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct O2Stats {
+    /// Allocas promoted by mem2reg.
+    pub promoted_allocas: usize,
+    /// Instructions constant-folded.
+    pub folded: usize,
+    /// Instructions hoisted by LICM.
+    pub hoisted: usize,
+    /// Loops rotated.
+    pub rotated: usize,
+    /// Dead instructions removed.
+    pub dce_removed: usize,
+}
+
+/// Optimize a single function in place.
+pub fn optimize_function(module: &mut Module, func: FuncId, opts: &O2Options) -> O2Stats {
+    let mut stats = O2Stats::default();
+    let f = module.func_mut(func);
+    stats.promoted_allocas = crate::mem2reg::promote_allocas(f).promoted;
+    stats.folded += crate::constfold::fold_constants(f);
+    stats.dce_removed += crate::dce::eliminate_dead_code(f);
+    crate::simplify_cfg::simplify_cfg(f);
+    if opts.licm {
+        stats.hoisted = crate::licm::hoist_invariants(f);
+    }
+    stats.folded += crate::constfold::fold_constants(f);
+    stats.dce_removed += crate::dce::eliminate_dead_code(f);
+    if opts.rotate_loops {
+        stats.rotated = crate::loop_rotate::rotate_loops(f);
+    }
+    // Rotation guards with constant bounds fold away, exactly as LLVM's
+    // -O2 folds them for compile-time trip counts; guards inside outlined
+    // parallel regions survive because thread bounds are runtime values.
+    stats.folded += crate::constfold::fold_constants(f);
+    crate::simplify_cfg::simplify_cfg(f);
+    stats.dce_removed += crate::dce::eliminate_dead_code(f);
+    stats
+}
+
+/// Optimize every function in the module; returns aggregate statistics.
+pub fn optimize_module(module: &mut Module, opts: &O2Options) -> O2Stats {
+    let mut total = O2Stats::default();
+    for id in module.func_ids().collect::<Vec<_>>() {
+        let s = optimize_function(module, id, opts);
+        total.promoted_allocas += s.promoted_allocas;
+        total.folded += s.folded;
+        total.hoisted += s.hoisted;
+        total.rotated += s.rotated;
+        total.dce_removed += s.dce_removed;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, IPred, InstKind, MemType, Type, Value};
+
+    /// Frontend-shaped function: variables in allocas, top-tested loop.
+    /// sum-free kernel: for (i=0;i<100;i++) A[i] = coef * i  with
+    /// coef = 2*21 computed outside.
+    fn frontend_style(m: &mut splendid_ir::Module) -> FuncId {
+        let var_i = m.intern_di_var("i", "k");
+        let g = m.push_global(splendid_ir::Global {
+            name: "A".into(),
+            mem: MemType::array1(Type::F64, 100),
+            init: splendid_ir::GlobalInit::Zero,
+        });
+        let mut b = FuncBuilder::new("k", &[], Type::Void);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let latch = b.new_block("latch");
+        let exit = b.new_block("exit");
+        // i in an alloca, with dbg.declare.
+        let i_slot = b.alloca(MemType::Scalar(Type::I64), "i.addr");
+        b.dbg_value(i_slot, var_i);
+        let coef = b.bin(BinOp::Mul, Type::I64, Value::i64(2), Value::i64(21), "coef");
+        b.store(Value::i64(0), i_slot);
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.load(Type::I64, i_slot, "");
+        let c = b.icmp(IPred::Slt, iv, Value::i64(100), "");
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let iv2 = b.load(Type::I64, i_slot, "");
+        let prod = b.bin(BinOp::Mul, Type::I64, coef, iv2, "");
+        let x = b.cast(splendid_ir::CastOp::SiToFp, prod, Type::F64, "");
+        let p = b.gep(
+            MemType::array1(Type::F64, 100),
+            Value::Global(g),
+            vec![Value::i64(0), iv2],
+            "",
+        );
+        b.store(x, p);
+        b.br(latch);
+        b.switch_to(latch);
+        let iv3 = b.load(Type::I64, i_slot, "");
+        let next = b.bin(BinOp::Add, Type::I64, iv3, Value::i64(1), "");
+        b.store(next, i_slot);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        m.push_function(b.finish())
+    }
+
+    #[test]
+    fn full_pipeline_produces_rotated_ssa_loop() {
+        let mut m = splendid_ir::Module::new("t");
+        let fid = frontend_style(&mut m);
+        let stats = optimize_function(&mut m, fid, &O2Options::default());
+        assert_eq!(stats.promoted_allocas, 1);
+        assert!(stats.folded >= 1, "coef = 42 should fold");
+        assert_eq!(stats.rotated, 1);
+        let f = m.func(fid);
+        splendid_ir::verify::verify_function(f).unwrap();
+        assert!(crate::loop_rotate::has_rotated_loop(f));
+        // No loads/stores of the promoted variable; only the array store.
+        let stores = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Store { .. }))
+            .count();
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn pipeline_without_rotation() {
+        let mut m = splendid_ir::Module::new("t");
+        let fid = frontend_style(&mut m);
+        let opts = O2Options { rotate_loops: false, ..O2Options::default() };
+        let stats = optimize_function(&mut m, fid, &opts);
+        assert_eq!(stats.rotated, 0);
+        assert!(!crate::loop_rotate::has_rotated_loop(m.func(fid)));
+    }
+
+    #[test]
+    fn pipeline_is_idempotent() {
+        let mut m = splendid_ir::Module::new("t");
+        let fid = frontend_style(&mut m);
+        optimize_function(&mut m, fid, &O2Options::default());
+        let once = m.func(fid).clone();
+        let stats2 = optimize_function(&mut m, fid, &O2Options::default());
+        assert_eq!(stats2.promoted_allocas, 0);
+        assert_eq!(stats2.rotated, 0);
+        assert_eq!(&once, m.func(fid));
+    }
+}

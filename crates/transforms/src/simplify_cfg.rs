@@ -1,0 +1,276 @@
+//! CFG simplification: constant-branch folding, unreachable-block removal,
+//! and straight-line block merging.
+
+use splendid_ir::{BlockId, Function, InstKind, Value};
+use std::collections::HashSet;
+
+/// Simplify the CFG until a fixpoint. Returns true if anything changed.
+pub fn simplify_cfg(f: &mut Function) -> bool {
+    let mut any = false;
+    loop {
+        let mut changed = false;
+        changed |= fold_constant_branches(f);
+        changed |= remove_unreachable_blocks(f);
+        changed |= merge_straight_line(f);
+        if !changed {
+            return any;
+        }
+        any = true;
+    }
+}
+
+/// Rewrite `condbr` on a constant into `br`, fixing phis in the dead
+/// successor.
+fn fold_constant_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for bb in f.block_ids().collect::<Vec<_>>() {
+        let Some(t) = f.terminator(bb) else { continue };
+        let InstKind::CondBr { cond, then_bb, else_bb } = f.inst(t).kind else {
+            continue;
+        };
+        let (taken, dead) = match cond.as_int() {
+            Some(0) => (else_bb, then_bb),
+            Some(_) => (then_bb, else_bb),
+            None => {
+                if then_bb == else_bb {
+                    (then_bb, else_bb) // degenerate both-ways branch
+                } else {
+                    continue;
+                }
+            }
+        };
+        f.inst_mut(t).kind = InstKind::Br { target: taken };
+        if dead != taken {
+            remove_phi_incoming(f, dead, bb);
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Remove `pred`'s incoming entries from all phis in `block`.
+fn remove_phi_incoming(f: &mut Function, block: BlockId, pred: BlockId) {
+    for &i in &f.block(block).insts.clone() {
+        if let InstKind::Phi { incomings } = &mut f.inst_mut(i).kind {
+            incomings.retain(|(b, _)| *b != pred);
+        }
+    }
+}
+
+/// Delete blocks unreachable from the entry, fixing phis.
+fn remove_unreachable_blocks(f: &mut Function) -> bool {
+    let reachable: HashSet<BlockId> = f.reverse_post_order().into_iter().collect();
+    if reachable.len() == f.blocks.len() {
+        return false;
+    }
+    // Remove phi incomings from unreachable predecessors.
+    for bb in f.block_ids().collect::<Vec<_>>() {
+        if !reachable.contains(&bb) {
+            continue;
+        }
+        for &i in &f.block(bb).insts.clone() {
+            if let InstKind::Phi { incomings } = &mut f.inst_mut(i).kind {
+                incomings.retain(|(b, _)| reachable.contains(b));
+            }
+        }
+    }
+    // Drop instructions of unreachable blocks, then compact the block list.
+    let mut renumber: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+    let mut kept = 0u32;
+    for bb in f.block_ids().collect::<Vec<_>>() {
+        if reachable.contains(&bb) {
+            renumber[bb.index()] = Some(BlockId(kept));
+            kept += 1;
+        } else {
+            for i in f.block(bb).insts.clone() {
+                f.insts[i.index()].kind = InstKind::Nop;
+                f.insts[i.index()].ty = splendid_ir::Type::Void;
+            }
+            f.block_mut(bb).insts.clear();
+        }
+    }
+    let old_blocks = std::mem::take(&mut f.blocks);
+    for (idx, block) in old_blocks.into_iter().enumerate() {
+        if renumber[idx].is_some() {
+            f.blocks.push(block);
+        }
+    }
+    // Rewrite block references.
+    let map = |b: BlockId| renumber[b.index()].expect("reachable target");
+    for inst in &mut f.insts {
+        match &mut inst.kind {
+            InstKind::Br { target } => *target = map(*target),
+            InstKind::CondBr { then_bb, else_bb, .. } => {
+                *then_bb = map(*then_bb);
+                *else_bb = map(*else_bb);
+            }
+            InstKind::Phi { incomings } => {
+                for (b, _) in incomings {
+                    *b = map(*b);
+                }
+            }
+            _ => {}
+        }
+    }
+    f.entry = map(f.entry);
+    true
+}
+
+/// Merge `b -> s` when `b` ends in an unconditional branch to `s` and `s`
+/// has no other predecessors.
+fn merge_straight_line(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = f.predecessors();
+        let mut merged = false;
+        for bb in f.block_ids().collect::<Vec<_>>() {
+            let Some(t) = f.terminator(bb) else { continue };
+            let InstKind::Br { target } = f.inst(t).kind else { continue };
+            if target == bb || target == f.entry {
+                continue;
+            }
+            if preds[target.index()].len() != 1 {
+                continue;
+            }
+            // Rewrite phis in `target` (single-pred phis become copies).
+            for &i in &f.block(target).insts.clone() {
+                if let InstKind::Phi { incomings } = f.inst(i).kind.clone() {
+                    assert!(incomings.len() <= 1, "single-pred block phi");
+                    let repl = incomings
+                        .first()
+                        .map(|(_, v)| *v)
+                        .unwrap_or(Value::Undef(f.inst(i).ty));
+                    f.replace_all_uses(Value::Inst(i), repl);
+                    f.delete_inst(i);
+                }
+            }
+            // Splice target's instructions after removing b's terminator.
+            f.delete_inst(t);
+            let moved = std::mem::take(&mut f.block_mut(target).insts);
+            f.block_mut(bb).insts.extend(moved);
+            // Phis in successors of `target` now flow from `bb`.
+            for s in f.successors(bb) {
+                for &i in &f.block(s).insts.clone() {
+                    if let InstKind::Phi { incomings } = &mut f.inst_mut(i).kind {
+                        for (p, _) in incomings {
+                            if *p == target {
+                                *p = bb;
+                            }
+                        }
+                    }
+                }
+            }
+            merged = true;
+            changed = true;
+            break; // predecessor sets changed; recompute
+        }
+        if !merged {
+            break;
+        }
+    }
+    if changed {
+        // Now-empty blocks are unreachable; clean them up.
+        remove_unreachable_blocks(f);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{BinOp, Type};
+
+    #[test]
+    fn folds_constant_branch_and_removes_dead_block() {
+        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let then_b = b.new_block("then");
+        let else_b = b.new_block("else");
+        let join = b.new_block("join");
+        b.cond_br(Value::bool(true), then_b, else_b);
+        b.switch_to(then_b);
+        b.br(join);
+        b.switch_to(else_b);
+        b.br(join);
+        b.switch_to(join);
+        let p = b.phi(Type::I64, vec![(then_b, Value::i64(1)), (else_b, Value::i64(2))], "");
+        b.ret(Some(p));
+        let mut f = b.finish();
+        assert!(simplify_cfg(&mut f));
+        splendid_ir::verify::verify_function(&f).unwrap();
+        // Everything merges into one block returning 1.
+        assert_eq!(f.blocks.len(), 1);
+        let ret = f
+            .insts
+            .iter()
+            .find_map(|i| match i.kind {
+                InstKind::Ret { val } => val,
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ret, Value::i64(1));
+    }
+
+    #[test]
+    fn merges_chain() {
+        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let b1 = b.new_block("b1");
+        let b2 = b.new_block("b2");
+        let x = b.bin(BinOp::Add, Type::I64, Value::i64(1), Value::i64(2), "");
+        b.br(b1);
+        b.switch_to(b1);
+        let y = b.bin(BinOp::Mul, Type::I64, x, Value::i64(3), "");
+        b.br(b2);
+        b.switch_to(b2);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        assert!(simplify_cfg(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+        splendid_ir::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn preserves_loops() {
+        let mut b = FuncBuilder::new("f", &[("c", Type::I1)], Type::Void);
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.br(body);
+        b.switch_to(body);
+        b.cond_br(b.arg(0), body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        simplify_cfg(&mut f);
+        splendid_ir::verify::verify_function(&f).unwrap();
+        // The loop structure must survive (body cannot merge into entry
+        // because it has two predecessors).
+        assert_eq!(f.blocks.len(), 3);
+    }
+
+    #[test]
+    fn no_change_reports_false() {
+        let mut b = FuncBuilder::new("f", &[("c", Type::I1)], Type::Void);
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        b.cond_br(b.arg(0), t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!simplify_cfg(&mut f));
+    }
+
+    #[test]
+    fn both_way_condbr_becomes_br() {
+        let mut b = FuncBuilder::new("f", &[("c", Type::I1)], Type::Void);
+        let next = b.new_block("next");
+        b.cond_br(b.arg(0), next, next);
+        b.switch_to(next);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(simplify_cfg(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+        splendid_ir::verify::verify_function(&f).unwrap();
+    }
+}

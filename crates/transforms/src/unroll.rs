@@ -1,0 +1,228 @@
+//! Loop unrolling (the aggressive optimization SPLENDID deliberately
+//! preserves and presents to the programmer — paper Figure 3).
+
+use crate::clone::clone_blocks;
+use splendid_analysis::domtree::DomTree;
+use splendid_analysis::indvar::recognize_counted_loop;
+use splendid_analysis::loops::{LoopId, LoopInfo};
+use splendid_ir::{BinOp, Function, Inst, InstKind, Value};
+
+/// Unroll the innermost counted loop by `factor`.
+///
+/// Requirements: a top-tested counted loop with separate header/body/latch,
+/// a single body block, a constant trip count divisible by `factor`, and no
+/// values escaping the loop. When the IV starts at 0 with step 1 and
+/// `factor` is a power of two, the per-copy offsets use `or` (as LLVM's
+/// instcombine produces, and as shown in the paper's Figure 3).
+pub fn unroll_innermost(f: &mut Function, factor: u32) -> Result<(), String> {
+    if factor < 2 {
+        return Err("factor must be at least 2".into());
+    }
+    let dt = DomTree::compute(f);
+    let li = LoopInfo::compute(f, &dt);
+    let innermost = li
+        .ids()
+        .filter(|&l| li.get(l).children.is_empty())
+        .max_by_key(|&l| li.get(l).depth)
+        .ok_or("no loop to unroll")?;
+    unroll_loop(f, &li, innermost, factor)
+}
+
+fn unroll_loop(f: &mut Function, li: &LoopInfo, lid: LoopId, factor: u32) -> Result<(), String> {
+    let cl = recognize_counted_loop(f, li, lid).ok_or("loop is not counted")?;
+    if cl.bottom_tested {
+        return Err("unroll expects a top-tested loop".into());
+    }
+    let trip = cl.const_trip_count().ok_or("trip count not constant")?;
+    if trip <= 0 || trip % factor as i64 != 0 {
+        return Err(format!("trip count {trip} not divisible by {factor}"));
+    }
+    let l = li.get(lid).clone();
+    let latch = l.single_latch().ok_or("no single latch")?;
+    // Body: exactly one block between header and latch.
+    let body: Vec<_> = l
+        .blocks
+        .iter()
+        .copied()
+        .filter(|&b| b != l.header && b != latch)
+        .collect();
+    let [body] = body.as_slice() else {
+        return Err("body must be a single block".into());
+    };
+    let body = *body;
+
+    let use_or = cl.init == Value::i64(0) && cl.step == 1 && factor.is_power_of_two();
+
+    // Chain factor-1 clones of the body between the original body and the
+    // latch.
+    let mut prev = body;
+    for m in 1..factor {
+        let map = clone_blocks(f, &[body], &format!(".u{m}"));
+        let clone_bb = map.blocks[&body];
+        // Compute the per-copy IV offset at the top of the clone.
+        let off = (m as i64) * cl.step;
+        let op = if use_or { BinOp::Or } else { BinOp::Add };
+        let iv_ty = f.inst(cl.iv).ty;
+        let mut off_inst = Inst::new(
+            InstKind::Bin { op, lhs: Value::Inst(cl.iv), rhs: Value::ConstInt { ty: iv_ty, val: off } },
+            iv_ty,
+        );
+        off_inst.name = Some(format!("i.u{m}"));
+        let off_id = f.add_inst(off_inst);
+        f.block_mut(clone_bb).insts.insert(0, off_id);
+        // Inside the clone, the IV reads become the offset value.
+        for &i in &f.block(clone_bb).insts.clone() {
+            if i == off_id {
+                continue;
+            }
+            let mut kind = f.inst(i).kind.clone();
+            kind.for_each_operand_mut(|v| {
+                if *v == Value::Inst(cl.iv) {
+                    *v = Value::Inst(off_id);
+                }
+            });
+            f.inst_mut(i).kind = kind;
+        }
+        // The clone was copied from the (possibly already retargeted) body,
+        // so explicitly point it at the latch first.
+        let ct = f.terminator(clone_bb).ok_or("clone terminator")?;
+        let InstKind::Br { target } = &mut f.inst_mut(ct).kind else {
+            return Err("body must end in an unconditional branch".into());
+        };
+        *target = latch;
+        // prev now branches to the clone instead of the latch.
+        let t = f.terminator(prev).ok_or("body terminator")?;
+        let InstKind::Br { target } = &mut f.inst_mut(t).kind else {
+            return Err("body must end in an unconditional branch".into());
+        };
+        *target = clone_bb;
+        prev = clone_bb;
+    }
+
+    // Scale the step.
+    let iv_ty = f.inst(cl.iv).ty;
+    let next = f.inst_mut(cl.next);
+    if let InstKind::Bin { op: BinOp::Add, rhs, lhs } = &mut next.kind {
+        let step_slot = if rhs.as_int() == Some(cl.step) { rhs } else { lhs };
+        *step_slot = Value::ConstInt { ty: iv_ty, val: cl.step * factor as i64 };
+    } else if let InstKind::Bin { op: BinOp::Sub, rhs, .. } = &mut next.kind {
+        *rhs = Value::ConstInt { ty: iv_ty, val: -cl.step * factor as i64 };
+    } else {
+        return Err("unexpected IV increment shape".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::{GlobalId, IPred, MemType, Type};
+
+    /// for (i = 0; i < 1000; i++) A[i] = B[i] + C[i];
+    fn vector_add() -> Function {
+        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let latch = b.new_block("latch");
+        let exit = b.new_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let c = b.icmp(IPred::Slt, iv, Value::i64(1000), "");
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let at = MemType::array1(Type::F64, 1000);
+        let pb = b.gep(at.clone(), Value::Global(GlobalId(1)), vec![Value::i64(0), iv], "");
+        let x = b.load(Type::F64, pb, "");
+        let pc = b.gep(at.clone(), Value::Global(GlobalId(2)), vec![Value::i64(0), iv], "");
+        let y = b.load(Type::F64, pc, "");
+        let s = b.bin(BinOp::FAdd, Type::F64, x, y, "");
+        let pa = b.gep(at, Value::Global(GlobalId(0)), vec![Value::i64(0), iv], "");
+        b.store(s, pa);
+        b.br(latch);
+        b.switch_to(latch);
+        let next = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut b.func_mut().inst_mut(p).kind {
+                incomings.push((latch, next));
+            }
+        }
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn unrolls_by_four_with_or_offsets() {
+        let mut f = vector_add();
+        unroll_innermost(&mut f, 4).unwrap();
+        splendid_ir::verify::verify_function(&f).unwrap();
+        // Three `or` offset computations exist.
+        let ors = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Or, .. }))
+            .count();
+        assert_eq!(ors, 3);
+        // The step is now 4.
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        let cl = recognize_counted_loop(&f, &li, li.ids().next().unwrap()).unwrap();
+        assert_eq!(cl.step, 4);
+        // Four stores in the loop.
+        let stores = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Store { .. }))
+            .count();
+        assert_eq!(stores, 4);
+    }
+
+    #[test]
+    fn rejects_indivisible_trip() {
+        let mut f = vector_add();
+        let err = unroll_innermost(&mut f, 3).unwrap_err();
+        assert!(err.contains("not divisible"), "{err}");
+    }
+
+    #[test]
+    fn rejects_tiny_factor() {
+        let mut f = vector_add();
+        assert!(unroll_innermost(&mut f, 1).is_err());
+    }
+
+    #[test]
+    fn add_offsets_for_nonzero_init() {
+        let mut f = vector_add();
+        // Make the IV start at 4 so the `or` trick is invalid.
+        for inst in &mut f.insts {
+            if let InstKind::Phi { incomings } = &mut inst.kind {
+                for (_, v) in incomings {
+                    if *v == Value::i64(0) {
+                        *v = Value::i64(4);
+                    }
+                }
+            }
+        }
+        // trip = 996 which is divisible by 4.
+        unroll_innermost(&mut f, 4).unwrap();
+        let adds_with_iv_offsets = f
+            .insts
+            .iter()
+            .filter(|i| {
+                matches!(i.kind, InstKind::Bin { op: BinOp::Add, .. })
+                    && i.name.as_deref().map(|n| n.starts_with("i.u")).unwrap_or(false)
+            })
+            .count();
+        assert_eq!(adds_with_iv_offsets, 3);
+        let ors = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Or, .. }))
+            .count();
+        assert_eq!(ors, 0);
+    }
+}

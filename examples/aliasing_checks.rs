@@ -1,0 +1,36 @@
+//! The paper's Figure-2 case study: a may-alias loop is parallelized
+//! behind a runtime overlap check, and SPLENDID decompiles the check into
+//! a readable if/else the programmer can then specialize.
+//!
+//! ```text
+//! cargo run --example aliasing_checks
+//! ```
+
+use splendid::cfront::OmpRuntime;
+use splendid::core::{decompile, SplendidOptions};
+use splendid::parallel::{parallelize_module, ParallelizeOptions};
+use splendid::polybench::Harness;
+
+const SOURCE: &str = r#"
+void may_alias(double* A, double* B, double* C) {
+  int i;
+  for (i = 0; i < 999; i++) {
+    A[i+1] = M_PI * B[i] + exp(C[i]);
+  }
+}
+"#;
+
+fn main() {
+    let mut m = Harness::compile(SOURCE, OmpRuntime::LibOmp).expect("compile");
+    let report = parallelize_module(&mut m, &ParallelizeOptions::default());
+    println!("parallelizer report: {report:?}\n");
+
+    let out = decompile(&m, &SplendidOptions::default()).expect("decompile");
+    println!("==== SPLENDID output ====\n{}", out.source);
+    println!(
+        "The if/else shows the compiler's aliasing check: a programmer who\n\
+         knows A, B, C never alias can now delete the sequential fallback,\n\
+         or split the entry point into NoAlias/InPlace specializations as\n\
+         in the paper's Figure 2(c)."
+    );
+}

@@ -1,0 +1,68 @@
+//! Compiler-programmer collaboration on `atax` (the paper's §3.5.1 /
+//! Figure 9 story): the compiler parallelizes what it can prove, SPLENDID
+//! makes that work visible and editable, and three hand-written lines on
+//! top double the speedup over either party alone.
+//!
+//! ```text
+//! cargo run --example collaborative
+//! ```
+
+use splendid::cfront::OmpRuntime;
+use splendid::interp::CompilerProfile;
+use splendid::polybench::{benchmarks, Harness};
+
+fn main() {
+    let b = benchmarks().into_iter().find(|b| b.name == "atax").expect("atax");
+
+    let seq = Harness::run_source(
+        b.sequential,
+        OmpRuntime::LibOmp,
+        CompilerProfile::gcc(),
+        b.check_globals,
+    )
+    .expect("sequential");
+
+    // Manual-only: the published hand parallelization.
+    let manual = Harness::run_source(
+        b.manual.expect("manual variant"),
+        OmpRuntime::LibGomp,
+        CompilerProfile::gcc(),
+        b.check_globals,
+    )
+    .expect("manual");
+
+    // Compiler-only: Polly-sim -> SPLENDID -> recompile.
+    let art = Harness::pipeline(&b).expect("pipeline");
+    let compiler = Harness::recompile_and_run(
+        &art.splendid.source,
+        OmpRuntime::LibGomp,
+        CompilerProfile::gcc(),
+        b.check_globals,
+    )
+    .expect("compiler");
+
+    // Collaboration: SPLENDID output + 3 hand lines (loop interchange +
+    // one pragma on the nest the compiler could not prove).
+    let collab = Harness::run_source(
+        b.collab.expect("collab variant"),
+        OmpRuntime::LibGomp,
+        CompilerProfile::gcc(),
+        b.check_globals,
+    )
+    .expect("collab");
+
+    assert_eq!(seq.0, manual.0);
+    assert_eq!(seq.0, compiler.0);
+    assert_eq!(seq.0, collab.0);
+
+    println!("==== SPLENDID output the programmer starts from ====\n");
+    println!("{}", art.splendid.source);
+    println!("atax speedups over sequential (GCC profile, 28 cores):");
+    println!("  manual only       {:5.2}x", seq.1 as f64 / manual.1 as f64);
+    println!("  compiler only     {:5.2}x", seq.1 as f64 / compiler.1 as f64);
+    println!(
+        "  compiler+manual   {:5.2}x   ({} hand-edited lines)",
+        seq.1 as f64 / collab.1 as f64,
+        b.collab_loc_changed
+    );
+}

@@ -1,0 +1,21 @@
+//! Facade crate for the SPLENDID (ASPLOS'23) reproduction.
+//!
+//! Re-exports every workspace crate under a short alias so examples and
+//! integration tests can depend on a single crate:
+//!
+//! ```
+//! use splendid::ir::Module;
+//! let m = Module::new("demo");
+//! assert_eq!(m.functions.len(), 0);
+//! ```
+
+pub use splendid_analysis as analysis;
+pub use splendid_baselines as baselines;
+pub use splendid_cfront as cfront;
+pub use splendid_core as core;
+pub use splendid_interp as interp;
+pub use splendid_ir as ir;
+pub use splendid_metrics as metrics;
+pub use splendid_parallel as parallel;
+pub use splendid_polybench as polybench;
+pub use splendid_transforms as transforms;

@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: the whole reproduction pipeline.
+
+use splendid::baselines::{decompile_ghidra_like, decompile_rellic_like};
+use splendid::cfront::OmpRuntime;
+use splendid::core::{decompile, SplendidOptions, Variant};
+use splendid::interp::{CompilerProfile, MachineConfig};
+use splendid::metrics::{bleu4, loc};
+use splendid::polybench::{benchmarks, Harness};
+
+/// Every benchmark round-trips: sequential semantics == parallel semantics
+/// == decompiled-and-recompiled semantics, under both runtimes.
+#[test]
+fn full_roundtrip_all_benchmarks_both_runtimes() {
+    for b in benchmarks() {
+        let art = Harness::pipeline(&b).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let seq = Harness::run_source(
+            b.sequential,
+            OmpRuntime::LibOmp,
+            CompilerProfile::clang(),
+            b.check_globals,
+        )
+        .unwrap();
+        assert!(seq.0.is_finite(), "{}: non-finite checksum", b.name);
+        let par = Harness::run(&art.parallel_module, MachineConfig::default(), b.check_globals)
+            .unwrap();
+        assert_eq!(seq.0, par.0, "{}: parallelization changed results", b.name);
+        for rt in [OmpRuntime::LibOmp, OmpRuntime::LibGomp] {
+            let re = Harness::recompile_and_run(
+                &art.splendid.source,
+                rt,
+                CompilerProfile::gcc(),
+                b.check_globals,
+            )
+            .unwrap_or_else(|e| panic!("{} under {rt:?}: {e}\n{}", b.name, art.splendid.source));
+            assert_eq!(seq.0, re.0, "{}: decompiled semantics under {rt:?}", b.name);
+        }
+    }
+}
+
+/// SPLENDID output is runtime-free and fully structured on every benchmark.
+#[test]
+fn splendid_output_is_portable_and_structured() {
+    for b in benchmarks() {
+        let art = Harness::pipeline(&b).unwrap();
+        let s = &art.splendid.source;
+        assert!(!s.contains("__kmpc"), "{}: runtime call leaked:\n{s}", b.name);
+        assert!(!s.contains("GOMP_"), "{}: runtime call leaked:\n{s}", b.name);
+        assert!(!s.contains("goto"), "{}: unstructured output:\n{s}", b.name);
+        assert!(!s.contains("do {"), "{}: rotated loop not de-rotated:\n{s}", b.name);
+        if art.report.parallelized_count() > 0 {
+            assert!(s.contains("#pragma omp parallel"), "{}:\n{s}", b.name);
+            assert!(s.contains("schedule(static)"), "{}:\n{s}", b.name);
+        }
+    }
+}
+
+/// Naturalness ordering holds on every benchmark: full SPLENDID beats the
+/// portable variant, which beats v1 and both baselines (BLEU-4 against the
+/// reference).
+#[test]
+fn bleu_ordering_matches_paper() {
+    for b in benchmarks() {
+        let art = Harness::pipeline(&b).unwrap();
+        let v1 = decompile(
+            &art.parallel_module,
+            &SplendidOptions { variant: Variant::V1, ..Default::default() },
+        )
+        .unwrap();
+        let portable = decompile(
+            &art.parallel_module,
+            &SplendidOptions { variant: Variant::Portable, ..Default::default() },
+        )
+        .unwrap();
+        let s_full = bleu4(&art.splendid.source, b.reference);
+        let s_port = bleu4(&portable.source, b.reference);
+        let s_v1 = bleu4(&v1.source, b.reference);
+        let s_rellic = bleu4(&art.rellic.source, b.reference);
+        assert!(
+            s_full >= s_port && s_port >= s_v1 && s_v1 > s_rellic,
+            "{}: ordering violated: full={s_full:.3} portable={s_port:.3} v1={s_v1:.3} rellic={s_rellic:.3}",
+            b.name
+        );
+    }
+}
+
+/// LoC: SPLENDID is close to the reference; baselines are substantially
+/// longer (Table 4's shape).
+#[test]
+fn loc_shape_matches_table4() {
+    let mut total_splendid = 0usize;
+    let mut total_ref = 0usize;
+    let mut total_rellic = 0usize;
+    for b in benchmarks() {
+        let art = Harness::pipeline(&b).unwrap();
+        total_splendid += loc(&art.splendid.source);
+        total_ref += loc(b.reference);
+        total_rellic += loc(&art.rellic.source);
+    }
+    let splendid_ratio = total_splendid as f64 / total_ref as f64;
+    let rellic_ratio = total_rellic as f64 / total_ref as f64;
+    assert!(
+        (0.8..=1.3).contains(&splendid_ratio),
+        "SPLENDID LoC ratio {splendid_ratio:.2} out of range"
+    );
+    assert!(rellic_ratio > 2.0, "Rellic-like ratio {rellic_ratio:.2} too small");
+}
+
+/// Decompilation is a fixpoint: recompiling SPLENDID output and
+/// re-parallelizing + re-decompiling yields semantically identical code.
+#[test]
+fn decompilation_roundtrip_is_stable() {
+    let b = benchmarks().into_iter().find(|b| b.name == "gemm").unwrap();
+    let art = Harness::pipeline(&b).unwrap();
+    // Recompile the decompiled source, re-parallelize, re-decompile.
+    let (m2, _) = Harness::polly(&art.splendid.source).unwrap();
+    let out2 = decompile(&m2, &SplendidOptions::default()).unwrap();
+    // The second-generation output still runs and matches.
+    let seq = Harness::run_source(
+        b.sequential,
+        OmpRuntime::LibOmp,
+        CompilerProfile::clang(),
+        b.check_globals,
+    )
+    .unwrap();
+    let re2 = Harness::recompile_and_run(
+        &out2.source,
+        OmpRuntime::LibGomp,
+        CompilerProfile::gcc(),
+        b.check_globals,
+    )
+    .unwrap();
+    assert_eq!(seq.0, re2.0);
+    assert!(out2.source.contains("#pragma omp parallel"));
+}
+
+/// The baselines exhibit the paper's three §2 roadblocks on a stencil.
+#[test]
+fn baselines_show_the_three_roadblocks() {
+    let b = benchmarks()
+        .into_iter()
+        .find(|b| b.name == "jacobi-1d-imper")
+        .unwrap();
+    let (m, _) = Harness::polly(b.sequential).unwrap();
+    let rellic = decompile_rellic_like(&m);
+    assert!(rellic.source.contains("__kmpc_fork_call"));
+    assert!(rellic.source.contains("do {"));
+    assert!(rellic.source.contains("val0"));
+    let ghidra = decompile_ghidra_like(&m);
+    assert!(ghidra.source.contains("for ("));
+    assert!(ghidra.source.contains("uVar") || ghidra.source.contains("dVar"));
+}
+
+/// Speedup shape of Figure 6 on a compute-heavy benchmark: Polly and the
+/// recompiled SPLENDID output achieve the same large speedup.
+#[test]
+fn fig6_shape_on_gemm() {
+    let b = benchmarks().into_iter().find(|b| b.name == "gemm").unwrap();
+    let art = Harness::pipeline(&b).unwrap();
+    let seq = Harness::run_source(
+        b.sequential,
+        OmpRuntime::LibOmp,
+        CompilerProfile::clang(),
+        b.check_globals,
+    )
+    .unwrap();
+    let polly = Harness::run(
+        &art.parallel_module,
+        MachineConfig::xeon_28core(CompilerProfile::clang()),
+        b.check_globals,
+    )
+    .unwrap();
+    let re = Harness::recompile_and_run(
+        &art.splendid.source,
+        OmpRuntime::LibOmp,
+        CompilerProfile::clang(),
+        b.check_globals,
+    )
+    .unwrap();
+    let polly_speedup = seq.1 as f64 / polly.1 as f64;
+    let splendid_speedup = seq.1 as f64 / re.1 as f64;
+    assert!(polly_speedup > 10.0, "polly {polly_speedup:.2}");
+    // "SPLENDID-generated code produces identical speedup as Polly."
+    let rel = (polly_speedup - splendid_speedup).abs() / polly_speedup;
+    assert!(rel < 0.05, "polly {polly_speedup:.2} vs splendid {splendid_speedup:.2}");
+}
+
+/// Figure 8 shape: most variables get source names back.
+#[test]
+fn naming_restoration_rate() {
+    let mut total = 0usize;
+    let mut restored = 0usize;
+    for b in benchmarks() {
+        let art = Harness::pipeline(&b).unwrap();
+        total += art.splendid.naming.total_vars;
+        restored += art.splendid.naming.restored_vars;
+    }
+    let pct = 100.0 * restored as f64 / total as f64;
+    assert!(pct > 60.0, "restoration rate {pct:.1}% too low");
+}

@@ -1,0 +1,89 @@
+//! Cross-crate property tests: random programs through the full compiler
+//! substrate preserve semantics.
+
+use proptest::prelude::*;
+use splendid::cfront::{lower_program, parse_program, LowerOptions};
+use splendid::interp::{MachineConfig, Vm};
+use splendid::transforms::{optimize_module, O2Options};
+
+/// A random arithmetic statement writing A[k].
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `A[dst] = A[a] <op> A[b];`
+    Bin { dst: u8, a: u8, b: u8, op: char },
+    /// `A[dst] = A[a] * c;`
+    Scale { dst: u8, a: u8, c: i8 },
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0u8..16, 0u8..16, 0u8..16, prop_oneof![Just('+'), Just('-'), Just('*')])
+            .prop_map(|(dst, a, b, op)| Stmt::Bin { dst, a, b, op }),
+        (0u8..16, 0u8..16, -3i8..4).prop_map(|(dst, a, c)| Stmt::Scale { dst, a, c }),
+    ]
+}
+
+fn render(stmts: &[Stmt], loop_bound: u8) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        match s {
+            Stmt::Bin { dst, a, b, op } => body.push_str(&format!(
+                "    A[{dst}] = A[{a}] {op} A[{b}];\n"
+            )),
+            Stmt::Scale { dst, a, c } => {
+                body.push_str(&format!("    A[{dst}] = A[{a}] * {c}.0;\n"))
+            }
+        }
+    }
+    format!(
+        "double A[16];\n\
+         void init() {{\n  int i;\n  for (i = 0; i < 16; i++) {{ A[i] = i * 0.5 + 1.0; }}\n}}\n\
+         void kernel() {{\n  int t;\n  for (t = 0; t < {loop_bound}; t++) {{\n{body}  }}\n}}\n"
+    )
+}
+
+fn run(src: &str, optimize: bool) -> Vec<f64> {
+    let prog = parse_program(src).expect("parse");
+    let mut m = lower_program(&prog, "prop", &LowerOptions::default()).expect("lower");
+    if optimize {
+        optimize_module(&mut m, &O2Options::default());
+    }
+    let mut vm = Vm::new(&m, MachineConfig::default());
+    vm.call_by_name("init", &[]).expect("init");
+    vm.call_by_name("kernel", &[]).expect("kernel");
+    (0..16).map(|i| vm.read_global_f64("A", i).unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// -O2 (mem2reg, folding, LICM, rotation, DCE) never changes results
+    /// on random loopy straight-line programs.
+    #[test]
+    fn o2_preserves_semantics(stmts in prop::collection::vec(stmt_strategy(), 1..8),
+                              bound in 1u8..5) {
+        let src = render(&stmts, bound);
+        let plain = run(&src, false);
+        let optimized = run(&src, true);
+        // Bitwise equality: the pipeline must not reassociate floats.
+        prop_assert_eq!(plain, optimized);
+    }
+
+    /// Decompiling optimized IR and recompiling preserves semantics on the
+    /// same random programs.
+    #[test]
+    fn decompile_recompile_preserves_semantics(
+        stmts in prop::collection::vec(stmt_strategy(), 1..6),
+        bound in 1u8..4,
+    ) {
+        let src = render(&stmts, bound);
+        let prog = parse_program(&src).unwrap();
+        let mut m = lower_program(&prog, "prop", &LowerOptions::default()).unwrap();
+        optimize_module(&mut m, &O2Options::default());
+        let out = splendid::core::decompile(&m, &splendid::core::SplendidOptions::default())
+            .expect("decompile");
+        let before = run(&src, true);
+        let after = run(&out.source, true);
+        prop_assert_eq!(before, after, "source:\n{}\ndecompiled:\n{}", src, out.source);
+    }
+}
