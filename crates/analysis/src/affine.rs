@@ -18,7 +18,10 @@ pub struct Affine {
 impl Affine {
     /// The constant expression `c`.
     pub fn constant(c: i64) -> Affine {
-        Affine { terms: BTreeMap::new(), konst: c }
+        Affine {
+            terms: BTreeMap::new(),
+            konst: c,
+        }
     }
 
     /// The expression `1·v`.
@@ -95,7 +98,11 @@ impl<'a> AffineBuilder<'a> {
     /// remain opaque symbols rather than being expanded through their
     /// defining instruction.
     pub fn new(func: &'a Function, is_symbol: impl Fn(Value) -> bool + 'a) -> AffineBuilder<'a> {
-        AffineBuilder { func, is_symbol: Box::new(is_symbol), depth_limit: 32 }
+        AffineBuilder {
+            func,
+            is_symbol: Box::new(is_symbol),
+            depth_limit: 32,
+        }
     }
 
     /// Build the affine form of `v`, or `None` if it is not affine in the
@@ -116,13 +123,27 @@ impl<'a> AffineBuilder<'a> {
         }
         let id = v.as_inst()?;
         match &self.func.inst(id).kind {
-            InstKind::Bin { op: BinOp::Add, lhs, rhs } => {
-                Some(self.build_inner(*lhs, depth - 1)?.add(&self.build_inner(*rhs, depth - 1)?))
-            }
-            InstKind::Bin { op: BinOp::Sub, lhs, rhs } => {
-                Some(self.build_inner(*lhs, depth - 1)?.sub(&self.build_inner(*rhs, depth - 1)?))
-            }
-            InstKind::Bin { op: BinOp::Mul, lhs, rhs } => {
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+            } => Some(
+                self.build_inner(*lhs, depth - 1)?
+                    .add(&self.build_inner(*rhs, depth - 1)?),
+            ),
+            InstKind::Bin {
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            } => Some(
+                self.build_inner(*lhs, depth - 1)?
+                    .sub(&self.build_inner(*rhs, depth - 1)?),
+            ),
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs,
+                rhs,
+            } => {
                 let l = self.build_inner(*lhs, depth - 1)?;
                 let r = self.build_inner(*rhs, depth - 1)?;
                 if l.is_const() {
@@ -133,7 +154,11 @@ impl<'a> AffineBuilder<'a> {
                     None
                 }
             }
-            InstKind::Bin { op: BinOp::Shl, lhs, rhs } => {
+            InstKind::Bin {
+                op: BinOp::Shl,
+                lhs,
+                rhs,
+            } => {
                 let r = self.build_inner(*rhs, depth - 1)?;
                 if r.is_const() && (0..63).contains(&r.konst) {
                     Some(self.build_inner(*lhs, depth - 1)?.scale(1 << r.konst))
@@ -141,7 +166,10 @@ impl<'a> AffineBuilder<'a> {
                     None
                 }
             }
-            InstKind::Cast { op: CastOp::Sext | CastOp::Zext | CastOp::Trunc, val } => {
+            InstKind::Cast {
+                op: CastOp::Sext | CastOp::Zext | CastOp::Trunc,
+                val,
+            } => {
                 // Index arithmetic in our kernels never overflows; treat
                 // integer casts as transparent.
                 self.build_inner(*val, depth - 1)

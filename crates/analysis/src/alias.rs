@@ -42,7 +42,10 @@ pub fn mem_root(f: &Function, addr: Value) -> MemRoot {
             Value::Inst(id) => match &f.inst(id).kind {
                 InstKind::Alloca { .. } => return MemRoot::Alloca(id),
                 InstKind::Gep { base, .. } => cur = *base,
-                InstKind::Cast { op: splendid_ir::CastOp::Bitcast, val } => cur = *val,
+                InstKind::Cast {
+                    op: splendid_ir::CastOp::Bitcast,
+                    val,
+                } => cur = *val,
                 _ => return MemRoot::Unknown,
             },
             _ => return MemRoot::Unknown,
@@ -97,16 +100,17 @@ mod tests {
 
     #[test]
     fn roots_resolve_through_geps() {
-        let mut b = FuncBuilder::new(
-            "f",
-            &[("A", Type::Ptr), ("B", Type::Ptr)],
-            Type::Void,
-        );
+        let mut b = FuncBuilder::new("f", &[("A", Type::Ptr), ("B", Type::Ptr)], Type::Void);
         let a0 = b.alloca(MemType::array1(Type::F64, 4), "buf");
         let g = Value::Global(GlobalId(3));
         let p1 = b.gep(MemType::Scalar(Type::F64), g, vec![Value::i64(2)], "");
         let p2 = b.gep(MemType::Scalar(Type::F64), p1, vec![Value::i64(1)], "");
-        let p3 = b.gep(MemType::Scalar(Type::F64), b.arg(0), vec![Value::i64(0)], "");
+        let p3 = b.gep(
+            MemType::Scalar(Type::F64),
+            b.arg(0),
+            vec![Value::i64(0)],
+            "",
+        );
         let p4 = b.gep(MemType::Scalar(Type::F64), a0, vec![Value::i64(0)], "");
         b.ret(None);
         let f = b.finish();

@@ -40,7 +40,10 @@ pub enum DoallResult {
 
 /// External callees considered pure (safe inside a DOALL body).
 pub fn is_pure_external(name: &str) -> bool {
-    matches!(name, "exp" | "sqrt" | "fabs" | "log" | "sin" | "cos" | "pow" | "floor")
+    matches!(
+        name,
+        "exp" | "sqrt" | "fabs" | "log" | "sin" | "cos" | "pow" | "floor"
+    )
 }
 
 /// Collect all loop memory accesses with affine byte offsets relative to
@@ -64,7 +67,12 @@ pub fn collect_accesses(
             };
             let root = mem_root(f, ptr);
             let offset = address_offset(f, &builder, ptr);
-            out.push(LoopAccess { inst: i, is_write, root, offset });
+            out.push(LoopAccess {
+                inst: i,
+                is_write,
+                root,
+                offset,
+            });
         }
     }
     out
@@ -79,7 +87,11 @@ fn address_offset(f: &Function, builder: &AffineBuilder, addr: Value) -> Option<
             Value::Global(_) | Value::Arg(_) => return Some(total),
             Value::Inst(id) => match &f.inst(id).kind {
                 InstKind::Alloca { .. } => return Some(total),
-                InstKind::Gep { elem, base, indices } => {
+                InstKind::Gep {
+                    elem,
+                    base,
+                    indices,
+                } => {
                     let strides = elem.gep_strides();
                     for (k, idx) in indices.iter().enumerate() {
                         let e = builder.build(*idx)?;
@@ -87,7 +99,10 @@ fn address_offset(f: &Function, builder: &AffineBuilder, addr: Value) -> Option<
                     }
                     cur = *base;
                 }
-                InstKind::Cast { op: splendid_ir::CastOp::Bitcast, val } => cur = *val,
+                InstKind::Cast {
+                    op: splendid_ir::CastOp::Bitcast,
+                    val,
+                } => cur = *val,
                 _ => return None,
             },
             _ => return None,
@@ -329,9 +344,19 @@ mod tests {
     fn distinct_globals_independent() {
         // B[i] = A[i] with A, B distinct globals.
         let r = classify(&[], |b, iv| {
-            let pa = b.gep(arr_ty(), Value::Global(GlobalId(0)), vec![Value::i64(0), iv], "");
+            let pa = b.gep(
+                arr_ty(),
+                Value::Global(GlobalId(0)),
+                vec![Value::i64(0), iv],
+                "",
+            );
             let x = b.load(Type::F64, pa, "");
-            let pb = b.gep(arr_ty(), Value::Global(GlobalId(1)), vec![Value::i64(0), iv], "");
+            let pb = b.gep(
+                arr_ty(),
+                Value::Global(GlobalId(1)),
+                vec![Value::i64(0), iv],
+                "",
+            );
             b.store(x, pb);
         });
         assert_eq!(r, DoallResult::Doall);
@@ -389,7 +414,10 @@ mod tests {
         let lid = li.top_level()[0];
         let cl = recognize_counted_loop(&f, &li, lid).expect("counted");
         let r = classify_doall(&f, &li, lid, &cl, &|v| !matches!(v, Value::Inst(_)));
-        assert!(matches!(r, DoallResult::NotDoall(ref m) if m.contains("recurrence")), "{r:?}");
+        assert!(
+            matches!(r, DoallResult::NotDoall(ref m) if m.contains("recurrence")),
+            "{r:?}"
+        );
     }
 
     #[test]
@@ -397,7 +425,12 @@ mod tests {
         // A[0] = i as f64 — every iteration writes the same cell.
         let r = classify(&[], |b, iv| {
             let x = b.cast(splendid_ir::CastOp::SiToFp, iv, Type::F64, "");
-            let p = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), Value::i64(0)], "");
+            let p = b.gep(
+                arr_ty(),
+                Value::Global(ARR),
+                vec![Value::i64(0), Value::i64(0)],
+                "",
+            );
             b.store(x, p);
         });
         assert!(matches!(r, DoallResult::NotDoall(_)), "{r:?}");
@@ -429,7 +462,10 @@ mod tests {
             let e = b.call(Callee::External("rand".into()), vec![x], Type::F64, "");
             b.store(e, p);
         });
-        assert!(matches!(r, DoallResult::NotDoall(ref m) if m.contains("rand")), "{r:?}");
+        assert!(
+            matches!(r, DoallResult::NotDoall(ref m) if m.contains("rand")),
+            "{r:?}"
+        );
     }
 
     #[test]
@@ -438,7 +474,12 @@ mod tests {
         let r = classify(&[], |b, iv| {
             let two_i = b.bin(BinOp::Mul, Type::I64, iv, Value::i64(2), "");
             let two_i1 = b.bin(BinOp::Add, Type::I64, two_i, Value::i64(1), "");
-            let p0 = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), two_i1], "");
+            let p0 = b.gep(
+                arr_ty(),
+                Value::Global(ARR),
+                vec![Value::i64(0), two_i1],
+                "",
+            );
             let x = b.load(Type::F64, p0, "");
             let p1 = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), two_i], "");
             b.store(x, p1);

@@ -56,7 +56,12 @@ impl DomTree {
         }
         // Replace the entry sentinel with None for a cleaner public API.
         idom[f.entry.index()] = None;
-        DomTree { idom, rpo_pos, rpo, entry: f.entry }
+        DomTree {
+            idom,
+            rpo_pos,
+            rpo,
+            entry: f.entry,
+        }
     }
 
     fn intersect(
@@ -253,6 +258,7 @@ mod tests {
         assert_eq!(entry_children.len(), 3);
     }
 
+    #[cfg(feature = "proptest")]
     proptest::proptest! {
         /// CHK dominance equals the naive oracle on random CFGs.
         #[test]
@@ -297,8 +303,8 @@ mod tests {
 pub fn ipostdoms(f: &Function) -> Vec<Option<BlockId>> {
     let n = f.blocks.len();
     let virtual_exit = n; // extra node index
-    // Reversed adjacency: succ_rev[x] = preds of x in reverse graph =
-    // successors in forward graph; plus exits -> virtual.
+                          // Reversed adjacency: succ_rev[x] = preds of x in reverse graph =
+                          // successors in forward graph; plus exits -> virtual.
     let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
     let mut preds_rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
     for b in f.block_ids() {

@@ -49,13 +49,21 @@ impl CountedLoop {
         let bound = self.bound.as_int()?;
         // Normalize to "continue while iv <pred> bound" over the value the
         // comparison actually tests.
-        let pred = if self.continue_on_true { self.pred } else { self.pred.negated() };
+        let pred = if self.continue_on_true {
+            self.pred
+        } else {
+            self.pred.negated()
+        };
         let step = self.step;
         if step == 0 {
             return None;
         }
         // First tested value.
-        let first = if self.cmp_uses_next { init + step } else { init };
+        let first = if self.cmp_uses_next {
+            init + step
+        } else {
+            init
+        };
         let dist = match pred {
             IPred::Slt => bound - first,
             IPred::Sle => bound - first + 1,
@@ -91,7 +99,11 @@ fn is_invariant(_f: &Function, l: &Loop, v: Value, inst_blocks: &[Option<BlockId
 /// (top-tested) or the latch (bottom-tested); and an exit condition
 /// `icmp(ivish, bound)` with loop-invariant `bound` where `ivish` is `iv`
 /// or `iv.next`.
-pub fn recognize_counted_loop(f: &Function, li: &LoopInfo, lid: crate::LoopId) -> Option<CountedLoop> {
+pub fn recognize_counted_loop(
+    f: &Function,
+    li: &LoopInfo,
+    lid: crate::LoopId,
+) -> Option<CountedLoop> {
     let l = li.get(lid);
     let preheader = l.preheader(f)?;
     let latch = l.single_latch()?;
@@ -116,7 +128,11 @@ pub fn recognize_counted_loop(f: &Function, li: &LoopInfo, lid: crate::LoopId) -
     // The exit test: condbr on an icmp in the test block.
     let term = f.terminator(test_block)?;
     let (cond, then_bb, else_bb) = match f.inst(term).kind {
-        InstKind::CondBr { cond, then_bb, else_bb } => (cond, then_bb, else_bb),
+        InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => (cond, then_bb, else_bb),
         _ => return None,
     };
     let cmp_id = cond.as_inst()?;
@@ -158,7 +174,11 @@ pub fn recognize_counted_loop(f: &Function, li: &LoopInfo, lid: crate::LoopId) -
             None => continue,
         };
         let step = match f.inst(next_id).kind {
-            InstKind::Bin { op: BinOp::Add, lhs, rhs } => {
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+            } => {
                 if lhs == Value::Inst(phi_id) {
                     rhs.as_int()
                 } else if rhs == Value::Inst(phi_id) {
@@ -167,7 +187,11 @@ pub fn recognize_counted_loop(f: &Function, li: &LoopInfo, lid: crate::LoopId) -
                     None
                 }
             }
-            InstKind::Bin { op: BinOp::Sub, lhs, rhs } => {
+            InstKind::Bin {
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            } => {
                 if lhs == Value::Inst(phi_id) {
                     rhs.as_int().map(|c| -c)
                 } else {

@@ -14,9 +14,9 @@
 //!   and for-loop construction), but exposes runtime calls and names
 //!   everything `uVar<N>`/`dVar<N>`/`lVar<N>`.
 
+use splendid_cfront::ast::{print_program, CProgram, CType};
 use splendid_core::naming::{NameOrigin, Naming};
 use splendid_core::structure::{structure_function, StructureOptions};
-use splendid_cfront::ast::{print_program, CProgram, CType};
 use splendid_ir::{InstKind, MemType, Module, Type};
 
 /// Output of a baseline decompiler.
@@ -64,9 +64,10 @@ fn synthetic_naming(f: &splendid_ir::Function, ghidra_style: bool) -> Naming {
             format!("val{counter}")
         };
         counter += 1;
-        naming
-            .names
-            .insert(splendid_ir::InstId(idx as u32), (name, NameOrigin::Register));
+        naming.names.insert(
+            splendid_ir::InstId(idx as u32),
+            (name, NameOrigin::Register),
+        );
     }
     naming
 }
@@ -169,7 +170,10 @@ void kernel() {
         let m = polly_module();
         let out = decompile_ghidra_like(&m);
         let s = &out.source;
-        assert!(s.contains("for ("), "Table 1 credits Ghidra with for loops:\n{s}");
+        assert!(
+            s.contains("for ("),
+            "Table 1 credits Ghidra with for loops:\n{s}"
+        );
         assert!(s.contains("__kmpc"), "runtime calls stay:\n{s}");
         assert!(s.contains("uVar") || s.contains("dVar"), "{s}");
         assert!(!s.contains("#pragma"), "{s}");

@@ -1,7 +1,7 @@
-//! Criterion benches for the decompiler itself, including the DESIGN.md
+//! Micro-benches for the decompiler itself, including the DESIGN.md
 //! ablations: guard elimination and expression folding.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use splendid_bench::microbench::Criterion;
 use splendid_core::{decompile, SplendidOptions, Variant};
 use splendid_polybench::{benchmarks, Harness};
 
@@ -23,7 +23,14 @@ fn bench_variants(c: &mut Criterion) {
     for (name, variant) in [("v1", Variant::V1), ("portable", Variant::Portable)] {
         c.bench_function(&format!("splendid/decompile gemm ({name})"), |bench| {
             bench.iter(|| {
-                decompile(&m, &SplendidOptions { variant, ..Default::default() }).unwrap()
+                decompile(
+                    &m,
+                    &SplendidOptions {
+                        variant,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
             })
         });
     }
@@ -35,7 +42,10 @@ fn bench_ablation_guard_elim(c: &mut Criterion) {
         bench.iter(|| {
             decompile(
                 &m,
-                &SplendidOptions { guard_elimination: false, ..Default::default() },
+                &SplendidOptions {
+                    guard_elimination: false,
+                    ..Default::default()
+                },
             )
             .unwrap()
         })
@@ -48,7 +58,10 @@ fn bench_ablation_no_fold(c: &mut Criterion) {
         bench.iter(|| {
             decompile(
                 &m,
-                &SplendidOptions { inline_expressions: false, ..Default::default() },
+                &SplendidOptions {
+                    inline_expressions: false,
+                    ..Default::default()
+                },
             )
             .unwrap()
         })
@@ -65,12 +78,11 @@ fn bench_baselines(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_full_decompile,
-    bench_variants,
-    bench_ablation_guard_elim,
-    bench_ablation_no_fold,
-    bench_baselines
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_full_decompile(&mut c);
+    bench_variants(&mut c);
+    bench_ablation_guard_elim(&mut c);
+    bench_ablation_no_fold(&mut c);
+    bench_baselines(&mut c);
+}

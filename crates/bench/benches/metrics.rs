@@ -1,6 +1,6 @@
-//! Criterion benches for the naturalness metrics (BLEU-4, LoC).
+//! Micro-benches for the naturalness metrics (BLEU-4, LoC).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use splendid_bench::microbench::Criterion;
 use splendid_metrics::{bleu4, loc, parallel_representation_loc};
 use splendid_polybench::{benchmarks, Harness};
 
@@ -26,5 +26,8 @@ fn bench_loc(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_bleu, bench_loc);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_bleu(&mut c);
+    bench_loc(&mut c);
+}

@@ -1,7 +1,7 @@
-//! Criterion benches for the compiler-side pipeline: frontend, -O2,
+//! Micro-benches for the compiler-side pipeline: frontend, -O2,
 //! parallelizer, and the interpreter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use splendid_bench::microbench::Criterion;
 use splendid_cfront::{lower_program, parse_program, LowerOptions};
 use splendid_interp::{MachineConfig, Vm};
 use splendid_parallel::{parallelize_module, ParallelizeOptions};
@@ -66,5 +66,10 @@ void kernel() {
     });
 }
 
-criterion_group!(benches, bench_frontend, bench_o2, bench_parallelize, bench_interp);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_frontend(&mut c);
+    bench_o2(&mut c);
+    bench_parallelize(&mut c);
+    bench_interp(&mut c);
+}

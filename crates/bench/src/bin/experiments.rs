@@ -58,6 +58,9 @@ fn main() {
         println!("== Figures 10/11: BLEU mechanics ==\n{}", fig10_11());
     }
     if run("ablations") {
-        println!("== Ablations (DESIGN.md design choices) ==\n{}", ablations());
+        println!(
+            "== Ablations (DESIGN.md design choices) ==\n{}",
+            ablations()
+        );
     }
 }

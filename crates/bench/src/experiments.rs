@@ -8,7 +8,8 @@ use splendid_metrics::{bleu4, loc, parallel_representation_loc};
 use splendid_polybench::{benchmarks, Benchmark, Harness};
 
 /// Row of Table 3.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Table3Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -65,14 +66,21 @@ pub fn table3() -> (Vec<Table3Row>, String) {
         totals.3.to_string(),
     ]);
     let text = render_table(
-        &["Benchmark", "Compiler", "Programmer", "TotalParallelizable", "EliminatedManual"],
+        &[
+            "Benchmark",
+            "Compiler",
+            "Programmer",
+            "TotalParallelizable",
+            "EliminatedManual",
+        ],
         &table,
     );
     (rows, text)
 }
 
 /// Row of Table 4.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Table4Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -125,14 +133,24 @@ pub fn table4() -> (Vec<Table4Row>, String) {
         })
         .collect();
     let text = render_table(
-        &["Benchmark", "Ghidra", "Rellic", "SPLENDID", "Ref", "Par(G)", "Par(R)", "Par(S)"],
+        &[
+            "Benchmark",
+            "Ghidra",
+            "Rellic",
+            "SPLENDID",
+            "Ref",
+            "Par(G)",
+            "Par(R)",
+            "Par(S)",
+        ],
         &table,
     );
     (rows, text)
 }
 
 /// Row of Figure 6.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig6Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -184,7 +202,11 @@ pub fn fig6() -> (Vec<Fig6Row>, String) {
         )
         .expect(b.name);
         assert_eq!(seq_clang.0, polly.0, "{}: polly semantics", b.name);
-        assert_eq!(seq_clang.0, re_clang.0, "{}: clang recompile semantics", b.name);
+        assert_eq!(
+            seq_clang.0, re_clang.0,
+            "{}: clang recompile semantics",
+            b.name
+        );
         assert_eq!(seq_clang.0, re_gcc.0, "{}: gcc recompile semantics", b.name);
         rows.push(Fig6Row {
             benchmark: b.name.to_string(),
@@ -214,14 +236,20 @@ pub fn fig6() -> (Vec<Fig6Row>, String) {
         format!("{:.2}x", geomean(&|r| r.splendid_gcc)),
     ]);
     let text = render_table(
-        &["Benchmark", "Polly", "Polly->SPLENDID->Clang", "Polly->SPLENDID->GCC"],
+        &[
+            "Benchmark",
+            "Polly",
+            "Polly->SPLENDID->Clang",
+            "Polly->SPLENDID->GCC",
+        ],
         &table,
     );
     (rows, text)
 }
 
 /// Row of Figure 7.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig7Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -244,12 +272,18 @@ pub fn fig7() -> (Vec<Fig7Row>, String) {
         let art = Harness::pipeline(&b).expect(b.name);
         let v1 = decompile(
             &art.parallel_module,
-            &SplendidOptions { variant: Variant::V1, ..Default::default() },
+            &SplendidOptions {
+                variant: Variant::V1,
+                ..Default::default()
+            },
         )
         .expect(b.name);
         let portable = decompile(
             &art.parallel_module,
-            &SplendidOptions { variant: Variant::Portable, ..Default::default() },
+            &SplendidOptions {
+                variant: Variant::Portable,
+                ..Default::default()
+            },
         )
         .expect(b.name);
         let score = |src: &str| 100.0 * bleu4(src, b.reference);
@@ -262,9 +296,7 @@ pub fn fig7() -> (Vec<Fig7Row>, String) {
             full: score(&art.splendid.source),
         });
     }
-    let avg = |f: &dyn Fn(&Fig7Row) -> f64| {
-        rows.iter().map(|r| f(r)).sum::<f64>() / rows.len() as f64
-    };
+    let avg = |f: &dyn Fn(&Fig7Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
     let mut table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -287,14 +319,22 @@ pub fn fig7() -> (Vec<Fig7Row>, String) {
         format!("{:.2}", avg(&|r| r.full)),
     ]);
     let text = render_table(
-        &["Benchmark", "Rellic", "Ghidra", "SPLENDID-v1", "Portable", "SPLENDID"],
+        &[
+            "Benchmark",
+            "Rellic",
+            "Ghidra",
+            "SPLENDID-v1",
+            "Portable",
+            "SPLENDID",
+        ],
         &table,
     );
     (rows, text)
 }
 
 /// Row of Figure 8.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig8Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -323,7 +363,8 @@ pub fn fig8() -> (Vec<Fig8Row>, String) {
 }
 
 /// Row of Figure 9.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig9Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -392,7 +433,13 @@ pub fn fig9() -> (Vec<Fig9Row>, String) {
         })
         .collect();
     let text = render_table(
-        &["Benchmark", "ManualOnly", "CompilerOnly", "Compiler+Manual", "LoC"],
+        &[
+            "Benchmark",
+            "ManualOnly",
+            "CompilerOnly",
+            "Compiler+Manual",
+            "LoC",
+        ],
         &table,
     );
     (rows, text)
@@ -451,12 +498,9 @@ void kernel() {
     // Unroll on the un-simplified loop shape (separate body/latch), then
     // run the usual pipeline.
     let prog = splendid_cfront::parse_program(src_unroll).unwrap();
-    let mut m = splendid_cfront::lower_program(
-        &prog,
-        "fig3",
-        &splendid_cfront::LowerOptions::default(),
-    )
-    .unwrap();
+    let mut m =
+        splendid_cfront::lower_program(&prog, "fig3", &splendid_cfront::LowerOptions::default())
+            .unwrap();
     let kid = m.func_by_name("kernel").unwrap();
     splendid_transforms::mem2reg::promote_allocas(m.func_mut(kid));
     unroll::unroll_innermost(m.func_mut(kid), 4).unwrap();
@@ -479,13 +523,13 @@ void kernel() {
 }
 "#;
     let prog = splendid_cfront::parse_program(src_dist).unwrap();
-    let mut md = splendid_cfront::lower_program(
-        &prog,
-        "fig3b",
-        &splendid_cfront::LowerOptions::default(),
-    )
-    .unwrap();
-    let opts = splendid_transforms::O2Options { rotate_loops: false, licm: true };
+    let mut md =
+        splendid_cfront::lower_program(&prog, "fig3b", &splendid_cfront::LowerOptions::default())
+            .unwrap();
+    let opts = splendid_transforms::O2Options {
+        rotate_loops: false,
+        licm: true,
+    };
     splendid_transforms::optimize_module(&mut md, &opts);
     let kid = md.func_by_name("kernel").unwrap();
     distribute::distribute_outermost(md.func_mut(kid)).unwrap();
@@ -586,8 +630,14 @@ pub fn ablations() -> String {
             100.0 * bleu4(&decompile(&m, opts).expect(b.name).source, b.reference)
         };
         full += score(&SplendidOptions::default());
-        no_guard += score(&SplendidOptions { guard_elimination: false, ..Default::default() });
-        no_fold += score(&SplendidOptions { inline_expressions: false, ..Default::default() });
+        no_guard += score(&SplendidOptions {
+            guard_elimination: false,
+            ..Default::default()
+        });
+        no_fold += score(&SplendidOptions {
+            inline_expressions: false,
+            ..Default::default()
+        });
         n += 1.0;
     }
     format!(

@@ -5,6 +5,7 @@
 //! consume the same code path.
 
 pub mod experiments;
+pub mod microbench;
 pub mod tables;
 
 pub use experiments::*;

@@ -1,0 +1,102 @@
+//! Minimal std-only micro-benchmark harness.
+//!
+//! The sandbox build has no registry access, so the Criterion benches are
+//! driven by this harness instead. It mirrors the small slice of the
+//! Criterion API the bench files use (`bench_function` + `Bencher::iter`)
+//! so the benches read the same, while staying dependency-free.
+
+use std::time::{Duration, Instant};
+
+/// Collects timing samples for one benchmark closure.
+pub struct Bencher {
+    warmup: u32,
+    budget: Duration,
+    max_samples: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(warmup: u32, budget: Duration, max_samples: usize) -> Bencher {
+        Bencher {
+            warmup,
+            budget,
+            max_samples,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time repeated calls of `f` until the sample budget is exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= self.max_samples || Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Summary statistics for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: usize,
+    /// Arithmetic mean per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+/// The bench driver; named after the crate it substitutes for so the
+/// bench files keep their original shape.
+pub struct Criterion {
+    warmup: u32,
+    budget: Duration,
+    max_samples: usize,
+    /// All results recorded so far, in execution order.
+    pub results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warmup: 3,
+            budget: Duration::from_millis(500),
+            max_samples: 50,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark and print a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.warmup, self.budget, self.max_samples);
+        f(&mut b);
+        let iters = b.samples.len().max(1);
+        let total: Duration = b.samples.iter().sum();
+        let sample = Sample {
+            name: name.to_string(),
+            iters: b.samples.len(),
+            mean: total / iters as u32,
+            min: b.samples.iter().min().copied().unwrap_or_default(),
+            max: b.samples.iter().max().copied().unwrap_or_default(),
+        };
+        println!(
+            "{:<45} mean {:>10.3?}  min {:>10.3?}  max {:>10.3?}  ({} iters)",
+            sample.name, sample.mean, sample.min, sample.max, sample.iters
+        );
+        self.results.push(sample);
+        self
+    }
+}

@@ -51,15 +51,55 @@ pub fn table1() -> String {
     ];
     let rows: Vec<Vec<String>> = [
         ["Ghidra [1]", "binary", "x", "x", "x", "y", "y", "n/a", "x"],
-        ["Gussoni et al.", "binary", "x", "x", "x", "x", "x", "n/a", "x"],
+        [
+            "Gussoni et al.",
+            "binary",
+            "x",
+            "x",
+            "x",
+            "x",
+            "x",
+            "n/a",
+            "x",
+        ],
         ["Chen et al.", "binary", "x", "x", "x", "x", "x", "n/a", "x"],
         ["SmartDec", "binary", "x", "x", "x", "x", "x", "n/a", "x"],
         ["Phoenix", "binary", "x", "x", "x", "y", "x", "n/a", "x"],
-        ["Hex-rays IDA Pro", "binary", "x", "x", "x", "y", "y", "n/a", "x"],
+        [
+            "Hex-rays IDA Pro",
+            "binary",
+            "x",
+            "x",
+            "x",
+            "y",
+            "y",
+            "n/a",
+            "x",
+        ],
         ["Relyze", "binary", "x", "x", "x", "x", "x", "n/a", "x"],
         ["Rellic", "LLVM-IR", "x", "x", "x", "y", "x", "y", "x"],
-        ["LLVM CBackend", "LLVM-IR", "x", "x", "x", "x", "x", "x", "x"],
-        ["SPLENDID (this work)", "LLVM-IR", "y", "y", "y", "y", "y", "y", "y"],
+        [
+            "LLVM CBackend",
+            "LLVM-IR",
+            "x",
+            "x",
+            "x",
+            "x",
+            "x",
+            "x",
+            "x",
+        ],
+        [
+            "SPLENDID (this work)",
+            "LLVM-IR",
+            "y",
+            "y",
+            "y",
+            "y",
+            "y",
+            "y",
+            "y",
+        ],
     ]
     .iter()
     .map(|r| r.iter().map(|s| s.to_string()).collect())
@@ -72,9 +112,19 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let headers = ["Technique", "Portability", "Naturalness", "Module"];
     let rows: Vec<Vec<String>> = [
-        ["Parallel Runtime Elimination", "y", "y", "core::detransform"],
+        [
+            "Parallel Runtime Elimination",
+            "y",
+            "y",
+            "core::detransform",
+        ],
         ["Loop Parameter Restoration", "y", "y", "core::detransform"],
-        ["Loop Rotation De-transformation", "y", "y", "core::structure"],
+        [
+            "Loop Rotation De-transformation",
+            "y",
+            "y",
+            "core::structure",
+        ],
         ["For Loop Construction", "y", "y", "core::structure"],
         ["Parallel Code Inlining", "y", "y", "core::detransform"],
         ["Pragma Generation", "y", "y", "core::pragma"],
@@ -103,10 +153,7 @@ mod tests {
 
     #[test]
     fn renderer_aligns_columns() {
-        let s = render_table(
-            &["a", "long-header"],
-            &[vec!["xxxx".into(), "y".into()]],
-        );
+        let s = render_table(&["a", "long-header"], &[vec!["xxxx".into(), "y".into()]]);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("a "));

@@ -221,7 +221,11 @@ impl CExpr {
 
     /// Convenience binary constructor.
     pub fn bin(op: CBinOp, lhs: CExpr, rhs: CExpr) -> CExpr {
-        CExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        CExpr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     fn precedence(&self) -> u8 {
@@ -333,9 +337,7 @@ impl OmpClauses {
         if let Some(sch) = self.schedule {
             match sch {
                 Schedule::Static => s.push_str(" schedule(static)"),
-                Schedule::StaticChunk(c) => {
-                    write!(s, " schedule(static, {c})").unwrap()
-                }
+                Schedule::StaticChunk(c) => write!(s, " schedule(static, {c})").unwrap(),
             }
         }
         if self.nowait {
@@ -489,7 +491,11 @@ fn print_stmt(out: &mut String, stmt: &CStmt, level: usize) {
             };
         }
         CStmt::Expr(e) => writeln!(out, "{};", e.print()).unwrap(),
-        CStmt::If { cond, then_body, else_body } => {
+        CStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             write!(out, "if ({})", cond.print()).unwrap();
             out.push_str(" {\n");
             print_stmts(out, then_body, level + 1);
@@ -504,7 +510,12 @@ fn print_stmt(out: &mut String, stmt: &CStmt, level: usize) {
                 out.push_str("}\n");
             }
         }
-        CStmt::For { init, cond, step, body } => {
+        CStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let init_s = match init {
                 Some(s) => print_stmt_inline(s),
                 None => String::new(),
@@ -571,7 +582,14 @@ fn print_stmt_inline(stmt: &CStmt) -> String {
 pub fn print_func(f: &CFunc) -> String {
     let mut out = String::new();
     let params: Vec<String> = f.params.iter().map(|(n, t)| t.decl(n)).collect();
-    write!(out, "{} {}({})", f.ret.base_name(), f.name, params.join(", ")).unwrap();
+    write!(
+        out,
+        "{} {}({})",
+        f.ret.base_name(),
+        f.name,
+        params.join(", ")
+    )
+    .unwrap();
     out.push_str(" {\n");
     print_stmts(&mut out, &f.body, 1);
     out.push_str("}\n");
@@ -644,7 +662,10 @@ mod tests {
             ],
         };
         assert_eq!(e.print(), "A[i - 1][j]");
-        let c = CExpr::Call { name: "exp".into(), args: vec![e] };
+        let c = CExpr::Call {
+            name: "exp".into(),
+            args: vec![e],
+        };
         assert_eq!(c.print(), "exp(A[i - 1][j])");
     }
 
@@ -652,7 +673,10 @@ mod tests {
     fn float_literals_keep_decimal_point() {
         assert_eq!(CExpr::Float(3.0).print(), "3.0");
         assert_eq!(CExpr::Float(0.5).print(), "0.5");
-        assert_eq!(CExpr::Float(3.1415926535897931).print(), "3.141592653589793");
+        assert_eq!(
+            CExpr::Float(std::f64::consts::PI).print(),
+            "3.141592653589793"
+        );
     }
 
     #[test]
@@ -719,10 +743,7 @@ mod tests {
     fn prints_program() {
         let p = CProgram {
             defines: vec![("N".into(), 100)],
-            globals: vec![(
-                "A".into(),
-                CType::Array(Box::new(CType::Double), vec![100]),
-            )],
+            globals: vec![("A".into(), CType::Array(Box::new(CType::Double), vec![100]))],
             functions: vec![CFunc {
                 name: "zero".into(),
                 ret: CType::Void,

@@ -10,8 +10,8 @@
 use crate::ast::*;
 use crate::sema::{check_program, known_external};
 use splendid_ir::{
-    BinOp, BlockId, Callee, CastOp, FPred, FuncId, Global, GlobalInit, IPred, Inst,
-    InstKind, MemType, Module, Param, Type, Value,
+    BinOp, BlockId, Callee, CastOp, FPred, FuncId, Global, GlobalInit, IPred, Inst, InstKind,
+    MemType, Module, Param, Type, Value,
 };
 use std::collections::HashMap;
 
@@ -70,7 +70,9 @@ pub struct LowerOptions {
 
 impl Default for LowerOptions {
     fn default() -> LowerOptions {
-        LowerOptions { runtime: OmpRuntime::LibOmp }
+        LowerOptions {
+            runtime: OmpRuntime::LibOmp,
+        }
     }
 }
 
@@ -174,7 +176,11 @@ impl<'m> FuncLowerer<'m> {
     /// Declare a local variable backed by an alloca with a dbg.declare.
     pub(crate) fn declare_local(&mut self, name: &str, cty: CType) -> Slot {
         let mem = mem_type(&cty);
-        let ptr = self.push(Inst::named(InstKind::Alloca { mem }, Type::Ptr, format!("{name}.addr")));
+        let ptr = self.push(Inst::named(
+            InstKind::Alloca { mem },
+            Type::Ptr,
+            format!("{name}.addr"),
+        ));
         let var = self.module.intern_di_var(name, &self.di_scope);
         self.push_simple(InstKind::DbgValue { val: ptr, var }, Type::Void);
         let slot = Slot { ptr, cty };
@@ -197,24 +203,40 @@ impl<'m> FuncLowerer<'m> {
             return Ok(v); // e.g. long <-> uint64_t
         }
         match (ft, tt) {
-            (Type::I32, Type::I64) => {
-                Ok(self.push_simple(InstKind::Cast { op: CastOp::Sext, val: v }, Type::I64))
-            }
-            (Type::I64, Type::I32) => {
-                Ok(self.push_simple(InstKind::Cast { op: CastOp::Trunc, val: v }, Type::I32))
-            }
-            (Type::I32 | Type::I64, Type::F64) => {
-                Ok(self.push_simple(InstKind::Cast { op: CastOp::SiToFp, val: v }, Type::F64))
-            }
-            (Type::F64, Type::I32 | Type::I64) => {
-                Ok(self.push_simple(InstKind::Cast { op: CastOp::FpToSi, val: v }, tt))
-            }
+            (Type::I32, Type::I64) => Ok(self.push_simple(
+                InstKind::Cast {
+                    op: CastOp::Sext,
+                    val: v,
+                },
+                Type::I64,
+            )),
+            (Type::I64, Type::I32) => Ok(self.push_simple(
+                InstKind::Cast {
+                    op: CastOp::Trunc,
+                    val: v,
+                },
+                Type::I32,
+            )),
+            (Type::I32 | Type::I64, Type::F64) => Ok(self.push_simple(
+                InstKind::Cast {
+                    op: CastOp::SiToFp,
+                    val: v,
+                },
+                Type::F64,
+            )),
+            (Type::F64, Type::I32 | Type::I64) => Ok(self.push_simple(
+                InstKind::Cast {
+                    op: CastOp::FpToSi,
+                    val: v,
+                },
+                tt,
+            )),
             (Type::Ptr, Type::Ptr) => Ok(v),
             (a, b) => err(format!("unsupported conversion {a} -> {b}")),
         }
     }
 
-    fn to_i64(&mut self, v: Value, from: &CType) -> LResult<Value> {
+    fn widen_to_i64(&mut self, v: Value, from: &CType) -> LResult<Value> {
         self.convert(v, from, &CType::Long)
     }
 
@@ -252,7 +274,9 @@ impl<'m> FuncLowerer<'m> {
                         scalar => {
                             let ty = scalar_type(scalar);
                             let v = self.push(Inst::named(
-                                InstKind::Load { ptr: Value::Global(gid) },
+                                InstKind::Load {
+                                    ptr: Value::Global(gid),
+                                },
                                 ty,
                                 name.clone(),
                             ));
@@ -276,7 +300,11 @@ impl<'m> FuncLowerer<'m> {
                         if cty.is_float() {
                             let z = Value::f64(0.0);
                             let r = self.push_simple(
-                                InstKind::Bin { op: BinOp::FSub, lhs: z, rhs: v },
+                                InstKind::Bin {
+                                    op: BinOp::FSub,
+                                    lhs: z,
+                                    rhs: v,
+                                },
                                 Type::F64,
                             );
                             Ok((r, CType::Double))
@@ -284,7 +312,11 @@ impl<'m> FuncLowerer<'m> {
                             let ty = scalar_type(&cty);
                             let z = Value::ConstInt { ty, val: 0 };
                             let r = self.push_simple(
-                                InstKind::Bin { op: BinOp::Sub, lhs: z, rhs: v },
+                                InstKind::Bin {
+                                    op: BinOp::Sub,
+                                    lhs: z,
+                                    rhs: v,
+                                },
                                 ty,
                             );
                             Ok((r, cty))
@@ -293,7 +325,11 @@ impl<'m> FuncLowerer<'m> {
                     CUnOp::Not => {
                         let b = self.truthy(v, &cty)?;
                         let r = self.push_simple(
-                            InstKind::Bin { op: BinOp::Xor, lhs: b, rhs: Value::bool(true) },
+                            InstKind::Bin {
+                                op: BinOp::Xor,
+                                lhs: b,
+                                rhs: Value::bool(true),
+                            },
                             Type::I1,
                         );
                         // `!x` in C is int; internally keep i1 and widen on
@@ -398,14 +434,18 @@ impl<'m> FuncLowerer<'m> {
                         let mut idx_vals = vec![Value::i64(0)];
                         for i in indices {
                             let (v, ity) = self.lower_expr(i)?;
-                            idx_vals.push(self.to_i64(v, &ity)?);
+                            idx_vals.push(self.widen_to_i64(v, &ity)?);
                         }
                         let mt = MemType::Array {
                             elem: scalar_type(&elem),
                             dims: dims.iter().map(|d| *d as u64).collect(),
                         };
                         let p = self.push_simple(
-                            InstKind::Gep { elem: mt, base: base_ptr, indices: idx_vals },
+                            InstKind::Gep {
+                                elem: mt,
+                                base: base_ptr,
+                                indices: idx_vals,
+                            },
                             Type::Ptr,
                         );
                         Ok((p, (*elem).clone()))
@@ -415,7 +455,7 @@ impl<'m> FuncLowerer<'m> {
                             return err("pointer indexing must be one-dimensional");
                         }
                         let (v, ity) = self.lower_expr(&indices[0])?;
-                        let idx = self.to_i64(v, &ity)?;
+                        let idx = self.widen_to_i64(v, &ity)?;
                         let p = self.push_simple(
                             InstKind::Gep {
                                 elem: MemType::Scalar(scalar_type(&elem)),
@@ -441,7 +481,10 @@ impl<'m> FuncLowerer<'m> {
                 vals.push(self.convert(v, &t, &CType::Double)?);
             }
             let r = self.push_simple(
-                InstKind::Call { callee: Callee::External(name.to_string()), args: vals },
+                InstKind::Call {
+                    callee: Callee::External(name.to_string()),
+                    args: vals,
+                },
                 Type::F64,
             );
             return Ok((r, CType::Double));
@@ -457,7 +500,10 @@ impl<'m> FuncLowerer<'m> {
             vals.push(self.convert(v, &t, pt)?);
         }
         let r = self.push_simple(
-            InstKind::Call { callee: Callee::Func(fid), args: vals },
+            InstKind::Call {
+                callee: Callee::Func(fid),
+                args: vals,
+            },
             scalar_type(&ret),
         );
         Ok((r, ret))
@@ -470,12 +516,20 @@ impl<'m> FuncLowerer<'m> {
             Type::I32 | Type::I64 => {
                 let ty = scalar_type(cty);
                 Ok(self.push_simple(
-                    InstKind::ICmp { pred: IPred::Ne, lhs: v, rhs: Value::ConstInt { ty, val: 0 } },
+                    InstKind::ICmp {
+                        pred: IPred::Ne,
+                        lhs: v,
+                        rhs: Value::ConstInt { ty, val: 0 },
+                    },
                     Type::I1,
                 ))
             }
             Type::F64 => Ok(self.push_simple(
-                InstKind::FCmp { pred: FPred::One, lhs: v, rhs: Value::f64(0.0) },
+                InstKind::FCmp {
+                    pred: FPred::One,
+                    lhs: v,
+                    rhs: Value::f64(0.0),
+                },
                 Type::I1,
             )),
             other => err(format!("cannot use {other} as a condition")),
@@ -500,7 +554,14 @@ impl<'m> FuncLowerer<'m> {
                     BXor => BinOp::Xor,
                     _ => unreachable!(),
                 };
-                let r = self.push_simple(InstKind::Bin { op: o, lhs: lb, rhs: rb }, Type::I1);
+                let r = self.push_simple(
+                    InstKind::Bin {
+                        op: o,
+                        lhs: lb,
+                        rhs: rb,
+                    },
+                    Type::I1,
+                );
                 return Ok((r, CType::Int));
             }
             _ => {}
@@ -512,18 +573,70 @@ impl<'m> FuncLowerer<'m> {
         if float {
             let a = self.convert(lv, &lt, &CType::Double)?;
             let b = self.convert(rv, &rt, &CType::Double)?;
-            let bin = |o: BinOp| InstKind::Bin { op: o, lhs: a, rhs: b };
+            let bin = |o: BinOp| InstKind::Bin {
+                op: o,
+                lhs: a,
+                rhs: b,
+            };
             let (kind, ty, cty) = match op {
                 Add => (bin(BinOp::FAdd), Type::F64, CType::Double),
                 Sub => (bin(BinOp::FSub), Type::F64, CType::Double),
                 Mul => (bin(BinOp::FMul), Type::F64, CType::Double),
                 Div => (bin(BinOp::FDiv), Type::F64, CType::Double),
-                Lt => (InstKind::FCmp { pred: FPred::Olt, lhs: a, rhs: b }, Type::I1, CType::Int),
-                Le => (InstKind::FCmp { pred: FPred::Ole, lhs: a, rhs: b }, Type::I1, CType::Int),
-                Gt => (InstKind::FCmp { pred: FPred::Ogt, lhs: a, rhs: b }, Type::I1, CType::Int),
-                Ge => (InstKind::FCmp { pred: FPred::Oge, lhs: a, rhs: b }, Type::I1, CType::Int),
-                Eq => (InstKind::FCmp { pred: FPred::Oeq, lhs: a, rhs: b }, Type::I1, CType::Int),
-                Ne => (InstKind::FCmp { pred: FPred::One, lhs: a, rhs: b }, Type::I1, CType::Int),
+                Lt => (
+                    InstKind::FCmp {
+                        pred: FPred::Olt,
+                        lhs: a,
+                        rhs: b,
+                    },
+                    Type::I1,
+                    CType::Int,
+                ),
+                Le => (
+                    InstKind::FCmp {
+                        pred: FPred::Ole,
+                        lhs: a,
+                        rhs: b,
+                    },
+                    Type::I1,
+                    CType::Int,
+                ),
+                Gt => (
+                    InstKind::FCmp {
+                        pred: FPred::Ogt,
+                        lhs: a,
+                        rhs: b,
+                    },
+                    Type::I1,
+                    CType::Int,
+                ),
+                Ge => (
+                    InstKind::FCmp {
+                        pred: FPred::Oge,
+                        lhs: a,
+                        rhs: b,
+                    },
+                    Type::I1,
+                    CType::Int,
+                ),
+                Eq => (
+                    InstKind::FCmp {
+                        pred: FPred::Oeq,
+                        lhs: a,
+                        rhs: b,
+                    },
+                    Type::I1,
+                    CType::Int,
+                ),
+                Ne => (
+                    InstKind::FCmp {
+                        pred: FPred::One,
+                        lhs: a,
+                        rhs: b,
+                    },
+                    Type::I1,
+                    CType::Int,
+                ),
                 other => return err(format!("operator {other:?} not supported on double")),
             };
             let r = self.push_simple(kind, ty);
@@ -539,11 +652,27 @@ impl<'m> FuncLowerer<'m> {
         } else {
             CType::Int
         };
-        let a = if scalar_type(&unified) == Type::Ptr { lv } else { self.convert(lv, &lt, &unified)? };
-        let b = if scalar_type(&unified) == Type::Ptr { rv } else { self.convert(rv, &rt, &unified)? };
+        let a = if scalar_type(&unified) == Type::Ptr {
+            lv
+        } else {
+            self.convert(lv, &lt, &unified)?
+        };
+        let b = if scalar_type(&unified) == Type::Ptr {
+            rv
+        } else {
+            self.convert(rv, &rt, &unified)?
+        };
         let ty = scalar_type(&unified);
-        let bin = |o: BinOp| InstKind::Bin { op: o, lhs: a, rhs: b };
-        let cmp = |p: IPred| InstKind::ICmp { pred: p, lhs: a, rhs: b };
+        let bin = |o: BinOp| InstKind::Bin {
+            op: o,
+            lhs: a,
+            rhs: b,
+        };
+        let cmp = |p: IPred| InstKind::ICmp {
+            pred: p,
+            lhs: a,
+            rhs: b,
+        };
         let (kind, rty, cty) = match op {
             Add => (bin(BinOp::Add), ty, unified.clone()),
             Sub => (bin(BinOp::Sub), ty, unified.clone()),
@@ -621,7 +750,13 @@ impl<'m> FuncLowerer<'m> {
                 if let Some(e) = init {
                     let (v, vty) = self.lower_expr(e)?;
                     let stored = self.convert(v, &vty, ty)?;
-                    self.push_simple(InstKind::Store { val: stored, ptr: slot.ptr }, Type::Void);
+                    self.push_simple(
+                        InstKind::Store {
+                            val: stored,
+                            ptr: slot.ptr,
+                        },
+                        Type::Void,
+                    );
                 }
                 Ok(())
             }
@@ -629,7 +764,11 @@ impl<'m> FuncLowerer<'m> {
                 self.lower_expr(e)?;
                 Ok(())
             }
-            CStmt::If { cond, then_body, else_body } => {
+            CStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.lower_cond(cond)?;
                 let then_bb = self.func.add_block("if.then");
                 let else_bb = if else_body.is_empty() {
@@ -661,7 +800,12 @@ impl<'m> FuncLowerer<'m> {
                 self.cur = join;
                 Ok(())
             }
-            CStmt::For { init, cond, step, body } => {
+            CStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.lower_stmt(i)?;
@@ -676,7 +820,11 @@ impl<'m> FuncLowerer<'m> {
                     Some(c) => {
                         let cv = self.lower_cond(c)?;
                         self.push_simple(
-                            InstKind::CondBr { cond: cv, then_bb: body_bb, else_bb: exit },
+                            InstKind::CondBr {
+                                cond: cv,
+                                then_bb: body_bb,
+                                else_bb: exit,
+                            },
                             Type::Void,
                         );
                     }
@@ -706,7 +854,11 @@ impl<'m> FuncLowerer<'m> {
                 self.cur = header;
                 let cv = self.lower_cond(cond)?;
                 self.push_simple(
-                    InstKind::CondBr { cond: cv, then_bb: body_bb, else_bb: exit },
+                    InstKind::CondBr {
+                        cond: cv,
+                        then_bb: body_bb,
+                        else_bb: exit,
+                    },
                     Type::Void,
                 );
                 self.cur = body_bb;
@@ -726,7 +878,11 @@ impl<'m> FuncLowerer<'m> {
                 if !self.terminated() {
                     let cv = self.lower_cond(cond)?;
                     self.push_simple(
-                        InstKind::CondBr { cond: cv, then_bb: body_bb, else_bb: exit },
+                        InstKind::CondBr {
+                            cond: cv,
+                            then_bb: body_bb,
+                            else_bb: exit,
+                        },
                         Type::Void,
                     );
                 }
@@ -755,7 +911,10 @@ impl<'m> FuncLowerer<'m> {
                     clauses: for_clauses,
                     loop_stmt: loop_stmt.clone(),
                 }];
-                let par_clauses = OmpClauses { private: clauses.private.clone(), ..Default::default() };
+                let par_clauses = OmpClauses {
+                    private: clauses.private.clone(),
+                    ..Default::default()
+                };
                 self.lower_omp_parallel(&par_clauses, &region)
             }
             CStmt::OmpBarrier => self.lower_omp_barrier(),
@@ -812,7 +971,10 @@ pub fn lower_program(
         let params: Vec<Param> = f
             .params
             .iter()
-            .map(|(n, t)| Param { name: n.clone(), ty: scalar_type(t) })
+            .map(|(n, t)| Param {
+                name: n.clone(),
+                ty: scalar_type(t),
+            })
             .collect();
         module.push_function(splendid_ir::Function::new(
             f.name.clone(),
@@ -824,7 +986,10 @@ pub fn lower_program(
     for (i, f) in prog.functions.iter().enumerate() {
         let mut func = module.functions[i].clone();
         // Fresh body (the reserved slot was empty).
-        func.blocks = vec![splendid_ir::Block { name: "entry".into(), insts: Vec::new() }];
+        func.blocks = vec![splendid_ir::Block {
+            name: "entry".into(),
+            insts: Vec::new(),
+        }];
         func.insts.clear();
         func.entry = BlockId(0);
         let mut fl = FuncLowerer {
@@ -845,7 +1010,10 @@ pub fn lower_program(
         for (pi, (pname, pty)) in f.params.iter().enumerate() {
             let slot = fl.declare_local(pname, pty.clone());
             fl.push_simple(
-                InstKind::Store { val: Value::Arg(pi as u32), ptr: slot.ptr },
+                InstKind::Store {
+                    val: Value::Arg(pi as u32),
+                    ptr: slot.ptr,
+                },
                 Type::Void,
             );
         }
@@ -920,10 +1088,13 @@ mod tests {
         // sign extension.
         let m = lower("double A[4];\nvoid f(int i) { A[i] = 0.0; }");
         let f = &m.functions[0];
-        assert!(!f
-            .insts
-            .iter()
-            .any(|i| matches!(i.kind, InstKind::Cast { op: CastOp::Sext, .. })));
+        assert!(!f.insts.iter().any(|i| matches!(
+            i.kind,
+            InstKind::Cast {
+                op: CastOp::Sext,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -932,22 +1103,29 @@ mod tests {
         let f = &m.functions[0];
         assert!(f.insts.iter().any(|i| matches!(
             &i.kind,
-            InstKind::Gep { elem: MemType::Scalar(Type::F64), .. }
+            InstKind::Gep {
+                elem: MemType::Scalar(Type::F64),
+                ..
+            }
         )));
     }
 
     #[test]
     fn internal_and_external_calls() {
-        let m = lower(
-            "double g(double x) { return x; }\nvoid f() { double y = g(exp(1.0)); }",
-        );
+        let m = lower("double g(double x) { return x; }\nvoid f() { double y = g(exp(1.0)); }");
         let f = &m.functions[1];
         let mut saw_ext = false;
         let mut saw_int = false;
         for i in &f.insts {
             match &i.kind {
-                InstKind::Call { callee: Callee::External(n), .. } if n == "exp" => saw_ext = true,
-                InstKind::Call { callee: Callee::Func(_), .. } => saw_int = true,
+                InstKind::Call {
+                    callee: Callee::External(n),
+                    ..
+                } if n == "exp" => saw_ext = true,
+                InstKind::Call {
+                    callee: Callee::Func(_),
+                    ..
+                } => saw_int = true,
                 _ => {}
             }
         }
@@ -974,10 +1152,13 @@ mod tests {
         // `while (n)` must lower an Ne-0 comparison.
         let m = lower("void f(int n) { while (n) { n -= 1; } }");
         let f = &m.functions[0];
-        assert!(f
-            .insts
-            .iter()
-            .any(|i| matches!(i.kind, InstKind::ICmp { pred: IPred::Ne, .. })));
+        assert!(f.insts.iter().any(|i| matches!(
+            i.kind,
+            InstKind::ICmp {
+                pred: IPred::Ne,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1010,10 +1191,13 @@ mod tests {
     fn compound_assignment() {
         let m = lower("void f(double* A, int i) { A[i] += 2.0; }");
         let f = &m.functions[0];
-        assert!(f
-            .insts
-            .iter()
-            .any(|i| matches!(i.kind, InstKind::Bin { op: BinOp::FAdd, .. })));
+        assert!(f.insts.iter().any(|i| matches!(
+            i.kind,
+            InstKind::Bin {
+                op: BinOp::FAdd,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -19,9 +19,7 @@
 
 use crate::ast::*;
 use crate::lower::{err, scalar_type, FuncLowerer, LResult, Slot};
-use splendid_ir::{
-    BlockId, Callee, Inst, InstKind, MemType, Param, Type, Value,
-};
+use splendid_ir::{BlockId, Callee, Inst, InstKind, MemType, Param, Type, Value};
 use std::collections::{HashMap, HashSet};
 
 impl<'m> FuncLowerer<'m> {
@@ -69,7 +67,11 @@ impl<'m> FuncLowerer<'m> {
         let mut cap_vals = Vec::new();
         for (name, slot) in &captures {
             let ty = scalar_type(&slot.cty);
-            let v = self.push(Inst::named(InstKind::Load { ptr: slot.ptr }, ty, name.clone()));
+            let v = self.push(Inst::named(
+                InstKind::Load { ptr: slot.ptr },
+                ty,
+                name.clone(),
+            ));
             cap_vals.push(v);
         }
 
@@ -90,9 +92,15 @@ impl<'m> FuncLowerer<'m> {
         // Build the outlined function.
         self.region_counter += 1;
         let region_name = format!("{}_omp_par{}", self.di_scope, self.region_counter);
-        let mut params = vec![Param { name: "tid".into(), ty: Type::I64 }];
+        let mut params = vec![Param {
+            name: "tid".into(),
+            ty: Type::I64,
+        }];
         for (name, slot) in &captures {
-            params.push(Param { name: name.clone(), ty: scalar_type(&slot.cty) });
+            params.push(Param {
+                name: name.clone(),
+                ty: scalar_type(&slot.cty),
+            });
         }
         let mut region_fn = splendid_ir::Function::new(region_name.clone(), params, Type::Void);
         region_fn.is_outlined = true;
@@ -117,7 +125,10 @@ impl<'m> FuncLowerer<'m> {
             for (pi, (name, slot)) in captures.iter().enumerate() {
                 let s = inner.declare_local(name, slot.cty.clone());
                 inner.push_simple(
-                    InstKind::Store { val: Value::Arg(pi as u32 + 1), ptr: s.ptr },
+                    InstKind::Store {
+                        val: Value::Arg(pi as u32 + 1),
+                        ptr: s.ptr,
+                    },
                     Type::Void,
                 );
             }
@@ -156,13 +167,23 @@ impl<'m> FuncLowerer<'m> {
         let Some(tid) = self.tid else {
             return err("#pragma omp for outside a parallel region");
         };
-        let CStmt::For { init, cond, step, body } = loop_stmt else {
+        let CStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } = loop_stmt
+        else {
             return err("#pragma omp for must apply to a for loop");
         };
 
         // Dissect the canonical loop: iv, lb, pred, bound, step.
         let (iv_name, lb_expr) = match init.as_deref() {
-            Some(CStmt::Decl { name, init: Some(e), .. }) => (name.clone(), e.clone()),
+            Some(CStmt::Decl {
+                name,
+                init: Some(e),
+                ..
+            }) => (name.clone(), e.clone()),
             Some(CStmt::Expr(CExpr::Assign { lhs, op: None, rhs })) => match lhs.as_ref() {
                 CExpr::Ident(n) => (n.clone(), (**rhs).clone()),
                 _ => return err("omp for: loop init must assign the induction variable"),
@@ -170,14 +191,18 @@ impl<'m> FuncLowerer<'m> {
             _ => return err("omp for: loop must initialize its induction variable"),
         };
         let (le_bound, bound_expr) = match cond {
-            Some(CExpr::Binary { op: CBinOp::Lt, lhs, rhs })
-                if matches!(lhs.as_ref(), CExpr::Ident(n) if *n == iv_name) =>
-            {
+            Some(CExpr::Binary {
+                op: CBinOp::Lt,
+                lhs,
+                rhs,
+            }) if matches!(lhs.as_ref(), CExpr::Ident(n) if *n == iv_name) => {
                 (false, (**rhs).clone())
             }
-            Some(CExpr::Binary { op: CBinOp::Le, lhs, rhs })
-                if matches!(lhs.as_ref(), CExpr::Ident(n) if *n == iv_name) =>
-            {
+            Some(CExpr::Binary {
+                op: CBinOp::Le,
+                lhs,
+                rhs,
+            }) if matches!(lhs.as_ref(), CExpr::Ident(n) if *n == iv_name) => {
                 (true, (**rhs).clone())
             }
             _ => return err("omp for: condition must be `iv < bound` or `iv <= bound`"),
@@ -197,24 +222,44 @@ impl<'m> FuncLowerer<'m> {
             bound_i64
         } else {
             self.push_simple(
-                InstKind::Bin { op: splendid_ir::BinOp::Sub, lhs: bound_i64, rhs: Value::i64(1) },
+                InstKind::Bin {
+                    op: splendid_ir::BinOp::Sub,
+                    lhs: bound_i64,
+                    rhs: Value::i64(1),
+                },
                 Type::I64,
             )
         };
 
         // Thread-local bound slots (the Figure-1 shape).
         let plb = self.push(Inst::named(
-            InstKind::Alloca { mem: MemType::Scalar(Type::I64) },
+            InstKind::Alloca {
+                mem: MemType::Scalar(Type::I64),
+            },
             Type::Ptr,
             "lb.addr",
         ));
         let pub_ = self.push(Inst::named(
-            InstKind::Alloca { mem: MemType::Scalar(Type::I64) },
+            InstKind::Alloca {
+                mem: MemType::Scalar(Type::I64),
+            },
             Type::Ptr,
             "ub.addr",
         ));
-        self.push_simple(InstKind::Store { val: orig_lb, ptr: plb }, Type::Void);
-        self.push_simple(InstKind::Store { val: orig_ub_incl, ptr: pub_ }, Type::Void);
+        self.push_simple(
+            InstKind::Store {
+                val: orig_lb,
+                ptr: plb,
+            },
+            Type::Void,
+        );
+        self.push_simple(
+            InstKind::Store {
+                val: orig_ub_incl,
+                ptr: pub_,
+            },
+            Type::Void,
+        );
         let chunk = match clauses.schedule {
             Some(Schedule::StaticChunk(c)) => c as i64,
             _ => 0,
@@ -240,7 +285,13 @@ impl<'m> FuncLowerer<'m> {
         // The induction variable is a fresh local i64 (thread-private).
         self.scopes.push(HashMap::new());
         let iv_slot = self.declare_local(&iv_name, CType::Long);
-        self.push_simple(InstKind::Store { val: tlo, ptr: iv_slot.ptr }, Type::Void);
+        self.push_simple(
+            InstKind::Store {
+                val: tlo,
+                ptr: iv_slot.ptr,
+            },
+            Type::Void,
+        );
 
         let header = self.func.add_block("omp.for.cond");
         let body_bb = self.func.add_block("omp.for.body");
@@ -248,13 +299,25 @@ impl<'m> FuncLowerer<'m> {
         let exit = self.func.add_block("omp.for.end");
         self.push_simple(InstKind::Br { target: header }, Type::Void);
         self.cur = header;
-        let ivv = self.push(Inst::named(InstKind::Load { ptr: iv_slot.ptr }, Type::I64, iv_name.clone()));
+        let ivv = self.push(Inst::named(
+            InstKind::Load { ptr: iv_slot.ptr },
+            Type::I64,
+            iv_name.clone(),
+        ));
         let cmp = self.push_simple(
-            InstKind::ICmp { pred: splendid_ir::IPred::Sle, lhs: ivv, rhs: thi },
+            InstKind::ICmp {
+                pred: splendid_ir::IPred::Sle,
+                lhs: ivv,
+                rhs: thi,
+            },
             Type::I1,
         );
         self.push_simple(
-            InstKind::CondBr { cond: cmp, then_bb: body_bb, else_bb: exit },
+            InstKind::CondBr {
+                cond: cmp,
+                then_bb: body_bb,
+                else_bb: exit,
+            },
             Type::Void,
         );
         self.cur = body_bb;
@@ -263,20 +326,37 @@ impl<'m> FuncLowerer<'m> {
             self.push_simple(InstKind::Br { target: latch }, Type::Void);
         }
         self.cur = latch;
-        let iv_cur = self.push(Inst::named(InstKind::Load { ptr: iv_slot.ptr }, Type::I64, iv_name.clone()));
+        let iv_cur = self.push(Inst::named(
+            InstKind::Load { ptr: iv_slot.ptr },
+            Type::I64,
+            iv_name.clone(),
+        ));
         let nxt = self.push(Inst::named(
-            InstKind::Bin { op: splendid_ir::BinOp::Add, lhs: iv_cur, rhs: Value::i64(step_const) },
+            InstKind::Bin {
+                op: splendid_ir::BinOp::Add,
+                lhs: iv_cur,
+                rhs: Value::i64(step_const),
+            },
             Type::I64,
             format!("{iv_name}.next"),
         ));
-        self.push_simple(InstKind::Store { val: nxt, ptr: iv_slot.ptr }, Type::Void);
+        self.push_simple(
+            InstKind::Store {
+                val: nxt,
+                ptr: iv_slot.ptr,
+            },
+            Type::Void,
+        );
         self.push_simple(InstKind::Br { target: header }, Type::Void);
         self.cur = exit;
         self.scopes.pop();
 
         if let Some(fini) = self.runtime.static_fini_symbol() {
             self.push_simple(
-                InstKind::Call { callee: Callee::External(fini.to_string()), args: vec![tid] },
+                InstKind::Call {
+                    callee: Callee::External(fini.to_string()),
+                    args: vec![tid],
+                },
                 Type::Void,
             );
         }
@@ -304,20 +384,23 @@ impl<'m> FuncLowerer<'m> {
 
 fn extract_step(step: &Option<CExpr>, iv: &str) -> Option<i64> {
     match step {
-        Some(CExpr::Assign { lhs, op: Some(CBinOp::Add), rhs })
-            if matches!(lhs.as_ref(), CExpr::Ident(n) if n == iv) =>
-        {
-            match rhs.as_ref() {
-                CExpr::Int(c) => Some(*c),
-                _ => None,
-            }
-        }
-        Some(CExpr::Assign { lhs, op: None, rhs })
-            if matches!(lhs.as_ref(), CExpr::Ident(n) if n == iv) =>
+        Some(CExpr::Assign {
+            lhs,
+            op: Some(CBinOp::Add),
+            rhs,
+        }) if matches!(lhs.as_ref(), CExpr::Ident(n) if n == iv) => match rhs.as_ref() {
+            CExpr::Int(c) => Some(*c),
+            _ => None,
+        },
+        Some(CExpr::Assign { lhs, op: None, rhs }) if matches!(lhs.as_ref(), CExpr::Ident(n) if n == iv) =>
         {
             // iv = iv + c  (either side).
             match rhs.as_ref() {
-                CExpr::Binary { op: CBinOp::Add, lhs: a, rhs: b } => match (a.as_ref(), b.as_ref()) {
+                CExpr::Binary {
+                    op: CBinOp::Add,
+                    lhs: a,
+                    rhs: b,
+                } => match (a.as_ref(), b.as_ref()) {
                     (CExpr::Ident(n), CExpr::Int(c)) if n == iv => Some(*c),
                     (CExpr::Int(c), CExpr::Ident(n)) if n == iv => Some(*c),
                     _ => None,
@@ -348,12 +431,21 @@ fn free_vars_stmt(stmt: &CStmt, bound: &mut HashSet<String>, out: &mut Vec<Strin
             bound.insert(name.clone());
         }
         CStmt::Expr(e) => free_vars_expr(e, bound, out),
-        CStmt::If { cond, then_body, else_body } => {
+        CStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             free_vars_expr(cond, bound, out);
             free_vars_stmts(then_body, bound, out);
             free_vars_stmts(else_body, bound, out);
         }
-        CStmt::For { init, cond, step, body } => {
+        CStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let snapshot = bound.clone();
             if let Some(i) = init {
                 free_vars_stmt(i, bound, out);
@@ -437,12 +529,21 @@ fn written_vars_stmt(stmt: &CStmt, out: &mut HashSet<String>) {
             out.remove(name);
         }
         CStmt::Expr(e) => written_vars_expr(e, out),
-        CStmt::If { cond, then_body, else_body } => {
+        CStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             written_vars_expr(cond, out);
             written_vars_stmts(then_body, out);
             written_vars_stmts(else_body, out);
         }
-        CStmt::For { init, cond, step, body } => {
+        CStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let mut inner = HashSet::new();
             if let Some(i) = init {
                 // A `for (int i = ...)` declares i locally: writes to it
@@ -571,7 +672,11 @@ void k(double alpha) {
         let mut out = Vec::new();
         for f in &m.functions {
             for i in &f.insts {
-                if let InstKind::Call { callee: Callee::External(n), .. } = &i.kind {
+                if let InstKind::Call {
+                    callee: Callee::External(n),
+                    ..
+                } = &i.kind
+                {
                     out.push(n.clone());
                 }
             }
@@ -583,7 +688,11 @@ void k(double alpha) {
     fn outlines_parallel_region_libomp() {
         let m = lower_with(PAR_SRC, OmpRuntime::LibOmp);
         assert_eq!(m.functions.len(), 2);
-        let region = m.functions.iter().find(|f| f.is_outlined).expect("outlined");
+        let region = m
+            .functions
+            .iter()
+            .find(|f| f.is_outlined)
+            .expect("outlined");
         assert_eq!(region.params[0].name, "tid");
         // alpha captured by value.
         assert!(region.params.iter().any(|p| p.name == "alpha"));
@@ -637,11 +746,10 @@ void k() {
             .insts
             .iter()
             .find_map(|i| match &i.kind {
-                InstKind::Call { callee: Callee::External(n), args }
-                    if n == "__kmpc_for_static_init_8" =>
-                {
-                    Some(args.clone())
-                }
+                InstKind::Call {
+                    callee: Callee::External(n),
+                    args,
+                } if n == "__kmpc_for_static_init_8" => Some(args.clone()),
                 _ => None,
             })
             .expect("static init call");
@@ -651,7 +759,10 @@ void k() {
         // a sign extension before folding).
         assert_eq!(init[3].as_int(), Some(1));
         assert_eq!(init[4].as_int(), Some(0));
-        assert!(matches!(init[5], splendid_ir::Value::Inst(_) | splendid_ir::Value::ConstInt { .. }));
+        assert!(matches!(
+            init[5],
+            splendid_ir::Value::Inst(_) | splendid_ir::Value::ConstInt { .. }
+        ));
         assert!(matches!(init[6], splendid_ir::Value::Inst(_)));
     }
 

@@ -36,12 +36,18 @@ impl Parser {
     fn line(&self) -> usize {
         // Report the line of the last consumed token: errors are detected
         // just after consuming the offending token.
-        let idx = self.pos.saturating_sub(1).min(self.toks.len().saturating_sub(1));
+        let idx = self
+            .pos
+            .saturating_sub(1)
+            .min(self.toks.len().saturating_sub(1));
         self.toks.get(idx).map(|(_, l)| *l).unwrap_or(0)
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
-        Err(CParseError { line: self.line(), msg: msg.into() })
+        Err(CParseError {
+            line: self.line(),
+            msg: msg.into(),
+        })
     }
 
     fn peek(&self) -> Option<&CToken> {
@@ -132,7 +138,11 @@ impl Parser {
                 Some(CToken::Int(v)) if v > 0 => v as usize,
                 Some(CToken::Ident(name)) => match self.define_value(&name) {
                     Some(v) if v > 0 => v as usize,
-                    _ => return self.err(format!("array dimension '{name}' is not a positive #define")),
+                    _ => {
+                        return self.err(format!(
+                            "array dimension '{name}' is not a positive #define"
+                        ))
+                    }
                 },
                 other => return self.err(format!("bad array dimension {other:?}")),
             };
@@ -171,13 +181,21 @@ impl Parser {
             Some(CToken::Punct(p)) if p == "=" => {
                 self.pos += 1;
                 let rhs = self.parse_assignment()?;
-                Ok(CExpr::Assign { lhs: Box::new(lhs), op: None, rhs: Box::new(rhs) })
+                Ok(CExpr::Assign {
+                    lhs: Box::new(lhs),
+                    op: None,
+                    rhs: Box::new(rhs),
+                })
             }
             Some(CToken::Punct(p)) if compound(p).is_some() => {
                 let op = compound(p);
                 self.pos += 1;
                 let rhs = self.parse_assignment()?;
-                Ok(CExpr::Assign { lhs: Box::new(lhs), op, rhs: Box::new(rhs) })
+                Ok(CExpr::Assign {
+                    lhs: Box::new(lhs),
+                    op,
+                    rhs: Box::new(rhs),
+                })
             }
             _ => Ok(lhs),
         }
@@ -209,14 +227,14 @@ impl Parser {
 
     fn parse_binary(&mut self, min_prec: u8) -> Result<CExpr> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let op = match self.peek() {
-                Some(CToken::Punct(p)) => match Self::binop_of(p) {
-                    Some(op) if op.precedence() >= min_prec => op,
-                    _ => break,
-                },
-                _ => break,
-            };
+        while let Some(op) = self
+            .peek()
+            .and_then(|t| match t {
+                CToken::Punct(p) => Self::binop_of(p),
+                _ => None,
+            })
+            .filter(|op| op.precedence() >= min_prec)
+        {
             self.pos += 1;
             let rhs = self.parse_binary(op.precedence() + 1)?;
             lhs = CExpr::bin(op, lhs, rhs);
@@ -231,12 +249,18 @@ impl Parser {
             return Ok(match e {
                 CExpr::Int(v) => CExpr::Int(-v),
                 CExpr::Float(v) => CExpr::Float(-v),
-                other => CExpr::Unary { op: CUnOp::Neg, expr: Box::new(other) },
+                other => CExpr::Unary {
+                    op: CUnOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         if self.eat_punct("!") {
             let e = self.parse_unary()?;
-            return Ok(CExpr::Unary { op: CUnOp::Not, expr: Box::new(e) });
+            return Ok(CExpr::Unary {
+                op: CUnOp::Not,
+                expr: Box::new(e),
+            });
         }
         if self.eat_punct("++") {
             // ++i  =>  i = i + 1
@@ -263,7 +287,10 @@ impl Parser {
                     let ty = self.parse_base_type()?;
                     self.expect_punct(")")?;
                     let e = self.parse_unary()?;
-                    return Ok(CExpr::Cast { ty, expr: Box::new(e) });
+                    return Ok(CExpr::Cast {
+                        ty,
+                        expr: Box::new(e),
+                    });
                 }
             }
         }
@@ -279,7 +306,10 @@ impl Parser {
                     indices.push(self.parse_expr()?);
                     self.expect_punct("]")?;
                 }
-                e = CExpr::Index { base: Box::new(e), indices };
+                e = CExpr::Index {
+                    base: Box::new(e),
+                    indices,
+                };
             } else if self.eat_punct("++") {
                 // i++ => i = i + 1 (value unused in our subset)
                 e = CExpr::Assign {
@@ -370,7 +400,11 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(CStmt::If { cond, then_body, else_body })
+                Ok(CStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
             }
             Some(CToken::Ident(kw)) if kw == "for" => self.parse_for(),
             Some(CToken::Ident(kw)) if kw == "while" => {
@@ -410,9 +444,7 @@ impl Parser {
                 Ok(CStmt::Goto(label))
             }
             // Label: ident ':'
-            Some(CToken::Ident(_))
-                if matches!(self.peek2(), Some(CToken::Punct(p)) if p == ":") =>
-            {
+            Some(CToken::Ident(_)) if matches!(self.peek2(), Some(CToken::Punct(p)) if p == ":") => {
                 let name = self.expect_ident()?;
                 self.expect_punct(":")?;
                 Ok(CStmt::Label(name))
@@ -475,7 +507,12 @@ impl Parser {
         };
         self.expect_punct(")")?;
         let body = self.parse_stmt_or_block()?;
-        Ok(CStmt::For { init, cond, step, body })
+        Ok(CStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
     }
 
     fn parse_pragma_stmt(&mut self) -> Result<CStmt> {
@@ -493,8 +530,10 @@ impl Parser {
             Some(&"barrier") => return Ok(CStmt::OmpBarrier),
             other => return self.err(format!("unsupported omp directive {other:?}")),
         };
-        let clauses = Self::parse_clauses(clause_words)
-            .map_err(|m| CParseError { line: self.line(), msg: m })?;
+        let clauses = Self::parse_clauses(clause_words).map_err(|m| CParseError {
+            line: self.line(),
+            msg: m,
+        })?;
         match kind {
             "parallel" => {
                 let body = self.parse_stmt_or_block()?;
@@ -505,14 +544,20 @@ impl Parser {
                 if !matches!(inner, CStmt::For { .. }) {
                     return self.err("#pragma omp for must precede a for loop");
                 }
-                Ok(CStmt::OmpFor { clauses, loop_stmt: Box::new(inner) })
+                Ok(CStmt::OmpFor {
+                    clauses,
+                    loop_stmt: Box::new(inner),
+                })
             }
             "parallel for" => {
                 let inner = self.parse_stmt()?;
                 if !matches!(inner, CStmt::For { .. }) {
                     return self.err("#pragma omp parallel for must precede a for loop");
                 }
-                Ok(CStmt::OmpParallelFor { clauses, loop_stmt: Box::new(inner) })
+                Ok(CStmt::OmpParallelFor {
+                    clauses,
+                    loop_stmt: Box::new(inner),
+                })
             }
             _ => unreachable!(),
         }
@@ -535,9 +580,7 @@ impl Parser {
                 match parts.as_slice() {
                     ["static"] => clauses.schedule = Some(Schedule::Static),
                     ["static", chunk] => {
-                        let c: u32 = chunk
-                            .parse()
-                            .map_err(|e| format!("bad chunk size: {e}"))?;
+                        let c: u32 = chunk.parse().map_err(|e| format!("bad chunk size: {e}"))?;
                         clauses.schedule = Some(Schedule::StaticChunk(c));
                     }
                     other => return Err(format!("unsupported schedule {other:?}")),
@@ -592,7 +635,12 @@ impl Parser {
                             }
                         }
                         let body = self.parse_block()?;
-                        prog.functions.push(CFunc { name, ret: base, params, body });
+                        prog.functions.push(CFunc {
+                            name,
+                            ret: base,
+                            params,
+                            body,
+                        });
                     } else {
                         // Global declaration.
                         let dims = self.parse_dims()?;
@@ -608,8 +656,15 @@ impl Parser {
 
 /// Parse a translation unit.
 pub fn parse_program(src: &str) -> Result<CProgram> {
-    let toks = lex(src).map_err(|e| CParseError { line: e.line, msg: e.msg })?;
-    let mut p = Parser { toks, pos: 0, defines: Vec::new() };
+    let toks = lex(src).map_err(|e| CParseError {
+        line: e.line,
+        msg: e.msg,
+    })?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        defines: Vec::new(),
+    };
     p.parse_program()
 }
 
@@ -720,7 +775,12 @@ void f(int n) {
         assert!(matches!(f.body[1], CStmt::While { .. }));
         assert!(matches!(f.body[2], CStmt::DoWhile { .. }));
         assert!(matches!(f.body[3], CStmt::If { .. }));
-        let CStmt::For { init, cond, step, .. } = &f.body[4] else { panic!() };
+        let CStmt::For {
+            init, cond, step, ..
+        } = &f.body[4]
+        else {
+            panic!()
+        };
         assert!(init.is_none() && cond.is_none() && step.is_none());
     }
 
@@ -779,6 +839,9 @@ void f(double x) {
     fn pointer_params_with_restrict() {
         let src = "void f(double* restrict A, double* B) { A[0] = B[0]; }";
         let p = parse_program(src).unwrap();
-        assert_eq!(p.functions[0].params[0].1, CType::Ptr(Box::new(CType::Double)));
+        assert_eq!(
+            p.functions[0].params[0].1,
+            CType::Ptr(Box::new(CType::Double))
+        );
     }
 }

@@ -37,7 +37,11 @@ impl<'a> Scope<'a> {
                 return Some(t);
             }
         }
-        self.prog.globals.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.prog
+            .globals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 
     fn is_define(&self, name: &str) -> bool {
@@ -48,7 +52,10 @@ impl<'a> Scope<'a> {
 /// Check a whole program.
 pub fn check_program(prog: &CProgram) -> Result<(), SemaError> {
     for f in &prog.functions {
-        let mut scope = Scope { vars: vec![HashMap::new()], prog };
+        let mut scope = Scope {
+            vars: vec![HashMap::new()],
+            prog,
+        };
         for (n, t) in &f.params {
             scope.vars[0].insert(n.clone(), t.clone());
         }
@@ -90,12 +97,21 @@ fn check_stmt(
             Ok(())
         }
         CStmt::Expr(e) => check_expr(e, scope, prog),
-        CStmt::If { cond, then_body, else_body } => {
+        CStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             check_expr(cond, scope, prog)?;
             check_stmts(then_body, scope, prog, f)?;
             check_stmts(else_body, scope, prog, f)
         }
-        CStmt::For { init, cond, step, body } => {
+        CStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             scope.vars.push(HashMap::new());
             if let Some(i) = init {
                 check_stmt(i, scope, prog, f)?;

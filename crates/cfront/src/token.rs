@@ -85,13 +85,15 @@ pub fn lex(src: &str) -> Result<Vec<(CToken, usize)>, LexError> {
             if let Some(rest) = text.strip_prefix("#pragma") {
                 out.push((CToken::Pragma(rest.trim().to_string()), line));
             } else if let Some(rest) = text.strip_prefix("#define") {
-                let mut parts = rest.trim().split_whitespace();
-                let name = parts
-                    .next()
-                    .ok_or_else(|| LexError { line, msg: "#define needs a name".into() })?;
-                let value = parts
-                    .next()
-                    .ok_or_else(|| LexError { line, msg: "#define needs a value".into() })?;
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().ok_or_else(|| LexError {
+                    line,
+                    msg: "#define needs a name".into(),
+                })?;
+                let value = parts.next().ok_or_else(|| LexError {
+                    line,
+                    msg: "#define needs a value".into(),
+                })?;
                 let v: i64 = value.parse().map_err(|e| LexError {
                     line,
                     msg: format!("#define value must be an integer: {e}"),
@@ -100,7 +102,10 @@ pub fn lex(src: &str) -> Result<Vec<(CToken, usize)>, LexError> {
             } else if text.starts_with("#include") {
                 // Includes are ignored (we have no headers).
             } else {
-                return Err(LexError { line, msg: format!("unsupported preprocessor line: {text}") });
+                return Err(LexError {
+                    line,
+                    msg: format!("unsupported preprocessor line: {text}"),
+                });
             }
             continue;
         }
@@ -132,9 +137,7 @@ pub fn lex(src: &str) -> Result<Vec<(CToken, usize)>, LexError> {
                     }
                 } else if d == 'x' || d == 'X' {
                     i += 1; // hex prefix
-                } else if d.is_ascii_hexdigit()
-                    || matches!(d, 'l' | 'L' | 'u' | 'U')
-                {
+                } else if d.is_ascii_hexdigit() || matches!(d, 'l' | 'L' | 'u' | 'U') {
                     i += 1;
                 } else {
                     break;
@@ -143,9 +146,7 @@ pub fn lex(src: &str) -> Result<Vec<(CToken, usize)>, LexError> {
             let text: String = chars[start..i].iter().collect();
             // Suffixes (f, L, u) are accepted and ignored.
             let mut text_trim = text.as_str();
-            while let Some(stripped) = text_trim
-                .strip_suffix(['f', 'F', 'l', 'L', 'u', 'U'])
-            {
+            while let Some(stripped) = text_trim.strip_suffix(['f', 'F', 'l', 'L', 'u', 'U']) {
                 is_float |= text_trim.ends_with(['f', 'F']);
                 text_trim = stripped;
             }
@@ -155,7 +156,10 @@ pub fn lex(src: &str) -> Result<Vec<(CToken, usize)>, LexError> {
                     msg: format!("bad float literal '{text}': {e}"),
                 })?;
                 out.push((CToken::Float(v), line));
-            } else if let Some(hex) = text_trim.strip_prefix("0x").or_else(|| text_trim.strip_prefix("0X")) {
+            } else if let Some(hex) = text_trim
+                .strip_prefix("0x")
+                .or_else(|| text_trim.strip_prefix("0X"))
+            {
                 let v = i64::from_str_radix(hex, 16).map_err(|e| LexError {
                     line,
                     msg: format!("bad hex literal '{text}': {e}"),
@@ -184,7 +188,10 @@ pub fn lex(src: &str) -> Result<Vec<(CToken, usize)>, LexError> {
             i += 1;
             continue;
         }
-        return Err(LexError { line, msg: format!("unexpected character '{c}'") });
+        return Err(LexError {
+            line,
+            msg: format!("unexpected character '{c}'"),
+        });
     }
     Ok(out)
 }

@@ -40,7 +40,11 @@ pub fn find_fork_sites(module: &Module) -> Vec<ForkSite> {
             if owners[idx].is_none() {
                 continue;
             }
-            let InstKind::Call { callee: Callee::External(name), args } = &inst.kind else {
+            let InstKind::Call {
+                callee: Callee::External(name),
+                args,
+            } = &inst.kind
+            else {
                 continue;
             };
             if name != KMPC_FORK_CALL {
@@ -71,7 +75,11 @@ pub fn find_region_runtime(module: &Module, region: FuncId) -> Option<RegionRunt
         if owners[idx].is_none() {
             continue;
         }
-        if let InstKind::Call { callee: Callee::External(name), .. } = &inst.kind {
+        if let InstKind::Call {
+            callee: Callee::External(name),
+            ..
+        } = &inst.kind
+        {
             match name.as_str() {
                 KMPC_FOR_STATIC_INIT => static_init = Some(InstId(idx as u32)),
                 KMPC_FOR_STATIC_FINI => static_fini = Some(InstId(idx as u32)),
@@ -129,7 +137,10 @@ void k(double alpha) {
         let m = parallel_module();
         let site = &find_fork_sites(&m)[0];
         let rt = find_region_runtime(&m, site.region).expect("runtime calls");
-        assert!(!rt.has_barrier, "polly-style single-loop regions have no barrier");
+        assert!(
+            !rt.has_barrier,
+            "polly-style single-loop regions have no barrier"
+        );
         assert_ne!(rt.static_init, rt.static_fini);
     }
 

@@ -33,7 +33,11 @@ pub struct MarkerInfo {
 
 /// Decode a marker call instruction.
 pub fn decode_marker(kind: &InstKind) -> Option<MarkerInfo> {
-    if let InstKind::Call { callee: Callee::External(name), args } = kind {
+    if let InstKind::Call {
+        callee: Callee::External(name),
+        args,
+    } = kind
+    {
         if name == PRAGMA_MARKER && args.len() == 2 {
             return Some(MarkerInfo {
                 chunk: args[0].as_int()?,
@@ -101,8 +105,8 @@ pub fn detransform_and_inline(module: &mut Module) -> Result<Vec<RegionReport>, 
 /// Detransform one region in place (without inlining). Returns the number
 /// of setup instructions removed.
 pub fn detransform_region(module: &mut Module, region: FuncId) -> Result<usize, String> {
-    let rt = find_region_runtime(module, region)
-        .ok_or("region has no static init/fini runtime pair")?;
+    let rt =
+        find_region_runtime(module, region).ok_or("region has no static init/fini runtime pair")?;
     let f = module.func_mut(region);
     let mut removed = 0usize;
 
@@ -282,7 +286,10 @@ void k(double alpha) {
         assert_eq!(cl.init.as_int(), Some(0));
         assert_eq!(cl.bound.as_int(), Some(255));
         assert_eq!(cl.step, 1);
-        assert!(cl.bottom_tested, "still rotated until the structurer de-rotates");
+        assert!(
+            cl.bottom_tested,
+            "still rotated until the structurer de-rotates"
+        );
     }
 
     #[test]
@@ -337,7 +344,11 @@ void k() {
         detransform_and_inline(&mut m).unwrap();
         for f in &m.functions {
             for i in &f.insts {
-                if let InstKind::Call { callee: Callee::External(n), .. } = &i.kind {
+                if let InstKind::Call {
+                    callee: Callee::External(n),
+                    ..
+                } = &i.kind
+                {
                     assert_ne!(n, KMPC_FORK_CALL);
                 }
             }

@@ -36,4 +36,8 @@ pub mod pipeline;
 pub mod pragma;
 pub mod structure;
 
-pub use pipeline::{decompile, DecompileOutput, NamingStats, SplendidOptions, Variant};
+pub use pipeline::{
+    assemble_output, decompile, decompile_function, decompile_timed, prepare_module,
+    DecompileOutput, FunctionOutput, NamingStats, PreparedModule, SplendidOptions, StageTimings,
+    Variant,
+};

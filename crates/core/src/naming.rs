@@ -120,9 +120,7 @@ fn assign_names_with(module: &Module, fid: FuncId, use_metadata: bool) -> Naming
                         .find_map(|(_, v)| proposals.get(v).copied());
                 }
                 let Some(var) = var else { continue };
-                for v in std::iter::once(phi_val)
-                    .chain(incomings.iter().map(|(_, v)| *v))
-                {
+                for v in std::iter::once(phi_val).chain(incomings.iter().map(|(_, v)| *v)) {
                     if matches!(v, Value::Inst(_)) && !proposals.contains_key(&v) {
                         proposals.insert(v, var);
                         changed = true;
@@ -200,9 +198,7 @@ fn assign_names_with(module: &Module, fid: FuncId, use_metadata: bool) -> Naming
         if let Value::Inst(id) = v {
             let name = module.di_vars[var.index()].name.clone();
             used_names.insert(name.clone());
-            naming
-                .names
-                .insert(*id, (name, NameOrigin::SourceVariable));
+            naming.names.insert(*id, (name, NameOrigin::SourceVariable));
         }
     }
     // Everything else falls back to its register hint, uniquified.
@@ -283,12 +279,12 @@ mod tests {
         // A: %1 = ...
         let v1 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "");
         b.dbg_value(v1, var); // B
-        // C: func(%1) — modeled as a pure use.
+                              // C: func(%1) — modeled as a pure use.
         let _use1 = b.bin(BinOp::Mul, Type::I64, v1, Value::i64(2), "");
         // D: %2 = ...
         let v2 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(2), "");
         b.dbg_value(v2, var); // E
-        // F: func(%1) — %1 used after %2's def: conflict.
+                              // F: func(%1) — %1 used after %2's def: conflict.
         let _use2 = b.bin(BinOp::Mul, Type::I64, v1, Value::i64(3), "");
         // G: %3 = ...; no more uses of %1/%2 afterwards.
         let v3 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(3), "");
@@ -296,7 +292,7 @@ mod tests {
         let _use3 = b.bin(BinOp::Mul, Type::I64, v3, Value::i64(4), "");
         b.ret(None);
         let fid = m.push_function(b.finish());
-        (m, fid, )
+        (m, fid)
     }
 
     #[test]
@@ -310,7 +306,11 @@ mod tests {
                 .iter()
                 .enumerate()
                 .find(|(_, i)| match &i.kind {
-                    InstKind::Bin { op: BinOp::Add, rhs, .. } => rhs.as_int() == Some(c),
+                    InstKind::Bin {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => rhs.as_int() == Some(c),
                     _ => false,
                 })
                 .map(|(idx, _)| InstId(idx as u32))

@@ -3,8 +3,9 @@
 use crate::detransform::{detransform_and_inline, RegionReport};
 use crate::naming::{assign_names, assign_register_names, NameOrigin};
 use crate::structure::{structure_function, StructureOptions};
-use splendid_cfront::ast::{print_program, CProgram, CType};
-use splendid_ir::{MemType, Module, Type};
+use splendid_cfront::ast::{print_program, CFunc, CProgram, CType};
+use splendid_ir::{FuncId, MemType, Module, Type};
+use std::time::{Duration, Instant};
 
 /// The paper's evaluation variants (§5.3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +76,167 @@ pub struct DecompileOutput {
     pub gotos: usize,
 }
 
+/// Per-stage wall-clock time spent inside the pipeline.
+///
+/// Collected by [`decompile`] / [`decompile_function`] and aggregated by
+/// callers (the serve layer sums these across work items into its
+/// service-wide stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Parallel-region detransformation + inlining (module-wide).
+    pub detransform: Duration,
+    /// Variable-name restoration (per function).
+    pub naming: Duration,
+    /// Control-flow structuring + expression reconstruction (per function).
+    pub structure: Duration,
+    /// C pretty-printing.
+    pub emit: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.detransform + self.naming + self.structure + self.emit
+    }
+
+    /// Accumulate another timing record into this one.
+    pub fn absorb(&mut self, other: &StageTimings) {
+        self.detransform += other.detransform;
+        self.naming += other.naming;
+        self.structure += other.structure;
+        self.emit += other.emit;
+    }
+}
+
+/// A module after the module-wide pipeline stages, ready for reentrant
+/// per-function decompilation via [`decompile_function`].
+#[derive(Debug, Clone)]
+pub struct PreparedModule {
+    /// Detransformed (and, for non-V1 variants, region-inlined) module.
+    pub module: Module,
+    /// Reports from the Parallel Region Detransformer.
+    pub regions: Vec<RegionReport>,
+}
+
+impl PreparedModule {
+    /// Global declarations for the reconstructed translation unit.
+    pub fn c_globals(&self) -> Vec<(String, CType)> {
+        self.module
+            .globals
+            .iter()
+            .map(|g| (g.name.clone(), ctype_of_mem(&g.mem)))
+            .collect()
+    }
+}
+
+/// Result of decompiling a single function of a [`PreparedModule`].
+#[derive(Debug, Clone)]
+pub struct FunctionOutput {
+    /// The reconstructed C function.
+    pub cfunc: CFunc,
+    /// Naming statistics for this function alone.
+    pub naming: NamingStats,
+    /// `goto` statements emitted for this function.
+    pub gotos: usize,
+}
+
+/// Run the module-wide stages (parallel-region detransformation and
+/// inlining) once, so individual functions can then be decompiled
+/// independently — and concurrently — with [`decompile_function`].
+pub fn prepare_module(
+    module: &Module,
+    opts: &SplendidOptions,
+    timings: &mut StageTimings,
+) -> Result<PreparedModule, String> {
+    let start = Instant::now();
+    let mut work = module.clone();
+    let regions = if opts.variant != Variant::V1 {
+        detransform_and_inline(&mut work)?
+    } else {
+        Vec::new()
+    };
+    timings.detransform += start.elapsed();
+    Ok(PreparedModule {
+        module: work,
+        regions,
+    })
+}
+
+/// Decompile one function of a prepared module.
+///
+/// This is the reentrant unit of work the service layer schedules: it
+/// takes only shared references, touches no global state, and two calls
+/// with the same `(function IR, options)` produce identical output.
+pub fn decompile_function(
+    prepared: &PreparedModule,
+    fid: FuncId,
+    opts: &SplendidOptions,
+    timings: &mut StageTimings,
+) -> FunctionOutput {
+    let work = &prepared.module;
+    let start = Instant::now();
+    let naming = match opts.variant {
+        Variant::Full => assign_names(work, fid),
+        _ => assign_register_names(work, fid),
+    };
+    timings.naming += start.elapsed();
+
+    let sopts = StructureOptions {
+        detransform_rotation: true,
+        guard_elimination: opts.guard_elimination,
+        emit_pragmas: opts.variant != Variant::V1,
+        inline_expressions: opts.inline_expressions,
+    };
+    let start = Instant::now();
+    let structured = structure_function(work, work.func(fid), &naming, &sopts);
+    timings.structure += start.elapsed();
+
+    let restored = structured
+        .variables
+        .iter()
+        .filter(|(_, o)| *o == NameOrigin::SourceVariable)
+        .count();
+    FunctionOutput {
+        cfunc: structured.cfunc,
+        naming: NamingStats {
+            total_vars: structured.variables.len(),
+            restored_vars: restored,
+        },
+        gotos: structured.gotos,
+    }
+}
+
+/// Assemble per-function outputs (in module function order) into the
+/// final [`DecompileOutput`].
+pub fn assemble_output(
+    prepared: &PreparedModule,
+    functions: Vec<FunctionOutput>,
+    timings: &mut StageTimings,
+) -> DecompileOutput {
+    let mut program = CProgram {
+        globals: prepared.c_globals(),
+        ..Default::default()
+    };
+    let mut naming_stats = NamingStats::default();
+    let mut gotos = 0;
+    for f in functions {
+        naming_stats.total_vars += f.naming.total_vars;
+        naming_stats.restored_vars += f.naming.restored_vars;
+        gotos += f.gotos;
+        program.functions.push(f.cfunc);
+    }
+    let start = Instant::now();
+    let source = print_program(&program);
+    timings.emit += start.elapsed();
+    DecompileOutput {
+        program,
+        source,
+        naming: naming_stats,
+        regions: prepared.regions.clone(),
+        gotos,
+    }
+}
+
 fn ctype_of_mem(mem: &MemType) -> CType {
     let scalar = |t: Type| match t {
         Type::F64 => CType::Double,
@@ -92,44 +254,25 @@ fn ctype_of_mem(mem: &MemType) -> CType {
 
 /// Decompile a parallel-IR module to C/OpenMP source.
 pub fn decompile(module: &Module, opts: &SplendidOptions) -> Result<DecompileOutput, String> {
-    let mut work = module.clone();
-    let regions = if opts.variant != Variant::V1 {
-        detransform_and_inline(&mut work)?
-    } else {
-        Vec::new()
-    };
+    decompile_timed(module, opts).map(|(out, _)| out)
+}
 
-    let sopts = StructureOptions {
-        detransform_rotation: true,
-        guard_elimination: opts.guard_elimination,
-        emit_pragmas: opts.variant != Variant::V1,
-        inline_expressions: opts.inline_expressions,
-    };
-
-    let mut program = CProgram::default();
-    for g in &work.globals {
-        program.globals.push((g.name.clone(), ctype_of_mem(&g.mem)));
-    }
-    let mut naming_stats = NamingStats::default();
-    let mut gotos = 0;
-    for fid in work.func_ids().collect::<Vec<_>>() {
-        let naming = match opts.variant {
-            Variant::Full => assign_names(&work, fid),
-            _ => assign_register_names(&work, fid),
-        };
-        let f = work.func(fid);
-        let structured = structure_function(&work, f, &naming, &sopts);
-        naming_stats.total_vars += structured.variables.len();
-        naming_stats.restored_vars += structured
-            .variables
-            .iter()
-            .filter(|(_, o)| *o == NameOrigin::SourceVariable)
-            .count();
-        gotos += structured.gotos;
-        program.functions.push(structured.cfunc);
-    }
-    let source = print_program(&program);
-    Ok(DecompileOutput { program, source, naming: naming_stats, regions, gotos })
+/// [`decompile`] that also reports where the time went.
+pub fn decompile_timed(
+    module: &Module,
+    opts: &SplendidOptions,
+) -> Result<(DecompileOutput, StageTimings), String> {
+    let mut timings = StageTimings::default();
+    let prepared = prepare_module(module, opts, &mut timings)?;
+    let functions = prepared
+        .module
+        .func_ids()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|fid| decompile_function(&prepared, fid, opts, &mut timings))
+        .collect();
+    let out = assemble_output(&prepared, functions, &mut timings);
+    Ok((out, timings))
 }
 
 #[cfg(test)]
@@ -174,11 +317,23 @@ void kernel() {
         let m = polly_pipeline(JACOBI_LIKE);
         let out = decompile(&m, &SplendidOptions::default()).unwrap();
         let src = &out.source;
-        assert!(src.contains("#pragma omp parallel"), "missing parallel pragma:\n{src}");
-        assert!(src.contains("#pragma omp for schedule(static) nowait"), "{src}");
+        assert!(
+            src.contains("#pragma omp parallel"),
+            "missing parallel pragma:\n{src}"
+        );
+        assert!(
+            src.contains("#pragma omp for schedule(static) nowait"),
+            "{src}"
+        );
         assert!(src.contains("for ("), "{src}");
-        assert!(!src.contains("__kmpc"), "runtime calls must be eliminated:\n{src}");
-        assert!(!src.contains("do {"), "rotated loops must be de-rotated:\n{src}");
+        assert!(
+            !src.contains("__kmpc"),
+            "runtime calls must be eliminated:\n{src}"
+        );
+        assert!(
+            !src.contains("do {"),
+            "rotated loops must be de-rotated:\n{src}"
+        );
         assert_eq!(out.gotos, 0, "fully structured output expected:\n{src}");
     }
 
@@ -200,7 +355,10 @@ void kernel() {
         let m = polly_pipeline(JACOBI_LIKE);
         let out = decompile(
             &m,
-            &SplendidOptions { variant: Variant::V1, ..Default::default() },
+            &SplendidOptions {
+                variant: Variant::V1,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(out.source.contains("__kmpc_fork_call"), "{}", out.source);
@@ -214,7 +372,10 @@ void kernel() {
         let m = polly_pipeline(JACOBI_LIKE);
         let out = decompile(
             &m,
-            &SplendidOptions { variant: Variant::Portable, ..Default::default() },
+            &SplendidOptions {
+                variant: Variant::Portable,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(out.source.contains("#pragma omp"), "{}", out.source);
@@ -276,7 +437,10 @@ void may_alias(double* A, double* B, double* C) {
         let with = decompile(&m, &SplendidOptions::default()).unwrap();
         let without = decompile(
             &m,
-            &SplendidOptions { guard_elimination: false, ..Default::default() },
+            &SplendidOptions {
+                guard_elimination: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Disabling guard elimination keeps an if around a do-while.
@@ -290,7 +454,10 @@ void may_alias(double* A, double* B, double* C) {
         let folded = decompile(&m, &SplendidOptions::default()).unwrap();
         let unfolded = decompile(
             &m,
-            &SplendidOptions { inline_expressions: false, ..Default::default() },
+            &SplendidOptions {
+                inline_expressions: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(

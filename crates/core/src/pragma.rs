@@ -31,7 +31,10 @@ mod tests {
 
     #[test]
     fn default_static_nowait() {
-        let c = clauses_for(MarkerInfo { chunk: 0, nowait: true });
+        let c = clauses_for(MarkerInfo {
+            chunk: 0,
+            nowait: true,
+        });
         assert_eq!(c.schedule, Some(Schedule::Static));
         assert!(c.nowait);
         assert!(c.private.is_empty());
@@ -39,7 +42,10 @@ mod tests {
 
     #[test]
     fn chunked_schedule() {
-        let c = clauses_for(MarkerInfo { chunk: 8, nowait: false });
+        let c = clauses_for(MarkerInfo {
+            chunk: 8,
+            nowait: false,
+        });
         assert_eq!(c.schedule, Some(Schedule::StaticChunk(8)));
         assert!(!c.nowait);
     }

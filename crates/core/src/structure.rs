@@ -16,8 +16,7 @@ use splendid_analysis::indvar::{recognize_counted_loop, CountedLoop};
 use splendid_analysis::loops::{LoopId, LoopInfo};
 use splendid_cfront::ast::*;
 use splendid_ir::{
-    BinOp, BlockId, Callee, CastOp, FPred, Function, IPred, InstId, InstKind, Module,
-    Type, Value,
+    BinOp, BlockId, Callee, CastOp, FPred, Function, IPred, InstId, InstKind, Module, Type, Value,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -166,11 +165,8 @@ pub fn structure_function(
         .iter()
         .map(|p| (p.name.clone(), ctype_of(p.ty)))
         .collect();
-    let mut variables: Vec<(String, NameOrigin)> = s
-        .var_origins
-        .iter()
-        .map(|(n, o)| (n.clone(), *o))
-        .collect();
+    let mut variables: Vec<(String, NameOrigin)> =
+        s.var_origins.iter().map(|(n, o)| (n.clone(), *o)).collect();
     variables.sort();
     StructuredFunc {
         cfunc: CFunc {
@@ -232,9 +228,7 @@ impl<'a> Structurer<'a> {
         let def_pos = self.pos_in_block[&id];
         let mut user: Option<InstId> = None;
         for (uidx, uinst) in self.f.insts.iter().enumerate() {
-            if self.owners[uidx].is_none()
-                || matches!(uinst.kind, InstKind::DbgValue { .. })
-            {
+            if self.owners[uidx].is_none() || matches!(uinst.kind, InstKind::DbgValue { .. }) {
                 continue;
             }
             let mut uses_it = false;
@@ -276,9 +270,7 @@ impl<'a> Structurer<'a> {
             Value::ConstF64(bits) => CExpr::Float(f64::from_bits(bits)),
             Value::Arg(a) => CExpr::ident(self.f.params[a as usize].name.clone()),
             Value::Global(g) => CExpr::ident(self.module.globals[g.index()].name.clone()),
-            Value::Function(fid) => {
-                CExpr::ident(self.module.functions[fid.index()].name.clone())
-            }
+            Value::Function(fid) => CExpr::ident(self.module.functions[fid.index()].name.clone()),
             Value::Undef(_) => CExpr::Int(0),
             Value::Inst(id) => {
                 if self.materialized.contains(&id) || !self.inlinable(id) {
@@ -347,14 +339,24 @@ impl<'a> Structurer<'a> {
             InstKind::Cast { op, val } => {
                 let e = self.expr_of_value(*val);
                 match op {
-                    CastOp::SiToFp => CExpr::Cast { ty: CType::Double, expr: Box::new(e) },
-                    CastOp::FpToSi => CExpr::Cast { ty: CType::Long, expr: Box::new(e) },
+                    CastOp::SiToFp => CExpr::Cast {
+                        ty: CType::Double,
+                        expr: Box::new(e),
+                    },
+                    CastOp::FpToSi => CExpr::Cast {
+                        ty: CType::Long,
+                        expr: Box::new(e),
+                    },
                     // Width-only conversions are invisible in the 64-bit C
                     // subset.
                     _ => e,
                 }
             }
-            InstKind::Select { cond, then_val, else_val } => {
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 // The subset has no ternary; encode as arithmetic select is
                 // ugly — use a call-like helper only if ever needed. Our
                 // pipelines do not produce selects that reach emission, but
@@ -396,14 +398,16 @@ impl<'a> Structurer<'a> {
                 indices: vec![CExpr::Int(0)],
             },
             Value::Inst(id) => match &self.f.inst(id).kind {
-                InstKind::Gep { elem, base, indices } => {
+                InstKind::Gep {
+                    elem,
+                    base,
+                    indices,
+                } => {
                     let base_expr = match base {
                         Value::Global(g) => {
                             CExpr::ident(self.module.globals[g.index()].name.clone())
                         }
-                        Value::Arg(a) => {
-                            CExpr::ident(self.f.params[*a as usize].name.clone())
-                        }
+                        Value::Arg(a) => CExpr::ident(self.f.params[*a as usize].name.clone()),
                         Value::Inst(b) => {
                             if matches!(self.f.inst(*b).kind, InstKind::Alloca { .. }) {
                                 CExpr::ident(self.name_of(*b))
@@ -415,10 +419,8 @@ impl<'a> Structurer<'a> {
                     };
                     // For array geps the first index is the object index
                     // (almost always 0): drop it when zero.
-                    let mut idx: Vec<CExpr> = indices
-                        .iter()
-                        .map(|i| self.expr_of_value(*i))
-                        .collect();
+                    let mut idx: Vec<CExpr> =
+                        indices.iter().map(|i| self.expr_of_value(*i)).collect();
                     if matches!(elem, splendid_ir::MemType::Array { .. })
                         && idx.first() == Some(&CExpr::Int(0))
                     {
@@ -427,7 +429,10 @@ impl<'a> Structurer<'a> {
                     if idx.is_empty() {
                         idx.push(CExpr::Int(0));
                     }
-                    CExpr::Index { base: Box::new(base_expr), indices: idx }
+                    CExpr::Index {
+                        base: Box::new(base_expr),
+                        indices: idx,
+                    }
                 }
                 _ => CExpr::Index {
                     base: Box::new(self.expr_of_value(addr)),
@@ -476,7 +481,10 @@ impl<'a> Structurer<'a> {
             let inst = self.f.inst(i);
             if inst.kind.is_terminator()
                 || self.absorbed.contains(&i)
-                || matches!(inst.kind, InstKind::DbgValue { .. } | InstKind::Nop | InstKind::Phi { .. })
+                || matches!(
+                    inst.kind,
+                    InstKind::DbgValue { .. } | InstKind::Nop | InstKind::Phi { .. }
+                )
             {
                 continue;
             }
@@ -497,9 +505,7 @@ impl<'a> Structurer<'a> {
                     }));
                 }
                 InstKind::Call { .. } => {
-                    if inst.has_result()
-                        && self.use_counts.get(&i).copied().unwrap_or(0) > 0
-                    {
+                    if inst.has_result() && self.use_counts.get(&i).copied().unwrap_or(0) > 0 {
                         self.materialize(i, out);
                     } else {
                         let e = self.expr_of_inst(i);
@@ -521,14 +527,16 @@ impl<'a> Structurer<'a> {
                         splendid_ir::MemType::Scalar(t) => ctype_of(*t),
                     };
                     if self.declared.insert(name.clone()) {
-                        out.push(CStmt::Decl { name, ty, init: None });
+                        out.push(CStmt::Decl {
+                            name,
+                            ty,
+                            init: None,
+                        });
                     }
                 }
                 _ => {
                     // Pure value: emit only when not folded into a use.
-                    if !self.inlinable(i)
-                        && self.use_counts.get(&i).copied().unwrap_or(0) > 0
-                    {
+                    if !self.inlinable(i) && self.use_counts.get(&i).copied().unwrap_or(0) > 0 {
                         self.materialize(i, out);
                     }
                 }
@@ -565,8 +573,8 @@ impl<'a> Structurer<'a> {
             // A loop header that is not the current context's header starts
             // a nested (or first) loop.
             if let Some(lid) = self.li.loop_of(bb) {
-                let is_new_loop = self.li.get(lid).header == bb
-                    && ctx.map(|c| c.header != bb).unwrap_or(true);
+                let is_new_loop =
+                    self.li.get(lid).header == bb && ctx.map(|c| c.header != bb).unwrap_or(true);
                 if is_new_loop {
                     let next = self.emit_loop(lid, out);
                     match next {
@@ -585,12 +593,18 @@ impl<'a> Structurer<'a> {
             }
             self.emit_block_stmts(bb, out);
 
-            let Some(term) = self.f.terminator(bb) else { return };
+            let Some(term) = self.f.terminator(bb) else {
+                return;
+            };
             match self.f.inst(term).kind.clone() {
                 InstKind::Br { target } => {
                     bb = target;
                 }
-                InstKind::CondBr { cond, then_bb, else_bb } => {
+                InstKind::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     // The enclosing loop construct's own test (absorbed by
                     // the loop emitter): for bottom-tested loops this is
                     // the back edge (end of body); for top-tested loops
@@ -631,7 +645,11 @@ impl<'a> Structurer<'a> {
                     if Some(else_bb) != join {
                         self.emit_region(else_bb, join, ctx, &mut else_body);
                     }
-                    out.push(CStmt::If { cond: cond_expr, then_body, else_body });
+                    out.push(CStmt::If {
+                        cond: cond_expr,
+                        then_body,
+                        else_body,
+                    });
                     match join {
                         Some(j) => bb = j,
                         None => return,
@@ -703,7 +721,11 @@ impl<'a> Structurer<'a> {
             } else {
                 (Vec::new(), inner)
             };
-            out.push(CStmt::If { cond: cond_expr, then_body, else_body });
+            out.push(CStmt::If {
+                cond: cond_expr,
+                then_body,
+                else_body,
+            });
             Some(Some(exit))
         }
     }
@@ -713,7 +735,9 @@ impl<'a> Structurer<'a> {
     /// `cl.init` with `cl.bound` such that entering the loop corresponds to
     /// `init <continue-pred> bound`.
     fn guard_equivalent(&self, cond: Value, cl: &CountedLoop, loop_on_true: bool) -> bool {
-        let Some(g) = cond.as_inst() else { return false };
+        let Some(g) = cond.as_inst() else {
+            return false;
+        };
         let InstKind::ICmp { pred, lhs, rhs } = self.f.inst(g).kind else {
             return false;
         };
@@ -729,7 +753,11 @@ impl<'a> Structurer<'a> {
             return false;
         }
         // Entering the loop must mean `init cont_pred bound`.
-        let cont_pred = if cl.continue_on_true { cl.pred } else { cl.pred.negated() };
+        let cont_pred = if cl.continue_on_true {
+            cl.pred
+        } else {
+            cl.pred.negated()
+        };
         let enter_pred = if loop_on_true { pred } else { pred.negated() };
         enter_pred == cont_pred
     }
@@ -803,7 +831,11 @@ impl<'a> Structurer<'a> {
         out.extend(pre_stmts);
 
         // The for-header pieces.
-        let cont_pred = if cl.continue_on_true { cl.pred } else { cl.pred.negated() };
+        let cont_pred = if cl.continue_on_true {
+            cl.pred
+        } else {
+            cl.pred.negated()
+        };
         let cmp_op = match cont_pred {
             IPred::Slt => CBinOp::Lt,
             IPred::Sle => CBinOp::Le,
@@ -816,7 +848,11 @@ impl<'a> Structurer<'a> {
         let bound_expr = self.expr_of_value(cl.bound);
         let declare_in_header = !self.declared.contains(&iv_name);
         let init_stmt: CStmt = if declare_in_header {
-            CStmt::Decl { name: iv_name.clone(), ty: CType::UInt64, init: Some(init_expr) }
+            CStmt::Decl {
+                name: iv_name.clone(),
+                ty: CType::UInt64,
+                init: Some(init_expr),
+            }
         } else {
             CStmt::Expr(CExpr::Assign {
                 lhs: Box::new(CExpr::ident(iv_name.clone())),
@@ -829,7 +865,11 @@ impl<'a> Structurer<'a> {
             lhs: Box::new(CExpr::ident(iv_name.clone())),
             op: None,
             rhs: Box::new(CExpr::bin(
-                if cl.step >= 0 { CBinOp::Add } else { CBinOp::Sub },
+                if cl.step >= 0 {
+                    CBinOp::Add
+                } else {
+                    CBinOp::Sub
+                },
                 CExpr::ident(iv_name.clone()),
                 CExpr::Int(cl.step.abs()),
             )),
@@ -921,7 +961,11 @@ impl<'a> Structurer<'a> {
             let InstKind::ICmp { pred, lhs, rhs } = self.f.inst(cl.cmp).kind else {
                 unreachable!("counted loop cmp");
             };
-            let p = if cl.continue_on_true { pred } else { pred.negated() };
+            let p = if cl.continue_on_true {
+                pred
+            } else {
+                pred.negated()
+            };
             let cop = match p {
                 IPred::Slt => CBinOp::Lt,
                 IPred::Sle => CBinOp::Le,
@@ -991,7 +1035,11 @@ impl<'a> Structurer<'a> {
                     out.push(CStmt::Goto(format!("bb{}", target.0)));
                     self.need_label.insert(target);
                 }
-                InstKind::CondBr { cond, then_bb, else_bb } => {
+                InstKind::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     let c = self.expr_of_value(cond);
                     out.push(CStmt::If {
                         cond: c,
@@ -1027,7 +1075,10 @@ impl<'a> Structurer<'a> {
                 let clauses = crate::pragma::clauses_for(info);
                 out.push(CStmt::OmpParallel {
                     clauses: OmpClauses::default(),
-                    body: vec![CStmt::OmpFor { clauses, loop_stmt: Box::new(loop_stmt) }],
+                    body: vec![CStmt::OmpFor {
+                        clauses,
+                        loop_stmt: Box::new(loop_stmt),
+                    }],
                 });
             }
             _ => out.push(loop_stmt),

@@ -93,7 +93,10 @@ impl MachineConfig {
 
     /// Single-core variant (used for sequential baselines).
     pub fn single_core(profile: CompilerProfile) -> MachineConfig {
-        MachineConfig { cores: 1, ..MachineConfig::xeon_28core(profile) }
+        MachineConfig {
+            cores: 1,
+            ..MachineConfig::xeon_28core(profile)
+        }
     }
 }
 

@@ -1,11 +1,11 @@
 //! The interpreter proper.
 
 use crate::machine::MachineConfig;
-use splendid_parallel::runtime::*;
 use splendid_ir::{
-    BinOp, BlockId, Callee, CastOp, FPred, FuncId, GlobalInit, IPred, InstId, InstKind,
-    Module, Type, Value,
+    BinOp, BlockId, Callee, CastOp, FPred, FuncId, GlobalInit, IPred, InstId, InstKind, Module,
+    Type, Value,
 };
+use splendid_parallel::runtime::*;
 use std::collections::HashMap;
 
 /// A runtime value.
@@ -218,9 +218,8 @@ impl<'m> Vm<'m> {
             let mut phi_updates: Vec<(InstId, RtVal)> = Vec::new();
             for &i in &block.insts {
                 if let InstKind::Phi { incomings } = &f.inst(i).kind {
-                    let p = prev.ok_or_else(|| {
-                        ExecError("phi in entry block has no predecessor".into())
-                    })?;
+                    let p = prev
+                        .ok_or_else(|| ExecError("phi in entry block has no predecessor".into()))?;
                     let (_, v) = incomings
                         .iter()
                         .find(|(b, _)| *b == p)
@@ -247,7 +246,11 @@ impl<'m> Vm<'m> {
                         self.charge_branch()?;
                         next_block = Some(*target);
                     }
-                    InstKind::CondBr { cond, then_bb, else_bb } => {
+                    InstKind::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
                         self.charge_branch()?;
                         let c = self.eval(frame, *cond)?.as_int()?;
                         next_block = Some(if c != 0 { *then_bb } else { *else_bb });
@@ -259,9 +262,7 @@ impl<'m> Vm<'m> {
                         };
                         return Ok(r);
                     }
-                    InstKind::Unreachable => {
-                        return Err(ExecError("reached unreachable".into()))
-                    }
+                    InstKind::Unreachable => return Err(ExecError("reached unreachable".into())),
                     _ => {
                         let v = self.exec_inst(fid, frame, i)?;
                         frame.values[i.index()] = v;
@@ -442,13 +443,15 @@ impl<'m> Vm<'m> {
                     (Type::I64, RtVal::Int(x)) => self.store_u64(addr, x as u64)?,
                     (Type::I32, RtVal::Int(x)) => self.store_u32(addr, x as u32)?,
                     (Type::I8 | Type::I1, RtVal::Int(x)) => self.store_u8(addr, x as u8)?,
-                    (t, v) => {
-                        return Err(ExecError(format!("store type mismatch: {t} vs {v:?}")))
-                    }
+                    (t, v) => return Err(ExecError(format!("store type mismatch: {t} vs {v:?}"))),
                 }
                 Ok(None)
             }
-            InstKind::Gep { elem, base, indices } => {
+            InstKind::Gep {
+                elem,
+                base,
+                indices,
+            } => {
                 let mut addr = self.eval(frame, *base)?.as_ptr()?;
                 let strides = elem.gep_strides();
                 for (k, idx) in indices.iter().enumerate() {
@@ -483,7 +486,11 @@ impl<'m> Vm<'m> {
                 };
                 Ok(Some(r))
             }
-            InstKind::Select { cond, then_val, else_val } => {
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 let c = self.eval(frame, *cond)?.as_int()?;
                 let r = if c != 0 {
                     self.eval(frame, *then_val)?
@@ -586,10 +593,14 @@ impl<'m> Vm<'m> {
         vals: Vec<RtVal>,
     ) -> Result<(), ExecError> {
         if self.in_parallel {
-            return Err(ExecError("nested parallel regions are not supported".into()));
+            return Err(ExecError(
+                "nested parallel regions are not supported".into(),
+            ));
         }
         let Some(Value::Function(region)) = arg_values.first().copied() else {
-            return Err(ExecError("fork call must take a function as first operand".into()));
+            return Err(ExecError(
+                "fork call must take a function as first operand".into(),
+            ));
         };
         let region_args: Vec<RtVal> = vals[1..].to_vec();
         let cores = self.config.cores.max(1);
@@ -662,7 +673,9 @@ impl<'m> Vm<'m> {
     // ---- raw memory -----------------------------------------------------
 
     fn check(&self, addr: u64, size: u64) -> Result<usize, ExecError> {
-        let end = addr.checked_add(size).ok_or_else(|| ExecError("address overflow".into()))?;
+        let end = addr
+            .checked_add(size)
+            .ok_or_else(|| ExecError("address overflow".into()))?;
         if addr < 8 || end > self.mem.len() as u64 {
             return Err(ExecError(format!(
                 "out-of-bounds access at {addr:#x} (+{size})"
@@ -941,15 +954,20 @@ void k() {
             vm.call_by_name("k", &[]).unwrap();
             vm.cycles()
         };
-        assert_ne!(cycles(CompilerProfile::clang()), cycles(CompilerProfile::gcc()));
+        assert_ne!(
+            cycles(CompilerProfile::clang()),
+            cycles(CompilerProfile::gcc())
+        );
     }
 
     #[test]
     fn fuel_exhaustion_detected() {
         let src = "void k() { int i = 0; while (i < 1000000) { i = i + 1; } }";
         let m = compile(src);
-        let mut cfg = MachineConfig::default();
-        cfg.fuel = 1000;
+        let cfg = MachineConfig {
+            fuel: 1000,
+            ..Default::default()
+        };
         let mut vm = Vm::new(&m, cfg);
         let e = vm.call_by_name("k", &[]).unwrap_err();
         assert!(e.0.contains("fuel"), "{e}");

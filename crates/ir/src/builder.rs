@@ -2,8 +2,8 @@
 //! instruction, positioned at the end of a current block.
 
 use crate::{
-    BinOp, BlockId, Callee, CastOp, FPred, Function, IPred, Inst, InstKind, MemType,
-    Param, Type, Value, VarId,
+    BinOp, BlockId, Callee, CastOp, FPred, Function, IPred, Inst, InstKind, MemType, Param, Type,
+    Value, VarId,
 };
 
 /// Builds a [`Function`] by appending instructions to a current insertion
@@ -19,7 +19,10 @@ impl FuncBuilder {
     pub fn new(name: &str, params: &[(&str, Type)], ret_ty: Type) -> FuncBuilder {
         let params = params
             .iter()
-            .map(|(n, t)| Param { name: (*n).into(), ty: *t })
+            .map(|(n, t)| Param {
+                name: (*n).into(),
+                ty: *t,
+            })
             .collect();
         let func = Function::new(name, params, ret_ty);
         let cur = func.entry;
@@ -58,7 +61,10 @@ impl FuncBuilder {
 
     /// The n-th function parameter as a value.
     pub fn arg(&self, i: u32) -> Value {
-        assert!((i as usize) < self.func.params.len(), "argument out of range");
+        assert!(
+            (i as usize) < self.func.params.len(),
+            "argument out of range"
+        );
         Value::Arg(i)
     }
 
@@ -114,7 +120,15 @@ impl FuncBuilder {
 
     /// Append a `getelementptr`.
     pub fn gep(&mut self, elem: MemType, base: Value, indices: Vec<Value>, name: &str) -> Value {
-        self.push(InstKind::Gep { elem, base, indices }, Type::Ptr, name)
+        self.push(
+            InstKind::Gep {
+                elem,
+                base,
+                indices,
+            },
+            Type::Ptr,
+            name,
+        )
     }
 
     /// Append a call; `ret_ty == Type::Void` means no result.
@@ -133,8 +147,23 @@ impl FuncBuilder {
     }
 
     /// Append a select.
-    pub fn select(&mut self, cond: Value, then_val: Value, else_val: Value, ty: Type, name: &str) -> Value {
-        self.push(InstKind::Select { cond, then_val, else_val }, ty, name)
+    pub fn select(
+        &mut self,
+        cond: Value,
+        then_val: Value,
+        else_val: Value,
+        ty: Type,
+        name: &str,
+    ) -> Value {
+        self.push(
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            },
+            ty,
+            name,
+        )
     }
 
     /// Append an unconditional branch terminator.
@@ -144,7 +173,15 @@ impl FuncBuilder {
 
     /// Append a conditional branch terminator.
     pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
-        self.push(InstKind::CondBr { cond, then_bb, else_bb }, Type::Void, "");
+        self.push(
+            InstKind::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+            Type::Void,
+            "",
+        );
     }
 
     /// Append a return terminator.

@@ -1,10 +1,10 @@
 //! Instructions and opcodes.
 
 use crate::{BlockId, FuncId, MemType, Type, Value, VarId};
-use serde::{Deserialize, Serialize};
 
 /// Integer and floating-point binary opcodes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BinOp {
     /// Integer addition.
     Add,
@@ -99,7 +99,8 @@ impl BinOp {
 }
 
 /// Signed integer comparison predicates.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IPred {
     /// Equal.
     Eq,
@@ -167,7 +168,8 @@ impl IPred {
 }
 
 /// Floating-point comparison predicates (ordered forms only).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FPred {
     /// Ordered equal.
     Oeq,
@@ -211,7 +213,8 @@ impl FPred {
 }
 
 /// Conversion opcodes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CastOp {
     /// Sign-extend an integer to a wider integer type.
     Sext,
@@ -255,7 +258,8 @@ impl CastOp {
 }
 
 /// Callee of a [`InstKind::Call`].
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Callee {
     /// Direct call to a function in the same module.
     Func(FuncId),
@@ -275,7 +279,8 @@ impl Callee {
 }
 
 /// Instruction payload.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum InstKind {
     /// Binary arithmetic / bitwise operation.
     Bin {
@@ -424,7 +429,9 @@ impl InstKind {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             InstKind::Br { target } => vec![*target],
-            InstKind::CondBr { then_bb, else_bb, .. } => {
+            InstKind::CondBr {
+                then_bb, else_bb, ..
+            } => {
                 vec![*then_bb, *else_bb]
             }
             _ => Vec::new(),
@@ -463,7 +470,11 @@ impl InstKind {
                 }
             }
             InstKind::Cast { val, .. } => f(*val),
-            InstKind::Select { cond, then_val, else_val } => {
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 f(*cond);
                 f(*then_val);
                 f(*else_val);
@@ -511,7 +522,11 @@ impl InstKind {
                 }
             }
             InstKind::Cast { val, .. } => f(val),
-            InstKind::Select { cond, then_val, else_val } => {
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 f(cond);
                 f(then_val);
                 f(else_val);
@@ -530,7 +545,8 @@ impl InstKind {
 
 /// An instruction: payload, result type, optional register-name hint, and an
 /// optional source line for debug locations.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Inst {
     /// Payload.
     pub kind: InstKind,
@@ -546,12 +562,22 @@ pub struct Inst {
 impl Inst {
     /// New instruction with no name hint or debug location.
     pub fn new(kind: InstKind, ty: Type) -> Inst {
-        Inst { kind, ty, name: None, dbg_line: None }
+        Inst {
+            kind,
+            ty,
+            name: None,
+            dbg_line: None,
+        }
     }
 
     /// New instruction with a register-name hint.
     pub fn named(kind: InstKind, ty: Type, name: impl Into<String>) -> Inst {
-        Inst { kind, ty, name: Some(name.into()), dbg_line: None }
+        Inst {
+            kind,
+            ty,
+            name: Some(name.into()),
+            dbg_line: None,
+        }
     }
 
     /// Whether this instruction produces a result value.
@@ -588,7 +614,14 @@ mod tests {
 
     #[test]
     fn ipred_round_trip_and_algebra() {
-        for p in [IPred::Eq, IPred::Ne, IPred::Slt, IPred::Sle, IPred::Sgt, IPred::Sge] {
+        for p in [
+            IPred::Eq,
+            IPred::Ne,
+            IPred::Slt,
+            IPred::Sle,
+            IPred::Sgt,
+            IPred::Sge,
+        ] {
             assert_eq!(IPred::from_name(p.name()), Some(p));
             assert_eq!(p.swapped().swapped(), p);
             assert_eq!(p.negated().negated(), p);
@@ -599,7 +632,14 @@ mod tests {
 
     #[test]
     fn fpred_cast_round_trip() {
-        for p in [FPred::Oeq, FPred::One, FPred::Olt, FPred::Ole, FPred::Ogt, FPred::Oge] {
+        for p in [
+            FPred::Oeq,
+            FPred::One,
+            FPred::Olt,
+            FPred::Ole,
+            FPred::Ogt,
+            FPred::Oge,
+        ] {
             assert_eq!(FPred::from_name(p.name()), Some(p));
         }
         for c in [
@@ -661,12 +701,22 @@ mod tests {
 
     #[test]
     fn side_effects() {
-        assert!(InstKind::Store { val: Value::i64(0), ptr: Value::Arg(0) }
-            .has_side_effects());
-        assert!(InstKind::Call { callee: Callee::External("exp".into()), args: vec![] }
-            .has_side_effects());
-        assert!(!InstKind::Bin { op: BinOp::Add, lhs: Value::i64(0), rhs: Value::i64(1) }
-            .has_side_effects());
+        assert!(InstKind::Store {
+            val: Value::i64(0),
+            ptr: Value::Arg(0)
+        }
+        .has_side_effects());
+        assert!(InstKind::Call {
+            callee: Callee::External("exp".into()),
+            args: vec![]
+        }
+        .has_side_effects());
+        assert!(!InstKind::Bin {
+            op: BinOp::Add,
+            lhs: Value::i64(0),
+            rhs: Value::i64(1)
+        }
+        .has_side_effects());
     }
 
     #[test]

@@ -1,13 +1,11 @@
 //! Modules, functions, basic blocks, globals, and debug variables.
 
-use crate::{
-    BlockId, FuncId, GlobalId, Inst, InstId, InstKind, MemType, Type, Value, VarId,
-};
-use serde::{Deserialize, Serialize};
+use crate::{BlockId, FuncId, GlobalId, Inst, InstId, InstKind, MemType, Type, Value, VarId};
 use std::collections::HashMap;
 
 /// A function parameter.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Param {
     /// Source-level name of the parameter.
     pub name: String,
@@ -17,7 +15,8 @@ pub struct Param {
 
 /// A basic block: a label plus an ordered list of instructions ending in a
 /// terminator.
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Block {
     /// Label, unique within the function.
     pub name: String,
@@ -32,7 +31,8 @@ pub struct Block {
 /// Instructions live in a per-function arena ([`Function::insts`]) and blocks
 /// reference them by id, so passes can splice, delete (via
 /// [`InstKind::Nop`]), and move instructions without invalidating ids.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Function {
     /// Symbol name.
     pub name: String,
@@ -58,7 +58,10 @@ impl Function {
             name: name.into(),
             params,
             ret_ty,
-            blocks: vec![Block { name: "entry".into(), insts: Vec::new() }],
+            blocks: vec![Block {
+                name: "entry".into(),
+                insts: Vec::new(),
+            }],
             insts: Vec::new(),
             entry: BlockId(0),
             is_outlined: false,
@@ -88,7 +91,10 @@ impl Function {
     /// Allocate a new empty block with the given label.
     pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { name: name.into(), insts: Vec::new() });
+        self.blocks.push(Block {
+            name: name.into(),
+            insts: Vec::new(),
+        });
         id
     }
 
@@ -216,7 +222,8 @@ impl Function {
 }
 
 /// Initializer for a global.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GlobalInit {
     /// Zero-initialized.
     Zero,
@@ -225,7 +232,8 @@ pub enum GlobalInit {
 }
 
 /// A module-level global memory object.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Global {
     /// Symbol name.
     pub name: String,
@@ -237,7 +245,8 @@ pub struct Global {
 
 /// A source-level variable described by debug metadata, the analogue of
 /// LLVM's `DILocalVariable`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DiVariable {
     /// Source name (`"i"`, `"A"`, ...).
     pub name: String,
@@ -246,7 +255,8 @@ pub struct DiVariable {
 }
 
 /// A translation unit: functions, globals, and debug variables.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Module {
     /// Module name (source file stem).
     pub name: String,
@@ -293,7 +303,10 @@ impl Module {
             return VarId(i as u32);
         }
         let id = VarId(self.di_vars.len() as u32);
-        self.di_vars.push(DiVariable { name: name.into(), scope: scope.into() });
+        self.di_vars.push(DiVariable {
+            name: name.into(),
+            scope: scope.into(),
+        });
         id
     }
 
@@ -347,19 +360,31 @@ mod tests {
         // entry: v0 = add a, 1 ; ret v0
         let mut f = Function::new(
             "f",
-            vec![Param { name: "a".into(), ty: Type::I64 }],
+            vec![Param {
+                name: "a".into(),
+                ty: Type::I64,
+            }],
             Type::I64,
         );
         let v0 = f.append_inst(
             f.entry,
             Inst::new(
-                InstKind::Bin { op: BinOp::Add, lhs: Value::Arg(0), rhs: Value::i64(1) },
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    lhs: Value::Arg(0),
+                    rhs: Value::i64(1),
+                },
                 Type::I64,
             ),
         );
         f.append_inst(
             f.entry,
-            Inst::new(InstKind::Ret { val: Some(Value::Inst(v0)) }, Type::Void),
+            Inst::new(
+                InstKind::Ret {
+                    val: Some(Value::Inst(v0)),
+                },
+                Type::Void,
+            ),
         );
         f
     }
@@ -412,7 +437,11 @@ mod tests {
         f.append_inst(
             f.entry,
             Inst::new(
-                InstKind::CondBr { cond: Value::bool(true), then_bb: a, else_bb: b },
+                InstKind::CondBr {
+                    cond: Value::bool(true),
+                    then_bb: a,
+                    else_bb: b,
+                },
                 Type::Void,
             ),
         );

@@ -6,8 +6,8 @@
 //! (and exactly equal when the original ids were already dense).
 
 use crate::{
-    BinOp, Block, BlockId, Callee, CastOp, DiVariable, FPred, FuncId, Function, Global,
-    GlobalInit, IPred, Inst, InstId, InstKind, MemType, Module, Param, Type, Value, VarId,
+    BinOp, Block, BlockId, Callee, CastOp, DiVariable, FPred, FuncId, Function, Global, GlobalInit,
+    IPred, Inst, InstId, InstKind, MemType, Module, Param, Type, Value, VarId,
 };
 use std::collections::HashMap;
 
@@ -85,16 +85,17 @@ fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>> {
                     .map_err(|e| err(format!("bad id: {e}")))?;
                 match c {
                     '%' => {
-                        let hint = if i < n && bytes[i] == ':' && i + 1 < n && ident_char(bytes[i + 1]) {
-                            i += 1;
-                            let hs = i;
-                            while i < n && ident_char(bytes[i]) {
+                        let hint =
+                            if i < n && bytes[i] == ':' && i + 1 < n && ident_char(bytes[i + 1]) {
                                 i += 1;
-                            }
-                            Some(bytes[hs..i].iter().collect())
-                        } else {
-                            None
-                        };
+                                let hs = i;
+                                while i < n && ident_char(bytes[i]) {
+                                    i += 1;
+                                }
+                                Some(bytes[hs..i].iter().collect())
+                            } else {
+                                None
+                            };
                         toks.push(Tok::Reg(num, hint));
                     }
                     '$' => toks.push(Tok::Arg(num)),
@@ -138,9 +139,7 @@ fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>> {
                         || bytes[i] == '-')
                 {
                     // Stop '+'/'-' unless preceded by exponent marker.
-                    if (bytes[i] == '+' || bytes[i] == '-')
-                        && !matches!(bytes[i - 1], 'e' | 'E')
-                    {
+                    if (bytes[i] == '+' || bytes[i] == '-') && !matches!(bytes[i - 1], 'e' | 'E') {
                         break;
                     }
                     i += 1;
@@ -155,9 +154,7 @@ fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>> {
                         || bytes[i] == '+'
                         || bytes[i] == '-')
                 {
-                    if (bytes[i] == '+' || bytes[i] == '-')
-                        && !matches!(bytes[i - 1], 'e' | 'E')
-                    {
+                    if (bytes[i] == '+' || bytes[i] == '-') && !matches!(bytes[i - 1], 'e' | 'E') {
                         break;
                     }
                     i += 1;
@@ -201,11 +198,18 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(toks: &'a [Tok], lineno: usize) -> Cursor<'a> {
-        Cursor { toks, pos: 0, lineno }
+        Cursor {
+            toks,
+            pos: 0,
+            lineno,
+        }
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
-        Err(ParseError { line: self.lineno, msg: msg.into() })
+        Err(ParseError {
+            line: self.lineno,
+            msg: msg.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -330,11 +334,7 @@ fn parse_f64_payload(c: &mut Cursor) -> Result<Value> {
     }
 }
 
-fn parse_value(
-    c: &mut Cursor,
-    regs: &HashMap<u32, InstId>,
-    syms: &SymbolTables,
-) -> Result<Value> {
+fn parse_value(c: &mut Cursor, regs: &HashMap<u32, InstId>, syms: &SymbolTables) -> Result<Value> {
     match c.next() {
         Some(Tok::Reg(n, _)) => regs
             .get(&n)
@@ -356,9 +356,7 @@ fn parse_value(
                 })
             }
         }
-        Some(Tok::Ident(tyname)) if tyname == "undef" => {
-            Ok(Value::Undef(parse_type(c)?))
-        }
+        Some(Tok::Ident(tyname)) if tyname == "undef" => Ok(Value::Undef(parse_type(c)?)),
         Some(Tok::Ident(tyname)) => {
             let ty = Type::from_name(&tyname).ok_or_else(|| ParseError {
                 line: c.lineno,
@@ -477,7 +475,14 @@ fn parse_inst_line(
                 while c.eat_punct(',') {
                     indices.push(parse_value(&mut c, regs, syms)?);
                 }
-                Inst::new(InstKind::Gep { elem, base, indices }, Type::Ptr)
+                Inst::new(
+                    InstKind::Gep {
+                        elem,
+                        base,
+                        indices,
+                    },
+                    Type::Ptr,
+                )
             }
             "call" => {
                 let ty = parse_type(&mut c)?;
@@ -548,7 +553,14 @@ fn parse_inst_line(
                 let then_val = parse_value(&mut c, regs, syms)?;
                 c.expect_punct(',')?;
                 let else_val = parse_value(&mut c, regs, syms)?;
-                Inst::new(InstKind::Select { cond, then_val, else_val }, ty)
+                Inst::new(
+                    InstKind::Select {
+                        cond,
+                        then_val,
+                        else_val,
+                    },
+                    ty,
+                )
             }
             "br" => {
                 let t = parse_block_ref(&mut c, blocks)?;
@@ -560,7 +572,14 @@ fn parse_inst_line(
                 let t = parse_block_ref(&mut c, blocks)?;
                 c.expect_punct(',')?;
                 let e = parse_block_ref(&mut c, blocks)?;
-                Inst::new(InstKind::CondBr { cond, then_bb: t, else_bb: e }, Type::Void)
+                Inst::new(
+                    InstKind::CondBr {
+                        cond,
+                        then_bb: t,
+                        else_bb: e,
+                    },
+                    Type::Void,
+                )
             }
             "ret" => {
                 if matches!(c.peek(), Some(Tok::Ident(s)) if s == "void") {
@@ -577,9 +596,13 @@ fn parse_inst_line(
                 let v = parse_value(&mut c, regs, syms)?;
                 c.expect_punct(',')?;
                 match c.next() {
-                    Some(Tok::Meta(n)) => {
-                        Inst::new(InstKind::DbgValue { val: v, var: VarId(n) }, Type::Void)
-                    }
+                    Some(Tok::Meta(n)) => Inst::new(
+                        InstKind::DbgValue {
+                            val: v,
+                            var: VarId(n),
+                        },
+                        Type::Void,
+                    ),
                     other => {
                         return Err(ParseError {
                             line: lineno,
@@ -629,7 +652,10 @@ fn parse_inst_line(
 pub fn parse_module(text: &str) -> Result<Module> {
     let lines: Vec<&str> = text.lines().collect();
     let mut module = Module::new("unnamed");
-    let mut syms = SymbolTables { globals: HashMap::new(), funcs: HashMap::new() };
+    let mut syms = SymbolTables {
+        globals: HashMap::new(),
+        funcs: HashMap::new(),
+    };
 
     // Pre-scan: register function and global names so bodies can forward-
     // reference them (e.g. the fork call referencing an outlined region
@@ -643,7 +669,10 @@ pub fn parse_module(text: &str) -> Result<Module> {
                 .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
                 .collect();
             if name.is_empty() {
-                return Err(ParseError { line: idx + 1, msg: "missing function name".into() });
+                return Err(ParseError {
+                    line: idx + 1,
+                    msg: "missing function name".into(),
+                });
             }
             let id = FuncId(func_order.len() as u32);
             syms.funcs.insert(name.clone(), id);
@@ -698,9 +727,12 @@ pub fn parse_module(text: &str) -> Result<Module> {
                 let init = match c.next() {
                     Some(Tok::Ident(s)) if s == "zero" => GlobalInit::Zero,
                     Some(Tok::Ident(s)) if s == "splat" => match c.next() {
-                        Some(Tok::Num(n)) => GlobalInit::SplatF64(n.parse().map_err(|e| {
-                            ParseError { line: lineno, msg: format!("bad splat: {e}") }
-                        })?),
+                        Some(Tok::Num(n)) => {
+                            GlobalInit::SplatF64(n.parse().map_err(|e| ParseError {
+                                line: lineno,
+                                msg: format!("bad splat: {e}"),
+                            })?)
+                        }
                         other => {
                             return Err(ParseError {
                                 line: lineno,
@@ -808,8 +840,7 @@ pub fn parse_module(text: &str) -> Result<Module> {
                     }
                 }
                 let ret_ty = parse_type(&mut c)?;
-                let is_outlined =
-                    matches!(c.peek(), Some(Tok::Ident(s)) if s == "outlined");
+                let is_outlined = matches!(c.peek(), Some(Tok::Ident(s)) if s == "outlined");
                 if is_outlined {
                     c.next();
                 }
@@ -838,7 +869,13 @@ pub fn parse_module(text: &str) -> Result<Module> {
                 i += 1; // consume "}"
 
                 let func = parse_function_body(
-                    &fname, params, ret_ty, is_outlined, body, body_start, &syms,
+                    &fname,
+                    params,
+                    ret_ty,
+                    is_outlined,
+                    body,
+                    body_start,
+                    &syms,
                 )?;
                 module.functions.push(func);
             }
@@ -919,7 +956,10 @@ fn parse_function_body(
         ret_ty,
         blocks: block_names
             .iter()
-            .map(|n| Block { name: n.clone(), insts: Vec::new() })
+            .map(|n| Block {
+                name: n.clone(),
+                insts: Vec::new(),
+            })
             .collect(),
         insts: Vec::new(),
         entry: BlockId(0),

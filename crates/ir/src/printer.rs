@@ -81,10 +81,12 @@ pub fn inst_str(module: &Module, func: &Function, id: crate::InstId) -> String {
         }
         InstKind::Alloca { mem } => write!(s, "alloca {mem}").unwrap(),
         InstKind::Load { ptr } => write!(s, "load {}, {}", inst.ty, v(*ptr)).unwrap(),
-        InstKind::Store { val, ptr } => {
-            write!(s, "store {}, {}", v(*val), v(*ptr)).unwrap()
-        }
-        InstKind::Gep { elem, base, indices } => {
+        InstKind::Store { val, ptr } => write!(s, "store {}, {}", v(*val), v(*ptr)).unwrap(),
+        InstKind::Gep {
+            elem,
+            base,
+            indices,
+        } => {
             write!(s, "gep {elem}, {}", v(*base)).unwrap();
             for i in indices {
                 write!(s, ", {}", v(*i)).unwrap();
@@ -93,9 +95,7 @@ pub fn inst_str(module: &Module, func: &Function, id: crate::InstId) -> String {
         InstKind::Call { callee, args } => {
             write!(s, "call {} ", inst.ty).unwrap();
             match callee {
-                Callee::Func(f) => {
-                    write!(s, "@{}", module.functions[f.index()].name).unwrap()
-                }
+                Callee::Func(f) => write!(s, "@{}", module.functions[f.index()].name).unwrap(),
                 Callee::External(name) => write!(s, "ext \"{name}\"").unwrap(),
             }
             s.push('(');
@@ -116,20 +116,29 @@ pub fn inst_str(module: &Module, func: &Function, id: crate::InstId) -> String {
         InstKind::Cast { op, val } => {
             write!(s, "cast {} {} to {}", op.name(), v(*val), inst.ty).unwrap()
         }
-        InstKind::Select { cond, then_val, else_val } => {
-            write!(s, "select {} {}, {}, {}", inst.ty, v(*cond), v(*then_val), v(*else_val))
-                .unwrap()
-        }
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => write!(
+            s,
+            "select {} {}, {}, {}",
+            inst.ty,
+            v(*cond),
+            v(*then_val),
+            v(*else_val)
+        )
+        .unwrap(),
         InstKind::Br { target } => write!(s, "br bb{}", target.0).unwrap(),
-        InstKind::CondBr { cond, then_bb, else_bb } => {
-            write!(s, "condbr {}, bb{}, bb{}", v(*cond), then_bb.0, else_bb.0).unwrap()
-        }
+        InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => write!(s, "condbr {}, bb{}, bb{}", v(*cond), then_bb.0, else_bb.0).unwrap(),
         InstKind::Ret { val: Some(val) } => write!(s, "ret {}", v(*val)).unwrap(),
         InstKind::Ret { val: None } => s.push_str("ret void"),
         InstKind::Unreachable => s.push_str("unreachable"),
-        InstKind::DbgValue { val, var } => {
-            write!(s, "dbg {}, !{}", v(*val), var.0).unwrap()
-        }
+        InstKind::DbgValue { val, var } => write!(s, "dbg {}, !{}", v(*val), var.0).unwrap(),
         InstKind::Nop => s.push_str("nop"),
     }
     if let Some(line) = inst.dbg_line {
@@ -224,7 +233,12 @@ mod tests {
         });
         let mut b = FuncBuilder::new("f", &[], Type::Void);
         let g = Value::Global(crate::GlobalId(0));
-        let p = b.gep(MemType::array1(Type::F64, 8), g, vec![Value::i64(0), Value::i64(3)], "p");
+        let p = b.gep(
+            MemType::array1(Type::F64, 8),
+            g,
+            vec![Value::i64(0), Value::i64(3)],
+            "p",
+        );
         let x = b.load(Type::F64, p, "x");
         let e = b.call(Callee::External("exp".into()), vec![x], Type::F64, "e");
         b.store(e, p);

@@ -5,10 +5,9 @@
 //! `getelementptr` element types) and additionally supports multi-dimensional
 //! arrays of scalars, which is all the PolyBench kernels require.
 
-use serde::{Deserialize, Serialize};
-
 /// Scalar first-class type of an SSA value.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Type {
     /// No value (result type of stores, branches, `ret void`...).
     Void,
@@ -96,7 +95,8 @@ impl std::fmt::Display for Type {
 
 /// Shape of a memory object: a scalar or a (possibly multi-dimensional)
 /// array of scalars.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MemType {
     /// A single scalar slot.
     Scalar(Type),
@@ -112,12 +112,18 @@ pub enum MemType {
 impl MemType {
     /// Construct a one-dimensional array type.
     pub fn array1(elem: Type, n: u64) -> MemType {
-        MemType::Array { elem, dims: vec![n] }
+        MemType::Array {
+            elem,
+            dims: vec![n],
+        }
     }
 
     /// Construct a two-dimensional array type.
     pub fn array2(elem: Type, n0: u64, n1: u64) -> MemType {
-        MemType::Array { elem, dims: vec![n0, n1] }
+        MemType::Array {
+            elem,
+            dims: vec![n0, n1],
+        }
     }
 
     /// Scalar element type of the object.
@@ -132,9 +138,7 @@ impl MemType {
     pub fn size_bytes(&self) -> u64 {
         match self {
             MemType::Scalar(t) => t.size_bytes(),
-            MemType::Array { elem, dims } => {
-                elem.size_bytes() * dims.iter().product::<u64>()
-            }
+            MemType::Array { elem, dims } => elem.size_bytes() * dims.iter().product::<u64>(),
         }
     }
 
@@ -252,7 +256,10 @@ mod tests {
 
     #[test]
     fn gep_strides_3d() {
-        let a = MemType::Array { elem: Type::I32, dims: vec![2, 3, 4] };
+        let a = MemType::Array {
+            elem: Type::I32,
+            dims: vec![2, 3, 4],
+        };
         assert_eq!(a.gep_strides(), vec![96, 48, 16, 4]);
     }
 

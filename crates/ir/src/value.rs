@@ -2,13 +2,13 @@
 //! function references.
 
 use crate::{FuncId, GlobalId, InstId, Type};
-use serde::{Deserialize, Serialize};
 
 /// An SSA value.
 ///
 /// `Value` is small and `Copy`; float constants store raw IEEE-754 bits so
 /// the type can implement `Eq` and `Hash` (NaN payloads compare bitwise).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// Result of an instruction in the current function.
     Inst(InstId),
@@ -40,12 +40,18 @@ impl Value {
 
     /// Integer constant of type `i32`.
     pub fn i32(val: i32) -> Value {
-        Value::ConstInt { ty: Type::I32, val: val as i64 }
+        Value::ConstInt {
+            ty: Type::I32,
+            val: val as i64,
+        }
     }
 
     /// Boolean constant of type `i1`.
     pub fn bool(b: bool) -> Value {
-        Value::ConstInt { ty: Type::I1, val: b as i64 }
+        Value::ConstInt {
+            ty: Type::I1,
+            val: b as i64,
+        }
     }
 
     /// Float constant of type `f64`.

@@ -1,8 +1,6 @@
 //! IR verifier: structural, SSA-dominance, and type checks.
 
-use crate::{
-    BinOp, BlockId, Callee, Function, InstId, InstKind, Module, Type, Value,
-};
+use crate::{BinOp, BlockId, Callee, Function, InstId, InstKind, Module, Type, Value};
 use std::collections::{HashMap, HashSet};
 
 /// A verifier failure.
@@ -27,7 +25,10 @@ impl std::fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 fn err<T>(func: &str, msg: impl Into<String>) -> Result<T, VerifyError> {
-    Err(VerifyError { func: func.into(), msg: msg.into() })
+    Err(VerifyError {
+        func: func.into(),
+        msg: msg.into(),
+    })
 }
 
 /// Verify every function in the module.
@@ -39,7 +40,11 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
         })?;
         // Check call arities against module functions.
         for inst in &f.insts {
-            if let InstKind::Call { callee: Callee::Func(fid), args } = &inst.kind {
+            if let InstKind::Call {
+                callee: Callee::Func(fid),
+                args,
+            } = &inst.kind
+            {
                 if fid.index() >= module.functions.len() {
                     return err(&f.name, format!("call to out-of-range {fid}"));
                 }
@@ -125,8 +130,7 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                 seen_non_phi = true;
             }
             if let InstKind::Phi { incomings } = &f.inst(i).kind {
-                let mut inc_blocks: Vec<BlockId> =
-                    incomings.iter().map(|(b, _)| *b).collect();
+                let mut inc_blocks: Vec<BlockId> = incomings.iter().map(|(b, _)| *b).collect();
                 inc_blocks.sort();
                 inc_blocks.dedup();
                 if inc_blocks.len() != incomings.len() {
@@ -202,10 +206,7 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                             return err(name, format!("{i} uses void result of {d}"));
                         }
                         if !defs.contains(&d) {
-                            return err(
-                                name,
-                                format!("{i} uses {d} which does not dominate it"),
-                            );
+                            return err(name, format!("{i} uses {d} which does not dominate it"));
                         }
                         Ok(())
                     }
@@ -226,8 +227,7 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                     if !reachable.contains(pred) {
                         continue;
                     }
-                    let mut pred_defs =
-                        in_defs[pred.index()].clone().unwrap_or_default();
+                    let mut pred_defs = in_defs[pred.index()].clone().unwrap_or_default();
                     for &pi in &f.block(*pred).insts {
                         if f.inst(pi).has_result() {
                             pred_defs.insert(pi);
@@ -300,7 +300,12 @@ fn verify_types(f: &Function, i: InstId) -> Result<(), VerifyError> {
             if inst.ty != Type::Ptr {
                 return err(name, format!("{i}: address result must be ptr"));
             }
-            if let InstKind::Gep { base, indices, elem } = &inst.kind {
+            if let InstKind::Gep {
+                base,
+                indices,
+                elem,
+            } = &inst.kind
+            {
                 if vt(*base) != Type::Ptr {
                     return err(name, format!("{i}: gep base must be ptr"));
                 }
@@ -340,7 +345,11 @@ fn verify_types(f: &Function, i: InstId) -> Result<(), VerifyError> {
                 }
             }
         }
-        InstKind::Select { cond, then_val, else_val } => {
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
             if vt(*cond) != Type::I1 {
                 return err(name, format!("{i}: select condition must be i1"));
             }
@@ -348,10 +357,8 @@ fn verify_types(f: &Function, i: InstId) -> Result<(), VerifyError> {
                 return err(name, format!("{i}: select arm types mismatch"));
             }
         }
-        InstKind::CondBr { cond, .. } => {
-            if vt(*cond) != Type::I1 {
-                return err(name, format!("{i}: condbr condition must be i1"));
-            }
+        InstKind::CondBr { cond, .. } if vt(*cond) != Type::I1 => {
+            return err(name, format!("{i}: condbr condition must be i1"));
         }
         InstKind::Ret { val } => match (val, f.ret_ty) {
             (None, Type::Void) => {}

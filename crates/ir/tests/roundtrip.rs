@@ -1,9 +1,13 @@
+#![cfg(feature = "proptest")]
+
 //! Property test: printing and re-parsing random modules is the identity
 //! (up to dense id renumbering, which the builder already guarantees).
 
 use proptest::prelude::*;
 use splendid_ir::builder::FuncBuilder;
-use splendid_ir::{parser::parse_module, printer::module_str, BinOp, IPred, MemType, Module, Type, Value};
+use splendid_ir::{
+    parser::parse_module, printer::module_str, BinOp, IPred, MemType, Module, Type, Value,
+};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -26,8 +30,13 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             any::<i32>()
         )
             .prop_map(|(o, c)| Op::Int(o, c as i64)),
-        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Op::Float),
-        (prop_oneof![Just(IPred::Slt), Just(IPred::Eq), Just(IPred::Sge)], any::<i16>())
+        any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Op::Float),
+        (
+            prop_oneof![Just(IPred::Slt), Just(IPred::Eq), Just(IPred::Sge)],
+            any::<i16>()
+        )
             .prop_map(|(p, c)| Op::Cmp(p, c as i64)),
         Just(Op::Mem),
     ]
@@ -43,9 +52,7 @@ fn build(ops: &[Op]) -> Module {
     for op in ops {
         match op {
             Op::Int(o, c) => acc = b.bin(*o, Type::I64, acc, Value::i64(*c), ""),
-            Op::Float(x) => {
-                facc = b.bin(BinOp::FAdd, Type::F64, facc, Value::f64(*x), "")
-            }
+            Op::Float(x) => facc = b.bin(BinOp::FAdd, Type::F64, facc, Value::f64(*x), ""),
             Op::Cmp(p, c) => {
                 let cond = b.icmp(*p, acc, Value::i64(*c), "");
                 acc = b.select(cond, acc, Value::i64(0), Type::I64, "");

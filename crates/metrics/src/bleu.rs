@@ -166,6 +166,7 @@ void forked_function(long arg1, long arg2, double* A, double* B, long lb, long u
         assert!(s_rt < s_id, "{s_rt}");
     }
 
+    #[cfg(feature = "proptest")]
     proptest::proptest! {
         /// BLEU is always within [0, 1] and identity scores 1.
         #[test]

@@ -7,8 +7,8 @@ use splendid_analysis::indvar::{recognize_counted_loop, CountedLoop};
 use splendid_analysis::loops::{LoopId, LoopInfo};
 use splendid_analysis::MemRoot;
 use splendid_ir::{
-    BinOp, Block, BlockId, Callee, FuncId, Function, IPred, Inst, InstId, InstKind,
-    Module, Param, Type, Value,
+    BinOp, Block, BlockId, Callee, FuncId, Function, IPred, Inst, InstId, InstKind, Module, Param,
+    Type, Value,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -85,8 +85,7 @@ pub fn parallelize_module(module: &mut Module, opts: &ParallelizeOptions) -> Par
         if module.func(fid).is_outlined {
             continue;
         }
-        if !opts.only_functions.is_empty()
-            && !opts.only_functions.contains(&module.func(fid).name)
+        if !opts.only_functions.is_empty() && !opts.only_functions.contains(&module.func(fid).name)
         {
             continue;
         }
@@ -124,10 +123,20 @@ fn parallelize_function(
             break;
         };
         visited.insert(cl.next);
-        match try_parallelize(module, fid, lid, &cl, opts, &mut region_counter, &mut frozen) {
-            Ok((region, versioned)) => {
-                outcomes.push(LoopOutcome::Parallelized { region, versioned, depth })
-            }
+        match try_parallelize(
+            module,
+            fid,
+            lid,
+            &cl,
+            opts,
+            &mut region_counter,
+            &mut frozen,
+        ) {
+            Ok((region, versioned)) => outcomes.push(LoopOutcome::Parallelized {
+                region,
+                versioned,
+                depth,
+            }),
             Err(reason) => outcomes.push(LoopOutcome::Rejected { reason, depth }),
         }
     }
@@ -185,7 +194,11 @@ fn try_parallelize(
         if cl.step <= 0 {
             return Err("only up-counting loops are parallelized".into());
         }
-        let cont_pred = if cl.continue_on_true { cl.pred } else { cl.pred.negated() };
+        let cont_pred = if cl.continue_on_true {
+            cl.pred
+        } else {
+            cl.pred.negated()
+        };
         if !matches!(cont_pred, IPred::Slt | IPred::Sle) {
             return Err(format!("unsupported continue predicate {cont_pred:?}"));
         }
@@ -304,32 +317,32 @@ fn estimate_work(f: &Function, li: &LoopInfo, lid: LoopId) -> u64 {
             }
             cur = li.get(c).parent;
         }
-        total = total.saturating_add(
-            (f.block(bb).insts.len() as i64).saturating_mul(trips) as u64,
-        );
+        total = total.saturating_add((f.block(bb).insts.len() as i64).saturating_mul(trips) as u64);
     }
     total
 }
 
 /// Compute `(lb, ub_incl)` values (inserting instructions into `block`
 /// before its terminator) describing the sequential iteration space.
-fn iteration_space(
-    f: &mut Function,
-    block: BlockId,
-    cl: &CountedLoop,
-) -> (Value, Value) {
-    let cont_pred = if cl.continue_on_true { cl.pred } else { cl.pred.negated() };
+fn iteration_space(f: &mut Function, block: BlockId, cl: &CountedLoop) -> (Value, Value) {
+    let cont_pred = if cl.continue_on_true {
+        cl.pred
+    } else {
+        cl.pred.negated()
+    };
     let lb = cl.init;
     let ub = match cont_pred {
         IPred::Sle => cl.bound,
         // Constant bounds fold immediately so the decompiled loop reads
         // `i <= 47` rather than `i <= 48 - 1`.
-        IPred::Slt if cl.bound.as_int().is_some() => {
-            Value::i64(cl.bound.as_int().unwrap() - 1)
-        }
+        IPred::Slt if cl.bound.as_int().is_some() => Value::i64(cl.bound.as_int().unwrap() - 1),
         IPred::Slt => {
             let sub = f.add_inst(Inst::named(
-                InstKind::Bin { op: BinOp::Sub, lhs: cl.bound, rhs: Value::i64(1) },
+                InstKind::Bin {
+                    op: BinOp::Sub,
+                    lhs: cl.bound,
+                    rhs: Value::i64(1),
+                },
                 Type::I64,
                 "ub.incl",
             ));
@@ -382,7 +395,7 @@ fn outline_loop(
         };
         for &bb in &l.blocks {
             for &i in &f.block(bb).insts {
-                f.inst(i).kind.for_each_operand(|v| add_capture(v));
+                f.inst(i).kind.for_each_operand(&mut add_capture);
             }
         }
         (captures, f.clone())
@@ -390,9 +403,18 @@ fn outline_loop(
 
     // Build the region function.
     let mut params = vec![
-        Param { name: "tid".into(), ty: Type::I64 },
-        Param { name: "lb".into(), ty: Type::I64 },
-        Param { name: "ub".into(), ty: Type::I64 },
+        Param {
+            name: "tid".into(),
+            ty: Type::I64,
+        },
+        Param {
+            name: "lb".into(),
+            ty: Type::I64,
+        },
+        Param {
+            name: "ub".into(),
+            ty: Type::I64,
+        },
     ];
     for (k, v) in captures.iter().enumerate() {
         let (name, ty) = match v {
@@ -419,13 +441,19 @@ fn outline_loop(
     // Entry: thread-local bound slots + static init + guard.
     let entry = {
         let id = BlockId(region.blocks.len() as u32);
-        region.blocks.push(Block { name: "entry".into(), insts: Vec::new() });
+        region.blocks.push(Block {
+            name: "entry".into(),
+            insts: Vec::new(),
+        });
         id
     };
     region.entry = entry;
     let finish = {
         let id = BlockId(region.blocks.len() as u32);
-        region.blocks.push(Block { name: "runtime.finish".into(), insts: Vec::new() });
+        region.blocks.push(Block {
+            name: "runtime.finish".into(),
+            insts: Vec::new(),
+        });
         id
     };
 
@@ -434,19 +462,43 @@ fn outline_loop(
     let ub_param = Value::Arg(2);
     let plb = region.append_inst(
         entry,
-        Inst::named(InstKind::Alloca { mem: splendid_ir::MemType::Scalar(Type::I64) }, Type::Ptr, "lb.addr"),
+        Inst::named(
+            InstKind::Alloca {
+                mem: splendid_ir::MemType::Scalar(Type::I64),
+            },
+            Type::Ptr,
+            "lb.addr",
+        ),
     );
     let pub_ = region.append_inst(
         entry,
-        Inst::named(InstKind::Alloca { mem: splendid_ir::MemType::Scalar(Type::I64) }, Type::Ptr, "ub.addr"),
+        Inst::named(
+            InstKind::Alloca {
+                mem: splendid_ir::MemType::Scalar(Type::I64),
+            },
+            Type::Ptr,
+            "ub.addr",
+        ),
     );
     region.append_inst(
         entry,
-        Inst::new(InstKind::Store { val: lb_param, ptr: Value::Inst(plb) }, Type::Void),
+        Inst::new(
+            InstKind::Store {
+                val: lb_param,
+                ptr: Value::Inst(plb),
+            },
+            Type::Void,
+        ),
     );
     region.append_inst(
         entry,
-        Inst::new(InstKind::Store { val: ub_param, ptr: Value::Inst(pub_) }, Type::Void),
+        Inst::new(
+            InstKind::Store {
+                val: ub_param,
+                ptr: Value::Inst(pub_),
+            },
+            Type::Void,
+        ),
     );
     region.append_inst(
         entry,
@@ -468,16 +520,32 @@ fn outline_loop(
     );
     let lbt = region.append_inst(
         entry,
-        Inst::named(InstKind::Load { ptr: Value::Inst(plb) }, Type::I64, "lb"),
+        Inst::named(
+            InstKind::Load {
+                ptr: Value::Inst(plb),
+            },
+            Type::I64,
+            "lb",
+        ),
     );
     let ubt = region.append_inst(
         entry,
-        Inst::named(InstKind::Load { ptr: Value::Inst(pub_) }, Type::I64, "ub"),
+        Inst::named(
+            InstKind::Load {
+                ptr: Value::Inst(pub_),
+            },
+            Type::I64,
+            "ub",
+        ),
     );
     let guard = region.append_inst(
         entry,
         Inst::named(
-            InstKind::ICmp { pred: IPred::Sgt, lhs: Value::Inst(lbt), rhs: Value::Inst(ubt) },
+            InstKind::ICmp {
+                pred: IPred::Sgt,
+                lhs: Value::Inst(lbt),
+                rhs: Value::Inst(ubt),
+            },
             Type::I1,
             "guard",
         ),
@@ -487,9 +555,10 @@ fn outline_loop(
     let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
     for &bb in &l.blocks {
         let id = BlockId(region.blocks.len() as u32);
-        region
-            .blocks
-            .push(Block { name: clone_src.block(bb).name.clone(), insts: Vec::new() });
+        region.blocks.push(Block {
+            name: clone_src.block(bb).name.clone(),
+            insts: Vec::new(),
+        });
         block_map.insert(bb, id);
     }
     // Pre-reserve instruction ids.
@@ -524,7 +593,9 @@ fn outline_loop(
                 InstKind::Br { target } => {
                     *target = *block_map.get(target).unwrap_or(&finish);
                 }
-                InstKind::CondBr { then_bb, else_bb, .. } => {
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => {
                     *then_bb = *block_map.get(then_bb).unwrap_or(&finish);
                     *else_bb = *block_map.get(else_bb).unwrap_or(&finish);
                 }
@@ -562,9 +633,14 @@ fn outline_loop(
     };
     // Its branch continues into the loop when true.
     let test_block_clone = block_map[&cl.test_block];
-    let term = region.terminator(test_block_clone).ok_or("missing test terminator")?;
+    let term = region
+        .terminator(test_block_clone)
+        .ok_or("missing test terminator")?;
     let continue_target = {
-        let InstKind::CondBr { then_bb, else_bb, .. } = region.inst(term).kind else {
+        let InstKind::CondBr {
+            then_bb, else_bb, ..
+        } = region.inst(term).kind
+        else {
             return Err("test block does not end in a conditional branch".into());
         };
         if then_bb == finish {
@@ -598,7 +674,10 @@ fn outline_loop(
     region.append_inst(
         finish,
         Inst::new(
-            InstKind::Call { callee: Callee::External(KMPC_FOR_STATIC_FINI.into()), args: vec![tid] },
+            InstKind::Call {
+                callee: Callee::External(KMPC_FOR_STATIC_FINI.into()),
+                args: vec![tid],
+            },
             Type::Void,
         ),
     );
@@ -613,7 +692,10 @@ fn outline_loop(
     let mut args = vec![Value::Function(region_id), lb_v, ub_v];
     args.extend(captures.iter().copied());
     let fork = f.add_inst(Inst::new(
-        InstKind::Call { callee: Callee::External(KMPC_FORK_CALL.into()), args },
+        InstKind::Call {
+            callee: Callee::External(KMPC_FORK_CALL.into()),
+            args,
+        },
         Type::Void,
     ));
     let pos = f.block(preheader).insts.len() - 1;
@@ -659,16 +741,14 @@ fn version_loop(
     let retarget = |kind: &InstKind, to_clone: bool| -> InstKind {
         let mut k = kind.clone();
         match &mut k {
-            InstKind::Br { target } => {
-                if to_clone {
-                    *target = map.block(*target);
-                }
+            InstKind::Br { target } if to_clone => {
+                *target = map.block(*target);
             }
-            InstKind::CondBr { then_bb, else_bb, .. } => {
-                if to_clone {
-                    *then_bb = map.block(*then_bb);
-                    *else_bb = map.block(*else_bb);
-                }
+            InstKind::CondBr {
+                then_bb, else_bb, ..
+            } if to_clone => {
+                *then_bb = map.block(*then_bb);
+                *else_bb = map.block(*else_bb);
             }
             _ => {}
         }
@@ -682,7 +762,11 @@ fn version_loop(
     // Compute the overlap checks in the preheader.
     let (_, ub_v) = iteration_space(f, preheader, cl);
     let one_past = f.add_inst(Inst::named(
-        InstKind::Bin { op: BinOp::Add, lhs: ub_v, rhs: Value::i64(1) },
+        InstKind::Bin {
+            op: BinOp::Add,
+            lhs: ub_v,
+            rhs: Value::i64(1),
+        },
         Type::I64,
         "extent",
     ));
@@ -724,22 +808,38 @@ fn version_loop(
             "end.b",
         ));
         let a_before_b = emit(Inst::new(
-            InstKind::ICmp { pred: IPred::Sle, lhs: end_a, rhs: pb },
+            InstKind::ICmp {
+                pred: IPred::Sle,
+                lhs: end_a,
+                rhs: pb,
+            },
             Type::I1,
         ));
         let b_before_a = emit(Inst::new(
-            InstKind::ICmp { pred: IPred::Sle, lhs: end_b, rhs: pa },
+            InstKind::ICmp {
+                pred: IPred::Sle,
+                lhs: end_b,
+                rhs: pa,
+            },
             Type::I1,
         ));
         let disjoint = emit(Inst::named(
-            InstKind::Bin { op: BinOp::Or, lhs: a_before_b, rhs: b_before_a },
+            InstKind::Bin {
+                op: BinOp::Or,
+                lhs: a_before_b,
+                rhs: b_before_a,
+            },
             Type::I1,
             "noalias",
         ));
         all_ok = Some(match all_ok {
             None => disjoint,
             Some(prev) => emit(Inst::new(
-                InstKind::Bin { op: BinOp::And, lhs: prev, rhs: disjoint },
+                InstKind::Bin {
+                    op: BinOp::And,
+                    lhs: prev,
+                    rhs: disjoint,
+                },
                 Type::I1,
             )),
         });
@@ -824,14 +924,22 @@ void k(double alpha) {
         let mut saw_guard = false;
         for i in &region.insts {
             match &i.kind {
-                InstKind::Call { callee: Callee::External(n), args } if n == KMPC_FOR_STATIC_INIT => {
+                InstKind::Call {
+                    callee: Callee::External(n),
+                    args,
+                } if n == KMPC_FOR_STATIC_INIT => {
                     saw_init = true;
                     assert_eq!(args.len(), 7);
                 }
-                InstKind::Call { callee: Callee::External(n), .. } if n == KMPC_FOR_STATIC_FINI => {
+                InstKind::Call {
+                    callee: Callee::External(n),
+                    ..
+                } if n == KMPC_FOR_STATIC_FINI => {
                     saw_fini = true;
                 }
-                InstKind::ICmp { pred: IPred::Sgt, .. } => saw_guard = true,
+                InstKind::ICmp {
+                    pred: IPred::Sgt, ..
+                } => saw_guard = true,
                 _ => {}
             }
         }
@@ -936,7 +1044,10 @@ void f(double* A, double* B) {
 }
 "#;
         let mut m = prepare(src);
-        let opts = ParallelizeOptions { version_aliasing: false, ..Default::default() };
+        let opts = ParallelizeOptions {
+            version_aliasing: false,
+            ..Default::default()
+        };
         let report = parallelize_module(&mut m, &opts);
         assert_eq!(report.parallelized_count(), 0);
     }

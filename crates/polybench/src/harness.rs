@@ -109,7 +109,26 @@ impl Harness {
             .map_err(|e| HarnessError(format!("splendid: {e}")))?;
         let rellic = decompile_rellic_like(&parallel_module);
         let ghidra = decompile_ghidra_like(&parallel_module);
-        Ok(PipelineArtifacts { parallel_module, report, splendid, rellic, ghidra })
+        Ok(PipelineArtifacts {
+            parallel_module,
+            report,
+            splendid,
+            rellic,
+            ghidra,
+        })
+    }
+
+    /// Compile the whole suite to parallel IR: the batch workload the
+    /// serve layer schedules (`splendid bench-serve` / `dump-polybench`).
+    pub fn polly_suite() -> Result<Vec<(String, Module)>, HarnessError> {
+        crate::kernels::benchmarks()
+            .iter()
+            .map(|b| {
+                Self::polly(b.sequential)
+                    .map(|(m, _)| (b.name.to_string(), m))
+                    .map_err(|e| HarnessError(format!("{}: {e}", b.name)))
+            })
+            .collect()
     }
 
     /// Recompile decompiled source and execute it, returning the checksum
@@ -186,8 +205,7 @@ mod tests {
     #[test]
     fn every_benchmark_semantics_preserved_through_decompilation() {
         for b in benchmarks() {
-            let art = Harness::pipeline(&b)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let art = Harness::pipeline(&b).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let seq = Harness::run_source(
                 b.sequential,
                 OmpRuntime::LibOmp,

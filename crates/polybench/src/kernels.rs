@@ -1753,7 +1753,6 @@ void kernel() {
 }
 "#;
 
-
 /// Manual: the programmer annotated the first product only.
 const MAN_MVT: &str = r#"
 #define N 120

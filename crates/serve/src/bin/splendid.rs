@@ -1,0 +1,361 @@
+//! `splendid` — the decompilation-service CLI.
+//!
+//! ```text
+//! splendid decompile <file.{ir,c}> [--variant v1|portable|full] [--stats]
+//! splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]
+//! splendid bench-serve [--jobs N] [--rounds R] [--json]
+//! splendid dump-polybench <dir>
+//! ```
+//!
+//! `.ir` inputs are parsed as textual SPLENDID IR; `.c` inputs run the
+//! full substrate (cfront → -O2 → Polly-sim) first, so the service sees
+//! the same parallel IR the paper's pipeline produces.
+
+use splendid_cfront::{lower_program, parse_program, LowerOptions};
+use splendid_core::{SplendidOptions, Variant};
+use splendid_ir::{printer::module_str, Module};
+use splendid_parallel::{parallelize_module, ParallelizeOptions};
+use splendid_polybench::Harness;
+use splendid_serve::{JobInput, JobRequest, Scheduler, ServeConfig};
+use splendid_transforms::{optimize_module, O2Options};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         splendid decompile <file.{{ir,c}}> [--variant v1|portable|full] [--stats]\n  \
+         splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]\n  \
+         splendid bench-serve [--jobs N] [--rounds R] [--json]\n  \
+         splendid dump-polybench <dir>"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("splendid: {msg}");
+    std::process::exit(1);
+}
+
+/// Minimal flag parser: positionals plus `--flag [value]`.
+struct Args {
+    positional: Vec<String>,
+    jobs: usize,
+    rounds: usize,
+    variant: Variant,
+    stats: bool,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut out = Args {
+        positional: Vec::new(),
+        jobs: 0,
+        rounds: 1,
+        variant: Variant::Full,
+        stats: false,
+        json: false,
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                out.jobs = value("--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--jobs: not a number"))
+            }
+            "--rounds" => {
+                out.rounds = value("--rounds")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--rounds: not a number"))
+            }
+            "--variant" => {
+                out.variant = match value("--variant").as_str() {
+                    "v1" => Variant::V1,
+                    "portable" => Variant::Portable,
+                    "full" => Variant::Full,
+                    v => fail(&format!("unknown variant {v:?} (v1|portable|full)")),
+                }
+            }
+            "--stats" => out.stats = true,
+            "--json" => out.json = true,
+            flag if flag.starts_with('-') => fail(&format!("unknown flag {flag}")),
+            _ => out.positional.push(a.clone()),
+        }
+    }
+    out
+}
+
+fn options_for(variant: Variant) -> SplendidOptions {
+    SplendidOptions {
+        variant,
+        ..SplendidOptions::default()
+    }
+}
+
+/// Load one input file as a decompilation request.
+fn load_request(path: &Path, variant: Variant) -> JobRequest {
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+    let input = match path.extension().and_then(|e| e.to_str()) {
+        Some("c") => JobInput::Module(compile_c(&text, &name)),
+        _ => JobInput::Text(text),
+    };
+    JobRequest {
+        name,
+        input,
+        options: options_for(variant),
+    }
+}
+
+/// C source → optimized, auto-parallelized IR (the paper's pipeline input).
+fn compile_c(src: &str, name: &str) -> Module {
+    let prog = parse_program(src).unwrap_or_else(|e| fail(&format!("{name}: C parse error: {e}")));
+    let mut m = lower_program(&prog, name, &LowerOptions::default())
+        .unwrap_or_else(|e| fail(&format!("{name}: lowering error: {e}")));
+    optimize_module(&mut m, &O2Options::default());
+    parallelize_module(&mut m, &ParallelizeOptions::default());
+    m
+}
+
+fn cmd_decompile(args: Args) {
+    let [path] = args.positional.as_slice() else {
+        usage()
+    };
+    let request = load_request(Path::new(path), args.variant);
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: args.jobs,
+        ..Default::default()
+    });
+    match scheduler.submit(request).wait() {
+        Ok(result) => {
+            print!("{}", result.output.source);
+            if args.stats {
+                eprintln!(
+                    "# {} function(s) in {:?}, {} restored vars of {}",
+                    result.functions,
+                    result.wall,
+                    result.output.naming.restored_vars,
+                    result.output.naming.total_vars
+                );
+                eprint!("{}", scheduler.stats());
+            }
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+/// All `.ir` / `.c` files under a directory, sorted for determinism.
+fn batch_inputs(dir: &Path) -> Vec<PathBuf> {
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| fail(&format!("{}: {e}", dir.display())));
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("ir") | Some("c")
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn cmd_batch(args: Args) {
+    let [dir] = args.positional.as_slice() else {
+        usage()
+    };
+    let files = batch_inputs(Path::new(dir));
+    if files.is_empty() {
+        fail(&format!("no .ir or .c files in {dir}"));
+    }
+    let requests: Vec<JobRequest> = files
+        .iter()
+        .map(|p| load_request(p, args.variant))
+        .collect();
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: args.jobs,
+        ..Default::default()
+    });
+    println!(
+        "batch: {} module(s), {} worker(s), {} round(s)",
+        requests.len(),
+        scheduler.workers(),
+        args.rounds
+    );
+    for round in 1..=args.rounds.max(1) {
+        let start = Instant::now();
+        let results = scheduler.decompile_batch(requests.clone());
+        let wall = start.elapsed();
+        let mut ok = 0usize;
+        let mut failed = 0usize;
+        let mut functions = 0usize;
+        let mut cached = 0usize;
+        for (path, r) in files.iter().zip(&results) {
+            match r {
+                Ok(res) => {
+                    ok += 1;
+                    functions += res.functions;
+                    cached += res.cached_functions;
+                }
+                Err(e) => {
+                    failed += 1;
+                    eprintln!("  {}: {e}", path.display());
+                }
+            }
+        }
+        let throughput = ok as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "round {round}: {ok} ok / {failed} failed, {functions} function(s) \
+             ({cached} cached) in {wall:.3?} — {throughput:.1} modules/s"
+        );
+    }
+    if args.stats {
+        print!("{}", scheduler.stats());
+    }
+}
+
+fn cmd_dump_polybench(args: Args) {
+    let [dir] = args.positional.as_slice() else {
+        usage()
+    };
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(&format!("{}: {e}", dir.display())));
+    let suite = Harness::polly_suite().unwrap_or_else(|e| fail(&e.to_string()));
+    for (name, module) in &suite {
+        let path = dir.join(format!("{name}.ir"));
+        std::fs::write(&path, module_str(module))
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+    }
+    println!("wrote {} modules to {}", suite.len(), dir.display());
+}
+
+/// One measured batch pass; returns (wall seconds, ok count).
+fn run_pass(scheduler: &Scheduler, requests: &[JobRequest]) -> (f64, usize) {
+    let start = Instant::now();
+    let results = scheduler.decompile_batch(requests.to_vec());
+    let wall = start.elapsed().as_secs_f64();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    for r in results {
+        if let Err(e) = r {
+            fail(&format!("bench-serve job failed: {e}"));
+        }
+    }
+    (wall, ok)
+}
+
+fn cmd_bench_serve(args: Args) {
+    let parallel_jobs = if args.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        args.jobs
+    };
+    let rounds = args.rounds.max(1);
+    let suite = Harness::polly_suite().unwrap_or_else(|e| fail(&e.to_string()));
+    let requests: Vec<JobRequest> = suite
+        .into_iter()
+        .map(|(name, m)| JobRequest::from_module(name, m))
+        .collect();
+    let modules = requests.len();
+
+    // Serial baseline: one worker, cold cache each round.
+    let mut serial = f64::MAX;
+    for _ in 0..rounds {
+        let s = Scheduler::new(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        serial = serial.min(run_pass(&s, &requests).0);
+    }
+
+    // Parallel: N workers, cold cache each round; keep the last scheduler
+    // warm for the cache pass.
+    let mut parallel = f64::MAX;
+    let mut warm = f64::MAX;
+    let mut hit_rate = 0.0;
+    for _ in 0..rounds {
+        let s = Scheduler::new(ServeConfig {
+            workers: parallel_jobs,
+            ..Default::default()
+        });
+        parallel = parallel.min(run_pass(&s, &requests).0);
+        let before = s.stats().cache;
+        warm = warm.min(run_pass(&s, &requests).0);
+        let after = s.stats().cache;
+        let lookups = (after.hits - before.hits) + (after.misses - before.misses);
+        hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            (after.hits - before.hits) as f64 / lookups as f64
+        };
+        if !args.json {
+            print!("{}", s.stats());
+        }
+    }
+
+    let speedup = serial / parallel.max(1e-9);
+    let warm_speedup = serial / warm.max(1e-9);
+    if args.json {
+        // Hand-rolled JSON: the offline build has no serde.
+        println!("{{");
+        println!("  \"benchmark\": \"bench-serve\",");
+        println!("  \"modules\": {modules},");
+        println!("  \"workers\": {parallel_jobs},");
+        println!("  \"rounds\": {rounds},");
+        println!("  \"serial_seconds\": {serial:.6},");
+        println!("  \"parallel_seconds\": {parallel:.6},");
+        println!("  \"warm_cache_seconds\": {warm:.6},");
+        println!("  \"parallel_speedup\": {speedup:.3},");
+        println!("  \"warm_speedup\": {warm_speedup:.3},");
+        println!("  \"warm_cache_hit_rate\": {hit_rate:.4},");
+        println!(
+            "  \"serial_modules_per_sec\": {:.3},",
+            modules as f64 / serial.max(1e-9)
+        );
+        println!(
+            "  \"parallel_modules_per_sec\": {:.3}",
+            modules as f64 / parallel.max(1e-9)
+        );
+        println!("}}");
+    } else {
+        println!("bench-serve: {modules} polybench modules, best of {rounds} round(s)");
+        println!(
+            "  serial   (1 worker)   {serial:.3}s  ({:.1} modules/s)",
+            modules as f64 / serial
+        );
+        println!(
+            "  parallel ({parallel_jobs} workers)  {parallel:.3}s  ({:.1} modules/s, {speedup:.2}x)",
+            modules as f64 / parallel
+        );
+        println!(
+            "  warm cache            {warm:.3}s  ({:.1} modules/s, {warm_speedup:.2}x, {:.1}% hits)",
+            modules as f64 / warm,
+            100.0 * hit_rate
+        );
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage()
+    };
+    let args = parse_args(rest);
+    match cmd.as_str() {
+        "decompile" => cmd_decompile(args),
+        "batch" => cmd_batch(args),
+        "bench-serve" => cmd_bench_serve(args),
+        "dump-polybench" => cmd_dump_polybench(args),
+        _ => usage(),
+    }
+}

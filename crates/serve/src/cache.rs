@@ -1,0 +1,268 @@
+//! Content-addressed per-function result cache.
+//!
+//! Keys are stable 64-bit FNV-1a digests of `(module context fingerprint,
+//! canonically printed function IR, options fingerprint)` — see
+//! [`crate::scheduler`] for the exact key construction. Values are the
+//! decompiled [`FunctionOutput`]s, shared via `Arc` so a hit costs one
+//! clone of a pointer, not of a C AST.
+//!
+//! The store is a bounded LRU: an intrusive doubly-linked list threaded
+//! through a slab of nodes, plus a key → slot index map. Everything sits
+//! behind one `Mutex`; the critical sections are a handful of pointer
+//! updates, so contention stays negligible next to decompilation work.
+
+use splendid_core::FunctionOutput;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: u64,
+    value: Arc<FunctionOutput>,
+    prev: usize,
+    next: usize,
+}
+
+struct Lru {
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Lru {
+    fn new() -> Lru {
+        Lru {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.nodes[h].prev = idx,
+        }
+        self.head = idx;
+    }
+}
+
+/// Aggregate cache counters, snapshotted for the stats surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries ever inserted.
+    pub insertions: u64,
+    /// Entries resident right now.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+impl CacheCounters {
+    /// Hits over lookups, in [0, 1]; 0 when the cache is untouched.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Bounded, thread-safe, content-addressed LRU over decompiled functions.
+pub struct FunctionCache {
+    inner: Mutex<Lru>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl FunctionCache {
+    /// Cache holding at most `capacity` functions (0 disables caching).
+    pub fn new(capacity: usize) -> FunctionCache {
+        FunctionCache {
+            inner: Mutex::new(Lru::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a key, promoting it to most-recently-used on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<FunctionOutput>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut lru = self.inner.lock().unwrap();
+        match lru.map.get(&key).copied() {
+            Some(idx) => {
+                lru.unlink(idx);
+                lru.push_front(idx);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&lru.nodes[idx].value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting from the LRU tail past
+    /// capacity.
+    pub fn insert(&self, key: u64, value: Arc<FunctionOutput>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut lru = self.inner.lock().unwrap();
+        if let Some(idx) = lru.map.get(&key).copied() {
+            lru.nodes[idx].value = value;
+            lru.unlink(idx);
+            lru.push_front(idx);
+            return;
+        }
+        while lru.map.len() >= self.capacity {
+            let victim = lru.tail;
+            lru.unlink(victim);
+            let old_key = lru.nodes[victim].key;
+            lru.map.remove(&old_key);
+            lru.free.push(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let idx = match lru.free.pop() {
+            Some(i) => {
+                lru.nodes[i] = Node {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                lru.nodes.push(Node {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                lru.nodes.len() - 1
+            }
+        };
+        lru.map.insert(key, idx);
+        lru.push_front(idx);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_cfront::ast::{CFunc, CType};
+    use splendid_core::NamingStats;
+
+    fn out(tag: usize) -> Arc<FunctionOutput> {
+        Arc::new(FunctionOutput {
+            cfunc: CFunc {
+                name: format!("f{tag}"),
+                ret: CType::Void,
+                params: Vec::new(),
+                body: Vec::new(),
+            },
+            naming: NamingStats {
+                total_vars: tag,
+                restored_vars: 0,
+            },
+            gotos: 0,
+        })
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = FunctionCache::new(2);
+        c.insert(1, out(1));
+        c.insert(2, out(2));
+        assert!(c.get(1).is_some()); // promote 1; victim becomes 2
+        c.insert(3, out(3));
+        assert!(c.get(2).is_none(), "2 was LRU and must be evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        let k = c.counters();
+        assert_eq!(k.evictions, 1);
+        assert_eq!(k.entries, 2);
+        assert_eq!(k.insertions, 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = FunctionCache::new(0);
+        c.insert(1, out(1));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn hit_rate_counts() {
+        let c = FunctionCache::new(8);
+        c.insert(7, out(7));
+        assert!(c.get(7).is_some());
+        assert!(c.get(8).is_none());
+        let k = c.counters();
+        assert_eq!((k.hits, k.misses), (1, 1));
+        assert!((k.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! `splendid-serve`: the batch-decompilation service layer.
+//!
+//! The core crate exposes a single-threaded library call; this crate
+//! turns it into a service that schedules whole suites of decompilation
+//! requests in parallel (the paper's §5 evaluation workload):
+//!
+//! * [`pool`] — a work-stealing worker pool on `std::thread` + channels,
+//!   with per-task panic isolation (a panicking task fails its job, not
+//!   the service);
+//! * [`scheduler`] — the job scheduler: requests (textual IR or parsed
+//!   modules + [`splendid_core::SplendidOptions`]) are split into
+//!   per-function work items, with per-job deadlines/cancellation;
+//! * [`cache`] — a bounded-LRU, content-addressed result cache keyed by
+//!   a stable FNV-1a 64 digest of (module context, canonically printed
+//!   function IR, options fingerprint), so re-decompiling unchanged
+//!   functions is a lookup;
+//! * [`stats`] — service observability: per-stage wall time, queue
+//!   depth, cache hit rate, job counts, snapshotable and pretty-printable;
+//! * [`hash`] — the stable FNV-1a hasher behind the cache keys.
+//!
+//! The `splendid` binary (`src/bin/splendid.rs`) wires this up as a CLI
+//! with `decompile`, `batch`, and `bench-serve` subcommands.
+
+pub mod cache;
+pub mod hash;
+pub mod pool;
+pub mod scheduler;
+pub mod stats;
+
+pub use cache::{CacheCounters, FunctionCache};
+pub use pool::{PoolRemote, WorkerPool};
+pub use scheduler::{
+    function_cache_key, JobError, JobHandle, JobInput, JobRequest, JobResult, Scheduler,
+    ServeConfig,
+};
+pub use stats::{ServeStats, StatsSnapshot};
+
+#[cfg(test)]
+mod send_sync_assertions {
+    //! Compile-time proof that everything crossing the pool is `Send +
+    //! Sync` (the thread-safety audit of the service layer).
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn service_types_are_thread_safe() {
+        assert_send_sync::<splendid_ir::Module>();
+        assert_send_sync::<splendid_core::SplendidOptions>();
+        assert_send_sync::<splendid_core::DecompileOutput>();
+        assert_send_sync::<splendid_core::PreparedModule>();
+        assert_send_sync::<splendid_core::FunctionOutput>();
+        assert_send_sync::<splendid_core::StageTimings>();
+        assert_send_sync::<FunctionCache>();
+        assert_send_sync::<WorkerPool>();
+        assert_send_sync::<Scheduler>();
+        assert_send_sync::<ServeStats>();
+        assert_send_sync::<JobRequest>();
+        assert_send_sync::<JobResult>();
+        assert_send_sync::<JobError>();
+    }
+}

@@ -1,0 +1,479 @@
+//! The job scheduler: batches of decompilation requests, split into
+//! per-function work items on the worker pool, with per-job deadlines,
+//! panic isolation, and the content-addressed function cache in the
+//! middle.
+//!
+//! Execution model: `submit` enqueues one *job task* (parse + module-wide
+//! detransformation). The job task fans its functions out as independent
+//! work items onto the same pool; the last item to finish assembles the
+//! final translation unit and completes the job, so no worker ever blocks
+//! waiting for another — a batch cannot deadlock even on a 1-worker pool.
+
+use crate::cache::FunctionCache;
+use crate::hash::Fnv64;
+use crate::pool::{PoolRemote, WorkerPool};
+use crate::stats::{ServeStats, StatsSnapshot};
+use splendid_core::{
+    assemble_output, decompile_function, prepare_module, DecompileOutput, FunctionOutput,
+    PreparedModule, SplendidOptions, StageTimings, Variant,
+};
+use splendid_ir::{parser::parse_module, printer::function_str, FuncId, Module};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// Function-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Deadline applied to every job; `None` means jobs never time out.
+    pub job_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            cache_capacity: 4096,
+            job_timeout: None,
+        }
+    }
+}
+
+/// What a request decompiles.
+#[derive(Debug, Clone)]
+pub enum JobInput {
+    /// Textual IR, parsed on a worker.
+    Text(String),
+    /// An already-parsed module.
+    Module(Module),
+}
+
+/// One decompilation request.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Caller-chosen label, echoed in the result.
+    pub name: String,
+    /// Module to decompile.
+    pub input: JobInput,
+    /// Pipeline options.
+    pub options: SplendidOptions,
+}
+
+impl JobRequest {
+    /// Request over a parsed module with default options.
+    pub fn from_module(name: impl Into<String>, module: Module) -> JobRequest {
+        JobRequest {
+            name: name.into(),
+            input: JobInput::Module(module),
+            options: SplendidOptions::default(),
+        }
+    }
+
+    /// Request over textual IR with default options.
+    pub fn from_text(name: impl Into<String>, text: impl Into<String>) -> JobRequest {
+        JobRequest {
+            name: name.into(),
+            input: JobInput::Text(text.into()),
+            options: SplendidOptions::default(),
+        }
+    }
+}
+
+/// Why a job produced no output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The textual IR did not parse.
+    Parse(String),
+    /// Module-wide detransformation failed.
+    Prepare(String),
+    /// A work item panicked; the payload is preserved, the pool is not.
+    Panicked(String),
+    /// The job's deadline expired before it finished.
+    TimedOut,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Parse(e) => write!(f, "parse error: {e}"),
+            JobError::Prepare(e) => write!(f, "detransform error: {e}"),
+            JobError::Panicked(e) => write!(f, "job panicked: {e}"),
+            JobError::TimedOut => write!(f, "job timed out"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Successful decompilation of one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Label from the request.
+    pub name: String,
+    /// The decompiled translation unit.
+    pub output: DecompileOutput,
+    /// Functions in the module.
+    pub functions: usize,
+    /// Of those, how many came out of the cache.
+    pub cached_functions: usize,
+    /// Submit-to-completion wall time.
+    pub wall: Duration,
+}
+
+struct JobState {
+    name: String,
+    started: Instant,
+    deadline: Option<Instant>,
+    cancelled: AtomicBool,
+    remaining: AtomicUsize,
+    cached: AtomicUsize,
+    slots: Mutex<Vec<Option<FunctionOutput>>>,
+    done: Mutex<Option<Result<JobResult, JobError>>>,
+    cv: Condvar,
+    stats: Arc<ServeStats>,
+}
+
+impl JobState {
+    fn expired(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// First completion wins; later attempts are no-ops.
+    fn complete(&self, result: Result<JobResult, JobError>) {
+        let mut done = self.done.lock().unwrap();
+        if done.is_none() {
+            match &result {
+                Ok(_) => self.stats.jobs_completed.fetch_add(1, Ordering::Relaxed),
+                Err(JobError::TimedOut) => {
+                    self.stats.jobs_timed_out.fetch_add(1, Ordering::Relaxed)
+                }
+                Err(_) => self.stats.jobs_failed.fetch_add(1, Ordering::Relaxed),
+            };
+            *done = Some(result);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Handle to an in-flight job.
+pub struct JobHandle {
+    state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// Block until the job completes, fails, or hits its deadline.
+    pub fn wait(self) -> Result<JobResult, JobError> {
+        let state = &self.state;
+        let mut done = state.done.lock().unwrap();
+        loop {
+            if let Some(r) = done.take() {
+                return r;
+            }
+            match state.deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        // Deadline passed with no result: cancel pending
+                        // items and report the timeout ourselves.
+                        state.cancelled.store(true, Ordering::SeqCst);
+                        drop(done);
+                        state.complete(Err(JobError::TimedOut));
+                        return state
+                            .done
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .unwrap_or(Err(JobError::TimedOut));
+                    }
+                    done = state.cv.wait_timeout(done, d - now).unwrap().0;
+                }
+                None => done = state.cv.wait(done).unwrap(),
+            }
+        }
+    }
+
+    /// Non-blocking poll; consumes the result when ready.
+    pub fn try_take(&self) -> Option<Result<JobResult, JobError>> {
+        self.state.done.lock().unwrap().take()
+    }
+}
+
+/// Fingerprint of everything outside a function's own body that its
+/// decompilation can read: global declarations and the debug-variable
+/// arena (naming resolves `dbg !N` through it).
+fn module_context_fingerprint(m: &Module) -> u64 {
+    let mut h = Fnv64::new();
+    for g in &m.globals {
+        h.write(g.name.as_bytes());
+        h.write(format!("{}|{:?};", g.mem, g.init).as_bytes());
+    }
+    for dv in &m.di_vars {
+        h.write(dv.name.as_bytes())
+            .write(b"@")
+            .write(dv.scope.as_bytes())
+            .write(b";");
+    }
+    h.finish()
+}
+
+fn options_fingerprint(o: &SplendidOptions) -> u64 {
+    let variant = match o.variant {
+        Variant::V1 => 1u8,
+        Variant::Portable => 2,
+        Variant::Full => 3,
+    };
+    let mut h = Fnv64::new();
+    h.write(&[
+        variant,
+        o.guard_elimination as u8,
+        o.inline_expressions as u8,
+    ]);
+    h.finish()
+}
+
+/// Content-address of one function under one option set: the cache key.
+pub fn function_cache_key(prepared: &PreparedModule, fid: FuncId, opts: &SplendidOptions) -> u64 {
+    let m = &prepared.module;
+    let mut h = Fnv64::new();
+    h.write_u64(module_context_fingerprint(m));
+    h.write(function_str(m, m.func(fid)).as_bytes());
+    h.write_u64(options_fingerprint(opts));
+    h.finish()
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The batch-decompilation service.
+pub struct Scheduler {
+    pool: WorkerPool,
+    cache: Arc<FunctionCache>,
+    stats: Arc<ServeStats>,
+    config: ServeConfig,
+}
+
+impl Scheduler {
+    /// Start a service with the given configuration.
+    pub fn new(config: ServeConfig) -> Scheduler {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        Scheduler {
+            pool: WorkerPool::new(workers),
+            cache: Arc::new(FunctionCache::new(config.cache_capacity)),
+            stats: Arc::new(ServeStats::default()),
+            config,
+        }
+    }
+
+    /// Start a service with default configuration (a worker per core).
+    pub fn with_default_config() -> Scheduler {
+        Scheduler::new(ServeConfig::default())
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Accept a job; returns immediately with a waitable handle.
+    pub fn submit(&self, request: JobRequest) -> JobHandle {
+        self.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(JobState {
+            name: request.name.clone(),
+            started: Instant::now(),
+            deadline: self.config.job_timeout.map(|t| Instant::now() + t),
+            cancelled: AtomicBool::new(false),
+            remaining: AtomicUsize::new(0),
+            cached: AtomicUsize::new(0),
+            slots: Mutex::new(Vec::new()),
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+            stats: Arc::clone(&self.stats),
+        });
+        let job_state = Arc::clone(&state);
+        let cache = Arc::clone(&self.cache);
+        let stats = Arc::clone(&self.stats);
+        let remote = self.pool.remote();
+        self.pool
+            .spawn(move || run_job(request, job_state, cache, stats, remote));
+        JobHandle { state }
+    }
+
+    /// Submit every request, then wait for them all (in order).
+    pub fn decompile_batch(&self, requests: Vec<JobRequest>) -> Vec<Result<JobResult, JobError>> {
+        let handles: Vec<JobHandle> = requests.into_iter().map(|r| self.submit(r)).collect();
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+
+    /// Decompile one module synchronously through the service.
+    pub fn decompile_module(
+        &self,
+        name: impl Into<String>,
+        module: &Module,
+        options: &SplendidOptions,
+    ) -> Result<JobResult, JobError> {
+        self.submit(JobRequest {
+            name: name.into(),
+            input: JobInput::Module(module.clone()),
+            options: options.clone(),
+        })
+        .wait()
+    }
+
+    /// Snapshot the observability counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot(
+            self.cache.counters(),
+            self.pool.queue_depth(),
+            self.pool.in_flight(),
+            self.pool.workers(),
+        )
+    }
+}
+
+/// Job task: parse + prepare, then fan out per-function items.
+fn run_job(
+    request: JobRequest,
+    state: Arc<JobState>,
+    cache: Arc<FunctionCache>,
+    stats: Arc<ServeStats>,
+    remote: PoolRemote,
+) {
+    if state.expired() {
+        state.complete(Err(JobError::TimedOut));
+        return;
+    }
+    let JobRequest { input, options, .. } = request;
+    let prepared = match catch_unwind(AssertUnwindSafe(|| -> Result<PreparedModule, JobError> {
+        let module = match input {
+            JobInput::Module(m) => m,
+            JobInput::Text(text) => {
+                let start = Instant::now();
+                let parsed = parse_module(&text).map_err(|e| JobError::Parse(e.to_string()))?;
+                stats.record_parse(start.elapsed());
+                parsed
+            }
+        };
+        let mut timings = StageTimings::default();
+        let prepared =
+            prepare_module(&module, &options, &mut timings).map_err(JobError::Prepare)?;
+        stats.record_timings(&timings);
+        Ok(prepared)
+    })) {
+        Ok(Ok(p)) => Arc::new(p),
+        Ok(Err(e)) => return state.complete(Err(e)),
+        Err(payload) => return state.complete(Err(JobError::Panicked(panic_message(payload)))),
+    };
+
+    let fids: Vec<FuncId> = prepared.module.func_ids().collect();
+    if fids.is_empty() {
+        let mut timings = StageTimings::default();
+        let output = assemble_output(&prepared, Vec::new(), &mut timings);
+        stats.record_timings(&timings);
+        finish(&state, &prepared, output);
+        return;
+    }
+
+    *state.slots.lock().unwrap() = vec![None; fids.len()];
+    state.remaining.store(fids.len(), Ordering::SeqCst);
+    for (slot, fid) in fids.into_iter().enumerate() {
+        let item_state = Arc::clone(&state);
+        let prepared = Arc::clone(&prepared);
+        let cache = Arc::clone(&cache);
+        let stats = Arc::clone(&stats);
+        let options = options.clone();
+        let accepted = remote.spawn(move || {
+            run_function_item(&item_state, &prepared, fid, slot, &options, &cache, &stats)
+        });
+        if !accepted {
+            // Pool already shut down; the job can never finish normally.
+            state.complete(Err(JobError::TimedOut));
+            return;
+        }
+    }
+}
+
+/// Per-function work item: cache lookup, decompile on miss, and — as the
+/// last item standing — assembly of the whole translation unit.
+fn run_function_item(
+    state: &JobState,
+    prepared: &Arc<PreparedModule>,
+    fid: FuncId,
+    slot: usize,
+    options: &SplendidOptions,
+    cache: &FunctionCache,
+    stats: &ServeStats,
+) {
+    if !state.expired() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let key = function_cache_key(prepared, fid, options);
+            let out = match cache.get(key) {
+                Some(hit) => {
+                    state.cached.fetch_add(1, Ordering::Relaxed);
+                    stats.functions_from_cache.fetch_add(1, Ordering::Relaxed);
+                    (*hit).clone()
+                }
+                None => {
+                    let mut timings = StageTimings::default();
+                    let fresh = decompile_function(prepared, fid, options, &mut timings);
+                    stats.record_timings(&timings);
+                    stats.functions_decompiled.fetch_add(1, Ordering::Relaxed);
+                    cache.insert(key, Arc::new(fresh.clone()));
+                    fresh
+                }
+            };
+            state.slots.lock().unwrap()[slot] = Some(out);
+        }));
+        if let Err(payload) = outcome {
+            state.cancelled.store(true, Ordering::SeqCst);
+            state.complete(Err(JobError::Panicked(panic_message(payload))));
+        }
+    }
+
+    if state.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+        // Last item: assemble, unless the job already failed or expired.
+        if state.expired() {
+            state.complete(Err(JobError::TimedOut));
+            return;
+        }
+        let functions: Option<Vec<FunctionOutput>> =
+            state.slots.lock().unwrap().drain(..).collect();
+        match functions {
+            Some(functions) => {
+                let mut timings = StageTimings::default();
+                let output = assemble_output(prepared, functions, &mut timings);
+                stats.record_timings(&timings);
+                finish(state, prepared, output);
+            }
+            // A slot stayed empty without tripping cancellation: treat it
+            // like the panic it must have been.
+            None => state.complete(Err(JobError::Panicked("lost work item".into()))),
+        }
+    }
+}
+
+fn finish(state: &JobState, prepared: &PreparedModule, output: DecompileOutput) {
+    let functions = prepared.module.functions.len();
+    state.complete(Ok(JobResult {
+        name: state.name.clone(),
+        output,
+        functions,
+        cached_functions: state.cached.load(Ordering::Relaxed),
+        wall: state.started.elapsed(),
+    }));
+}

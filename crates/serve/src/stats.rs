@@ -1,0 +1,158 @@
+//! Service observability: lock-free counters updated by workers, plus a
+//! plain snapshot struct the CLI pretty-prints.
+
+use crate::cache::CacheCounters;
+use splendid_core::StageTimings;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared, atomically-updated service counters.
+///
+/// Workers record into this through an `Arc`; readers take a coherent
+/// enough view via [`ServeStats::snapshot`] (individual counters are
+/// relaxed — the stats surface is diagnostic, not transactional).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Jobs accepted by the scheduler.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that produced output.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that failed (parse/prepare errors or a panicking function).
+    pub jobs_failed: AtomicU64,
+    /// Jobs cancelled by their deadline.
+    pub jobs_timed_out: AtomicU64,
+    /// Per-function work items decompiled (cache misses that ran).
+    pub functions_decompiled: AtomicU64,
+    /// Per-function work items served from the cache.
+    pub functions_from_cache: AtomicU64,
+    /// Wall time in module parsing (batch text inputs), ns.
+    pub ns_parse: AtomicU64,
+    /// Wall time in parallel-region detransformation, ns.
+    pub ns_detransform: AtomicU64,
+    /// Wall time in variable-name restoration, ns.
+    pub ns_naming: AtomicU64,
+    /// Wall time in control-flow structuring, ns.
+    pub ns_structure: AtomicU64,
+    /// Wall time in C emission, ns.
+    pub ns_emit: AtomicU64,
+}
+
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl ServeStats {
+    /// Fold one pipeline timing record into the stage counters.
+    pub fn record_timings(&self, t: &StageTimings) {
+        self.ns_detransform
+            .fetch_add(ns(t.detransform), Ordering::Relaxed);
+        self.ns_naming.fetch_add(ns(t.naming), Ordering::Relaxed);
+        self.ns_structure
+            .fetch_add(ns(t.structure), Ordering::Relaxed);
+        self.ns_emit.fetch_add(ns(t.emit), Ordering::Relaxed);
+    }
+
+    /// Record time spent parsing textual IR.
+    pub fn record_parse(&self, d: Duration) {
+        self.ns_parse.fetch_add(ns(d), Ordering::Relaxed);
+    }
+
+    /// Materialize the counters, combining in cache and queue gauges.
+    pub fn snapshot(
+        &self,
+        cache: CacheCounters,
+        queue_depth: usize,
+        in_flight: usize,
+        workers: usize,
+    ) -> StatsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            workers,
+            queue_depth,
+            in_flight,
+            jobs_submitted: get(&self.jobs_submitted),
+            jobs_completed: get(&self.jobs_completed),
+            jobs_failed: get(&self.jobs_failed),
+            jobs_timed_out: get(&self.jobs_timed_out),
+            functions_decompiled: get(&self.functions_decompiled),
+            functions_from_cache: get(&self.functions_from_cache),
+            parse: Duration::from_nanos(get(&self.ns_parse)),
+            detransform: Duration::from_nanos(get(&self.ns_detransform)),
+            naming: Duration::from_nanos(get(&self.ns_naming)),
+            structure: Duration::from_nanos(get(&self.ns_structure)),
+            emit: Duration::from_nanos(get(&self.ns_emit)),
+            cache,
+        }
+    }
+}
+
+/// Point-in-time view of the service, pretty-printable via `Display`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Work items enqueued but not started.
+    pub queue_depth: usize,
+    /// Work items currently executing.
+    pub in_flight: usize,
+    /// Jobs accepted.
+    pub jobs_submitted: u64,
+    /// Jobs that produced output.
+    pub jobs_completed: u64,
+    /// Jobs that failed.
+    pub jobs_failed: u64,
+    /// Jobs cancelled by deadline.
+    pub jobs_timed_out: u64,
+    /// Functions decompiled from scratch.
+    pub functions_decompiled: u64,
+    /// Functions served from the cache.
+    pub functions_from_cache: u64,
+    /// Cumulative parse wall time (sum over workers).
+    pub parse: Duration,
+    /// Cumulative detransform wall time.
+    pub detransform: Duration,
+    /// Cumulative naming wall time.
+    pub naming: Duration,
+    /// Cumulative structuring wall time.
+    pub structure: Duration,
+    /// Cumulative emission wall time.
+    pub emit: Duration,
+    /// Cache counters.
+    pub cache: CacheCounters,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "serve stats")?;
+        writeln!(
+            f,
+            "  pool       {} workers, queue depth {}, in flight {}",
+            self.workers, self.queue_depth, self.in_flight
+        )?;
+        writeln!(
+            f,
+            "  jobs       {} submitted / {} completed / {} failed / {} timed out",
+            self.jobs_submitted, self.jobs_completed, self.jobs_failed, self.jobs_timed_out
+        )?;
+        writeln!(
+            f,
+            "  functions  {} decompiled, {} from cache",
+            self.functions_decompiled, self.functions_from_cache
+        )?;
+        writeln!(
+            f,
+            "  cache      {}/{} entries, {} hits / {} misses / {} evictions ({:.1}% hit rate)",
+            self.cache.entries,
+            self.cache.capacity,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            100.0 * self.cache.hit_rate()
+        )?;
+        writeln!(
+            f,
+            "  stages     parse {:.3?}, detransform {:.3?}, naming {:.3?}, structure {:.3?}, emit {:.3?}",
+            self.parse, self.detransform, self.naming, self.structure, self.emit
+        )
+    }
+}

@@ -1,0 +1,222 @@
+//! End-to-end tests for the batch-decompilation service: cache
+//! correctness against the single-threaded pipeline (golden outputs),
+//! panic isolation at the scheduler level, deadlines, and parse errors.
+
+use splendid_core::{decompile, SplendidOptions};
+use splendid_ir::{printer::module_str, Inst, InstId, InstKind, Module, Type, Value};
+use splendid_polybench::Harness;
+use splendid_serve::{JobError, JobRequest, Scheduler, ServeConfig};
+use std::time::Duration;
+
+/// The three-kernel golden workload (compiled to parallel IR once).
+fn golden_suite() -> Vec<(String, Module)> {
+    ["gemm", "jacobi-1d-imper", "atax"]
+        .iter()
+        .map(|name| {
+            let b = splendid_polybench::kernels::benchmark(name)
+                .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+            let (m, _) = Harness::polly(b.sequential).unwrap();
+            (name.to_string(), m)
+        })
+        .collect()
+}
+
+#[test]
+fn batch_matches_single_threaded_pipeline() {
+    let suite = golden_suite();
+    let golden: Vec<String> = suite
+        .iter()
+        .map(|(_, m)| decompile(m, &SplendidOptions::default()).unwrap().source)
+        .collect();
+
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    let requests: Vec<JobRequest> = suite
+        .iter()
+        .map(|(n, m)| JobRequest::from_module(n.clone(), m.clone()))
+        .collect();
+    let results = scheduler.decompile_batch(requests);
+    for ((name, _), (res, want)) in suite.iter().zip(results.iter().zip(&golden)) {
+        let got = &res
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .output
+            .source;
+        assert_eq!(
+            got, want,
+            "{name}: service output diverged from library output"
+        );
+    }
+}
+
+#[test]
+fn warm_cache_rerun_is_byte_identical() {
+    let suite = golden_suite();
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    let requests: Vec<JobRequest> = suite
+        .iter()
+        .map(|(n, m)| JobRequest::from_module(n.clone(), m.clone()))
+        .collect();
+
+    let cold = scheduler.decompile_batch(requests.clone());
+    let cold_sources: Vec<String> = cold
+        .iter()
+        .map(|r| r.as_ref().unwrap().output.source.clone())
+        .collect();
+    let cold_cached: usize = cold
+        .iter()
+        .map(|r| r.as_ref().unwrap().cached_functions)
+        .sum();
+    assert_eq!(cold_cached, 0, "first run must not hit the cache");
+
+    let warm = scheduler.decompile_batch(requests);
+    for ((name, _), (r, want)) in suite.iter().zip(warm.iter().zip(&cold_sources)) {
+        let r = r.as_ref().unwrap();
+        assert_eq!(
+            &r.output.source, want,
+            "{name}: warm output differs from cold"
+        );
+        assert_eq!(
+            r.cached_functions, r.functions,
+            "{name}: every function must come from the cache on the rerun"
+        );
+    }
+    let stats = scheduler.stats();
+    assert!(
+        stats.cache.hit_rate() > 0.4,
+        "half the lookups were reruns, hit rate should reflect it: {stats}"
+    );
+}
+
+#[test]
+fn identical_text_submissions_share_cache_entries() {
+    // The cache is content-addressed: two textual submissions with the
+    // same bytes (under different job names) must share entries, and the
+    // second must be served entirely from cache, byte-identically.
+    let (_, module) = golden_suite().remove(0);
+    let text = module_str(&module);
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let first = scheduler
+        .submit(JobRequest::from_text("first", text.clone()))
+        .wait()
+        .unwrap();
+    let second = scheduler
+        .submit(JobRequest::from_text("second", text))
+        .wait()
+        .unwrap();
+    assert_eq!(first.output.source, second.output.source);
+    assert_eq!(first.cached_functions, 0);
+    assert_eq!(
+        second.cached_functions, second.functions,
+        "identical bytes must be served entirely from cache"
+    );
+}
+
+/// A module that decompiles only as far as the printer before indexing an
+/// instruction arena out of bounds — a guaranteed work-item panic.
+fn poisoned_module() -> Module {
+    let mut m = Module::new("poisoned");
+    let mut f = splendid_ir::Function::new("boom", Vec::new(), Type::I64);
+    let entry = f.entry;
+    f.append_inst(
+        entry,
+        Inst::new(
+            InstKind::Ret {
+                val: Some(Value::Inst(InstId(4242))),
+            },
+            Type::I64,
+        ),
+    );
+    m.push_function(f);
+    m
+}
+
+#[test]
+fn panicking_job_fails_alone_without_poisoning_the_service() {
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let bad = scheduler
+        .submit(JobRequest::from_module("bad", poisoned_module()))
+        .wait();
+    assert!(
+        matches!(bad, Err(JobError::Panicked(_))),
+        "poisoned module must fail as a panic, got {bad:?}"
+    );
+
+    // The pool must keep serving healthy jobs afterwards.
+    let (name, module) = golden_suite().remove(0);
+    let good = scheduler
+        .decompile_module(&name, &module, &SplendidOptions::default())
+        .unwrap();
+    assert!(good.output.source.contains("#pragma omp parallel"));
+
+    let stats = scheduler.stats();
+    assert_eq!(stats.jobs_failed, 1, "{stats}");
+    assert_eq!(stats.jobs_completed, 1, "{stats}");
+}
+
+#[test]
+fn deadline_cancels_a_job() {
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 1,
+        job_timeout: Some(Duration::ZERO),
+        ..Default::default()
+    });
+    let (name, module) = golden_suite().remove(0);
+    let r = scheduler
+        .submit(JobRequest::from_module(name, module))
+        .wait();
+    assert_eq!(r.unwrap_err(), JobError::TimedOut);
+    assert_eq!(scheduler.stats().jobs_timed_out, 1);
+}
+
+#[test]
+fn parse_errors_are_reported_not_fatal() {
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let r = scheduler
+        .submit(JobRequest::from_text("garbage", "this is not IR"))
+        .wait();
+    assert!(matches!(r, Err(JobError::Parse(_))), "{r:?}");
+    assert_eq!(scheduler.stats().jobs_failed, 1);
+}
+
+#[test]
+fn options_partition_the_cache() {
+    use splendid_core::Variant;
+    let (name, module) = golden_suite().remove(0);
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let full = scheduler
+        .decompile_module(&name, &module, &SplendidOptions::default())
+        .unwrap();
+    let v1 = scheduler
+        .decompile_module(
+            &name,
+            &module,
+            &SplendidOptions {
+                variant: Variant::V1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        v1.cached_functions, 0,
+        "different options must not share entries"
+    );
+    assert_ne!(full.output.source, v1.output.source);
+}

@@ -36,7 +36,10 @@ impl CloneMap {
 /// from outside blocks keep their original predecessor — callers must fix
 /// them up according to how they stitch the clone into the CFG.
 pub fn clone_blocks(f: &mut Function, blocks: &[BlockId], suffix: &str) -> CloneMap {
-    let mut map = CloneMap { blocks: HashMap::new(), insts: HashMap::new() };
+    let mut map = CloneMap {
+        blocks: HashMap::new(),
+        insts: HashMap::new(),
+    };
     // Pass 1: create blocks and clone instructions verbatim.
     for &b in blocks {
         let name = format!("{}{}", f.block(b).name, suffix);
@@ -58,7 +61,9 @@ pub fn clone_blocks(f: &mut Function, blocks: &[BlockId], suffix: &str) -> Clone
         kind.for_each_operand_mut(|v| *v = map.value(*v));
         match &mut kind {
             InstKind::Br { target } => *target = map.block(*target),
-            InstKind::CondBr { then_bb, else_bb, .. } => {
+            InstKind::CondBr {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = map.block(*then_bb);
                 *else_bb = map.block(*else_bb);
             }
@@ -110,19 +115,21 @@ mod tests {
         // edge and keeps the outside (entry) incoming.
         let ch = map.blocks[&header];
         let phi = f.block(ch).insts[0];
-        let InstKind::Phi { incomings } = &f.inst(phi).kind else { panic!() };
+        let InstKind::Phi { incomings } = &f.inst(phi).kind else {
+            panic!()
+        };
         let blocks: Vec<BlockId> = incomings.iter().map(|(b, _)| *b).collect();
         assert!(blocks.contains(&entry));
         assert!(blocks.contains(&map.blocks[&body]));
         // The cloned body's increment uses the cloned phi.
         let cb = map.blocks[&body];
         let add = f.block(cb).insts[0];
-        let InstKind::Bin { lhs, .. } = f.inst(add).kind else { panic!() };
+        let InstKind::Bin { lhs, .. } = f.inst(add).kind else {
+            panic!()
+        };
         assert_eq!(lhs, Value::Inst(phi));
         // The cloned branch exits to the ORIGINAL exit block (outside set).
-        let InstKind::CondBr { else_bb, .. } =
-            f.inst(f.terminator(ch).unwrap()).kind
-        else {
+        let InstKind::CondBr { else_bb, .. } = f.inst(f.terminator(ch).unwrap()).kind else {
             panic!()
         };
         assert_eq!(else_bb, exit);

@@ -47,7 +47,11 @@ pub fn fold_inst(f: &Function, id: InstId) -> Option<Value> {
                 FPred::Oge => a >= b,
             }))
         }
-        InstKind::Select { cond, then_val, else_val } => match cond.as_int() {
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => match cond.as_int() {
             Some(1) => Some(*then_val),
             Some(0) => Some(*else_val),
             _ => (then_val == else_val).then_some(*then_val),
@@ -159,15 +163,11 @@ fn fold_bin(op: BinOp, lhs: Value, rhs: Value, ty: Type) -> Option<Value> {
                 return Some(zero);
             }
         }
-        BinOp::SDiv => {
-            if rhs == one {
-                return Some(lhs);
-            }
+        BinOp::SDiv if rhs == one => {
+            return Some(lhs);
         }
-        BinOp::And => {
-            if lhs == rhs {
-                return Some(lhs);
-            }
+        BinOp::And if lhs == rhs => {
+            return Some(lhs);
         }
         BinOp::Or => {
             if lhs == rhs {
@@ -180,15 +180,11 @@ fn fold_bin(op: BinOp, lhs: Value, rhs: Value, ty: Type) -> Option<Value> {
                 return Some(rhs);
             }
         }
-        BinOp::Xor => {
-            if lhs == rhs {
-                return Some(zero);
-            }
+        BinOp::Xor if lhs == rhs => {
+            return Some(zero);
         }
-        BinOp::Shl | BinOp::AShr => {
-            if rhs == zero {
-                return Some(lhs);
-            }
+        BinOp::Shl | BinOp::AShr if rhs == zero => {
+            return Some(lhs);
         }
         _ => {}
     }
@@ -199,7 +195,10 @@ fn fold_cast(op: CastOp, val: Value, to: Type) -> Option<Value> {
     match op {
         CastOp::Sext | CastOp::Trunc => {
             let v = val.as_int()?;
-            Some(Value::ConstInt { ty: to, val: truncate_to(v, to) })
+            Some(Value::ConstInt {
+                ty: to,
+                val: truncate_to(v, to),
+            })
         }
         CastOp::Zext => {
             let v = val.as_int()?;
@@ -212,7 +211,10 @@ fn fold_cast(op: CastOp, val: Value, to: Type) -> Option<Value> {
                 },
                 _ => v,
             };
-            Some(Value::ConstInt { ty: to, val: masked })
+            Some(Value::ConstInt {
+                ty: to,
+                val: masked,
+            })
         }
         CastOp::SiToFp => {
             let v = val.as_int()?;
@@ -220,7 +222,10 @@ fn fold_cast(op: CastOp, val: Value, to: Type) -> Option<Value> {
         }
         CastOp::FpToSi => {
             let v = val.as_f64()?;
-            Some(Value::ConstInt { ty: to, val: truncate_to(v as i64, to) })
+            Some(Value::ConstInt {
+                ty: to,
+                val: truncate_to(v as i64, to),
+            })
         }
         CastOp::Bitcast => None,
     }

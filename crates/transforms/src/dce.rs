@@ -64,11 +64,13 @@ pub fn scrub_dangling_dbg(f: &mut Function) -> usize {
         if placed[idx].is_none() {
             continue;
         }
-        if let InstKind::DbgValue { val, .. } = inst.kind {
-            if let Value::Inst(d) = val {
-                if matches!(f.inst(d).kind, InstKind::Nop) {
-                    dangling.push(InstId(idx as u32));
-                }
+        if let InstKind::DbgValue {
+            val: Value::Inst(d),
+            ..
+        } = inst.kind
+        {
+            if matches!(f.inst(d).kind, InstKind::Nop) {
+                dangling.push(InstId(idx as u32));
             }
         }
     }
@@ -103,7 +105,12 @@ mod tests {
         let mut b = FuncBuilder::new("f", &[("p", Type::Ptr)], Type::Void);
         b.store(Value::i64(1), b.arg(0));
         let _unused_load = b.load(Type::I64, b.arg(0), "");
-        b.call(splendid_ir::Callee::External("foo".into()), vec![], Type::I64, "");
+        b.call(
+            splendid_ir::Callee::External("foo".into()),
+            vec![],
+            Type::I64,
+            "",
+        );
         b.ret(None);
         let mut f = b.finish();
         // The load is pure and unused: removed. Store and call stay.

@@ -16,7 +16,10 @@ pub fn distribute_outermost(f: &mut Function) -> Result<usize, String> {
     let li = LoopInfo::compute(f, &dt);
     let tops = li.top_level();
     let [lid] = tops.as_slice() else {
-        return Err(format!("expected exactly one top-level loop, found {}", tops.len()));
+        return Err(format!(
+            "expected exactly one top-level loop, found {}",
+            tops.len()
+        ));
     };
     distribute_loop(f, &li, *lid)
 }
@@ -107,10 +110,14 @@ pub fn distribute_loop(f: &mut Function, li: &LoopInfo, lid: LoopId) -> Result<u
         let map = clone_blocks(f, &loop_blocks, &format!(".d{gi}"));
         // Retarget the previous region's exit edge to this clone's header.
         let new_header = map.block(l.header);
-        let t = f.terminator(chain_tail_exiting).expect("exiting terminator");
+        let t = f
+            .terminator(chain_tail_exiting)
+            .expect("exiting terminator");
         let mut kind = f.inst(t).kind.clone();
         match &mut kind {
-            InstKind::CondBr { then_bb, else_bb, .. } => {
+            InstKind::CondBr {
+                then_bb, else_bb, ..
+            } => {
                 if *then_bb == *exit {
                     *then_bb = new_header;
                 }
@@ -219,7 +226,12 @@ mod tests {
         b.switch_to(body);
         let at = MemType::array1(Type::F64, 100);
         let x = b.cast(splendid_ir::CastOp::SiToFp, iv, Type::F64, "");
-        let pa = b.gep(at.clone(), Value::Global(GlobalId(0)), vec![Value::i64(0), iv], "");
+        let pa = b.gep(
+            at.clone(),
+            Value::Global(GlobalId(0)),
+            vec![Value::i64(0), iv],
+            "",
+        );
         b.store(x, pa);
         let two_i = b.bin(BinOp::Mul, Type::I64, iv, Value::i64(2), "");
         let y = b.cast(splendid_ir::CastOp::SiToFp, two_i, Type::F64, "");

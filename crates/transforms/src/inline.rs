@@ -1,8 +1,6 @@
 //! Function inlining.
 
-use splendid_ir::{
-    BlockId, Callee, FuncId, Function, Inst, InstId, InstKind, Module, Type, Value,
-};
+use splendid_ir::{BlockId, Callee, FuncId, Function, Inst, InstId, InstKind, Module, Type, Value};
 use std::collections::HashMap;
 
 /// Inline the direct call `call_inst` (which must live in `caller`).
@@ -13,10 +11,14 @@ pub fn inline_call(module: &mut Module, caller: FuncId, call_inst: InstId) -> Re
     let (callee_id, args) = {
         let f = module.func(caller);
         match &f.inst(call_inst).kind {
-            InstKind::Call { callee: Callee::Func(id), args } => (*id, args.clone()),
-            InstKind::Call { callee: Callee::External(n), .. } => {
-                return Err(format!("cannot inline external call to {n}"))
-            }
+            InstKind::Call {
+                callee: Callee::Func(id),
+                args,
+            } => (*id, args.clone()),
+            InstKind::Call {
+                callee: Callee::External(n),
+                ..
+            } => return Err(format!("cannot inline external call to {n}")),
             _ => return Err("not a call instruction".into()),
         }
     };
@@ -94,7 +96,9 @@ pub fn inline_call(module: &mut Module, caller: FuncId, call_inst: InstId) -> Re
             });
             match &mut inst.kind {
                 InstKind::Br { target } => *target = block_map[target],
-                InstKind::CondBr { then_bb, else_bb, .. } => {
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => {
                     *then_bb = block_map[then_bb];
                     *else_bb = block_map[else_bb];
                 }
@@ -118,7 +122,12 @@ pub fn inline_call(module: &mut Module, caller: FuncId, call_inst: InstId) -> Re
 
     // Branch from the call site into the inlined entry.
     let entry_clone = block_map[&callee.entry];
-    let br = f.add_inst(Inst::new(InstKind::Br { target: entry_clone }, Type::Void));
+    let br = f.add_inst(Inst::new(
+        InstKind::Br {
+            target: entry_clone,
+        },
+        Type::Void,
+    ));
     f.block_mut(call_bb).insts.push(br);
 
     // Wire up the call's result.
@@ -195,7 +204,11 @@ pub fn strip_dead_functions(module: &mut Module, roots: &[&str]) -> usize {
             }
             let mut referenced = Vec::new();
             for inst in &module.functions[i].insts {
-                if let InstKind::Call { callee: Callee::Func(c), .. } = &inst.kind {
+                if let InstKind::Call {
+                    callee: Callee::Func(c),
+                    ..
+                } = &inst.kind
+                {
                     referenced.push(c.index());
                 }
                 inst.kind.for_each_operand(|v| {
@@ -227,7 +240,11 @@ pub fn strip_dead_functions(module: &mut Module, roots: &[&str]) -> usize {
     }
     for f in &mut kept {
         for inst in &mut f.insts {
-            if let InstKind::Call { callee: Callee::Func(c), .. } = &mut inst.kind {
+            if let InstKind::Call {
+                callee: Callee::Func(c),
+                ..
+            } = &mut inst.kind
+            {
                 *c = remap[c.index()].expect("callee kept");
             }
             inst.kind.for_each_operand_mut(|v| {
@@ -296,8 +313,12 @@ mod tests {
             .filter(|(i, _)| owners[*i].is_some())
             .map(|(_, inst)| &inst.kind)
             .collect();
-        assert!(kinds.iter().any(|k| matches!(k, InstKind::Bin { op: BinOp::Mul, .. })));
-        assert!(kinds.iter().any(|k| matches!(k, InstKind::Bin { op: BinOp::Add, .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, InstKind::Bin { op: BinOp::Mul, .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, InstKind::Bin { op: BinOp::Add, .. })));
     }
 
     #[test]
@@ -333,7 +354,12 @@ mod tests {
     fn rejects_external_and_recursive() {
         let mut m = Module::new("m");
         let mut fb = FuncBuilder::new("f", &[], Type::F64);
-        let e = fb.call(Callee::External("exp".into()), vec![Value::f64(1.0)], Type::F64, "");
+        let e = fb.call(
+            Callee::External("exp".into()),
+            vec![Value::f64(1.0)],
+            Type::F64,
+            "",
+        );
         fb.ret(Some(e));
         let caller = m.push_function(fb.finish());
         assert!(inline_call(&mut m, caller, InstId(0)).is_err());

@@ -29,7 +29,9 @@ pub fn hoist_invariants(f: &mut Function) -> usize {
 
 fn hoist_one_loop(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -> usize {
     let l = li.get(lid).clone();
-    let Some(preheader) = l.preheader(f) else { return 0 };
+    let Some(preheader) = l.preheader(f) else {
+        return 0;
+    };
     // Only hoist into a preheader that unconditionally enters the loop;
     // otherwise hoisted code would run when the loop does not.
     if f.successors(preheader) != vec![l.header] {
@@ -44,7 +46,9 @@ fn hoist_one_loop(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopI
                     return false;
                 }
                 let owners = f.inst_blocks();
-                owners[i.index()].map(|b| loop_blocks.contains(&b)).unwrap_or(false)
+                owners[i.index()]
+                    .map(|b| loop_blocks.contains(&b))
+                    .unwrap_or(false)
             }
             _ => false,
         }
@@ -81,7 +85,11 @@ fn hoist_one_loop(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopI
                         !in_loop(*lhs, &invariant) && !in_loop(*rhs, &invariant)
                     }
                     InstKind::Cast { val, .. } => !in_loop(*val, &invariant),
-                    InstKind::Select { cond, then_val, else_val } => {
+                    InstKind::Select {
+                        cond,
+                        then_val,
+                        else_val,
+                    } => {
                         !in_loop(*cond, &invariant)
                             && !in_loop(*then_val, &invariant)
                             && !in_loop(*else_val, &invariant)
@@ -108,9 +116,11 @@ fn hoist_one_loop(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopI
                 // nonzero constant.
                 let hoistable = hoistable
                     && match &inst.kind {
-                        InstKind::Bin { op, rhs, .. }
-                            if matches!(op, splendid_ir::BinOp::SDiv | splendid_ir::BinOp::SRem) =>
-                        {
+                        InstKind::Bin {
+                            op: splendid_ir::BinOp::SDiv | splendid_ir::BinOp::SRem,
+                            rhs,
+                            ..
+                        } => {
                             matches!(rhs.as_int(), Some(c) if c != 0)
                         }
                         _ => true,
@@ -159,10 +169,7 @@ mod tests {
     use splendid_ir::{BinOp, GlobalId, IPred, MemType, Type};
 
     /// Build for (i=0;i<n;i++) { body } returning (function, body block).
-    fn with_loop(
-        params: &[(&str, Type)],
-        body: impl FnOnce(&mut FuncBuilder, Value),
-    ) -> Function {
+    fn with_loop(params: &[(&str, Type)], body: impl FnOnce(&mut FuncBuilder, Value)) -> Function {
         let mut b = FuncBuilder::new("f", params, Type::Void);
         let header = b.new_block("header");
         let bodyb = b.new_block("body");
@@ -202,10 +209,9 @@ mod tests {
         splendid_ir::verify::verify_function(&f).unwrap();
         // The multiply now sits in the preheader (entry block).
         let entry_ops: Vec<_> = f.block(f.entry).insts.clone();
-        assert!(entry_ops.iter().any(|&i| matches!(
-            f.inst(i).kind,
-            InstKind::Bin { op: BinOp::Mul, .. }
-        )));
+        assert!(entry_ops
+            .iter()
+            .any(|&i| matches!(f.inst(i).kind, InstKind::Bin { op: BinOp::Mul, .. })));
     }
 
     #[test]

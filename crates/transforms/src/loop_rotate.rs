@@ -40,14 +40,22 @@ pub fn rotate_loops(f: &mut Function) -> usize {
 /// outside is none (no loop-closed values), and the header contains only
 /// the IV phi, the exit comparison, and the terminator.
 fn rotate_one(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -> bool {
-    let Some(cl) = recognize_counted_loop(f, li, lid) else { return false };
+    let Some(cl) = recognize_counted_loop(f, li, lid) else {
+        return false;
+    };
     if cl.bottom_tested {
         return false; // already rotated
     }
     let l = li.get(lid).clone();
-    let Some(preheader) = l.preheader(f) else { return false };
-    let Some(latch) = l.single_latch() else { return false };
-    let Some(exit) = l.single_exit() else { return false };
+    let Some(preheader) = l.preheader(f) else {
+        return false;
+    };
+    let Some(latch) = l.single_latch() else {
+        return false;
+    };
+    let Some(exit) = l.single_exit() else {
+        return false;
+    };
     if l.header == latch {
         return false; // degenerate
     }
@@ -65,7 +73,10 @@ fn rotate_one(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -
             let mut escapes = false;
             f.inst(i).kind.for_each_operand(|v| {
                 if let Value::Inst(d) = v {
-                    if owners[d.index()].map(|b| loop_blocks.contains(&b)).unwrap_or(false) {
+                    if owners[d.index()]
+                        .map(|b| loop_blocks.contains(&b))
+                        .unwrap_or(false)
+                    {
                         escapes = true;
                     }
                 }
@@ -101,7 +112,7 @@ fn rotate_one(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -
     let body_entry = f
         .successors(l.header)
         .into_iter()
-        .find(|s| loop_blocks.contains(s) )
+        .find(|s| loop_blocks.contains(s))
         .expect("loop has body");
 
     // 0. The guard must live in a block that unconditionally enters the
@@ -124,7 +135,11 @@ fn rotate_one(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -
         };
         let sub = |v: Value| if v == Value::Inst(cl.iv) { cl.init } else { v };
         let mut inst = Inst::new(
-            InstKind::ICmp { pred, lhs: sub(lhs), rhs: sub(rhs) },
+            InstKind::ICmp {
+                pred,
+                lhs: sub(lhs),
+                rhs: sub(rhs),
+            },
             Type::I1,
         );
         inst.name = Some("guard".into());
@@ -160,9 +175,19 @@ fn rotate_one(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -
     let InstKind::ICmp { pred, lhs, rhs } = f.inst(cl.cmp).kind else {
         return false;
     };
-    let sub = |v: Value| if v == Value::Inst(cl.iv) { Value::Inst(cl.next) } else { v };
+    let sub = |v: Value| {
+        if v == Value::Inst(cl.iv) {
+            Value::Inst(cl.next)
+        } else {
+            v
+        }
+    };
     let mut rot_cmp_inst = Inst::new(
-        InstKind::ICmp { pred, lhs: sub(lhs), rhs: sub(rhs) },
+        InstKind::ICmp {
+            pred,
+            lhs: sub(lhs),
+            rhs: sub(rhs),
+        },
         Type::I1,
     );
     rot_cmp_inst.name = f.inst(cl.cmp).name.clone();
@@ -276,7 +301,10 @@ mod tests {
         let n = rotate_loops(&mut f);
         assert_eq!(n, 1);
         splendid_ir::verify::verify_function(&f).unwrap();
-        assert!(has_rotated_loop(&f), "loop should now be bottom-tested:\n{f:?}");
+        assert!(
+            has_rotated_loop(&f),
+            "loop should now be bottom-tested:\n{f:?}"
+        );
     }
 
     #[test]
@@ -301,7 +329,9 @@ mod tests {
         rotate_loops(&mut f);
         // The entry block (preheader) now ends in a conditional guard.
         let g = guard_of_block(&f, f.entry).expect("guard");
-        let InstKind::ICmp { pred, lhs, rhs } = f.inst(g).kind else { panic!() };
+        let InstKind::ICmp { pred, lhs, rhs } = f.inst(g).kind else {
+            panic!()
+        };
         assert_eq!(pred, IPred::Slt);
         assert_eq!(lhs, Value::i64(0)); // iv replaced by init
         assert_eq!(rhs, Value::Arg(0));

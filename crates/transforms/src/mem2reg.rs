@@ -9,9 +9,7 @@
 //! relate SSA values back to source variables.
 
 use splendid_analysis::domtree::DomTree;
-use splendid_ir::{
-    BlockId, Function, Inst, InstId, InstKind, MemType, Type, Value, VarId,
-};
+use splendid_ir::{BlockId, Function, Inst, InstId, InstKind, MemType, Type, Value, VarId};
 use std::collections::{HashMap, HashSet};
 
 /// Statistics returned by [`promote_allocas`].
@@ -43,8 +41,11 @@ pub fn promote_allocas(f: &mut Function) -> Mem2RegStats {
     let dt = DomTree::compute(f);
 
     // Map alloca inst -> dense index.
-    let index_of: HashMap<InstId, usize> =
-        candidates.iter().enumerate().map(|(i, a)| (a.id, i)).collect();
+    let index_of: HashMap<InstId, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.id, i))
+        .collect();
 
     // Blocks containing stores, per alloca.
     let mut def_blocks: Vec<HashSet<BlockId>> = vec![HashSet::new(); candidates.len()];
@@ -70,7 +71,12 @@ pub fn promote_allocas(f: &mut Function) -> Mem2RegStats {
         while let Some(b) = work.pop() {
             for &frontier in df.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
                 if has_phi.insert(frontier) {
-                    let mut phi = Inst::new(InstKind::Phi { incomings: Vec::new() }, info.ty);
+                    let mut phi = Inst::new(
+                        InstKind::Phi {
+                            incomings: Vec::new(),
+                        },
+                        info.ty,
+                    );
                     phi.name = info.name.clone();
                     let id = f.add_inst(phi);
                     f.block_mut(frontier).insts.insert(0, id);
@@ -118,7 +124,10 @@ fn find_promotable(f: &Function) -> Vec<AllocaInfo> {
         if placed[idx].is_none() {
             continue;
         }
-        if let InstKind::Alloca { mem: MemType::Scalar(ty) } = &inst.kind {
+        if let InstKind::Alloca {
+            mem: MemType::Scalar(ty),
+        } = &inst.kind
+        {
             infos.push(AllocaInfo {
                 id,
                 ty: *ty,
@@ -250,16 +259,15 @@ fn rename_block(
                     }
                 }
             }
-            InstKind::DbgValue { val, .. } => {
+            InstKind::DbgValue { val, .. }
                 // The dbg.declare on the alloca pointer itself is dropped.
                 if val
                     .as_inst()
                     .map(|v| index_of.contains_key(&v))
                     .unwrap_or(false)
-                {
+                => {
                     to_delete.push(i);
                 }
-            }
             _ => {}
         }
     }
@@ -331,7 +339,10 @@ mod tests {
         splendid_ir::verify::verify_function(&f).unwrap();
         // No loads or stores remain.
         for inst in &f.insts {
-            assert!(!matches!(inst.kind, InstKind::Load { .. } | InstKind::Store { .. }));
+            assert!(!matches!(
+                inst.kind,
+                InstKind::Load { .. } | InstKind::Store { .. }
+            ));
         }
         // A phi with incomings 1 and 2 feeds the return.
         let phi = f
@@ -420,7 +431,12 @@ mod tests {
     fn array_alloca_not_promoted() {
         let mut b = FuncBuilder::new("f", &[], Type::Void);
         let a = b.alloca(MemType::array1(Type::F64, 4), "buf");
-        let p = b.gep(MemType::array1(Type::F64, 4), a, vec![Value::i64(0), Value::i64(0)], "");
+        let p = b.gep(
+            MemType::array1(Type::F64, 4),
+            a,
+            vec![Value::i64(0), Value::i64(0)],
+            "",
+        );
         b.store(Value::f64(1.0), p);
         b.ret(None);
         let mut f = b.finish();

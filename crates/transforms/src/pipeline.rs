@@ -16,7 +16,10 @@ pub struct O2Options {
 
 impl Default for O2Options {
     fn default() -> O2Options {
-        O2Options { rotate_loops: true, licm: true }
+        O2Options {
+            rotate_loops: true,
+            licm: true,
+        }
     }
 }
 
@@ -151,7 +154,10 @@ mod tests {
     fn pipeline_without_rotation() {
         let mut m = splendid_ir::Module::new("t");
         let fid = frontend_style(&mut m);
-        let opts = O2Options { rotate_loops: false, ..O2Options::default() };
+        let opts = O2Options {
+            rotate_loops: false,
+            ..O2Options::default()
+        };
         let stats = optimize_function(&mut m, fid, &opts);
         assert_eq!(stats.rotated, 0);
         assert!(!crate::loop_rotate::has_rotated_loop(m.func(fid)));

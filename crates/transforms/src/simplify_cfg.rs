@@ -25,7 +25,12 @@ fn fold_constant_branches(f: &mut Function) -> bool {
     let mut changed = false;
     for bb in f.block_ids().collect::<Vec<_>>() {
         let Some(t) = f.terminator(bb) else { continue };
-        let InstKind::CondBr { cond, then_bb, else_bb } = f.inst(t).kind else {
+        let InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = f.inst(t).kind
+        else {
             continue;
         };
         let (taken, dead) = match cond.as_int() {
@@ -100,7 +105,9 @@ fn remove_unreachable_blocks(f: &mut Function) -> bool {
     for inst in &mut f.insts {
         match &mut inst.kind {
             InstKind::Br { target } => *target = map(*target),
-            InstKind::CondBr { then_bb, else_bb, .. } => {
+            InstKind::CondBr {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = map(*then_bb);
                 *else_bb = map(*else_bb);
             }
@@ -125,7 +132,9 @@ fn merge_straight_line(f: &mut Function) -> bool {
         let mut merged = false;
         for bb in f.block_ids().collect::<Vec<_>>() {
             let Some(t) = f.terminator(bb) else { continue };
-            let InstKind::Br { target } = f.inst(t).kind else { continue };
+            let InstKind::Br { target } = f.inst(t).kind else {
+                continue;
+            };
             if target == bb || target == f.entry {
                 continue;
             }
@@ -193,7 +202,11 @@ mod tests {
         b.switch_to(else_b);
         b.br(join);
         b.switch_to(join);
-        let p = b.phi(Type::I64, vec![(then_b, Value::i64(1)), (else_b, Value::i64(2))], "");
+        let p = b.phi(
+            Type::I64,
+            vec![(then_b, Value::i64(1)), (else_b, Value::i64(2))],
+            "",
+        );
         b.ret(Some(p));
         let mut f = b.finish();
         assert!(simplify_cfg(&mut f));

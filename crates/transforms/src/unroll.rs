@@ -64,7 +64,14 @@ fn unroll_loop(f: &mut Function, li: &LoopInfo, lid: LoopId, factor: u32) -> Res
         let op = if use_or { BinOp::Or } else { BinOp::Add };
         let iv_ty = f.inst(cl.iv).ty;
         let mut off_inst = Inst::new(
-            InstKind::Bin { op, lhs: Value::Inst(cl.iv), rhs: Value::ConstInt { ty: iv_ty, val: off } },
+            InstKind::Bin {
+                op,
+                lhs: Value::Inst(cl.iv),
+                rhs: Value::ConstInt {
+                    ty: iv_ty,
+                    val: off,
+                },
+            },
             iv_ty,
         );
         off_inst.name = Some(format!("i.u{m}"));
@@ -102,11 +109,31 @@ fn unroll_loop(f: &mut Function, li: &LoopInfo, lid: LoopId, factor: u32) -> Res
     // Scale the step.
     let iv_ty = f.inst(cl.iv).ty;
     let next = f.inst_mut(cl.next);
-    if let InstKind::Bin { op: BinOp::Add, rhs, lhs } = &mut next.kind {
-        let step_slot = if rhs.as_int() == Some(cl.step) { rhs } else { lhs };
-        *step_slot = Value::ConstInt { ty: iv_ty, val: cl.step * factor as i64 };
-    } else if let InstKind::Bin { op: BinOp::Sub, rhs, .. } = &mut next.kind {
-        *rhs = Value::ConstInt { ty: iv_ty, val: -cl.step * factor as i64 };
+    if let InstKind::Bin {
+        op: BinOp::Add,
+        rhs,
+        lhs,
+    } = &mut next.kind
+    {
+        let step_slot = if rhs.as_int() == Some(cl.step) {
+            rhs
+        } else {
+            lhs
+        };
+        *step_slot = Value::ConstInt {
+            ty: iv_ty,
+            val: cl.step * factor as i64,
+        };
+    } else if let InstKind::Bin {
+        op: BinOp::Sub,
+        rhs,
+        ..
+    } = &mut next.kind
+    {
+        *rhs = Value::ConstInt {
+            ty: iv_ty,
+            val: -cl.step * factor as i64,
+        };
     } else {
         return Err("unexpected IV increment shape".into());
     }
@@ -134,9 +161,19 @@ mod tests {
         b.cond_br(c, body, exit);
         b.switch_to(body);
         let at = MemType::array1(Type::F64, 1000);
-        let pb = b.gep(at.clone(), Value::Global(GlobalId(1)), vec![Value::i64(0), iv], "");
+        let pb = b.gep(
+            at.clone(),
+            Value::Global(GlobalId(1)),
+            vec![Value::i64(0), iv],
+            "",
+        );
         let x = b.load(Type::F64, pb, "");
-        let pc = b.gep(at.clone(), Value::Global(GlobalId(2)), vec![Value::i64(0), iv], "");
+        let pc = b.gep(
+            at.clone(),
+            Value::Global(GlobalId(2)),
+            vec![Value::i64(0), iv],
+            "",
+        );
         let y = b.load(Type::F64, pc, "");
         let s = b.bin(BinOp::FAdd, Type::F64, x, y, "");
         let pa = b.gep(at, Value::Global(GlobalId(0)), vec![Value::i64(0), iv], "");
@@ -214,7 +251,10 @@ mod tests {
             .iter()
             .filter(|i| {
                 matches!(i.kind, InstKind::Bin { op: BinOp::Add, .. })
-                    && i.name.as_deref().map(|n| n.starts_with("i.u")).unwrap_or(false)
+                    && i.name
+                        .as_deref()
+                        .map(|n| n.starts_with("i.u"))
+                        .unwrap_or(false)
             })
             .count();
         assert_eq!(adds_with_iv_offsets, 3);

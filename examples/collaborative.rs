@@ -12,7 +12,10 @@ use splendid::interp::CompilerProfile;
 use splendid::polybench::{benchmarks, Harness};
 
 fn main() {
-    let b = benchmarks().into_iter().find(|b| b.name == "atax").expect("atax");
+    let b = benchmarks()
+        .into_iter()
+        .find(|b| b.name == "atax")
+        .expect("atax");
 
     let seq = Harness::run_source(
         b.sequential,
@@ -58,8 +61,14 @@ fn main() {
     println!("==== SPLENDID output the programmer starts from ====\n");
     println!("{}", art.splendid.source);
     println!("atax speedups over sequential (GCC profile, 28 cores):");
-    println!("  manual only       {:5.2}x", seq.1 as f64 / manual.1 as f64);
-    println!("  compiler only     {:5.2}x", seq.1 as f64 / compiler.1 as f64);
+    println!(
+        "  manual only       {:5.2}x",
+        seq.1 as f64 / manual.1 as f64
+    );
+    println!(
+        "  compiler only     {:5.2}x",
+        seq.1 as f64 / compiler.1 as f64
+    );
     println!(
         "  compiler+manual   {:5.2}x   ({} hand-edited lines)",
         seq.1 as f64 / collab.1 as f64,

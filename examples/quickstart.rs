@@ -32,7 +32,10 @@ void kernel() {
 fn main() {
     // 1. C -> IR -> -O2 -> Polly-sim (parallel IR with __kmpc_* calls).
     let (parallel_ir, report) = Harness::polly(SOURCE).expect("pipeline");
-    println!("parallelizer: {} loop(s) parallelized", report.parallelized_count());
+    println!(
+        "parallelizer: {} loop(s) parallelized",
+        report.parallelized_count()
+    );
 
     // 2. SPLENDID: parallel IR -> portable, natural C/OpenMP.
     let out = decompile(&parallel_ir, &SplendidOptions::default()).expect("decompile");

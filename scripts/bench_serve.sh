@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Benchmark the splendid-serve batch-decompilation service on the 16
+# PolyBench kernels and record throughput into BENCH_serve.json at the
+# repo root: serial (1-worker) baseline, N-worker cold run, and the
+# warm-cache rerun with its hit rate.
+#
+# Usage: scripts/bench_serve.sh [--jobs N] [--rounds R]
+#   --jobs defaults to the machine's core count (0 lets the service pick).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p splendid-serve --bin splendid
+
+./target/release/splendid bench-serve --json "$@" > BENCH_serve.json
+
+echo "wrote $(pwd)/BENCH_serve.json:"
+cat BENCH_serve.json

@@ -18,4 +18,5 @@ pub use splendid_ir as ir;
 pub use splendid_metrics as metrics;
 pub use splendid_parallel as parallel;
 pub use splendid_polybench as polybench;
+pub use splendid_serve as serve;
 pub use splendid_transforms as transforms;

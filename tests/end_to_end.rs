@@ -21,8 +21,12 @@ fn full_roundtrip_all_benchmarks_both_runtimes() {
         )
         .unwrap();
         assert!(seq.0.is_finite(), "{}: non-finite checksum", b.name);
-        let par = Harness::run(&art.parallel_module, MachineConfig::default(), b.check_globals)
-            .unwrap();
+        let par = Harness::run(
+            &art.parallel_module,
+            MachineConfig::default(),
+            b.check_globals,
+        )
+        .unwrap();
         assert_eq!(seq.0, par.0, "{}: parallelization changed results", b.name);
         for rt in [OmpRuntime::LibOmp, OmpRuntime::LibGomp] {
             let re = Harness::recompile_and_run(
@@ -43,10 +47,22 @@ fn splendid_output_is_portable_and_structured() {
     for b in benchmarks() {
         let art = Harness::pipeline(&b).unwrap();
         let s = &art.splendid.source;
-        assert!(!s.contains("__kmpc"), "{}: runtime call leaked:\n{s}", b.name);
-        assert!(!s.contains("GOMP_"), "{}: runtime call leaked:\n{s}", b.name);
+        assert!(
+            !s.contains("__kmpc"),
+            "{}: runtime call leaked:\n{s}",
+            b.name
+        );
+        assert!(
+            !s.contains("GOMP_"),
+            "{}: runtime call leaked:\n{s}",
+            b.name
+        );
         assert!(!s.contains("goto"), "{}: unstructured output:\n{s}", b.name);
-        assert!(!s.contains("do {"), "{}: rotated loop not de-rotated:\n{s}", b.name);
+        assert!(
+            !s.contains("do {"),
+            "{}: rotated loop not de-rotated:\n{s}",
+            b.name
+        );
         if art.report.parallelized_count() > 0 {
             assert!(s.contains("#pragma omp parallel"), "{}:\n{s}", b.name);
             assert!(s.contains("schedule(static)"), "{}:\n{s}", b.name);
@@ -63,12 +79,18 @@ fn bleu_ordering_matches_paper() {
         let art = Harness::pipeline(&b).unwrap();
         let v1 = decompile(
             &art.parallel_module,
-            &SplendidOptions { variant: Variant::V1, ..Default::default() },
+            &SplendidOptions {
+                variant: Variant::V1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let portable = decompile(
             &art.parallel_module,
-            &SplendidOptions { variant: Variant::Portable, ..Default::default() },
+            &SplendidOptions {
+                variant: Variant::Portable,
+                ..Default::default()
+            },
         )
         .unwrap();
         let s_full = bleu4(&art.splendid.source, b.reference);
@@ -102,7 +124,10 @@ fn loc_shape_matches_table4() {
         (0.8..=1.3).contains(&splendid_ratio),
         "SPLENDID LoC ratio {splendid_ratio:.2} out of range"
     );
-    assert!(rellic_ratio > 2.0, "Rellic-like ratio {rellic_ratio:.2} too small");
+    assert!(
+        rellic_ratio > 2.0,
+        "Rellic-like ratio {rellic_ratio:.2} too small"
+    );
 }
 
 /// Decompilation is a fixpoint: recompiling SPLENDID output and
@@ -181,7 +206,10 @@ fn fig6_shape_on_gemm() {
     assert!(polly_speedup > 10.0, "polly {polly_speedup:.2}");
     // "SPLENDID-generated code produces identical speedup as Polly."
     let rel = (polly_speedup - splendid_speedup).abs() / polly_speedup;
-    assert!(rel < 0.05, "polly {polly_speedup:.2} vs splendid {splendid_speedup:.2}");
+    assert!(
+        rel < 0.05,
+        "polly {polly_speedup:.2} vs splendid {splendid_speedup:.2}"
+    );
 }
 
 /// Figure 8 shape: most variables get source names back.

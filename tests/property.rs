@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Cross-crate property tests: random programs through the full compiler
 //! substrate preserve semantics.
 
@@ -17,7 +19,12 @@ enum Stmt {
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     prop_oneof![
-        (0u8..16, 0u8..16, 0u8..16, prop_oneof![Just('+'), Just('-'), Just('*')])
+        (
+            0u8..16,
+            0u8..16,
+            0u8..16,
+            prop_oneof![Just('+'), Just('-'), Just('*')]
+        )
             .prop_map(|(dst, a, b, op)| Stmt::Bin { dst, a, b, op }),
         (0u8..16, 0u8..16, -3i8..4).prop_map(|(dst, a, c)| Stmt::Scale { dst, a, c }),
     ]
@@ -27,9 +34,9 @@ fn render(stmts: &[Stmt], loop_bound: u8) -> String {
     let mut body = String::new();
     for s in stmts {
         match s {
-            Stmt::Bin { dst, a, b, op } => body.push_str(&format!(
-                "    A[{dst}] = A[{a}] {op} A[{b}];\n"
-            )),
+            Stmt::Bin { dst, a, b, op } => {
+                body.push_str(&format!("    A[{dst}] = A[{a}] {op} A[{b}];\n"))
+            }
             Stmt::Scale { dst, a, c } => {
                 body.push_str(&format!("    A[{dst}] = A[{a}] * {c}.0;\n"))
             }
@@ -51,7 +58,9 @@ fn run(src: &str, optimize: bool) -> Vec<f64> {
     let mut vm = Vm::new(&m, MachineConfig::default());
     vm.call_by_name("init", &[]).expect("init");
     vm.call_by_name("kernel", &[]).expect("kernel");
-    (0..16).map(|i| vm.read_global_f64("A", i).unwrap()).collect()
+    (0..16)
+        .map(|i| vm.read_global_f64("A", i).unwrap())
+        .collect()
 }
 
 proptest! {
