@@ -1,0 +1,38 @@
+/* difftest regression corpus: seed=0xSPLENDID case=10.
+ * Replayed through every oracle route by crates/difftest tests
+ * and the CI difftest job.
+ */
+double A[4][4];
+
+double f0(double p0) {
+  return (p0 * 0.75);
+}
+
+void init() {
+  int i0;
+  int i1;
+  for (i0 = 0; i0 < 4; i0++) {
+    for (i1 = 0; i1 < 4; i1++) {
+      A[i0][i1] = (i0 * 5 + i1 * 3 + 1) % 11 * 0.25 + 0.5;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < 2; i++) {
+    for (j = 1; j < 4; j++) {
+      A[j][i] = ((((A[j - 1][i + 1] * 0.25) - (A[j - 1][i + 1] * 0.25)) + ((j * 2) / 2.0)) * 0.5);
+      A[j][i + 1] = 0.25;
+      A[j][i + 2] += ((i - 0.25) + ((i - 1) - (j + (j * 2 + 2))));
+    }
+    A[i][1] = ((i * 2) + f0(f0((A[i + 1][0] * 0.5))));
+  }
+  double s0 = 0.0;
+  for (k = 0; k < 2; k++) {
+    s0 += A[k + 2][2];
+  }
+  A[2][2] += s0;
+}

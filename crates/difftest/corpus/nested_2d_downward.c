@@ -1,0 +1,39 @@
+/* difftest regression corpus: seed=0xSPLENDID case=0.
+ * Replayed through every oracle route by crates/difftest tests
+ * and the CI difftest job.
+ */
+double A[13];
+double B[5][7];
+double C[7][4];
+
+void init() {
+  int i0;
+  int i1;
+  for (i0 = 0; i0 < 13; i0++) {
+    A[i0] = (i0 * 7 + 1) % 13 * 0.25 + 0.5;
+  }
+  for (i0 = 0; i0 < 5; i0++) {
+    for (i1 = 0; i1 < 7; i1++) {
+      B[i0][i1] = (i0 * 5 + i1 * 3 + 2) % 11 * 0.25 + 0.5;
+    }
+  }
+  for (i0 = 0; i0 < 7; i0++) {
+    for (i1 = 0; i1 < 4; i1++) {
+      C[i0][i1] = (i0 * 5 + i1 * 3 + 3) % 11 * 0.25 + 0.5;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  for (i = 3; i >= 0; i--) {
+    B[i + 1][3] = ((i - (B[i][1] * 0.25)) + (i * 0.25));
+    A[i] += 2.0;
+    B[i][0] += ((((i * 2 + 1) * 3.0) + (i / 1.5)) + ((0.75 + 0.25) + (0.25 / 2.0)));
+  }
+  for (j = 0; j < 4; j++) {
+    B[j][1] = A[j];
+    A[j + 1] = (((j * 2.0) - (2.5 - 0.25)) / 4.0);
+  }
+}

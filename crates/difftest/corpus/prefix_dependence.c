@@ -1,0 +1,55 @@
+/* difftest regression corpus: seed=0xSPLENDID case=1.
+ * Replayed through every oracle route by crates/difftest tests
+ * and the CI difftest job.
+ */
+double A[6][5];
+
+void init() {
+  int i0;
+  int i1;
+  for (i0 = 0; i0 < 6; i0++) {
+    for (i1 = 0; i1 < 5; i1++) {
+      A[i0][i1] = (i0 * 5 + i1 * 3 + 1) % 11 * 0.25 + 0.5;
+    }
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  int k;
+  int m;
+  int n2;
+  int q;
+  int i6;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 5; j++) {
+      for (k = 1; k < 3; k++) {
+        A[k + 1][j] = (A[k][j] * 0.25);
+        A[k][j] = A[k - 1][j];
+        if (k < 6) {
+          double s0 = (A[k + 1][j] / 2.0);
+          A[k - 1][j] = (s0 * 0.5);
+        }
+      }
+    }
+    A[i + 1][4] += 2.0;
+  }
+  for (m = 0; m < 3; m++) {
+    for (n2 = 0; n2 < 3; n2++) {
+      for (q = 0; q < 5; q++) {
+        A[q + 1][n2 + 2] += (((0.5 / 2.0) / 1.5) / 8.0);
+        A[q][n2 + 1] = (A[q + 1][n2] / 2.0);
+      }
+      A[n2 + 1][m + 1] += 3.0;
+    }
+  }
+  for (i6 = 0; i6 < 4; i6++) {
+    if (i6 < 6) {
+      double s1 = (A[i6 + 2][0] / 4.0);
+      A[i6 + 2][3] = (s1 * 0.75);
+    }
+    A[i6][0] += 1.5;
+    A[i6 + 1][1] = (((0.75 + (i6 * 3 + 2)) + (i6 * 2.0)) * 1.5);
+  }
+}

@@ -1,0 +1,31 @@
+/* difftest regression corpus: seed=0xSPLENDID case=8.
+ * Replayed through every oracle route by crates/difftest tests
+ * and the CI difftest job.
+ */
+double A[12];
+
+void init() {
+  int i0;
+  for (i0 = 0; i0 < 12; i0++) {
+    A[i0] = (i0 * 7 + 1) % 13 * 0.25 + 0.5;
+  }
+}
+
+void kernel() {
+  int i;
+  int j;
+  double s0 = 0.0;
+  for (i = 0; i < 9; i++) {
+    s0 += (((A[i + 1] * 0.25) + i) + (A[i] * 0.5));
+  }
+  A[9] = s0;
+  for (j = 0; j < 6; j++) {
+    A[j] = (j + j);
+    A[j + 1] += (j + 2);
+    if (j % 4 == 0) {
+      A[j + 2] += (j * 3 + 1);
+    } else {
+      A[j] = j;
+    }
+  }
+}

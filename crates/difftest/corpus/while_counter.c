@@ -1,0 +1,28 @@
+/* difftest regression corpus: seed=0xSPLENDID case=2.
+ * Replayed through every oracle route by crates/difftest tests
+ * and the CI difftest job.
+ */
+double A[7];
+double B[5][6];
+
+void init() {
+  int i0;
+  int i1;
+  for (i0 = 0; i0 < 7; i0++) {
+    A[i0] = (i0 * 7 + 1) % 13 * 0.25 + 0.5;
+  }
+  for (i0 = 0; i0 < 5; i0++) {
+    for (i1 = 0; i1 < 6; i1++) {
+      B[i0][i1] = (i0 * 5 + i1 * 3 + 2) % 11 * 0.25 + 0.5;
+    }
+  }
+}
+
+void kernel() {
+  int w0;
+  w0 = 0;
+  while (w0 < 5) {
+    B[w0][2] = (w0 * 3);
+    w0 = w0 + 1;
+  }
+}

@@ -1,0 +1,36 @@
+//! Deterministic differential testing for the SPLENDID pipeline.
+//!
+//! Four pieces, zero external dependencies:
+//!
+//! - [`gen`]: a seeded program generator emitting well-typed C in the
+//!   cfront subset — nested and downward loops, guarded control flow,
+//!   multi-dimensional subscripts, scalar reductions, helper calls —
+//!   in-bounds and NaN-free by construction.
+//! - [`oracle`]: runs each program through every pipeline route (direct
+//!   interpretation at `-O0` and `-O2`, the Polly-sim parallelizer, and
+//!   decompile→recompile under both OpenMP runtimes) and fails on any
+//!   checksum divergence, pipeline error, or unstable decompilation.
+//! - [`shrink`]: a delta-debugging minimizer that preserves the exact
+//!   `(route, failure kind)` while cutting the program down.
+//! - [`runner`]: the campaign driver behind `splendid difftest`, with a
+//!   byte-deterministic report and corpus replay.
+//!
+//! Everything is a pure function of the `(seed, case)` pair: no clocks,
+//! no OS entropy, no filesystem state. Two runs of the same campaign
+//! print identical bytes.
+
+pub mod gen;
+pub mod oracle;
+pub mod prog;
+pub mod rng;
+pub mod runner;
+pub mod shrink;
+
+pub use gen::{generate, GenConfig};
+pub use oracle::{CaseFailure, CaseReport, Decompiler, FailureKind, InProcessDecompiler, Oracle};
+pub use prog::TestProgram;
+pub use rng::{parse_seed, Rng};
+pub use runner::{
+    replay_command, replay_corpus_source, run_difftest, DifftestConfig, DifftestReport,
+};
+pub use shrink::{shrink, ShrinkResult};

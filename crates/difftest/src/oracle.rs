@@ -1,0 +1,282 @@
+//! The differential oracle: one generated program, every pipeline route,
+//! one verdict.
+//!
+//! Routes (all compared against the `o0` reference checksum):
+//!
+//! | route              | pipeline                                              |
+//! |--------------------|-------------------------------------------------------|
+//! | `o0`               | cfront → interp (reference)                           |
+//! | `o2`               | cfront → `-O2` → interp                               |
+//! | `polly`            | cfront → `-O2` → Polly-sim parallelizer → interp      |
+//! | `decompile-libomp` | polly IR → SPLENDID decompile → cfront(libomp) → -O2 → interp |
+//! | `decompile-libgomp`| same, recompiled against the GOMP-style runtime       |
+//! | `stability`        | decompiling the same IR twice must be byte-identical  |
+//!
+//! The decompilation step goes through a [`Decompiler`] so the CLI can
+//! route it through `splendid-serve`'s scheduler + function cache (the
+//! second decompilation of each module is then served from cache and the
+//! stability route checks the cached result byte-for-byte against the
+//! fresh one). The in-process default uses the same reentrant
+//! `prepare_module`/`decompile_function` API the service schedules.
+
+use splendid_cfront::OmpRuntime;
+use splendid_core::{
+    assemble_output, decompile_function, prepare_module, SplendidOptions, StageTimings,
+};
+use splendid_interp::{CompilerProfile, MachineConfig};
+use splendid_ir::Module;
+use splendid_parallel::{parallelize_module, ParallelizeOptions};
+use splendid_polybench::Harness;
+
+/// Pluggable decompilation backend.
+pub trait Decompiler {
+    /// Decompile `module` to C source, or explain why it could not.
+    fn decompile(&self, module: &Module, opts: &SplendidOptions) -> Result<String, String>;
+}
+
+/// Default backend: the reentrant per-function pipeline API, in process.
+pub struct InProcessDecompiler;
+
+impl Decompiler for InProcessDecompiler {
+    fn decompile(&self, module: &Module, opts: &SplendidOptions) -> Result<String, String> {
+        let mut timings = StageTimings::default();
+        let prepared = prepare_module(module, opts, &mut timings)?;
+        let functions = prepared
+            .module
+            .func_ids()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|fid| decompile_function(&prepared, fid, opts, &mut timings))
+            .collect();
+        Ok(assemble_output(&prepared, functions, &mut timings).source)
+    }
+}
+
+/// How a case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A route errored or panicked instead of producing a checksum.
+    PipelineError,
+    /// A route produced a different checksum than the reference.
+    Mismatch,
+    /// The reference itself produced a non-finite checksum (generator
+    /// contract violation).
+    NonFinite,
+    /// Two decompilations of the same IR differed.
+    Unstable,
+}
+
+impl FailureKind {
+    /// Stable label used in reports and shrinker failure matching.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::PipelineError => "pipeline-error",
+            FailureKind::Mismatch => "checksum-mismatch",
+            FailureKind::NonFinite => "non-finite",
+            FailureKind::Unstable => "decompile-unstable",
+        }
+    }
+}
+
+/// A failed case: which route, how, and with what detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseFailure {
+    /// Route label (see module docs).
+    pub route: &'static str,
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable detail (checksums, error text).
+    pub detail: String,
+}
+
+impl CaseFailure {
+    /// The shrinker preserves `(route, kind)` while minimizing: a
+    /// candidate reproduces the failure iff this key matches.
+    pub fn key(&self) -> (&'static str, &'static str) {
+        (self.route, self.kind.label())
+    }
+}
+
+impl std::fmt::Display for CaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.route, self.kind.label(), self.detail)
+    }
+}
+
+/// What a passing case reports back.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The agreed checksum.
+    pub checksum: f64,
+    /// Loops the Polly-sim parallelizer outlined in this case.
+    pub parallelized_loops: usize,
+    /// Routes executed (constant today, but reported for the record).
+    pub routes: usize,
+}
+
+/// The oracle itself.
+pub struct Oracle<'d> {
+    decompiler: &'d dyn Decompiler,
+    /// Profitability floor handed to the parallelizer (0 = parallelize
+    /// anything provably safe, maximizing route divergence surface).
+    pub min_work: u64,
+}
+
+impl<'d> Oracle<'d> {
+    /// Oracle over the given decompilation backend.
+    pub fn new(decompiler: &'d dyn Decompiler) -> Oracle<'d> {
+        Oracle {
+            decompiler,
+            min_work: 0,
+        }
+    }
+
+    /// Run every route over `src`, checksumming `arrays`.
+    pub fn check_source(&self, src: &str, arrays: &[String]) -> Result<CaseReport, CaseFailure> {
+        let names: Vec<&str> = arrays.iter().map(|s| s.as_str()).collect();
+        let fail = |route, kind, detail: String| CaseFailure {
+            route,
+            kind,
+            detail,
+        };
+
+        // Route o0: the reference semantics.
+        let o0 = Harness::compile_o0(src, OmpRuntime::LibOmp)
+            .map_err(|e| fail("o0", FailureKind::PipelineError, e.to_string()))?;
+        let (reference, _) = Harness::run(&o0, MachineConfig::default(), &names)
+            .map_err(|e| fail("o0", FailureKind::PipelineError, e.to_string()))?;
+        if !reference.is_finite() {
+            return Err(fail(
+                "o0",
+                FailureKind::NonFinite,
+                format!("reference checksum {reference}"),
+            ));
+        }
+
+        // Route o2.
+        let o2 = Harness::compile(src, OmpRuntime::LibOmp)
+            .map_err(|e| fail("o2", FailureKind::PipelineError, e.to_string()))?;
+        let (c2, _) = Harness::run(&o2, MachineConfig::default(), &names)
+            .map_err(|e| fail("o2", FailureKind::PipelineError, e.to_string()))?;
+        if c2 != reference {
+            return Err(fail(
+                "o2",
+                FailureKind::Mismatch,
+                format!("o2 checksum {c2} != reference {reference}"),
+            ));
+        }
+
+        // Route polly: -O2 + parallelizer.
+        let mut polly = o2.clone();
+        let opts = ParallelizeOptions {
+            version_aliasing: true,
+            min_work: self.min_work,
+            only_functions: vec!["kernel".into()],
+        };
+        let report = parallelize_module(&mut polly, &opts);
+        let parallelized_loops = report.parallelized_count();
+        let (cp, _) = Harness::run(&polly, MachineConfig::default(), &names)
+            .map_err(|e| fail("polly", FailureKind::PipelineError, e.to_string()))?;
+        if cp != reference {
+            return Err(fail(
+                "polly",
+                FailureKind::Mismatch,
+                format!(
+                    "polly checksum {cp} != reference {reference} \
+                     ({parallelized_loops} loop(s) parallelized)"
+                ),
+            ));
+        }
+
+        // Decompile the parallel IR — twice, for the stability route (and,
+        // with a scheduler-backed Decompiler, for the cache-hit path).
+        let sopts = SplendidOptions::default();
+        let decompiled = self
+            .decompiler
+            .decompile(&polly, &sopts)
+            .map_err(|e| fail("stability", FailureKind::PipelineError, e))?;
+        let again = self
+            .decompiler
+            .decompile(&polly, &sopts)
+            .map_err(|e| fail("stability", FailureKind::PipelineError, e))?;
+        if decompiled != again {
+            return Err(fail(
+                "stability",
+                FailureKind::Unstable,
+                "two decompilations of identical IR differ".into(),
+            ));
+        }
+
+        // Routes decompile-libomp / decompile-libgomp: recompile + rerun.
+        for (route, rt) in [
+            ("decompile-libomp", OmpRuntime::LibOmp),
+            ("decompile-libgomp", OmpRuntime::LibGomp),
+        ] {
+            let (cr, _) =
+                Harness::recompile_and_run(&decompiled, rt, CompilerProfile::gcc(), &names)
+                    .map_err(|e| {
+                        fail(
+                            route,
+                            FailureKind::PipelineError,
+                            format!("{e}\n--- decompiled source ---\n{decompiled}"),
+                        )
+                    })?;
+            if cr != reference {
+                return Err(fail(
+                    route,
+                    FailureKind::Mismatch,
+                    format!(
+                        "recompiled checksum {cr} != reference {reference}\
+                         \n--- decompiled source ---\n{decompiled}"
+                    ),
+                ));
+            }
+        }
+
+        Ok(CaseReport {
+            checksum: reference,
+            parallelized_loops,
+            routes: 6,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "double A[8];\n\
+        void init() {\n  int i;\n  for (i = 0; i < 8; i++) { A[i] = i * 0.5; }\n}\n\
+        void kernel() {\n  int i;\n  for (i = 0; i < 8; i++) { A[i] = A[i] * 2.0 + 1.0; }\n}\n";
+
+    #[test]
+    fn good_program_passes_all_routes() {
+        let dec = InProcessDecompiler;
+        let oracle = Oracle::new(&dec);
+        let report = oracle
+            .check_source(GOOD, &["A".into()])
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.checksum.is_finite());
+        assert_eq!(report.routes, 6);
+        assert!(report.parallelized_loops >= 1, "elementwise loop is DOALL");
+    }
+
+    #[test]
+    fn unparsable_program_is_a_pipeline_error_not_a_panic() {
+        let dec = InProcessDecompiler;
+        let oracle = Oracle::new(&dec);
+        let err = oracle.check_source("void kernel() {", &[]).unwrap_err();
+        assert_eq!(err.route, "o0");
+        assert_eq!(err.kind, FailureKind::PipelineError);
+    }
+
+    #[test]
+    fn missing_checksum_global_is_reported() {
+        let dec = InProcessDecompiler;
+        let oracle = Oracle::new(&dec);
+        let err = oracle
+            .check_source("void kernel() { int i; i = 0; }", &["A".into()])
+            .unwrap_err();
+        assert_eq!(err.kind, FailureKind::PipelineError);
+    }
+}

@@ -1,0 +1,544 @@
+//! The generator's structured program representation and its C renderer.
+//!
+//! Cases are built (and shrunk) over this mini-AST rather than raw text:
+//! the shrinker needs to delete statements, narrow loop bounds, and
+//! simplify expressions while keeping the program well-typed and every
+//! array access provably in bounds. Rendering is the only way a program
+//! leaves this module, so a `TestProgram` that was valid stays valid
+//! through every mutation the shrinker is allowed to make.
+
+use std::fmt::Write as _;
+
+/// A global array of doubles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Array {
+    /// C identifier (`A`, `B`, …).
+    pub name: String,
+    /// Dimension sizes, innermost last; 1 or 2 dims.
+    pub dims: Vec<usize>,
+}
+
+/// A pure helper function over doubles: `double f0(double a, double b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Helper {
+    /// C identifier.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// The single `return` expression.
+    pub body: Expr,
+}
+
+/// One array subscript, guaranteed in bounds by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Index {
+    /// Literal subscript.
+    Const(i64),
+    /// `var + offset` (offset may be negative or zero).
+    Var {
+        /// Loop/counter variable.
+        var: String,
+        /// Constant offset.
+        offset: i64,
+    },
+}
+
+/// Binary operators over doubles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` — the generator only emits this with a nonzero constant rhs.
+    Div,
+}
+
+impl BinOp {
+    fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Expressions evaluating to `double`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Floating literal.
+    Const(f64),
+    /// An `int` loop/counter variable used in float arithmetic (the
+    /// int-to-double mix the decompiler must reproduce faithfully).
+    IntVar(String),
+    /// A `double` local (accumulator or helper parameter).
+    Var(String),
+    /// Array read.
+    Read {
+        /// Index into [`TestProgram::arrays`].
+        array: usize,
+        /// One subscript per dimension.
+        idx: Vec<Index>,
+    },
+    /// Integer affine expression `var * scale + bias`, evaluated in `int`
+    /// arithmetic before mixing into the surrounding float expression.
+    IntAffine {
+        /// Loop/counter variable.
+        var: String,
+        /// Multiplier.
+        scale: i64,
+        /// Addend.
+        bias: i64,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Call of a generated helper.
+    Call {
+        /// Index into [`TestProgram::helpers`].
+        helper: usize,
+        /// Arguments, one per parameter.
+        args: Vec<Expr>,
+    },
+}
+
+/// Loop-guard conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// `var % modulus == 0`
+    ModEq {
+        /// Tested variable.
+        var: String,
+        /// Modulus (≥ 2).
+        modulus: i64,
+    },
+    /// `var < bound`
+    Lt {
+        /// Tested variable.
+        var: String,
+        /// Exclusive bound.
+        bound: i64,
+    },
+}
+
+/// Statements inside `kernel` (and loop bodies).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `ARRAY[idx…] = rhs;` or `ARRAY[idx…] += rhs;`
+    Store {
+        /// Index into [`TestProgram::arrays`].
+        array: usize,
+        /// Subscripts.
+        idx: Vec<Index>,
+        /// Accumulate (`+=`) instead of overwrite.
+        accumulate: bool,
+        /// Value expression.
+        rhs: Expr,
+    },
+    /// `double name = init;`
+    DeclScalar {
+        /// Local name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `name = rhs;` or `name += rhs;` on a double local.
+    AssignScalar {
+        /// Local name.
+        name: String,
+        /// Accumulate instead of overwrite.
+        accumulate: bool,
+        /// Value expression.
+        rhs: Expr,
+    },
+    /// Counted `for` loop, upward (`for (v = lo; v < hi; v++)`) or
+    /// downward (`for (v = hi - 1; v >= lo; v--)`).
+    For {
+        /// Induction variable (declared at kernel top).
+        var: String,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+        /// Iterate downward.
+        down: bool,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `while (var < bound) { body; var = var + 1; }` over an int counter
+    /// declared (and zeroed) at kernel top.
+    While {
+        /// Counter variable.
+        var: String,
+        /// Exclusive bound.
+        bound: i64,
+        /// Body (the increment is rendered implicitly at the end).
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) { then_body } else { else_body }` (else may be empty).
+    If {
+        /// Guard.
+        cond: Cond,
+        /// Taken branch.
+        then_body: Vec<Stmt>,
+        /// Fallthrough branch (may be empty).
+        else_body: Vec<Stmt>,
+    },
+}
+
+/// A complete generated test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestProgram {
+    /// Global arrays (also the oracle's checksum set).
+    pub arrays: Vec<Array>,
+    /// Helper functions callable from the kernel.
+    pub helpers: Vec<Helper>,
+    /// `int` variables used as `for` induction variables.
+    pub loop_vars: Vec<String>,
+    /// `int` counters used by `while` loops (zero-initialized).
+    pub while_vars: Vec<String>,
+    /// Kernel body.
+    pub kernel: Vec<Stmt>,
+}
+
+impl TestProgram {
+    /// Names of every global array — the checksum set for the oracle.
+    pub fn array_names(&self) -> Vec<String> {
+        self.arrays.iter().map(|a| a.name.clone()).collect()
+    }
+
+    /// Render to C source in the cfront subset.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for a in &self.arrays {
+            let dims: String = a.dims.iter().map(|d| format!("[{d}]")).collect();
+            let _ = writeln!(out, "double {}{dims};", a.name);
+        }
+        out.push('\n');
+        let used = self.used_helpers();
+        for (hi, h) in self.helpers.iter().enumerate() {
+            if !used[hi] {
+                continue;
+            }
+            let params: Vec<String> = h.params.iter().map(|p| format!("double {p}")).collect();
+            let _ = writeln!(out, "double {}({}) {{", h.name, params.join(", "));
+            let _ = writeln!(out, "  return {};", self.expr(&h.body));
+            let _ = writeln!(out, "}}\n");
+        }
+        self.render_init(&mut out);
+        out.push('\n');
+        let _ = writeln!(out, "void kernel() {{");
+        for v in &self.loop_vars {
+            let _ = writeln!(out, "  int {v};");
+        }
+        for v in &self.while_vars {
+            let _ = writeln!(out, "  int {v};");
+        }
+        for v in &self.while_vars {
+            let _ = writeln!(out, "  {v} = 0;");
+        }
+        for s in &self.kernel {
+            self.stmt(&mut out, s, 1);
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Which helpers the kernel actually calls (shrinking can orphan
+    /// helpers; orphans are not rendered so minimized cases stay small).
+    fn used_helpers(&self) -> Vec<bool> {
+        let mut used = vec![false; self.helpers.len()];
+        fn walk_expr(e: &Expr, used: &mut [bool]) {
+            match e {
+                Expr::Bin { lhs, rhs, .. } => {
+                    walk_expr(lhs, used);
+                    walk_expr(rhs, used);
+                }
+                Expr::Call { helper, args } => {
+                    used[*helper] = true;
+                    args.iter().for_each(|a| walk_expr(a, used));
+                }
+                _ => {}
+            }
+        }
+        fn walk_stmt(s: &Stmt, used: &mut [bool]) {
+            match s {
+                Stmt::Store { rhs, .. }
+                | Stmt::DeclScalar { init: rhs, .. }
+                | Stmt::AssignScalar { rhs, .. } => walk_expr(rhs, used),
+                Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                    body.iter().for_each(|s| walk_stmt(s, used))
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    then_body.iter().for_each(|s| walk_stmt(s, used));
+                    else_body.iter().for_each(|s| walk_stmt(s, used));
+                }
+            }
+        }
+        // Helper bodies may call earlier helpers.
+        for s in &self.kernel {
+            walk_stmt(s, &mut used);
+        }
+        for hi in (0..self.helpers.len()).rev() {
+            if used[hi] {
+                let body = self.helpers[hi].body.clone();
+                walk_expr(&body, &mut used);
+            }
+        }
+        used
+    }
+
+    /// Deterministic `init()` filling every array with small distinct
+    /// values derived from the subscripts.
+    fn render_init(&self, out: &mut String) {
+        let _ = writeln!(out, "void init() {{");
+        let max_rank = self.arrays.iter().map(|a| a.dims.len()).max().unwrap_or(0);
+        for d in 0..max_rank {
+            let _ = writeln!(out, "  int i{d};");
+        }
+        for (salt, a) in self.arrays.iter().enumerate() {
+            let mut indent = String::from("  ");
+            for (d, size) in a.dims.iter().enumerate() {
+                let _ = writeln!(out, "{indent}for (i{d} = 0; i{d} < {size}; i{d}++) {{");
+                indent.push_str("  ");
+            }
+            let subs: String = (0..a.dims.len()).map(|d| format!("[i{d}]")).collect();
+            let expr = match a.dims.len() {
+                1 => format!("(i0 * 7 + {salt}) % 13 * 0.25 + 0.5", salt = salt + 1),
+                _ => format!(
+                    "(i0 * 5 + i1 * 3 + {salt}) % 11 * 0.25 + 0.5",
+                    salt = salt + 1
+                ),
+            };
+            let _ = writeln!(out, "{indent}{}{subs} = {expr};", a.name);
+            for d in (0..a.dims.len()).rev() {
+                indent.truncate(indent.len() - 2);
+                let _ = writeln!(out, "{indent}}}");
+                let _ = d;
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+
+    fn index(&self, ix: &Index) -> String {
+        match ix {
+            Index::Const(c) => format!("{c}"),
+            Index::Var { var, offset } => match offset.cmp(&0) {
+                std::cmp::Ordering::Equal => var.clone(),
+                std::cmp::Ordering::Greater => format!("{var} + {offset}"),
+                std::cmp::Ordering::Less => format!("{var} - {}", -offset),
+            },
+        }
+    }
+
+    fn lvalue(&self, array: usize, idx: &[Index]) -> String {
+        let subs: String = idx
+            .iter()
+            .map(|ix| format!("[{}]", self.index(ix)))
+            .collect();
+        format!("{}{subs}", self.arrays[array].name)
+    }
+
+    fn expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::Const(v) => format!("{v:?}"),
+            Expr::IntVar(v) | Expr::Var(v) => v.clone(),
+            Expr::Read { array, idx } => self.lvalue(*array, idx),
+            Expr::IntAffine { var, scale, bias } => {
+                let core = if *scale == 1 {
+                    var.clone()
+                } else {
+                    format!("{var} * {scale}")
+                };
+                match bias.cmp(&0) {
+                    std::cmp::Ordering::Equal => format!("({core})"),
+                    std::cmp::Ordering::Greater => format!("({core} + {bias})"),
+                    std::cmp::Ordering::Less => format!("({core} - {})", -bias),
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                format!("({} {} {})", self.expr(lhs), op.symbol(), self.expr(rhs))
+            }
+            Expr::Call { helper, args } => {
+                let rendered: Vec<String> = args.iter().map(|a| self.expr(a)).collect();
+                format!("{}({})", self.helpers[*helper].name, rendered.join(", "))
+            }
+        }
+    }
+
+    fn cond(&self, c: &Cond) -> String {
+        match c {
+            Cond::ModEq { var, modulus } => format!("{var} % {modulus} == 0"),
+            Cond::Lt { var, bound } => format!("{var} < {bound}"),
+        }
+    }
+
+    fn stmt(&self, out: &mut String, s: &Stmt, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match s {
+            Stmt::Store {
+                array,
+                idx,
+                accumulate,
+                rhs,
+            } => {
+                let op = if *accumulate { "+=" } else { "=" };
+                let _ = writeln!(
+                    out,
+                    "{pad}{} {op} {};",
+                    self.lvalue(*array, idx),
+                    self.expr(rhs)
+                );
+            }
+            Stmt::DeclScalar { name, init } => {
+                let _ = writeln!(out, "{pad}double {name} = {};", self.expr(init));
+            }
+            Stmt::AssignScalar {
+                name,
+                accumulate,
+                rhs,
+            } => {
+                let op = if *accumulate { "+=" } else { "=" };
+                let _ = writeln!(out, "{pad}{name} {op} {};", self.expr(rhs));
+            }
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                down,
+                body,
+            } => {
+                if *down {
+                    let _ = writeln!(
+                        out,
+                        "{pad}for ({var} = {}; {var} >= {lo}; {var}--) {{",
+                        hi - 1
+                    );
+                } else {
+                    let _ = writeln!(out, "{pad}for ({var} = {lo}; {var} < {hi}; {var}++) {{");
+                }
+                for b in body {
+                    self.stmt(out, b, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::While { var, bound, body } => {
+                let _ = writeln!(out, "{pad}while ({var} < {bound}) {{");
+                for b in body {
+                    self.stmt(out, b, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}  {var} = {var} + 1;");
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let _ = writeln!(out, "{pad}if ({}) {{", self.cond(cond));
+                for b in then_body {
+                    self.stmt(out, b, depth + 1);
+                }
+                if else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    for b in else_body {
+                        self.stmt(out, b, depth + 1);
+                    }
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TestProgram {
+        TestProgram {
+            arrays: vec![Array {
+                name: "A".into(),
+                dims: vec![8],
+            }],
+            helpers: vec![Helper {
+                name: "f0".into(),
+                params: vec!["a".into()],
+                body: Expr::Bin {
+                    op: BinOp::Mul,
+                    lhs: Box::new(Expr::Var("a".into())),
+                    rhs: Box::new(Expr::Const(1.5)),
+                },
+            }],
+            loop_vars: vec!["i".into()],
+            while_vars: vec![],
+            kernel: vec![Stmt::For {
+                var: "i".into(),
+                lo: 0,
+                hi: 8,
+                down: false,
+                body: vec![Stmt::Store {
+                    array: 0,
+                    idx: vec![Index::Var {
+                        var: "i".into(),
+                        offset: 0,
+                    }],
+                    accumulate: false,
+                    rhs: Expr::Call {
+                        helper: 0,
+                        args: vec![Expr::Read {
+                            array: 0,
+                            idx: vec![Index::Var {
+                                var: "i".into(),
+                                offset: 0,
+                            }],
+                        }],
+                    },
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_parseable_c() {
+        let src = tiny().render();
+        assert!(src.contains("double A[8];"), "{src}");
+        assert!(src.contains("void init()"), "{src}");
+        assert!(src.contains("void kernel()"), "{src}");
+        splendid_cfront::parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    }
+
+    #[test]
+    fn orphaned_helpers_are_not_rendered() {
+        let mut p = tiny();
+        p.kernel = vec![Stmt::Store {
+            array: 0,
+            idx: vec![Index::Const(0)],
+            accumulate: false,
+            rhs: Expr::Const(2.0),
+        }];
+        let src = p.render();
+        assert!(!src.contains("f0"), "{src}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(tiny().render(), tiny().render());
+    }
+}

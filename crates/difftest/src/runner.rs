@@ -1,0 +1,264 @@
+//! Campaign driver: generate N cases, oracle each, shrink failures,
+//! and produce a byte-deterministic report.
+
+use crate::gen::{generate, GenConfig};
+use crate::oracle::{CaseFailure, Oracle};
+use crate::rng::fnv1a64;
+use crate::shrink::shrink;
+
+/// Campaign configuration (mirrors the `splendid difftest` CLI flags).
+#[derive(Debug, Clone)]
+pub struct DifftestConfig {
+    /// Campaign seed; case `i` is generated from `(seed, i)`.
+    pub seed: u64,
+    /// Number of cases to run.
+    pub cases: u64,
+    /// Minimize failing cases before reporting.
+    pub shrink: bool,
+    /// Replay exactly one case index instead of the whole campaign.
+    pub only_case: Option<u64>,
+    /// Profitability floor for the parallelizer route.
+    pub min_work: u64,
+}
+
+impl Default for DifftestConfig {
+    fn default() -> DifftestConfig {
+        DifftestConfig {
+            seed: 0,
+            cases: 100,
+            shrink: true,
+            only_case: None,
+            min_work: 0,
+        }
+    }
+}
+
+/// One failing case, ready to print.
+#[derive(Debug, Clone)]
+pub struct FailedCase {
+    /// Case index within the campaign.
+    pub case: u64,
+    /// The (post-shrink, if enabled) failure.
+    pub failure: CaseFailure,
+    /// Source of the failing program — shrunk when shrinking ran.
+    pub source: String,
+    /// Line count of the program as generated, before shrinking.
+    pub original_lines: usize,
+    /// Whether `source` is the shrunk form.
+    pub shrunk: bool,
+}
+
+/// Campaign result. `Display` is byte-deterministic for a given
+/// `(seed, cases, min_work)` — two runs must print identically.
+#[derive(Debug, Clone)]
+pub struct DifftestReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Cases executed.
+    pub cases_run: u64,
+    /// Cases on which every route agreed.
+    pub passed: u64,
+    /// Divergent or erroring cases.
+    pub failed: Vec<FailedCase>,
+    /// Loops the parallelizer route outlined, summed over passing cases.
+    pub parallelized_loops: usize,
+    /// FNV-1a over the passing checksums' bit patterns: a campaign
+    /// fingerprint that two identical runs must reproduce exactly.
+    pub checksum_digest: u64,
+}
+
+impl DifftestReport {
+    /// True iff no case diverged.
+    pub fn all_passed(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// The one-liner a failure report leads with, plus the command to rerun it.
+pub fn replay_command(seed: u64, case: u64) -> String {
+    format!(
+        "SEED={seed:#x} CASE={case}  (replay: splendid difftest --seed {seed:#x} --case {case} --shrink)"
+    )
+}
+
+impl std::fmt::Display for DifftestReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "difftest: seed={:#x} cases={} passed={} failed={}",
+            self.seed,
+            self.cases_run,
+            self.passed,
+            self.failed.len()
+        )?;
+        writeln!(
+            f,
+            "  parallelized loops: {}  checksum digest: {:#018x}",
+            self.parallelized_loops, self.checksum_digest
+        )?;
+        for fc in &self.failed {
+            writeln!(f, "FAIL {}", replay_command(self.seed, fc.case))?;
+            writeln!(f, "  {}", fc.failure)?;
+            let lines = fc.source.lines().count();
+            if fc.shrunk {
+                writeln!(
+                    f,
+                    "  shrunk program ({} lines, from {}):",
+                    lines, fc.original_lines
+                )?;
+            } else {
+                writeln!(f, "  program ({lines} lines):")?;
+            }
+            for line in fc.source.lines() {
+                writeln!(f, "    {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run a campaign.
+pub fn run_difftest(oracle: &Oracle, cfg: &DifftestConfig) -> DifftestReport {
+    let gen_cfg = GenConfig::default();
+    let case_indices: Vec<u64> = match cfg.only_case {
+        Some(c) => vec![c],
+        None => (0..cfg.cases).collect(),
+    };
+
+    let mut passed = 0;
+    let mut failed = Vec::new();
+    let mut parallelized = 0usize;
+    let mut digest: u64 = 0xCBF2_9CE4_8422_2325;
+
+    for &case in &case_indices {
+        let prog = generate(cfg.seed, case, &gen_cfg);
+        let arrays = prog.array_names();
+        let src = prog.render();
+        match oracle.check_source(&src, &arrays) {
+            Ok(report) => {
+                passed += 1;
+                parallelized += report.parallelized_loops;
+                digest = fnv1a64_fold(digest, report.checksum.to_bits());
+            }
+            Err(failure) => {
+                let original_lines = src.lines().count();
+                let (source, failure, shrunk) = if cfg.shrink {
+                    let res = shrink(oracle, &prog, &arrays, &failure);
+                    (res.program.render(), res.failure, true)
+                } else {
+                    (src, failure, false)
+                };
+                failed.push(FailedCase {
+                    case,
+                    failure,
+                    source,
+                    original_lines,
+                    shrunk,
+                });
+            }
+        }
+    }
+
+    DifftestReport {
+        seed: cfg.seed,
+        cases_run: case_indices.len() as u64,
+        passed,
+        failed,
+        parallelized_loops: parallelized,
+        checksum_digest: digest,
+    }
+}
+
+/// Fold one value into a running FNV-1a digest.
+fn fnv1a64_fold(mut h: u64, value: u64) -> u64 {
+    for b in value.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Top-level `double` array declarations in a corpus source file, in
+/// declaration order — the checksum list for corpus replay. Matches the
+/// generator's rendering (`double A[N];` / `double A[N][M];` at column 0).
+pub fn arrays_in_source(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in src.lines() {
+        if let Some(rest) = line.strip_prefix("double ") {
+            if let Some(bracket) = rest.find('[') {
+                let name = rest[..bracket].trim();
+                if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    out.push(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Replay one corpus source through every route.
+pub fn replay_corpus_source(
+    oracle: &Oracle,
+    src: &str,
+) -> Result<crate::oracle::CaseReport, CaseFailure> {
+    oracle.check_source(src, &arrays_in_source(src))
+}
+
+/// Digest of a campaign for determinism checks: the report text itself.
+pub fn report_fingerprint(report: &DifftestReport) -> u64 {
+    fnv1a64(report.to_string().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::InProcessDecompiler;
+
+    #[test]
+    fn small_campaign_passes_and_is_deterministic() {
+        let dec = InProcessDecompiler;
+        let oracle = Oracle::new(&dec);
+        let cfg = DifftestConfig {
+            seed: 0x5EED,
+            cases: 12,
+            ..DifftestConfig::default()
+        };
+        let a = run_difftest(&oracle, &cfg);
+        let b = run_difftest(&oracle, &cfg);
+        assert!(a.all_passed(), "campaign diverged:\n{a}");
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(report_fingerprint(&a), report_fingerprint(&b));
+        assert!(
+            a.parallelized_loops > 0,
+            "expected at least one parallelizable kernel in 12 cases"
+        );
+    }
+
+    #[test]
+    fn only_case_runs_exactly_one_case() {
+        let dec = InProcessDecompiler;
+        let oracle = Oracle::new(&dec);
+        let cfg = DifftestConfig {
+            seed: 7,
+            cases: 100,
+            only_case: Some(3),
+            ..DifftestConfig::default()
+        };
+        let report = run_difftest(&oracle, &cfg);
+        assert_eq!(report.cases_run, 1);
+    }
+
+    #[test]
+    fn array_scanner_matches_generator_output() {
+        let prog = crate::gen::generate(11, 2, &crate::gen::GenConfig::default());
+        assert_eq!(arrays_in_source(&prog.render()), prog.array_names());
+    }
+
+    #[test]
+    fn replay_command_mentions_seed_and_case() {
+        let line = replay_command(0x2A, 17);
+        assert!(line.contains("SEED=0x2a"));
+        assert!(line.contains("CASE=17"));
+        assert!(line.contains("--case 17"));
+    }
+}

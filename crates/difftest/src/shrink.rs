@@ -1,0 +1,390 @@
+//! Delta-debugging minimizer for failing cases.
+//!
+//! Greedy fixpoint loop over four edit families — statement deletion,
+//! control-flow flattening (`if` → taken branch), trip-count narrowing,
+//! and expression simplification — accepting an edit iff the candidate
+//! still fails with the *same* `(route, failure kind)` key. Subscript
+//! offsets are never touched, so every candidate inherits the generator's
+//! in-bounds guarantee; a candidate that stops compiling simply fails
+//! with a different key and is rejected.
+
+use crate::oracle::{CaseFailure, Oracle};
+use crate::prog::{Expr, Stmt, TestProgram};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized program (still failing with the original key).
+    pub program: TestProgram,
+    /// The failure the minimized program produces.
+    pub failure: CaseFailure,
+    /// Edits accepted.
+    pub edits_applied: usize,
+    /// Oracle evaluations spent.
+    pub oracle_runs: usize,
+}
+
+/// Hard cap on oracle evaluations per shrink, so a pathological case
+/// cannot stall a CI run.
+const MAX_ORACLE_RUNS: usize = 1500;
+
+/// Minimize `prog`, which currently fails with `failure` when checksummed
+/// over `arrays`. No edit family adds or removes arrays, so the checksum
+/// list stays valid for every candidate.
+pub fn shrink(
+    oracle: &Oracle,
+    prog: &TestProgram,
+    arrays: &[String],
+    failure: &CaseFailure,
+) -> ShrinkResult {
+    let key = failure.key();
+    let mut best = prog.clone();
+    let mut best_failure = failure.clone();
+    let mut runs = 0usize;
+    let mut edits = 0usize;
+
+    'outer: loop {
+        let mut progressed = false;
+        for strategy in STRATEGIES {
+            // Re-enumerate after every accepted edit: positions shift.
+            'pass: loop {
+                for cand in strategy(&best) {
+                    if runs >= MAX_ORACLE_RUNS {
+                        break 'outer;
+                    }
+                    runs += 1;
+                    if let Err(f) = oracle.check_source(&cand.render(), arrays) {
+                        if f.key() == key {
+                            best = cand;
+                            best_failure = f;
+                            edits += 1;
+                            progressed = true;
+                            continue 'pass;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        program: best,
+        failure: best_failure,
+        edits_applied: edits,
+        oracle_runs: runs,
+    }
+}
+
+type Strategy = fn(&TestProgram) -> Vec<TestProgram>;
+
+const STRATEGIES: [Strategy; 4] = [
+    delete_candidates,
+    flatten_candidates,
+    narrow_candidates,
+    simplify_candidates,
+];
+
+// ---- statement traversal ---------------------------------------------
+
+/// Number of statement lists in the program (kernel + nested bodies).
+fn body_count(kernel: &[Stmt]) -> usize {
+    fn walk(body: &[Stmt], n: &mut usize) {
+        *n += 1;
+        for s in body {
+            match s {
+                Stmt::For { body, .. } | Stmt::While { body, .. } => walk(body, n),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    walk(then_body, n);
+                    walk(else_body, n);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut n = 0;
+    walk(kernel, &mut n);
+    n
+}
+
+/// Apply `f` to the `target`-th statement list, preorder. Returns whether
+/// the target was reached.
+fn edit_nth_body(
+    body: &mut Vec<Stmt>,
+    counter: &mut usize,
+    target: usize,
+    f: &mut dyn FnMut(&mut Vec<Stmt>),
+) -> bool {
+    if *counter == target {
+        *counter += 1;
+        f(body);
+        return true;
+    }
+    *counter += 1;
+    for s in body.iter_mut() {
+        let hit = match s {
+            Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                edit_nth_body(body, counter, target, f)
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                edit_nth_body(then_body, counter, target, f)
+                    || edit_nth_body(else_body, counter, target, f)
+            }
+            _ => false,
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+/// Clone `prog` and edit its `target`-th statement list.
+fn with_body(prog: &TestProgram, target: usize, mut f: impl FnMut(&mut Vec<Stmt>)) -> TestProgram {
+    let mut cand = prog.clone();
+    let mut counter = 0;
+    edit_nth_body(&mut cand.kernel, &mut counter, target, &mut f);
+    cand
+}
+
+/// Length of the `target`-th statement list.
+fn body_len(prog: &TestProgram, target: usize) -> usize {
+    let mut len = 0;
+    let _ = with_body(prog, target, |body| len = body.len());
+    len
+}
+
+// ---- edit families ---------------------------------------------------
+
+/// Every single-statement deletion.
+fn delete_candidates(prog: &TestProgram) -> Vec<TestProgram> {
+    let mut out = Vec::new();
+    for b in 0..body_count(&prog.kernel) {
+        for pos in 0..body_len(prog, b) {
+            out.push(with_body(prog, b, |body| {
+                body.remove(pos);
+            }));
+        }
+    }
+    out
+}
+
+/// `if` → then-branch, `if` → else-branch.
+fn flatten_candidates(prog: &TestProgram) -> Vec<TestProgram> {
+    let mut out = Vec::new();
+    for b in 0..body_count(&prog.kernel) {
+        for pos in 0..body_len(prog, b) {
+            for take_else in [false, true] {
+                let cand = with_body(prog, b, |body| {
+                    if let Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } = &body[pos]
+                    {
+                        let branch = if take_else { else_body } else { then_body };
+                        let replacement = branch.clone();
+                        body.splice(pos..=pos, replacement);
+                    }
+                });
+                if cand != *prog {
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Narrow loop trip counts: single-trip first, then halved.
+fn narrow_candidates(prog: &TestProgram) -> Vec<TestProgram> {
+    let mut out = Vec::new();
+    for b in 0..body_count(&prog.kernel) {
+        for pos in 0..body_len(prog, b) {
+            for halve in [false, true] {
+                let cand = with_body(prog, b, |body| match &mut body[pos] {
+                    Stmt::For { lo, hi, .. } if *hi - *lo > 1 => {
+                        *hi = if halve {
+                            *lo + (*hi - *lo) / 2
+                        } else {
+                            *lo + 1
+                        };
+                    }
+                    Stmt::While { bound, .. } if *bound > 1 => {
+                        *bound = if halve { *bound / 2 } else { 1 };
+                    }
+                    _ => {}
+                });
+                if cand != *prog {
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---- expression traversal --------------------------------------------
+
+/// Apply `f` to every expression node in the program, preorder.
+fn visit_exprs(prog: &mut TestProgram, f: &mut dyn FnMut(&mut Expr)) {
+    fn walk_expr(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
+        f(e);
+        match e {
+            Expr::Bin { lhs, rhs, .. } => {
+                walk_expr(lhs, f);
+                walk_expr(rhs, f);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    walk_expr(a, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn walk_stmt(s: &mut Stmt, f: &mut dyn FnMut(&mut Expr)) {
+        match s {
+            Stmt::Store { rhs, .. }
+            | Stmt::DeclScalar { init: rhs, .. }
+            | Stmt::AssignScalar { rhs, .. } => walk_expr(rhs, f),
+            Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                for s in body {
+                    walk_stmt(s, f);
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                for s in then_body.iter_mut().chain(else_body.iter_mut()) {
+                    walk_stmt(s, f);
+                }
+            }
+        }
+    }
+    for h in &mut prog.helpers {
+        walk_expr(&mut h.body, f);
+    }
+    for s in &mut prog.kernel {
+        walk_stmt(s, f);
+    }
+}
+
+/// Number of expression nodes reachable from the program.
+fn expr_count(prog: &TestProgram) -> usize {
+    let mut n = 0;
+    visit_exprs(&mut prog.clone(), &mut |_| n += 1);
+    n
+}
+
+/// Clone `prog` and rewrite its `target`-th expression with `edit`.
+fn with_expr(
+    prog: &TestProgram,
+    target: usize,
+    edit: impl Fn(&Expr) -> Option<Expr>,
+) -> TestProgram {
+    let mut cand = prog.clone();
+    let mut counter = 0usize;
+    visit_exprs(&mut cand, &mut |e| {
+        if counter == target {
+            if let Some(new) = edit(e) {
+                *e = new;
+            }
+        }
+        counter += 1;
+    });
+    cand
+}
+
+/// Expression simplifications: drop binary operands, collapse calls and
+/// reads, tame constants. Subscripts are left untouched (bounds safety).
+fn simplify_candidates(prog: &TestProgram) -> Vec<TestProgram> {
+    let mut out = Vec::new();
+    for t in 0..expr_count(prog) {
+        for choice in 0..3u8 {
+            let cand = with_expr(prog, t, |e| match (e, choice) {
+                (Expr::Bin { lhs, .. }, 0) => Some((**lhs).clone()),
+                (Expr::Bin { rhs, .. }, 1) => Some((**rhs).clone()),
+                (Expr::Call { args, .. }, 0) if !args.is_empty() => Some(args[0].clone()),
+                (Expr::Call { .. }, 1) => Some(Expr::Const(1.0)),
+                (Expr::Read { .. }, 0) => Some(Expr::Const(1.0)),
+                (Expr::IntAffine { var, .. }, 0) => Some(Expr::IntVar(var.clone())),
+                (Expr::IntVar(_), 0) => Some(Expr::Const(1.0)),
+                (Expr::Const(v), 2) if *v != 1.0 => Some(Expr::Const(1.0)),
+                _ => None,
+            });
+            if cand != *prog {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::oracle::InProcessDecompiler;
+
+    #[test]
+    fn shrinker_minimizes_while_preserving_failure_key() {
+        // Synthesize a reproducible failure by checksumming a global that
+        // does not exist: every candidate fails identically, so the
+        // shrinker should strip the program close to nothing while the
+        // failure key stays fixed.
+        let prog = generate(99, 3, &GenConfig::default());
+        let dec = InProcessDecompiler;
+        let oracle = Oracle::new(&dec);
+        let mut names = prog.array_names();
+        names.push("GHOST".into());
+        let failure = oracle.check_source(&prog.render(), &names).unwrap_err();
+        let res = shrink(&oracle, &prog, &names, &failure);
+        assert_eq!(res.failure.key(), failure.key());
+        assert!(
+            res.program.render().len() <= prog.render().len(),
+            "shrinking must never grow the program"
+        );
+        assert!(res.edits_applied > 0, "expected at least one deletion");
+    }
+
+    #[test]
+    fn candidate_enumeration_is_deterministic() {
+        let prog = generate(5, 11, &GenConfig::default());
+        let a: Vec<String> = delete_candidates(&prog)
+            .iter()
+            .map(|p| p.render())
+            .collect();
+        let b: Vec<String> = delete_candidates(&prog)
+            .iter()
+            .map(|p| p.render())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edit_families_only_produce_changed_programs() {
+        for case in 0..20 {
+            let prog = generate(5, case, &GenConfig::default());
+            for cand in narrow_candidates(&prog) {
+                assert_ne!(cand, prog);
+            }
+            for cand in flatten_candidates(&prog) {
+                assert_ne!(cand, prog);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Replays the checked-in regression corpus through every oracle route.
+//!
+//! Corpus programs are generator output frozen at the moment they were
+//! interesting (construct coverage, past near-misses). They must keep
+//! passing every route even as the generator's stream evolves — the
+//! corpus pins behavior; the live campaign explores.
+
+use splendid_difftest::{replay_corpus_source, InProcessDecompiler, Oracle};
+
+#[test]
+fn corpus_replays_clean_through_every_route() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    let dec = InProcessDecompiler;
+    let oracle = Oracle::new(&dec);
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("c"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 5,
+        "expected at least five corpus programs, found {}",
+        entries.len()
+    );
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("readable corpus file");
+        let report = replay_corpus_source(&oracle, &src)
+            .unwrap_or_else(|f| panic!("{}: {f}", path.display()));
+        assert!(report.checksum.is_finite());
+    }
+}

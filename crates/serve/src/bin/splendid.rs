@@ -4,6 +4,7 @@
 //! splendid decompile <file.{ir,c}> [--variant v1|portable|full] [--stats]
 //! splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]
 //! splendid bench-serve [--jobs N] [--rounds R] [--json]
+//! splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--stats]
 //! splendid dump-polybench <dir>
 //! ```
 //!
@@ -27,6 +28,7 @@ fn usage() -> ! {
          splendid decompile <file.{{ir,c}}> [--variant v1|portable|full] [--stats]\n  \
          splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]\n  \
          splendid bench-serve [--jobs N] [--rounds R] [--json]\n  \
+         splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--stats]\n  \
          splendid dump-polybench <dir>"
     );
     std::process::exit(2);
@@ -45,6 +47,11 @@ struct Args {
     variant: Variant,
     stats: bool,
     json: bool,
+    seed: String,
+    cases: u64,
+    only_case: Option<u64>,
+    shrink: bool,
+    corpus: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -55,6 +62,11 @@ fn parse_args(args: &[String]) -> Args {
         variant: Variant::Full,
         stats: false,
         json: false,
+        seed: "0xSPLENDID".into(),
+        cases: 100,
+        only_case: None,
+        shrink: false,
+        corpus: None,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -84,6 +96,21 @@ fn parse_args(args: &[String]) -> Args {
             }
             "--stats" => out.stats = true,
             "--json" => out.json = true,
+            "--seed" => out.seed = value("--seed"),
+            "--cases" => {
+                out.cases = value("--cases")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--cases: not a number"))
+            }
+            "--case" => {
+                out.only_case = Some(
+                    value("--case")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--case: not a number")),
+                )
+            }
+            "--shrink" => out.shrink = true,
+            "--corpus" => out.corpus = Some(value("--corpus")),
             flag if flag.starts_with('-') => fail(&format!("unknown flag {flag}")),
             _ => out.positional.push(a.clone()),
         }
@@ -345,6 +372,91 @@ fn cmd_bench_serve(args: Args) {
     }
 }
 
+/// Decompilation backend for the differential oracle that routes every
+/// request through the service scheduler. The oracle decompiles each
+/// module twice (for its stability route), so the second decompilation of
+/// every function exercises the function cache's hit path — the campaign
+/// differential-tests the cache along with the pipeline.
+struct SchedulerDecompiler<'a> {
+    scheduler: &'a Scheduler,
+}
+
+impl splendid_difftest::Decompiler for SchedulerDecompiler<'_> {
+    fn decompile(&self, module: &Module, opts: &SplendidOptions) -> Result<String, String> {
+        let request = JobRequest {
+            name: "difftest".into(),
+            input: JobInput::Module(module.clone()),
+            options: opts.clone(),
+        };
+        self.scheduler
+            .submit(request)
+            .wait()
+            .map(|result| result.output.source)
+            .map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_difftest(args: Args) {
+    use splendid_difftest::{
+        parse_seed, replay_corpus_source, run_difftest, DifftestConfig, Oracle,
+    };
+
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: args.jobs,
+        ..Default::default()
+    });
+    let dec = SchedulerDecompiler {
+        scheduler: &scheduler,
+    };
+    let oracle = Oracle::new(&dec);
+
+    // Corpus replay first, if requested: every checked-in program must
+    // keep agreeing on every route.
+    if let Some(dir) = &args.corpus {
+        let files = {
+            let mut f: Vec<PathBuf> = std::fs::read_dir(dir)
+                .unwrap_or_else(|e| fail(&format!("{dir}: {e}")))
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("c"))
+                .collect();
+            f.sort();
+            f
+        };
+        if files.is_empty() {
+            fail(&format!("no .c files in {dir}"));
+        }
+        for path in &files {
+            let src = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+            if let Err(f) = replay_corpus_source(&oracle, &src) {
+                eprintln!("corpus FAIL {}:\n  {f}", path.display());
+                std::process::exit(1);
+            }
+        }
+        println!("corpus: {} program(s) ok", files.len());
+    }
+
+    let cfg = DifftestConfig {
+        seed: parse_seed(&args.seed),
+        cases: args.cases,
+        shrink: args.shrink,
+        only_case: args.only_case,
+        min_work: 0,
+    };
+    let start = Instant::now();
+    let report = run_difftest(&oracle, &cfg);
+    // Report to stdout (byte-deterministic); timing and service stats to
+    // stderr so two runs' stdout can be diffed.
+    print!("{report}");
+    if args.stats {
+        eprintln!("# wall: {:?}", start.elapsed());
+        eprint!("{}", scheduler.stats());
+    }
+    if !report.all_passed() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -355,6 +467,7 @@ fn main() {
         "decompile" => cmd_decompile(args),
         "batch" => cmd_batch(args),
         "bench-serve" => cmd_bench_serve(args),
+        "difftest" => cmd_difftest(args),
         "dump-polybench" => cmd_dump_polybench(args),
         _ => usage(),
     }

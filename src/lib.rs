@@ -13,6 +13,7 @@ pub use splendid_analysis as analysis;
 pub use splendid_baselines as baselines;
 pub use splendid_cfront as cfront;
 pub use splendid_core as core;
+pub use splendid_difftest as difftest;
 pub use splendid_interp as interp;
 pub use splendid_ir as ir;
 pub use splendid_metrics as metrics;

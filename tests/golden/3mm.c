@@ -1,0 +1,60 @@
+double A[40][40];
+double B[40][40];
+double C[40][40];
+double D[40][40];
+double E[40][40];
+double F[40][40];
+double G[40][40];
+
+void init() {
+  for (uint64_t i = 0; i < 40; i = i + 1) {
+    long v41 = i + 3;
+    for (uint64_t j = 0; j < 40; j = j + 1) {
+      A[i][j] = (double)(i * j % 9 + 1) * 0.125;
+      B[i][j] = (double)(i * (j + 1) % 7 + 1) * 0.25;
+      C[i][j] = (double)(v41 * j % 11 + 1) * 0.5;
+      D[i][j] = (double)(i * (j + 2) % 5 + 1) * 0.0625;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 39; i = i + 1) {
+      for (uint64_t j = 0; j < 40; j = j + 1) {
+        E[i][j] = 0.0;
+        for (uint64_t k = 0; k < 40; k = k + 1) {
+          E[i][j] = E[i][j] + A[i][k] * B[k][j];
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 39; i = i + 1) {
+      for (uint64_t j = 0; j < 40; j = j + 1) {
+        F[i][j] = 0.0;
+        for (uint64_t k = 0; k < 40; k = k + 1) {
+          F[i][j] = F[i][j] + C[i][k] * D[k][j];
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 39; i = i + 1) {
+      for (uint64_t j = 0; j < 40; j = j + 1) {
+        G[i][j] = 0.0;
+        for (uint64_t k = 0; k < 40; k = k + 1) {
+          G[i][j] = G[i][j] + E[i][k] * F[k][j];
+        }
+      }
+    }
+  }
+  return;
+}

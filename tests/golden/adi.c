@@ -1,0 +1,41 @@
+double X[80][80];
+double A[80][80];
+double B[80][80];
+
+void init() {
+  for (uint64_t i = 0; i < 80; i = i + 1) {
+    long v42 = i + 1;
+    for (uint64_t j = 0; j < 80; j = j + 1) {
+      X[i][j] = (double)(i * (j + 1) % 13 + 1) * 0.25;
+      A[i][j] = (double)(i * (j + 2) % 11 + 1) * 0.03125;
+      B[i][j] = (double)(v42 * j % 7 + 2) * 1.0;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  for (uint64_t t = 0; t < 2; t = t + 1) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 0; i <= 79; i = i + 1) {
+        for (uint64_t j = 1; j < 80; j = j + 1) {
+          X[i][j] = X[i][j] - X[i][j - 1] * A[i][j] / B[i][j - 1];
+          B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i][j - 1];
+        }
+      }
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t j = 0; j <= 79; j = j + 1) {
+        for (uint64_t i = 1; i < 80; i = i + 1) {
+          X[i][j] = X[i][j] - X[i - 1][j] * A[i][j] / B[i - 1][j];
+          B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i - 1][j];
+        }
+      }
+    }
+  }
+  return;
+}

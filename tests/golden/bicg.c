@@ -1,0 +1,31 @@
+double A[120][120];
+double s[120];
+double q[120];
+double p[120];
+double r[120];
+
+void init() {
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    p[i] = (double)(i % 11 + 1) * 0.0625;
+    r[i] = (double)(i % 7 + 1) * 0.125;
+    s[i] = 0.0;
+    q[i] = 0.0;
+    long v40 = i * 3;
+    for (uint64_t j = 0; j < 120; j = j + 1) {
+      A[i][j] = (double)((v40 + j) % 13 + 1) * 0.03125;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    q[i] = 0.0;
+    double v24 = r[i];
+    for (uint64_t j = 0; j < 120; j = j + 1) {
+      s[j] = s[j] + v24 * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+  return;
+}

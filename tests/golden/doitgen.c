@@ -1,0 +1,49 @@
+double A[24][24][24];
+double Anew[24][24][24];
+double C4[24][24];
+
+void init() {
+  for (uint64_t r = 0; r < 24; r = r + 1) {
+    for (uint64_t q = 0; q < 24; q = q + 1) {
+      long v27 = r * q;
+      for (uint64_t p = 0; p < 24; p = p + 1) {
+        A[r][q][p] = (double)((v27 + p) % 9 + 1) * 0.0625;
+      }
+    }
+  }
+  for (uint64_t q = 0; q < 24; q = q + 1) {
+    for (uint64_t p = 0; p < 24; p = p + 1) {
+      C4[q][p] = (double)((q + p * 2) % 7 + 1) * 0.125;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t r = 0; r <= 23; r = r + 1) {
+      for (uint64_t q = 0; q < 24; q = q + 1) {
+        for (uint64_t p = 0; p < 24; p = p + 1) {
+          Anew[r][q][p] = 0.0;
+          for (uint64_t S = 0; S < 24; S = S + 1) {
+            Anew[r][q][p] = Anew[r][q][p] + A[r][q][S] * C4[S][p];
+          }
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t r = 0; r <= 23; r = r + 1) {
+      for (uint64_t q = 0; q < 24; q = q + 1) {
+        for (uint64_t p = 0; p < 24; p = p + 1) {
+          A[r][q][p] = Anew[r][q][p];
+        }
+      }
+    }
+  }
+  return;
+}

@@ -1,0 +1,54 @@
+double ex[80][80];
+double ey[80][80];
+double hz[80][80];
+
+void init() {
+  for (uint64_t i = 0; i < 80; i = i + 1) {
+    long v42 = i + 3;
+    for (uint64_t j = 0; j < 80; j = j + 1) {
+      ex[i][j] = (double)(i * (j + 1) % 11 + 1) * 0.125;
+      ey[i][j] = (double)(i * (j + 2) % 7 + 1) * 0.25;
+      hz[i][j] = (double)(v42 * j % 13 + 1) * 0.0625;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  for (uint64_t t = 0; t < 4; t = t + 1) {
+    double v20 = (double)t * 0.1;
+    for (uint64_t j = 0; j < 80; j = j + 1) {
+      ey[0][j] = v20;
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 1; i <= 79; i = i + 1) {
+        long v290 = i - 1;
+        for (uint64_t j = 0; j < 80; j = j + 1) {
+          ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[v290][j]);
+        }
+      }
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 0; i <= 79; i = i + 1) {
+        for (uint64_t j = 1; j < 80; j = j + 1) {
+          ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+        }
+      }
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 0; i <= 78; i = i + 1) {
+        long v225 = i + 1;
+        for (uint64_t j = 0; j < 79; j = j + 1) {
+          hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[v225][j] - ey[i][j]);
+        }
+      }
+    }
+  }
+  return;
+}

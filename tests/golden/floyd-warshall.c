@@ -1,0 +1,23 @@
+double path[60][60];
+
+void init() {
+  for (uint64_t i = 0; i < 60; i = i + 1) {
+    for (uint64_t j = 0; j < 60; j = j + 1) {
+      path[i][j] = (double)(i * j % 7 + 1) * 1.0 + (double)((i + j) % 13);
+    }
+  }
+  return;
+}
+
+void kernel() {
+  for (uint64_t k = 0; k < 60; k = k + 1) {
+    for (uint64_t i = 0; i < 60; i = i + 1) {
+      for (uint64_t j = 0; j < 60; j = j + 1) {
+        if (path[i][k] + path[k][j] < path[i][j]) {
+          path[i][j] = path[i][k] + path[k][j];
+        }
+      }
+    }
+  }
+  return;
+}

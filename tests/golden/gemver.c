@@ -1,0 +1,60 @@
+double A[120][120];
+double u1[120];
+double v1[120];
+double u2[120];
+double v2[120];
+double w[120];
+double x[120];
+double y[120];
+double z[120];
+
+void init() {
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    u1[i] = (double)(i % 9 + 1) * 0.125;
+    v1[i] = (double)((i + 1) % 7 + 1) * 0.0625;
+    u2[i] = (double)((i + 2) % 11 + 1) * 0.03125;
+    v2[i] = (double)((i + 3) % 5 + 1) * 0.25;
+    y[i] = (double)(i % 13 + 1) * 0.015625;
+    z[i] = (double)(i % 17 + 1) * 0.0078125;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    long v75 = i * 2;
+    for (uint64_t j = 0; j < 120; j = j + 1) {
+      A[i][j] = (double)((v75 + j) % 19 + 1) * 0.015625;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      double v219 = u1[i];
+      double v221 = u2[i];
+      for (uint64_t j = 0; j < 120; j = j + 1) {
+        A[i][j] = A[i][j] + v219 * v1[j] + v221 * v2[j];
+      }
+    }
+  }
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    double v70 = y[i];
+    for (uint64_t j = 0; j < 120; j = j + 1) {
+      x[j] = x[j] + 1.1 * A[i][j] * v70;
+    }
+  }
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    x[i] = x[i] + z[i];
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      for (uint64_t j = 0; j < 120; j = j + 1) {
+        w[i] = w[i] + 1.3 * A[i][j] * x[j];
+      }
+    }
+  }
+  return;
+}

@@ -1,0 +1,34 @@
+double A[120][120];
+double B[120][120];
+double x[120];
+double y[120];
+double tmp[120];
+
+void init() {
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    x[i] = (double)(i % 9 + 1) * 0.0625;
+    long v38 = i * 2;
+    for (uint64_t j = 0; j < 120; j = j + 1) {
+      A[i][j] = (double)((i + j * 2) % 11 + 1) * 0.03125;
+      B[i][j] = (double)((v38 + j) % 13 + 1) * 0.015625;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      tmp[i] = 0.0;
+      y[i] = 0.0;
+      for (uint64_t j = 0; j < 120; j = j + 1) {
+        tmp[i] = A[i][j] * x[j] + tmp[i];
+        y[i] = B[i][j] * x[j] + y[i];
+      }
+      y[i] = 1.25 * tmp[i] + 1.75 * y[i];
+    }
+  }
+  return;
+}

@@ -1,0 +1,39 @@
+double A[100][100];
+double B[100][100];
+
+void init() {
+  for (uint64_t i = 0; i < 100; i = i + 1) {
+    long v18 = i + 1;
+    for (uint64_t j = 0; j < 100; j = j + 1) {
+      A[i][j] = (double)(v18 * (j + 2) % 19 + 1) * 0.125;
+      B[i][j] = 0.0;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  for (uint64_t t = 0; t < 4; t = t + 1) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 1; i <= 98; i = i + 1) {
+        long v164 = i + 1;
+        long v165 = i - 1;
+        for (uint64_t j = 1; j < 99; j = j + 1) {
+          B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[v164][j] + A[v165][j]);
+        }
+      }
+    }
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (uint64_t i = 1; i <= 98; i = i + 1) {
+        for (uint64_t j = 1; j < 99; j = j + 1) {
+          A[i][j] = B[i][j];
+        }
+      }
+    }
+  }
+  return;
+}

@@ -1,0 +1,41 @@
+double A[120][120];
+double x1[120];
+double x2[120];
+double y1[120];
+double y2[120];
+
+void init() {
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    x1[i] = (double)(i % 9 + 1) * 0.0625;
+    x2[i] = (double)((i + 4) % 7 + 1) * 0.03125;
+    y1[i] = (double)(i % 11 + 1) * 0.125;
+    y2[i] = (double)((i + 2) % 13 + 1) * 0.25;
+    long v52 = i * 2;
+    for (uint64_t j = 0; j < 120; j = j + 1) {
+      A[i][j] = (double)((v52 + j * 3) % 17 + 1) * 0.015625;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      for (uint64_t j = 0; j < 120; j = j + 1) {
+        x1[i] = x1[i] + A[i][j] * y1[j];
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 119; i = i + 1) {
+      for (uint64_t j = 0; j < 120; j = j + 1) {
+        x2[i] = x2[i] + A[j][i] * y2[j];
+      }
+    }
+  }
+  return;
+}

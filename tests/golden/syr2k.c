@@ -1,0 +1,32 @@
+double A[48][48];
+double B[48][48];
+double C[48][48];
+
+void init() {
+  for (uint64_t i = 0; i < 48; i = i + 1) {
+    long v29 = i + 2;
+    long v41 = i + 3;
+    for (uint64_t j = 0; j < 48; j = j + 1) {
+      A[i][j] = (double)(i * j % 9 + 1) * 0.125;
+      B[i][j] = (double)(v29 * j % 7 + 1) * 0.25;
+      C[i][j] = (double)(v41 * (j + 1) % 11 + 1) * 0.0625;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (uint64_t i = 0; i <= 47; i = i + 1) {
+      for (uint64_t j = 0; j < 48; j = j + 1) {
+        C[i][j] = C[i][j] * 1.3;
+        for (uint64_t k = 0; k < 48; k = k + 1) {
+          C[i][j] = C[i][j] + 1.1 * A[i][k] * B[j][k] + 1.1 * B[i][k] * A[j][k];
+        }
+      }
+    }
+  }
+  return;
+}

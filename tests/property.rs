@@ -1,98 +1,66 @@
-#![cfg(feature = "proptest")]
-
 //! Cross-crate property tests: random programs through the full compiler
 //! substrate preserve semantics.
+//!
+//! Cases come from the in-tree difftest generator (`splendid::difftest`),
+//! so the suite is fully deterministic, needs no external crates, and
+//! draws from a far richer grammar than the old ad-hoc statement list:
+//! nested and downward loops, guarded stores, reductions, helper calls,
+//! and 2-D subscripts.
 
-use proptest::prelude::*;
-use splendid::cfront::{lower_program, parse_program, LowerOptions};
-use splendid::interp::{MachineConfig, Vm};
-use splendid::transforms::{optimize_module, O2Options};
+use splendid::cfront::OmpRuntime;
+use splendid::difftest::{generate, GenConfig, InProcessDecompiler, Oracle};
+use splendid::interp::MachineConfig;
+use splendid::polybench::Harness;
 
-/// A random arithmetic statement writing A[k].
-#[derive(Debug, Clone)]
-enum Stmt {
-    /// `A[dst] = A[a] <op> A[b];`
-    Bin { dst: u8, a: u8, b: u8, op: char },
-    /// `A[dst] = A[a] * c;`
-    Scale { dst: u8, a: u8, c: i8 },
-}
+const SEED: u64 = 0x5EED_CA5E;
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (
-            0u8..16,
-            0u8..16,
-            0u8..16,
-            prop_oneof![Just('+'), Just('-'), Just('*')]
-        )
-            .prop_map(|(dst, a, b, op)| Stmt::Bin { dst, a, b, op }),
-        (0u8..16, 0u8..16, -3i8..4).prop_map(|(dst, a, c)| Stmt::Scale { dst, a, c }),
-    ]
-}
-
-fn render(stmts: &[Stmt], loop_bound: u8) -> String {
-    let mut body = String::new();
-    for s in stmts {
-        match s {
-            Stmt::Bin { dst, a, b, op } => {
-                body.push_str(&format!("    A[{dst}] = A[{a}] {op} A[{b}];\n"))
-            }
-            Stmt::Scale { dst, a, c } => {
-                body.push_str(&format!("    A[{dst}] = A[{a}] * {c}.0;\n"))
-            }
-        }
+/// -O2 (mem2reg, folding, LICM, rotation, DCE) never changes results on
+/// generated programs: the pipeline must not reassociate floats, so the
+/// checksums are compared bitwise-exactly.
+#[test]
+fn o2_preserves_semantics() {
+    let cfg = GenConfig::default();
+    for case in 0..24 {
+        let prog = generate(SEED, case, &cfg);
+        let src = prog.render();
+        let names: Vec<String> = prog.array_names();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let plain = Harness::compile_o0(&src, OmpRuntime::LibOmp)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+        let (c0, _) = Harness::run(&plain, MachineConfig::default(), &refs)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+        let optimized = Harness::compile(&src, OmpRuntime::LibOmp)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+        let (c2, _) = Harness::run(&optimized, MachineConfig::default(), &refs)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+        assert_eq!(c0, c2, "case {case}: O2 changed the checksum\n{src}");
+        assert!(c0.is_finite(), "case {case}: non-finite checksum\n{src}");
     }
-    format!(
-        "double A[16];\n\
-         void init() {{\n  int i;\n  for (i = 0; i < 16; i++) {{ A[i] = i * 0.5 + 1.0; }}\n}}\n\
-         void kernel() {{\n  int t;\n  for (t = 0; t < {loop_bound}; t++) {{\n{body}  }}\n}}\n"
-    )
 }
 
-fn run(src: &str, optimize: bool) -> Vec<f64> {
-    let prog = parse_program(src).expect("parse");
-    let mut m = lower_program(&prog, "prop", &LowerOptions::default()).expect("lower");
-    if optimize {
-        optimize_module(&mut m, &O2Options::default());
+/// Decompiling parallelized IR and recompiling preserves semantics — the
+/// full oracle (reference, -O2, parallelizer, decompile→recompile under
+/// both OpenMP runtimes, and decompilation stability) must agree.
+#[test]
+fn decompile_recompile_preserves_semantics() {
+    let dec = InProcessDecompiler;
+    let oracle = Oracle::new(&dec);
+    let cfg = GenConfig::default();
+    for case in 0..12 {
+        let prog = generate(SEED, case, &cfg);
+        let src = prog.render();
+        oracle
+            .check_source(&src, &prog.array_names())
+            .unwrap_or_else(|f| panic!("case {case}: {f}\n{src}"));
     }
-    let mut vm = Vm::new(&m, MachineConfig::default());
-    vm.call_by_name("init", &[]).expect("init");
-    vm.call_by_name("kernel", &[]).expect("kernel");
-    (0..16)
-        .map(|i| vm.read_global_f64("A", i).unwrap())
-        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// -O2 (mem2reg, folding, LICM, rotation, DCE) never changes results
-    /// on random loopy straight-line programs.
-    #[test]
-    fn o2_preserves_semantics(stmts in prop::collection::vec(stmt_strategy(), 1..8),
-                              bound in 1u8..5) {
-        let src = render(&stmts, bound);
-        let plain = run(&src, false);
-        let optimized = run(&src, true);
-        // Bitwise equality: the pipeline must not reassociate floats.
-        prop_assert_eq!(plain, optimized);
-    }
-
-    /// Decompiling optimized IR and recompiling preserves semantics on the
-    /// same random programs.
-    #[test]
-    fn decompile_recompile_preserves_semantics(
-        stmts in prop::collection::vec(stmt_strategy(), 1..6),
-        bound in 1u8..4,
-    ) {
-        let src = render(&stmts, bound);
-        let prog = parse_program(&src).unwrap();
-        let mut m = lower_program(&prog, "prop", &LowerOptions::default()).unwrap();
-        optimize_module(&mut m, &O2Options::default());
-        let out = splendid::core::decompile(&m, &splendid::core::SplendidOptions::default())
-            .expect("decompile");
-        let before = run(&src, true);
-        let after = run(&out.source, true);
-        prop_assert_eq!(before, after, "source:\n{}\ndecompiled:\n{}", src, out.source);
+/// Every generated program is valid input for the C frontend.
+#[test]
+fn generated_programs_always_parse() {
+    let cfg = GenConfig::default();
+    for case in 0..100 {
+        let src = generate(SEED, case, &cfg).render();
+        splendid::cfront::parse_program(&src).unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
     }
 }
