@@ -80,7 +80,8 @@ fn emit(module: &Module, opts: &StructureOptions, ghidra_style: bool) -> Baselin
     for fid in module.func_ids() {
         let f = module.func(fid);
         let naming = synthetic_naming(f, ghidra_style);
-        let structured = structure_function(module, f, &naming, opts);
+        let structured = structure_function(module, f, &naming, opts)
+            .expect("baseline structuring is total over well-formed IR");
         program.functions.push(structured.cfunc);
     }
     let source = print_program(&program);
@@ -94,6 +95,7 @@ pub fn decompile_rellic_like(module: &Module) -> BaselineOutput {
         guard_elimination: false,
         emit_pragmas: false,
         inline_expressions: false,
+        hoist_decls: true,
     };
     emit(module, &opts, false)
 }
@@ -120,6 +122,7 @@ pub fn decompile_ghidra_like(module: &Module) -> BaselineOutput {
         guard_elimination: true,
         emit_pragmas: false,
         inline_expressions: true,
+        hoist_decls: false,
     };
     emit(&stripped, &opts, true)
 }

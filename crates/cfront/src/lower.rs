@@ -153,6 +153,9 @@ pub(crate) struct FuncLowerer<'m> {
     pub region_counter: usize,
     /// Source line bookkeeping (approximate: statement index).
     pub next_line: u32,
+    /// goto/label targets: name -> (block, defined yet?). Blocks are
+    /// created lazily on the first reference, whether goto or label.
+    pub labels: HashMap<String, (BlockId, bool)>,
 }
 
 impl<'m> FuncLowerer<'m> {
@@ -167,6 +170,27 @@ impl<'m> FuncLowerer<'m> {
 
     pub(crate) fn terminated(&self) -> bool {
         self.func.terminator(self.cur).is_some()
+    }
+
+    /// Block for a goto/label target, created on first reference.
+    pub(crate) fn label_block(&mut self, name: &str) -> BlockId {
+        if let Some((bb, _)) = self.labels.get(name) {
+            return *bb;
+        }
+        let bb = self.func.add_block(format!("label.{name}"));
+        self.labels.insert(name.to_string(), (bb, false));
+        bb
+    }
+
+    /// After the body is lowered, every referenced label must have been
+    /// defined (otherwise its block would be empty and unterminated).
+    pub(crate) fn check_labels(&self) -> LResult<()> {
+        for (name, (_, defined)) in &self.labels {
+            if !defined {
+                return err(format!("goto to undefined label '{name}'"));
+            }
+        }
+        Ok(())
     }
 
     pub(crate) fn lookup(&self, name: &str) -> Option<&Slot> {
@@ -733,8 +757,8 @@ impl<'m> FuncLowerer<'m> {
     pub(crate) fn lower_stmts(&mut self, stmts: &[CStmt]) -> LResult<()> {
         self.scopes.push(HashMap::new());
         for s in stmts {
-            if self.terminated() {
-                break; // unreachable code after return
+            if self.terminated() && !matches!(s, CStmt::Label(_)) {
+                continue; // unreachable until the next label, if any
             }
             self.lower_stmt(s)?;
         }
@@ -918,9 +942,27 @@ impl<'m> FuncLowerer<'m> {
                 self.lower_omp_parallel(&par_clauses, &region)
             }
             CStmt::OmpBarrier => self.lower_omp_barrier(),
-            CStmt::Goto(_) | CStmt::Label(_) => {
-                err("goto/labels are not supported by the frontend lowering")
+            CStmt::Goto(label) => {
+                let bb = self.label_block(label);
+                self.push_simple(InstKind::Br { target: bb }, Type::Void);
+                Ok(())
             }
+            CStmt::Label(name) => {
+                let bb = self.label_block(name);
+                match self.labels.get_mut(name) {
+                    Some((_, defined)) if *defined => {
+                        return err(format!("duplicate label '{name}'"));
+                    }
+                    Some((_, defined)) => *defined = true,
+                    None => unreachable!("label_block always registers the label"),
+                }
+                if !self.terminated() {
+                    self.push_simple(InstKind::Br { target: bb }, Type::Void);
+                }
+                self.cur = bb;
+                Ok(())
+            }
+            CStmt::Comment(_) => Ok(()),
         }
     }
 }
@@ -1005,6 +1047,7 @@ pub fn lower_program(
             tid: None,
             region_counter: 0,
             next_line: 0,
+            labels: HashMap::new(),
         };
         // Copy parameters into allocas (clang -O0 style).
         for (pi, (pname, pty)) in f.params.iter().enumerate() {
@@ -1018,6 +1061,7 @@ pub fn lower_program(
             );
         }
         fl.lower_stmts(&f.body)?;
+        fl.check_labels()?;
         if !fl.terminated() {
             // A join block with no predecessors (e.g. after an if/else in
             // which both arms return) is unreachable, not a fall-off.

@@ -119,6 +119,7 @@ impl<'m> FuncLowerer<'m> {
                 tid: Some(Value::Arg(0)),
                 region_counter: 0,
                 next_line: self.next_line,
+                labels: HashMap::new(),
             };
             // Captured parameters become local slots (copied to allocas,
             // clang style) so the body lowers uniformly.
@@ -138,6 +139,7 @@ impl<'m> FuncLowerer<'m> {
                 inner.declare_local(name, cty.clone());
             }
             inner.lower_stmts(body)?;
+            inner.check_labels()?;
             if !inner.terminated() {
                 inner.push_simple(InstKind::Ret { val: None }, Type::Void);
             }
@@ -469,6 +471,7 @@ fn free_vars_stmt(stmt: &CStmt, bound: &mut HashSet<String>, out: &mut Vec<Strin
         }
         CStmt::Return(Some(e)) => free_vars_expr(e, bound, out),
         CStmt::Return(None) | CStmt::OmpBarrier | CStmt::Goto(_) | CStmt::Label(_) => {}
+        CStmt::Comment(_) => {}
         CStmt::Block(b) => free_vars_stmts(b, bound, out),
         CStmt::OmpParallel { body, clauses } => {
             let mut inner_bound = bound.clone();
@@ -580,6 +583,7 @@ fn written_vars_stmt(stmt: &CStmt, out: &mut HashSet<String>) {
         }
         CStmt::Return(Some(e)) => written_vars_expr(e, out),
         CStmt::Return(None) | CStmt::OmpBarrier | CStmt::Goto(_) | CStmt::Label(_) => {}
+        CStmt::Comment(_) => {}
         CStmt::Block(b) => written_vars_stmts(b, out),
         CStmt::OmpParallel { body, .. } => written_vars_stmts(body, out),
         CStmt::OmpFor { loop_stmt, clauses } | CStmt::OmpParallelFor { loop_stmt, clauses } => {

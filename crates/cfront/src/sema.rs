@@ -160,7 +160,7 @@ fn check_stmt(
             }
             check_stmt(loop_stmt, scope, prog, f)
         }
-        CStmt::OmpBarrier | CStmt::Goto(_) | CStmt::Label(_) => Ok(()),
+        CStmt::OmpBarrier | CStmt::Goto(_) | CStmt::Label(_) | CStmt::Comment(_) => Ok(()),
     }
 }
 

@@ -1,0 +1,192 @@
+//! Workspace-wide error taxonomy for the decompilation pipeline.
+//!
+//! Every recoverable or fatal condition that used to surface as a
+//! `panic!`/`unwrap` in the hot paths is funneled through
+//! [`SplendidError`]: a stage tag (which pass failed), an optional
+//! function attribution, a severity, and a `transient` marker that the
+//! serve layer uses to decide whether bounded-backoff retry is worth
+//! attempting. Errors are values, not control flow — the pipeline's
+//! fidelity ladder (see `pipeline::decompile_function`) consumes
+//! recoverable errors by degrading the affected function one tier.
+
+use std::fmt;
+
+/// The pipeline pass a [`SplendidError`] is attributed to. Doubles as
+/// the set of named fault-injection sites (see `fault::FaultPlan`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Module-wide parallel-region detransformation + outline inlining.
+    Detransform,
+    /// Per-function variable-name restoration.
+    Naming,
+    /// Per-function control-flow structuring.
+    Structure,
+    /// Per-function OpenMP pragma re-synthesis.
+    Pragma,
+    /// C emission (including the literal-tier emitter).
+    Emit,
+}
+
+/// All stages, in pipeline order. Used to enumerate fault sites.
+pub const STAGES: [Stage; 5] = [
+    Stage::Detransform,
+    Stage::Naming,
+    Stage::Structure,
+    Stage::Pragma,
+    Stage::Emit,
+];
+
+impl Stage {
+    /// Stable lowercase label; also the fault-site name on the CLI.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Detransform => "detransform",
+            Stage::Naming => "naming",
+            Stage::Structure => "structure",
+            Stage::Pragma => "pragma",
+            Stage::Emit => "emit",
+        }
+    }
+
+    /// Parse a fault-site name as printed by [`Stage::label`].
+    pub fn from_label(s: &str) -> Option<Stage> {
+        STAGES.into_iter().find(|st| st.label() == s)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How bad a failure is for the *caller*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The pipeline can degrade to a lower fidelity tier and still
+    /// produce semantics-preserving output.
+    Recoverable,
+    /// No tier can absorb this (e.g. the literal emitter itself failed
+    /// on malformed IR); the function or module must be reported failed.
+    Fatal,
+}
+
+/// Structured pipeline error: stage + optional function + severity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplendidError {
+    /// Which pass failed.
+    pub stage: Stage,
+    /// The function being decompiled, when the failure is per-function.
+    pub function: Option<String>,
+    /// Whether a lower fidelity tier can absorb the failure.
+    pub severity: Severity,
+    /// Transient failures (timeouts, resource caps) are worth a bounded
+    /// backoff-and-retry at the serve layer before degrading.
+    pub transient: bool,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl SplendidError {
+    /// A recoverable, non-transient failure in `stage`.
+    pub fn recoverable(stage: Stage, message: impl Into<String>) -> SplendidError {
+        SplendidError {
+            stage,
+            function: None,
+            severity: Severity::Recoverable,
+            transient: false,
+            message: message.into(),
+        }
+    }
+
+    /// A fatal failure in `stage`.
+    pub fn fatal(stage: Stage, message: impl Into<String>) -> SplendidError {
+        SplendidError {
+            stage,
+            function: None,
+            severity: Severity::Fatal,
+            transient: false,
+            message: message.into(),
+        }
+    }
+
+    /// A transient (retry-worthy) recoverable failure in `stage`.
+    pub fn transient(stage: Stage, message: impl Into<String>) -> SplendidError {
+        SplendidError {
+            stage,
+            function: None,
+            severity: Severity::Recoverable,
+            transient: true,
+            message: message.into(),
+        }
+    }
+
+    /// Attribute the error to a function.
+    pub fn in_function(mut self, name: impl Into<String>) -> SplendidError {
+        self.function = Some(name.into());
+        self
+    }
+
+    /// Whether a lower tier can absorb this failure.
+    pub fn is_recoverable(&self) -> bool {
+        self.severity == Severity::Recoverable
+    }
+}
+
+impl fmt::Display for SplendidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}", self.stage)?;
+        if let Some(func) = &self.function {
+            write!(f, " in {func}")?;
+        }
+        write!(f, "] {}", self.message)?;
+        if self.transient {
+            write!(f, " (transient)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SplendidError {}
+
+// Older call sites (difftest oracle, examples) treat pipeline errors as
+// plain strings; keep `?` working across that boundary.
+impl From<SplendidError> for String {
+    fn from(e: SplendidError) -> String {
+        e.to_string()
+    }
+}
+
+/// Render a `catch_unwind` payload as a message. Shared by the pipeline
+/// ladder and the serve scheduler.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_function_and_transient_marker() {
+        let e = SplendidError::transient(Stage::Structure, "boom").in_function("kernel");
+        assert_eq!(e.to_string(), "[structure in kernel] boom (transient)");
+        let e = SplendidError::fatal(Stage::Detransform, "bad region");
+        assert_eq!(e.to_string(), "[detransform] bad region");
+        assert!(!e.is_recoverable());
+    }
+
+    #[test]
+    fn stage_labels_round_trip() {
+        for st in STAGES {
+            assert_eq!(Stage::from_label(st.label()), Some(st));
+        }
+        assert_eq!(Stage::from_label("bogus"), None);
+    }
+}

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! SPLENDID: a parallel-IR-to-C/OpenMP decompiler.
 //!
 //! This crate is the reproduction of the paper's primary contribution
@@ -27,17 +28,27 @@
 //!   minimizing clauses (private variables are declared inside the region);
 //! * [`pipeline`] — ties everything together and exposes the three
 //!   evaluation variants: `V1` (control flow only), `Portable` (+ explicit
-//!   parallelism), and `Full` (+ variable renaming).
+//!   parallelism), and `Full` (+ variable renaming) — plus the fidelity
+//!   ladder `Natural → Structured → Literal` for fault containment;
+//! * [`error`] / [`fault`] / [`literal`] — the fault-containment layer:
+//!   the workspace-wide [`error::SplendidError`] taxonomy, deterministic
+//!   seeded fault injection ([`fault::FaultPlan`]), and the
+//!   always-available statement-per-instruction emitter.
 
 pub mod analyzer;
 pub mod detransform;
+pub mod error;
+pub mod fault;
+pub mod literal;
 pub mod naming;
 pub mod pipeline;
 pub mod pragma;
 pub mod structure;
 
+pub use error::{panic_message, Severity, SplendidError, Stage};
+pub use fault::{FaultKind, FaultPlan, FaultRng, FaultSpec};
 pub use pipeline::{
     assemble_output, decompile, decompile_function, decompile_timed, prepare_module,
-    DecompileOutput, FunctionOutput, NamingStats, PreparedModule, SplendidOptions, StageTimings,
-    Variant,
+    DecompileOutput, FidelityTier, FunctionOutput, NamingStats, PreparedModule, SplendidOptions,
+    StageTimings, Variant,
 };

@@ -1,10 +1,22 @@
 //! The SPLENDID decompilation pipeline and its evaluation variants.
+//!
+//! Besides the paper's variants, the pipeline implements a per-function
+//! **fidelity ladder** (`Natural → Structured → Literal`): when a
+//! sophisticated detransform fails — organically or under an injected
+//! [`FaultPlan`] — only the affected function degrades to the next tier,
+//! and the bottom tier (statement-per-instruction emission) is always
+//! available, so a module-level answer is always produced.
 
 use crate::detransform::{detransform_and_inline, RegionReport};
+use crate::error::{panic_message, SplendidError, Stage};
+use crate::fault::FaultPlan;
+use crate::literal::emit_literal;
 use crate::naming::{assign_names, assign_register_names, NameOrigin};
 use crate::structure::{structure_function, StructureOptions};
-use splendid_cfront::ast::{print_program, CFunc, CProgram, CType};
+use splendid_cfront::ast::{print_program, CFunc, CProgram, CStmt, CType};
 use splendid_ir::{FuncId, MemType, Module, Type};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The paper's evaluation variants (§5.3.1).
@@ -20,6 +32,41 @@ pub enum Variant {
     Full,
 }
 
+/// Fidelity tiers of the per-function degradation ladder, best first.
+///
+/// `Natural` is the paper's full pipeline. `Structured` keeps the
+/// structurer but turns off the fragile detransforms (loop de-rotation,
+/// guard elimination, pragma re-synthesis, expression folding) — the
+/// Rellic-like shape. `Literal` is statement-per-instruction emission
+/// with labels and gotos: mechanically derived from the IR, it cannot
+/// fail on well-formed input and is always semantics-preserving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FidelityTier {
+    /// Full natural decompilation (loop/pragma/name recovery).
+    Natural,
+    /// Conservative structuring, register names, no pragmas.
+    Structured,
+    /// Statement-per-instruction C with labels and gotos.
+    Literal,
+}
+
+impl FidelityTier {
+    /// Stable lowercase label used in annotations and stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FidelityTier::Natural => "natural",
+            FidelityTier::Structured => "structured",
+            FidelityTier::Literal => "literal",
+        }
+    }
+}
+
+impl std::fmt::Display for FidelityTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Options for [`decompile`].
 #[derive(Debug, Clone)]
 pub struct SplendidOptions {
@@ -29,6 +76,13 @@ pub struct SplendidOptions {
     pub guard_elimination: bool,
     /// Expression folding (ablation: design choice 4).
     pub inline_expressions: bool,
+    /// Highest fidelity tier to attempt. `Natural` (the default) runs
+    /// the full ladder; the serve layer retries panicked work items with
+    /// `Literal` to skip the fragile tiers entirely.
+    pub start_tier: FidelityTier,
+    /// Deterministic fault-injection plan. `None` (the default) is the
+    /// zero-cost happy path: no counter is touched anywhere.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for SplendidOptions {
@@ -37,8 +91,25 @@ impl Default for SplendidOptions {
             variant: Variant::Full,
             guard_elimination: true,
             inline_expressions: true,
+            start_tier: FidelityTier::Natural,
+            faults: None,
         }
     }
+}
+
+/// Consult the fault plan, if any, at an instrumented site.
+#[inline]
+fn fault_gate(opts: &SplendidOptions, site: Stage) -> Result<(), SplendidError> {
+    match &opts.faults {
+        None => Ok(()),
+        Some(plan) => plan.check(site),
+    }
+}
+
+/// Run `job` with panics contained as fatal stage errors.
+fn contain<T>(stage: Stage, fname: &str, job: impl FnOnce() -> T) -> Result<T, SplendidError> {
+    catch_unwind(AssertUnwindSafe(job))
+        .map_err(|p| SplendidError::fatal(stage, panic_message(p)).in_function(fname))
 }
 
 /// Variable-restoration statistics (Figure 8).
@@ -91,6 +162,10 @@ pub struct StageTimings {
     pub structure: Duration,
     /// C pretty-printing.
     pub emit: Duration,
+    /// Functions that fell back to the structured tier.
+    pub degraded_structured: u32,
+    /// Functions that fell back to the literal tier.
+    pub degraded_literal: u32,
 }
 
 impl StageTimings {
@@ -105,6 +180,8 @@ impl StageTimings {
         self.naming += other.naming;
         self.structure += other.structure;
         self.emit += other.emit;
+        self.degraded_structured += other.degraded_structured;
+        self.degraded_literal += other.degraded_literal;
     }
 }
 
@@ -138,6 +215,8 @@ pub struct FunctionOutput {
     pub naming: NamingStats,
     /// `goto` statements emitted for this function.
     pub gotos: usize,
+    /// The fidelity tier the function was actually emitted at.
+    pub tier: FidelityTier,
 }
 
 /// Run the module-wide stages (parallel-region detransformation and
@@ -147,11 +226,14 @@ pub fn prepare_module(
     module: &Module,
     opts: &SplendidOptions,
     timings: &mut StageTimings,
-) -> Result<PreparedModule, String> {
+) -> Result<PreparedModule, SplendidError> {
     let start = Instant::now();
     let mut work = module.clone();
     let regions = if opts.variant != Variant::V1 {
-        detransform_and_inline(&mut work)?
+        fault_gate(opts, Stage::Detransform)?;
+        let detransformed = catch_unwind(AssertUnwindSafe(|| detransform_and_inline(&mut work)))
+            .map_err(|p| SplendidError::fatal(Stage::Detransform, panic_message(p)))?;
+        detransformed.map_err(|e| SplendidError::fatal(Stage::Detransform, e))?
     } else {
         Vec::new()
     };
@@ -162,33 +244,75 @@ pub fn prepare_module(
     })
 }
 
-/// Decompile one function of a prepared module.
-///
-/// This is the reentrant unit of work the service layer schedules: it
-/// takes only shared references, touches no global state, and two calls
-/// with the same `(function IR, options)` produce identical output.
-pub fn decompile_function(
+/// One attempt at emitting `fid` at a specific fidelity tier.
+fn attempt_tier(
     prepared: &PreparedModule,
     fid: FuncId,
     opts: &SplendidOptions,
+    tier: FidelityTier,
     timings: &mut StageTimings,
-) -> FunctionOutput {
+) -> Result<FunctionOutput, SplendidError> {
     let work = &prepared.module;
+    let fname = work.func(fid).name.clone();
+
+    if tier == FidelityTier::Literal {
+        // The bottom rung: no fault gates, no fragile passes. Either it
+        // emits or the input IR itself is malformed.
+        let start = Instant::now();
+        let lit = contain(Stage::Emit, &fname, || emit_literal(work, work.func(fid)))??;
+        timings.structure += start.elapsed();
+        return Ok(FunctionOutput {
+            cfunc: lit.cfunc,
+            naming: NamingStats {
+                total_vars: lit.vars,
+                restored_vars: 0,
+            },
+            gotos: lit.gotos,
+            tier,
+        });
+    }
+
     let start = Instant::now();
-    let naming = match opts.variant {
-        Variant::Full => assign_names(work, fid),
-        _ => assign_register_names(work, fid),
-    };
+    fault_gate(opts, Stage::Naming).map_err(|e| e.in_function(&fname))?;
+    let use_source_names = tier == FidelityTier::Natural && opts.variant == Variant::Full;
+    let naming = contain(Stage::Naming, &fname, || {
+        if use_source_names {
+            assign_names(work, fid)
+        } else {
+            assign_register_names(work, fid)
+        }
+    })?;
     timings.naming += start.elapsed();
 
-    let sopts = StructureOptions {
-        detransform_rotation: true,
-        guard_elimination: opts.guard_elimination,
-        emit_pragmas: opts.variant != Variant::V1,
-        inline_expressions: opts.inline_expressions,
+    let sopts = if tier == FidelityTier::Natural {
+        StructureOptions {
+            detransform_rotation: true,
+            guard_elimination: opts.guard_elimination,
+            emit_pragmas: opts.variant != Variant::V1,
+            inline_expressions: opts.inline_expressions,
+            hoist_decls: false,
+        }
+    } else {
+        // Conservative structuring: do-while loops, register names, no
+        // guard elimination, no pragmas, no expression folding, and all
+        // declarations hoisted to the function top so block scoping can
+        // never invalidate a live value.
+        StructureOptions {
+            detransform_rotation: false,
+            guard_elimination: false,
+            emit_pragmas: false,
+            inline_expressions: false,
+            hoist_decls: true,
+        }
     };
+    fault_gate(opts, Stage::Structure).map_err(|e| e.in_function(&fname))?;
+    if sopts.emit_pragmas {
+        fault_gate(opts, Stage::Pragma).map_err(|e| e.in_function(&fname))?;
+    }
     let start = Instant::now();
-    let structured = structure_function(work, work.func(fid), &naming, &sopts);
+    let structured = contain(Stage::Structure, &fname, || {
+        structure_function(work, work.func(fid), &naming, &sopts)
+    })??;
     timings.structure += start.elapsed();
 
     let restored = structured
@@ -196,14 +320,74 @@ pub fn decompile_function(
         .iter()
         .filter(|(_, o)| *o == NameOrigin::SourceVariable)
         .count();
-    FunctionOutput {
+    Ok(FunctionOutput {
         cfunc: structured.cfunc,
         naming: NamingStats {
             total_vars: structured.variables.len(),
             restored_vars: restored,
         },
         gotos: structured.gotos,
+        tier,
+    })
+}
+
+/// Decompile one function of a prepared module, walking the fidelity
+/// ladder from `opts.start_tier` down until a tier succeeds.
+///
+/// This is the reentrant unit of work the service layer schedules: it
+/// takes only shared references, touches no global state, and two calls
+/// with the same `(function IR, options)` produce identical output. A
+/// failure (organic or injected) in one tier degrades only this function
+/// to the next tier; `Err` is returned only when even the literal tier
+/// cannot emit, which means the function IR itself is malformed.
+pub fn decompile_function(
+    prepared: &PreparedModule,
+    fid: FuncId,
+    opts: &SplendidOptions,
+    timings: &mut StageTimings,
+) -> Result<FunctionOutput, SplendidError> {
+    let mut first_error: Option<SplendidError> = None;
+    for tier in [
+        FidelityTier::Natural,
+        FidelityTier::Structured,
+        FidelityTier::Literal,
+    ] {
+        if tier < opts.start_tier {
+            continue;
+        }
+        match attempt_tier(prepared, fid, opts, tier, timings) {
+            Ok(mut out) => {
+                match tier {
+                    FidelityTier::Natural => {}
+                    FidelityTier::Structured => timings.degraded_structured += 1,
+                    FidelityTier::Literal => timings.degraded_literal += 1,
+                }
+                if tier > FidelityTier::Natural {
+                    let why = first_error
+                        .as_ref()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "requested by caller".to_string());
+                    out.cfunc.body.insert(
+                        0,
+                        CStmt::Comment(format!("splendid: degraded to {tier} tier: {why}")),
+                    );
+                }
+                return Ok(out);
+            }
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e.clone());
+                }
+                if tier == FidelityTier::Literal {
+                    return Err(e);
+                }
+            }
+        }
     }
+    // start_tier below Literal always reaches one of the returns above;
+    // this is only for an (impossible) empty ladder.
+    Err(first_error
+        .unwrap_or_else(|| SplendidError::fatal(Stage::Emit, "no fidelity tier attempted")))
 }
 
 /// Assemble per-function outputs (in module function order) into the
@@ -253,7 +437,10 @@ fn ctype_of_mem(mem: &MemType) -> CType {
 }
 
 /// Decompile a parallel-IR module to C/OpenMP source.
-pub fn decompile(module: &Module, opts: &SplendidOptions) -> Result<DecompileOutput, String> {
+pub fn decompile(
+    module: &Module,
+    opts: &SplendidOptions,
+) -> Result<DecompileOutput, SplendidError> {
     decompile_timed(module, opts).map(|(out, _)| out)
 }
 
@@ -261,7 +448,7 @@ pub fn decompile(module: &Module, opts: &SplendidOptions) -> Result<DecompileOut
 pub fn decompile_timed(
     module: &Module,
     opts: &SplendidOptions,
-) -> Result<(DecompileOutput, StageTimings), String> {
+) -> Result<(DecompileOutput, StageTimings), SplendidError> {
     let mut timings = StageTimings::default();
     let prepared = prepare_module(module, opts, &mut timings)?;
     let functions = prepared
@@ -270,7 +457,7 @@ pub fn decompile_timed(
         .collect::<Vec<_>>()
         .into_iter()
         .map(|fid| decompile_function(&prepared, fid, opts, &mut timings))
-        .collect();
+        .collect::<Result<Vec<_>, _>>()?;
     let out = assemble_output(&prepared, functions, &mut timings);
     Ok((out, timings))
 }
@@ -499,5 +686,118 @@ void mv() {
         assert!(s.matches("for (").count() >= 2, "{s}");
         assert!(s.contains("A[") && s.contains("]["), "2-D indexing:\n{s}");
         assert_eq!(out.gotos, 0, "{s}");
+    }
+
+    // ---- fidelity ladder ---------------------------------------------------
+
+    /// Checksum of running init + kernel on a module in the interpreter.
+    fn checksum_of(m: &Module) -> f64 {
+        let mut vm = Vm::new(m, MachineConfig::default());
+        vm.call_by_name("init", &[]).unwrap();
+        vm.call_by_name("kernel", &[]).unwrap();
+        vm.checksum_all().unwrap()
+    }
+
+    /// Recompile decompiled source under libomp and return its checksum.
+    fn recompiled_checksum(source: &str) -> f64 {
+        let prog = parse_program(source)
+            .unwrap_or_else(|e| panic!("recompile parse failed: {e}\n{source}"));
+        let mut m2 = lower_program(&prog, "re", &LowerOptions::default()).unwrap();
+        optimize_module(&mut m2, &O2Options::default());
+        checksum_of(&m2)
+    }
+
+    #[test]
+    fn structure_fault_degrades_one_function_and_preserves_semantics() {
+        use crate::error::Stage;
+        use crate::fault::{FaultKind, FaultPlan};
+        let m = polly_pipeline(JACOBI_LIKE);
+        let reference = checksum_of(&m);
+        let opts = SplendidOptions {
+            faults: Some(Arc::new(FaultPlan::single(
+                Stage::Structure,
+                1,
+                FaultKind::Fail,
+            ))),
+            ..Default::default()
+        };
+        let (out, timings) = decompile_timed(&m, &opts).unwrap();
+        assert_eq!(timings.degraded_structured, 1, "exactly one function falls");
+        assert_eq!(timings.degraded_literal, 0);
+        assert_eq!(
+            out.source.matches("splendid: degraded to").count(),
+            1,
+            "the degraded function is annotated once:\n{}",
+            out.source
+        );
+        assert_eq!(
+            recompiled_checksum(&out.source),
+            reference,
+            "degraded output must stay semantics-preserving:\n{}",
+            out.source
+        );
+    }
+
+    #[test]
+    fn literal_start_tier_preserves_semantics() {
+        let m = polly_pipeline(JACOBI_LIKE);
+        let reference = checksum_of(&m);
+        let opts = SplendidOptions {
+            start_tier: FidelityTier::Literal,
+            ..Default::default()
+        };
+        let (out, timings) = decompile_timed(&m, &opts).unwrap();
+        assert!(
+            timings.degraded_literal >= 2,
+            "every function is pinned at the literal tier: {timings:?}"
+        );
+        assert!(
+            out.source.contains("degraded to literal tier"),
+            "{}",
+            out.source
+        );
+        assert_eq!(
+            recompiled_checksum(&out.source),
+            reference,
+            "literal tier is statement-per-instruction but semantics-exact:\n{}",
+            out.source
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_behavior_neutral() {
+        use crate::fault::FaultPlan;
+        let m = polly_pipeline(JACOBI_LIKE);
+        let base = decompile(&m, &SplendidOptions::default()).unwrap();
+        let with_plan = decompile(
+            &m,
+            &SplendidOptions {
+                faults: Some(Arc::new(FaultPlan::new(Vec::new()))),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            base.source, with_plan.source,
+            "an empty plan must be byte-identical to no plan"
+        );
+    }
+
+    #[test]
+    fn detransform_fault_fails_prepare_with_transient_error() {
+        use crate::error::Stage;
+        use crate::fault::{FaultKind, FaultPlan};
+        let m = polly_pipeline(JACOBI_LIKE);
+        let opts = SplendidOptions {
+            faults: Some(Arc::new(FaultPlan::single(
+                Stage::Detransform,
+                1,
+                FaultKind::Timeout { millis: 0 },
+            ))),
+            ..Default::default()
+        };
+        let err = decompile(&m, &opts).unwrap_err();
+        assert_eq!(err.stage, Stage::Detransform);
+        assert!(err.transient, "timeout faults surface as transient: {err}");
     }
 }

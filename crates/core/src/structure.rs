@@ -10,6 +10,7 @@
 //! names chosen by [`crate::naming`].
 
 use crate::detransform::{decode_marker, MarkerInfo};
+use crate::error::{SplendidError, Stage};
 use crate::naming::{NameOrigin, Naming};
 use splendid_analysis::domtree::{ipostdoms, DomTree};
 use splendid_analysis::indvar::{recognize_counted_loop, CountedLoop};
@@ -32,6 +33,14 @@ pub struct StructureOptions {
     pub emit_pragmas: bool,
     /// Fold single-use pure values into compound expressions.
     pub inline_expressions: bool,
+    /// Hoist every local declaration to the top of the function body,
+    /// leaving plain assignments at the original sites. SSA dominance
+    /// does not imply C block scoping, so a value first materialized
+    /// inside braces can be live past them; hoisting makes the emitted C
+    /// immune to that entire hazard class. The degraded fidelity tiers
+    /// set this for safety; the natural tier keeps scoped declarations
+    /// for readability.
+    pub hoist_decls: bool,
 }
 
 impl Default for StructureOptions {
@@ -41,6 +50,7 @@ impl Default for StructureOptions {
             guard_elimination: true,
             emit_pragmas: true,
             inline_expressions: true,
+            hoist_decls: false,
         }
     }
 }
@@ -85,11 +95,19 @@ struct Structurer<'a> {
     /// Instructions materialized as named variables.
     materialized: HashSet<InstId>,
     declared: HashSet<String>,
+    /// Declarations deferred to the function top under
+    /// `StructureOptions::hoist_decls` (name, type), in first-seen order.
+    hoisted: Vec<(String, CType)>,
     var_origins: HashMap<String, NameOrigin>,
     visited: HashSet<BlockId>,
     need_label: HashSet<BlockId>,
     gotos: usize,
     pending_pragma: Option<MarkerInfo>,
+    /// First structural defect encountered (IR shape the expression
+    /// reconstructor has no rule for). Recorded instead of panicking;
+    /// turns the whole structuring attempt into a recoverable error so
+    /// the fidelity ladder can degrade the function.
+    diag: std::cell::RefCell<Option<String>>,
 }
 
 /// Structure one function into a C function definition.
@@ -98,7 +116,7 @@ pub fn structure_function(
     f: &Function,
     naming: &Naming,
     opts: &StructureOptions,
-) -> StructuredFunc {
+) -> Result<StructuredFunc, SplendidError> {
     let dt = DomTree::compute(f);
     let li = LoopInfo::compute(f, &dt);
     let ipdom = ipostdoms(f);
@@ -143,11 +161,13 @@ pub fn structure_function(
         absorbed: HashSet::new(),
         materialized: HashSet::new(),
         declared: HashSet::new(),
+        hoisted: Vec::new(),
         var_origins: HashMap::new(),
         visited: HashSet::new(),
         need_label: HashSet::new(),
         gotos: 0,
         pending_pragma: None,
+        diag: std::cell::RefCell::new(None),
     };
 
     let mut body = Vec::new();
@@ -160,6 +180,18 @@ pub fn structure_function(
         // we only ever goto forward in practice.)
     }
 
+    if !s.hoisted.is_empty() {
+        let decls: Vec<CStmt> = std::mem::take(&mut s.hoisted)
+            .into_iter()
+            .map(|(name, ty)| CStmt::Decl {
+                name,
+                ty,
+                init: None,
+            })
+            .collect();
+        body.splice(0..0, decls);
+    }
+
     let params: Vec<(String, CType)> = f
         .params
         .iter()
@@ -168,7 +200,10 @@ pub fn structure_function(
     let mut variables: Vec<(String, NameOrigin)> =
         s.var_origins.iter().map(|(n, o)| (n.clone(), *o)).collect();
     variables.sort();
-    StructuredFunc {
+    if let Some(msg) = s.diag.borrow().clone() {
+        return Err(SplendidError::recoverable(Stage::Structure, msg).in_function(&f.name));
+    }
+    Ok(StructuredFunc {
         cfunc: CFunc {
             name: f.name.clone(),
             ret: ctype_of(f.ret_ty),
@@ -177,7 +212,7 @@ pub fn structure_function(
         },
         variables,
         gotos: s.gotos,
-    }
+    })
 }
 
 /// Context while emitting inside a loop body.
@@ -190,6 +225,14 @@ struct LoopCtx {
 
 impl<'a> Structurer<'a> {
     // ---- expressions -----------------------------------------------------
+
+    /// Record a structural defect (first one wins) instead of panicking.
+    fn note(&self, msg: impl Into<String>) {
+        let mut d = self.diag.borrow_mut();
+        if d.is_none() {
+            *d = Some(msg.into());
+        }
+    }
 
     fn name_of(&self, id: InstId) -> String {
         self.naming
@@ -382,7 +425,10 @@ impl<'a> Structurer<'a> {
                 }
             }
             InstKind::Phi { .. } => CExpr::ident(self.name_of(id)),
-            other => panic!("no expression for {other:?}"),
+            other => {
+                self.note(format!("no expression for {other:?}"));
+                CExpr::Int(0)
+            }
         }
     }
 
@@ -448,6 +494,24 @@ impl<'a> Structurer<'a> {
 
     // ---- statements -------------------------------------------------------
 
+    /// Emit a declaration for a name seen for the first time — in place,
+    /// or (under `hoist_decls`) as a function-top declaration plus an
+    /// in-place assignment when there is an initializer.
+    fn declare(&mut self, name: String, ty: CType, init: Option<CExpr>, out: &mut Vec<CStmt>) {
+        if self.opts.hoist_decls {
+            self.hoisted.push((name.clone(), ty));
+            if let Some(e) = init {
+                out.push(CStmt::Expr(CExpr::Assign {
+                    lhs: Box::new(CExpr::ident(name)),
+                    op: None,
+                    rhs: Box::new(e),
+                }));
+            }
+        } else {
+            out.push(CStmt::Decl { name, ty, init });
+        }
+    }
+
     /// Emit a materialized definition: `ty name = expr;` or `name = expr;`.
     fn materialize(&mut self, id: InstId, out: &mut Vec<CStmt>) {
         let name = self.name_of(id);
@@ -461,11 +525,8 @@ impl<'a> Structurer<'a> {
             .unwrap_or(NameOrigin::Register);
         self.var_origins.entry(name.clone()).or_insert(origin);
         if self.declared.insert(name.clone()) {
-            out.push(CStmt::Decl {
-                name,
-                ty: ctype_of(self.f.inst(id).ty),
-                init: Some(expr),
-            });
+            let ty = ctype_of(self.f.inst(id).ty);
+            self.declare(name, ty, Some(expr), out);
         } else {
             out.push(CStmt::Expr(CExpr::Assign {
                 lhs: Box::new(CExpr::Ident(name)),
@@ -527,11 +588,7 @@ impl<'a> Structurer<'a> {
                         splendid_ir::MemType::Scalar(t) => ctype_of(*t),
                     };
                     if self.declared.insert(name.clone()) {
-                        out.push(CStmt::Decl {
-                            name,
-                            ty,
-                            init: None,
-                        });
+                        self.declare(name, ty, None, out);
                     }
                 }
                 _ => {
@@ -810,11 +867,8 @@ impl<'a> Structurer<'a> {
                     } else {
                         let init = self.expr_of_value(v);
                         if self.declared.insert(name.clone()) {
-                            pre_stmts.push(CStmt::Decl {
-                                name: name.clone(),
-                                ty: ctype_of(self.f.inst(i).ty),
-                                init: Some(init),
-                            });
+                            let ty = ctype_of(self.f.inst(i).ty);
+                            self.declare(name.clone(), ty, Some(init), &mut pre_stmts);
                         } else {
                             pre_stmts.push(CStmt::Expr(CExpr::Assign {
                                 lhs: Box::new(CExpr::ident(name.clone())),
@@ -847,13 +901,19 @@ impl<'a> Structurer<'a> {
         let init_expr = self.expr_of_value(cl.init);
         let bound_expr = self.expr_of_value(cl.bound);
         let declare_in_header = !self.declared.contains(&iv_name);
-        let init_stmt: CStmt = if declare_in_header {
+        let init_stmt: CStmt = if declare_in_header && !self.opts.hoist_decls {
             CStmt::Decl {
                 name: iv_name.clone(),
                 ty: CType::UInt64,
                 init: Some(init_expr),
             }
         } else {
+            if declare_in_header {
+                // Hoisted mode: the declaration goes to the function top;
+                // the header keeps a plain assignment.
+                self.declared.insert(iv_name.clone());
+                self.hoisted.push((iv_name.clone(), CType::UInt64));
+            }
             CStmt::Expr(CExpr::Assign {
                 lhs: Box::new(CExpr::ident(iv_name.clone())),
                 op: None,
@@ -920,9 +980,21 @@ impl<'a> Structurer<'a> {
 
     /// Emit a do-while form of a counted loop (guard-elimination ablation
     /// path and non-detransformed mode).
+    ///
+    /// Mirrors `emit_counted_loop`: the IV phi, its increment, and the
+    /// latch compare are absorbed; the increment becomes an explicit
+    /// `iv = iv ± step` at the end of the body (after loop-carried phi
+    /// updates), and the continue test is rebuilt against the updated IV.
+    /// Declaring the increment inside the body — as a naive emission
+    /// would — puts the `while` condition out of scope in C even though
+    /// SSA dominance holds; the fault campaign caught exactly that.
     fn emit_do_while(&mut self, lid: LoopId, cl: &CountedLoop, out: &mut Vec<CStmt>) {
         let l = self.li.get(lid).clone();
+        // Absorb the loop plumbing.
+        self.absorbed.insert(cl.iv);
+        self.absorbed.insert(cl.next);
         self.absorbed.insert(cl.cmp);
+
         let iv_name = self.name_of(cl.iv);
         let iv_origin = self
             .naming
@@ -932,14 +1004,54 @@ impl<'a> Structurer<'a> {
             .unwrap_or(NameOrigin::Register);
         self.var_origins.entry(iv_name.clone()).or_insert(iv_origin);
         self.materialized.insert(cl.iv);
+        // `iv.next` reads inside the body print as `iv + step`.
+        self.materialized.remove(&cl.next);
+
+        // Loop-carried (non-IV) phis materialize as variables around the
+        // loop, exactly as in the `for` reconstruction.
+        let mut pre_stmts = Vec::new();
+        let mut latch_assigns: Vec<(InstId, Value)> = Vec::new();
+        for &i in &self.f.block(l.header).insts.clone() {
+            if let InstKind::Phi { incomings } = self.f.inst(i).kind.clone() {
+                if i == cl.iv {
+                    continue;
+                }
+                let name = self.name_of(i);
+                let origin = self
+                    .naming
+                    .names
+                    .get(&i)
+                    .map(|(_, o)| *o)
+                    .unwrap_or(NameOrigin::Register);
+                self.var_origins.entry(name.clone()).or_insert(origin);
+                self.materialized.insert(i);
+                for (from, v) in incomings {
+                    if l.contains(from) {
+                        latch_assigns.push((i, v));
+                    } else {
+                        let init = self.expr_of_value(v);
+                        if self.declared.insert(name.clone()) {
+                            let ty = ctype_of(self.f.inst(i).ty);
+                            self.declare(name.clone(), ty, Some(init), &mut pre_stmts);
+                        } else {
+                            pre_stmts.push(CStmt::Expr(CExpr::Assign {
+                                lhs: Box::new(CExpr::ident(name.clone())),
+                                op: None,
+                                rhs: Box::new(init),
+                            }));
+                        }
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        out.extend(pre_stmts);
+
         // Initialize the IV before the loop.
         let init = self.expr_of_value(cl.init);
         if self.declared.insert(iv_name.clone()) {
-            out.push(CStmt::Decl {
-                name: iv_name.clone(),
-                ty: CType::UInt64,
-                init: Some(init),
-            });
+            self.declare(iv_name.clone(), CType::UInt64, Some(init), out);
         } else {
             out.push(CStmt::Expr(CExpr::Assign {
                 lhs: Box::new(CExpr::ident(iv_name.clone())),
@@ -947,6 +1059,7 @@ impl<'a> Structurer<'a> {
                 rhs: Box::new(init),
             }));
         }
+
         let ctx = LoopCtx {
             header: l.header,
             latch_test: Some(cl.cmp),
@@ -954,28 +1067,70 @@ impl<'a> Structurer<'a> {
         };
         let mut body = Vec::new();
         self.emit_region(l.header, None, Some(ctx), &mut body);
-        // IV update: the increment instruction is NOT absorbed here; it was
-        // materialized inside the body under its own name. The continue
-        // condition references it directly.
-        let cond = {
-            let InstKind::ICmp { pred, lhs, rhs } = self.f.inst(cl.cmp).kind else {
-                unreachable!("counted loop cmp");
-            };
-            let p = if cl.continue_on_true {
-                pred
-            } else {
-                pred.negated()
-            };
-            let cop = match p {
-                IPred::Slt => CBinOp::Lt,
-                IPred::Sle => CBinOp::Le,
-                IPred::Sgt => CBinOp::Gt,
-                IPred::Sge => CBinOp::Ge,
-                IPred::Ne => CBinOp::Ne,
-                IPred::Eq => CBinOp::Eq,
-            };
-            CExpr::bin(cop, self.expr_of_value(lhs), self.expr_of_value(rhs))
+        // Loop-carried variable updates at the end of the body (before the
+        // IV step, which they may read).
+        for (phi, v) in latch_assigns {
+            let name = self.name_of(phi);
+            let rhs = self.expr_of_value(v);
+            if rhs == CExpr::ident(name.clone()) {
+                continue;
+            }
+            if let Value::Inst(d) = v {
+                if self.materialized.contains(&d) && self.name_of(d) == name {
+                    continue;
+                }
+            }
+            body.push(CStmt::Expr(CExpr::Assign {
+                lhs: Box::new(CExpr::ident(name)),
+                op: None,
+                rhs: Box::new(rhs),
+            }));
+        }
+        // The explicit IV step closes the body.
+        body.push(CStmt::Expr(CExpr::Assign {
+            lhs: Box::new(CExpr::ident(iv_name.clone())),
+            op: None,
+            rhs: Box::new(CExpr::bin(
+                if cl.step >= 0 {
+                    CBinOp::Add
+                } else {
+                    CBinOp::Sub
+                },
+                CExpr::ident(iv_name.clone()),
+                CExpr::Int(cl.step.abs()),
+            )),
+        }));
+
+        // Continue test against the updated IV. After the step, `iv` holds
+        // what the latch compare called `next`; when the compare tested the
+        // pre-increment value instead, undo the step in the test.
+        let cont_pred = if cl.continue_on_true {
+            cl.pred
+        } else {
+            cl.pred.negated()
         };
+        let cmp_op = match cont_pred {
+            IPred::Slt => CBinOp::Lt,
+            IPred::Sle => CBinOp::Le,
+            IPred::Sgt => CBinOp::Gt,
+            IPred::Sge => CBinOp::Ge,
+            IPred::Ne => CBinOp::Ne,
+            IPred::Eq => CBinOp::Eq,
+        };
+        let tested = if cl.cmp_uses_next {
+            CExpr::ident(iv_name.clone())
+        } else {
+            CExpr::bin(
+                if cl.step >= 0 {
+                    CBinOp::Sub
+                } else {
+                    CBinOp::Add
+                },
+                CExpr::ident(iv_name.clone()),
+                CExpr::Int(cl.step.abs()),
+            )
+        };
+        let cond = CExpr::bin(cmp_op, tested, self.expr_of_value(cl.bound));
         out.push(CStmt::DoWhile { body, cond });
         for b in l.blocks {
             self.visited.insert(b);

@@ -14,11 +14,15 @@
 //!   `(route, failure kind)` while cutting the program down.
 //! - [`runner`]: the campaign driver behind `splendid difftest`, with a
 //!   byte-deterministic report and corpus replay.
+//! - [`faults`]: the seeded fault-injection campaign behind
+//!   `splendid difftest --faults N`, proving every injected pipeline
+//!   fault yields degraded-but-checksum-correct output.
 //!
 //! Everything is a pure function of the `(seed, case)` pair: no clocks,
 //! no OS entropy, no filesystem state. Two runs of the same campaign
 //! print identical bytes.
 
+pub mod faults;
 pub mod gen;
 pub mod oracle;
 pub mod prog;
@@ -26,6 +30,7 @@ pub mod rng;
 pub mod runner;
 pub mod shrink;
 
+pub use faults::{run_fault_campaign, FaultCampaignConfig, FaultCampaignReport, FaultFailure};
 pub use gen::{generate, GenConfig};
 pub use oracle::{CaseFailure, CaseReport, Decompiler, FailureKind, InProcessDecompiler, Oracle};
 pub use prog::TestProgram;

@@ -47,7 +47,7 @@ impl Decompiler for InProcessDecompiler {
             .collect::<Vec<_>>()
             .into_iter()
             .map(|fid| decompile_function(&prepared, fid, opts, &mut timings))
-            .collect();
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(assemble_output(&prepared, functions, &mut timings).source)
     }
 }

@@ -5,6 +5,7 @@
 //! splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]
 //! splendid bench-serve [--jobs N] [--rounds R] [--json]
 //! splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--stats]
+//! splendid difftest --faults N [--fault-cases M] [--seed S]
 //! splendid dump-polybench <dir>
 //! ```
 //!
@@ -29,6 +30,7 @@ fn usage() -> ! {
          splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]\n  \
          splendid bench-serve [--jobs N] [--rounds R] [--json]\n  \
          splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--stats]\n  \
+         splendid difftest --faults N [--fault-cases M] [--seed S]\n  \
          splendid dump-polybench <dir>"
     );
     std::process::exit(2);
@@ -52,6 +54,8 @@ struct Args {
     only_case: Option<u64>,
     shrink: bool,
     corpus: Option<String>,
+    faults: u64,
+    fault_cases: u64,
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -67,6 +71,8 @@ fn parse_args(args: &[String]) -> Args {
         only_case: None,
         shrink: false,
         corpus: None,
+        faults: 0,
+        fault_cases: 8,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -111,6 +117,16 @@ fn parse_args(args: &[String]) -> Args {
             }
             "--shrink" => out.shrink = true,
             "--corpus" => out.corpus = Some(value("--corpus")),
+            "--faults" => {
+                out.faults = value("--faults")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--faults: not a number"))
+            }
+            "--fault-cases" => {
+                out.fault_cases = value("--fault-cases")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--fault-cases: not a number"))
+            }
             flag if flag.starts_with('-') => fail(&format!("unknown flag {flag}")),
             _ => out.positional.push(a.clone()),
         }
@@ -398,8 +414,29 @@ impl splendid_difftest::Decompiler for SchedulerDecompiler<'_> {
 
 fn cmd_difftest(args: Args) {
     use splendid_difftest::{
-        parse_seed, replay_corpus_source, run_difftest, DifftestConfig, Oracle,
+        parse_seed, replay_corpus_source, run_difftest, run_fault_campaign, DifftestConfig,
+        FaultCampaignConfig, Oracle,
     };
+
+    // Fault-injection mode: a dedicated seeded campaign proving every
+    // injected pipeline fault yields degraded-but-checksum-correct output.
+    if args.faults > 0 {
+        let cfg = FaultCampaignConfig {
+            seed: parse_seed(&args.seed),
+            faults: args.faults,
+            cases: args.fault_cases,
+        };
+        let start = Instant::now();
+        let report = run_fault_campaign(&cfg);
+        print!("{report}");
+        if args.stats {
+            eprintln!("# wall: {:?}", start.elapsed());
+        }
+        if !report.all_passed() {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let scheduler = Scheduler::new(ServeConfig {
         workers: args.jobs,

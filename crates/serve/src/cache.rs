@@ -14,7 +14,14 @@
 use splendid_core::FunctionOutput;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Poison-recovering lock: the LRU's invariants hold at every instruction
+/// boundary (links are updated under the same critical section), so a
+/// panic elsewhere in the process must not wedge the cache.
+fn lock(m: &Mutex<Lru>) -> MutexGuard<'_, Lru> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 const NIL: usize = usize::MAX;
 
@@ -125,7 +132,7 @@ impl FunctionCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut lru = self.inner.lock().unwrap();
+        let mut lru = lock(&self.inner);
         match lru.map.get(&key).copied() {
             Some(idx) => {
                 lru.unlink(idx);
@@ -146,7 +153,7 @@ impl FunctionCache {
         if self.capacity == 0 {
             return;
         }
-        let mut lru = self.inner.lock().unwrap();
+        let mut lru = lock(&self.inner);
         if let Some(idx) = lru.map.get(&key).copied() {
             lru.nodes[idx].value = value;
             lru.unlink(idx);
@@ -188,7 +195,7 @@ impl FunctionCache {
 
     /// Resident entry count.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        lock(&self.inner).map.len()
     }
 
     /// True when nothing is cached.
@@ -213,7 +220,7 @@ impl FunctionCache {
 mod tests {
     use super::*;
     use splendid_cfront::ast::{CFunc, CType};
-    use splendid_core::NamingStats;
+    use splendid_core::{FidelityTier, NamingStats};
 
     fn out(tag: usize) -> Arc<FunctionOutput> {
         Arc::new(FunctionOutput {
@@ -228,6 +235,7 @@ mod tests {
                 restored_vars: 0,
             },
             gotos: 0,
+            tier: FidelityTier::Natural,
         })
     }
 

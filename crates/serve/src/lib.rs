@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! `splendid-serve`: the batch-decompilation service layer.
 //!
 //! The core crate exposes a single-threaded library call; this crate

@@ -8,23 +8,48 @@
 //! owners pop from the *back* (classic Chase-Lev discipline, here under
 //! short mutex-protected critical sections).
 //!
-//! Panic isolation: every task runs under `catch_unwind`; a panicking
-//! task increments a counter and kills nothing but itself. The pool keeps
-//! serving — callers that need failure semantics (the job scheduler)
-//! layer their own `catch_unwind` inside the task to capture the payload.
+//! Fault containment, in two layers:
+//!
+//! * every task runs under `catch_unwind`; a panicking task increments a
+//!   counter and kills nothing but itself. Callers that need failure
+//!   semantics (the job scheduler) layer their own `catch_unwind` inside
+//!   the task to capture the payload;
+//! * if a panic nonetheless escapes the containment and unwinds the
+//!   worker thread itself (exercised by [`WorkerPool::inject_worker_fault`]),
+//!   a drop sentinel respawns a replacement worker, so capacity is never
+//!   silently lost. Poisoned mutexes are recovered rather than propagated:
+//!   the queues hold only owned task boxes, which stay structurally valid
+//!   across an unwind.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-type Task = Box<dyn FnOnce() + Send + 'static>;
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+enum Task {
+    /// A normal unit of work.
+    Run(Job),
+    /// A worker-killing fault: panics *outside* the per-task containment,
+    /// unwinding the worker thread. Only injectable through
+    /// [`WorkerPool::inject_worker_fault`]; exists to prove the respawn
+    /// path works.
+    Poison,
+}
 
 /// How many tasks a worker grabs from the injector at once; the surplus
 /// lands in its local deque where peers can steal it.
 const INJECTOR_BATCH: usize = 4;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+/// Pool state is a set of owned task queues and counters — all valid at
+/// every instruction boundary — so poisoning carries no information here.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 struct Shared {
     injector: Mutex<VecDeque<Task>>,
@@ -35,22 +60,23 @@ struct Shared {
     in_flight: AtomicUsize,
     panics: AtomicU64,
     executed: AtomicU64,
+    respawned: AtomicU64,
 }
 
 impl Shared {
     fn spawn(&self, task: Task) {
         self.queued.fetch_add(1, Ordering::SeqCst);
-        self.injector.lock().unwrap().push_back(task);
+        lock(&self.injector).push_back(task);
         self.available.notify_one();
     }
 
     /// Next task for worker `me`: local back → injector batch → steal.
     fn find_task(&self, me: usize) -> Option<Task> {
-        if let Some(t) = self.locals[me].lock().unwrap().pop_back() {
+        if let Some(t) = lock(&self.locals[me]).pop_back() {
             return Some(t);
         }
         {
-            let mut inj = self.injector.lock().unwrap();
+            let mut inj = lock(&self.injector);
             if !inj.is_empty() {
                 let task = inj.pop_front();
                 let surplus: Vec<Task> = (1..INJECTOR_BATCH)
@@ -58,7 +84,7 @@ impl Shared {
                     .collect();
                 drop(inj);
                 if !surplus.is_empty() {
-                    self.locals[me].lock().unwrap().extend(surplus);
+                    lock(&self.locals[me]).extend(surplus);
                     // Peers may be asleep; the surplus is stealable.
                     self.available.notify_all();
                 }
@@ -66,7 +92,7 @@ impl Shared {
             }
         }
         for victim in (0..self.locals.len()).filter(|&v| v != me) {
-            if let Some(t) = self.locals[victim].lock().unwrap().pop_front() {
+            if let Some(t) = lock(&self.locals[victim]).pop_front() {
                 return Some(t);
             }
         }
@@ -87,7 +113,7 @@ impl PoolRemote {
     pub fn spawn(&self, task: impl FnOnce() + Send + 'static) -> bool {
         match self.shared.upgrade() {
             Some(shared) => {
-                shared.spawn(Box::new(task));
+                shared.spawn(Task::Run(Box::new(task)));
                 true
             }
             None => false,
@@ -114,22 +140,25 @@ impl WorkerPool {
             in_flight: AtomicUsize::new(0),
             panics: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
         });
         let handles = (0..workers)
-            .map(|me| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("splendid-worker-{me}"))
-                    .spawn(move || worker_loop(&shared, me))
-                    .expect("spawn worker thread")
-            })
+            .filter_map(|me| spawn_worker(&shared, me).ok())
             .collect();
         WorkerPool { shared, handles }
     }
 
     /// Enqueue a task. Never blocks; the queue is unbounded.
     pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
-        self.shared.spawn(Box::new(task));
+        self.shared.spawn(Task::Run(Box::new(task)));
+    }
+
+    /// Enqueue a worker-killing fault: whichever worker dequeues it
+    /// panics outside its task containment and is replaced by a fresh
+    /// thread (counted in [`WorkerPool::respawned`]). Test/diagnostic
+    /// surface for the respawn path.
+    pub fn inject_worker_fault(&self) {
+        self.shared.spawn(Task::Poison);
     }
 
     /// A cloneable submission handle that can outlive borrows of the pool
@@ -166,6 +195,11 @@ impl WorkerPool {
     pub fn executed(&self) -> u64 {
         self.shared.executed.load(Ordering::SeqCst)
     }
+
+    /// Workers that died to an escaped panic and were replaced.
+    pub fn respawned(&self) -> u64 {
+        self.shared.respawned.load(Ordering::SeqCst)
+    }
 }
 
 impl Drop for WorkerPool {
@@ -175,6 +209,42 @@ impl Drop for WorkerPool {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        // Respawned replacements are detached; they observe the shutdown
+        // flag within one nap interval and exit, dropping their `Arc`.
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, me: usize) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("splendid-worker-{me}"))
+        .spawn(move || {
+            let sentinel = RespawnSentinel {
+                shared: Arc::clone(&shared),
+                me,
+            };
+            worker_loop(&shared, me);
+            std::mem::forget(sentinel); // normal exit: no respawn
+        })
+}
+
+/// Armed for the lifetime of a worker thread; if the thread unwinds (a
+/// panic escaped the per-task containment), the sentinel's drop runs
+/// during that unwind and spawns a replacement so the pool keeps its
+/// capacity. Normal shutdown forgets the sentinel instead.
+struct RespawnSentinel {
+    shared: Arc<Shared>,
+    me: usize,
+}
+
+impl Drop for RespawnSentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shared.respawned.fetch_add(1, Ordering::SeqCst);
+            // The replacement is detached: WorkerPool::drop joins only the
+            // original handles, and replacements exit on the shutdown flag.
+            let _ = spawn_worker(&self.shared, self.me);
+        }
     }
 }
 
@@ -182,15 +252,22 @@ fn worker_loop(shared: &Shared, me: usize) {
     loop {
         if let Some(task) = shared.find_task(me) {
             shared.queued.fetch_sub(1, Ordering::SeqCst);
-            shared.in_flight.fetch_add(1, Ordering::SeqCst);
-            if catch_unwind(AssertUnwindSafe(task)).is_err() {
-                shared.panics.fetch_add(1, Ordering::SeqCst);
+            match task {
+                Task::Run(job) => {
+                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                        shared.panics.fetch_add(1, Ordering::SeqCst);
+                    }
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    shared.executed.fetch_add(1, Ordering::SeqCst);
+                }
+                // Deliberately outside catch_unwind: unwinds this worker
+                // thread; the RespawnSentinel replaces it.
+                Task::Poison => std::panic::panic_any("injected worker fault"),
             }
-            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-            shared.executed.fetch_add(1, Ordering::SeqCst);
             continue;
         }
-        let inj = shared.injector.lock().unwrap();
+        let inj = lock(&shared.injector);
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -202,7 +279,7 @@ fn worker_loop(shared: &Shared, me: usize) {
         let _ = shared
             .available
             .wait_timeout(inj, Duration::from_millis(20))
-            .unwrap();
+            .unwrap_or_else(|e| e.into_inner());
     }
 }
 
@@ -225,6 +302,7 @@ mod tests {
         assert_eq!(got, (0..100).collect::<Vec<_>>());
         assert_eq!(pool.executed(), 100);
         assert_eq!(pool.panics(), 0);
+        assert_eq!(pool.respawned(), 0);
     }
 
     #[test]
@@ -247,6 +325,11 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(pool.panics(), 8);
+        assert_eq!(
+            pool.respawned(),
+            0,
+            "contained panics must not kill workers"
+        );
     }
 
     #[test]
@@ -262,5 +345,23 @@ mod tests {
         let mut got: Vec<u32> = rx.into_iter().collect();
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn poisoned_worker_is_respawned_not_lost() {
+        let pool = WorkerPool::new(1);
+        pool.inject_worker_fault();
+        // Work submitted after the fault must still execute — on the
+        // replacement worker, since the pool only ever had one.
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8u32 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert!(pool.respawned() >= 1, "fault must trigger a respawn");
     }
 }

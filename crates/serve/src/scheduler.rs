@@ -8,20 +8,39 @@
 //! work items onto the same pool; the last item to finish assembles the
 //! final translation unit and completes the job, so no worker ever blocks
 //! waiting for another — a batch cannot deadlock even on a 1-worker pool.
+//!
+//! Fault containment (see `DESIGN.md`, "Fault containment & fidelity
+//! tiers"):
+//!
+//! * a watchdog thread sweeps in-flight jobs so deadlines fire even when
+//!   nobody is blocked in [`JobHandle::wait`]; timeouts carry the stage
+//!   the job was in when its deadline expired;
+//! * transient preparation errors (injected timeouts, allocation-cap
+//!   trips) are retried with short bounded backoff before failing the job;
+//! * a work item that panics is retried once at the `Literal` fidelity
+//!   floor with the cache bypassed; a second failure quarantines the job
+//!   (counted, reported as [`JobError::Panicked`]).
 
 use crate::cache::FunctionCache;
 use crate::hash::Fnv64;
 use crate::pool::{PoolRemote, WorkerPool};
 use crate::stats::{ServeStats, StatsSnapshot};
 use splendid_core::{
-    assemble_output, decompile_function, prepare_module, DecompileOutput, FunctionOutput,
-    PreparedModule, SplendidOptions, StageTimings, Variant,
+    assemble_output, decompile_function, panic_message, prepare_module, DecompileOutput,
+    FidelityTier, FunctionOutput, PreparedModule, SplendidOptions, StageTimings, Variant,
 };
 use splendid_ir::{parser::parse_module, printer::function_str, FuncId, Module};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
+
+/// Poison-recovering lock: job state stays structurally valid across an
+/// unwind (owned slots + counters), so a poisoned mutex carries no
+/// information the error path doesn't already have.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -89,12 +108,18 @@ impl JobRequest {
 pub enum JobError {
     /// The textual IR did not parse.
     Parse(String),
-    /// Module-wide detransformation failed.
+    /// Module-wide detransformation failed (after transient retries).
     Prepare(String),
-    /// A work item panicked; the payload is preserved, the pool is not.
+    /// The fidelity ladder bottomed out: even the `Literal` tier failed.
+    Decompile(String),
+    /// A work item panicked twice (original + `Literal`-floor retry); the
+    /// payload is preserved, the pool is not harmed.
     Panicked(String),
-    /// The job's deadline expired before it finished.
-    TimedOut,
+    /// The job's deadline expired; `stage` is where it was at the time.
+    TimedOut {
+        /// Pipeline stage the job was in when the deadline fired.
+        stage: &'static str,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -102,8 +127,9 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Parse(e) => write!(f, "parse error: {e}"),
             JobError::Prepare(e) => write!(f, "detransform error: {e}"),
+            JobError::Decompile(e) => write!(f, "decompile error: {e}"),
             JobError::Panicked(e) => write!(f, "job panicked: {e}"),
-            JobError::TimedOut => write!(f, "job timed out"),
+            JobError::TimedOut { stage } => write!(f, "job timed out during {stage}"),
         }
     }
 }
@@ -121,17 +147,41 @@ pub struct JobResult {
     pub functions: usize,
     /// Of those, how many came out of the cache.
     pub cached_functions: usize,
+    /// Of those, how many were emitted below the `Natural` tier.
+    pub degraded_functions: usize,
     /// Submit-to-completion wall time.
     pub wall: Duration,
+}
+
+/// Job lifecycle stages, for timeout attribution. Stored as an `AtomicU8`
+/// on the job state so the watchdog can read it without locking.
+mod job_stage {
+    pub const QUEUED: u8 = 0;
+    pub const PARSE: u8 = 1;
+    pub const PREPARE: u8 = 2;
+    pub const FUNCTIONS: u8 = 3;
+    pub const ASSEMBLE: u8 = 4;
+
+    pub fn label(stage: u8) -> &'static str {
+        match stage {
+            QUEUED => "queue",
+            PARSE => "parse",
+            PREPARE => "prepare",
+            FUNCTIONS => "functions",
+            _ => "assemble",
+        }
+    }
 }
 
 struct JobState {
     name: String,
     started: Instant,
     deadline: Option<Instant>,
+    stage: AtomicU8,
     cancelled: AtomicBool,
     remaining: AtomicUsize,
     cached: AtomicUsize,
+    degraded: AtomicUsize,
     slots: Mutex<Vec<Option<FunctionOutput>>>,
     done: Mutex<Option<Result<JobResult, JobError>>>,
     cv: Condvar,
@@ -143,13 +193,27 @@ impl JobState {
         self.cancelled.load(Ordering::SeqCst) || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
+    fn enter(&self, stage: u8) {
+        self.stage.store(stage, Ordering::SeqCst);
+    }
+
+    fn timeout_error(&self) -> JobError {
+        JobError::TimedOut {
+            stage: job_stage::label(self.stage.load(Ordering::SeqCst)),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        lock(&self.done).is_some()
+    }
+
     /// First completion wins; later attempts are no-ops.
     fn complete(&self, result: Result<JobResult, JobError>) {
-        let mut done = self.done.lock().unwrap();
+        let mut done = lock(&self.done);
         if done.is_none() {
             match &result {
                 Ok(_) => self.stats.jobs_completed.fetch_add(1, Ordering::Relaxed),
-                Err(JobError::TimedOut) => {
+                Err(JobError::TimedOut { .. }) => {
                     self.stats.jobs_timed_out.fetch_add(1, Ordering::Relaxed)
                 }
                 Err(_) => self.stats.jobs_failed.fetch_add(1, Ordering::Relaxed),
@@ -169,7 +233,7 @@ impl JobHandle {
     /// Block until the job completes, fails, or hits its deadline.
     pub fn wait(self) -> Result<JobResult, JobError> {
         let state = &self.state;
-        let mut done = state.done.lock().unwrap();
+        let mut done = lock(&state.done);
         loop {
             if let Some(r) = done.take() {
                 return r;
@@ -181,25 +245,25 @@ impl JobHandle {
                         // Deadline passed with no result: cancel pending
                         // items and report the timeout ourselves.
                         state.cancelled.store(true, Ordering::SeqCst);
+                        let timeout = state.timeout_error();
                         drop(done);
-                        state.complete(Err(JobError::TimedOut));
-                        return state
-                            .done
-                            .lock()
-                            .unwrap()
-                            .take()
-                            .unwrap_or(Err(JobError::TimedOut));
+                        state.complete(Err(timeout.clone()));
+                        return lock(&state.done).take().unwrap_or(Err(timeout));
                     }
-                    done = state.cv.wait_timeout(done, d - now).unwrap().0;
+                    done = state
+                        .cv
+                        .wait_timeout(done, d - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
                 }
-                None => done = state.cv.wait(done).unwrap(),
+                None => done = state.cv.wait(done).unwrap_or_else(|e| e.into_inner()),
             }
         }
     }
 
     /// Non-blocking poll; consumes the result when ready.
     pub fn try_take(&self) -> Option<Result<JobResult, JobError>> {
-        self.state.done.lock().unwrap().take()
+        lock(&self.state.done).take()
     }
 }
 
@@ -227,11 +291,21 @@ fn options_fingerprint(o: &SplendidOptions) -> u64 {
         Variant::Portable => 2,
         Variant::Full => 3,
     };
+    let start_tier = match o.start_tier {
+        FidelityTier::Natural => 1u8,
+        FidelityTier::Structured => 2,
+        FidelityTier::Literal => 3,
+    };
     let mut h = Fnv64::new();
     h.write(&[
         variant,
         o.guard_elimination as u8,
         o.inline_expressions as u8,
+        start_tier,
+        // Fault plans make outputs depend on injection state; keep those
+        // keys from ever colliding with clean-run keys (the scheduler
+        // additionally bypasses the cache entirely under faults).
+        o.faults.is_some() as u8,
     ]);
     h.finish()
 }
@@ -246,13 +320,70 @@ pub fn function_cache_key(prepared: &PreparedModule, fid: FuncId, opts: &Splendi
     h.finish()
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
+/// Transient-error retry schedule for module preparation: total attempts
+/// = 1 + `PREPARE_BACKOFF.len()`.
+const PREPARE_BACKOFF: [Duration; 2] = [Duration::from_millis(1), Duration::from_millis(2)];
+
+/// Deadline sweeper. Jobs register weakly on submission; the watchdog
+/// wakes every few milliseconds, fails any registered job whose deadline
+/// has passed (with the stage it was in), and drops entries for jobs that
+/// finished or were abandoned.
+struct Watchdog {
+    shared: Arc<WatchdogShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Default)]
+struct WatchdogShared {
+    jobs: Mutex<Vec<Weak<JobState>>>,
+    shutdown: AtomicBool,
+}
+
+impl Watchdog {
+    fn start() -> Watchdog {
+        let shared = Arc::new(WatchdogShared::default());
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("splendid-watchdog".into())
+            .spawn(move || watchdog_loop(&thread_shared))
+            .ok();
+        Watchdog { shared, handle }
+    }
+
+    fn register(&self, job: &Arc<JobState>) {
+        lock(&self.shared.jobs).push(Arc::downgrade(job));
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn watchdog_loop(shared: &WatchdogShared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        {
+            let mut jobs = lock(&shared.jobs);
+            jobs.retain(|weak| match weak.upgrade() {
+                Some(job) => {
+                    if job.is_done() {
+                        return false;
+                    }
+                    if job.expired() {
+                        job.cancelled.store(true, Ordering::SeqCst);
+                        job.complete(Err(job.timeout_error()));
+                        return false;
+                    }
+                    true
+                }
+                None => false,
+            });
+        }
+        std::thread::sleep(Duration::from_millis(5));
     }
 }
 
@@ -261,6 +392,7 @@ pub struct Scheduler {
     pool: WorkerPool,
     cache: Arc<FunctionCache>,
     stats: Arc<ServeStats>,
+    watchdog: Option<Watchdog>,
     config: ServeConfig,
 }
 
@@ -276,6 +408,8 @@ impl Scheduler {
             pool: WorkerPool::new(workers),
             cache: Arc::new(FunctionCache::new(config.cache_capacity)),
             stats: Arc::new(ServeStats::default()),
+            // No deadline, nothing to sweep: don't pay for the thread.
+            watchdog: config.job_timeout.map(|_| Watchdog::start()),
             config,
         }
     }
@@ -297,14 +431,19 @@ impl Scheduler {
             name: request.name.clone(),
             started: Instant::now(),
             deadline: self.config.job_timeout.map(|t| Instant::now() + t),
+            stage: AtomicU8::new(job_stage::QUEUED),
             cancelled: AtomicBool::new(false),
             remaining: AtomicUsize::new(0),
             cached: AtomicUsize::new(0),
+            degraded: AtomicUsize::new(0),
             slots: Mutex::new(Vec::new()),
             done: Mutex::new(None),
             cv: Condvar::new(),
             stats: Arc::clone(&self.stats),
         });
+        if let Some(w) = &self.watchdog {
+            w.register(&state);
+        }
         let job_state = Arc::clone(&state);
         let cache = Arc::clone(&self.cache);
         let stats = Arc::clone(&self.stats);
@@ -342,11 +481,19 @@ impl Scheduler {
             self.pool.queue_depth(),
             self.pool.in_flight(),
             self.pool.workers(),
+            self.pool.respawned(),
         )
+    }
+
+    /// Enqueue a worker-killing fault (see
+    /// [`WorkerPool::inject_worker_fault`]).
+    pub fn inject_worker_fault(&self) {
+        self.pool.inject_worker_fault();
     }
 }
 
-/// Job task: parse + prepare, then fan out per-function items.
+/// Job task: parse + prepare (with transient retry), then fan out
+/// per-function items.
 fn run_job(
     request: JobRequest,
     state: Arc<JobState>,
@@ -355,7 +502,7 @@ fn run_job(
     remote: PoolRemote,
 ) {
     if state.expired() {
-        state.complete(Err(JobError::TimedOut));
+        state.complete(Err(state.timeout_error()));
         return;
     }
     let JobRequest { input, options, .. } = request;
@@ -363,17 +510,15 @@ fn run_job(
         let module = match input {
             JobInput::Module(m) => m,
             JobInput::Text(text) => {
+                state.enter(job_stage::PARSE);
                 let start = Instant::now();
                 let parsed = parse_module(&text).map_err(|e| JobError::Parse(e.to_string()))?;
                 stats.record_parse(start.elapsed());
                 parsed
             }
         };
-        let mut timings = StageTimings::default();
-        let prepared =
-            prepare_module(&module, &options, &mut timings).map_err(JobError::Prepare)?;
-        stats.record_timings(&timings);
-        Ok(prepared)
+        state.enter(job_stage::PREPARE);
+        prepare_with_retry(&module, &options, &state, &stats)
     })) {
         Ok(Ok(p)) => Arc::new(p),
         Ok(Err(e)) => return state.complete(Err(e)),
@@ -382,6 +527,7 @@ fn run_job(
 
     let fids: Vec<FuncId> = prepared.module.func_ids().collect();
     if fids.is_empty() {
+        state.enter(job_stage::ASSEMBLE);
         let mut timings = StageTimings::default();
         let output = assemble_output(&prepared, Vec::new(), &mut timings);
         stats.record_timings(&timings);
@@ -389,7 +535,8 @@ fn run_job(
         return;
     }
 
-    *state.slots.lock().unwrap() = vec![None; fids.len()];
+    state.enter(job_stage::FUNCTIONS);
+    *lock(&state.slots) = vec![None; fids.len()];
     state.remaining.store(fids.len(), Ordering::SeqCst);
     for (slot, fid) in fids.into_iter().enumerate() {
         let item_state = Arc::clone(&state);
@@ -402,14 +549,45 @@ fn run_job(
         });
         if !accepted {
             // Pool already shut down; the job can never finish normally.
-            state.complete(Err(JobError::TimedOut));
+            state.complete(Err(state.timeout_error()));
             return;
         }
     }
 }
 
-/// Per-function work item: cache lookup, decompile on miss, and — as the
-/// last item standing — assembly of the whole translation unit.
+/// Module preparation with bounded exponential backoff on *transient*
+/// errors (deterministic fault injection marks timeouts as transient;
+/// real services map I/O flakes the same way). Non-transient errors fail
+/// immediately — retrying a deterministic failure only burns the deadline.
+fn prepare_with_retry(
+    module: &Module,
+    options: &SplendidOptions,
+    state: &JobState,
+    stats: &ServeStats,
+) -> Result<PreparedModule, JobError> {
+    let mut backoff = PREPARE_BACKOFF.iter();
+    loop {
+        let mut timings = StageTimings::default();
+        match prepare_module(module, options, &mut timings) {
+            Ok(prepared) => {
+                stats.record_timings(&timings);
+                return Ok(prepared);
+            }
+            Err(e) if e.transient => match backoff.next() {
+                Some(delay) if !state.expired() => {
+                    stats.prepare_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(*delay);
+                }
+                _ => return Err(JobError::Prepare(e.to_string())),
+            },
+            Err(e) => return Err(JobError::Prepare(e.to_string())),
+        }
+    }
+}
+
+/// Per-function work item: cache lookup, decompile on miss (retrying once
+/// at the `Literal` floor if the attempt panics), and — as the last item
+/// standing — assembly of the whole translation unit.
 fn run_function_item(
     state: &JobState,
     prepared: &Arc<PreparedModule>,
@@ -420,39 +598,28 @@ fn run_function_item(
     stats: &ServeStats,
 ) {
     if !state.expired() {
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let key = function_cache_key(prepared, fid, options);
-            let out = match cache.get(key) {
-                Some(hit) => {
-                    state.cached.fetch_add(1, Ordering::Relaxed);
-                    stats.functions_from_cache.fetch_add(1, Ordering::Relaxed);
-                    (*hit).clone()
+        match decompile_item(state, prepared, fid, options, cache, stats) {
+            Ok(out) => {
+                if out.tier > FidelityTier::Natural {
+                    state.degraded.fetch_add(1, Ordering::Relaxed);
                 }
-                None => {
-                    let mut timings = StageTimings::default();
-                    let fresh = decompile_function(prepared, fid, options, &mut timings);
-                    stats.record_timings(&timings);
-                    stats.functions_decompiled.fetch_add(1, Ordering::Relaxed);
-                    cache.insert(key, Arc::new(fresh.clone()));
-                    fresh
-                }
-            };
-            state.slots.lock().unwrap()[slot] = Some(out);
-        }));
-        if let Err(payload) = outcome {
-            state.cancelled.store(true, Ordering::SeqCst);
-            state.complete(Err(JobError::Panicked(panic_message(payload))));
+                lock(&state.slots)[slot] = Some(out);
+            }
+            Err(e) => {
+                state.cancelled.store(true, Ordering::SeqCst);
+                state.complete(Err(e));
+            }
         }
     }
 
     if state.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
         // Last item: assemble, unless the job already failed or expired.
         if state.expired() {
-            state.complete(Err(JobError::TimedOut));
+            state.complete(Err(state.timeout_error()));
             return;
         }
-        let functions: Option<Vec<FunctionOutput>> =
-            state.slots.lock().unwrap().drain(..).collect();
+        state.enter(job_stage::ASSEMBLE);
+        let functions: Option<Vec<FunctionOutput>> = lock(&state.slots).drain(..).collect();
         match functions {
             Some(functions) => {
                 let mut timings = StageTimings::default();
@@ -467,6 +634,110 @@ fn run_function_item(
     }
 }
 
+/// One function through cache + ladder + panic-retry.
+fn decompile_item(
+    state: &JobState,
+    prepared: &Arc<PreparedModule>,
+    fid: FuncId,
+    options: &SplendidOptions,
+    cache: &FunctionCache,
+    stats: &ServeStats,
+) -> Result<FunctionOutput, JobError> {
+    // Fault plans mutate hidden injection state per invocation, so cached
+    // entries would alias distinct injection outcomes: bypass entirely.
+    let caching = options.faults.is_none();
+    let key = caching.then(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            function_cache_key(prepared, fid, options)
+        }))
+    });
+    let key = match key {
+        // Keying panicked (malformed IR defeats the printer): go
+        // straight to the Literal-floor recovery attempt.
+        Some(Err(payload)) => return attempt_retry(prepared, fid, stats, payload),
+        Some(Ok(k)) => Some(k),
+        None => None,
+    };
+    if let Some(k) = key {
+        if let Some(hit) = cache.get(k) {
+            state.cached.fetch_add(1, Ordering::Relaxed);
+            stats.functions_from_cache.fetch_add(1, Ordering::Relaxed);
+            return Ok((*hit).clone());
+        }
+    }
+    match attempt_decompile(prepared, fid, options, stats) {
+        Ok(Ok(out)) => {
+            if let Some(k) = key {
+                cache.insert(k, Arc::new(out.clone()));
+            }
+            Ok(out)
+        }
+        // The ladder itself reported failure: even `Literal` could not
+        // emit this function. Deterministic — no point retrying.
+        Ok(Err(e)) => Err(JobError::Decompile(e.to_string())),
+        // The attempt panicked past the ladder's own containment: retry
+        // once at the Literal floor, uncached.
+        Err(payload) => attempt_retry(prepared, fid, stats, payload),
+    }
+}
+
+/// Run one ladder attempt under `catch_unwind`, recording timings.
+#[allow(clippy::type_complexity)]
+fn attempt_decompile(
+    prepared: &Arc<PreparedModule>,
+    fid: FuncId,
+    options: &SplendidOptions,
+    stats: &ServeStats,
+) -> Result<Result<FunctionOutput, splendid_core::SplendidError>, Box<dyn std::any::Any + Send>> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut timings = StageTimings::default();
+        let fresh = decompile_function(prepared, fid, options, &mut timings);
+        stats.record_timings(&timings);
+        if fresh.is_ok() {
+            stats.functions_decompiled.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }))
+}
+
+/// Panic recovery: one more attempt, pinned to the `Literal` tier (the
+/// statement-per-instruction emitter shares no code with the passes that
+/// just blew up), with variant `V1` so naming/pragma stay out of the way
+/// and faults disabled. Success resumes the job at degraded fidelity;
+/// failure quarantines the item.
+fn attempt_retry(
+    prepared: &Arc<PreparedModule>,
+    fid: FuncId,
+    stats: &ServeStats,
+    first_payload: Box<dyn std::any::Any + Send>,
+) -> Result<FunctionOutput, JobError> {
+    stats.functions_retried.fetch_add(1, Ordering::Relaxed);
+    let floor = SplendidOptions {
+        variant: Variant::V1,
+        start_tier: FidelityTier::Literal,
+        faults: None,
+        ..SplendidOptions::default()
+    };
+    match attempt_decompile(prepared, fid, &floor, stats) {
+        Ok(Ok(out)) => Ok(out),
+        Ok(Err(e)) => {
+            stats.functions_quarantined.fetch_add(1, Ordering::Relaxed);
+            Err(JobError::Panicked(format!(
+                "{} (Literal-floor retry failed: {e})",
+                panic_message(first_payload)
+            )))
+        }
+        Err(second) => {
+            stats.functions_quarantined.fetch_add(1, Ordering::Relaxed);
+            Err(JobError::Panicked(format!(
+                "{} (Literal-floor retry also panicked: {})",
+                panic_message(first_payload),
+                panic_message(second)
+            )))
+        }
+    }
+}
+
 fn finish(state: &JobState, prepared: &PreparedModule, output: DecompileOutput) {
     let functions = prepared.module.functions.len();
     state.complete(Ok(JobResult {
@@ -474,6 +745,7 @@ fn finish(state: &JobState, prepared: &PreparedModule, output: DecompileOutput) 
         output,
         functions,
         cached_functions: state.cached.load(Ordering::Relaxed),
+        degraded_functions: state.degraded.load(Ordering::Relaxed),
         wall: state.started.elapsed(),
     }));
 }

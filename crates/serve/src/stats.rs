@@ -25,6 +25,16 @@ pub struct ServeStats {
     pub functions_decompiled: AtomicU64,
     /// Per-function work items served from the cache.
     pub functions_from_cache: AtomicU64,
+    /// Functions that fell back to the `Structured` fidelity tier.
+    pub functions_degraded_structured: AtomicU64,
+    /// Functions that fell back to the `Literal` fidelity tier.
+    pub functions_degraded_literal: AtomicU64,
+    /// Per-function work items retried after a contained panic.
+    pub functions_retried: AtomicU64,
+    /// Retried work items that panicked again and were given up on.
+    pub functions_quarantined: AtomicU64,
+    /// Module preparations retried after a transient fault.
+    pub prepare_retries: AtomicU64,
     /// Wall time in module parsing (batch text inputs), ns.
     pub ns_parse: AtomicU64,
     /// Wall time in parallel-region detransformation, ns.
@@ -50,6 +60,10 @@ impl ServeStats {
         self.ns_structure
             .fetch_add(ns(t.structure), Ordering::Relaxed);
         self.ns_emit.fetch_add(ns(t.emit), Ordering::Relaxed);
+        self.functions_degraded_structured
+            .fetch_add(u64::from(t.degraded_structured), Ordering::Relaxed);
+        self.functions_degraded_literal
+            .fetch_add(u64::from(t.degraded_literal), Ordering::Relaxed);
     }
 
     /// Record time spent parsing textual IR.
@@ -57,25 +71,32 @@ impl ServeStats {
         self.ns_parse.fetch_add(ns(d), Ordering::Relaxed);
     }
 
-    /// Materialize the counters, combining in cache and queue gauges.
+    /// Materialize the counters, combining in cache and pool gauges.
     pub fn snapshot(
         &self,
         cache: CacheCounters,
         queue_depth: usize,
         in_flight: usize,
         workers: usize,
+        workers_respawned: u64,
     ) -> StatsSnapshot {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StatsSnapshot {
             workers,
             queue_depth,
             in_flight,
+            workers_respawned,
             jobs_submitted: get(&self.jobs_submitted),
             jobs_completed: get(&self.jobs_completed),
             jobs_failed: get(&self.jobs_failed),
             jobs_timed_out: get(&self.jobs_timed_out),
             functions_decompiled: get(&self.functions_decompiled),
             functions_from_cache: get(&self.functions_from_cache),
+            functions_degraded_structured: get(&self.functions_degraded_structured),
+            functions_degraded_literal: get(&self.functions_degraded_literal),
+            functions_retried: get(&self.functions_retried),
+            functions_quarantined: get(&self.functions_quarantined),
+            prepare_retries: get(&self.prepare_retries),
             parse: Duration::from_nanos(get(&self.ns_parse)),
             detransform: Duration::from_nanos(get(&self.ns_detransform)),
             naming: Duration::from_nanos(get(&self.ns_naming)),
@@ -95,6 +116,8 @@ pub struct StatsSnapshot {
     pub queue_depth: usize,
     /// Work items currently executing.
     pub in_flight: usize,
+    /// Workers that died to an escaped panic and were replaced.
+    pub workers_respawned: u64,
     /// Jobs accepted.
     pub jobs_submitted: u64,
     /// Jobs that produced output.
@@ -107,6 +130,16 @@ pub struct StatsSnapshot {
     pub functions_decompiled: u64,
     /// Functions served from the cache.
     pub functions_from_cache: u64,
+    /// Functions emitted at the `Structured` fidelity tier.
+    pub functions_degraded_structured: u64,
+    /// Functions emitted at the `Literal` fidelity tier.
+    pub functions_degraded_literal: u64,
+    /// Work items retried after a contained panic.
+    pub functions_retried: u64,
+    /// Retried work items that failed again (quarantined).
+    pub functions_quarantined: u64,
+    /// Module preparations retried after a transient fault.
+    pub prepare_retries: u64,
     /// Cumulative parse wall time (sum over workers).
     pub parse: Duration,
     /// Cumulative detransform wall time.
@@ -121,13 +154,20 @@ pub struct StatsSnapshot {
     pub cache: CacheCounters,
 }
 
+impl StatsSnapshot {
+    /// Total functions that landed below the `Natural` tier.
+    pub fn functions_degraded(&self) -> u64 {
+        self.functions_degraded_structured + self.functions_degraded_literal
+    }
+}
+
 impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "serve stats")?;
         writeln!(
             f,
-            "  pool       {} workers, queue depth {}, in flight {}",
-            self.workers, self.queue_depth, self.in_flight
+            "  pool       {} workers, queue depth {}, in flight {}, {} respawned",
+            self.workers, self.queue_depth, self.in_flight, self.workers_respawned
         )?;
         writeln!(
             f,
@@ -138,6 +178,16 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "  functions  {} decompiled, {} from cache",
             self.functions_decompiled, self.functions_from_cache
+        )?;
+        writeln!(
+            f,
+            "  fidelity   {} degraded ({} structured, {} literal), {} retried, {} quarantined, {} prepare retries",
+            self.functions_degraded(),
+            self.functions_degraded_structured,
+            self.functions_degraded_literal,
+            self.functions_retried,
+            self.functions_quarantined,
+            self.prepare_retries
         )?;
         writeln!(
             f,

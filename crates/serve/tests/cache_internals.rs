@@ -5,7 +5,8 @@
 use splendid_cfront::ast::{CFunc, CType};
 use splendid_cfront::OmpRuntime;
 use splendid_core::{
-    prepare_module, FunctionOutput, NamingStats, SplendidOptions, StageTimings, Variant,
+    prepare_module, FidelityTier, FunctionOutput, NamingStats, SplendidOptions, StageTimings,
+    Variant,
 };
 use splendid_polybench::Harness;
 use splendid_serve::{function_cache_key, FunctionCache};
@@ -24,6 +25,7 @@ fn out(tag: usize) -> Arc<FunctionOutput> {
             restored_vars: 0,
         },
         gotos: 0,
+        tier: FidelityTier::Natural,
     })
 }
 

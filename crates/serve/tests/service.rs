@@ -120,8 +120,8 @@ fn identical_text_submissions_share_cache_entries() {
     );
 }
 
-/// A module that decompiles only as far as the printer before indexing an
-/// instruction arena out of bounds — a guaranteed work-item panic.
+/// A module whose only function references an instruction outside its
+/// arena — every fidelity tier must refuse it, bottoming the ladder out.
 fn poisoned_module() -> Module {
     let mut m = Module::new("poisoned");
     let mut f = splendid_ir::Function::new("boom", Vec::new(), Type::I64);
@@ -148,9 +148,14 @@ fn panicking_job_fails_alone_without_poisoning_the_service() {
     let bad = scheduler
         .submit(JobRequest::from_module("bad", poisoned_module()))
         .wait();
+    // The fidelity ladder contains what used to be a raw panic: the job
+    // fails with a structured error naming the stage and function.
     assert!(
-        matches!(bad, Err(JobError::Panicked(_))),
-        "poisoned module must fail as a panic, got {bad:?}"
+        matches!(
+            &bad,
+            Err(JobError::Decompile(msg) | JobError::Panicked(msg)) if msg.contains("boom")
+        ),
+        "poisoned module must fail with a contained error, got {bad:?}"
     );
 
     // The pool must keep serving healthy jobs afterwards.
@@ -176,7 +181,11 @@ fn deadline_cancels_a_job() {
     let r = scheduler
         .submit(JobRequest::from_module(name, module))
         .wait();
-    assert_eq!(r.unwrap_err(), JobError::TimedOut);
+    let err = r.unwrap_err();
+    assert!(
+        matches!(err, JobError::TimedOut { .. }),
+        "expected timeout, got {err:?}"
+    );
     assert_eq!(scheduler.stats().jobs_timed_out, 1);
 }
 
@@ -191,6 +200,91 @@ fn parse_errors_are_reported_not_fatal() {
         .wait();
     assert!(matches!(r, Err(JobError::Parse(_))), "{r:?}");
     assert_eq!(scheduler.stats().jobs_failed, 1);
+}
+
+#[test]
+fn injected_pipeline_fault_degrades_in_stats_and_source() {
+    use splendid_core::{FaultKind, FaultPlan, Stage};
+    use std::sync::Arc;
+    let (name, module) = golden_suite().remove(0);
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let opts = SplendidOptions {
+        faults: Some(Arc::new(FaultPlan::single(
+            Stage::Structure,
+            1,
+            FaultKind::Fail,
+        ))),
+        ..Default::default()
+    };
+    let res = scheduler.decompile_module(&name, &module, &opts).unwrap();
+    assert_eq!(
+        res.degraded_functions, 1,
+        "exactly one function fell down the ladder"
+    );
+    assert!(
+        res.output.source.contains("splendid: degraded to"),
+        "degraded function must be annotated:\n{}",
+        res.output.source
+    );
+    assert_eq!(
+        res.cached_functions, 0,
+        "fault-injected runs must bypass the cache"
+    );
+    let stats = scheduler.stats();
+    assert_eq!(stats.functions_degraded_structured, 1, "{stats}");
+    assert_eq!(stats.functions_degraded_literal, 0, "{stats}");
+
+    // The same module decompiled WITHOUT faults must come out clean and
+    // undegraded — the plan is per-request, not service state.
+    let clean = scheduler
+        .decompile_module(&name, &module, &SplendidOptions::default())
+        .unwrap();
+    assert_eq!(clean.degraded_functions, 0);
+    assert!(!clean.output.source.contains("splendid: degraded"));
+}
+
+#[test]
+fn injected_worker_fault_respawns_the_worker() {
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    scheduler.inject_worker_fault();
+    // The replacement worker must pick up real jobs afterwards.
+    let (name, module) = golden_suite().remove(0);
+    let res = scheduler
+        .decompile_module(&name, &module, &SplendidOptions::default())
+        .unwrap();
+    assert!(res.output.source.contains("#pragma omp parallel"));
+    let stats = scheduler.stats();
+    assert!(
+        stats.workers_respawned >= 1,
+        "poisoned worker must be replaced: {stats}"
+    );
+}
+
+#[test]
+fn timeout_errors_name_a_pipeline_stage() {
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 1,
+        job_timeout: Some(Duration::ZERO),
+        ..Default::default()
+    });
+    let (name, module) = golden_suite().remove(0);
+    let err = scheduler
+        .submit(JobRequest::from_module(name, module))
+        .wait()
+        .unwrap_err();
+    let JobError::TimedOut { stage } = err else {
+        panic!("expected timeout, got {err:?}")
+    };
+    assert!(
+        ["queue", "parse", "prepare", "functions", "assemble"].contains(&stage),
+        "stage attribution must name a known stage, got {stage:?}"
+    );
 }
 
 #[test]
