@@ -1,0 +1,143 @@
+//! Stable content fingerprints for functions and modules.
+//!
+//! The serve function cache, and the daemon's incremental dirty tracking,
+//! both need to decide "is this function's IR the same bytes as before?"
+//! across processes and releases. `DefaultHasher` is explicitly unstable,
+//! so identity is defined here once: FNV-1a 64 over the canonical printed
+//! form of the function (the printer is deterministic), producing digests
+//! that are reproducible, loggable, and comparable over the wire.
+
+use crate::pipeline::PreparedModule;
+use splendid_ir::{printer::function_str, FuncId, Module};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte string (the same constants as the serve layer's
+/// incremental hasher; kept in core so fingerprints don't depend on the
+/// service being linked in).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content fingerprint of one function: FNV-1a 64 of its canonical
+/// printed IR. Two functions fingerprint equal iff the printer emits
+/// identical bytes for them.
+pub fn function_fingerprint(module: &Module, fid: FuncId) -> u64 {
+    fnv64(function_str(module, module.func(fid)).as_bytes())
+}
+
+/// `(name, fingerprint)` for every function of a module, in arena order.
+///
+/// This is the daemon's dirty-tracking input: an UPDATE diffs the new
+/// module's fingerprint list against the previous one and re-decompiles
+/// only functions whose digest changed (or whose name is new).
+pub fn module_fingerprints(module: &Module) -> Vec<(String, u64)> {
+    module
+        .func_ids()
+        .map(|fid| {
+            (
+                module.func(fid).name.clone(),
+                function_fingerprint(module, fid),
+            )
+        })
+        .collect()
+}
+
+/// Fold more bytes into a running FNV-1a 64 state.
+fn mix(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of everything outside a function's own body that its
+/// decompilation can read: global declarations and the debug-variable
+/// arena (naming resolves `dbg !N` through it).
+pub fn module_context_fingerprint(m: &Module) -> u64 {
+    let mut h = FNV_OFFSET;
+    for g in &m.globals {
+        h = mix(h, g.name.as_bytes());
+        h = mix(h, format!("{}|{:?};", g.mem, g.init).as_bytes());
+    }
+    for dv in &m.di_vars {
+        h = mix(h, dv.name.as_bytes());
+        h = mix(h, b"@");
+        h = mix(h, dv.scope.as_bytes());
+        h = mix(h, b";");
+    }
+    h
+}
+
+/// Memoized content digests of a [`PreparedModule`], computed once and
+/// shared by every consumer (serve cache-key construction, daemon dirty
+/// tracking).
+#[derive(Debug, Clone)]
+pub struct ModuleDigests {
+    /// [`module_context_fingerprint`] of the prepared module.
+    pub context: u64,
+    /// `(name, fingerprint)` per function, in arena order.
+    pub functions: Vec<(String, u64)>,
+}
+
+impl PreparedModule {
+    /// The memoized digests, computing them on first use.
+    pub fn digests(&self) -> &ModuleDigests {
+        self.digests.get_or_init(|| ModuleDigests {
+            context: module_context_fingerprint(&self.module),
+            functions: module_fingerprints(&self.module),
+        })
+    }
+
+    /// Memoized [`module_context_fingerprint`].
+    pub fn context_fingerprint(&self) -> u64 {
+        self.digests().context
+    }
+
+    /// Memoized per-function fingerprint (arena order matches
+    /// [`Module::func_ids`](splendid_ir::Module::func_ids)).
+    pub fn function_fingerprint(&self, fid: FuncId) -> u64 {
+        self.digests().functions[fid.0 as usize].1
+    }
+
+    /// Stable per-function content fingerprints of the *prepared* module
+    /// (post-detransform): the identity the serve function cache keys on.
+    pub fn function_fingerprints(&self) -> Vec<(String, u64)> {
+        self.digests().functions.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_known_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fingerprints_detect_single_function_edits() {
+        use splendid_cfront::{lower_program, parse_program, LowerOptions};
+        let src = "double A[8];\nvoid f() { int i; for (i = 0; i < 8; i++) { A[i] = 1.0; } }\n\
+                   void g() { int i; for (i = 0; i < 8; i++) { A[i] = 2.0; } }";
+        let edited = src.replace("2.0", "3.0");
+        let lower = |s: &str| {
+            let prog = parse_program(s).unwrap();
+            lower_program(&prog, "fp", &LowerOptions::default()).unwrap()
+        };
+        let before = module_fingerprints(&lower(src));
+        let after = module_fingerprints(&lower(&edited));
+        assert_eq!(before.len(), 2);
+        assert_eq!(before[0], after[0], "untouched function keeps its digest");
+        assert_eq!(before[1].0, after[1].0);
+        assert_ne!(before[1].1, after[1].1, "edited function must re-digest");
+    }
+}

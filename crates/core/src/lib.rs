@@ -39,6 +39,7 @@ pub mod analyzer;
 pub mod detransform;
 pub mod error;
 pub mod fault;
+pub mod fingerprint;
 pub mod literal;
 pub mod naming;
 pub mod pipeline;
@@ -47,6 +48,7 @@ pub mod structure;
 
 pub use error::{panic_message, Severity, SplendidError, Stage};
 pub use fault::{FaultKind, FaultPlan, FaultRng, FaultSpec};
+pub use fingerprint::{function_fingerprint, module_fingerprints};
 pub use pipeline::{
     assemble_output, decompile, decompile_function, decompile_timed, prepare_module,
     DecompileOutput, FidelityTier, FunctionOutput, NamingStats, PreparedModule, SplendidOptions,

@@ -193,6 +193,11 @@ pub struct PreparedModule {
     pub module: Module,
     /// Reports from the Parallel Region Detransformer.
     pub regions: Vec<RegionReport>,
+    /// Lazily computed, memoized content digests (see [`crate::fingerprint`]):
+    /// the serve cache keys every per-function lookup on these, so
+    /// computing them once per prepared module instead of once per lookup
+    /// is what makes an incremental re-decompile O(changed functions).
+    pub(crate) digests: std::sync::OnceLock<crate::fingerprint::ModuleDigests>,
 }
 
 impl PreparedModule {
@@ -241,6 +246,7 @@ pub fn prepare_module(
     Ok(PreparedModule {
         module: work,
         regions,
+        digests: std::sync::OnceLock::new(),
     })
 }
 

@@ -1,0 +1,336 @@
+//! Interactive decompilation sessions: a parsed module, its per-function
+//! content fingerprints, and the incremental re-decompilation logic.
+//!
+//! Invalidation rules (see DESIGN.md, "Interactive daemon & wire
+//! protocol"):
+//!
+//! * OPEN parses the module and fingerprints every function
+//!   ([`splendid_core::module_fingerprints`], FNV-64 over canonical
+//!   printed IR); everything starts dirty.
+//! * UPDATE re-parses and re-fingerprints; a function is **dirty** when
+//!   its digest changed or its name is new. A whole-module digest equality
+//!   additionally catches global/debug-metadata changes: if it is
+//!   unchanged, the update is a no-op (dirty = 0).
+//! * DECOMPILE with nothing dirty and a retained last result answers from
+//!   the session without touching the scheduler (the fast path). Otherwise
+//!   the module is submitted to the shared [`Scheduler`]; unchanged
+//!   functions come back from the content-addressed serve cache (their
+//!   cache keys are built from the very same fingerprints), and only dirty
+//!   functions re-run `decompile_function`.
+
+use splendid_core::{prepare_module, PreparedModule, SplendidOptions, StageTimings, Variant};
+use splendid_ir::{parser::parse_module, printer::module_str};
+use splendid_serve::{JobError, JobInput, JobRequest, Scheduler, ServeStats};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Decode the wire variant byte; `None` for out-of-range values.
+pub fn variant_from_wire(v: u8) -> Option<Variant> {
+    match v {
+        1 => Some(Variant::V1),
+        2 => Some(Variant::Portable),
+        3 => Some(Variant::Full),
+        _ => None,
+    }
+}
+
+/// What a session's DECOMPILE returns to the connection handler.
+#[derive(Debug, Clone)]
+pub struct DecompileReply {
+    /// The decompiled C translation unit.
+    pub source: String,
+    /// Functions in the module.
+    pub functions: u32,
+    /// Functions answered from the shared serve cache.
+    pub cached: u32,
+    /// Functions emitted below the `Natural` tier.
+    pub degraded: u32,
+    /// Functions that were dirty going into this request.
+    pub dirty: u32,
+    /// Whole request answered from the session's retained result.
+    pub fast_path: bool,
+}
+
+/// Retained result of the last successful decompile.
+struct LastResult {
+    source: String,
+    functions: u32,
+    degraded: u32,
+}
+
+/// One client's interactive session: module state + incremental bookkeeping.
+pub struct Session {
+    /// Daemon-wide session id (assigned by the server).
+    pub id: u32,
+    /// Caller-chosen module label.
+    pub name: String,
+    options: SplendidOptions,
+    /// Per-session serve counters, teed from the shared scheduler.
+    pub stats: Arc<ServeStats>,
+    /// The prepared (parsed + detransformed) module. Preparing happens
+    /// once per OPEN/UPDATE — the fingerprints need it anyway — and is
+    /// submitted as [`JobInput::Prepared`] behind an `Arc`, so DECOMPILE
+    /// skips straight to the per-function fan-out without copying the
+    /// module.
+    prepared: Arc<PreparedModule>,
+    /// name → content fingerprint of the current module's *prepared*
+    /// functions (outlined parallel regions inlined back into their
+    /// callers, exactly the functions the scheduler fans out — so an
+    /// edit inside an outlined region body dirties the kernel it is
+    /// inlined into, matching the serve cache's keying).
+    fingerprints: HashMap<String, u64>,
+    /// Digest over the whole printed module (globals included).
+    module_digest: u64,
+    /// Functions changed since the last successful decompile.
+    dirty: u32,
+    last: Option<LastResult>,
+    /// Request counters for the stats surface.
+    opens: u64,
+    updates: u64,
+    decompiles: u64,
+    fast_path_decompiles: u64,
+    /// Creation time, for the stats dump.
+    started: Instant,
+}
+
+/// What [`digest_module`] produces: the shared prepared module, the
+/// prepared-function fingerprints, and the raw-module digest.
+type DigestedModule = (Arc<PreparedModule>, HashMap<String, u64>, u64);
+
+/// Parse and prepare module text, returning the prepared module, the
+/// prepared-function fingerprints (so dirty tracking agrees with the
+/// scheduler's cache keys by construction), and a digest over the raw
+/// printed module for no-op detection.
+fn digest_module(text: &str, opts: &SplendidOptions) -> Result<DigestedModule, String> {
+    let module = parse_module(text).map_err(|e| e.to_string())?;
+    let digest = splendid_core::fingerprint::fnv64(module_str(&module).as_bytes());
+    let mut timings = StageTimings::default();
+    let prepared = prepare_module(&module, opts, &mut timings).map_err(|e| e.to_string())?;
+    // Populate the memoized digests before sharing: every later consumer
+    // (cache keys, dirty diffs) reads the same computed-once values.
+    let fingerprints = prepared.function_fingerprints().into_iter().collect();
+    Ok((Arc::new(prepared), fingerprints, digest))
+}
+
+impl Session {
+    /// Open a session over parsed module text. Every function starts dirty.
+    pub fn open(id: u32, name: String, variant: Variant, text: &str) -> Result<Session, String> {
+        let options = SplendidOptions {
+            variant,
+            ..SplendidOptions::default()
+        };
+        let (prepared, fingerprints, module_digest) = digest_module(text, &options)?;
+        let dirty = fingerprints.len() as u32;
+        Ok(Session {
+            id,
+            name,
+            options,
+            stats: Arc::new(ServeStats::default()),
+            prepared,
+            fingerprints,
+            module_digest,
+            dirty,
+            last: None,
+            opens: 1,
+            updates: 0,
+            decompiles: 0,
+            fast_path_decompiles: 0,
+            started: Instant::now(),
+        })
+    }
+
+    /// Functions in the current module after preparation (outlined
+    /// parallel regions are inlined away) — the unit of incremental
+    /// re-decompilation, and the count every RESULT frame reports.
+    pub fn functions(&self) -> u32 {
+        self.fingerprints.len() as u32
+    }
+
+    /// Replace the module, dirty-diffing against the previous
+    /// fingerprints. Returns `(dirty, total)`.
+    pub fn update(&mut self, text: &str) -> Result<(u32, u32), String> {
+        let (prepared, fingerprints, module_digest) = digest_module(text, &self.options)?;
+        self.updates += 1;
+        if module_digest == self.module_digest {
+            // Byte-identical module: nothing to do, previous dirt stands.
+            return Ok((self.dirty, self.functions()));
+        }
+        let mut newly_dirty = 0u32;
+        for (name, fp) in &fingerprints {
+            if self.fingerprints.get(name) != Some(fp) {
+                newly_dirty += 1;
+            }
+        }
+        // A non-function change (globals, debug vars) shifts the module
+        // context every cache key includes; treat everything as dirty.
+        if newly_dirty == 0 {
+            newly_dirty = fingerprints.len() as u32;
+        }
+        self.prepared = prepared;
+        self.fingerprints = fingerprints;
+        self.module_digest = module_digest;
+        // The retained result no longer matches the module text.
+        self.last = None;
+        self.dirty = self.dirty.saturating_add(newly_dirty).min(self.functions());
+        Ok((self.dirty, self.functions()))
+    }
+
+    /// Decompile the current module incrementally through the shared
+    /// scheduler (or from the retained result when nothing is dirty).
+    pub fn decompile(&mut self, scheduler: &Scheduler) -> Result<DecompileReply, JobError> {
+        self.decompiles += 1;
+        let dirty = self.dirty;
+        if dirty == 0 {
+            if let Some(last) = &self.last {
+                self.fast_path_decompiles += 1;
+                return Ok(DecompileReply {
+                    source: last.source.clone(),
+                    functions: last.functions,
+                    cached: last.functions,
+                    degraded: last.degraded,
+                    dirty: 0,
+                    fast_path: true,
+                });
+            }
+        }
+        let request = JobRequest {
+            name: self.name.clone(),
+            input: JobInput::Prepared(Arc::clone(&self.prepared)),
+            options: self.options.clone(),
+        };
+        let result = scheduler
+            .submit_with_stats(request, Some(Arc::clone(&self.stats)))
+            .wait()?;
+        self.dirty = 0;
+        let reply = DecompileReply {
+            source: result.output.source.clone(),
+            functions: result.functions as u32,
+            cached: result.cached_functions as u32,
+            degraded: result.degraded_functions as u32,
+            dirty,
+            fast_path: false,
+        };
+        self.last = Some(LastResult {
+            source: result.output.source,
+            functions: reply.functions,
+            degraded: reply.degraded,
+        });
+        Ok(reply)
+    }
+
+    /// Stable, line-oriented session stats: request counters plus the
+    /// session-scoped serve counters teed by `submit_with_stats`.
+    pub fn stats_text(&self) -> String {
+        let get = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        let s = &self.stats;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "session {} ({}): up {}s, {} function(s), {} dirty\n",
+            self.id,
+            self.name,
+            self.started.elapsed().as_secs(),
+            self.functions(),
+            self.dirty
+        ));
+        out.push_str(&format!(
+            "  requests   {} open / {} update / {} decompile ({} fast-path)\n",
+            self.opens, self.updates, self.decompiles, self.fast_path_decompiles
+        ));
+        out.push_str(&format!(
+            "  jobs       {} submitted / {} completed / {} failed / {} timed out\n",
+            get(&s.jobs_submitted),
+            get(&s.jobs_completed),
+            get(&s.jobs_failed),
+            get(&s.jobs_timed_out)
+        ));
+        out.push_str(&format!(
+            "  functions  {} decompiled, {} from cache\n",
+            get(&s.functions_decompiled),
+            get(&s.functions_from_cache)
+        ));
+        out.push_str(&format!(
+            "  fidelity   {} degraded ({} structured, {} literal), {} retried, {} quarantined\n",
+            get(&s.functions_degraded_structured) + get(&s.functions_degraded_literal),
+            get(&s.functions_degraded_structured),
+            get(&s.functions_degraded_literal),
+            get(&s.functions_retried),
+            get(&s.functions_quarantined)
+        ));
+        out.push_str(&format!(
+            "  stages     parse {:?}, detransform {:?}, naming {:?}, structure {:?}, emit {:?}\n",
+            std::time::Duration::from_nanos(get(&s.ns_parse)),
+            std::time::Duration::from_nanos(get(&s.ns_detransform)),
+            std::time::Duration::from_nanos(get(&s.ns_naming)),
+            std::time::Duration::from_nanos(get(&s.ns_structure)),
+            std::time::Duration::from_nanos(get(&s.ns_emit)),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_cfront::{lower_program, parse_program, LowerOptions};
+    use splendid_parallel::{parallelize_module, ParallelizeOptions};
+    use splendid_serve::ServeConfig;
+    use splendid_transforms::{optimize_module, O2Options};
+
+    fn module_text(consts: &[f64]) -> String {
+        let mut src = String::new();
+        for (i, c) in consts.iter().enumerate() {
+            src.push_str(&format!("double A{i}[64];\ndouble B{i}[64];\n"));
+            src.push_str(&format!(
+                "void kernel{i}() {{ int j; for (j = 1; j < 63; j++) {{ \
+                 B{i}[j] = (A{i}[j-1] + A{i}[j+1]) * {c:?}; }} }}\n"
+            ));
+        }
+        let prog = parse_program(&src).unwrap();
+        let mut m = lower_program(&prog, "sess", &LowerOptions::default()).unwrap();
+        optimize_module(&mut m, &O2Options::default());
+        parallelize_module(&mut m, &ParallelizeOptions::default());
+        module_str(&m)
+    }
+
+    #[test]
+    fn update_diffs_only_edited_functions() {
+        let scheduler = Scheduler::new(ServeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let base = module_text(&[0.25, 0.5, 0.75]);
+        let mut session = Session::open(1, "t".into(), Variant::Full, &base).unwrap();
+        assert_eq!(session.functions(), 3);
+
+        let first = session.decompile(&scheduler).unwrap();
+        assert_eq!(first.dirty, 3);
+        assert!(!first.fast_path);
+
+        // Edit only the middle kernel's constant.
+        let edited = module_text(&[0.25, 0.625, 0.75]);
+        let (dirty, total) = session.update(&edited).unwrap();
+        assert_eq!((dirty, total), (1, 3), "exactly one function is dirty");
+
+        let second = session.decompile(&scheduler).unwrap();
+        assert_eq!(second.dirty, 1);
+        assert_eq!(
+            second.cached, 2,
+            "unchanged functions come from the serve cache"
+        );
+        assert_ne!(first.source, second.source);
+
+        // Identical text: nothing dirty, fast path answers in-session.
+        let (dirty, _) = session.update(&edited).unwrap();
+        assert_eq!(dirty, 0);
+        let third = session.decompile(&scheduler).unwrap();
+        assert!(third.fast_path);
+        assert_eq!(third.source, second.source);
+    }
+
+    #[test]
+    fn open_rejects_garbage_text() {
+        assert!(Session::open(1, "g".into(), Variant::Full, "not ir at all").is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! End-to-end daemon tests over real sockets: incremental sessions,
+//! stats frames, drain semantics, disconnect hygiene, the connection
+//! cap, idle eviction, and the Unix-socket listener.
+
+use splendid_cfront::{lower_program, parse_program, LowerOptions};
+use splendid_daemon::protocol::{frame_bytes, kind};
+use splendid_daemon::{Daemon, DaemonClient, DaemonConfig, ErrorCode, Response};
+use splendid_ir::printer::module_str;
+use splendid_parallel::{parallelize_module, ParallelizeOptions};
+use splendid_serve::ServeConfig;
+use splendid_transforms::{optimize_module, O2Options};
+use std::time::Duration;
+
+/// A small parallelized module with one kernel per constant; editing one
+/// constant dirties exactly one prepared function.
+fn module_text(consts: &[f64]) -> String {
+    let mut src = String::new();
+    for (i, c) in consts.iter().enumerate() {
+        src.push_str(&format!("double A{i}[64];\ndouble B{i}[64];\n"));
+        src.push_str(&format!(
+            "void kernel{i}() {{ int j; for (j = 1; j < 63; j++) {{ \
+             B{i}[j] = (A{i}[j-1] + A{i}[j+1]) * {c:?}; }} }}\n"
+        ));
+    }
+    let prog = parse_program(&src).unwrap();
+    let mut m = lower_program(&prog, "itest", &LowerOptions::default()).unwrap();
+    optimize_module(&mut m, &O2Options::default());
+    parallelize_module(&mut m, &ParallelizeOptions::default());
+    module_str(&m)
+}
+
+fn start(config: DaemonConfig) -> Daemon {
+    Daemon::start(config).expect("daemon binds on a loopback port")
+}
+
+/// Fire a DECOMPILE frame without waiting for its response.
+fn send_decompile(client: &mut DaemonClient) -> std::io::Result<()> {
+    client.send_raw(&frame_bytes(kind::DECOMPILE, &[]))
+}
+
+fn connect(daemon: &Daemon) -> DaemonClient {
+    let client = DaemonClient::connect_tcp(daemon.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    client
+}
+
+#[test]
+fn incremental_session_over_tcp() {
+    let daemon = start(DaemonConfig::default());
+    let mut client = connect(&daemon);
+    client.ping().unwrap();
+
+    let base = module_text(&[0.25, 0.5, 0.75]);
+    let (session, functions) = client.open("itest", 3, &base).unwrap();
+    assert!(session > 0);
+    assert_eq!(functions, 3);
+
+    let first = client.decompile().unwrap();
+    let Response::Result {
+        functions,
+        dirty,
+        fast_path,
+        source: first_source,
+        ..
+    } = first
+    else {
+        panic!("expected RESULT");
+    };
+    assert_eq!((functions, dirty, fast_path), (3, 3, false));
+
+    // Edit exactly one kernel: one dirty, the rest served from cache.
+    let edited = module_text(&[0.25, 0.625, 0.75]);
+    let (dirty, total) = client.update(&edited).unwrap();
+    assert_eq!((dirty, total), (1, 3));
+    let Response::Result {
+        cached,
+        dirty,
+        fast_path,
+        source: second_source,
+        ..
+    } = client.decompile().unwrap()
+    else {
+        panic!("expected RESULT");
+    };
+    assert_eq!((cached, dirty, fast_path), (2, 1, false));
+    assert_ne!(first_source, second_source);
+
+    // Nothing dirty: the session answers without the scheduler.
+    let Response::Result {
+        fast_path, source, ..
+    } = client.decompile().unwrap()
+    else {
+        panic!("expected RESULT");
+    };
+    assert!(fast_path);
+    assert_eq!(source, second_source);
+
+    // Stats surfaces: session-scoped and daemon-wide.
+    let session_stats = client.stats(false).unwrap();
+    assert!(session_stats.contains("session"), "{session_stats}");
+    assert!(session_stats.contains("decompile"), "{session_stats}");
+    let daemon_stats = client.stats(true).unwrap();
+    assert!(daemon_stats.contains("daemon stats"), "{daemon_stats}");
+    assert!(daemon_stats.contains("sessions"), "{daemon_stats}");
+
+    client.close().unwrap();
+    assert_eq!(daemon.open_sessions(), 0);
+    client.ping().unwrap(); // connection outlives the session
+    assert!(daemon.drain());
+}
+
+#[test]
+fn drain_completes_inflight_decompile() {
+    // One worker so a queued decompile is reliably still in flight when
+    // the drain starts.
+    let daemon = start(DaemonConfig {
+        serve: ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.local_addr();
+
+    let module = module_text(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let mut front = DaemonClient::connect_tcp(addr).unwrap();
+    front
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    front.open("front", 3, &module).unwrap();
+    let mut back = DaemonClient::connect_tcp(addr).unwrap();
+    back.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    back.open("back", 3, &module_text(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]))
+        .unwrap();
+
+    // Fire both DECOMPILEs without waiting; `back` queues behind `front`
+    // on the single worker, so it is mid-request when the drain begins.
+    send_decompile(&mut front).unwrap();
+    send_decompile(&mut back).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let drainer = std::thread::spawn(move || daemon.drain());
+
+    // Both in-flight requests complete with real results.
+    for client in [&mut front, &mut back] {
+        match client.read_response().unwrap() {
+            Response::Result { functions, .. } => assert_eq!(functions, 6),
+            other => panic!("in-flight decompile should finish during drain, got {other:?}"),
+        }
+    }
+    assert!(drainer.join().unwrap(), "drain wound down cleanly");
+}
+
+#[test]
+fn mid_request_disconnect_leaves_daemon_healthy() {
+    let daemon = start(DaemonConfig::default());
+    let module = module_text(&[0.1, 0.2, 0.3]);
+
+    {
+        let mut client = connect(&daemon);
+        client.open("gone", 3, &module).unwrap();
+        // Fire a DECOMPILE and hang up before the response arrives.
+        send_decompile(&mut client).unwrap();
+    } // drop = close
+
+    // The handler notices the dead peer when its send fails and
+    // unregisters the session.
+    let mut waited = 0;
+    while daemon.open_sessions() > 0 && waited < 100 {
+        std::thread::sleep(Duration::from_millis(50));
+        waited += 1;
+    }
+    assert_eq!(daemon.open_sessions(), 0, "no leaked sessions");
+
+    // And the daemon still serves new work.
+    let mut client = connect(&daemon);
+    client.ping().unwrap();
+    let (_, functions) = client.open("after", 3, &module).unwrap();
+    assert_eq!(functions, 3);
+    client.close().unwrap();
+    assert!(daemon.drain());
+}
+
+#[test]
+fn connection_cap_applies_backpressure() {
+    let daemon = start(DaemonConfig {
+        max_connections: 1,
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.local_addr();
+
+    let mut first = DaemonClient::connect_tcp(addr).unwrap();
+    first
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    first.ping().unwrap();
+
+    // Second connection sits in the OS accept backlog: the TCP connect
+    // succeeds but no handler answers while the cap is occupied.
+    let mut second = DaemonClient::connect_tcp(addr).unwrap();
+    second
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    assert!(
+        second.ping().is_err(),
+        "capped connection must not be served"
+    );
+
+    // Freeing the slot lets the queued connection through; the PING it
+    // already sent is answered once accepted.
+    drop(first);
+    second
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match second.read_response().unwrap() {
+        Response::Pong => {}
+        other => panic!("expected the queued PING's PONG, got {other:?}"),
+    }
+    drop(second);
+    assert!(daemon.drain());
+}
+
+#[test]
+fn idle_sessions_are_evicted() {
+    let daemon = start(DaemonConfig {
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..DaemonConfig::default()
+    });
+    let mut client = connect(&daemon);
+    client.open("idle", 3, &module_text(&[0.5])).unwrap();
+    assert_eq!(daemon.open_sessions(), 1);
+
+    // Sit past the idle timeout: the daemon sends a typed error and
+    // evicts the session.
+    std::thread::sleep(Duration::from_millis(600));
+    match client.read_response() {
+        Ok(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::IdleTimeout),
+        Ok(other) => panic!("expected idle-timeout ERROR, got {other:?}"),
+        Err(e) => panic!("expected idle-timeout ERROR before close: {e}"),
+    }
+    let mut waited = 0;
+    while daemon.open_sessions() > 0 && waited < 100 {
+        std::thread::sleep(Duration::from_millis(20));
+        waited += 1;
+    }
+    assert_eq!(daemon.open_sessions(), 0);
+    assert_eq!(
+        daemon
+            .stats()
+            .sessions_evicted
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert!(daemon.drain());
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_roundtrip() {
+    let path =
+        std::env::temp_dir().join(format!("splendid-daemon-test-{}.sock", std::process::id()));
+    let daemon = start(DaemonConfig {
+        unix_path: Some(path.clone()),
+        ..DaemonConfig::default()
+    });
+    let mut client = DaemonClient::connect_unix(&path).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    client.ping().unwrap();
+    let (_, functions) = client.open("unix", 3, &module_text(&[0.5, 0.75])).unwrap();
+    assert_eq!(functions, 2);
+    match client.decompile().unwrap() {
+        Response::Result { functions, .. } => assert_eq!(functions, 2),
+        other => panic!("expected RESULT, got {other:?}"),
+    }
+    client.close().unwrap();
+    drop(client);
+    assert!(daemon.drain());
+    assert!(!path.exists(), "drain removes the socket file");
+}

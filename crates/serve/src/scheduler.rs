@@ -29,9 +29,9 @@ use splendid_core::{
     assemble_output, decompile_function, panic_message, prepare_module, DecompileOutput,
     FidelityTier, FunctionOutput, PreparedModule, SplendidOptions, StageTimings, Variant,
 };
-use splendid_ir::{parser::parse_module, printer::function_str, FuncId, Module};
+use splendid_ir::{parser::parse_module, FuncId, Module};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,13 @@ pub enum JobInput {
     Text(String),
     /// An already-parsed module.
     Module(Module),
+    /// An already-prepared module (parsed + detransformed). The daemon's
+    /// interactive sessions prepare once per UPDATE (they need the
+    /// prepared functions for fingerprinting anyway) and submit this, so
+    /// an incremental decompile skips straight to the per-function
+    /// fan-out instead of re-running the module-wide detransform. `Arc`
+    /// so resubmitting a resident module never copies it.
+    Prepared(Arc<PreparedModule>),
 }
 
 /// One decompilation request.
@@ -173,6 +180,41 @@ mod job_stage {
     }
 }
 
+/// Fan-out target for service counters: every job records into the
+/// scheduler-wide [`ServeStats`], and — when submitted through
+/// [`Scheduler::submit_with_stats`] — into a second per-caller instance
+/// (the daemon gives each session its own, so the STATS surface can
+/// attribute work per session without the scheduler knowing about
+/// sessions).
+#[derive(Clone)]
+pub(crate) struct StatsSink {
+    primary: Arc<ServeStats>,
+    extra: Option<Arc<ServeStats>>,
+}
+
+impl StatsSink {
+    fn each(&self, f: impl Fn(&ServeStats)) {
+        f(&self.primary);
+        if let Some(extra) = &self.extra {
+            f(extra);
+        }
+    }
+
+    fn add(&self, counter: impl Fn(&ServeStats) -> &AtomicU64, n: u64) {
+        self.each(|s| {
+            counter(s).fetch_add(n, Ordering::Relaxed);
+        });
+    }
+
+    fn record_timings(&self, t: &StageTimings) {
+        self.each(|s| s.record_timings(t));
+    }
+
+    fn record_parse(&self, d: Duration) {
+        self.each(|s| s.record_parse(d));
+    }
+}
+
 struct JobState {
     name: String,
     started: Instant,
@@ -185,7 +227,7 @@ struct JobState {
     slots: Mutex<Vec<Option<FunctionOutput>>>,
     done: Mutex<Option<Result<JobResult, JobError>>>,
     cv: Condvar,
-    stats: Arc<ServeStats>,
+    stats: StatsSink,
 }
 
 impl JobState {
@@ -212,11 +254,9 @@ impl JobState {
         let mut done = lock(&self.done);
         if done.is_none() {
             match &result {
-                Ok(_) => self.stats.jobs_completed.fetch_add(1, Ordering::Relaxed),
-                Err(JobError::TimedOut { .. }) => {
-                    self.stats.jobs_timed_out.fetch_add(1, Ordering::Relaxed)
-                }
-                Err(_) => self.stats.jobs_failed.fetch_add(1, Ordering::Relaxed),
+                Ok(_) => self.stats.add(|s| &s.jobs_completed, 1),
+                Err(JobError::TimedOut { .. }) => self.stats.add(|s| &s.jobs_timed_out, 1),
+                Err(_) => self.stats.add(|s| &s.jobs_failed, 1),
             };
             *done = Some(result);
             self.cv.notify_all();
@@ -267,24 +307,6 @@ impl JobHandle {
     }
 }
 
-/// Fingerprint of everything outside a function's own body that its
-/// decompilation can read: global declarations and the debug-variable
-/// arena (naming resolves `dbg !N` through it).
-fn module_context_fingerprint(m: &Module) -> u64 {
-    let mut h = Fnv64::new();
-    for g in &m.globals {
-        h.write(g.name.as_bytes());
-        h.write(format!("{}|{:?};", g.mem, g.init).as_bytes());
-    }
-    for dv in &m.di_vars {
-        h.write(dv.name.as_bytes())
-            .write(b"@")
-            .write(dv.scope.as_bytes())
-            .write(b";");
-    }
-    h.finish()
-}
-
 fn options_fingerprint(o: &SplendidOptions) -> u64 {
     let variant = match o.variant {
         Variant::V1 => 1u8,
@@ -311,11 +333,16 @@ fn options_fingerprint(o: &SplendidOptions) -> u64 {
 }
 
 /// Content-address of one function under one option set: the cache key.
+///
+/// The function-body and module-context components are the stable
+/// fingerprints core memoizes on the [`PreparedModule`] — the same
+/// digests the daemon's incremental dirty tracking compares — so
+/// "dirty" and "cache miss" agree by construction, and a fully-cached
+/// lookup never re-prints IR.
 pub fn function_cache_key(prepared: &PreparedModule, fid: FuncId, opts: &SplendidOptions) -> u64 {
-    let m = &prepared.module;
     let mut h = Fnv64::new();
-    h.write_u64(module_context_fingerprint(m));
-    h.write(function_str(m, m.func(fid)).as_bytes());
+    h.write_u64(prepared.context_fingerprint());
+    h.write_u64(prepared.function_fingerprint(fid));
     h.write_u64(options_fingerprint(opts));
     h.finish()
 }
@@ -426,7 +453,24 @@ impl Scheduler {
 
     /// Accept a job; returns immediately with a waitable handle.
     pub fn submit(&self, request: JobRequest) -> JobHandle {
-        self.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.submit_with_stats(request, None)
+    }
+
+    /// [`Scheduler::submit`], additionally recording every counter and
+    /// stage timing this job produces into `session_stats` (on top of the
+    /// scheduler-wide stats). The daemon uses this to give each session
+    /// its own [`ServeStats`] while sharing one scheduler and one
+    /// function cache across all sessions.
+    pub fn submit_with_stats(
+        &self,
+        request: JobRequest,
+        session_stats: Option<Arc<ServeStats>>,
+    ) -> JobHandle {
+        let sink = StatsSink {
+            primary: Arc::clone(&self.stats),
+            extra: session_stats,
+        };
+        sink.add(|s| &s.jobs_submitted, 1);
         let state = Arc::new(JobState {
             name: request.name.clone(),
             started: Instant::now(),
@@ -439,17 +483,16 @@ impl Scheduler {
             slots: Mutex::new(Vec::new()),
             done: Mutex::new(None),
             cv: Condvar::new(),
-            stats: Arc::clone(&self.stats),
+            stats: sink,
         });
         if let Some(w) = &self.watchdog {
             w.register(&state);
         }
         let job_state = Arc::clone(&state);
         let cache = Arc::clone(&self.cache);
-        let stats = Arc::clone(&self.stats);
         let remote = self.pool.remote();
         self.pool
-            .spawn(move || run_job(request, job_state, cache, stats, remote));
+            .spawn(move || run_job(request, job_state, cache, remote));
         JobHandle { state }
     }
 
@@ -498,29 +541,32 @@ fn run_job(
     request: JobRequest,
     state: Arc<JobState>,
     cache: Arc<FunctionCache>,
-    stats: Arc<ServeStats>,
     remote: PoolRemote,
 ) {
     if state.expired() {
         state.complete(Err(state.timeout_error()));
         return;
     }
+    let stats = state.stats.clone();
     let JobRequest { input, options, .. } = request;
-    let prepared = match catch_unwind(AssertUnwindSafe(|| -> Result<PreparedModule, JobError> {
-        let module = match input {
-            JobInput::Module(m) => m,
-            JobInput::Text(text) => {
-                state.enter(job_stage::PARSE);
-                let start = Instant::now();
-                let parsed = parse_module(&text).map_err(|e| JobError::Parse(e.to_string()))?;
-                stats.record_parse(start.elapsed());
-                parsed
-            }
-        };
-        state.enter(job_stage::PREPARE);
-        prepare_with_retry(&module, &options, &state, &stats)
-    })) {
-        Ok(Ok(p)) => Arc::new(p),
+    let prepared = match catch_unwind(AssertUnwindSafe(
+        || -> Result<Arc<PreparedModule>, JobError> {
+            let module = match input {
+                JobInput::Prepared(p) => return Ok(p),
+                JobInput::Module(m) => m,
+                JobInput::Text(text) => {
+                    state.enter(job_stage::PARSE);
+                    let start = Instant::now();
+                    let parsed = parse_module(&text).map_err(|e| JobError::Parse(e.to_string()))?;
+                    stats.record_parse(start.elapsed());
+                    parsed
+                }
+            };
+            state.enter(job_stage::PREPARE);
+            prepare_with_retry(&module, &options, &state, &stats).map(Arc::new)
+        },
+    )) {
+        Ok(Ok(p)) => p,
         Ok(Err(e)) => return state.complete(Err(e)),
         Err(payload) => return state.complete(Err(JobError::Panicked(panic_message(payload)))),
     };
@@ -542,9 +588,9 @@ fn run_job(
         let item_state = Arc::clone(&state);
         let prepared = Arc::clone(&prepared);
         let cache = Arc::clone(&cache);
-        let stats = Arc::clone(&stats);
         let options = options.clone();
         let accepted = remote.spawn(move || {
+            let stats = item_state.stats.clone();
             run_function_item(&item_state, &prepared, fid, slot, &options, &cache, &stats)
         });
         if !accepted {
@@ -563,7 +609,7 @@ fn prepare_with_retry(
     module: &Module,
     options: &SplendidOptions,
     state: &JobState,
-    stats: &ServeStats,
+    stats: &StatsSink,
 ) -> Result<PreparedModule, JobError> {
     let mut backoff = PREPARE_BACKOFF.iter();
     loop {
@@ -575,7 +621,7 @@ fn prepare_with_retry(
             }
             Err(e) if e.transient => match backoff.next() {
                 Some(delay) if !state.expired() => {
-                    stats.prepare_retries.fetch_add(1, Ordering::Relaxed);
+                    stats.add(|s| &s.prepare_retries, 1);
                     std::thread::sleep(*delay);
                 }
                 _ => return Err(JobError::Prepare(e.to_string())),
@@ -595,7 +641,7 @@ fn run_function_item(
     slot: usize,
     options: &SplendidOptions,
     cache: &FunctionCache,
-    stats: &ServeStats,
+    stats: &StatsSink,
 ) {
     if !state.expired() {
         match decompile_item(state, prepared, fid, options, cache, stats) {
@@ -641,7 +687,7 @@ fn decompile_item(
     fid: FuncId,
     options: &SplendidOptions,
     cache: &FunctionCache,
-    stats: &ServeStats,
+    stats: &StatsSink,
 ) -> Result<FunctionOutput, JobError> {
     // Fault plans mutate hidden injection state per invocation, so cached
     // entries would alias distinct injection outcomes: bypass entirely.
@@ -661,7 +707,7 @@ fn decompile_item(
     if let Some(k) = key {
         if let Some(hit) = cache.get(k) {
             state.cached.fetch_add(1, Ordering::Relaxed);
-            stats.functions_from_cache.fetch_add(1, Ordering::Relaxed);
+            stats.add(|s| &s.functions_from_cache, 1);
             return Ok((*hit).clone());
         }
     }
@@ -687,14 +733,14 @@ fn attempt_decompile(
     prepared: &Arc<PreparedModule>,
     fid: FuncId,
     options: &SplendidOptions,
-    stats: &ServeStats,
+    stats: &StatsSink,
 ) -> Result<Result<FunctionOutput, splendid_core::SplendidError>, Box<dyn std::any::Any + Send>> {
     catch_unwind(AssertUnwindSafe(|| {
         let mut timings = StageTimings::default();
         let fresh = decompile_function(prepared, fid, options, &mut timings);
         stats.record_timings(&timings);
         if fresh.is_ok() {
-            stats.functions_decompiled.fetch_add(1, Ordering::Relaxed);
+            stats.add(|s| &s.functions_decompiled, 1);
         }
         fresh
     }))
@@ -708,10 +754,10 @@ fn attempt_decompile(
 fn attempt_retry(
     prepared: &Arc<PreparedModule>,
     fid: FuncId,
-    stats: &ServeStats,
+    stats: &StatsSink,
     first_payload: Box<dyn std::any::Any + Send>,
 ) -> Result<FunctionOutput, JobError> {
-    stats.functions_retried.fetch_add(1, Ordering::Relaxed);
+    stats.add(|s| &s.functions_retried, 1);
     let floor = SplendidOptions {
         variant: Variant::V1,
         start_tier: FidelityTier::Literal,
@@ -721,14 +767,14 @@ fn attempt_retry(
     match attempt_decompile(prepared, fid, &floor, stats) {
         Ok(Ok(out)) => Ok(out),
         Ok(Err(e)) => {
-            stats.functions_quarantined.fetch_add(1, Ordering::Relaxed);
+            stats.add(|s| &s.functions_quarantined, 1);
             Err(JobError::Panicked(format!(
                 "{} (Literal-floor retry failed: {e})",
                 panic_message(first_payload)
             )))
         }
         Err(second) => {
-            stats.functions_quarantined.fetch_add(1, Ordering::Relaxed);
+            stats.add(|s| &s.functions_quarantined, 1);
             Err(JobError::Panicked(format!(
                 "{} (Literal-floor retry also panicked: {})",
                 panic_message(first_payload),

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Benchmark the splendid-serve batch-decompilation service on the 16
-# PolyBench kernels and record throughput into BENCH_serve.json at the
-# repo root: serial (1-worker) baseline, N-worker cold run, and the
-# warm-cache rerun with its hit rate.
+# Benchmark the splendid decompilation services and record the results
+# at the repo root:
+#
+#   BENCH_serve.json  — batch service throughput on the 16 PolyBench
+#                       kernels: serial (1-worker) baseline, N-worker
+#                       cold run, warm-cache rerun with its hit rate,
+#                       and per-job latency percentiles.
+#   BENCH_daemon.json — interactive daemon latency: cold / incremental /
+#                       fast-path p50/p95/p99 and the headline
+#                       incremental-vs-cold speedup (gated at >= 5x).
 #
 # Usage: scripts/bench_serve.sh [--jobs N] [--rounds R]
 #   --jobs defaults to the machine's core count (0 lets the service pick).
@@ -10,9 +16,14 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cargo build --release -p splendid-serve --bin splendid
+cargo build --release -p splendid
 
 ./target/release/splendid bench-serve --json "$@" > BENCH_serve.json
 
 echo "wrote $(pwd)/BENCH_serve.json:"
 cat BENCH_serve.json
+
+./target/release/splendid bench-daemon --json --min-speedup 5 > BENCH_daemon.json
+
+echo "wrote $(pwd)/BENCH_daemon.json:"
+cat BENCH_daemon.json

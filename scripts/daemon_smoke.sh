@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Daemon smoke test, as run by the CI `daemon` job:
+#
+#   1. start `splendid daemon` in the background on a loopback port,
+#   2. drive a 50-round incremental edit/decompile loopback session
+#      against it (bench-daemon in attach mode),
+#   3. replay the malformed-frame corpus, proving the daemon survives
+#      every file,
+#   4. SIGTERM the daemon and assert it drains cleanly (exit 0).
+#
+# Usage: scripts/daemon_smoke.sh [--addr HOST:PORT]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${2:-127.0.0.1:7877}"
+
+cargo build --release -p splendid
+
+./target/release/splendid daemon --addr "$ADDR" &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+
+# Wait for the daemon to accept connections (the PING path).
+for _ in $(seq 1 50); do
+  if ./target/release/splendid connect --addr "$ADDR" --stats >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.2
+done
+
+echo "== incremental loopback: 1 connection x 50 edit/decompile rounds =="
+./target/release/splendid bench-daemon \
+  --addr "$ADDR" --connections 1 --rounds 50 --functions 8
+
+echo "== malformed-frame corpus replay =="
+./target/release/splendid connect --addr "$ADDR" \
+  --malformed crates/daemon/tests/malformed
+
+echo "== daemon-wide stats =="
+./target/release/splendid connect --addr "$ADDR" --stats
+
+echo "== graceful drain on SIGTERM =="
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+trap - EXIT
+if [ "$STATUS" -ne 0 ]; then
+  echo "daemon exited with status $STATUS (want 0: clean drain)" >&2
+  exit 1
+fi
+echo "daemon drained cleanly"

@@ -4,6 +4,12 @@
 //! splendid decompile <file.{ir,c}> [--variant v1|portable|full] [--stats]
 //! splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]
 //! splendid bench-serve [--jobs N] [--rounds R] [--json]
+//! splendid daemon [--addr A] [--unix PATH] [--jobs N] [--max-connections N]
+//!                 [--idle-timeout SECS] [--deadline SECS]
+//! splendid connect [--addr A] [--unix PATH] [file.{ir,c}] [--variant V]
+//!                  [--stats] [--malformed <dir>]
+//! splendid bench-daemon [--connections N] [--rounds M] [--functions F]
+//!                       [--addr A] [--json] [--min-speedup X]
 //! splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--stats]
 //! splendid difftest --faults N [--fault-cases M] [--seed S]
 //! splendid dump-polybench <dir>
@@ -11,17 +17,20 @@
 //!
 //! `.ir` inputs are parsed as textual SPLENDID IR; `.c` inputs run the
 //! full substrate (cfront → -O2 → Polly-sim) first, so the service sees
-//! the same parallel IR the paper's pipeline produces.
+//! the same parallel IR the paper's pipeline produces. `daemon` keeps a
+//! decompiler resident for interactive sessions (see `splendid-daemon`);
+//! `connect` and `bench-daemon` talk to one.
 
 use splendid_cfront::{lower_program, parse_program, LowerOptions};
 use splendid_core::{SplendidOptions, Variant};
+use splendid_daemon::{percentiles, BenchConfig, Daemon, DaemonClient, DaemonConfig};
 use splendid_ir::{printer::module_str, Module};
 use splendid_parallel::{parallelize_module, ParallelizeOptions};
 use splendid_polybench::Harness;
 use splendid_serve::{JobInput, JobRequest, Scheduler, ServeConfig};
 use splendid_transforms::{optimize_module, O2Options};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
@@ -29,6 +38,9 @@ fn usage() -> ! {
          splendid decompile <file.{{ir,c}}> [--variant v1|portable|full] [--stats]\n  \
          splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]\n  \
          splendid bench-serve [--jobs N] [--rounds R] [--json]\n  \
+         splendid daemon [--addr A] [--unix PATH] [--jobs N] [--max-connections N] [--idle-timeout SECS] [--deadline SECS]\n  \
+         splendid connect [--addr A] [--unix PATH] [file.{{ir,c}}] [--variant V] [--stats] [--malformed <dir>]\n  \
+         splendid bench-daemon [--connections N] [--rounds M] [--functions F] [--addr A] [--json] [--min-speedup X]\n  \
          splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--stats]\n  \
          splendid difftest --faults N [--fault-cases M] [--seed S]\n  \
          splendid dump-polybench <dir>"
@@ -56,13 +68,24 @@ struct Args {
     corpus: Option<String>,
     faults: u64,
     fault_cases: u64,
+    addr: Option<String>,
+    unix: Option<String>,
+    max_connections: usize,
+    idle_timeout: u64,
+    deadline: u64,
+    connections: usize,
+    functions: usize,
+    malformed: Option<String>,
+    min_speedup: f64,
 }
 
 fn parse_args(args: &[String]) -> Args {
     let mut out = Args {
         positional: Vec::new(),
         jobs: 0,
-        rounds: 1,
+        // 0 = unset; each command applies its own default (batch and
+        // bench-serve run 1 round, bench-daemon runs 8).
+        rounds: 0,
         variant: Variant::Full,
         stats: false,
         json: false,
@@ -73,6 +96,15 @@ fn parse_args(args: &[String]) -> Args {
         corpus: None,
         faults: 0,
         fault_cases: 8,
+        addr: None,
+        unix: None,
+        max_connections: 32,
+        idle_timeout: 300,
+        deadline: 30,
+        connections: 4,
+        functions: 16,
+        malformed: None,
+        min_speedup: 0.0,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -126,6 +158,39 @@ fn parse_args(args: &[String]) -> Args {
                 out.fault_cases = value("--fault-cases")
                     .parse()
                     .unwrap_or_else(|_| fail("--fault-cases: not a number"))
+            }
+            "--addr" => out.addr = Some(value("--addr")),
+            "--unix" => out.unix = Some(value("--unix")),
+            "--max-connections" => {
+                out.max_connections = value("--max-connections")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-connections: not a number"))
+            }
+            "--idle-timeout" => {
+                out.idle_timeout = value("--idle-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--idle-timeout: not a number (seconds, 0 = never)"))
+            }
+            "--deadline" => {
+                out.deadline = value("--deadline")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--deadline: not a number (seconds, 0 = none)"))
+            }
+            "--connections" => {
+                out.connections = value("--connections")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--connections: not a number"))
+            }
+            "--functions" => {
+                out.functions = value("--functions")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--functions: not a number"))
+            }
+            "--malformed" => out.malformed = Some(value("--malformed")),
+            "--min-speedup" => {
+                out.min_speedup = value("--min-speedup")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--min-speedup: not a number"))
             }
             flag if flag.starts_with('-') => fail(&format!("unknown flag {flag}")),
             _ => out.positional.push(a.clone()),
@@ -230,13 +295,14 @@ fn cmd_batch(args: Args) {
         workers: args.jobs,
         ..Default::default()
     });
+    let rounds = args.rounds.max(1);
     println!(
         "batch: {} module(s), {} worker(s), {} round(s)",
         requests.len(),
         scheduler.workers(),
-        args.rounds
+        rounds
     );
-    for round in 1..=args.rounds.max(1) {
+    for round in 1..=rounds {
         let start = Instant::now();
         let results = scheduler.decompile_batch(requests.clone());
         let wall = start.elapsed();
@@ -283,18 +349,20 @@ fn cmd_dump_polybench(args: Args) {
     println!("wrote {} modules to {}", suite.len(), dir.display());
 }
 
-/// One measured batch pass; returns (wall seconds, ok count).
-fn run_pass(scheduler: &Scheduler, requests: &[JobRequest]) -> (f64, usize) {
+/// One measured batch pass; returns the pass wall seconds plus every
+/// job's submit-to-completion latency (for the percentile report).
+fn run_pass(scheduler: &Scheduler, requests: &[JobRequest]) -> (f64, Vec<Duration>) {
     let start = Instant::now();
     let results = scheduler.decompile_batch(requests.to_vec());
     let wall = start.elapsed().as_secs_f64();
-    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let mut latencies = Vec::with_capacity(results.len());
     for r in results {
-        if let Err(e) = r {
-            fail(&format!("bench-serve job failed: {e}"));
+        match r {
+            Ok(res) => latencies.push(res.wall),
+            Err(e) => fail(&format!("bench-serve job failed: {e}")),
         }
     }
-    (wall, ok)
+    (wall, latencies)
 }
 
 fn cmd_bench_serve(args: Args) {
@@ -322,16 +390,21 @@ fn cmd_bench_serve(args: Args) {
     }
 
     // Parallel: N workers, cold cache each round; keep the last scheduler
-    // warm for the cache pass.
+    // warm for the cache pass. Per-job latencies across all cold parallel
+    // rounds feed the percentile report (mean-only reporting hides tail
+    // latency).
     let mut parallel = f64::MAX;
     let mut warm = f64::MAX;
     let mut hit_rate = 0.0;
+    let mut job_latencies: Vec<Duration> = Vec::new();
     for _ in 0..rounds {
         let s = Scheduler::new(ServeConfig {
             workers: parallel_jobs,
             ..Default::default()
         });
-        parallel = parallel.min(run_pass(&s, &requests).0);
+        let (pass_wall, pass_latencies) = run_pass(&s, &requests);
+        parallel = parallel.min(pass_wall);
+        job_latencies.extend(pass_latencies);
         let before = s.stats().cache;
         warm = warm.min(run_pass(&s, &requests).0);
         let after = s.stats().cache;
@@ -348,6 +421,7 @@ fn cmd_bench_serve(args: Args) {
 
     let speedup = serial / parallel.max(1e-9);
     let warm_speedup = serial / warm.max(1e-9);
+    let p = percentiles(&job_latencies);
     if args.json {
         // Hand-rolled JSON: the offline build has no serde.
         println!("{{");
@@ -358,6 +432,7 @@ fn cmd_bench_serve(args: Args) {
         println!("  \"serial_seconds\": {serial:.6},");
         println!("  \"parallel_seconds\": {parallel:.6},");
         println!("  \"warm_cache_seconds\": {warm:.6},");
+        println!("  \"job_latency\": {},", p.json());
         println!("  \"parallel_speedup\": {speedup:.3},");
         println!("  \"warm_speedup\": {warm_speedup:.3},");
         println!("  \"warm_cache_hit_rate\": {hit_rate:.4},");
@@ -384,6 +459,10 @@ fn cmd_bench_serve(args: Args) {
             "  warm cache            {warm:.3}s  ({:.1} modules/s, {warm_speedup:.2}x, {:.1}% hits)",
             modules as f64 / warm,
             100.0 * hit_rate
+        );
+        println!(
+            "  job latency           p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms  ({} samples)",
+            p.p50_ms, p.p95_ms, p.p99_ms, p.samples
         );
     }
 }
@@ -494,6 +573,273 @@ fn cmd_difftest(args: Args) {
     }
 }
 
+/// SIGTERM/SIGINT handling for daemon mode, via direct libc FFI (the
+/// offline build has no signal crate). The handler only flips an atomic;
+/// the daemon main loop notices and drains.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Install the handlers; returns false if the libc call failed.
+    pub fn install() {
+        // SAFETY: `signal` with an async-signal-safe handler (a single
+        // relaxed-to-seqcst atomic store) is the classic minimal setup.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+fn daemon_config_from(args: &Args) -> DaemonConfig {
+    DaemonConfig {
+        addr: args
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:7777".to_string()),
+        unix_path: args.unix.clone().map(PathBuf::from),
+        max_connections: args.max_connections.max(1),
+        idle_timeout: match args.idle_timeout {
+            0 => None,
+            s => Some(Duration::from_secs(s)),
+        },
+        drain_timeout: Duration::from_secs(30),
+        serve: ServeConfig {
+            workers: args.jobs,
+            job_timeout: match args.deadline {
+                0 => None,
+                s => Some(Duration::from_secs(s)),
+            },
+            ..Default::default()
+        },
+    }
+}
+
+fn cmd_daemon(args: Args) {
+    let config = daemon_config_from(&args);
+    let daemon = Daemon::start(config.clone()).unwrap_or_else(|e| fail(&format!("daemon: {e}")));
+    eprintln!(
+        "splendid daemon listening on {}{} ({} worker(s), {} connection cap)",
+        daemon.local_addr(),
+        config
+            .unix_path
+            .as_ref()
+            .map(|p| format!(" and {}", p.display()))
+            .unwrap_or_default(),
+        if args.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            args.jobs
+        },
+        config.max_connections
+    );
+    #[cfg(unix)]
+    {
+        sig::install();
+        while !sig::requested() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        eprintln!("splendid daemon: signal received, draining...");
+    }
+    #[cfg(not(unix))]
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+    #[cfg(unix)]
+    {
+        let stats = daemon.stats_text();
+        let clean = daemon.drain();
+        eprint!("{stats}");
+        if clean {
+            eprintln!("splendid daemon: drained cleanly");
+            std::process::exit(0);
+        }
+        eprintln!("splendid daemon: drain timed out with connections still open");
+        std::process::exit(1);
+    }
+}
+
+fn connect_client(args: &Args) -> DaemonClient {
+    #[cfg(unix)]
+    if let Some(path) = &args.unix {
+        return DaemonClient::connect_unix(path)
+            .unwrap_or_else(|e| fail(&format!("connect {path}: {e}")));
+    }
+    let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:7777".into());
+    DaemonClient::connect_tcp(&addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")))
+}
+
+fn variant_wire_byte(v: Variant) -> u8 {
+    match v {
+        Variant::V1 => 1,
+        Variant::Portable => 2,
+        Variant::Full => 3,
+    }
+}
+
+/// Parse a `.hex` corpus file: whitespace-separated hex bytes, `#`
+/// comments. Returns the raw bytes to hurl at the daemon.
+fn parse_hex_corpus(text: &str) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        for tok in line.split_whitespace() {
+            out.push(u8::from_str_radix(tok, 16).map_err(|_| format!("bad hex byte {tok:?}"))?);
+        }
+    }
+    Ok(out)
+}
+
+/// Replay a directory of `.hex` malformed-frame files against the
+/// daemon: each file gets a fresh connection; after every replay a new
+/// connection must still PING — the daemon never dies to bad input.
+fn cmd_connect_malformed(args: &Args, dir: &str) {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| fail(&format!("{dir}: {e}")))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("hex"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        fail(&format!("no .hex files in {dir}"));
+    }
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+        let bytes =
+            parse_hex_corpus(&text).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+        let mut client = connect_client(args);
+        client
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        client
+            .send_raw(&bytes)
+            .unwrap_or_else(|e| fail(&format!("{}: send: {e}", path.display())));
+        // Drain whatever (typed errors, usually) the daemon says back.
+        let mut responses = 0usize;
+        while client.read_response().is_ok() {
+            responses += 1;
+        }
+        drop(client);
+        // Liveness proof on a fresh connection.
+        let mut probe = connect_client(args);
+        probe
+            .ping()
+            .unwrap_or_else(|e| fail(&format!("{}: daemon died: {e}", path.display())));
+        println!(
+            "malformed {}: {} byte(s), {} response(s), daemon alive",
+            path.file_name()
+                .map(|f| f.to_string_lossy())
+                .unwrap_or_default(),
+            bytes.len(),
+            responses
+        );
+    }
+    println!("malformed corpus: {} file(s) survived", files.len());
+}
+
+fn cmd_connect(args: Args) {
+    if let Some(dir) = args.malformed.clone() {
+        cmd_connect_malformed(&args, &dir);
+        return;
+    }
+    match args.positional.as_slice() {
+        [] => {
+            if !args.stats {
+                fail("connect: give a file to decompile, --stats, or --malformed <dir>");
+            }
+            let mut client = connect_client(&args);
+            let text = client
+                .stats(true)
+                .unwrap_or_else(|e| fail(&format!("stats: {e}")));
+            print!("{text}");
+        }
+        [path] => {
+            let path = Path::new(path);
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+            let ir_text = match path.extension().and_then(|e| e.to_str()) {
+                Some("c") => module_str(&compile_c(&text, &name)),
+                _ => text,
+            };
+            let mut client = connect_client(&args);
+            let (session, functions) = client
+                .open(&name, variant_wire_byte(args.variant), &ir_text)
+                .unwrap_or_else(|e| fail(&format!("open: {e}")));
+            match client.decompile() {
+                Ok(splendid_daemon::Response::Result {
+                    source,
+                    cached,
+                    wall_micros,
+                    ..
+                }) => {
+                    print!("{source}");
+                    if args.stats {
+                        eprintln!(
+                            "# session {session}: {functions} function(s), {cached} cached, \
+                             {wall_micros}us server-side"
+                        );
+                        let stats = client
+                            .stats(false)
+                            .unwrap_or_else(|e| fail(&format!("stats: {e}")));
+                        eprint!("{stats}");
+                    }
+                }
+                Ok(_) => fail("decompile: unexpected response kind"),
+                Err(e) => fail(&format!("decompile: {e}")),
+            }
+            client
+                .close()
+                .unwrap_or_else(|e| fail(&format!("close: {e}")));
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_bench_daemon(args: Args) {
+    let cfg = BenchConfig {
+        connections: args.connections.max(1),
+        rounds: if args.rounds == 0 { 8 } else { args.rounds },
+        functions: args.functions.max(1),
+        addr: args.addr.clone(),
+    };
+    let report =
+        splendid_daemon::run_bench(&cfg).unwrap_or_else(|e| fail(&format!("bench-daemon: {e}")));
+    if args.json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.text());
+    }
+    if args.min_speedup > 0.0 && report.incremental_speedup < args.min_speedup {
+        eprintln!(
+            "bench-daemon: incremental speedup {:.2}x is below the required {:.2}x",
+            report.incremental_speedup, args.min_speedup
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -504,6 +850,9 @@ fn main() {
         "decompile" => cmd_decompile(args),
         "batch" => cmd_batch(args),
         "bench-serve" => cmd_bench_serve(args),
+        "daemon" => cmd_daemon(args),
+        "connect" => cmd_connect(args),
+        "bench-daemon" => cmd_bench_daemon(args),
         "difftest" => cmd_difftest(args),
         "dump-polybench" => cmd_dump_polybench(args),
         _ => usage(),
