@@ -1,0 +1,103 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), table-driven.
+//!
+//! The store's record integrity check. Hand-rolled because the build is
+//! offline by design; the table is computed at compile time so the
+//! runtime cost is one lookup per byte.
+
+/// The 256-entry CRC-32 lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 state.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+}
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Crc32 {
+        Crc32::default()
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Crc32 {
+        for &b in bytes {
+            self.0 = (self.0 >> 8) ^ TABLE[((self.0 ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self
+    }
+
+    /// Final checksum.
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte string.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published IEEE CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut c = Crc32::new();
+        c.update(b"1234").update(b"56789");
+        assert_eq!(c.finish(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"splendid cache record payload".to_vec();
+        let want = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8u8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&flipped),
+                    want,
+                    "flip at {byte}:{bit} must change the CRC"
+                );
+            }
+        }
+    }
+}

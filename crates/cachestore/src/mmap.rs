@@ -1,0 +1,239 @@
+//! A minimal file-backed memory map.
+//!
+//! Unix targets map the index file with direct `libc` FFI (`mmap` /
+//! `msync` / `munmap` — the same zero-dependency style as the daemon's
+//! signal handling); other targets fall back to a heap buffer that is
+//! read at open and written back on [`MmapFile::sync`]. Both expose the
+//! same byte-slice surface, so the index code above is platform-blind.
+
+use std::fs::File;
+use std::io;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const PROT_WRITE: i32 = 0x2;
+    pub const MAP_SHARED: i32 = 0x01;
+    #[cfg(target_os = "linux")]
+    pub const MS_SYNC: i32 = 4;
+    #[cfg(not(target_os = "linux"))]
+    pub const MS_SYNC: i32 = 0x0010;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn msync(addr: *mut c_void, len: usize, flags: i32) -> i32;
+    }
+}
+
+/// A writable, file-backed byte region of fixed length.
+pub struct MmapFile {
+    #[cfg(unix)]
+    ptr: *mut u8,
+    #[cfg(not(unix))]
+    buf: Vec<u8>,
+    len: usize,
+    file: File,
+}
+
+// SAFETY: the mapping is a plain byte region owned by this struct; all
+// access goes through `&self`/`&mut self`, so aliasing discipline is the
+// borrow checker's. The raw pointer itself is thread-agnostic.
+#[cfg(unix)]
+unsafe impl Send for MmapFile {}
+#[cfg(unix)]
+unsafe impl Sync for MmapFile {}
+
+impl MmapFile {
+    /// Map `file` read-write and shared over its first `len` bytes. The
+    /// file must already be at least `len` bytes long.
+    #[cfg(unix)]
+    pub fn map(file: File, len: usize) -> io::Result<MmapFile> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map an empty region",
+            ));
+        }
+        // SAFETY: fd is a valid open file descriptor owned by `file`,
+        // which outlives the mapping (held in the struct); len is
+        // nonzero; failure is checked against MAP_FAILED below.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MmapFile {
+            ptr: ptr.cast(),
+            len,
+            file,
+        })
+    }
+
+    /// Heap fallback: read the region at open, write it back on sync.
+    #[cfg(not(unix))]
+    pub fn map(file: File, len: usize) -> io::Result<MmapFile> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = file;
+        let mut buf = vec![0u8; len];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut buf)?;
+        Ok(MmapFile { buf, len, file })
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is mapped (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        #[cfg(unix)]
+        // SAFETY: ptr..ptr+len is the live mapping established in `map`.
+        unsafe {
+            std::slice::from_raw_parts(self.ptr, self.len)
+        }
+        #[cfg(not(unix))]
+        &self.buf
+    }
+
+    /// The mapped bytes, writable.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        #[cfg(unix)]
+        // SAFETY: as `bytes`, and `&mut self` guarantees exclusivity.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr, self.len)
+        }
+        #[cfg(not(unix))]
+        &mut self.buf
+    }
+
+    /// Flush the region to the backing file (blocking).
+    pub fn sync(&mut self) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            // SAFETY: the region is the live mapping from `map`.
+            let rc = unsafe { sys::msync(self.ptr.cast(), self.len, sys::MS_SYNC) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            self.file.seek(SeekFrom::Start(0))?;
+            self.file.write_all(&self.buf)?;
+            self.file.sync_data()
+        }
+    }
+
+    /// Read a little-endian `u64` at `offset`.
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        let b = &self.bytes()[offset..offset + 8];
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Write a little-endian `u64` at `offset`.
+    pub fn write_u64(&mut self, offset: usize, v: u64) {
+        self.bytes_mut()[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a little-endian `u32` at `offset`.
+    pub fn read_u32(&self, offset: usize) -> u32 {
+        let b = &self.bytes()[offset..offset + 4];
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Write a little-endian `u32` at `offset`.
+    pub fn write_u32(&mut self, offset: usize, v: u32) {
+        self.bytes_mut()[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        // SAFETY: unmapping the exact region returned by `mmap`; the
+        // pointer is never used again (we are in drop).
+        unsafe {
+            sys::munmap(self.ptr.cast(), self.len);
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = self.sync();
+        }
+        let _ = self.file.sync_data();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "splendid-mmap-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    #[test]
+    fn write_sync_read_back() {
+        let path = temp_path("rt");
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        file.set_len(4096).unwrap();
+        let mut map = MmapFile::map(file, 4096).unwrap();
+        map.write_u64(0, 0xDEAD_BEEF_CAFE_F00D);
+        map.write_u32(8, 42);
+        map.bytes_mut()[100] = 0xAB;
+        map.sync().unwrap();
+        assert_eq!(map.read_u64(0), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(map.read_u32(8), 42);
+        drop(map);
+
+        let mut raw = Vec::new();
+        std::fs::File::open(&path)
+            .unwrap()
+            .read_to_end(&mut raw)
+            .unwrap();
+        assert_eq!(raw.len(), 4096);
+        assert_eq!(&raw[0..8], &0xDEAD_BEEF_CAFE_F00Du64.to_le_bytes());
+        assert_eq!(raw[100], 0xAB);
+        let _ = std::fs::remove_file(&path);
+    }
+}

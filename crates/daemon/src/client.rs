@@ -163,6 +163,26 @@ impl DaemonClient {
             other => Err(unexpected("PONG", &other)),
         }
     }
+
+    /// CACHE_GET: look up a blob in the daemon's persistent tier.
+    pub fn cache_get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        match self.roundtrip(&Request::CacheGet { key })? {
+            Response::CacheValue { blob } => Ok(blob),
+            other => Err(unexpected("CACHE_VALUE", &other)),
+        }
+    }
+
+    /// CACHE_PUT: offer a record to the daemon's persistent tier;
+    /// returns whether the daemon accepted it.
+    pub fn cache_put(&mut self, key: u64, blob: &[u8]) -> io::Result<bool> {
+        match self.roundtrip(&Request::CachePut {
+            key,
+            blob: blob.to_vec(),
+        })? {
+            Response::CacheStored { stored } => Ok(stored),
+            other => Err(unexpected("CACHE_STORED", &other)),
+        }
+    }
 }
 
 fn unexpected(wanted: &str, got: &Response) -> io::Error {

@@ -26,12 +26,14 @@
 
 pub mod bench;
 pub mod client;
+pub mod peer;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
 pub use bench::{percentiles, run_bench, BenchConfig, BenchReport, Percentiles};
 pub use client::DaemonClient;
+pub use peer::PeerTier;
 pub use protocol::{ErrorCode, FrameAssembler, FrameEvent, Request, Response};
 pub use server::{Daemon, DaemonConfig, DaemonStats};
 pub use session::{DecompileReply, Session};

@@ -1,0 +1,117 @@
+//! The peer cache tier: a [`splendid_serve::CacheTier`] that speaks
+//! `CACHE_GET`/`CACHE_PUT` to another daemon's persistent store.
+//!
+//! A daemon started with `--peer host:port` chains this tier *behind*
+//! its own disk tier, so a cold process next to a warm one fills from
+//! the warm process's store over the wire instead of decompiling from
+//! scratch (the read-through then promotes the record into the local
+//! disk and memory tiers).
+//!
+//! Failure policy: a cache tier must never take the service down. Every
+//! I/O error drops the connection (the next call reconnects), counts as
+//! a tier error, and reads as a miss. The peer answers `CACHE_GET`
+//! exclusively from its *disk* tier — never from its own peer — so two
+//! daemons pointed at each other cannot loop.
+
+use crate::client::DaemonClient;
+use splendid_serve::{CacheTier, TierCounters};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How long one peer round-trip may block a cache lookup.
+const PEER_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A lazily-connected, auto-reconnecting peer tier.
+pub struct PeerTier {
+    addr: String,
+    conn: Mutex<Option<DaemonClient>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fills: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl PeerTier {
+    /// Tier over a peer daemon's TCP address. Does not connect yet —
+    /// the first lookup does, so a daemon may start before its peer.
+    pub fn new(addr: impl Into<String>) -> PeerTier {
+        PeerTier {
+            addr: addr.into(),
+            conn: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fills: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Run `op` on the live connection, dialing if necessary. Any error
+    /// tears the connection down for the next call to retry fresh.
+    fn with_conn<T>(&self, op: impl FnOnce(&mut DaemonClient) -> std::io::Result<T>) -> Option<T> {
+        let mut guard = match self.conn.lock() {
+            Ok(g) => g,
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if guard.is_none() {
+            match DaemonClient::connect_tcp(&self.addr) {
+                Ok(client) => {
+                    let _ = client.set_read_timeout(Some(PEER_TIMEOUT));
+                    *guard = Some(client);
+                }
+                Err(_) => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
+        }
+        let client = guard.as_mut()?;
+        match op(client) {
+            Ok(v) => Some(v),
+            Err(_) => {
+                *guard = None;
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+}
+
+impl CacheTier for PeerTier {
+    fn name(&self) -> &'static str {
+        "peer"
+    }
+
+    fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let found = self.with_conn(|c| c.cache_get(key))?;
+        match found {
+            Some(blob) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(blob)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: u64, blob: &[u8]) {
+        if self.with_conn(|c| c.cache_put(key, blob)) == Some(true) {
+            self.fills.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn counters(&self) -> TierCounters {
+        TierCounters {
+            name: self.name().to_string(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fills: self.fills.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}

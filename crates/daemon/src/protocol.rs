@@ -54,6 +54,11 @@ pub mod kind {
     pub const CLOSE: u8 = 0x05;
     /// Liveness probe.
     pub const PING: u8 = 0x06;
+    /// Look up a blob in the daemon's persistent cache tier (peer
+    /// tiering: another daemon asks before decompiling itself).
+    pub const CACHE_GET: u8 = 0x07;
+    /// Offer a blob to the daemon's persistent cache tier.
+    pub const CACHE_PUT: u8 = 0x08;
 
     /// Session opened.
     pub const OPENED: u8 = 0x81;
@@ -67,6 +72,10 @@ pub mod kind {
     pub const CLOSED: u8 = 0x85;
     /// Liveness reply.
     pub const PONG: u8 = 0x86;
+    /// Cache lookup answer (found flag + blob).
+    pub const CACHE_VALUE: u8 = 0x87;
+    /// Cache offer answer (stored flag).
+    pub const CACHE_STORED: u8 = 0x88;
     /// Typed error.
     pub const ERROR: u8 = 0xEE;
 }
@@ -99,6 +108,9 @@ pub enum ErrorCode {
     Draining = 10,
     /// The session sat idle past the eviction timeout.
     IdleTimeout = 11,
+    /// CACHE_GET/CACHE_PUT on a daemon that has no persistent cache
+    /// tier configured (`--cache-dir`).
+    NoCache = 12,
 }
 
 impl ErrorCode {
@@ -115,6 +127,7 @@ impl ErrorCode {
             9 => ErrorCode::Deadline,
             10 => ErrorCode::Draining,
             11 => ErrorCode::IdleTimeout,
+            12 => ErrorCode::NoCache,
             _ => ErrorCode::BadPayload,
         }
     }
@@ -133,6 +146,7 @@ impl ErrorCode {
             ErrorCode::Deadline => "deadline",
             ErrorCode::Draining => "draining",
             ErrorCode::IdleTimeout => "idle-timeout",
+            ErrorCode::NoCache => "no-cache",
         }
     }
 }
@@ -171,6 +185,18 @@ pub enum Request {
     Close,
     /// Liveness probe.
     Ping,
+    /// Look up a blob in the persistent cache tier by content key.
+    CacheGet {
+        /// Content-addressed FNV-64 key.
+        key: u64,
+    },
+    /// Offer an encoded result record to the persistent cache tier.
+    CachePut {
+        /// Content-addressed FNV-64 key.
+        key: u64,
+        /// Versioned record bytes (see `splendid_serve::codec`).
+        blob: Vec<u8>,
+    },
 }
 
 /// A daemon response, decoded from a frame.
@@ -217,6 +243,17 @@ pub enum Response {
     Closed,
     /// Liveness reply.
     Pong,
+    /// Cache lookup answer.
+    CacheValue {
+        /// The record bytes, when the key was present.
+        blob: Option<Vec<u8>>,
+    },
+    /// Cache offer answer.
+    CacheStored {
+        /// `false` when the daemon rejected the record (e.g. it failed
+        /// validation) without treating it as a wire error.
+        stored: bool,
+    },
     /// Typed error; the connection survives.
     Error {
         /// Machine-readable cause.
@@ -276,6 +313,14 @@ impl Enc {
     pub fn str(mut self, s: &str) -> Enc {
         self.0.extend_from_slice(&(s.len() as u32).to_le_bytes());
         self.0.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte blob (cache records are binary, not
+    /// UTF-8).
+    pub fn bytes(mut self, b: &[u8]) -> Enc {
+        self.0.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        self.0.extend_from_slice(b);
         self
     }
 
@@ -342,6 +387,12 @@ impl<'a> Dec<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|e| DecodeError(format!("invalid UTF-8: {e}")))
     }
 
+    /// Read a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
     /// Fail unless every payload byte was consumed (catches frames that
     /// smuggle trailing garbage past a lenient decoder).
     pub fn expect_end(&self) -> Result<(), DecodeError> {
@@ -366,6 +417,8 @@ impl Request {
             Request::Stats { .. } => kind::STATS,
             Request::Close => kind::CLOSE,
             Request::Ping => kind::PING,
+            Request::CacheGet { .. } => kind::CACHE_GET,
+            Request::CachePut { .. } => kind::CACHE_PUT,
         }
     }
 
@@ -380,6 +433,8 @@ impl Request {
             Request::Update { module_text } => Enc::new().str(module_text).finish(),
             Request::Decompile | Request::Close | Request::Ping => Vec::new(),
             Request::Stats { daemon_wide } => Enc::new().u8(u8::from(*daemon_wide)).finish(),
+            Request::CacheGet { key } => Enc::new().u64(*key).finish(),
+            Request::CachePut { key, blob } => Enc::new().u64(*key).bytes(blob).finish(),
         }
     }
 
@@ -414,6 +469,17 @@ impl Request {
             })(),
             kind::CLOSE => d.expect_end().map(|()| Request::Close),
             kind::PING => d.expect_end().map(|()| Request::Ping),
+            kind::CACHE_GET => (|| {
+                let key = d.u64()?;
+                d.expect_end()?;
+                Ok(Request::CacheGet { key })
+            })(),
+            kind::CACHE_PUT => (|| {
+                let key = d.u64()?;
+                let blob = d.bytes()?;
+                d.expect_end()?;
+                Ok(Request::CachePut { key, blob })
+            })(),
             _ => return None,
         };
         Some(req)
@@ -430,6 +496,8 @@ impl Response {
             Response::StatsText { .. } => kind::STATS_TEXT,
             Response::Closed => kind::CLOSED,
             Response::Pong => kind::PONG,
+            Response::CacheValue { .. } => kind::CACHE_VALUE,
+            Response::CacheStored { .. } => kind::CACHE_STORED,
             Response::Error { .. } => kind::ERROR,
         }
     }
@@ -460,6 +528,11 @@ impl Response {
                 .finish(),
             Response::StatsText { text } => Enc::new().str(text).finish(),
             Response::Closed | Response::Pong => Vec::new(),
+            Response::CacheValue { blob } => match blob {
+                Some(b) => Enc::new().u8(1).bytes(b).finish(),
+                None => Enc::new().u8(0).finish(),
+            },
+            Response::CacheStored { stored } => Enc::new().u8(u8::from(*stored)).finish(),
             Response::Error { code, message } => Enc::new().u16(*code as u16).str(message).finish(),
         }
     }
@@ -507,6 +580,17 @@ impl Response {
             })(),
             kind::CLOSED => d.expect_end().map(|()| Response::Closed),
             kind::PONG => d.expect_end().map(|()| Response::Pong),
+            kind::CACHE_VALUE => (|| {
+                let found = d.u8()?;
+                let blob = if found != 0 { Some(d.bytes()?) } else { None };
+                d.expect_end()?;
+                Ok(Response::CacheValue { blob })
+            })(),
+            kind::CACHE_STORED => (|| {
+                let stored = d.u8()? != 0;
+                d.expect_end()?;
+                Ok(Response::CacheStored { stored })
+            })(),
             kind::ERROR => (|| {
                 let code = ErrorCode::from_u16(d.u16()?);
                 let message = d.str()?;
@@ -704,6 +788,13 @@ mod tests {
             Request::Stats { daemon_wide: true },
             Request::Close,
             Request::Ping,
+            Request::CacheGet {
+                key: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            Request::CachePut {
+                key: 42,
+                blob: vec![0x00, 0xFF, 0x7F, 0x80],
+            },
         ];
         for req in reqs {
             let payload = req.encode_payload();
@@ -737,6 +828,12 @@ mod tests {
             },
             Response::Closed,
             Response::Pong,
+            Response::CacheValue {
+                blob: Some(vec![1, 2, 3, 0, 255]),
+            },
+            Response::CacheValue { blob: None },
+            Response::CacheStored { stored: true },
+            Response::CacheStored { stored: false },
             Response::Error {
                 code: ErrorCode::NoSession,
                 message: "open first".into(),

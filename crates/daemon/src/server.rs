@@ -12,9 +12,11 @@
 //! is the backpressure: clients block in `connect`/first read instead of
 //! being torn down.
 
+use crate::peer::PeerTier;
 use crate::protocol::{self, kind, ErrorCode, FrameAssembler, FrameEvent, Request, Response};
 use crate::session::{variant_from_wire, Session};
-use splendid_serve::{JobError, Scheduler, ServeConfig};
+use splendid_cachestore::StoreConfig;
+use splendid_serve::{codec, BlobTiers, CacheTier, DiskTier, JobError, Scheduler, ServeConfig};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,6 +47,14 @@ pub struct DaemonConfig {
     /// `job_timeout` is the per-request deadline, enforced by the serve
     /// watchdog).
     pub serve: ServeConfig,
+    /// Directory for the persistent on-disk cache tier. `None` runs
+    /// memory-only, exactly as before the tier existed.
+    pub cache_dir: Option<PathBuf>,
+    /// Size budget for the disk tier in bytes (default 256 MiB).
+    pub cache_budget_bytes: Option<u64>,
+    /// TCP address of a peer daemon whose persistent tier is consulted
+    /// (via `CACHE_GET`) behind the local tiers.
+    pub peer: Option<String>,
 }
 
 impl Default for DaemonConfig {
@@ -56,6 +66,9 @@ impl Default for DaemonConfig {
             idle_timeout: Some(Duration::from_secs(300)),
             drain_timeout: Duration::from_secs(30),
             serve: ServeConfig::default(),
+            cache_dir: None,
+            cache_budget_bytes: None,
+            peer: None,
         }
     }
 }
@@ -191,8 +204,23 @@ impl Daemon {
             None => None,
         };
 
+        // Tier chain: local LRU (inside the scheduler) → disk → peer.
+        // The disk tier failing to open is a startup error; the peer
+        // tier never is (it dials lazily and degrades to misses).
+        let mut tiers: Vec<Arc<dyn CacheTier>> = Vec::new();
+        if let Some(dir) = &config.cache_dir {
+            let mut store_config = StoreConfig::default();
+            if let Some(budget) = config.cache_budget_bytes {
+                store_config.budget_bytes = budget;
+            }
+            tiers.push(Arc::new(DiskTier::open(dir, store_config)?));
+        }
+        if let Some(peer) = &config.peer {
+            tiers.push(Arc::new(PeerTier::new(peer.clone())));
+        }
+
         let shared = Arc::new(Shared {
-            scheduler: Scheduler::new(config.serve.clone()),
+            scheduler: Scheduler::new_with_tiers(config.serve.clone(), BlobTiers::new(tiers)),
             config,
             stats: DaemonStats::default(),
             draining: AtomicBool::new(false),
@@ -254,6 +282,9 @@ impl Daemon {
             thread::sleep(Duration::from_millis(10));
         }
         let clean = self.shared.active.load(Ordering::Relaxed) == 0;
+        // Make the persistent tier durable (and its index clean) so the
+        // next process warm-starts without a segment rescan.
+        self.shared.scheduler.flush_cache();
         for t in self.accept_threads.drain(..) {
             let _ = t.join();
         }
@@ -529,6 +560,8 @@ fn kind_label(kind_byte: u8) -> &'static str {
         kind::STATS => "STATS",
         kind::CLOSE => "CLOSE",
         kind::PING => "PING",
+        kind::CACHE_GET => "CACHE_GET",
+        kind::CACHE_PUT => "CACHE_PUT",
         _ => "unknown",
     }
 }
@@ -538,6 +571,34 @@ fn dispatch(shared: &Arc<Shared>, state: &mut ConnState, req: Request) -> Respon
     let draining = shared.draining.load(Ordering::Relaxed);
     match req {
         Request::Ping => Response::Pong,
+        // Cache-tier wire service. GETs answer exclusively from the
+        // *disk* tier (never this daemon's own peer tier — two daemons
+        // pointed at each other must not loop). PUTs validate the record
+        // envelope before anything touches the store; a bad record is a
+        // polite `stored: false`, not a wire error, because the sender
+        // may simply be newer than us.
+        Request::CacheGet { key } => {
+            if shared.scheduler.tiers().disk().is_none() {
+                return error(
+                    ErrorCode::NoCache,
+                    "this daemon has no persistent cache tier (start it with --cache-dir)",
+                );
+            }
+            Response::CacheValue {
+                blob: shared.scheduler.cache_blob_get(key),
+            }
+        }
+        Request::CachePut { key, blob } => {
+            if shared.scheduler.tiers().disk().is_none() {
+                return error(
+                    ErrorCode::NoCache,
+                    "this daemon has no persistent cache tier (start it with --cache-dir)",
+                );
+            }
+            let stored = codec::validate_record(&blob).is_ok()
+                && shared.scheduler.cache_blob_put(key, &blob);
+            Response::CacheStored { stored }
+        }
         Request::Stats { daemon_wide: true } => Response::StatsText {
             text: shared.stats_text(),
         },

@@ -10,11 +10,22 @@
 //! through a slab of nodes, plus a key → slot index map. Everything sits
 //! behind one `Mutex`; the critical sections are a handful of pointer
 //! updates, so contention stays negligible next to decompilation work.
+//!
+//! Below the LRU sits a chain of *blob tiers* (see [`CacheTier`]): the
+//! persistent disk store from `splendid-cachestore`, and optionally a
+//! peer daemon reached over the SPLD `CACHE_GET`/`CACHE_PUT` frames.
+//! Lookups read through the chain (a hit in a lower tier back-fills the
+//! tiers above it); fills write through to every tier, with the disk
+//! write happening *behind* the request on a dedicated thread so a cold
+//! decompile never waits on `fsync`.
 
+use crate::codec;
+use splendid_cachestore::{CacheStore, StoreConfig};
 use splendid_core::FunctionOutput;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 
 /// Poison-recovering lock: the LRU's invariants hold at every instruction
 /// boundary (links are updated under the same critical section), so a
@@ -216,6 +227,265 @@ impl FunctionCache {
     }
 }
 
+/// Per-tier hit/miss/fill counters, snapshotted into the stats surface.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Tier label (`"disk"`, `"peer"`, ...).
+    pub name: String,
+    /// Lookups answered by this tier.
+    pub hits: u64,
+    /// Lookups this tier could not answer.
+    pub misses: u64,
+    /// Records written into this tier (including back-fills from lower
+    /// tiers).
+    pub fills: u64,
+    /// Operations that failed (I/O errors, undecodable blobs, dropped
+    /// write-behind messages). Errors degrade to misses, never to
+    /// request failures.
+    pub errors: u64,
+}
+
+impl TierCounters {
+    /// Hits over lookups, in [0, 1]; 0 when the tier is untouched.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// One level of the cache hierarchy below the in-memory LRU.
+///
+/// Tiers speak *encoded blobs* (see [`crate::codec`]), not decoded
+/// ASTs, so the same chain carries per-function records and whole-module
+/// records, and a network tier can forward payloads without
+/// understanding them. Implementations must be infallible at the
+/// signature level: errors are counted and reported as misses.
+pub trait CacheTier: Send + Sync {
+    /// Tier label for stats attribution.
+    fn name(&self) -> &'static str;
+    /// Fetch the blob stored under `key`, if any.
+    fn get(&self, key: u64) -> Option<Vec<u8>>;
+    /// Persist `blob` under `key` (may complete asynchronously).
+    fn put(&self, key: u64, blob: &[u8]);
+    /// Snapshot this tier's counters.
+    fn counters(&self) -> TierCounters;
+    /// Block until queued writes are durable. Default: nothing queued.
+    fn flush(&self) {}
+}
+
+/// Write-behind queue depth for the disk tier. Deep enough that a burst
+/// of fills (a cold PolyBench batch) never blocks a worker; if the
+/// writer thread cannot keep up, further puts are *dropped* (counted as
+/// errors) rather than applying backpressure to decompilation.
+const WRITE_BEHIND_DEPTH: usize = 1024;
+
+enum DiskMsg {
+    Put(u64, Vec<u8>),
+    Shutdown,
+}
+
+/// The persistent disk tier: a [`CacheStore`] with reads on the calling
+/// thread and writes applied behind a bounded channel by one writer
+/// thread.
+pub struct DiskTier {
+    store: Arc<Mutex<CacheStore>>,
+    tx: mpsc::SyncSender<DiskMsg>,
+    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Writes accepted but not yet applied by the writer thread.
+    pending: Arc<AtomicU64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fills: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Poison-recovering lock for the store (same rationale as the LRU's).
+fn lock_store(m: &Mutex<CacheStore>) -> MutexGuard<'_, CacheStore> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl DiskTier {
+    /// Open (or create) the store at `dir` and start the writer thread.
+    pub fn open(dir: &Path, config: StoreConfig) -> std::io::Result<DiskTier> {
+        let store = Arc::new(Mutex::new(CacheStore::open(dir, config)?));
+        let (tx, rx) = mpsc::sync_channel::<DiskMsg>(WRITE_BEHIND_DEPTH);
+        let pending = Arc::new(AtomicU64::new(0));
+        let writer_store = Arc::clone(&store);
+        let writer_pending = Arc::clone(&pending);
+        let writer = std::thread::Builder::new()
+            .name("splendid-cache-writer".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        DiskMsg::Put(key, blob) => {
+                            let _ = lock_store(&writer_store).put(key, &blob);
+                            writer_pending.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        DiskMsg::Shutdown => break,
+                    }
+                }
+            })
+            .ok();
+        Ok(DiskTier {
+            store,
+            tx,
+            writer: Mutex::new(writer),
+            pending,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fills: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// Store-level counters (rebuilds, torn bytes, CRC drops) for the
+    /// CLI's `cache stat` view.
+    pub fn store_counters(&self) -> splendid_cachestore::StoreCounters {
+        lock_store(&self.store).counters()
+    }
+}
+
+impl CacheTier for DiskTier {
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+
+    fn get(&self, key: u64) -> Option<Vec<u8>> {
+        match lock_store(&self.store).get(key) {
+            Some(blob) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(blob)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: u64, blob: &[u8]) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        match self.tx.try_send(DiskMsg::Put(key, blob.to_vec())) {
+            Ok(()) => {
+                self.fills.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Queue full (or writer gone): drop the write. The cache
+                // stays correct — this record just won't be warm.
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn counters(&self) -> TierCounters {
+        TierCounters {
+            name: "disk".into(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fills: self.fills.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn flush(&self) {
+        // Drain the write-behind queue, then make the store durable and
+        // mark its index clean (that's what buys the O(1) warm reopen).
+        while self.pending.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        if lock_store(&self.store).flush().is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for DiskTier {
+    fn drop(&mut self) {
+        self.flush();
+        let _ = self.tx.send(DiskMsg::Shutdown);
+        if let Some(h) = self.writer.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The blob-tier chain under the LRU: read-through with promotion,
+/// write-through to every tier.
+#[derive(Default)]
+pub struct BlobTiers {
+    tiers: Vec<Arc<dyn CacheTier>>,
+}
+
+impl BlobTiers {
+    /// A chain over the given tiers, ordered nearest first.
+    pub fn new(tiers: Vec<Arc<dyn CacheTier>>) -> BlobTiers {
+        BlobTiers { tiers }
+    }
+
+    /// True when no tier is configured (pure in-memory operation).
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// First tier in the chain when it is the disk tier — the daemon
+    /// serves peer `CACHE_GET`s from it (and only it, so two daemons
+    /// pointed at each other cannot forward a lookup in a loop).
+    pub fn disk(&self) -> Option<&Arc<dyn CacheTier>> {
+        self.tiers.first().filter(|t| t.name() == "disk")
+    }
+
+    /// Read through the chain. A hit in tier N back-fills tiers 0..N so
+    /// the next lookup stops sooner.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        for (i, tier) in self.tiers.iter().enumerate() {
+            if let Some(blob) = tier.get(key) {
+                for nearer in &self.tiers[..i] {
+                    nearer.put(key, &blob);
+                }
+                return Some(blob);
+            }
+        }
+        None
+    }
+
+    /// Write `blob` through to every tier.
+    pub fn put(&self, key: u64, blob: &[u8]) {
+        for tier in &self.tiers {
+            tier.put(key, blob);
+        }
+    }
+
+    /// Decode-aware convenience: fetch and decode a function record.
+    /// Undecodable blobs count as tier errors-as-misses by contract.
+    pub fn get_function(&self, key: u64) -> Option<FunctionOutput> {
+        codec::decode_function_record(&self.get(key)?).ok()
+    }
+
+    /// Encode and write through a function record.
+    pub fn put_function(&self, key: u64, out: &FunctionOutput) {
+        if !self.is_empty() {
+            self.put(key, &codec::encode_function_record(out));
+        }
+    }
+
+    /// Flush every tier.
+    pub fn flush(&self) {
+        for tier in &self.tiers {
+            tier.flush();
+        }
+    }
+
+    /// Snapshot every tier's counters, nearest first.
+    pub fn counters(&self) -> Vec<TierCounters> {
+        self.tiers.iter().map(|t| t.counters()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +542,132 @@ mod tests {
         let k = c.counters();
         assert_eq!((k.hits, k.misses), (1, 1));
         assert!((k.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "splendid-tier-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// In-memory mock of a remote tier, for chain-behavior tests.
+    struct MockTier {
+        name: &'static str,
+        map: Mutex<HashMap<u64, Vec<u8>>>,
+        hits: AtomicU64,
+        misses: AtomicU64,
+        fills: AtomicU64,
+    }
+
+    impl MockTier {
+        fn new(name: &'static str) -> MockTier {
+            MockTier {
+                name,
+                map: Mutex::new(HashMap::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                fills: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl CacheTier for MockTier {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn get(&self, key: u64) -> Option<Vec<u8>> {
+            let got = self.map.lock().unwrap().get(&key).cloned();
+            match &got {
+                Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+                None => self.misses.fetch_add(1, Ordering::Relaxed),
+            };
+            got
+        }
+        fn put(&self, key: u64, blob: &[u8]) {
+            self.fills.fetch_add(1, Ordering::Relaxed);
+            self.map.lock().unwrap().insert(key, blob.to_vec());
+        }
+        fn counters(&self) -> TierCounters {
+            TierCounters {
+                name: self.name.into(),
+                hits: self.hits.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+                fills: self.fills.load(Ordering::Relaxed),
+                errors: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn disk_tier_write_behind_roundtrip() {
+        let dir = temp_dir("disk");
+        let tier = DiskTier::open(&dir, StoreConfig::default()).unwrap();
+        tier.put(0xBEEF, b"blob-bytes");
+        tier.flush(); // drain the write-behind queue
+        assert_eq!(tier.get(0xBEEF).as_deref(), Some(&b"blob-bytes"[..]));
+        let k = tier.counters();
+        assert_eq!((k.hits, k.fills, k.errors), (1, 1, 0));
+        drop(tier);
+        // Warm reopen sees the record.
+        let tier = DiskTier::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(tier.get(0xBEEF).as_deref(), Some(&b"blob-bytes"[..]));
+        assert_eq!(tier.store_counters().rebuilds, 0);
+        drop(tier);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chain_promotes_hits_toward_the_front() {
+        let near = Arc::new(MockTier::new("disk"));
+        let far = Arc::new(MockTier::new("peer"));
+        far.put(42, b"from-afar");
+        far.fills.store(0, Ordering::Relaxed); // reset test setup noise
+        let chain = BlobTiers::new(vec![
+            Arc::clone(&near) as Arc<dyn CacheTier>,
+            Arc::clone(&far) as Arc<dyn CacheTier>,
+        ]);
+        assert_eq!(chain.get(42).as_deref(), Some(&b"from-afar"[..]));
+        // The hit was promoted into the near tier...
+        assert_eq!(near.counters().fills, 1);
+        // ...so the next lookup stops there.
+        assert_eq!(chain.get(42).as_deref(), Some(&b"from-afar"[..]));
+        assert_eq!(far.counters().hits, 1, "far tier must not be asked again");
+    }
+
+    #[test]
+    fn chain_writes_through_every_tier() {
+        let a = Arc::new(MockTier::new("disk"));
+        let b = Arc::new(MockTier::new("peer"));
+        let chain = BlobTiers::new(vec![
+            Arc::clone(&a) as Arc<dyn CacheTier>,
+            Arc::clone(&b) as Arc<dyn CacheTier>,
+        ]);
+        chain.put(7, b"x");
+        assert_eq!(a.counters().fills, 1);
+        assert_eq!(b.counters().fills, 1);
+    }
+
+    #[test]
+    fn disk_accessor_requires_disk_first() {
+        let peer_only = BlobTiers::new(vec![Arc::new(MockTier::new("peer")) as Arc<dyn CacheTier>]);
+        assert!(peer_only.disk().is_none());
+        let disk_first =
+            BlobTiers::new(vec![Arc::new(MockTier::new("disk")) as Arc<dyn CacheTier>]);
+        assert!(disk_first.disk().is_some());
+    }
+
+    #[test]
+    fn undecodable_blob_is_a_miss_not_an_error() {
+        let tier = Arc::new(MockTier::new("disk"));
+        tier.put(5, b"garbage, not a record");
+        let chain = BlobTiers::new(vec![tier as Arc<dyn CacheTier>]);
+        assert!(chain.get_function(5).is_none());
     }
 }

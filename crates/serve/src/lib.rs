@@ -23,16 +23,17 @@
 //! with `decompile`, `batch`, and `bench-serve` subcommands.
 
 pub mod cache;
+pub mod codec;
 pub mod hash;
 pub mod pool;
 pub mod scheduler;
 pub mod stats;
 
-pub use cache::{CacheCounters, FunctionCache};
+pub use cache::{BlobTiers, CacheCounters, CacheTier, DiskTier, FunctionCache, TierCounters};
 pub use pool::{PoolRemote, WorkerPool};
 pub use scheduler::{
-    function_cache_key, JobError, JobHandle, JobInput, JobRequest, JobResult, Scheduler,
-    ServeConfig,
+    function_cache_key, module_cache_key, JobError, JobHandle, JobInput, JobRequest, JobResult,
+    Scheduler, ServeConfig,
 };
 pub use stats::{ServeStats, StatsSnapshot};
 

@@ -21,7 +21,8 @@
 //!   floor with the cache bypassed; a second failure quarantines the job
 //!   (counted, reported as [`JobError::Panicked`]).
 
-use crate::cache::FunctionCache;
+use crate::cache::{BlobTiers, FunctionCache};
+use crate::codec;
 use crate::hash::Fnv64;
 use crate::pool::{PoolRemote, WorkerPool};
 use crate::stats::{ServeStats, StatsSnapshot};
@@ -228,6 +229,13 @@ struct JobState {
     done: Mutex<Option<Result<JobResult, JobError>>>,
     cv: Condvar,
     stats: StatsSink,
+    /// Blob-tier chain shared with the scheduler (empty chain when no
+    /// persistent/peer tier is configured).
+    tiers: Arc<BlobTiers>,
+    /// Whole-module record key, set by the job task for fault-free
+    /// `Text` jobs so the last work item can persist the assembled
+    /// output on its way out.
+    module_key: std::sync::OnceLock<u64>,
 }
 
 impl JobState {
@@ -332,6 +340,23 @@ fn options_fingerprint(o: &SplendidOptions) -> u64 {
     h.finish()
 }
 
+/// Content-address of one *whole module text* under one option set: the
+/// key for module-level cache records.
+///
+/// Module records answer a `Text` job before the IR is even parsed —
+/// that is what makes a warm daemon restart fast, because module
+/// preparation (parse + detransform + fingerprinting) costs several
+/// times a single cached-function lookup. The key hashes the raw text,
+/// so any byte of drift (even whitespace) misses and falls through to
+/// the normal pipeline; correctness never depends on this tier.
+pub fn module_cache_key(text: &str, opts: &SplendidOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(b"module:");
+    h.write(text.as_bytes());
+    h.write_u64(options_fingerprint(opts));
+    h.finish()
+}
+
 /// Content-address of one function under one option set: the cache key.
 ///
 /// The function-body and module-context components are the stable
@@ -418,14 +443,23 @@ fn watchdog_loop(shared: &WatchdogShared) {
 pub struct Scheduler {
     pool: WorkerPool,
     cache: Arc<FunctionCache>,
+    tiers: Arc<BlobTiers>,
     stats: Arc<ServeStats>,
     watchdog: Option<Watchdog>,
     config: ServeConfig,
 }
 
 impl Scheduler {
-    /// Start a service with the given configuration.
+    /// Start a service with the given configuration and no persistent
+    /// tiers (in-memory LRU only).
     pub fn new(config: ServeConfig) -> Scheduler {
+        Scheduler::new_with_tiers(config, BlobTiers::default())
+    }
+
+    /// Start a service with a blob-tier chain under the LRU (disk
+    /// store, peer daemon, ...). Tier construction — and its error
+    /// handling — stays with the caller; a default chain is empty.
+    pub fn new_with_tiers(config: ServeConfig, tiers: BlobTiers) -> Scheduler {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -434,6 +468,7 @@ impl Scheduler {
         Scheduler {
             pool: WorkerPool::new(workers),
             cache: Arc::new(FunctionCache::new(config.cache_capacity)),
+            tiers: Arc::new(tiers),
             stats: Arc::new(ServeStats::default()),
             // No deadline, nothing to sweep: don't pay for the thread.
             watchdog: config.job_timeout.map(|_| Watchdog::start()),
@@ -484,6 +519,8 @@ impl Scheduler {
             done: Mutex::new(None),
             cv: Condvar::new(),
             stats: sink,
+            tiers: Arc::clone(&self.tiers),
+            module_key: std::sync::OnceLock::new(),
         });
         if let Some(w) = &self.watchdog {
             w.register(&state);
@@ -519,13 +556,46 @@ impl Scheduler {
 
     /// Snapshot the observability counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot(
+        let mut snap = self.stats.snapshot(
             self.cache.counters(),
             self.pool.queue_depth(),
             self.pool.in_flight(),
             self.pool.workers(),
             self.pool.respawned(),
-        )
+        );
+        snap.tiers = self.tiers.counters();
+        snap
+    }
+
+    /// The blob-tier chain under the LRU (empty when none configured).
+    pub fn tiers(&self) -> &Arc<BlobTiers> {
+        &self.tiers
+    }
+
+    /// Serve a raw record blob from the *disk tier only* — the daemon's
+    /// `CACHE_GET` handler. Never consults peer tiers, so two daemons
+    /// feeding each other cannot loop a lookup.
+    pub fn cache_blob_get(&self, key: u64) -> Option<Vec<u8>> {
+        self.tiers.disk().and_then(|d| d.get(key))
+    }
+
+    /// Accept a raw record blob into the disk tier — the daemon's
+    /// `CACHE_PUT` handler (after the daemon validates that the blob
+    /// decodes). Returns false when no disk tier is configured.
+    pub fn cache_blob_put(&self, key: u64, blob: &[u8]) -> bool {
+        match self.tiers.disk() {
+            Some(d) => {
+                d.put(key, blob);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flush every blob tier (drain write-behind queues, make the disk
+    /// store durable and its index clean).
+    pub fn flush_cache(&self) {
+        self.tiers.flush();
     }
 
     /// Enqueue a worker-killing fault (see
@@ -549,6 +619,40 @@ fn run_job(
     }
     let stats = state.stats.clone();
     let JobRequest { input, options, .. } = request;
+
+    // Whole-module fast path: a fault-free Text job whose exact text ×
+    // options was decompiled before (possibly by a previous process —
+    // that's the warm restart) completes here, skipping parse, prepare,
+    // and the per-function fan-out entirely. Fault-injected runs never
+    // consult or populate persistent tiers (degraded output must not
+    // outlive the process).
+    let input = if let JobInput::Text(text) = input {
+        if options.faults.is_none() && !state.tiers.is_empty() {
+            let key = module_cache_key(&text, &options);
+            let _ = state.module_key.set(key);
+            let hit = state
+                .tiers
+                .get(key)
+                .and_then(|blob| codec::decode_module_record(&blob).ok());
+            if let Some(output) = hit {
+                let functions = output.program.functions.len();
+                stats.add(|s| &s.functions_from_cache, functions as u64);
+                state.complete(Ok(JobResult {
+                    name: state.name.clone(),
+                    output,
+                    functions,
+                    cached_functions: functions,
+                    degraded_functions: 0,
+                    wall: state.started.elapsed(),
+                }));
+                return;
+            }
+        }
+        JobInput::Text(text)
+    } else {
+        input
+    };
+
     let prepared = match catch_unwind(AssertUnwindSafe(
         || -> Result<Arc<PreparedModule>, JobError> {
             let module = match input {
@@ -710,11 +814,21 @@ fn decompile_item(
             stats.add(|s| &s.functions_from_cache, 1);
             return Ok((*hit).clone());
         }
+        // LRU miss: read through the blob tiers (disk, then peer). A
+        // hit is promoted into the LRU so the next lookup is in-memory;
+        // the tiers promote among themselves (peer → disk) internally.
+        if let Some(out) = state.tiers.get_function(k) {
+            state.cached.fetch_add(1, Ordering::Relaxed);
+            stats.add(|s| &s.functions_from_cache, 1);
+            cache.insert(k, Arc::new(out.clone()));
+            return Ok(out);
+        }
     }
     match attempt_decompile(prepared, fid, options, stats) {
         Ok(Ok(out)) => {
             if let Some(k) = key {
                 cache.insert(k, Arc::new(out.clone()));
+                state.tiers.put_function(k, &out);
             }
             Ok(out)
         }
@@ -785,6 +899,13 @@ fn attempt_retry(
 }
 
 fn finish(state: &JobState, prepared: &PreparedModule, output: DecompileOutput) {
+    // Fault-free Text jobs persist the assembled unit as a module
+    // record, so the next process (or a peer) answers the identical
+    // request without parsing. Write-behind: the put enqueues and the
+    // job completes immediately.
+    if let Some(&key) = state.module_key.get() {
+        state.tiers.put(key, &codec::encode_module_record(&output));
+    }
     let functions = prepared.module.functions.len();
     state.complete(Ok(JobResult {
         name: state.name.clone(),

@@ -1,7 +1,7 @@
 //! Service observability: lock-free counters updated by workers, plus a
 //! plain snapshot struct the CLI pretty-prints.
 
-use crate::cache::CacheCounters;
+use crate::cache::{CacheCounters, TierCounters};
 use splendid_core::StageTimings;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -103,6 +103,7 @@ impl ServeStats {
             structure: Duration::from_nanos(get(&self.ns_structure)),
             emit: Duration::from_nanos(get(&self.ns_emit)),
             cache,
+            tiers: Vec::new(),
         }
     }
 }
@@ -152,6 +153,10 @@ pub struct StatsSnapshot {
     pub emit: Duration,
     /// Cache counters.
     pub cache: CacheCounters,
+    /// Blob-tier counters (disk, peer, ...), nearest tier first. Empty
+    /// when no persistent tier is configured. Populated by
+    /// [`crate::scheduler::Scheduler::stats`].
+    pub tiers: Vec<TierCounters>,
 }
 
 impl StatsSnapshot {
@@ -199,6 +204,18 @@ impl std::fmt::Display for StatsSnapshot {
             self.cache.evictions,
             100.0 * self.cache.hit_rate()
         )?;
+        for tier in &self.tiers {
+            writeln!(
+                f,
+                "  tier:{:<5} {} hits / {} misses / {} fills / {} errors ({:.1}% hit rate)",
+                tier.name,
+                tier.hits,
+                tier.misses,
+                tier.fills,
+                tier.errors,
+                100.0 * tier.hit_rate()
+            )?;
+        }
         writeln!(
             f,
             "  stages     parse {:.3?}, detransform {:.3?}, naming {:.3?}, structure {:.3?}, emit {:.3?}",

@@ -5,10 +5,18 @@
 #   BENCH_serve.json  — batch service throughput on the 16 PolyBench
 #                       kernels: serial (1-worker) baseline, N-worker
 #                       cold run, warm-cache rerun with its hit rate,
-#                       and per-job latency percentiles.
+#                       and per-job latency percentiles. The "workers"
+#                       key records the *resolved* worker count (the
+#                       machine's core count when --jobs is 0/absent),
+#                       so a report is interpretable off the box that
+#                       produced it.
 #   BENCH_daemon.json — interactive daemon latency: cold / incremental /
 #                       fast-path p50/p95/p99 and the headline
 #                       incremental-vs-cold speedup (gated at >= 5x).
+#   BENCH_cache.json  — persistent cache tier: cold decompile vs warm
+#                       restart from the on-disk store (gated at >= 5x)
+#                       vs peer-fed over CACHE_GET, plus the warm run's
+#                       disk-tier hit rate (gated at > 90%).
 #
 # Usage: scripts/bench_serve.sh [--jobs N] [--rounds R]
 #   --jobs defaults to the machine's core count (0 lets the service pick).
@@ -23,7 +31,15 @@ cargo build --release -p splendid
 echo "wrote $(pwd)/BENCH_serve.json:"
 cat BENCH_serve.json
 
+grep -q '"workers":' BENCH_serve.json \
+    || { echo "BENCH_serve.json is missing the worker count" >&2; exit 1; }
+
 ./target/release/splendid bench-daemon --json --min-speedup 5 > BENCH_daemon.json
 
 echo "wrote $(pwd)/BENCH_daemon.json:"
 cat BENCH_daemon.json
+
+./target/release/splendid bench-cache --json --min-speedup 5 "$@" > BENCH_cache.json
+
+echo "wrote $(pwd)/BENCH_cache.json:"
+cat BENCH_cache.json

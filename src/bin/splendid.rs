@@ -21,15 +21,19 @@
 //! decompiler resident for interactive sessions (see `splendid-daemon`);
 //! `connect` and `bench-daemon` talk to one.
 
+use splendid_cachestore::{CacheStore, StoreConfig};
 use splendid_cfront::{lower_program, parse_program, LowerOptions};
 use splendid_core::{SplendidOptions, Variant};
-use splendid_daemon::{percentiles, BenchConfig, Daemon, DaemonClient, DaemonConfig};
+use splendid_daemon::{percentiles, BenchConfig, Daemon, DaemonClient, DaemonConfig, PeerTier};
 use splendid_ir::{printer::module_str, Module};
 use splendid_parallel::{parallelize_module, ParallelizeOptions};
 use splendid_polybench::Harness;
-use splendid_serve::{JobInput, JobRequest, Scheduler, ServeConfig};
+use splendid_serve::{
+    BlobTiers, CacheTier, DiskTier, JobInput, JobRequest, Scheduler, ServeConfig,
+};
 use splendid_transforms::{optimize_module, O2Options};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
@@ -38,11 +42,13 @@ fn usage() -> ! {
          splendid decompile <file.{{ir,c}}> [--variant v1|portable|full] [--stats]\n  \
          splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]\n  \
          splendid bench-serve [--jobs N] [--rounds R] [--json]\n  \
-         splendid daemon [--addr A] [--unix PATH] [--jobs N] [--max-connections N] [--idle-timeout SECS] [--deadline SECS]\n  \
+         splendid daemon [--addr A] [--unix PATH] [--jobs N] [--max-connections N] [--idle-timeout SECS] [--deadline SECS] [--cache-dir DIR] [--cache-budget-mb N] [--peer ADDR]\n  \
          splendid connect [--addr A] [--unix PATH] [file.{{ir,c}}] [--variant V] [--stats] [--malformed <dir>]\n  \
          splendid bench-daemon [--connections N] [--rounds M] [--functions F] [--addr A] [--json] [--min-speedup X]\n  \
          splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--stats]\n  \
          splendid difftest --faults N [--fault-cases M] [--seed S]\n  \
+         splendid cache <stat|verify|compact> --cache-dir DIR [--cache-budget-mb N]\n  \
+         splendid bench-cache [--jobs N] [--rounds R] [--json] [--min-speedup X]\n  \
          splendid dump-polybench <dir>"
     );
     std::process::exit(2);
@@ -77,6 +83,9 @@ struct Args {
     functions: usize,
     malformed: Option<String>,
     min_speedup: f64,
+    cache_dir: Option<String>,
+    cache_budget_mb: u64,
+    peer: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -105,6 +114,9 @@ fn parse_args(args: &[String]) -> Args {
         functions: 16,
         malformed: None,
         min_speedup: 0.0,
+        cache_dir: None,
+        cache_budget_mb: 0,
+        peer: None,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -187,6 +199,13 @@ fn parse_args(args: &[String]) -> Args {
                     .unwrap_or_else(|_| fail("--functions: not a number"))
             }
             "--malformed" => out.malformed = Some(value("--malformed")),
+            "--cache-dir" => out.cache_dir = Some(value("--cache-dir")),
+            "--cache-budget-mb" => {
+                out.cache_budget_mb = value("--cache-budget-mb")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--cache-budget-mb: not a number"))
+            }
+            "--peer" => out.peer = Some(value("--peer")),
             "--min-speedup" => {
                 out.min_speedup = value("--min-speedup")
                     .parse()
@@ -629,6 +648,12 @@ fn daemon_config_from(args: &Args) -> DaemonConfig {
             },
             ..Default::default()
         },
+        cache_dir: args.cache_dir.clone().map(PathBuf::from),
+        cache_budget_bytes: match args.cache_budget_mb {
+            0 => None,
+            mb => Some(mb * 1024 * 1024),
+        },
+        peer: args.peer.clone(),
     }
 }
 
@@ -840,6 +865,239 @@ fn cmd_bench_daemon(args: Args) {
     }
 }
 
+/// `splendid cache <stat|verify|compact>` — offline administration of a
+/// persistent cache directory. Opening the store already performs crash
+/// recovery (rescanning segments and truncating any torn tail), so
+/// `verify` on a previously crashed store reports what recovery dropped
+/// and then checks the repaired invariants.
+fn cmd_cache(args: Args) {
+    let [action] = args.positional.as_slice() else {
+        usage()
+    };
+    let dir = args
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| fail("cache: --cache-dir <dir> is required"));
+    let mut config = StoreConfig::default();
+    if args.cache_budget_mb > 0 {
+        config.budget_bytes = args.cache_budget_mb * 1024 * 1024;
+    }
+    let mut store = CacheStore::open(Path::new(&dir), config)
+        .unwrap_or_else(|e| fail(&format!("cache: open {dir}: {e}")));
+    match action.as_str() {
+        "stat" => {
+            let stat = store
+                .stat()
+                .unwrap_or_else(|e| fail(&format!("cache stat: {e}")));
+            let c = store.counters();
+            println!("cache store {dir}");
+            println!(
+                "  segments   {} file(s), {} bytes on disk (budget {})",
+                stat.segments, stat.total_bytes, stat.budget_bytes
+            );
+            println!(
+                "  records    {} live ({} live bytes), {} index slots",
+                stat.live_records, stat.live_bytes, stat.index_slots
+            );
+            println!(
+                "  recovery   {} rebuild(s), {} torn byte(s) dropped, {} crc drop(s)",
+                c.rebuilds, c.torn_bytes, c.crc_drops
+            );
+        }
+        "verify" => {
+            let report = store
+                .verify()
+                .unwrap_or_else(|e| fail(&format!("cache verify: {e}")));
+            let c = store.counters();
+            println!("cache verify {dir}");
+            println!(
+                "  {} segment(s), {} intact record(s) on disk, {} live index entries",
+                report.segments, report.disk_records, report.index_entries
+            );
+            println!(
+                "  {} torn byte(s), {} dangling index entr(ies)",
+                report.torn_bytes, report.index_dangling
+            );
+            if c.rebuilds > 0 {
+                println!(
+                    "  recovery at open: {} rebuild(s), {} torn byte(s) dropped",
+                    c.rebuilds, c.torn_bytes
+                );
+            }
+            if report.ok() {
+                println!("  ok");
+            } else {
+                fail("cache verify: store is inconsistent");
+            }
+        }
+        "compact" => {
+            let stats = store
+                .compact()
+                .unwrap_or_else(|e| fail(&format!("cache compact: {e}")));
+            println!("cache compact {dir}");
+            println!(
+                "  kept {} record(s), dropped {} superseded/dead",
+                stats.kept_records, stats.dropped_records
+            );
+            println!(
+                "  {} bytes -> {} bytes",
+                stats.bytes_before, stats.bytes_after
+            );
+        }
+        other => fail(&format!(
+            "cache: unknown action {other:?} (stat|verify|compact)"
+        )),
+    }
+}
+
+/// Scheduler with a disk tier (and optionally a peer tier behind it).
+fn tiered_scheduler(dir: &Path, workers: usize, peer: Option<&str>) -> Scheduler {
+    let disk = DiskTier::open(dir, StoreConfig::default())
+        .unwrap_or_else(|e| fail(&format!("bench-cache: open {}: {e}", dir.display())));
+    let mut tiers: Vec<Arc<dyn CacheTier>> = vec![Arc::new(disk)];
+    if let Some(addr) = peer {
+        tiers.push(Arc::new(PeerTier::new(addr)));
+    }
+    Scheduler::new_with_tiers(
+        ServeConfig {
+            workers,
+            ..Default::default()
+        },
+        BlobTiers::new(tiers),
+    )
+}
+
+/// `splendid bench-cache` — cold vs warm-restart vs peer-fed over the
+/// PolyBench suite, gated: a warm restart must be at least `--min-speedup`
+/// (default 5) times faster than cold, the warm disk hit rate must
+/// exceed 90%, and a peer-fed fresh store must beat cold.
+fn cmd_bench_cache(args: Args) {
+    let workers = if args.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        args.jobs
+    };
+    let rounds = args.rounds.max(1);
+    let min_speedup = if args.min_speedup > 0.0 {
+        args.min_speedup
+    } else {
+        5.0
+    };
+
+    // Text inputs: the persistent tier answers whole modules by content
+    // key before parse, which is exactly the warm-restart path a daemon
+    // reopening its store takes.
+    let suite = Harness::polly_suite().unwrap_or_else(|e| fail(&e.to_string()));
+    let requests: Vec<JobRequest> = suite
+        .into_iter()
+        .map(|(name, m)| JobRequest {
+            name,
+            input: JobInput::Text(module_str(&m)),
+            options: SplendidOptions::default(),
+        })
+        .collect();
+    let modules = requests.len();
+
+    let base = std::env::temp_dir().join(format!("splendid-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let store_a = base.join("store-a");
+
+    let mut cold = f64::MAX;
+    let mut warm = f64::MAX;
+    let mut hit_rate = 0.0f64;
+    for _ in 0..rounds {
+        // Cold: empty store, everything decompiles for real.
+        let _ = std::fs::remove_dir_all(&store_a);
+        let s = tiered_scheduler(&store_a, workers, None);
+        cold = cold.min(run_pass(&s, &requests).0);
+        s.flush_cache();
+        drop(s);
+
+        // Warm restart: new process image (fresh scheduler, empty LRU)
+        // over the persisted store.
+        let s = tiered_scheduler(&store_a, workers, None);
+        warm = warm.min(run_pass(&s, &requests).0);
+        if let Some(disk) = s.stats().tiers.iter().find(|t| t.name == "disk") {
+            let lookups = disk.hits + disk.misses;
+            if lookups > 0 {
+                hit_rate = hit_rate.max(disk.hits as f64 / lookups as f64);
+            }
+        }
+        s.flush_cache();
+        drop(s);
+    }
+
+    // Peer-fed: a daemon serves the warm store over CACHE_GET; a fresh
+    // empty store fills from it instead of decompiling.
+    let daemon = Daemon::start(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: Some(store_a.clone()),
+        ..Default::default()
+    })
+    .unwrap_or_else(|e| fail(&format!("bench-cache: peer daemon: {e}")));
+    let peer_addr = daemon.local_addr().to_string();
+    let mut peer_fed = f64::MAX;
+    for round in 0..rounds {
+        let store_b = base.join(format!("store-b-{round}"));
+        let s = tiered_scheduler(&store_b, workers, Some(&peer_addr));
+        peer_fed = peer_fed.min(run_pass(&s, &requests).0);
+        drop(s);
+    }
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&base);
+
+    let warm_speedup = cold / warm.max(1e-9);
+    let peer_speedup = cold / peer_fed.max(1e-9);
+    if args.json {
+        // Hand-rolled JSON: the offline build has no serde.
+        println!("{{");
+        println!("  \"benchmark\": \"bench-cache\",");
+        println!("  \"modules\": {modules},");
+        println!("  \"workers\": {workers},");
+        println!("  \"rounds\": {rounds},");
+        println!("  \"cold_seconds\": {cold:.6},");
+        println!("  \"warm_restart_seconds\": {warm:.6},");
+        println!("  \"peer_fed_seconds\": {peer_fed:.6},");
+        println!("  \"warm_speedup\": {warm_speedup:.3},");
+        println!("  \"peer_speedup\": {peer_speedup:.3},");
+        println!("  \"warm_disk_hit_rate\": {hit_rate:.4}");
+        println!("}}");
+    } else {
+        println!("bench-cache: {modules} polybench modules, best of {rounds} round(s), {workers} worker(s)");
+        println!(
+            "  cold (empty store)    {cold:.3}s  ({:.1} modules/s)",
+            modules as f64 / cold
+        );
+        println!(
+            "  warm restart          {warm:.3}s  ({:.1} modules/s, {warm_speedup:.2}x, {:.1}% disk hits)",
+            modules as f64 / warm,
+            100.0 * hit_rate
+        );
+        println!(
+            "  peer-fed fresh store  {peer_fed:.3}s  ({:.1} modules/s, {peer_speedup:.2}x)",
+            modules as f64 / peer_fed
+        );
+    }
+
+    if warm_speedup < min_speedup {
+        eprintln!(
+            "bench-cache: warm restart speedup {warm_speedup:.2}x is below the required {min_speedup:.2}x"
+        );
+        std::process::exit(1);
+    }
+    if hit_rate <= 0.9 {
+        eprintln!(
+            "bench-cache: warm disk hit rate {:.1}% is not above 90%",
+            100.0 * hit_rate
+        );
+        std::process::exit(1);
+    }
+    if peer_fed >= cold {
+        eprintln!("bench-cache: peer-fed run ({peer_fed:.3}s) did not beat cold ({cold:.3}s)");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -854,6 +1112,8 @@ fn main() {
         "connect" => cmd_connect(args),
         "bench-daemon" => cmd_bench_daemon(args),
         "difftest" => cmd_difftest(args),
+        "cache" => cmd_cache(args),
+        "bench-cache" => cmd_bench_cache(args),
         "dump-polybench" => cmd_dump_polybench(args),
         _ => usage(),
     }
