@@ -191,6 +191,12 @@ impl Segment {
 }
 
 /// Read and CRC-verify one record from an open segment file.
+///
+/// The CRC is computed over the key *stored in the record header*, not
+/// `rec.key`: compaction deduplicates identical payloads by aliasing
+/// several index keys to one physical record, so the index key and the
+/// stored key may legitimately differ. Only the payload length must
+/// agree with the index entry.
 pub fn read_record(file: &mut File, rec: RecordRef) -> io::Result<Vec<u8>> {
     let mut header = [0u8; REC_HEADER_LEN as usize];
     file.seek(SeekFrom::Start(rec.offset))?;
@@ -201,8 +207,8 @@ pub fn read_record(file: &mut File, rec: RecordRef) -> io::Result<Vec<u8>> {
     let key = u64::from_le_bytes(header[4..12].try_into().unwrap_or_default());
     let len = u32::from_le_bytes(header[12..16].try_into().unwrap_or_default());
     let want_crc = u32::from_le_bytes(header[16..20].try_into().unwrap_or_default());
-    if key != rec.key || len != rec.len {
-        return Err(corrupt("record header does not match index entry"));
+    if len != rec.len {
+        return Err(corrupt("record length does not match index entry"));
     }
     let mut payload = vec![0u8; len as usize];
     file.read_exact(&mut payload)?;

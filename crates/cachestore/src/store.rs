@@ -15,7 +15,8 @@
 //! * Rotation caps segment size; when the directory exceeds its byte
 //!   budget the oldest segments are dropped whole (their index entries
 //!   tombstoned), and `compact` rewrites the live set into fresh
-//!   segments to reclaim superseded records.
+//!   segments to reclaim superseded records, collapsing byte-identical
+//!   payloads stored under several keys into one shared record.
 
 use crate::hash::Fnv64;
 use crate::index::Index;
@@ -114,10 +115,16 @@ impl VerifyReport {
 /// Result of a compaction pass.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CompactStats {
-    /// Records carried into the fresh segments.
+    /// Records carried into the fresh segments (including aliases).
     pub kept_records: u64,
     /// Superseded/dead records dropped.
     pub dropped_records: u64,
+    /// Kept records that were collapsed onto an identical, already
+    /// rewritten payload (content-level dedup): their index entries
+    /// alias the shared record instead of owning a copy.
+    pub deduped_records: u64,
+    /// Bytes the dedup aliases avoided writing (header + payload).
+    pub deduped_bytes: u64,
     /// Bytes before compaction.
     pub bytes_before: u64,
     /// Bytes after compaction.
@@ -341,6 +348,14 @@ impl CacheStore {
 
     /// Rewrite every live record into fresh segments and drop the old
     /// files, reclaiming superseded and evicted space.
+    ///
+    /// Identical payloads stored under several keys are collapsed to a
+    /// single physical record: the first copy is written, later copies
+    /// only alias it in the index (byte-compared first, so an FNV
+    /// digest collision can never merge distinct blobs). Aliases are an
+    /// index-only construct — a post-crash index rebuild rescans the
+    /// segments and maps each record to its *stored* key, so aliased
+    /// keys degrade to cache misses (and re-fill), never to wrong data.
     pub fn compact(&mut self) -> io::Result<CompactStats> {
         let mut stats = CompactStats {
             bytes_before: self.stat()?.total_bytes,
@@ -364,6 +379,9 @@ impl CacheStore {
         let mut fresh = Segment::create(&self.dir, next_id)?;
         let mut fresh_readers = HashMap::new();
         let mut moved: Vec<RecordRef> = Vec::with_capacity(live.len());
+        // Content digest of every record already rewritten, for the
+        // CAS-level dedup: digest -> its fresh location.
+        let mut written: HashMap<u64, RecordRef> = HashMap::new();
         for rec in live {
             let payload = if rec.segment == self.active.id() {
                 self.active.read(rec)
@@ -377,6 +395,30 @@ impl CacheStore {
                 self.counters.crc_drops += 1;
                 continue;
             };
+            let mut digest = Fnv64::new();
+            digest.write(&payload);
+            let digest = digest.finish();
+            if let Some(&shared) = written.get(&digest) {
+                // Byte-compare before aliasing: a digest collision must
+                // fall through to a normal append, never merge.
+                let shared_payload = if shared.segment == fresh.id() {
+                    fresh.read(shared).ok()
+                } else {
+                    fresh_readers
+                        .get_mut(&shared.segment)
+                        .and_then(|f| read_record(f, shared).ok())
+                };
+                if shared_payload.as_deref() == Some(&payload[..]) {
+                    moved.push(RecordRef {
+                        key: rec.key,
+                        ..shared
+                    });
+                    stats.kept_records += 1;
+                    stats.deduped_records += 1;
+                    stats.deduped_bytes += REC_HEADER_LEN + payload.len() as u64;
+                    continue;
+                }
+            }
             if fresh.len() + REC_HEADER_LEN + payload.len() as u64 > self.config.segment_bytes
                 && !fresh.is_empty()
             {
@@ -386,6 +428,7 @@ impl CacheStore {
                 fresh = Segment::create(&self.dir, id)?;
             }
             let new_rec = fresh.append(rec.key, &payload)?;
+            written.entry(digest).or_insert(new_rec);
             moved.push(new_rec);
             stats.kept_records += 1;
         }
@@ -725,6 +768,80 @@ mod tests {
         assert_eq!(store.get(1).as_deref(), Some(&vec![0xBB; 200][..]));
         assert_eq!(store.get(2).as_deref(), Some(&b"keep-me"[..]));
         assert!(store.verify().unwrap().ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_deduplicates_identical_payloads() {
+        let dir = temp_dir("dedup");
+        let blob = vec![0xCD; 300];
+        {
+            let mut store = CacheStore::open(&dir, StoreConfig::default()).unwrap();
+            for k in 0..10u64 {
+                store.put(k, &blob).unwrap();
+            }
+            store.put(99, b"unique").unwrap();
+            store.flush().unwrap();
+            let before = store.stat().unwrap().total_bytes;
+
+            let stats = store.compact().unwrap();
+            assert_eq!(stats.kept_records, 11, "{stats:?}");
+            assert_eq!(
+                stats.deduped_records, 9,
+                "ten identical blobs collapse onto one record: {stats:?}"
+            );
+            assert!(stats.deduped_bytes >= 9 * 300, "{stats:?}");
+            assert!(
+                stats.bytes_after + stats.deduped_bytes <= before,
+                "dedup must actually save bytes: {stats:?}"
+            );
+
+            // Every key still resolves to its exact payload.
+            for k in 0..10u64 {
+                assert_eq!(store.get(k).as_deref(), Some(&blob[..]));
+            }
+            assert_eq!(store.get(99).as_deref(), Some(&b"unique"[..]));
+            assert!(store.verify().unwrap().ok());
+            store.flush().unwrap();
+        }
+
+        // Aliases live in the index: a clean reopen (trusted index)
+        // keeps serving every key.
+        let mut store = CacheStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.counters().rebuilds, 0);
+        for k in 0..10u64 {
+            assert_eq!(store.get(k).as_deref(), Some(&blob[..]));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebuild_after_dedup_degrades_aliases_to_misses_not_corruption() {
+        // A post-crash rescan maps each physical record to its stored
+        // key: the canonical key survives, aliased keys miss (and would
+        // simply re-fill). Nothing may ever resolve to wrong bytes.
+        let dir = temp_dir("dedup-rebuild");
+        let mut store = CacheStore::open(&dir, StoreConfig::default()).unwrap();
+        store.put(1, b"shared-bytes").unwrap();
+        store.put(2, b"shared-bytes").unwrap();
+        store.flush().unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.deduped_records, 1);
+        // Compaction flushes clean; dirty the store again so the next
+        // open must rebuild, then "crash" without flushing.
+        store.put(3, b"other").unwrap();
+        store.active.sync().unwrap();
+        store.abandon();
+
+        let mut store = CacheStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.counters().rebuilds, 1);
+        // Key 1 owns the physical record; key 2 was an alias and is now
+        // a plain miss.
+        assert_eq!(store.get(1).as_deref(), Some(&b"shared-bytes"[..]));
+        assert_eq!(store.get(2), None);
+        // Re-filling the lost alias works as usual.
+        store.put(2, b"shared-bytes").unwrap();
+        assert_eq!(store.get(2).as_deref(), Some(&b"shared-bytes"[..]));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

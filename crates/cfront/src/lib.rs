@@ -20,7 +20,10 @@ pub mod parser;
 pub mod sema;
 pub mod token;
 
-pub use ast::{CBinOp, CExpr, CFunc, CProgram, CStmt, CType, CUnOp, OmpClauses, Schedule};
+pub use ast::{
+    print_func, print_program, CBinOp, CExpr, CFunc, CProgram, CStmt, CType, CUnOp, OmpClauses,
+    Schedule,
+};
 pub use lower::{lower_program, LowerOptions, OmpRuntime};
 pub use parser::parse_program;
 pub use token::{lex, CToken};

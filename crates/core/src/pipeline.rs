@@ -83,6 +83,13 @@ pub struct SplendidOptions {
     /// Deterministic fault-injection plan. `None` (the default) is the
     /// zero-cost happy path: no counter is touched anywhere.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Run the bounded translation validator over every decompiled
+    /// function and annotate the emitted C with per-function
+    /// `verified`/`UNVERIFIED` tags. Off by default: validation is a
+    /// serve-layer concern (the scheduler re-lowers and probe-executes
+    /// the output), and the flag participates in cache keying so
+    /// validated and unvalidated results never alias.
+    pub validate: bool,
 }
 
 impl Default for SplendidOptions {
@@ -93,6 +100,7 @@ impl Default for SplendidOptions {
             inline_expressions: true,
             start_tier: FidelityTier::Natural,
             faults: None,
+            validate: false,
         }
     }
 }

@@ -164,6 +164,19 @@ impl DaemonClient {
         }
     }
 
+    /// VALIDATE: stateless validated decompilation of the supplied
+    /// module; returns the full VALIDATED response.
+    pub fn validate(&mut self, name: &str, variant: u8, module_text: &str) -> io::Result<Response> {
+        match self.roundtrip(&Request::Validate {
+            name: name.into(),
+            variant,
+            module_text: module_text.into(),
+        })? {
+            r @ Response::Validated { .. } => Ok(r),
+            other => Err(unexpected("VALIDATED", &other)),
+        }
+    }
+
     /// CACHE_GET: look up a blob in the daemon's persistent tier.
     pub fn cache_get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
         match self.roundtrip(&Request::CacheGet { key })? {

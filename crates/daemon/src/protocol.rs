@@ -59,6 +59,9 @@ pub mod kind {
     pub const CACHE_GET: u8 = 0x07;
     /// Offer a blob to the daemon's persistent cache tier.
     pub const CACHE_PUT: u8 = 0x08;
+    /// Stateless validated decompilation: decompile the supplied module
+    /// with translation validation on, returning per-function verdicts.
+    pub const VALIDATE: u8 = 0x09;
 
     /// Session opened.
     pub const OPENED: u8 = 0x81;
@@ -76,6 +79,8 @@ pub mod kind {
     pub const CACHE_VALUE: u8 = 0x87;
     /// Cache offer answer (stored flag).
     pub const CACHE_STORED: u8 = 0x88;
+    /// Validated decompilation result (verdict tallies + source).
+    pub const VALIDATED: u8 = 0x89;
     /// Typed error.
     pub const ERROR: u8 = 0xEE;
 }
@@ -197,6 +202,16 @@ pub enum Request {
         /// Versioned record bytes (see `splendid_serve::codec`).
         blob: Vec<u8>,
     },
+    /// Stateless validated decompilation: no session required, the
+    /// module travels with the request.
+    Validate {
+        /// Caller-chosen module label.
+        name: String,
+        /// Variant selector: 1 = v1, 2 = portable, 3 = full.
+        variant: u8,
+        /// Textual SPLENDID IR.
+        module_text: String,
+    },
 }
 
 /// A daemon response, decoded from a frame.
@@ -253,6 +268,19 @@ pub enum Response {
         /// `false` when the daemon rejected the record (e.g. it failed
         /// validation) without treating it as a wire error.
         stored: bool,
+    },
+    /// Validated decompilation result.
+    Validated {
+        /// Functions in the module.
+        functions: u32,
+        /// Functions whose certificate says `Verified`.
+        verified: u32,
+        /// Functions whose certificate says `Unverified`.
+        unverified: u32,
+        /// Server-side wall time for this request, microseconds.
+        wall_micros: u64,
+        /// The decompiled C translation unit with verdict annotations.
+        source: String,
     },
     /// Typed error; the connection survives.
     Error {
@@ -419,6 +447,7 @@ impl Request {
             Request::Ping => kind::PING,
             Request::CacheGet { .. } => kind::CACHE_GET,
             Request::CachePut { .. } => kind::CACHE_PUT,
+            Request::Validate { .. } => kind::VALIDATE,
         }
     }
 
@@ -435,6 +464,11 @@ impl Request {
             Request::Stats { daemon_wide } => Enc::new().u8(u8::from(*daemon_wide)).finish(),
             Request::CacheGet { key } => Enc::new().u64(*key).finish(),
             Request::CachePut { key, blob } => Enc::new().u64(*key).bytes(blob).finish(),
+            Request::Validate {
+                name,
+                variant,
+                module_text,
+            } => Enc::new().u8(*variant).str(name).str(module_text).finish(),
         }
     }
 
@@ -480,6 +514,17 @@ impl Request {
                 d.expect_end()?;
                 Ok(Request::CachePut { key, blob })
             })(),
+            kind::VALIDATE => (|| {
+                let variant = d.u8()?;
+                let name = d.str()?;
+                let module_text = d.str()?;
+                d.expect_end()?;
+                Ok(Request::Validate {
+                    name,
+                    variant,
+                    module_text,
+                })
+            })(),
             _ => return None,
         };
         Some(req)
@@ -498,6 +543,7 @@ impl Response {
             Response::Pong => kind::PONG,
             Response::CacheValue { .. } => kind::CACHE_VALUE,
             Response::CacheStored { .. } => kind::CACHE_STORED,
+            Response::Validated { .. } => kind::VALIDATED,
             Response::Error { .. } => kind::ERROR,
         }
     }
@@ -533,6 +579,19 @@ impl Response {
                 None => Enc::new().u8(0).finish(),
             },
             Response::CacheStored { stored } => Enc::new().u8(u8::from(*stored)).finish(),
+            Response::Validated {
+                functions,
+                verified,
+                unverified,
+                wall_micros,
+                source,
+            } => Enc::new()
+                .u32(*functions)
+                .u32(*verified)
+                .u32(*unverified)
+                .u64(*wall_micros)
+                .str(source)
+                .finish(),
             Response::Error { code, message } => Enc::new().u16(*code as u16).str(message).finish(),
         }
     }
@@ -590,6 +649,21 @@ impl Response {
                 let stored = d.u8()? != 0;
                 d.expect_end()?;
                 Ok(Response::CacheStored { stored })
+            })(),
+            kind::VALIDATED => (|| {
+                let functions = d.u32()?;
+                let verified = d.u32()?;
+                let unverified = d.u32()?;
+                let wall_micros = d.u64()?;
+                let source = d.str()?;
+                d.expect_end()?;
+                Ok(Response::Validated {
+                    functions,
+                    verified,
+                    unverified,
+                    wall_micros,
+                    source,
+                })
             })(),
             kind::ERROR => (|| {
                 let code = ErrorCode::from_u16(d.u16()?);
@@ -795,6 +869,11 @@ mod tests {
                 key: 42,
                 blob: vec![0x00, 0xFF, 0x7F, 0x80],
             },
+            Request::Validate {
+                name: "gemm".into(),
+                variant: 1,
+                module_text: "module text".into(),
+            },
         ];
         for req in reqs {
             let payload = req.encode_payload();
@@ -834,6 +913,13 @@ mod tests {
             Response::CacheValue { blob: None },
             Response::CacheStored { stored: true },
             Response::CacheStored { stored: false },
+            Response::Validated {
+                functions: 3,
+                verified: 2,
+                unverified: 1,
+                wall_micros: 5678,
+                source: "/* splendid: verified */\n".into(),
+            },
             Response::Error {
                 code: ErrorCode::NoSession,
                 message: "open first".into(),

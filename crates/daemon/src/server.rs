@@ -16,7 +16,9 @@ use crate::peer::PeerTier;
 use crate::protocol::{self, kind, ErrorCode, FrameAssembler, FrameEvent, Request, Response};
 use crate::session::{variant_from_wire, Session};
 use splendid_cachestore::StoreConfig;
-use splendid_serve::{codec, BlobTiers, CacheTier, DiskTier, JobError, Scheduler, ServeConfig};
+use splendid_serve::{
+    codec, BlobTiers, CacheTier, DiskTier, JobError, JobRequest, Scheduler, ServeConfig,
+};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -562,6 +564,7 @@ fn kind_label(kind_byte: u8) -> &'static str {
         kind::PING => "PING",
         kind::CACHE_GET => "CACHE_GET",
         kind::CACHE_PUT => "CACHE_PUT",
+        kind::VALIDATE => "VALIDATE",
         _ => "unknown",
     }
 }
@@ -708,6 +711,47 @@ fn dispatch(shared: &Arc<Shared>, state: &mut ConnState, req: Request) -> Respon
                     Err(_) => error(ErrorCode::DecompileFailed, "session poisoned"),
                 },
                 None => error(ErrorCode::NoSession, "no open session; send OPEN first"),
+            }
+        }
+        Request::Validate {
+            name,
+            variant,
+            module_text,
+        } => {
+            if draining {
+                shared
+                    .stats
+                    .rejected_draining
+                    .fetch_add(1, Ordering::Relaxed);
+                return error(ErrorCode::Draining, "daemon is draining; not validating");
+            }
+            let Some(variant) = variant_from_wire(variant) else {
+                return error(
+                    ErrorCode::BadPayload,
+                    format!("variant byte {variant} (want 1=v1, 2=portable, 3=full)"),
+                );
+            };
+            let mut request = JobRequest::from_text(&name, &module_text);
+            request.options = splendid_core::SplendidOptions {
+                variant,
+                validate: true,
+                ..Default::default()
+            };
+            let started = Instant::now();
+            match shared.scheduler.submit(request).wait() {
+                Ok(result) => Response::Validated {
+                    functions: result.functions as u32,
+                    verified: result.verified_functions as u32,
+                    unverified: result.unverified_functions as u32,
+                    wall_micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    source: result.output.source,
+                },
+                Err(JobError::Parse(e)) => error(ErrorCode::ModuleParse, e),
+                Err(JobError::TimedOut { stage }) => error(
+                    ErrorCode::Deadline,
+                    format!("request deadline expired during {stage}"),
+                ),
+                Err(e) => error(ErrorCode::DecompileFailed, format!("{e}")),
             }
         }
     }

@@ -282,3 +282,60 @@ fn unix_socket_roundtrip() {
     assert!(daemon.drain());
     assert!(!path.exists(), "drain removes the socket file");
 }
+
+#[test]
+fn validate_request_is_stateless_and_annotates() {
+    let daemon = start(DaemonConfig::default());
+    let mut client = connect(&daemon);
+
+    // No OPEN needed: VALIDATE carries the module with it.
+    let text = module_text(&[0.5]);
+    let resp = client.validate("vtest", 3, &text).unwrap();
+    let Response::Validated {
+        functions,
+        verified,
+        unverified,
+        source,
+        ..
+    } = resp
+    else {
+        panic!("expected VALIDATED");
+    };
+    assert_eq!(functions, 1);
+    assert_eq!(
+        verified + unverified,
+        functions,
+        "every function gets a verdict"
+    );
+    assert_eq!(verified, 1, "the stencil kernel verifies");
+    assert!(source.contains("splendid: verified"), "{source}");
+
+    // Garbage module text is a typed error, not a dropped connection.
+    use splendid_daemon::protocol::Request;
+    match client
+        .roundtrip(&Request::Validate {
+            name: "g".into(),
+            variant: 3,
+            module_text: "not ir at all".into(),
+        })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::ModuleParse),
+        other => panic!("expected ERROR, got {other:?}"),
+    }
+    // A bad variant byte is BadPayload, and the connection stays usable.
+    match client
+        .roundtrip(&Request::Validate {
+            name: "g".into(),
+            variant: 9,
+            module_text: text.clone(),
+        })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadPayload),
+        other => panic!("expected ERROR, got {other:?}"),
+    }
+    client.ping().unwrap();
+    drop(client);
+    assert!(daemon.drain());
+}

@@ -36,6 +36,7 @@ pub use oracle::{CaseFailure, CaseReport, Decompiler, FailureKind, InProcessDeco
 pub use prog::TestProgram;
 pub use rng::{parse_seed, Rng};
 pub use runner::{
-    replay_command, replay_corpus_source, run_difftest, DifftestConfig, DifftestReport,
+    replay_command, replay_corpus_source, run_difftest, validate_source, DifftestConfig,
+    DifftestReport, ValidationReport,
 };
 pub use shrink::{shrink, ShrinkResult};

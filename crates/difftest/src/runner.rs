@@ -1,10 +1,20 @@
 //! Campaign driver: generate N cases, oracle each, shrink failures,
 //! and produce a byte-deterministic report.
+//!
+//! With [`DifftestConfig::validate`] set, every case is additionally
+//! pushed through the translation validator and cross-checked against
+//! the oracle verdict: the validator must never say `Verified` about a
+//! decompilation the six-route oracle proves wrong (soundness), while
+//! `Unverified` verdicts on oracle-passing cases are tallied as the
+//! checker's incompleteness rate.
 
 use crate::gen::{generate, GenConfig};
-use crate::oracle::{CaseFailure, Oracle};
+use crate::oracle::{CaseFailure, Decompiler, InProcessDecompiler, Oracle};
 use crate::rng::fnv1a64;
 use crate::shrink::shrink;
+use splendid_core::SplendidOptions;
+use splendid_parallel::{parallelize_module, ParallelizeOptions};
+use splendid_polybench::Harness;
 
 /// Campaign configuration (mirrors the `splendid difftest` CLI flags).
 #[derive(Debug, Clone)]
@@ -19,6 +29,8 @@ pub struct DifftestConfig {
     pub only_case: Option<u64>,
     /// Profitability floor for the parallelizer route.
     pub min_work: u64,
+    /// Cross-check every case against the translation validator.
+    pub validate: bool,
 }
 
 impl Default for DifftestConfig {
@@ -29,6 +41,7 @@ impl Default for DifftestConfig {
             shrink: true,
             only_case: None,
             min_work: 0,
+            validate: false,
         }
     }
 }
@@ -65,12 +78,56 @@ pub struct DifftestReport {
     /// FNV-1a over the passing checksums' bit patterns: a campaign
     /// fingerprint that two identical runs must reproduce exactly.
     pub checksum_digest: u64,
+    /// Validator cross-check results; `None` unless
+    /// [`DifftestConfig::validate`] was set.
+    pub validation: Option<ValidationReport>,
+}
+
+/// Validator cross-check tallies for one campaign.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Cases the validator actually checked end to end.
+    pub cases_checked: u64,
+    /// Functions the validator marked `Verified`, summed over cases.
+    pub functions_verified: u64,
+    /// Functions the validator marked `Unverified`, summed over cases.
+    pub functions_unverified: u64,
+    /// Oracle-passing cases where at least one function came back
+    /// `Unverified` — the checker's incompleteness, not a bug.
+    pub incomplete_cases: u64,
+    /// Cases the validator could not set up (compile/decompile error on
+    /// the validation pipeline itself) — skipped, not counted either way.
+    pub skipped_cases: u64,
+    /// Soundness violations: case indices where a decompile-route
+    /// oracle failure coexists with an all-`Verified` verdict. Must
+    /// stay empty; any entry is a validator bug.
+    pub unsound_cases: Vec<u64>,
+}
+
+impl ValidationReport {
+    /// Fraction of checked oracle-passing work the validator could not
+    /// prove, in [0, 1]. Zero when nothing was checked.
+    pub fn incompleteness_rate(&self) -> f64 {
+        if self.cases_checked == 0 {
+            0.0
+        } else {
+            self.incomplete_cases as f64 / self.cases_checked as f64
+        }
+    }
 }
 
 impl DifftestReport {
     /// True iff no case diverged.
     pub fn all_passed(&self) -> bool {
         self.failed.is_empty()
+    }
+
+    /// True iff the validator cross-check (if run) found no case where
+    /// it claimed `Verified` about a decompilation the oracle refuted.
+    pub fn validator_sound(&self) -> bool {
+        self.validation
+            .as_ref()
+            .is_none_or(|v| v.unsound_cases.is_empty())
     }
 }
 
@@ -96,6 +153,26 @@ impl std::fmt::Display for DifftestReport {
             "  parallelized loops: {}  checksum digest: {:#018x}",
             self.parallelized_loops, self.checksum_digest
         )?;
+        if let Some(v) = &self.validation {
+            writeln!(
+                f,
+                "  validate: checked={} verified={} unverified={} incomplete={} skipped={} unsound={}",
+                v.cases_checked,
+                v.functions_verified,
+                v.functions_unverified,
+                v.incomplete_cases,
+                v.skipped_cases,
+                v.unsound_cases.len()
+            )?;
+            writeln!(
+                f,
+                "  validate incompleteness rate: {:.1}%",
+                v.incompleteness_rate() * 100.0
+            )?;
+            for case in &v.unsound_cases {
+                writeln!(f, "VALIDATE-UNSOUND {}", replay_command(self.seed, *case))?;
+            }
+        }
         for fc in &self.failed {
             writeln!(f, "FAIL {}", replay_command(self.seed, fc.case))?;
             writeln!(f, "  {}", fc.failure)?;
@@ -129,12 +206,17 @@ pub fn run_difftest(oracle: &Oracle, cfg: &DifftestConfig) -> DifftestReport {
     let mut failed = Vec::new();
     let mut parallelized = 0usize;
     let mut digest: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut validation = cfg.validate.then(ValidationReport::default);
 
     for &case in &case_indices {
         let prog = generate(cfg.seed, case, &gen_cfg);
         let arrays = prog.array_names();
         let src = prog.render();
-        match oracle.check_source(&src, &arrays) {
+        let oracle_result = oracle.check_source(&src, &arrays);
+        if let Some(v) = validation.as_mut() {
+            cross_check_case(v, case, &src, cfg.min_work, &oracle_result);
+        }
+        match oracle_result {
             Ok(report) => {
                 passed += 1;
                 parallelized += report.parallelized_loops;
@@ -166,7 +248,82 @@ pub fn run_difftest(oracle: &Oracle, cfg: &DifftestConfig) -> DifftestReport {
         failed,
         parallelized_loops: parallelized,
         checksum_digest: digest,
+        validation,
     }
+}
+
+/// Oracle routes whose failure indicts the *decompilation* rather than
+/// the generated program itself. Only on these may an all-`Verified`
+/// validator verdict be called unsound: an o0/o2/polly failure happens
+/// before decompilation and the validator makes no claim about it.
+fn failure_indicts_decompilation(route: &str) -> bool {
+    matches!(
+        route,
+        "stability" | "decompile-libomp" | "decompile-libgomp"
+    )
+}
+
+/// Run the translation validator over one case and fold the verdicts
+/// into the campaign tallies, cross-referencing the oracle's result.
+fn cross_check_case(
+    tally: &mut ValidationReport,
+    case: u64,
+    src: &str,
+    min_work: u64,
+    oracle_result: &Result<crate::oracle::CaseReport, CaseFailure>,
+) {
+    let Some(verdicts) = validate_source(src, min_work) else {
+        tally.skipped_cases += 1;
+        return;
+    };
+    let unverified = verdicts
+        .iter()
+        .filter(|fv| !fv.verdict.is_verified())
+        .count() as u64;
+    let verified = verdicts.len() as u64 - unverified;
+    tally.cases_checked += 1;
+    tally.functions_verified += verified;
+    tally.functions_unverified += unverified;
+    match oracle_result {
+        Ok(_) => {
+            if unverified > 0 {
+                tally.incomplete_cases += 1;
+            }
+        }
+        Err(failure) => {
+            if failure_indicts_decompilation(failure.route) && unverified == 0 && verified > 0 {
+                tally.unsound_cases.push(case);
+            }
+        }
+    }
+}
+
+/// Build the exact module the oracle's decompile routes consume
+/// (O2 compile, then the Polly-sim parallelizer restricted to
+/// `kernel`), decompile it with default options, and run the bounded
+/// equivalence checker over the pair. `None` when the validation
+/// pipeline itself cannot be set up for this program.
+pub fn validate_source(
+    src: &str,
+    min_work: u64,
+) -> Option<Vec<splendid_validate::FunctionVerdict>> {
+    let mut polly = Harness::compile(src, splendid_cfront::OmpRuntime::LibOmp).ok()?;
+    let _ = parallelize_module(
+        &mut polly,
+        &ParallelizeOptions {
+            version_aliasing: true,
+            min_work,
+            only_functions: vec!["kernel".into()],
+        },
+    );
+    let source = InProcessDecompiler
+        .decompile(&polly, &SplendidOptions::default())
+        .ok()?;
+    Some(splendid_validate::check_module(
+        &polly,
+        &source,
+        &splendid_validate::ValidateConfig::default(),
+    ))
 }
 
 /// Fold one value into a running FNV-1a digest.
@@ -232,6 +389,66 @@ mod tests {
             a.parallelized_loops > 0,
             "expected at least one parallelizable kernel in 12 cases"
         );
+    }
+
+    #[test]
+    fn validator_cross_check_is_sound_and_deterministic() {
+        let dec = InProcessDecompiler;
+        let oracle = Oracle::new(&dec);
+        let cfg = DifftestConfig {
+            seed: 0x5EED,
+            cases: 6,
+            validate: true,
+            ..DifftestConfig::default()
+        };
+        let a = run_difftest(&oracle, &cfg);
+        assert!(a.all_passed(), "campaign diverged:\n{a}");
+        let v = a.validation.as_ref().expect("validation was requested");
+        assert!(
+            a.validator_sound(),
+            "validator certified an oracle-refuted case:\n{a}"
+        );
+        assert!(v.cases_checked > 0, "no case reached the validator:\n{a}");
+        assert!(
+            v.functions_verified > 0,
+            "validator proved nothing on a passing campaign:\n{a}"
+        );
+        assert!(a.to_string().contains("validate: checked="));
+        assert!(a.to_string().contains("incompleteness rate"));
+        let b = run_difftest(&oracle, &cfg);
+        assert_eq!(
+            a.to_string(),
+            b.to_string(),
+            "validated report must be deterministic"
+        );
+    }
+
+    #[test]
+    fn validation_off_keeps_the_report_free_of_validate_lines() {
+        let dec = InProcessDecompiler;
+        let oracle = Oracle::new(&dec);
+        let cfg = DifftestConfig {
+            seed: 0x5EED,
+            cases: 2,
+            ..DifftestConfig::default()
+        };
+        let report = run_difftest(&oracle, &cfg);
+        assert!(report.validation.is_none());
+        assert!(
+            report.validator_sound(),
+            "no validation means vacuously sound"
+        );
+        assert!(!report.to_string().contains("validate:"));
+    }
+
+    #[test]
+    fn decompile_route_failures_are_the_only_unsoundness_witnesses() {
+        assert!(failure_indicts_decompilation("stability"));
+        assert!(failure_indicts_decompilation("decompile-libomp"));
+        assert!(failure_indicts_decompilation("decompile-libgomp"));
+        assert!(!failure_indicts_decompilation("o0"));
+        assert!(!failure_indicts_decompilation("o2"));
+        assert!(!failure_indicts_decompilation("polly"));
     }
 
     #[test]

@@ -5,19 +5,24 @@
 //! passing every route even as the generator's stream evolves — the
 //! corpus pins behavior; the live campaign explores.
 
-use splendid_difftest::{replay_corpus_source, InProcessDecompiler, Oracle};
+use splendid_difftest::{replay_corpus_source, validate_source, InProcessDecompiler, Oracle};
 
-#[test]
-fn corpus_replays_clean_through_every_route() {
+fn corpus_entries() -> Vec<std::path::PathBuf> {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
-    let dec = InProcessDecompiler;
-    let oracle = Oracle::new(&dec);
     let mut entries: Vec<_> = std::fs::read_dir(dir)
         .expect("corpus directory exists")
         .map(|e| e.expect("readable corpus entry").path())
         .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("c"))
         .collect();
     entries.sort();
+    entries
+}
+
+#[test]
+fn corpus_replays_clean_through_every_route() {
+    let dec = InProcessDecompiler;
+    let oracle = Oracle::new(&dec);
+    let entries = corpus_entries();
     assert!(
         entries.len() >= 5,
         "expected at least five corpus programs, found {}",
@@ -29,4 +34,41 @@ fn corpus_replays_clean_through_every_route() {
             .unwrap_or_else(|f| panic!("{}: {f}", path.display()));
         assert!(report.checksum.is_finite());
     }
+}
+
+/// Every corpus program also goes through the translation validator.
+/// The oracle proves these decompilations correct (the test above), so
+/// the validator must never report a *mismatch* here — `Unverified`
+/// for reasons of incompleteness is allowed and reported, a refutation
+/// of a correct decompilation is a validator soundness bug.
+#[test]
+fn corpus_cross_checks_clean_through_the_validator() {
+    let mut checked = 0usize;
+    let mut verified = 0usize;
+    let mut unverified = 0usize;
+    for path in corpus_entries() {
+        let src = std::fs::read_to_string(&path).expect("readable corpus file");
+        let verdicts = validate_source(&src, 0)
+            .unwrap_or_else(|| panic!("{}: validation pipeline failed to set up", path.display()));
+        checked += 1;
+        for fv in &verdicts {
+            match &fv.verdict {
+                splendid_validate::Verdict::Verified => verified += 1,
+                splendid_validate::Verdict::Unverified(reason) => {
+                    assert!(
+                        !reason.is_mismatch(),
+                        "{}: validator refuted oracle-proven function {}: {reason}",
+                        path.display(),
+                        fv.name
+                    );
+                    unverified += 1;
+                }
+            }
+        }
+    }
+    assert!(checked >= 5, "corpus shrank under the validator");
+    assert!(
+        verified > 0,
+        "validator proved nothing across the corpus ({unverified} unverified)"
+    );
 }

@@ -150,6 +150,17 @@ impl<'m> Vm<'m> {
         Ok(f64::from_bits(self.load_u64(addr)?))
     }
 
+    /// Overwrite the `idx`-th f64 element of a global array.
+    ///
+    /// The translation validator uses this to drive both the source VM
+    /// and the re-lowered VM into the same seeded initial state before a
+    /// lockstep probe run.
+    pub fn write_global_f64(&mut self, name: &str, idx: u64, value: f64) -> Result<(), ExecError> {
+        let base = self.global_addr(name)?;
+        let addr = base + idx * 8;
+        self.store_u64(addr, value.to_bits())
+    }
+
     /// Order-independent-ish checksum over every f64 element of a global:
     /// `Σ value_k * (k mod 31 + 1)` — position-sensitive so swapped
     /// elements are detected.

@@ -34,6 +34,8 @@ pub const CODEC_VERSION: u8 = 1;
 pub const KIND_FUNCTION: u8 = 0x01;
 /// Header kind byte for a module record.
 pub const KIND_MODULE: u8 = 0x02;
+/// Header kind byte for a validation-certificate record.
+pub const KIND_CERT: u8 = 0x03;
 /// Header length (magic + version + kind).
 pub const CODEC_HEADER_LEN: usize = 6;
 /// Maximum AST nesting accepted while decoding (matches anything the
@@ -786,13 +788,52 @@ pub fn decode_module_record(blob: &[u8]) -> R<DecompileOutput> {
     })
 }
 
-/// Structurally validate a blob of either kind without keeping the
+/// Encode a validation [`Certificate`](crate::validate::Certificate) as
+/// a cert record blob. Certificates are tiny (a few tens of bytes), so
+/// they ride the same tiered store as function records and amortize the
+/// same way: a warm restart answers `verified` tags from disk without
+/// re-running the checker.
+pub fn encode_cert_record(cert: &crate::validate::Certificate) -> Vec<u8> {
+    let mut e = Enc::with_header(KIND_CERT);
+    e.u8(u8::from(cert.verified));
+    enc_tier(&mut e, cert.tier);
+    e.u8(u8::from(cert.mismatch));
+    e.str(&cert.reason);
+    e.buf
+}
+
+/// Decode a cert record blob. Any failure means "cache miss".
+pub fn decode_cert_record(blob: &[u8]) -> R<crate::validate::Certificate> {
+    let mut d = Dec::expect_header(blob, KIND_CERT)?;
+    let verified = match d.u8()? {
+        0 => false,
+        1 => true,
+        _ => return err("invalid bool"),
+    };
+    let tier = dec_tier(&mut d)?;
+    let mismatch = match d.u8()? {
+        0 => false,
+        1 => true,
+        _ => return err("invalid bool"),
+    };
+    let reason = d.str()?;
+    d.finished()?;
+    Ok(crate::validate::Certificate {
+        verified,
+        tier,
+        mismatch,
+        reason,
+    })
+}
+
+/// Structurally validate a blob of any known kind without keeping the
 /// decoded value — what the daemon runs on `CACHE_PUT` payloads before
 /// letting a peer's bytes anywhere near the disk tier.
 pub fn validate_record(blob: &[u8]) -> R<()> {
     match blob.get(5) {
         Some(&KIND_FUNCTION) => decode_function_record(blob).map(|_| ()),
         Some(&KIND_MODULE) => decode_module_record(blob).map(|_| ()),
+        Some(&KIND_CERT) => decode_cert_record(blob).map(|_| ()),
         Some(_) => err("unknown record kind"),
         None => err("blob shorter than header"),
     }
@@ -974,6 +1015,26 @@ mod tests {
             m[i] = 0xFF;
             let _ = decode_function_record(&m);
         }
+    }
+
+    #[test]
+    fn cert_record_roundtrip() {
+        let cert = crate::validate::Certificate {
+            verified: false,
+            tier: FidelityTier::Structured,
+            mismatch: true,
+            reason: "probe 1: global A[3]: source 1.0 vs re-lowered 2.0".into(),
+        };
+        let blob = encode_cert_record(&cert);
+        let back = decode_cert_record(&blob).unwrap();
+        assert_eq!(back, cert);
+        assert!(validate_record(&blob).is_ok());
+        // Truncations never decode.
+        for n in 0..blob.len() {
+            assert!(decode_cert_record(&blob[..n]).is_err());
+        }
+        // And a cert blob is not a function record.
+        assert!(decode_function_record(&blob).is_err());
     }
 
     #[test]

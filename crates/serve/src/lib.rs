@@ -28,6 +28,7 @@ pub mod hash;
 pub mod pool;
 pub mod scheduler;
 pub mod stats;
+pub mod validate;
 
 pub use cache::{BlobTiers, CacheCounters, CacheTier, DiskTier, FunctionCache, TierCounters};
 pub use pool::{PoolRemote, WorkerPool};
@@ -36,6 +37,7 @@ pub use scheduler::{
     Scheduler, ServeConfig,
 };
 pub use stats::{ServeStats, StatsSnapshot};
+pub use validate::{cert_cache_key, CertCache, Certificate, ValidateOutcome};
 
 #[cfg(test)]
 mod send_sync_assertions {

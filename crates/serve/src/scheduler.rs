@@ -26,6 +26,7 @@ use crate::codec;
 use crate::hash::Fnv64;
 use crate::pool::{PoolRemote, WorkerPool};
 use crate::stats::{ServeStats, StatsSnapshot};
+use crate::validate::CertCache;
 use splendid_core::{
     assemble_output, decompile_function, panic_message, prepare_module, DecompileOutput,
     FidelityTier, FunctionOutput, PreparedModule, SplendidOptions, StageTimings, Variant,
@@ -157,6 +158,11 @@ pub struct JobResult {
     pub cached_functions: usize,
     /// Of those, how many were emitted below the `Natural` tier.
     pub degraded_functions: usize,
+    /// Functions carrying a `Verified` annotation (0 unless the job ran
+    /// with [`SplendidOptions::validate`]).
+    pub verified_functions: usize,
+    /// Functions carrying an `UNVERIFIED` annotation.
+    pub unverified_functions: usize,
     /// Submit-to-completion wall time.
     pub wall: Duration,
 }
@@ -201,13 +207,13 @@ impl StatsSink {
         }
     }
 
-    fn add(&self, counter: impl Fn(&ServeStats) -> &AtomicU64, n: u64) {
+    pub(crate) fn add(&self, counter: impl Fn(&ServeStats) -> &AtomicU64, n: u64) {
         self.each(|s| {
             counter(s).fetch_add(n, Ordering::Relaxed);
         });
     }
 
-    fn record_timings(&self, t: &StageTimings) {
+    pub(crate) fn record_timings(&self, t: &StageTimings) {
         self.each(|s| s.record_timings(t));
     }
 
@@ -225,6 +231,8 @@ struct JobState {
     remaining: AtomicUsize,
     cached: AtomicUsize,
     degraded: AtomicUsize,
+    verified: AtomicUsize,
+    unverified: AtomicUsize,
     slots: Mutex<Vec<Option<FunctionOutput>>>,
     done: Mutex<Option<Result<JobResult, JobError>>>,
     cv: Condvar,
@@ -232,6 +240,8 @@ struct JobState {
     /// Blob-tier chain shared with the scheduler (empty chain when no
     /// persistent/peer tier is configured).
     tiers: Arc<BlobTiers>,
+    /// In-memory certificate cache shared with the scheduler.
+    certs: Arc<CertCache>,
     /// Whole-module record key, set by the job task for fault-free
     /// `Text` jobs so the last work item can persist the assembled
     /// output on its way out.
@@ -336,6 +346,9 @@ fn options_fingerprint(o: &SplendidOptions) -> u64 {
         // keys from ever colliding with clean-run keys (the scheduler
         // additionally bypasses the cache entirely under faults).
         o.faults.is_some() as u8,
+        // Validated jobs annotate their assembled output, so module
+        // records from validated and unvalidated runs must never alias.
+        o.validate as u8,
     ]);
     h.finish()
 }
@@ -444,6 +457,7 @@ pub struct Scheduler {
     pool: WorkerPool,
     cache: Arc<FunctionCache>,
     tiers: Arc<BlobTiers>,
+    certs: Arc<CertCache>,
     stats: Arc<ServeStats>,
     watchdog: Option<Watchdog>,
     config: ServeConfig,
@@ -469,6 +483,7 @@ impl Scheduler {
             pool: WorkerPool::new(workers),
             cache: Arc::new(FunctionCache::new(config.cache_capacity)),
             tiers: Arc::new(tiers),
+            certs: Arc::new(CertCache::default()),
             stats: Arc::new(ServeStats::default()),
             // No deadline, nothing to sweep: don't pay for the thread.
             watchdog: config.job_timeout.map(|_| Watchdog::start()),
@@ -515,11 +530,14 @@ impl Scheduler {
             remaining: AtomicUsize::new(0),
             cached: AtomicUsize::new(0),
             degraded: AtomicUsize::new(0),
+            verified: AtomicUsize::new(0),
+            unverified: AtomicUsize::new(0),
             slots: Mutex::new(Vec::new()),
             done: Mutex::new(None),
             cv: Condvar::new(),
             stats: sink,
             tiers: Arc::clone(&self.tiers),
+            certs: Arc::clone(&self.certs),
             module_key: std::sync::OnceLock::new(),
         });
         if let Some(w) = &self.watchdog {
@@ -637,12 +655,23 @@ fn run_job(
             if let Some(output) = hit {
                 let functions = output.program.functions.len();
                 stats.add(|s| &s.functions_from_cache, functions as u64);
+                // Verdict annotations are baked into the record; report
+                // them as certificate hits (no check ran this process).
+                let verdicts = crate::validate::count_annotations(&output.program);
+                let tagged = (verdicts.verified + verdicts.unverified) as u64;
+                if tagged > 0 {
+                    stats.add(|s| &s.certs_from_cache, tagged);
+                    stats.add(|s| &s.functions_verified, verdicts.verified as u64);
+                    stats.add(|s| &s.functions_unverified, verdicts.unverified as u64);
+                }
                 state.complete(Ok(JobResult {
                     name: state.name.clone(),
                     output,
                     functions,
                     cached_functions: functions,
                     degraded_functions: 0,
+                    verified_functions: verdicts.verified,
+                    unverified_functions: verdicts.unverified,
                     wall: state.started.elapsed(),
                 }));
                 return;
@@ -771,7 +800,30 @@ fn run_function_item(
         state.enter(job_stage::ASSEMBLE);
         let functions: Option<Vec<FunctionOutput>> = lock(&state.slots).drain(..).collect();
         match functions {
-            Some(functions) => {
+            Some(mut functions) => {
+                if options.validate {
+                    let start = Instant::now();
+                    let outcome = crate::validate::run_validation(
+                        prepared,
+                        &mut functions,
+                        options,
+                        cache,
+                        &state.tiers,
+                        &state.certs,
+                        stats,
+                        &|| state.expired(),
+                    );
+                    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    stats.add(|s| &s.ns_validate, ns);
+                    state.verified.store(outcome.verified, Ordering::Relaxed);
+                    state
+                        .unverified
+                        .store(outcome.unverified, Ordering::Relaxed);
+                    if state.expired() {
+                        state.complete(Err(state.timeout_error()));
+                        return;
+                    }
+                }
                 let mut timings = StageTimings::default();
                 let output = assemble_output(prepared, functions, &mut timings);
                 stats.record_timings(&timings);
@@ -913,6 +965,8 @@ fn finish(state: &JobState, prepared: &PreparedModule, output: DecompileOutput) 
         functions,
         cached_functions: state.cached.load(Ordering::Relaxed),
         degraded_functions: state.degraded.load(Ordering::Relaxed),
+        verified_functions: state.verified.load(Ordering::Relaxed),
+        unverified_functions: state.unverified.load(Ordering::Relaxed),
         wall: state.started.elapsed(),
     }));
 }

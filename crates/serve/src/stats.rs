@@ -35,6 +35,21 @@ pub struct ServeStats {
     pub functions_quarantined: AtomicU64,
     /// Module preparations retried after a transient fault.
     pub prepare_retries: AtomicU64,
+    /// Functions whose output carries a `Verified` certificate.
+    pub functions_verified: AtomicU64,
+    /// Functions whose output carries an `Unverified` certificate.
+    pub functions_unverified: AtomicU64,
+    /// Validation checks actually executed (cold certificates).
+    pub validations_run: AtomicU64,
+    /// Verdicts answered from a cached certificate (memory or tier).
+    pub certs_from_cache: AtomicU64,
+    /// Validation mismatches that fell one fidelity rung and re-ran.
+    pub validate_fallbacks: AtomicU64,
+    /// Functions still mismatching at the `Literal` floor (quarantined:
+    /// served, but flagged as known-wrong).
+    pub validate_quarantined: AtomicU64,
+    /// Wall time in translation validation, ns.
+    pub ns_validate: AtomicU64,
     /// Wall time in module parsing (batch text inputs), ns.
     pub ns_parse: AtomicU64,
     /// Wall time in parallel-region detransformation, ns.
@@ -97,6 +112,13 @@ impl ServeStats {
             functions_retried: get(&self.functions_retried),
             functions_quarantined: get(&self.functions_quarantined),
             prepare_retries: get(&self.prepare_retries),
+            functions_verified: get(&self.functions_verified),
+            functions_unverified: get(&self.functions_unverified),
+            validations_run: get(&self.validations_run),
+            certs_from_cache: get(&self.certs_from_cache),
+            validate_fallbacks: get(&self.validate_fallbacks),
+            validate_quarantined: get(&self.validate_quarantined),
+            validate: Duration::from_nanos(get(&self.ns_validate)),
             parse: Duration::from_nanos(get(&self.ns_parse)),
             detransform: Duration::from_nanos(get(&self.ns_detransform)),
             naming: Duration::from_nanos(get(&self.ns_naming)),
@@ -141,6 +163,20 @@ pub struct StatsSnapshot {
     pub functions_quarantined: u64,
     /// Module preparations retried after a transient fault.
     pub prepare_retries: u64,
+    /// Functions carrying a `Verified` certificate.
+    pub functions_verified: u64,
+    /// Functions carrying an `Unverified` certificate.
+    pub functions_unverified: u64,
+    /// Validation checks actually executed.
+    pub validations_run: u64,
+    /// Verdicts answered from cached certificates.
+    pub certs_from_cache: u64,
+    /// Mismatches that fell one fidelity rung and re-ran.
+    pub validate_fallbacks: u64,
+    /// Functions still mismatching at the `Literal` floor.
+    pub validate_quarantined: u64,
+    /// Cumulative translation-validation wall time.
+    pub validate: Duration,
     /// Cumulative parse wall time (sum over workers).
     pub parse: Duration,
     /// Cumulative detransform wall time.
@@ -204,6 +240,16 @@ impl std::fmt::Display for StatsSnapshot {
             self.cache.evictions,
             100.0 * self.cache.hit_rate()
         )?;
+        writeln!(
+            f,
+            "  validate   {} verified / {} unverified, {} checks run, {} certs from cache, {} fallbacks, {} quarantined",
+            self.functions_verified,
+            self.functions_unverified,
+            self.validations_run,
+            self.certs_from_cache,
+            self.validate_fallbacks,
+            self.validate_quarantined
+        )?;
         for tier in &self.tiers {
             writeln!(
                 f,
@@ -218,8 +264,8 @@ impl std::fmt::Display for StatsSnapshot {
         }
         writeln!(
             f,
-            "  stages     parse {:.3?}, detransform {:.3?}, naming {:.3?}, structure {:.3?}, emit {:.3?}",
-            self.parse, self.detransform, self.naming, self.structure, self.emit
+            "  stages     parse {:.3?}, detransform {:.3?}, naming {:.3?}, structure {:.3?}, emit {:.3?}, validate {:.3?}",
+            self.parse, self.detransform, self.naming, self.structure, self.emit, self.validate
         )
     }
 }

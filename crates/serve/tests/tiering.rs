@@ -180,6 +180,115 @@ fn faulted_runs_never_persist_degraded_output() {
 }
 
 #[test]
+fn warm_restart_answers_verdicts_from_disk() {
+    // Certificates ride the same blob tiers as function records: a
+    // fresh process over the same directory must re-annotate every
+    // function from persisted certificates without re-running the
+    // checker even once.
+    let dir = temp_dir("certs");
+    let b = splendid_polybench::kernels::benchmark("gemm").unwrap();
+    let (module, _) = Harness::polly(b.sequential).unwrap();
+    let opts = SplendidOptions {
+        validate: true,
+        ..Default::default()
+    };
+
+    let cold_source = {
+        let scheduler = scheduler_with_disk(&dir, 2);
+        let res = scheduler.decompile_module("gemm", &module, &opts).unwrap();
+        assert!(res.verified_functions > 0, "gemm must verify");
+        assert_eq!(
+            res.verified_functions + res.unverified_functions,
+            res.functions,
+            "every function gets a verdict"
+        );
+        assert!(res.output.source.contains("splendid: verified"));
+        let stats = scheduler.stats();
+        assert!(stats.validations_run > 0, "cold run proves for real");
+        assert_eq!(stats.certs_from_cache, 0);
+        scheduler.flush_cache();
+        res.output.source
+    };
+
+    let scheduler = scheduler_with_disk(&dir, 2);
+    let res = scheduler.decompile_module("gemm", &module, &opts).unwrap();
+    assert_eq!(
+        res.output.source, cold_source,
+        "warm verdict annotations must be byte-identical"
+    );
+    assert!(res.verified_functions > 0);
+    let stats = scheduler.stats();
+    assert_eq!(
+        stats.validations_run, 0,
+        "warm restart must answer every verdict from disk: {stats}"
+    );
+    assert!(stats.certs_from_cache as usize >= res.functions, "{stats}");
+    assert!(
+        stats.to_string().contains("certs from cache"),
+        "STATS_TEXT must surface the certificate counters:\n{stats}"
+    );
+}
+
+#[test]
+fn faulted_runs_never_persist_certificates() {
+    // Verdicts observed under fault injection are still computed and
+    // annotated (that is the point of a --faults run), but they must
+    // never outlive the process: no certificate may be read or written.
+    use splendid_core::{FaultKind, FaultPlan, Stage};
+    let dir = temp_dir("cert-faults");
+    let b = splendid_polybench::kernels::benchmark("gemm").unwrap();
+    let (module, _) = Harness::polly(b.sequential).unwrap();
+    let faulty = SplendidOptions {
+        validate: true,
+        faults: Some(Arc::new(FaultPlan::single(
+            Stage::Structure,
+            1,
+            FaultKind::Fail,
+        ))),
+        ..Default::default()
+    };
+
+    {
+        let scheduler = scheduler_with_disk(&dir, 2);
+        let res = scheduler
+            .decompile_module("gemm", &module, &faulty)
+            .unwrap();
+        assert_eq!(res.degraded_functions, 1, "the fault must land");
+        assert_eq!(
+            res.verified_functions + res.unverified_functions,
+            res.functions,
+            "faulted runs still annotate verdicts"
+        );
+        scheduler.flush_cache();
+        let stats = scheduler.stats();
+        assert!(stats.validations_run > 0, "checks run in-process: {stats}");
+        assert_eq!(stats.certs_from_cache, 0);
+        let disk = stats.tiers.iter().find(|t| t.name == "disk").unwrap();
+        assert_eq!(
+            (disk.hits, disk.misses, disk.fills),
+            (0, 0, 0),
+            "a --faults run must never touch the persistent tier: {stats}"
+        );
+    }
+
+    // A later fault-free validated process finds no certificates to
+    // trust: every verdict is proven from scratch.
+    let scheduler = scheduler_with_disk(&dir, 2);
+    let clean = SplendidOptions {
+        validate: true,
+        ..Default::default()
+    };
+    let res = scheduler.decompile_module("gemm", &module, &clean).unwrap();
+    assert!(res.functions > 0);
+    let stats = scheduler.stats();
+    assert!(
+        stats.validations_run > 0,
+        "nothing from the faulted run may answer verdicts: {stats}"
+    );
+    assert_eq!(stats.certs_from_cache, 0, "{stats}");
+}
+
+#[test]
 fn degraded_but_fault_free_output_is_persisted_and_reannotated() {
     // Degradation without fault injection (if it happens organically) is
     // deterministic, so persisting it is sound; this pins down that the

@@ -1,0 +1,670 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! `splendid-validate`: bounded translation validation.
+//!
+//! Difftest (PR 2) gives *statistical* confidence that decompilation
+//! preserves semantics; this crate gives *per-function* evidence at
+//! serve time. The checker takes the source IR and the decompiled C,
+//! re-lowers the C back to IR through `splendid-cfront` (at O0, so the
+//! re-lowering itself stays as simple as possible), and executes both
+//! sides in lockstep over a bounded set of probe states:
+//!
+//! * probe 0 runs each side from its natural initial state (globals as
+//!   initialized, zero arguments);
+//! * probes 1..N first drive every f64 global of *both* VMs into the
+//!   same seeded finite state and seed scalar arguments, so functions
+//!   that only read state the module's `init` would have produced are
+//!   still exercised on meaningful values.
+//!
+//! After each probe the return value and every 8-byte word of every
+//! source-module global are compared **bitwise**. Any divergence is a
+//! [`ReasonKind::Mismatch`] — the only verdict that indicates the
+//! decompiled C is actually wrong (the serve layer reacts by falling one
+//! rung down the fidelity ladder). Everything else the checker cannot
+//! prove is reported as a distinct incompleteness reason (pointer
+//! parameters, re-lowering failures, exhausted execution bounds, ...):
+//! the function is tagged `UNVERIFIED` but not re-decompiled, because
+//! the output is not known to be wrong.
+//!
+//! `Verified` therefore means: at least one probe ran both sides to
+//! completion, and no probe observed any divergence. It is a bounded
+//! equivalence check, not a proof — see DESIGN.md, "Translation
+//! validation", for the precise claim and its known holes.
+
+pub mod mutate;
+
+use splendid_cfront::{lower_program, parse_program, LowerOptions};
+use splendid_interp::{CompilerProfile, MachineConfig, RtVal, Vm};
+use splendid_ir::{Function, Module, Type};
+
+/// Checker bounds and seeding.
+#[derive(Debug, Clone)]
+pub struct ValidateConfig {
+    /// Probe states per function (probe 0 is the natural initial state;
+    /// the rest are seeded). At least 1.
+    pub probes: u32,
+    /// Seed mixed into every probe's state generator; fixed so verdicts
+    /// are deterministic across runs and processes.
+    pub seed: u64,
+    /// Instruction budget for the *source* side of one probe. The
+    /// re-lowered side gets a proportional budget (the O0 re-lowering
+    /// executes more instructions for the same work), so a diverging
+    /// non-terminating mutant still exhausts it.
+    pub fuel: u64,
+    /// Cores simulated by both VMs (parallel regions execute with real
+    /// fan-out semantics; 2 keeps the fork paths exercised and cheap).
+    pub cores: u32,
+}
+
+impl Default for ValidateConfig {
+    fn default() -> ValidateConfig {
+        ValidateConfig {
+            probes: 3,
+            seed: 0x53_50_4C_44, // "SPLD"
+            fuel: 20_000_000,
+            cores: 2,
+        }
+    }
+}
+
+impl ValidateConfig {
+    fn machine(&self, fuel: u64) -> MachineConfig {
+        MachineConfig {
+            cores: self.cores,
+            fuel,
+            ..MachineConfig::xeon_28core(CompilerProfile::clang())
+        }
+    }
+}
+
+/// Why a function could not be verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReasonKind {
+    /// The decompiled C failed to parse or lower back to IR.
+    Relower,
+    /// The function is absent from the re-lowered module.
+    MissingFunction,
+    /// The signature is outside the checker's input model (pointer
+    /// parameters cannot be seeded meaningfully).
+    UnsupportedSignature,
+    /// A module global is outside the checker's comparison model
+    /// (non-8-byte elements).
+    UnsupportedGlobal,
+    /// Every probe ran out of fuel on the source side.
+    BoundExhausted,
+    /// Every probe was inconclusive (the source itself failed to run).
+    Inconclusive,
+    /// A probe observed divergent behavior: the decompiled C is wrong.
+    Mismatch,
+}
+
+impl ReasonKind {
+    /// Stable label used in annotations, stats, and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReasonKind::Relower => "relower",
+            ReasonKind::MissingFunction => "missing-function",
+            ReasonKind::UnsupportedSignature => "unsupported-signature",
+            ReasonKind::UnsupportedGlobal => "unsupported-global",
+            ReasonKind::BoundExhausted => "bound-exhausted",
+            ReasonKind::Inconclusive => "inconclusive",
+            ReasonKind::Mismatch => "mismatch",
+        }
+    }
+}
+
+/// A structured `Unverified` reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reason {
+    /// Failure class.
+    pub kind: ReasonKind,
+    /// Human-readable detail (probe index, diverging location, error).
+    pub detail: String,
+}
+
+impl Reason {
+    fn new(kind: ReasonKind, detail: impl Into<String>) -> Reason {
+        Reason {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// True iff this reason proves the output wrong (as opposed to
+    /// merely unprovable). Only mismatches trigger ladder fallback.
+    pub fn is_mismatch(&self) -> bool {
+        self.kind == ReasonKind::Mismatch
+    }
+}
+
+impl std::fmt::Display for Reason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.detail.is_empty() {
+            f.write_str(self.kind.label())
+        } else {
+            write!(f, "{}: {}", self.kind.label(), self.detail)
+        }
+    }
+}
+
+/// Per-function certificate payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// At least one conclusive probe, zero divergences.
+    Verified,
+    /// Not verified; the reason says whether the output is *wrong*
+    /// (mismatch) or merely *unprovable* (everything else).
+    Unverified(Reason),
+}
+
+impl Verdict {
+    /// True for [`Verdict::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verdict::Verified)
+    }
+}
+
+/// One function's verdict, for module-level reports.
+#[derive(Debug, Clone)]
+pub struct FunctionVerdict {
+    /// Function name (shared between source IR and decompiled C).
+    pub name: String,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Re-lower decompiled C source to IR at O0. No optimization passes run:
+/// the simpler the re-lowering, the smaller the trusted base of the
+/// check.
+pub fn relower(source: &str) -> Result<Module, String> {
+    let prog = parse_program(source).map_err(|e| format!("parse: {e}"))?;
+    lower_program(&prog, "validate", &LowerOptions::default()).map_err(|e| format!("lower: {e}"))
+}
+
+/// Validate every (non-outlined) function of `src` against the
+/// decompiled C `source`. Re-lowers once; a re-lowering failure yields
+/// an `Unverified(Relower)` verdict for every function.
+pub fn check_module(src: &Module, source: &str, cfg: &ValidateConfig) -> Vec<FunctionVerdict> {
+    let relowered = relower(source);
+    src.functions
+        .iter()
+        .filter(|f| !f.is_outlined)
+        .map(|f| FunctionVerdict {
+            name: f.name.clone(),
+            verdict: match &relowered {
+                Ok(m) => check_function(src, m, &f.name, cfg),
+                Err(e) => Verdict::Unverified(Reason::new(ReasonKind::Relower, e.clone())),
+            },
+        })
+        .collect()
+}
+
+/// Validate one function of `src` against its namesake in the already
+/// re-lowered module.
+pub fn check_function(
+    src: &Module,
+    relowered: &Module,
+    name: &str,
+    cfg: &ValidateConfig,
+) -> Verdict {
+    let unv = |kind, detail: String| Verdict::Unverified(Reason::new(kind, detail));
+
+    let Some(sf) = src.functions.iter().find(|f| f.name == name) else {
+        return unv(
+            ReasonKind::MissingFunction,
+            format!("'{name}' not in source module"),
+        );
+    };
+    let Some(rf) = relowered.functions.iter().find(|f| f.name == name) else {
+        return unv(
+            ReasonKind::MissingFunction,
+            format!("'{name}' not in re-lowered module"),
+        );
+    };
+
+    // Input model: scalar int/float parameters only. Pointers cannot be
+    // seeded meaningfully (the checker has no aliasing model), so such
+    // functions are honestly incomplete rather than spuriously verified.
+    if let Some(p) = sf.params.iter().find(|p| !seedable(p.ty)) {
+        return unv(
+            ReasonKind::UnsupportedSignature,
+            format!("parameter '{}' has unseedable type {}", p.name, p.ty),
+        );
+    }
+    if sf.params.len() != rf.params.len() {
+        return unv(
+            ReasonKind::Mismatch,
+            format!(
+                "parameter count differs: source {} vs re-lowered {}",
+                sf.params.len(),
+                rf.params.len()
+            ),
+        );
+    }
+
+    // Comparison model: every source global, word by word. Globals with
+    // sub-word elements have no byte-accurate reader here; refuse rather
+    // than under-compare.
+    for g in &src.globals {
+        if g.mem.elem().size_bytes() != 8 {
+            return unv(
+                ReasonKind::UnsupportedGlobal,
+                format!("global '{}' has non-word elements", g.name),
+            );
+        }
+        if !relowered.globals.iter().any(|r| r.name == g.name) {
+            return unv(
+                ReasonKind::Mismatch,
+                format!("global '{}' missing from re-lowered module", g.name),
+            );
+        }
+    }
+
+    let mut conclusive = 0u32;
+    let mut first_src_failure: Option<Reason> = None;
+    for probe in 0..cfg.probes.max(1) {
+        match run_probe(src, relowered, sf, rf, probe, cfg) {
+            ProbeOutcome::Agree => conclusive += 1,
+            ProbeOutcome::Diverge(detail) => {
+                return unv(ReasonKind::Mismatch, format!("probe {probe}: {detail}"));
+            }
+            ProbeOutcome::SourceFailed(reason) => {
+                first_src_failure.get_or_insert(reason);
+            }
+        }
+    }
+    if conclusive == 0 {
+        return Verdict::Unverified(first_src_failure.unwrap_or_else(|| {
+            Reason::new(ReasonKind::Inconclusive, "no probe ran to completion")
+        }));
+    }
+    Verdict::Verified
+}
+
+fn seedable(ty: Type) -> bool {
+    ty.is_int() || ty.is_float()
+}
+
+enum ProbeOutcome {
+    /// Both sides ran to completion and every observation matched.
+    Agree,
+    /// Observable divergence: return value, a global word, or the
+    /// re-lowered side failing/looping where the source did not.
+    Diverge(String),
+    /// The source side itself could not complete; nothing was proven
+    /// (and nothing disproven) by this probe.
+    SourceFailed(Reason),
+}
+
+fn run_probe(
+    src: &Module,
+    relowered: &Module,
+    sf: &Function,
+    rf: &Function,
+    probe: u32,
+    cfg: &ValidateConfig,
+) -> ProbeOutcome {
+    let mut vm_src = Vm::new(src, cfg.machine(cfg.fuel));
+
+    // Drive the source side into its seeded state. Only f64 words are
+    // seeded (the only element type this pipeline's globals use); values
+    // are finite and small so arithmetic stays finite-ish and branches on
+    // magnitudes are exercised. The re-lowered side replays the same
+    // stream below, once its fuel budget is known.
+    let mut rng = ProbeRng::new(cfg.seed, &sf.name, probe);
+    if probe > 0 {
+        if let Err(detail) = seed_globals(&mut vm_src, src, relowered, &mut rng) {
+            return ProbeOutcome::SourceFailed(Reason::new(
+                ReasonKind::Inconclusive,
+                format!("probe {probe}: {detail}"),
+            ));
+        }
+    }
+    let args: Vec<RtVal> = sf
+        .params
+        .iter()
+        .map(|p| {
+            if p.ty.is_float() {
+                RtVal::F64(if probe == 0 { 1.0 } else { rng.next_f64() })
+            } else {
+                RtVal::Int(if probe == 0 { 0 } else { rng.next_small_int() })
+            }
+        })
+        .collect();
+
+    let src_ret = match vm_src.call_by_name(&sf.name, &args) {
+        Ok(r) => r,
+        Err(e) => {
+            let kind = if e.0.contains("fuel exhausted") {
+                ReasonKind::BoundExhausted
+            } else {
+                ReasonKind::Inconclusive
+            };
+            return ProbeOutcome::SourceFailed(Reason::new(
+                kind,
+                format!("probe {probe}: source side: {e}"),
+            ));
+        }
+    };
+
+    // Give the re-lowered side a generous multiple of what the source
+    // actually executed: a faithful O0 re-lowering is a small constant
+    // factor slower, while a mutant that diverges into an endless loop
+    // still blows the bound (and that *is* a mismatch).
+    let re_fuel = vm_src.insts_executed().saturating_mul(64).max(100_000);
+    let re_args: Vec<RtVal> = rf
+        .params
+        .iter()
+        .zip(&args)
+        .map(|(p, a)| match (p.ty.is_float(), a) {
+            (true, RtVal::Int(v)) => RtVal::F64(*v as f64),
+            (false, RtVal::F64(v)) => RtVal::Int(*v as i64),
+            _ => *a,
+        })
+        .collect();
+    let mut vm_re = Vm::new(relowered, cfg.machine(re_fuel));
+    if probe > 0 {
+        // Replay the exact seeding stream the source side consumed (the
+        // generator is keyed by (seed, function, probe), so restarting it
+        // reproduces the same values in the same order).
+        let mut rng = ProbeRng::new(cfg.seed, &sf.name, probe);
+        if let Err(detail) = seed_globals(&mut vm_re, src, relowered, &mut rng) {
+            return ProbeOutcome::Diverge(format!("could not seed re-lowered side: {detail}"));
+        }
+    }
+    let re_ret = match vm_re.call_by_name(&rf.name, &re_args) {
+        Ok(r) => r,
+        Err(e) => {
+            return ProbeOutcome::Diverge(format!(
+                "source completed but re-lowered side failed: {e}"
+            ));
+        }
+    };
+
+    if let Some(detail) = compare_returns(src_ret, re_ret) {
+        return ProbeOutcome::Diverge(detail);
+    }
+    for g in &src.globals {
+        for k in 0..g.mem.num_elems() {
+            let s = match vm_src.read_global_f64(&g.name, k) {
+                Ok(v) => v,
+                Err(e) => {
+                    return ProbeOutcome::SourceFailed(Reason::new(
+                        ReasonKind::Inconclusive,
+                        format!("probe {probe}: reading source global '{}': {e}", g.name),
+                    ))
+                }
+            };
+            let r = match vm_re.read_global_f64(&g.name, k) {
+                Ok(v) => v,
+                Err(e) => {
+                    return ProbeOutcome::Diverge(format!(
+                        "re-lowered global '{}' unreadable: {e}",
+                        g.name
+                    ))
+                }
+            };
+            if s.to_bits() != r.to_bits() {
+                return ProbeOutcome::Diverge(format!(
+                    "global {}[{k}]: source {s:?} vs re-lowered {r:?}",
+                    g.name
+                ));
+            }
+        }
+    }
+    ProbeOutcome::Agree
+}
+
+/// Write one deterministic value stream into every f64 global that both
+/// modules declare. Globals only one side knows about are skipped (their
+/// absence is diagnosed elsewhere); the *stream* consumed is identical
+/// either way, so source and re-lowered VMs end up bit-identical.
+fn seed_globals(
+    vm: &mut Vm<'_>,
+    src: &Module,
+    relowered: &Module,
+    rng: &mut ProbeRng,
+) -> Result<(), String> {
+    for g in &src.globals {
+        if g.mem.elem() != Type::F64 {
+            continue;
+        }
+        let shared = relowered.globals.iter().any(|r| r.name == g.name);
+        for k in 0..g.mem.num_elems() {
+            let v = rng.next_f64();
+            if shared {
+                vm.write_global_f64(&g.name, k, v)
+                    .map_err(|e| format!("could not seed global '{}': {e}", g.name))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Bitwise comparison of optional return values. Pointer returns are
+/// compared only for *presence* (absolute addresses are an artifact of
+/// each VM's layout, not of the program).
+fn compare_returns(s: Option<RtVal>, r: Option<RtVal>) -> Option<String> {
+    match (s, r) {
+        (None, None) => None,
+        (Some(RtVal::Int(a)), Some(RtVal::Int(b))) if a == b => None,
+        (Some(RtVal::F64(a)), Some(RtVal::F64(b))) if a.to_bits() == b.to_bits() => None,
+        // Int/float width drift across the C round trip: compare by value
+        // when the integer is exactly representable.
+        (Some(RtVal::Int(a)), Some(RtVal::F64(b))) | (Some(RtVal::F64(b)), Some(RtVal::Int(a)))
+            if a as f64 == b && b.fract() == 0.0 =>
+        {
+            None
+        }
+        (Some(RtVal::Ptr(_)), Some(RtVal::Ptr(_))) => None,
+        (s, r) => Some(format!(
+            "return value differs: source {s:?} vs re-lowered {r:?}"
+        )),
+    }
+}
+
+/// Deterministic per-(seed, function, probe) value stream: xorshift64*
+/// over an FNV-mixed state, mapped into small finite ranges.
+struct ProbeRng {
+    state: u64,
+}
+
+impl ProbeRng {
+    fn new(seed: u64, fname: &str, probe: u32) -> ProbeRng {
+        let mut h = 0xCBF2_9CE4_8422_2325u64 ^ seed;
+        for b in fname.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= (probe as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ProbeRng {
+            state: h | 1, // xorshift state must be non-zero
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Finite f64 in [-2.0, 2.0) with a coarse grid (multiples of
+    /// 1/128), so float arithmetic on both sides hits identical bit
+    /// patterns without accumulating representation noise.
+    fn next_f64(&mut self) -> f64 {
+        let raw = (self.next_u64() % 512) as i64 - 256;
+        raw as f64 / 128.0
+    }
+
+    /// Small signed integer in [-4, 8): plausible loop trip counts and
+    /// branch selectors.
+    fn next_small_int(&mut self) -> i64 {
+        (self.next_u64() % 12) as i64 - 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_core::SplendidOptions;
+    use splendid_parallel::{parallelize_module, ParallelizeOptions};
+    use splendid_transforms::{optimize_module, O2Options};
+
+    fn polly_pipeline(src: &str) -> Module {
+        let prog = parse_program(src).unwrap();
+        let mut m = lower_program(&prog, "v", &LowerOptions::default()).unwrap();
+        optimize_module(&mut m, &O2Options::default());
+        parallelize_module(&mut m, &ParallelizeOptions::default());
+        m
+    }
+
+    const KERNEL: &str = r#"
+#define N 64
+double A[64];
+double B[64];
+void init() {
+  int i;
+  for (i = 0; i < N; i++) { A[i] = i * 0.125; }
+}
+void kernel() {
+  int i;
+  for (i = 1; i < N - 1; i++) { B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0; }
+}
+"#;
+
+    fn decompile_prepared(m: &Module) -> (Module, String) {
+        // The serve layer validates the *prepared* module (outlined
+        // regions inlined back) against the decompiled source; mirror
+        // that here via the one-shot pipeline.
+        let mut timings = splendid_core::StageTimings::default();
+        let opts = SplendidOptions::default();
+        let prepared = splendid_core::prepare_module(m, &opts, &mut timings).unwrap();
+        let functions = prepared
+            .module
+            .func_ids()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|fid| {
+                splendid_core::decompile_function(&prepared, fid, &opts, &mut timings).unwrap()
+            })
+            .collect();
+        let out = splendid_core::assemble_output(&prepared, functions, &mut timings);
+        (prepared.module, out.source)
+    }
+
+    #[test]
+    fn faithful_decompilation_verifies() {
+        let m = polly_pipeline(KERNEL);
+        let (prepared, source) = decompile_prepared(&m);
+        let verdicts = check_module(&prepared, &source, &ValidateConfig::default());
+        assert!(!verdicts.is_empty());
+        for v in &verdicts {
+            assert!(v.verdict.is_verified(), "{}: {:?}", v.name, v.verdict);
+        }
+    }
+
+    #[test]
+    fn corrupted_constant_is_a_mismatch() {
+        let m = polly_pipeline(KERNEL);
+        let (prepared, source) = decompile_prepared(&m);
+        // 3.0 -> 4.0 in the kernel divisor: observably wrong output.
+        let bad = source.replace("/ 3.0", "/ 4.0");
+        assert_ne!(bad, source, "replacement must hit:\n{source}");
+        let verdicts = check_module(&prepared, &bad, &ValidateConfig::default());
+        let kernel = verdicts.iter().find(|v| v.name == "kernel").unwrap();
+        match &kernel.verdict {
+            Verdict::Unverified(r) if r.is_mismatch() => {}
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unparsable_c_is_relower_not_mismatch() {
+        let m = polly_pipeline(KERNEL);
+        let verdicts = check_module(&m, "void kernel() {", &ValidateConfig::default());
+        for v in &verdicts {
+            match &v.verdict {
+                Verdict::Unverified(r) => assert_eq!(r.kind, ReasonKind::Relower),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_function_is_reported_by_name() {
+        let m = polly_pipeline(KERNEL);
+        let (prepared, source) = decompile_prepared(&m);
+        // Keep only init by renaming kernel in the C.
+        let bad = source.replace("void kernel()", "void kernel_gone()");
+        let verdicts = check_module(&prepared, &bad, &ValidateConfig::default());
+        let kernel = verdicts.iter().find(|v| v.name == "kernel").unwrap();
+        match &kernel.verdict {
+            Verdict::Unverified(r) => assert_eq!(r.kind, ReasonKind::MissingFunction),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pointer_parameters_are_honest_incompleteness() {
+        let src = r#"
+void scale(double* A) {
+  int i;
+  for (i = 0; i < 8; i++) { A[i] = A[i] * 2.0; }
+}
+"#;
+        let m = polly_pipeline(src);
+        let (prepared, source) = decompile_prepared(&m);
+        let verdicts = check_module(&prepared, &source, &ValidateConfig::default());
+        let v = verdicts.iter().find(|v| v.name == "scale").unwrap();
+        match &v.verdict {
+            Verdict::Unverified(r) => {
+                assert_eq!(r.kind, ReasonKind::UnsupportedSignature);
+                assert!(!r.is_mismatch(), "incompleteness must not claim wrongness");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let m = polly_pipeline(KERNEL);
+        let (prepared, source) = decompile_prepared(&m);
+        let cfg = ValidateConfig::default();
+        let a = check_module(&prepared, &source, &cfg);
+        let b = check_module(&prepared, &source, &cfg);
+        let fmt = |vs: &[FunctionVerdict]| {
+            vs.iter()
+                .map(|v| format!("{}={:?}", v.name, v.verdict))
+                .collect::<Vec<_>>()
+                .join(";")
+        };
+        assert_eq!(fmt(&a), fmt(&b));
+    }
+
+    #[test]
+    fn polybench_suite_mostly_verifies() {
+        // The serve-layer bench gates >= 90%; keep a fast in-crate
+        // smoke over a few kernels so regressions fail close to home.
+        let suite = splendid_polybench::Harness::polly_suite().unwrap();
+        let mut verified = 0usize;
+        let mut total = 0usize;
+        for (name, module) in suite.iter().take(4) {
+            let (prepared, source) = decompile_prepared(module);
+            for v in check_module(&prepared, &source, &ValidateConfig::default()) {
+                total += 1;
+                if v.verdict.is_verified() {
+                    verified += 1;
+                } else {
+                    eprintln!("{name}/{}: {:?}", v.name, v.verdict);
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            verified * 10 >= total * 9,
+            "{verified}/{total} verified (need >= 90%)"
+        );
+    }
+}

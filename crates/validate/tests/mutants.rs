@@ -1,0 +1,189 @@
+//! Mutation-kill suite: the validator must reject every detectable
+//! corruption of decompiled output.
+//!
+//! For each mutation site the suite corrupts the decompiled C *before*
+//! re-lowering (operator flips, dropped statements, off-by-one loop
+//! bounds, swapped branch arms) and asserts the validator does not
+//! report `Verified` for the mutant.
+//!
+//! Equivalent mutants — mutations no bounded probe can distinguish from
+//! the original (e.g. flipping an operator in dead code, or `<` → `<=`
+//! on a bound the trip count never reaches) — are filtered out first by
+//! probing the *original* C against the *mutant* C with the same
+//! harness. This is the standard mutation-testing practice; it is not
+//! circular, because the kill check compares the mutant against the
+//! **source IR**, not against the original C.
+//!
+//! A surviving mutant panics with a replayable one-liner:
+//! `SEED=0x... MUTANT=N`. Replay a single mutant with
+//! `MUTANT=N cargo test -p splendid-validate --test mutants`.
+
+use splendid_cfront::{parse_program, print_program};
+use splendid_core::{
+    assemble_output, decompile_function, prepare_module, SplendidOptions, StageTimings,
+};
+use splendid_ir::Module;
+use splendid_parallel::{parallelize_module, ParallelizeOptions};
+use splendid_transforms::{optimize_module, O2Options};
+use splendid_validate::mutate::{apply_mutation, mutation_sites};
+use splendid_validate::{check_function, check_module, relower, ValidateConfig};
+
+/// Fixed campaign seed; override per-mutant replay via `MUTANT=N`.
+const SEED: u64 = 0x5350_4C44_4D55_5400; // "SPLDMUT\0"
+
+const KERNEL: &str = r#"
+#define N 48
+double A[48];
+double B[48];
+double C[48];
+void init() {
+  int i;
+  for (i = 0; i < N; i++) {
+    A[i] = i * 0.25;
+    B[i] = (N - i) * 0.125;
+  }
+}
+void kernel(int steps) {
+  int t;
+  int i;
+  for (t = 0; t < steps; t++) {
+    for (i = 1; i < N - 1; i++) {
+      C[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+    }
+    for (i = 1; i < N - 1; i++) {
+      if (C[i] > 2.0) {
+        A[i] = C[i] - B[i];
+      } else {
+        A[i] = C[i] + B[i];
+      }
+    }
+  }
+}
+"#;
+
+fn polly_pipeline(src: &str) -> Module {
+    let prog = parse_program(src).expect("kernel parses");
+    let mut m =
+        splendid_cfront::lower_program(&prog, "mut", &Default::default()).expect("kernel lowers");
+    optimize_module(&mut m, &O2Options::default());
+    parallelize_module(&mut m, &ParallelizeOptions::default());
+    m
+}
+
+/// Decompile via the same prepared-module path the serve layer uses,
+/// returning the module the validator checks against plus the source.
+fn decompile_prepared(m: &Module) -> (Module, String) {
+    let mut timings = StageTimings::default();
+    let opts = SplendidOptions::default();
+    let prepared = prepare_module(m, &opts, &mut timings).expect("prepare");
+    let functions = prepared
+        .module
+        .func_ids()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|fid| decompile_function(&prepared, fid, &opts, &mut timings).expect("decompile"))
+        .collect();
+    let out = assemble_output(&prepared, functions, &mut timings);
+    (prepared.module, out.source)
+}
+
+#[test]
+fn validator_kills_every_detectable_mutant() {
+    let module = polly_pipeline(KERNEL);
+    let (src_module, source) = decompile_prepared(&module);
+    let prog = parse_program(&source).expect("decompiled output re-parses");
+    let total = mutation_sites(&prog);
+    assert!(
+        total >= 20,
+        "kernel too simple: only {total} mutation sites"
+    );
+
+    // `MUTANT=N` replays a single site; otherwise sweep them all.
+    let replay: Option<usize> = std::env::var("MUTANT").ok().and_then(|v| v.parse().ok());
+    let sites: Vec<usize> = match replay {
+        Some(n) => vec![n],
+        None => (0..total).collect(),
+    };
+
+    let cfg = ValidateConfig {
+        seed: SEED,
+        ..ValidateConfig::default()
+    };
+    let original = relower(&source).expect("original decompiled output re-lowers");
+
+    let mut killed = 0usize;
+    let mut equivalent = 0usize;
+    let mut survivors: Vec<String> = Vec::new();
+    for &site in &sites {
+        let Some((mutant_prog, desc)) = apply_mutation(&prog, site) else {
+            panic!("MUTANT={site} out of range (total {total})");
+        };
+        let mutant_source = print_program(&mutant_prog);
+
+        // Equivalent-mutant filter: probe original C vs mutant C with
+        // the same harness. If no probe distinguishes them, the
+        // validator cannot be expected to either.
+        if let Ok(mutant_module) = relower(&mutant_source) {
+            let distinguishable = original.functions.iter().any(|f| {
+                !f.is_outlined
+                    && !check_function(&original, &mutant_module, &f.name, &cfg).is_verified()
+            });
+            if !distinguishable {
+                equivalent += 1;
+                continue;
+            }
+        }
+        // else: the mutant does not even re-lower — the validator must
+        // reject it via its Relower reason, which the kill check covers.
+
+        let verdicts = check_module(&src_module, &mutant_source, &cfg);
+        let kill = verdicts.iter().any(|v| !v.verdict.is_verified());
+        if kill {
+            killed += 1;
+        } else {
+            survivors.push(format!("SEED={SEED:#x} MUTANT={site}  ({desc})"));
+        }
+    }
+
+    eprintln!(
+        "mutants: {total} sites, {killed} killed, {equivalent} equivalent, {} survived",
+        survivors.len()
+    );
+    if !survivors.is_empty() {
+        for s in &survivors {
+            eprintln!(
+                "SURVIVOR {s}  (replay: MUTANT=<N> cargo test -p splendid-validate --test mutants)"
+            );
+        }
+        panic!("{} mutant(s) survived validation", survivors.len());
+    }
+    if replay.is_none() {
+        assert!(killed > 0, "no mutant was even attempted");
+    }
+}
+
+#[test]
+fn mutant_kill_is_deterministic() {
+    // The same mutant must produce the same verdict on every run — the
+    // CI job diffs two full runs, this is the single-mutant local check.
+    let module = polly_pipeline(KERNEL);
+    let (src_module, source) = decompile_prepared(&module);
+    let prog = parse_program(&source).expect("reparse");
+    let cfg = ValidateConfig {
+        seed: SEED,
+        ..ValidateConfig::default()
+    };
+    let (mutant, _) = apply_mutation(&prog, 0).expect("site 0 exists");
+    let mutant_source = print_program(&mutant);
+    let fmt = |m: &Module, s: &str| {
+        check_module(m, s, &cfg)
+            .iter()
+            .map(|v| format!("{}={:?}", v.name, v.verdict))
+            .collect::<Vec<_>>()
+            .join(";")
+    };
+    assert_eq!(
+        fmt(&src_module, &mutant_source),
+        fmt(&src_module, &mutant_source)
+    );
+}

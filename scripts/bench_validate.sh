@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark the translation validator and record the results at the
+# repo root:
+#
+#   BENCH_validate.json — bounded equivalence checking over the 16
+#                         PolyBench kernels: an unvalidated baseline,
+#                         a cold validated pass (every certificate
+#                         proven by probe execution), and a warm-restart
+#                         validated pass (a fresh scheduler over the
+#                         persisted store replaying disk certificates).
+#                         Gated on >= 90% of functions proven Verified
+#                         and on the warm restart actually replaying
+#                         certificates instead of re-proving.
+#
+# Usage: scripts/bench_validate.sh [--jobs N] [--rounds R] [--min-verified X]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p splendid
+
+./target/release/splendid bench-validate --json "$@" > BENCH_validate.json
+
+echo "wrote $(pwd)/BENCH_validate.json:"
+cat BENCH_validate.json
+
+grep -q '"verified_fraction":' BENCH_validate.json \
+    || { echo "BENCH_validate.json is missing the verified fraction" >&2; exit 1; }

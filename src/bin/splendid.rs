@@ -10,8 +10,11 @@
 //!                  [--stats] [--malformed <dir>]
 //! splendid bench-daemon [--connections N] [--rounds M] [--functions F]
 //!                       [--addr A] [--json] [--min-speedup X]
-//! splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--stats]
+//! splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>]
+//!                   [--validate] [--stats]
 //! splendid difftest --faults N [--fault-cases M] [--seed S]
+//! splendid validate <file.{ir,c}> [--variant V] [--stats] [--addr A] [--unix PATH]
+//! splendid bench-validate [--jobs N] [--rounds R] [--json] [--min-verified X]
 //! splendid dump-polybench <dir>
 //! ```
 //!
@@ -45,8 +48,10 @@ fn usage() -> ! {
          splendid daemon [--addr A] [--unix PATH] [--jobs N] [--max-connections N] [--idle-timeout SECS] [--deadline SECS] [--cache-dir DIR] [--cache-budget-mb N] [--peer ADDR]\n  \
          splendid connect [--addr A] [--unix PATH] [file.{{ir,c}}] [--variant V] [--stats] [--malformed <dir>]\n  \
          splendid bench-daemon [--connections N] [--rounds M] [--functions F] [--addr A] [--json] [--min-speedup X]\n  \
-         splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--stats]\n  \
+         splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--validate] [--stats]\n  \
          splendid difftest --faults N [--fault-cases M] [--seed S]\n  \
+         splendid validate <file.{{ir,c}}> [--variant V] [--stats] [--addr A] [--unix PATH]\n  \
+         splendid bench-validate [--jobs N] [--rounds R] [--json] [--min-verified X]\n  \
          splendid cache <stat|verify|compact> --cache-dir DIR [--cache-budget-mb N]\n  \
          splendid bench-cache [--jobs N] [--rounds R] [--json] [--min-speedup X]\n  \
          splendid dump-polybench <dir>"
@@ -86,6 +91,8 @@ struct Args {
     cache_dir: Option<String>,
     cache_budget_mb: u64,
     peer: Option<String>,
+    validate: bool,
+    min_verified: f64,
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -117,6 +124,8 @@ fn parse_args(args: &[String]) -> Args {
         cache_dir: None,
         cache_budget_mb: 0,
         peer: None,
+        validate: false,
+        min_verified: 0.9,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -210,6 +219,12 @@ fn parse_args(args: &[String]) -> Args {
                 out.min_speedup = value("--min-speedup")
                     .parse()
                     .unwrap_or_else(|_| fail("--min-speedup: not a number"))
+            }
+            "--validate" => out.validate = true,
+            "--min-verified" => {
+                out.min_verified = value("--min-verified")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--min-verified: not a number in [0, 1]"))
             }
             flag if flag.starts_with('-') => fail(&format!("unknown flag {flag}")),
             _ => out.positional.push(a.clone()),
@@ -577,6 +592,7 @@ fn cmd_difftest(args: Args) {
         shrink: args.shrink,
         only_case: args.only_case,
         min_work: 0,
+        validate: args.validate,
     };
     let start = Instant::now();
     let report = run_difftest(&oracle, &cfg);
@@ -587,7 +603,237 @@ fn cmd_difftest(args: Args) {
         eprintln!("# wall: {:?}", start.elapsed());
         eprint!("{}", scheduler.stats());
     }
+    if !report.validator_sound() {
+        eprintln!("difftest: validator certified a decompilation the oracle refuted");
+        std::process::exit(1);
+    }
     if !report.all_passed() {
+        std::process::exit(1);
+    }
+}
+
+/// `splendid validate` — one validated decompilation, local or against a
+/// daemon. Local runs submit through a scheduler with the equivalence
+/// checker enabled; remote runs use the stateless VALIDATE frame. Either
+/// way the printed source carries the per-function `/* splendid:
+/// verified */` / `/* splendid: UNVERIFIED: ... */` annotations.
+fn cmd_validate(args: Args) {
+    let [path] = args.positional.as_slice() else {
+        usage()
+    };
+    let path = Path::new(path);
+
+    // Remote: hand the module to a daemon over the VALIDATE frame.
+    if args.addr.is_some() || args.unix.is_some() {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+        let ir_text = match path.extension().and_then(|e| e.to_str()) {
+            Some("c") => module_str(&compile_c(&text, &name)),
+            _ => text,
+        };
+        let mut client = connect_client(&args);
+        match client.validate(&name, variant_wire_byte(args.variant), &ir_text) {
+            Ok(splendid_daemon::Response::Validated {
+                functions,
+                verified,
+                unverified,
+                wall_micros,
+                source,
+            }) => {
+                print!("{source}");
+                eprintln!(
+                    "# validate: {functions} function(s), {verified} verified, \
+                     {unverified} unverified, {wall_micros}us server-side"
+                );
+                if unverified > 0 {
+                    std::process::exit(1);
+                }
+            }
+            Ok(_) => fail("validate: unexpected response kind"),
+            Err(e) => fail(&format!("validate: {e}")),
+        }
+        return;
+    }
+
+    // Local: scheduler with the checker switched on.
+    let mut request = load_request(path, args.variant);
+    request.options.validate = true;
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: args.jobs,
+        ..Default::default()
+    });
+    match scheduler.submit(request).wait() {
+        Ok(result) => {
+            print!("{}", result.output.source);
+            eprintln!(
+                "# validate: {} function(s), {} verified, {} unverified in {:?}",
+                result.functions,
+                result.verified_functions,
+                result.unverified_functions,
+                result.wall
+            );
+            if args.stats {
+                eprint!("{}", scheduler.stats());
+            }
+            if result.unverified_functions > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+/// `splendid bench-validate` — the cost and coverage of translation
+/// validation over the PolyBench suite: an unvalidated baseline, a cold
+/// validated pass (every certificate proven from scratch), and a
+/// warm-restart validated pass (a fresh scheduler over the persisted
+/// store, so verdicts replay from disk certificates instead of probe
+/// runs). Gated on the fraction of functions proven `Verified`.
+fn cmd_bench_validate(args: Args) {
+    let workers = if args.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        args.jobs
+    };
+    let rounds = args.rounds.max(1);
+    let min_verified = args.min_verified;
+
+    let suite = Harness::polly_suite().unwrap_or_else(|e| fail(&e.to_string()));
+    let plain: Vec<JobRequest> = suite
+        .iter()
+        .map(|(name, m)| JobRequest::from_module(name.clone(), m.clone()))
+        .collect();
+    let validated: Vec<JobRequest> = suite
+        .iter()
+        .map(|(name, m)| JobRequest {
+            name: name.clone(),
+            input: JobInput::Module(m.clone()),
+            options: SplendidOptions {
+                validate: true,
+                ..SplendidOptions::default()
+            },
+        })
+        .collect();
+    let modules = plain.len();
+
+    let base = std::env::temp_dir().join(format!("splendid-bench-validate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let store = base.join("store");
+
+    // Unvalidated baseline: same modules, checker off, no persistence.
+    let mut baseline = f64::MAX;
+    for _ in 0..rounds {
+        let s = Scheduler::new(ServeConfig {
+            workers,
+            ..Default::default()
+        });
+        baseline = baseline.min(run_pass(&s, &plain).0);
+    }
+
+    // Validated cold and warm-restart passes over a persistent store.
+    let mut cold = f64::MAX;
+    let mut warm = f64::MAX;
+    let mut functions = 0u64;
+    let mut verified = 0u64;
+    let mut unverified = 0u64;
+    let mut cold_checks = 0u64;
+    let mut warm_certs = 0u64;
+    for _ in 0..rounds {
+        let _ = std::fs::remove_dir_all(&store);
+        let s = tiered_scheduler(&store, workers, None);
+        let start = Instant::now();
+        let results = s.decompile_batch(validated.clone());
+        let pass = start.elapsed().as_secs_f64();
+        if pass < cold {
+            cold = pass;
+            functions = 0;
+            verified = 0;
+            unverified = 0;
+            for r in &results {
+                match r {
+                    Ok(res) => {
+                        functions += res.functions as u64;
+                        verified += res.verified_functions as u64;
+                        unverified += res.unverified_functions as u64;
+                    }
+                    Err(e) => fail(&format!("bench-validate job failed: {e}")),
+                }
+            }
+            cold_checks = s.stats().validations_run;
+        }
+        s.flush_cache();
+        drop(s);
+
+        // Warm restart: fresh scheduler, same store — certificates must
+        // answer from disk without re-running probes.
+        let s = tiered_scheduler(&store, workers, None);
+        let pass = run_pass(&s, &validated).0;
+        if pass < warm {
+            warm = pass;
+            warm_certs = s.stats().certs_from_cache;
+        }
+        drop(s);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    let verified_fraction = if functions == 0 {
+        0.0
+    } else {
+        verified as f64 / functions as f64
+    };
+    let overhead = cold / baseline.max(1e-9);
+    let warm_speedup = cold / warm.max(1e-9);
+    if args.json {
+        // Hand-rolled JSON: the offline build has no serde.
+        println!("{{");
+        println!("  \"benchmark\": \"bench-validate\",");
+        println!("  \"modules\": {modules},");
+        println!("  \"workers\": {workers},");
+        println!("  \"rounds\": {rounds},");
+        println!("  \"functions\": {functions},");
+        println!("  \"verified\": {verified},");
+        println!("  \"unverified\": {unverified},");
+        println!("  \"verified_fraction\": {verified_fraction:.4},");
+        println!("  \"baseline_seconds\": {baseline:.6},");
+        println!("  \"validate_cold_seconds\": {cold:.6},");
+        println!("  \"validate_warm_seconds\": {warm:.6},");
+        println!("  \"validate_overhead\": {overhead:.3},");
+        println!("  \"cold_checks_run\": {cold_checks},");
+        println!("  \"warm_certs_from_cache\": {warm_certs},");
+        println!("  \"warm_speedup\": {warm_speedup:.3}");
+        println!("}}");
+    } else {
+        println!(
+            "bench-validate: {modules} polybench modules, best of {rounds} round(s), {workers} worker(s)"
+        );
+        println!(
+            "  verdicts              {verified} verified / {unverified} unverified of {functions} \
+             ({:.1}% verified)",
+            100.0 * verified_fraction
+        );
+        println!("  baseline (no checks)  {baseline:.3}s");
+        println!(
+            "  validate cold         {cold:.3}s  ({overhead:.2}x baseline, {cold_checks} checks run)"
+        );
+        println!(
+            "  validate warm restart {warm:.3}s  ({warm_speedup:.2}x vs cold, {warm_certs} certs from disk)"
+        );
+    }
+
+    if verified_fraction < min_verified {
+        eprintln!(
+            "bench-validate: verified fraction {:.1}% is below the required {:.1}%",
+            100.0 * verified_fraction,
+            100.0 * min_verified
+        );
+        std::process::exit(1);
+    }
+    if warm_certs == 0 {
+        eprintln!("bench-validate: warm restart replayed no certificates from disk");
         std::process::exit(1);
     }
 }
@@ -1112,6 +1358,8 @@ fn main() {
         "connect" => cmd_connect(args),
         "bench-daemon" => cmd_bench_daemon(args),
         "difftest" => cmd_difftest(args),
+        "validate" => cmd_validate(args),
+        "bench-validate" => cmd_bench_validate(args),
         "cache" => cmd_cache(args),
         "bench-cache" => cmd_bench_cache(args),
         "dump-polybench" => cmd_dump_polybench(args),
