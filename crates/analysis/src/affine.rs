@@ -183,6 +183,7 @@ impl<'a> AffineBuilder<'a> {
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::Type;
 
     #[test]
@@ -218,7 +219,13 @@ mod tests {
     #[test]
     fn builds_from_ssa() {
         // v = ((i * 4) + (j << 1)) - 7, with i and j symbols.
-        let mut b = FuncBuilder::new("f", &[("i", Type::I64), ("j", Type::I64)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(
+            &mut m,
+            "f",
+            &[("i", Type::I64), ("j", Type::I64)],
+            Type::Void,
+        );
         let i = b.arg(0);
         let j = b.arg(1);
         let t0 = b.bin(BinOp::Mul, Type::I64, i, Value::i64(4), "");
@@ -226,7 +233,7 @@ mod tests {
         let t2 = b.bin(BinOp::Add, Type::I64, t0, t1, "");
         let t3 = b.bin(BinOp::Sub, Type::I64, t2, Value::i64(7), "");
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         let builder = AffineBuilder::new(&f, |v| matches!(v, Value::Arg(_)));
         let e = builder.build(t3).expect("affine");
         assert_eq!(e.coeff(i), 4);
@@ -236,12 +243,13 @@ mod tests {
 
     #[test]
     fn cast_is_transparent() {
-        let mut b = FuncBuilder::new("f", &[("i", Type::I32)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("i", Type::I32)], Type::Void);
         let i = b.arg(0);
         let w = b.cast(CastOp::Sext, i, Type::I64, "");
         let t = b.bin(BinOp::Mul, Type::I64, w, Value::i64(8), "");
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         let builder = AffineBuilder::new(&f, |v| matches!(v, Value::Arg(_)));
         let e = builder.build(t).expect("affine");
         assert_eq!(e.coeff(i), 8);
@@ -250,20 +258,27 @@ mod tests {
     #[test]
     fn non_affine_rejected() {
         // i * j is not affine.
-        let mut b = FuncBuilder::new("f", &[("i", Type::I64), ("j", Type::I64)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(
+            &mut m,
+            "f",
+            &[("i", Type::I64), ("j", Type::I64)],
+            Type::Void,
+        );
         let t = b.bin(BinOp::Mul, Type::I64, b.arg(0), b.arg(1), "");
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         let builder = AffineBuilder::new(&f, |v| matches!(v, Value::Arg(_)));
         assert!(builder.build(t).is_none());
     }
 
     #[test]
     fn division_rejected() {
-        let mut b = FuncBuilder::new("f", &[("i", Type::I64)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("i", Type::I64)], Type::Void);
         let t = b.bin(BinOp::SDiv, Type::I64, b.arg(0), Value::i64(2), "");
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         let builder = AffineBuilder::new(&f, |v| matches!(v, Value::Arg(_)));
         assert!(builder.build(t).is_none());
     }

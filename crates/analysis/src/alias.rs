@@ -96,11 +96,18 @@ pub fn checkable_at_runtime(a: MemRoot, b: MemRoot) -> bool {
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::{GlobalId, MemType, Type};
 
     #[test]
     fn roots_resolve_through_geps() {
-        let mut b = FuncBuilder::new("f", &[("A", Type::Ptr), ("B", Type::Ptr)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(
+            &mut m,
+            "f",
+            &[("A", Type::Ptr), ("B", Type::Ptr)],
+            Type::Void,
+        );
         let a0 = b.alloca(MemType::array1(Type::F64, 4), "buf");
         let g = Value::Global(GlobalId(3));
         let p1 = b.gep(MemType::Scalar(Type::F64), g, vec![Value::i64(2)], "");
@@ -113,7 +120,7 @@ mod tests {
         );
         let p4 = b.gep(MemType::Scalar(Type::F64), a0, vec![Value::i64(0)], "");
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         assert_eq!(mem_root(&f, p2), MemRoot::Global(GlobalId(3)));
         assert_eq!(mem_root(&f, p3), MemRoot::Arg(0));
         assert!(matches!(mem_root(&f, p4), MemRoot::Alloca(_)));
@@ -122,10 +129,11 @@ mod tests {
 
     #[test]
     fn unknown_root_for_loaded_pointer() {
-        let mut b = FuncBuilder::new("f", &[("pp", Type::Ptr)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("pp", Type::Ptr)], Type::Void);
         let p = b.load(Type::Ptr, b.arg(0), "");
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         assert_eq!(mem_root(&f, p), MemRoot::Unknown);
     }
 

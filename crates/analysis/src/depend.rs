@@ -9,7 +9,7 @@ use crate::affine::{Affine, AffineBuilder};
 use crate::alias::{alias, checkable_at_runtime, mem_root, AliasResult, MemRoot};
 use crate::indvar::CountedLoop;
 use crate::loops::{LoopId, LoopInfo};
-use splendid_ir::{Callee, Function, InstId, InstKind, Value};
+use splendid_ir::{Callee, Function, InstId, InstKind, SymbolTable, Value};
 
 /// A memory access inside a loop, with its address in affine form (bytes
 /// from the root object).
@@ -167,6 +167,7 @@ fn cross_iteration_dep(a: &LoopAccess, b: &LoopAccess, iv: Value, trip: Option<i
 /// beyond the trip count cannot be realized).
 pub fn classify_doall(
     f: &Function,
+    symbols: &SymbolTable,
     li: &LoopInfo,
     lid: LoopId,
     cl: &CountedLoop,
@@ -179,9 +180,12 @@ pub fn classify_doall(
         for &i in &f.block(bb).insts {
             if let InstKind::Call { callee, .. } = &f.inst(i).kind {
                 match callee {
-                    Callee::External(name) if is_pure_external(name) => {}
+                    Callee::External(name) if is_pure_external(symbols.resolve(*name)) => {}
                     Callee::External(name) => {
-                        return DoallResult::NotDoall(format!("impure call to {name}"))
+                        return DoallResult::NotDoall(format!(
+                            "impure call to {}",
+                            symbols.resolve(*name)
+                        ))
                     }
                     Callee::Func(_) => {
                         return DoallResult::NotDoall("call to internal function".into())
@@ -265,7 +269,8 @@ mod tests {
         params: &[(&str, Type)],
         body: impl FnOnce(&mut FuncBuilder, Value),
     ) -> DoallResult {
-        let mut b = FuncBuilder::new("f", params, Type::Void);
+        let mut m = splendid_ir::Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", params, Type::Void);
         let header = b.new_block("header");
         let bodyb = b.new_block("body");
         let exit = b.new_block("exit");
@@ -287,7 +292,7 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         let dt = DomTree::compute(&f);
         let li = LoopInfo::compute(&f, &dt);
         let lid = li.top_level()[0];
@@ -307,7 +312,7 @@ mod tests {
                 _ => true,
             }
         };
-        classify_doall(&f, &li, lid, &cl, &is_symbol)
+        classify_doall(&f, &m.symbols, &li, lid, &cl, &is_symbol)
     }
 
     const ARR: GlobalId = GlobalId(0);
@@ -382,7 +387,8 @@ mod tests {
     #[test]
     fn accumulator_not_doall() {
         // sum += A[i] via a scalar phi — recognized as a recurrence.
-        let mut b = FuncBuilder::new("f", &[], Type::F64);
+        let mut m = splendid_ir::Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::F64);
         let header = b.new_block("header");
         let bodyb = b.new_block("body");
         let exit = b.new_block("exit");
@@ -408,12 +414,14 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(Some(acc));
-        let f = b.finish();
+        let f = b.into_func();
         let dt = DomTree::compute(&f);
         let li = LoopInfo::compute(&f, &dt);
         let lid = li.top_level()[0];
         let cl = recognize_counted_loop(&f, &li, lid).expect("counted");
-        let r = classify_doall(&f, &li, lid, &cl, &|v| !matches!(v, Value::Inst(_)));
+        let r = classify_doall(&f, &m.symbols, &li, lid, &cl, &|v| {
+            !matches!(v, Value::Inst(_))
+        });
         assert!(
             matches!(r, DoallResult::NotDoall(ref m) if m.contains("recurrence")),
             "{r:?}"
@@ -451,7 +459,8 @@ mod tests {
         let r = classify(&[], |b, iv| {
             let p = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), iv], "");
             let x = b.load(Type::F64, p, "");
-            let e = b.call(Callee::External("exp".into()), vec![x], Type::F64, "");
+            let exp = b.ext("exp");
+            let e = b.call(exp, vec![x], Type::F64, "");
             b.store(e, p);
         });
         assert_eq!(r, DoallResult::Doall);
@@ -459,7 +468,8 @@ mod tests {
         let r = classify(&[], |b, iv| {
             let p = b.gep(arr_ty(), Value::Global(ARR), vec![Value::i64(0), iv], "");
             let x = b.load(Type::F64, p, "");
-            let e = b.call(Callee::External("rand".into()), vec![x], Type::F64, "");
+            let rand = b.ext("rand");
+            let e = b.call(rand, vec![x], Type::F64, "");
             b.store(e, p);
         });
         assert!(

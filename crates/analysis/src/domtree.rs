@@ -167,12 +167,14 @@ pub fn dominates_naive(f: &Function, a: BlockId, b: BlockId) -> bool {
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::{Type, Value};
 
     /// Build a CFG from an adjacency list; block 0 is the entry. Blocks with
     /// no successors get `ret void`; one successor `br`; two `condbr`.
     fn cfg(adj: &[&[u32]]) -> Function {
-        let mut b = FuncBuilder::new("t", &[("c", Type::I1)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "t", &[("c", Type::I1)], Type::Void);
         let blocks: Vec<BlockId> = (0..adj.len())
             .map(|i| {
                 if i == 0 {
@@ -194,7 +196,7 @@ mod tests {
                 _ => panic!("at most 2 successors"),
             }
         }
-        b.finish()
+        b.into_func()
     }
 
     #[test]
@@ -390,12 +392,14 @@ pub fn ipostdoms(f: &Function) -> Vec<Option<BlockId>> {
 mod postdom_tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::Type;
 
     #[test]
     fn diamond_join_is_postdominator() {
         // 0 -> 1,2 ; 1 -> 3 ; 2 -> 3 ; 3 ret
-        let mut b = FuncBuilder::new("t", &[("c", Type::I1)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "t", &[("c", Type::I1)], Type::Void);
         let t = b.new_block("t");
         let e = b.new_block("e");
         let j = b.new_block("j");
@@ -406,7 +410,7 @@ mod postdom_tests {
         b.br(j);
         b.switch_to(j);
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         let pd = ipostdoms(&f);
         assert_eq!(pd[0], Some(j));
         assert_eq!(pd[t.index()], Some(j));
@@ -416,12 +420,13 @@ mod postdom_tests {
 
     #[test]
     fn straight_line_chain() {
-        let mut b = FuncBuilder::new("t", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "t", &[], Type::Void);
         let n1 = b.new_block("n1");
         b.br(n1);
         b.switch_to(n1);
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         let pd = ipostdoms(&f);
         assert_eq!(pd[0], Some(n1));
         assert_eq!(pd[n1.index()], None);

@@ -241,11 +241,13 @@ mod tests {
     use super::*;
     use crate::domtree::DomTree;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::Type;
 
     /// for (i = init; i < n; i += step) ;  (top-tested)
     fn top_tested(init: i64, step: i64) -> Function {
-        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("n", Type::I64)], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let exit = b.new_block("exit");
@@ -265,12 +267,13 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        b.finish()
+        b.into_func()
     }
 
     /// do { i += 1; } while (i.next <= n);  (rotated, single block)
     fn bottom_tested(init: i64, bound: i64) -> Function {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let body = b.new_block("body");
         let exit = b.new_block("exit");
         let entry = b.current_block();
@@ -287,7 +290,7 @@ mod tests {
         b.cond_br(c, body, exit);
         b.switch_to(exit);
         b.ret(None);
-        b.finish()
+        b.into_func()
     }
 
     fn analyze(f: &Function) -> Option<CountedLoop> {
@@ -365,7 +368,8 @@ mod tests {
     #[test]
     fn rejects_variant_bound() {
         // Make the bound a value computed inside the loop.
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let body = b.new_block("body");
         let exit = b.new_block("exit");
         let entry = b.current_block();
@@ -383,14 +387,15 @@ mod tests {
         b.cond_br(c, body, exit);
         b.switch_to(exit);
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         assert!(analyze(&f).is_none());
     }
 
     #[test]
     fn down_counting_loop() {
         // do { i -= 1; } while (i > 0)
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let body = b.new_block("body");
         let exit = b.new_block("exit");
         let entry = b.current_block();
@@ -407,7 +412,7 @@ mod tests {
         b.cond_br(c, body, exit);
         b.switch_to(exit);
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         let cl = analyze(&f).expect("counted");
         assert_eq!(cl.step, -1);
         // i starts 10; body runs for next = 9..1 plus the first: 10 times.
@@ -417,7 +422,8 @@ mod tests {
     #[test]
     fn swapped_comparison_normalized() {
         // while (n > i) — bound on the LHS.
-        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("n", Type::I64)], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let exit = b.new_block("exit");
@@ -437,7 +443,7 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         let cl = analyze(&f).expect("counted");
         assert_eq!(cl.pred, IPred::Slt); // normalized to iv < n
         assert_eq!(cl.bound, Value::Arg(0));

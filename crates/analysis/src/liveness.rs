@@ -101,15 +101,17 @@ impl Liveness {
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::{BinOp, IPred, Type};
 
     #[test]
     fn straight_line() {
-        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("x", Type::I64)], Type::I64);
         let a = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "a");
         let c = b.bin(BinOp::Mul, Type::I64, a, a, "c");
         b.ret(Some(c));
-        let f = b.finish();
+        let f = b.into_func();
         let lv = Liveness::compute(&f);
         // Nothing is live across the single block boundary.
         assert!(lv.live_in[0].is_empty());
@@ -119,7 +121,8 @@ mod tests {
 
     #[test]
     fn value_live_across_blocks() {
-        let mut b = FuncBuilder::new("f", &[("p", Type::I1)], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("p", Type::I1)], Type::I64);
         let then_b = b.new_block("then");
         let else_b = b.new_block("else");
         let a = b.bin(BinOp::Add, Type::I64, Value::i64(1), Value::i64(2), "a");
@@ -128,7 +131,7 @@ mod tests {
         b.ret(Some(a));
         b.switch_to(else_b);
         b.ret(Some(Value::i64(0)));
-        let f = b.finish();
+        let f = b.into_func();
         let lv = Liveness::compute(&f);
         let a_id = a.as_inst().unwrap();
         assert!(lv.is_live_out(f.entry, a_id));
@@ -138,7 +141,8 @@ mod tests {
 
     #[test]
     fn loop_iv_live_around_back_edge() {
-        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("n", Type::I64)], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let exit = b.new_block("exit");
@@ -158,7 +162,7 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        let f = b.finish();
+        let f = b.into_func();
         let lv = Liveness::compute(&f);
         let next_id = next.as_inst().unwrap();
         // `next` is used by the header phi, i.e. live out of the body.

@@ -216,10 +216,12 @@ impl LoopInfo {
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::Type;
 
     fn cfg(adj: &[&[u32]]) -> Function {
-        let mut b = FuncBuilder::new("t", &[("c", Type::I1)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "t", &[("c", Type::I1)], Type::Void);
         let blocks: Vec<BlockId> = (0..adj.len())
             .map(|i| {
                 if i == 0 {
@@ -241,7 +243,7 @@ mod tests {
                 _ => panic!(),
             }
         }
-        b.finish()
+        b.into_func()
     }
 
     #[test]

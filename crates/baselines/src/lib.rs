@@ -75,7 +75,9 @@ fn synthetic_naming(f: &splendid_ir::Function, ghidra_style: bool) -> Naming {
 fn emit(module: &Module, opts: &StructureOptions, ghidra_style: bool) -> BaselineOutput {
     let mut program = CProgram::default();
     for g in &module.globals {
-        program.globals.push((g.name.clone(), ctype_of_mem(&g.mem)));
+        program
+            .globals
+            .push((module.name_of(g.name).to_string(), ctype_of_mem(&g.mem)));
     }
     for fid in module.func_ids() {
         let f = module.func(fid);

@@ -503,7 +503,12 @@ void kernel() {
             .unwrap();
     let kid = m.func_by_name("kernel").unwrap();
     splendid_transforms::mem2reg::promote_allocas(m.func_mut(kid));
-    unroll::unroll_innermost(m.func_mut(kid), 4).unwrap();
+    {
+        let splendid_ir::Module {
+            symbols, functions, ..
+        } = &mut m;
+        unroll::unroll_innermost(&mut functions[kid.index()], symbols, 4).unwrap();
+    }
     splendid_transforms::optimize_module(&mut m, &splendid_transforms::O2Options::default());
     let unrolled = decompile(&m, &SplendidOptions::default()).unwrap();
 
@@ -532,7 +537,12 @@ void kernel() {
     };
     splendid_transforms::optimize_module(&mut md, &opts);
     let kid = md.func_by_name("kernel").unwrap();
-    distribute::distribute_outermost(md.func_mut(kid)).unwrap();
+    {
+        let splendid_ir::Module {
+            symbols, functions, ..
+        } = &mut md;
+        distribute::distribute_outermost(&mut functions[kid.index()], symbols).unwrap();
+    }
     let distributed = decompile(&md, &SplendidOptions::default()).unwrap();
     format!(
         "==== loop unrolling, decompiled ====\n{}\n==== loop distribution, decompiled ====\n{}",
@@ -546,7 +556,7 @@ pub fn fig5() -> String {
     use splendid_ir::{BinOp, Module, Type, Value};
     let mut m = Module::new("fig5");
     let var = m.intern_di_var("var", "f");
-    let mut bld = FuncBuilder::new("f", &[("x", Type::I64)], Type::Void);
+    let mut bld = FuncBuilder::new(&mut m, "f", &[("x", Type::I64)], Type::Void);
     let v1 = bld.bin(BinOp::Add, Type::I64, bld.arg(0), Value::i64(1), "");
     bld.dbg_value(v1, var);
     let _c = bld.bin(BinOp::Mul, Type::I64, v1, Value::i64(2), "");
@@ -557,7 +567,7 @@ pub fn fig5() -> String {
     bld.dbg_value(v3, var);
     let _i = bld.bin(BinOp::Mul, Type::I64, v3, Value::i64(4), "");
     bld.ret(None);
-    let fid = m.push_function(bld.finish());
+    let fid = bld.finish();
     let naming = splendid_core::naming::assign_names(&m, fid);
     let mut out = String::new();
     out.push_str("IR-Variable map after conflict removal:\n");

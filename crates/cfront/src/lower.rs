@@ -10,8 +10,8 @@
 use crate::ast::*;
 use crate::sema::{check_program, known_external};
 use splendid_ir::{
-    BinOp, BlockId, Callee, CastOp, FPred, FuncId, Global, GlobalInit, IPred, Inst, InstKind,
-    MemType, Module, Param, Type, Value,
+    BinOp, BlockId, Callee, CastOp, FPred, FuncId, GlobalInit, IPred, Inst, InstKind, MemType,
+    Module, Param, Type, Value,
 };
 use std::collections::HashMap;
 
@@ -164,6 +164,17 @@ impl<'m> FuncLowerer<'m> {
         Value::Inst(id)
     }
 
+    /// Intern a name in the destination module's symbol table.
+    pub(crate) fn sym(&mut self, name: &str) -> splendid_ir::Symbol {
+        self.module.intern(name)
+    }
+
+    /// Add a block whose name is interned in the module's table.
+    pub(crate) fn add_block(&mut self, name: &str) -> BlockId {
+        let s = self.module.intern(name);
+        self.func.add_block(s)
+    }
+
     pub(crate) fn push_simple(&mut self, kind: InstKind, ty: Type) -> Value {
         self.push(Inst::new(kind, ty))
     }
@@ -177,7 +188,7 @@ impl<'m> FuncLowerer<'m> {
         if let Some((bb, _)) = self.labels.get(name) {
             return *bb;
         }
-        let bb = self.func.add_block(format!("label.{name}"));
+        let bb = self.add_block(&format!("label.{name}"));
         self.labels.insert(name.to_string(), (bb, false));
         bb
     }
@@ -200,11 +211,8 @@ impl<'m> FuncLowerer<'m> {
     /// Declare a local variable backed by an alloca with a dbg.declare.
     pub(crate) fn declare_local(&mut self, name: &str, cty: CType) -> Slot {
         let mem = mem_type(&cty);
-        let ptr = self.push(Inst::named(
-            InstKind::Alloca { mem },
-            Type::Ptr,
-            format!("{name}.addr"),
-        ));
+        let addr = self.sym(&format!("{name}.addr"));
+        let ptr = self.push(Inst::named(InstKind::Alloca { mem }, Type::Ptr, addr));
         let var = self.module.intern_di_var(name, &self.di_scope);
         self.push_simple(InstKind::DbgValue { val: ptr, var }, Type::Void);
         let slot = Slot { ptr, cty };
@@ -283,11 +291,9 @@ impl<'m> FuncLowerer<'m> {
                         CType::Array(..) => Ok((slot.ptr, slot.cty.clone())),
                         cty => {
                             let ty = scalar_type(cty);
-                            let v = self.push(Inst::named(
-                                InstKind::Load { ptr: slot.ptr },
-                                ty,
-                                name.clone(),
-                            ));
+                            let nm = self.sym(name);
+                            let v =
+                                self.push(Inst::named(InstKind::Load { ptr: slot.ptr }, ty, nm));
                             Ok((v, cty.clone()))
                         }
                     };
@@ -297,12 +303,13 @@ impl<'m> FuncLowerer<'m> {
                         CType::Array(..) => Ok((Value::Global(gid), cty)),
                         scalar => {
                             let ty = scalar_type(scalar);
+                            let nm = self.sym(name);
                             let v = self.push(Inst::named(
                                 InstKind::Load {
                                     ptr: Value::Global(gid),
                                 },
                                 ty,
-                                name.clone(),
+                                nm,
                             ));
                             Ok((v, cty.clone()))
                         }
@@ -426,10 +433,11 @@ impl<'m> FuncLowerer<'m> {
                                 CType::Array(..) => (slot.ptr, slot.cty.clone()),
                                 CType::Ptr(_) => {
                                     // Load the pointer value from its slot.
+                                    let nm = self.sym(name);
                                     let p = self.push(Inst::named(
                                         InstKind::Load { ptr: slot.ptr },
                                         Type::Ptr,
-                                        name.clone(),
+                                        nm,
                                     ));
                                     (p, slot.cty.clone())
                                 }
@@ -504,13 +512,8 @@ impl<'m> FuncLowerer<'m> {
                 let (v, t) = self.lower_expr(a)?;
                 vals.push(self.convert(v, &t, &CType::Double)?);
             }
-            let r = self.push_simple(
-                InstKind::Call {
-                    callee: Callee::External(name.to_string()),
-                    args: vals,
-                },
-                Type::F64,
-            );
+            let callee = Callee::External(self.sym(name));
+            let r = self.push_simple(InstKind::Call { callee, args: vals }, Type::F64);
             return Ok((r, CType::Double));
         }
         let (fid, ret, param_tys) = self
@@ -794,13 +797,13 @@ impl<'m> FuncLowerer<'m> {
                 else_body,
             } => {
                 let c = self.lower_cond(cond)?;
-                let then_bb = self.func.add_block("if.then");
+                let then_bb = self.add_block("if.then");
                 let else_bb = if else_body.is_empty() {
                     None
                 } else {
-                    Some(self.func.add_block("if.else"))
+                    Some(self.add_block("if.else"))
                 };
-                let join = self.func.add_block("if.end");
+                let join = self.add_block("if.end");
                 self.push_simple(
                     InstKind::CondBr {
                         cond: c,
@@ -834,10 +837,10 @@ impl<'m> FuncLowerer<'m> {
                 if let Some(i) = init {
                     self.lower_stmt(i)?;
                 }
-                let header = self.func.add_block("for.cond");
-                let body_bb = self.func.add_block("for.body");
-                let latch = self.func.add_block("for.inc");
-                let exit = self.func.add_block("for.end");
+                let header = self.add_block("for.cond");
+                let body_bb = self.add_block("for.body");
+                let latch = self.add_block("for.inc");
+                let exit = self.add_block("for.end");
                 self.push_simple(InstKind::Br { target: header }, Type::Void);
                 self.cur = header;
                 match cond {
@@ -871,9 +874,9 @@ impl<'m> FuncLowerer<'m> {
                 Ok(())
             }
             CStmt::While { cond, body } => {
-                let header = self.func.add_block("while.cond");
-                let body_bb = self.func.add_block("while.body");
-                let exit = self.func.add_block("while.end");
+                let header = self.add_block("while.cond");
+                let body_bb = self.add_block("while.body");
+                let exit = self.add_block("while.end");
                 self.push_simple(InstKind::Br { target: header }, Type::Void);
                 self.cur = header;
                 let cv = self.lower_cond(cond)?;
@@ -894,8 +897,8 @@ impl<'m> FuncLowerer<'m> {
                 Ok(())
             }
             CStmt::DoWhile { body, cond } => {
-                let body_bb = self.func.add_block("do.body");
-                let exit = self.func.add_block("do.end");
+                let body_bb = self.add_block("do.body");
+                let exit = self.add_block("do.end");
                 self.push_simple(InstKind::Br { target: body_bb }, Type::Void);
                 self.cur = body_bb;
                 self.lower_stmts(body)?;
@@ -986,11 +989,7 @@ pub fn lower_program(
     let mut module = Module::new(module_name);
     let mut globals = HashMap::new();
     for (name, cty) in &prog.globals {
-        let gid = module.push_global(Global {
-            name: name.clone(),
-            mem: mem_type(cty),
-            init: GlobalInit::Zero,
-        });
+        let gid = module.push_global_named(name, mem_type(cty), GlobalInit::Zero);
         globals.insert(name.clone(), (gid, cty.clone()));
     }
     // Pre-register functions for forward references.
@@ -1014,22 +1013,27 @@ pub fn lower_program(
             .params
             .iter()
             .map(|(n, t)| Param {
-                name: n.clone(),
+                name: module.intern(n),
                 ty: scalar_type(t),
             })
             .collect();
-        module.push_function(splendid_ir::Function::new(
-            f.name.clone(),
+        let func = splendid_ir::Function {
+            name: module.intern(&f.name),
             params,
-            scalar_type(&f.ret),
-        ));
+            ret_ty: scalar_type(&f.ret),
+            blocks: Vec::new(),
+            insts: Vec::new(),
+            entry: BlockId(0),
+            is_outlined: false,
+        };
+        module.push_function(func);
     }
 
     for (i, f) in prog.functions.iter().enumerate() {
         let mut func = module.functions[i].clone();
         // Fresh body (the reserved slot was empty).
         func.blocks = vec![splendid_ir::Block {
-            name: "entry".into(),
+            name: module.intern("entry"),
             insts: Vec::new(),
         }];
         func.insts.clear();
@@ -1115,7 +1119,7 @@ mod tests {
         );
         let f = &m.functions[0];
         // Loop blocks present.
-        let names: Vec<&str> = f.blocks.iter().map(|b| b.name.as_str()).collect();
+        let names: Vec<&str> = f.blocks.iter().map(|b| m.name_of(b.name)).collect();
         assert!(names.contains(&"for.cond"));
         assert!(names.contains(&"for.body"));
         assert!(names.contains(&"for.inc"));
@@ -1165,7 +1169,7 @@ mod tests {
                 InstKind::Call {
                     callee: Callee::External(n),
                     ..
-                } if n == "exp" => saw_ext = true,
+                } if m.name_of(*n) == "exp" => saw_ext = true,
                 InstKind::Call {
                     callee: Callee::Func(_),
                     ..
@@ -1180,15 +1184,15 @@ mod tests {
     fn if_else_and_conditions() {
         let m = lower("int f(int a) { if (a > 3) { return 1; } else { return 2; } }");
         let f = &m.functions[0];
-        assert!(f.blocks.iter().any(|b| b.name == "if.then"));
-        assert!(f.blocks.iter().any(|b| b.name == "if.else"));
+        assert!(f.blocks.iter().any(|b| m.name_of(b.name) == "if.then"));
+        assert!(f.blocks.iter().any(|b| m.name_of(b.name) == "if.else"));
     }
 
     #[test]
     fn do_while_lowering() {
         let m = lower("void f(int n) { int i = 0; do { i += 1; } while (i < n); }");
         let f = &m.functions[0];
-        assert!(f.blocks.iter().any(|b| b.name == "do.body"));
+        assert!(f.blocks.iter().any(|b| m.name_of(b.name) == "do.body"));
     }
 
     #[test]

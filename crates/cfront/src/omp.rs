@@ -67,11 +67,8 @@ impl<'m> FuncLowerer<'m> {
         let mut cap_vals = Vec::new();
         for (name, slot) in &captures {
             let ty = scalar_type(&slot.cty);
-            let v = self.push(Inst::named(
-                InstKind::Load { ptr: slot.ptr },
-                ty,
-                name.clone(),
-            ));
+            let nm = self.sym(name);
+            let v = self.push(Inst::named(InstKind::Load { ptr: slot.ptr }, ty, nm));
             cap_vals.push(v);
         }
 
@@ -93,17 +90,28 @@ impl<'m> FuncLowerer<'m> {
         self.region_counter += 1;
         let region_name = format!("{}_omp_par{}", self.di_scope, self.region_counter);
         let mut params = vec![Param {
-            name: "tid".into(),
+            name: self.sym("tid"),
             ty: Type::I64,
         }];
         for (name, slot) in &captures {
             params.push(Param {
-                name: name.clone(),
+                name: self.sym(name),
                 ty: scalar_type(&slot.cty),
             });
         }
-        let mut region_fn = splendid_ir::Function::new(region_name.clone(), params, Type::Void);
-        region_fn.is_outlined = true;
+        let mut region_fn = splendid_ir::Function {
+            name: self.sym(&region_name),
+            params,
+            ret_ty: Type::Void,
+            blocks: vec![splendid_ir::Block {
+                name: self.sym("entry"),
+                insts: Vec::new(),
+            }],
+            insts: Vec::new(),
+            entry: BlockId(0),
+            is_outlined: true,
+        };
+        let _ = &mut region_fn;
 
         {
             let mut inner = FuncLowerer {
@@ -154,13 +162,8 @@ impl<'m> FuncLowerer<'m> {
         // Fork call in the parent.
         let mut args = vec![Value::Function(region_id)];
         args.extend(cap_vals);
-        self.push_simple(
-            InstKind::Call {
-                callee: Callee::External(self.runtime.fork_symbol().to_string()),
-                args,
-            },
-            Type::Void,
-        );
+        let fork = Callee::External(self.sym(self.runtime.fork_symbol()));
+        self.push_simple(InstKind::Call { callee: fork, args }, Type::Void);
         Ok(())
     }
 
@@ -234,19 +237,21 @@ impl<'m> FuncLowerer<'m> {
         };
 
         // Thread-local bound slots (the Figure-1 shape).
+        let lb_addr = self.sym("lb.addr");
         let plb = self.push(Inst::named(
             InstKind::Alloca {
                 mem: MemType::Scalar(Type::I64),
             },
             Type::Ptr,
-            "lb.addr",
+            lb_addr,
         ));
+        let ub_addr = self.sym("ub.addr");
         let pub_ = self.push(Inst::named(
             InstKind::Alloca {
                 mem: MemType::Scalar(Type::I64),
             },
             Type::Ptr,
-            "ub.addr",
+            ub_addr,
         ));
         self.push_simple(
             InstKind::Store {
@@ -266,9 +271,10 @@ impl<'m> FuncLowerer<'m> {
             Some(Schedule::StaticChunk(c)) => c as i64,
             _ => 0,
         };
+        let static_init = Callee::External(self.sym(self.runtime.static_init_symbol()));
         self.push_simple(
             InstKind::Call {
-                callee: Callee::External(self.runtime.static_init_symbol().to_string()),
+                callee: static_init,
                 args: vec![
                     tid,
                     plb,
@@ -281,8 +287,10 @@ impl<'m> FuncLowerer<'m> {
             },
             Type::Void,
         );
-        let tlo = self.push(Inst::named(InstKind::Load { ptr: plb }, Type::I64, "lb"));
-        let thi = self.push(Inst::named(InstKind::Load { ptr: pub_ }, Type::I64, "ub"));
+        let lb_sym = self.sym("lb");
+        let tlo = self.push(Inst::named(InstKind::Load { ptr: plb }, Type::I64, lb_sym));
+        let ub_sym = self.sym("ub");
+        let thi = self.push(Inst::named(InstKind::Load { ptr: pub_ }, Type::I64, ub_sym));
 
         // The induction variable is a fresh local i64 (thread-private).
         self.scopes.push(HashMap::new());
@@ -295,16 +303,17 @@ impl<'m> FuncLowerer<'m> {
             Type::Void,
         );
 
-        let header = self.func.add_block("omp.for.cond");
-        let body_bb = self.func.add_block("omp.for.body");
-        let latch = self.func.add_block("omp.for.inc");
-        let exit = self.func.add_block("omp.for.end");
+        let header = self.add_block("omp.for.cond");
+        let body_bb = self.add_block("omp.for.body");
+        let latch = self.add_block("omp.for.inc");
+        let exit = self.add_block("omp.for.end");
         self.push_simple(InstKind::Br { target: header }, Type::Void);
         self.cur = header;
+        let iv_sym = self.sym(&iv_name);
         let ivv = self.push(Inst::named(
             InstKind::Load { ptr: iv_slot.ptr },
             Type::I64,
-            iv_name.clone(),
+            iv_sym,
         ));
         let cmp = self.push_simple(
             InstKind::ICmp {
@@ -331,8 +340,9 @@ impl<'m> FuncLowerer<'m> {
         let iv_cur = self.push(Inst::named(
             InstKind::Load { ptr: iv_slot.ptr },
             Type::I64,
-            iv_name.clone(),
+            iv_sym,
         ));
+        let next_sym = self.sym(&format!("{iv_name}.next"));
         let nxt = self.push(Inst::named(
             InstKind::Bin {
                 op: splendid_ir::BinOp::Add,
@@ -340,7 +350,7 @@ impl<'m> FuncLowerer<'m> {
                 rhs: Value::i64(step_const),
             },
             Type::I64,
-            format!("{iv_name}.next"),
+            next_sym,
         ));
         self.push_simple(
             InstKind::Store {
@@ -354,9 +364,10 @@ impl<'m> FuncLowerer<'m> {
         self.scopes.pop();
 
         if let Some(fini) = self.runtime.static_fini_symbol() {
+            let callee = Callee::External(self.sym(fini));
             self.push_simple(
                 InstKind::Call {
-                    callee: Callee::External(fini.to_string()),
+                    callee,
                     args: vec![tid],
                 },
                 Type::Void,
@@ -373,9 +384,10 @@ impl<'m> FuncLowerer<'m> {
         let Some(tid) = self.tid else {
             return err("#pragma omp barrier outside a parallel region");
         };
+        let callee = Callee::External(self.sym(self.runtime.barrier_symbol()));
         self.push_simple(
             InstKind::Call {
-                callee: Callee::External(self.runtime.barrier_symbol().to_string()),
+                callee,
                 args: vec![tid],
             },
             Type::Void,
@@ -681,7 +693,7 @@ void k(double alpha) {
                     ..
                 } = &i.kind
                 {
-                    out.push(n.clone());
+                    out.push(m.name_of(*n).to_string());
                 }
             }
         }
@@ -697,9 +709,9 @@ void k(double alpha) {
             .iter()
             .find(|f| f.is_outlined)
             .expect("outlined");
-        assert_eq!(region.params[0].name, "tid");
+        assert_eq!(m.name_of(region.params[0].name), "tid");
         // alpha captured by value.
-        assert!(region.params.iter().any(|p| p.name == "alpha"));
+        assert!(region.params.iter().any(|p| m.name_of(p.name) == "alpha"));
         let calls = ext_calls(&m);
         assert!(calls.contains(&"__kmpc_fork_call".to_string()));
         assert!(calls.contains(&"__kmpc_for_static_init_8".to_string()));
@@ -753,7 +765,7 @@ void k() {
                 InstKind::Call {
                     callee: Callee::External(n),
                     args,
-                } if n == "__kmpc_for_static_init_8" => Some(args.clone()),
+                } if m.name_of(*n) == "__kmpc_for_static_init_8" => Some(args.clone()),
                 _ => None,
             })
             .expect("static init call");

@@ -47,7 +47,7 @@ pub fn find_fork_sites(module: &Module) -> Vec<ForkSite> {
             else {
                 continue;
             };
-            if name != KMPC_FORK_CALL {
+            if module.name_of(*name) != KMPC_FORK_CALL {
                 continue;
             }
             let Some(Value::Function(region)) = args.first().copied() else {
@@ -80,7 +80,7 @@ pub fn find_region_runtime(module: &Module, region: FuncId) -> Option<RegionRunt
             ..
         } = &inst.kind
         {
-            match name.as_str() {
+            match module.name_of(*name) {
                 KMPC_FOR_STATIC_INIT => static_init = Some(InstId(idx as u32)),
                 KMPC_FOR_STATIC_FINI => static_fini = Some(InstId(idx as u32)),
                 "__kmpc_barrier" => has_barrier = true,

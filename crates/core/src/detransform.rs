@@ -32,13 +32,13 @@ pub struct MarkerInfo {
 }
 
 /// Decode a marker call instruction.
-pub fn decode_marker(kind: &InstKind) -> Option<MarkerInfo> {
+pub fn decode_marker(symbols: &splendid_ir::SymbolTable, kind: &InstKind) -> Option<MarkerInfo> {
     if let InstKind::Call {
         callee: Callee::External(name),
         args,
     } = kind
     {
-        if name == PRAGMA_MARKER && args.len() == 2 {
+        if symbols.resolve(*name) == PRAGMA_MARKER && args.len() == 2 {
             return Some(MarkerInfo {
                 chunk: args[0].as_int()?,
                 nowait: args[1].as_int()? != 0,
@@ -70,8 +70,8 @@ pub fn detransform_and_inline(module: &mut Module) -> Result<Vec<RegionReport>, 
             let removed = detransform_region(module, site.region)?;
             detransformed.push(site.region);
             reports.push(RegionReport {
-                region_name: module.func(site.region).name.clone(),
-                caller_name: module.func(site.caller).name.clone(),
+                region_name: module.name_of(module.func(site.region).name).to_string(),
+                caller_name: module.name_of(module.func(site.caller).name).to_string(),
                 setup_removed: removed,
             });
         }
@@ -95,7 +95,7 @@ pub fn detransform_and_inline(module: &mut Module) -> Result<Vec<RegionReport>, 
         .functions
         .iter()
         .filter(|f| !f.is_outlined)
-        .map(|f| f.name.clone())
+        .map(|f| module.name_of(f.name).to_string())
         .collect();
     let root_refs: Vec<&str> = roots.iter().map(|s| s.as_str()).collect();
     splendid_transforms::inline::strip_dead_functions(module, &root_refs);
@@ -107,7 +107,10 @@ pub fn detransform_and_inline(module: &mut Module) -> Result<Vec<RegionReport>, 
 pub fn detransform_region(module: &mut Module, region: FuncId) -> Result<usize, String> {
     let rt =
         find_region_runtime(module, region).ok_or("region has no static init/fini runtime pair")?;
-    let f = module.func_mut(region);
+    let Module {
+        symbols, functions, ..
+    } = module;
+    let f = &mut functions[region.index()];
     let mut removed = 0usize;
 
     // Decode the init call:
@@ -189,7 +192,7 @@ pub fn detransform_region(module: &mut Module, region: FuncId) -> Result<usize, 
             owners[*idx].is_some()
                 && matches!(
                     &inst.kind,
-                    InstKind::Call { callee: Callee::External(n), .. } if n == KMPC_BARRIER
+                    InstKind::Call { callee: Callee::External(n), .. } if symbols.resolve(*n) == KMPC_BARRIER
                 )
         })
         .map(|(idx, _)| InstId(idx as u32))
@@ -202,7 +205,7 @@ pub fn detransform_region(module: &mut Module, region: FuncId) -> Result<usize, 
     // Leave the pragma marker at the start of the entry block.
     let marker = f.add_inst(Inst::new(
         InstKind::Call {
-            callee: Callee::External(PRAGMA_MARKER.into()),
+            callee: Callee::External(symbols.intern(PRAGMA_MARKER)),
             args: vec![Value::i64(chunk), Value::bool(!rt.has_barrier)],
         },
         Type::Void,
@@ -253,7 +256,7 @@ void k(double alpha) {
                     && matches!(
                         &i.kind,
                         InstKind::Call { callee: Callee::External(n), .. }
-                            if splendid_parallel::runtime::is_parallel_runtime_symbol(n)
+                            if splendid_parallel::runtime::is_parallel_runtime_symbol(m.name_of(*n))
                     )
             })
         })
@@ -269,7 +272,7 @@ void k(double alpha) {
         assert!(!has_runtime_calls(&m), "all __kmpc calls must be gone");
         // The outlined function is gone; only `k` remains.
         assert_eq!(m.functions.len(), 1);
-        assert_eq!(m.functions[0].name, "k");
+        assert_eq!(m.name_of(m.functions[0].name), "k");
         splendid_ir::verify::verify_module(&m).unwrap();
     }
 
@@ -303,7 +306,7 @@ void k(double alpha) {
             .iter()
             .enumerate()
             .filter(|(idx, _)| owners[*idx].is_some())
-            .find_map(|(_, i)| decode_marker(&i.kind));
+            .find_map(|(_, i)| decode_marker(&m.symbols, &i.kind));
         let info = marker.expect("marker present after inlining");
         assert_eq!(info.chunk, 0);
         assert!(info.nowait, "no barrier in the region => nowait");
@@ -349,7 +352,7 @@ void k() {
                     ..
                 } = &i.kind
                 {
-                    assert_ne!(n, KMPC_FORK_CALL);
+                    assert_ne!(m.name_of(*n), KMPC_FORK_CALL);
                 }
             }
         }

@@ -6,9 +6,22 @@
 //! so identity is defined here once: FNV-1a 64 over the canonical printed
 //! form of the function (the printer is deterministic), producing digests
 //! that are reproducible, loggable, and comparable over the wire.
+//!
+//! Two granularities are provided:
+//!
+//! * **Semantic** fingerprints ([`function_fingerprint`],
+//!   [`module_fingerprints`]) hash the canonical *printed* IR of a parsed
+//!   module. They are insensitive to whitespace and comment differences in
+//!   the input text and are what the serve cache keys on.
+//! * **Span** fingerprints ([`span_fingerprints_into`]) hash the raw
+//!   *source bytes* of each `func` definition located by
+//!   [`splendid_ir::scan_spans_into`] — no tokenizing, no parsing, no
+//!   per-function allocation once buffers are warm. They are the daemon's
+//!   UPDATE fast path: an edit re-hashes only the module text (microseconds)
+//!   and re-parses nothing until a DECOMPILE actually needs the IR.
 
 use crate::pipeline::PreparedModule;
-use splendid_ir::{printer::function_str, FuncId, Module};
+use splendid_ir::{printer::function_str, FuncId, Module, ModuleSpans};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -41,7 +54,7 @@ pub fn module_fingerprints(module: &Module) -> Vec<(String, u64)> {
         .func_ids()
         .map(|fid| {
             (
-                module.func(fid).name.clone(),
+                module.name_of(module.func(fid).name).to_string(),
                 function_fingerprint(module, fid),
             )
         })
@@ -62,16 +75,80 @@ fn mix(mut h: u64, bytes: &[u8]) -> u64 {
 pub fn module_context_fingerprint(m: &Module) -> u64 {
     let mut h = FNV_OFFSET;
     for g in &m.globals {
-        h = mix(h, g.name.as_bytes());
+        h = mix(h, m.name_of(g.name).as_bytes());
         h = mix(h, format!("{}|{:?};", g.mem, g.init).as_bytes());
     }
     for dv in &m.di_vars {
-        h = mix(h, dv.name.as_bytes());
+        h = mix(h, m.name_of(dv.name).as_bytes());
         h = mix(h, b"@");
-        h = mix(h, dv.scope.as_bytes());
+        h = mix(h, m.name_of(dv.scope).as_bytes());
         h = mix(h, b";");
     }
     h
+}
+
+/// Span fingerprint of one `func` definition in module *text*: the hash of
+/// its name bytes and the hash of its full definition bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanFingerprint {
+    /// FNV-1a 64 of the function name bytes (without the `@`).
+    pub name_hash: u64,
+    /// FNV-1a 64 of the whole `func ... { ... }` definition bytes.
+    pub body_hash: u64,
+}
+
+/// Per-function span fingerprints of a module text plus the hash of the
+/// preamble (module header, globals, debug variables).
+///
+/// Buffers are reusable across scans via [`SpanFingerprints::clear`]; in
+/// steady state [`span_fingerprints_into`] performs zero heap allocations.
+#[derive(Clone, Debug, Default)]
+pub struct SpanFingerprints {
+    /// Hash over all preamble bytes (everything outside `func` bodies).
+    pub preamble: u64,
+    /// Function span fingerprints in file order.
+    pub funcs: Vec<SpanFingerprint>,
+}
+
+impl SpanFingerprints {
+    /// Reset without releasing capacity.
+    pub fn clear(&mut self) {
+        self.preamble = 0;
+        self.funcs.clear();
+    }
+
+    /// Position of the function whose name hashes to `name_hash`.
+    pub fn position_of(&self, name_hash: u64) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name_hash == name_hash)
+    }
+}
+
+/// Hash every function span of `text` into `out`, reusing `spans` as the
+/// scan scratch buffer. This is the incremental UPDATE primitive: cost is
+/// one linear pass over the text, with no parsing and no allocation once
+/// `spans`/`out` have warmed to the module's function count.
+pub fn span_fingerprints_into(text: &str, spans: &mut ModuleSpans, out: &mut SpanFingerprints) {
+    splendid_ir::scan_spans_into(text, spans);
+    out.clear();
+    let mut pre = FNV_OFFSET;
+    for &(a, b) in &spans.preamble {
+        pre = mix(pre, &text.as_bytes()[a..b]);
+    }
+    out.preamble = pre;
+    for f in &spans.funcs {
+        out.funcs.push(SpanFingerprint {
+            name_hash: fnv64(f.name_str(text).as_bytes()),
+            body_hash: fnv64(f.body_str(text).as_bytes()),
+        });
+    }
+}
+
+/// Convenience wrapper allocating fresh buffers.
+pub fn span_fingerprints(text: &str) -> SpanFingerprints {
+    let mut spans = ModuleSpans::default();
+    let mut out = SpanFingerprints::default();
+    span_fingerprints_into(text, &mut spans, &mut out);
+    out
 }
 
 /// Memoized content digests of a [`PreparedModule`], computed once and
@@ -139,5 +216,46 @@ mod tests {
         assert_eq!(before[0], after[0], "untouched function keeps its digest");
         assert_eq!(before[1].0, after[1].0);
         assert_ne!(before[1].1, after[1].1, "edited function must re-digest");
+    }
+
+    #[test]
+    fn span_fingerprints_localize_edits() {
+        let src = "module \"m\"\nglobal @A : [8 x f64] = zero\nfunc @f() -> void {\nbb0 entry:\n  ret void\n}\nfunc @g() -> void {\nbb0 entry:\n  ret void\n}\n";
+        let a = span_fingerprints(src);
+        let b = span_fingerprints(src);
+        assert_eq!(a.funcs, b.funcs, "fingerprints are deterministic");
+        assert_eq!(a.preamble, b.preamble);
+
+        // A real edit in @g touches only @g's span hash.
+        let edited = src.replace(
+            "func @g() -> void {\nbb0 entry:\n  ret void",
+            "func @g() -> void {\nbb0 entry:\n  unreachable",
+        );
+        let c = span_fingerprints(&edited);
+        assert_eq!(a.funcs.len(), 2);
+        assert_eq!(c.funcs.len(), 2);
+        assert_eq!(a.funcs[0], c.funcs[0], "edit to @g must not touch @f");
+        assert_eq!(a.funcs[1].name_hash, c.funcs[1].name_hash);
+        assert_ne!(a.funcs[1].body_hash, c.funcs[1].body_hash);
+        assert_eq!(a.preamble, c.preamble);
+
+        // A preamble edit touches only the preamble hash.
+        let edited = src.replace("[8 x f64]", "[9 x f64]");
+        let d = span_fingerprints(&edited);
+        assert_eq!(a.funcs, d.funcs);
+        assert_ne!(a.preamble, d.preamble);
+    }
+
+    #[test]
+    fn span_fingerprint_buffers_are_reusable() {
+        let mut spans = ModuleSpans::default();
+        let mut out = SpanFingerprints::default();
+        let one = "func @f() -> void {\nbb0 entry:\n  ret void\n}\n";
+        span_fingerprints_into(one, &mut spans, &mut out);
+        let first = out.funcs.clone();
+        span_fingerprints_into("module \"empty\"\n", &mut spans, &mut out);
+        assert!(out.funcs.is_empty());
+        span_fingerprints_into(one, &mut spans, &mut out);
+        assert_eq!(out.funcs, first, "reuse must be stateless");
     }
 }

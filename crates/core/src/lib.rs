@@ -40,6 +40,7 @@ pub mod detransform;
 pub mod error;
 pub mod fault;
 pub mod fingerprint;
+pub mod incremental;
 pub mod literal;
 pub mod naming;
 pub mod pipeline;

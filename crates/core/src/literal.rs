@@ -67,8 +67,8 @@ struct LiteralEmitter<'a> {
     gotos: usize,
 }
 
-fn err(f: &Function, msg: impl Into<String>) -> SplendidError {
-    SplendidError::fatal(Stage::Emit, msg).in_function(&f.name)
+fn err(module: &Module, f: &Function, msg: impl Into<String>) -> SplendidError {
+    SplendidError::fatal(Stage::Emit, msg).in_function(module.name_of(f.name))
 }
 
 /// Emit `f` at the literal tier.
@@ -81,6 +81,7 @@ pub fn emit_literal(module: &Module, f: &Function) -> Result<LiteralFunc, Splend
         for &i in &f.block(bb).insts {
             if i.index() >= f.insts.len() {
                 return Err(err(
+                    module,
                     f,
                     format!("block references out-of-arena inst %{}", i.0),
                 ));
@@ -96,7 +97,7 @@ pub fn emit_literal(module: &Module, f: &Function) -> Result<LiteralFunc, Splend
                 }
             });
             if let Some(msg) = bad {
-                return Err(err(f, msg));
+                return Err(err(module, f, msg));
             }
             let mut bad_target = None;
             for s in f.inst(i).kind.successors() {
@@ -105,7 +106,7 @@ pub fn emit_literal(module: &Module, f: &Function) -> Result<LiteralFunc, Splend
                 }
             }
             if let Some(msg) = bad_target {
-                return Err(err(f, msg));
+                return Err(err(module, f, msg));
             }
         }
     }
@@ -113,9 +114,9 @@ pub fn emit_literal(module: &Module, f: &Function) -> Result<LiteralFunc, Splend
     // Pick a variable prefix that cannot collide with params, globals,
     // or function names ("v12" is someone's parameter surprisingly often
     // in register-named modules).
-    let mut taken: HashSet<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
-    taken.extend(module.globals.iter().map(|g| g.name.as_str()));
-    taken.extend(module.functions.iter().map(|g| g.name.as_str()));
+    let mut taken: HashSet<&str> = f.params.iter().map(|p| module.name_of(p.name)).collect();
+    taken.extend(module.globals.iter().map(|g| module.name_of(g.name)));
+    taken.extend(module.functions.iter().map(|g| module.name_of(g.name)));
     let collides = |prefix: &str| {
         taken.iter().any(|t| {
             t.strip_prefix(prefix)
@@ -133,7 +134,7 @@ pub fn emit_literal(module: &Module, f: &Function) -> Result<LiteralFunc, Splend
     for bb in f.block_ids() {
         for &i in &f.block(bb).insts {
             let inst = f.inst(i);
-            if decode_marker(&inst.kind).is_some() {
+            if decode_marker(&module.symbols, &inst.kind).is_some() {
                 continue;
             }
             match &inst.kind {
@@ -185,7 +186,7 @@ pub fn emit_literal(module: &Module, f: &Function) -> Result<LiteralFunc, Splend
             if let InstKind::Phi { incomings } = &f.inst(i).kind {
                 let dst = match &names[i.index()] {
                     Some(n) => n.clone(),
-                    None => return Err(err(f, format!("void phi %{}", i.0))),
+                    None => return Err(err(module, f, format!("void phi %{}", i.0))),
                 };
                 let tmp = temps
                     .get(&i)
@@ -219,17 +220,18 @@ pub fn emit_literal(module: &Module, f: &Function) -> Result<LiteralFunc, Splend
     }
 
     let cfunc = CFunc {
-        name: f.name.clone(),
+        name: module.name_of(f.name).to_string(),
         ret: ctype_of(f.ret_ty),
         params: f
             .params
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                let name = if p.name.is_empty() {
+                let pname = module.name_of(p.name);
+                let name = if pname.is_empty() {
                     format!("{vp}arg{i}")
                 } else {
-                    p.name.clone()
+                    pname.to_string()
                 };
                 (name, ctype_of(p.ty))
             })
@@ -245,9 +247,13 @@ pub fn emit_literal(module: &Module, f: &Function) -> Result<LiteralFunc, Splend
 
 impl<'a> LiteralEmitter<'a> {
     fn name_of(&self, id: InstId) -> Result<String, SplendidError> {
-        self.names[id.index()]
-            .clone()
-            .ok_or_else(|| err(self.f, format!("no variable for inst %{}", id.0)))
+        self.names[id.index()].clone().ok_or_else(|| {
+            err(
+                self.module,
+                self.f,
+                format!("no variable for inst %{}", id.0),
+            )
+        })
     }
 
     /// The C expression for a value used as an operand. Instruction
@@ -257,27 +263,34 @@ impl<'a> LiteralEmitter<'a> {
             Value::ConstInt { val, .. } => Ok(CExpr::Int(val)),
             Value::ConstF64(bits) => Ok(CExpr::Float(f64::from_bits(bits))),
             Value::Arg(a) => {
-                let p =
-                    self.f.params.get(a as usize).ok_or_else(|| {
-                        err(self.f, format!("operand references missing arg {a}"))
-                    })?;
-                Ok(CExpr::ident(p.name.clone()))
+                let p = self.f.params.get(a as usize).ok_or_else(|| {
+                    err(
+                        self.module,
+                        self.f,
+                        format!("operand references missing arg {a}"),
+                    )
+                })?;
+                Ok(CExpr::ident(self.module.name_of(p.name)))
             }
             Value::Global(g) => {
-                let glob = self
-                    .module
-                    .globals
-                    .get(g.index())
-                    .ok_or_else(|| err(self.f, format!("missing global @{}", g.index())))?;
-                Ok(CExpr::ident(glob.name.clone()))
+                let glob = self.module.globals.get(g.index()).ok_or_else(|| {
+                    err(
+                        self.module,
+                        self.f,
+                        format!("missing global @{}", g.index()),
+                    )
+                })?;
+                Ok(CExpr::ident(self.module.name_of(glob.name)))
             }
             Value::Function(fid) => {
-                let func = self
-                    .module
-                    .functions
-                    .get(fid.index())
-                    .ok_or_else(|| err(self.f, format!("missing function #{}", fid.index())))?;
-                Ok(CExpr::ident(func.name.clone()))
+                let func = self.module.functions.get(fid.index()).ok_or_else(|| {
+                    err(
+                        self.module,
+                        self.f,
+                        format!("missing function #{}", fid.index()),
+                    )
+                })?;
+                Ok(CExpr::ident(self.module.name_of(func.name)))
             }
             Value::Undef(t) => Ok(match t {
                 Type::F64 => CExpr::Float(0.0),
@@ -424,16 +437,18 @@ impl<'a> LiteralEmitter<'a> {
             }
             InstKind::Call { callee, args } => {
                 let name = match callee {
-                    Callee::Func(fid) => self
-                        .module
-                        .functions
-                        .get(fid.index())
-                        .ok_or_else(|| {
-                            err(self.f, format!("call to missing function #{}", fid.index()))
-                        })?
-                        .name
-                        .clone(),
-                    Callee::External(n) => n.clone(),
+                    Callee::Func(fid) => {
+                        let callee_fn =
+                            self.module.functions.get(fid.index()).ok_or_else(|| {
+                                err(
+                                    self.module,
+                                    self.f,
+                                    format!("call to missing function #{}", fid.index()),
+                                )
+                            })?;
+                        self.module.name_of(callee_fn.name).to_string()
+                    }
+                    Callee::External(n) => self.module.name_of(*n).to_string(),
                 };
                 Ok(CExpr::Call {
                     name,
@@ -443,7 +458,11 @@ impl<'a> LiteralEmitter<'a> {
                         .collect::<Result<Vec<_>, _>>()?,
                 })
             }
-            other => Err(err(self.f, format!("no literal expression for {other:?}"))),
+            other => Err(err(
+                self.module,
+                self.f,
+                format!("no literal expression for {other:?}"),
+            )),
         }
     }
 
@@ -475,7 +494,7 @@ impl<'a> LiteralEmitter<'a> {
     fn emit_block(&mut self, bb: BlockId, out: &mut Vec<CStmt>) -> Result<(), SplendidError> {
         for &i in &self.f.block(bb).insts.clone() {
             let inst = self.f.inst(i);
-            if decode_marker(&inst.kind).is_some() {
+            if decode_marker(&self.module.symbols, &inst.kind).is_some() {
                 continue;
             }
             match &inst.kind {
@@ -546,7 +565,11 @@ impl<'a> LiteralEmitter<'a> {
                     out.push(self.assign(name, rhs));
                 }
                 other => {
-                    return Err(err(self.f, format!("no literal statement for {other:?}")));
+                    return Err(err(
+                        self.module,
+                        self.f,
+                        format!("no literal statement for {other:?}"),
+                    ));
                 }
             }
         }
@@ -557,23 +580,22 @@ impl<'a> LiteralEmitter<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use splendid_ir::{Inst, Param};
+    use splendid_ir::Inst;
 
     fn simple_loop_module() -> Module {
         // long f(long n) { s = 0; for (i = 0; i < n; i++) s += i; return s; }
         // built directly in (rotated) IR with a phi cycle.
         let mut m = Module::new("lit");
-        let mut f = Function::new(
-            "f",
-            vec![Param {
-                name: "n".into(),
-                ty: Type::I64,
-            }],
-            Type::I64,
-        );
+        let mut f = Function::new(&mut m.symbols, "f", &[("n", Type::I64)], Type::I64);
         let entry = f.entry;
-        let header = f.add_block("header");
-        let exit = f.add_block("exit");
+        let header = {
+            let n = m.symbols.intern("header");
+            f.add_block(n)
+        };
+        let exit = {
+            let n = m.symbols.intern("exit");
+            f.add_block(n)
+        };
         use InstKind::*;
         let guard = f.append_inst(
             entry,
@@ -719,7 +741,7 @@ mod tests {
     #[test]
     fn rejects_out_of_arena_operands() {
         let mut m = Module::new("bad");
-        let mut f = Function::new("boom", Vec::new(), Type::I64);
+        let mut f = Function::new(&mut m.symbols, "boom", &[], Type::I64);
         let entry = f.entry;
         f.append_inst(
             entry,

@@ -196,7 +196,7 @@ fn assign_names_with(module: &Module, fid: FuncId, use_metadata: bool) -> Naming
     // Source-variable names are shared by design.
     for (v, var) in &proposals {
         if let Value::Inst(id) = v {
-            let name = module.di_vars[var.index()].name.clone();
+            let name = module.name_of(module.di_vars[var.index()].name).to_string();
             used_names.insert(name.clone());
             naming.names.insert(*id, (name, NameOrigin::SourceVariable));
         }
@@ -209,7 +209,7 @@ fn assign_names_with(module: &Module, fid: FuncId, use_metadata: bool) -> Naming
         }
         let base = inst
             .name
-            .clone()
+            .map(|n| module.name_of(n).to_string())
             .unwrap_or_else(|| format!("v{}", id.0))
             .replace('.', "_");
         let mut candidate = base.clone();
@@ -275,7 +275,7 @@ mod tests {
     fn figure5() -> (Module, FuncId) {
         let mut m = Module::new("m");
         let var = m.intern_di_var("var", "f");
-        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::Void);
+        let mut b = FuncBuilder::new(&mut m, "f", &[("x", Type::I64)], Type::Void);
         // A: %1 = ...
         let v1 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "");
         b.dbg_value(v1, var); // B
@@ -291,7 +291,7 @@ mod tests {
         b.dbg_value(v3, var); // H
         let _use3 = b.bin(BinOp::Mul, Type::I64, v3, Value::i64(4), "");
         b.ret(None);
-        let fid = m.push_function(b.finish());
+        let fid = b.finish();
         (m, fid)
     }
 
@@ -330,13 +330,13 @@ mod tests {
     fn no_conflict_all_restored() {
         let mut m = Module::new("m");
         let var = m.intern_di_var("x", "f");
-        let mut b = FuncBuilder::new("f", &[("a", Type::I64)], Type::I64);
+        let mut b = FuncBuilder::new(&mut m, "f", &[("a", Type::I64)], Type::I64);
         let v1 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "");
         b.dbg_value(v1, var);
         let v2 = b.bin(BinOp::Mul, Type::I64, v1, Value::i64(2), "");
         b.dbg_value(v2, var);
         b.ret(Some(v2));
-        let fid = m.push_function(b.finish());
+        let fid = b.finish();
         let naming = assign_names(&m, fid);
         // v1's last use (in v2's def) precedes v2's dbg event, so both may
         // be `x`.
@@ -348,7 +348,7 @@ mod tests {
     fn phi_web_shares_name() {
         let mut m = Module::new("m");
         let var = m.intern_di_var("i", "f");
-        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let mut b = FuncBuilder::new(&mut m, "f", &[("n", Type::I64)], Type::Void);
         let body = b.new_block("body");
         let exit = b.new_block("exit");
         let entry = b.current_block();
@@ -366,7 +366,7 @@ mod tests {
         b.cond_br(c, body, exit);
         b.switch_to(exit);
         b.ret(None);
-        let fid = m.push_function(b.finish());
+        let fid = b.finish();
         let naming = assign_names(&m, fid);
         assert_eq!(naming.name_of(iv.as_inst().unwrap()), Some("i"));
         // next adopted the phi's variable through web combination.
@@ -376,12 +376,12 @@ mod tests {
     #[test]
     fn unmapped_values_get_unique_register_names() {
         let mut m = Module::new("m");
-        let mut b = FuncBuilder::new("f", &[("a", Type::I64)], Type::I64);
+        let mut b = FuncBuilder::new(&mut m, "f", &[("a", Type::I64)], Type::I64);
         let v1 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "tmp");
         let v2 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(2), "tmp");
         let v3 = b.bin(BinOp::Add, Type::I64, v1, v2, "");
         b.ret(Some(v3));
-        let fid = m.push_function(b.finish());
+        let fid = b.finish();
         let naming = assign_names(&m, fid);
         let names: HashSet<&str> = [v1, v2, v3]
             .iter()

@@ -44,6 +44,12 @@ pub enum Variant {
 pub enum FidelityTier {
     /// Full natural decompilation (loop/pragma/name recovery).
     Natural,
+    /// Single-pass emission for latency-critical requests: the literal
+    /// emitter run as the *requested* tier, skipping naming and CFG
+    /// reconstruction entirely. Opt-in only — the automatic degradation
+    /// walk never lands here (a failed `Natural` goes to `Structured`),
+    /// so requesting `Quick` is the only way to get it.
+    Quick,
     /// Conservative structuring, register names, no pragmas.
     Structured,
     /// Statement-per-instruction C with labels and gotos.
@@ -55,6 +61,7 @@ impl FidelityTier {
     pub fn label(self) -> &'static str {
         match self {
             FidelityTier::Natural => "natural",
+            FidelityTier::Quick => "quick",
             FidelityTier::Structured => "structured",
             FidelityTier::Literal => "literal",
         }
@@ -214,7 +221,12 @@ impl PreparedModule {
         self.module
             .globals
             .iter()
-            .map(|g| (g.name.clone(), ctype_of_mem(&g.mem)))
+            .map(|g| {
+                (
+                    self.module.name_of(g.name).to_string(),
+                    ctype_of_mem(&g.mem),
+                )
+            })
             .collect()
     }
 }
@@ -267,11 +279,12 @@ fn attempt_tier(
     timings: &mut StageTimings,
 ) -> Result<FunctionOutput, SplendidError> {
     let work = &prepared.module;
-    let fname = work.func(fid).name.clone();
+    let fname = work.name_of(work.func(fid).name).to_string();
 
-    if tier == FidelityTier::Literal {
-        // The bottom rung: no fault gates, no fragile passes. Either it
-        // emits or the input IR itself is malformed.
+    if tier == FidelityTier::Literal || tier == FidelityTier::Quick {
+        // The bottom rung (and its opt-in `Quick` twin): no fault gates,
+        // no fragile passes. Either it emits or the input IR itself is
+        // malformed.
         let start = Instant::now();
         let lit = contain(Stage::Emit, &fname, || emit_literal(work, work.func(fid)))??;
         timings.structure += start.elapsed();
@@ -363,20 +376,28 @@ pub fn decompile_function(
     let mut first_error: Option<SplendidError> = None;
     for tier in [
         FidelityTier::Natural,
+        FidelityTier::Quick,
         FidelityTier::Structured,
         FidelityTier::Literal,
     ] {
         if tier < opts.start_tier {
             continue;
         }
+        // `Quick` is opt-in: the automatic walk from `Natural` skips it so
+        // organic degradation keeps its established Structured → Literal
+        // shape (and its stats).
+        if tier == FidelityTier::Quick && opts.start_tier != FidelityTier::Quick {
+            continue;
+        }
         match attempt_tier(prepared, fid, opts, tier, timings) {
             Ok(mut out) => {
                 match tier {
-                    FidelityTier::Natural => {}
+                    // A *requested* Quick emit is not a degradation.
+                    FidelityTier::Natural | FidelityTier::Quick => {}
                     FidelityTier::Structured => timings.degraded_structured += 1,
                     FidelityTier::Literal => timings.degraded_literal += 1,
                 }
-                if tier > FidelityTier::Natural {
+                if tier > FidelityTier::Natural && tier != FidelityTier::Quick {
                     let why = first_error
                         .as_ref()
                         .map(|e| e.to_string())

@@ -195,17 +195,19 @@ pub fn structure_function(
     let params: Vec<(String, CType)> = f
         .params
         .iter()
-        .map(|p| (p.name.clone(), ctype_of(p.ty)))
+        .map(|p| (module.name_of(p.name).to_string(), ctype_of(p.ty)))
         .collect();
     let mut variables: Vec<(String, NameOrigin)> =
         s.var_origins.iter().map(|(n, o)| (n.clone(), *o)).collect();
     variables.sort();
     if let Some(msg) = s.diag.borrow().clone() {
-        return Err(SplendidError::recoverable(Stage::Structure, msg).in_function(&f.name));
+        return Err(
+            SplendidError::recoverable(Stage::Structure, msg).in_function(module.name_of(f.name))
+        );
     }
     Ok(StructuredFunc {
         cfunc: CFunc {
-            name: f.name.clone(),
+            name: module.name_of(f.name).to_string(),
             ret: ctype_of(f.ret_ty),
             params,
             body,
@@ -311,9 +313,13 @@ impl<'a> Structurer<'a> {
         match v {
             Value::ConstInt { val, .. } => CExpr::Int(val),
             Value::ConstF64(bits) => CExpr::Float(f64::from_bits(bits)),
-            Value::Arg(a) => CExpr::ident(self.f.params[a as usize].name.clone()),
-            Value::Global(g) => CExpr::ident(self.module.globals[g.index()].name.clone()),
-            Value::Function(fid) => CExpr::ident(self.module.functions[fid.index()].name.clone()),
+            Value::Arg(a) => CExpr::ident(self.module.name_of(self.f.params[a as usize].name)),
+            Value::Global(g) => {
+                CExpr::ident(self.module.name_of(self.module.globals[g.index()].name))
+            }
+            Value::Function(fid) => {
+                CExpr::ident(self.module.name_of(self.module.functions[fid.index()].name))
+            }
             Value::Undef(_) => CExpr::Int(0),
             Value::Inst(id) => {
                 if self.materialized.contains(&id) || !self.inlinable(id) {
@@ -416,8 +422,11 @@ impl<'a> Structurer<'a> {
             }
             InstKind::Call { callee, args } => {
                 let name = match callee {
-                    Callee::Func(fid) => self.module.functions[fid.index()].name.clone(),
-                    Callee::External(n) => n.clone(),
+                    Callee::Func(fid) => self
+                        .module
+                        .name_of(self.module.functions[fid.index()].name)
+                        .to_string(),
+                    Callee::External(n) => self.module.name_of(*n).to_string(),
                 };
                 CExpr::Call {
                     name,
@@ -437,10 +446,12 @@ impl<'a> Structurer<'a> {
         match addr {
             Value::Global(g) => {
                 let glob = &self.module.globals[g.index()];
-                CExpr::ident(glob.name.clone())
+                CExpr::ident(self.module.name_of(glob.name))
             }
             Value::Arg(a) => CExpr::Index {
-                base: Box::new(CExpr::ident(self.f.params[a as usize].name.clone())),
+                base: Box::new(CExpr::ident(
+                    self.module.name_of(self.f.params[a as usize].name),
+                )),
                 indices: vec![CExpr::Int(0)],
             },
             Value::Inst(id) => match &self.f.inst(id).kind {
@@ -451,9 +462,11 @@ impl<'a> Structurer<'a> {
                 } => {
                     let base_expr = match base {
                         Value::Global(g) => {
-                            CExpr::ident(self.module.globals[g.index()].name.clone())
+                            CExpr::ident(self.module.name_of(self.module.globals[g.index()].name))
                         }
-                        Value::Arg(a) => CExpr::ident(self.f.params[*a as usize].name.clone()),
+                        Value::Arg(a) => {
+                            CExpr::ident(self.module.name_of(self.f.params[*a as usize].name))
+                        }
                         Value::Inst(b) => {
                             if matches!(self.f.inst(*b).kind, InstKind::Alloca { .. }) {
                                 CExpr::ident(self.name_of(*b))
@@ -549,7 +562,7 @@ impl<'a> Structurer<'a> {
             {
                 continue;
             }
-            if let Some(info) = decode_marker(&inst.kind) {
+            if let Some(info) = decode_marker(&self.module.symbols, &inst.kind) {
                 if self.opts.emit_pragmas {
                     self.pending_pragma = Some(info);
                 }

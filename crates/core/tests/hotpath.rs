@@ -1,0 +1,112 @@
+//! Allocation gate for the daemon's UPDATE hot path.
+//!
+//! `span_fingerprints_into` is documented as allocation-free once its
+//! scratch buffers have warmed to the module's function count — that is
+//! the whole point of the span-hash UPDATE design (see DESIGN.md,
+//! "Allocation-free hot path"). This test pins the claim with a counting
+//! `#[global_allocator]`: after one warm-up pass, re-fingerprinting the
+//! same module text any number of times must perform **zero** heap
+//! allocations.
+//!
+//! The test lives in its own integration-test binary so the global
+//! allocator swap cannot interfere with (or be perturbed by) any other
+//! test running in the same process.
+
+use splendid_core::fingerprint::{span_fingerprints_into, SpanFingerprints};
+use splendid_ir::ModuleSpans;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator with an allocation counter bolted on. Deallocations
+/// are not counted: releasing warm capacity would itself be a bug, but
+/// the gate is about not *acquiring* memory in steady state.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A module text with enough functions and preamble to exercise every
+/// branch of the scanner (globals, debug vars, multi-block bodies).
+fn module_text(funcs: usize) -> String {
+    let mut text = String::from("module \"hotpath\"\n");
+    for i in 0..funcs {
+        text.push_str(&format!("global @A{i} : [64 x f64] = zero\n"));
+    }
+    for i in 0..funcs {
+        text.push_str(&format!(
+            "func @kernel{i}() -> void {{\nbb0 entry:\n  br bb1\nbb1 body:\n  ret void\n}}\n"
+        ));
+    }
+    text
+}
+
+// One #[test] on purpose: the counter is process-global, so concurrent
+// test threads would see each other's allocations in their measured
+// windows.
+#[test]
+fn warm_span_fingerprints_allocate_nothing() {
+    let text = module_text(24);
+    let mut spans = ModuleSpans::default();
+    let mut fps = SpanFingerprints::default();
+
+    // Warm-up: buffers grow to the module's span counts here, and only
+    // here.
+    span_fingerprints_into(&text, &mut spans, &mut fps);
+    let warm = fps.clone();
+
+    let before = allocations();
+    for _ in 0..64 {
+        span_fingerprints_into(&text, &mut spans, &mut fps);
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state span fingerprinting must not touch the heap"
+    );
+    assert_eq!(fps.funcs, warm.funcs, "results stay identical across reuse");
+    assert_eq!(fps.preamble, warm.preamble);
+
+    // Shrinking to a smaller module and growing back must also stay
+    // allocation-free: `clear()` keeps capacity, so the big module's
+    // buffers cover every smaller scan.
+    let small = module_text(3);
+    let before = allocations();
+    span_fingerprints_into(&small, &mut spans, &mut fps);
+    span_fingerprints_into(&text, &mut spans, &mut fps);
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "alternating module sizes must reuse warm capacity"
+    );
+}

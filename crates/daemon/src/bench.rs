@@ -170,8 +170,14 @@ pub struct BenchReport {
     pub incremental: Percentiles,
     /// Nothing dirty; answered from the session's retained result.
     pub fast_path: Percentiles,
-    /// UPDATE frame latency (module parse + fingerprint diff).
+    /// UPDATE frame latency, round-trip as the client sees it.
     pub update: Percentiles,
+    /// Server-side share of UPDATE spent span-scanning and hashing the
+    /// new text (the re-fingerprint work itself).
+    pub update_fingerprint: Percentiles,
+    /// Server-side share of UPDATE spent diffing fingerprints and
+    /// updating session bookkeeping.
+    pub update_bookkeeping: Percentiles,
     /// cold p50 ÷ incremental p50 — the headline number.
     pub incremental_speedup: f64,
     /// cold p50 ÷ fast-path p50.
@@ -202,6 +208,14 @@ impl BenchReport {
         out.push_str(&format!("  \"fast_path\": {},\n", self.fast_path.json()));
         out.push_str(&format!("  \"update\": {},\n", self.update.json()));
         out.push_str(&format!(
+            "  \"update_fingerprint\": {},\n",
+            self.update_fingerprint.json()
+        ));
+        out.push_str(&format!(
+            "  \"update_bookkeeping\": {},\n",
+            self.update_bookkeeping.json()
+        ));
+        out.push_str(&format!(
             "  \"incremental_speedup\": {:.3},\n",
             self.incremental_speedup
         ));
@@ -231,6 +245,8 @@ impl BenchReport {
         out.push_str(&line("incremental", &self.incremental));
         out.push_str(&line("fast-path", &self.fast_path));
         out.push_str(&line("update", &self.update));
+        out.push_str(&line("  fingerprint", &self.update_fingerprint));
+        out.push_str(&line("  bookkeeping", &self.update_bookkeeping));
         out.push_str(&format!(
             "  speedup      incremental {:.2}x, fast-path {:.2}x (vs cold, p50)\n",
             self.incremental_speedup, self.fast_path_speedup
@@ -251,6 +267,36 @@ struct Series {
     incremental: Vec<Duration>,
     fast_path: Vec<Duration>,
     update: Vec<Duration>,
+    update_fingerprint: Vec<Duration>,
+    update_bookkeeping: Vec<Duration>,
+}
+
+impl Series {
+    /// Time one UPDATE round-trip and record the server-side split the
+    /// UPDATED frame reports.
+    fn timed_update(
+        &mut self,
+        client: &mut DaemonClient,
+        text: &str,
+    ) -> Result<(u32, u32), String> {
+        let t = Instant::now();
+        let resp = client.update(text).map_err(|e| e.to_string())?;
+        self.update.push(t.elapsed());
+        let Response::Updated {
+            dirty,
+            total,
+            fingerprint_nanos,
+            bookkeeping_nanos,
+        } = resp
+        else {
+            return Err(format!("expected UPDATED, got {resp:?}"));
+        };
+        self.update_fingerprint
+            .push(Duration::from_nanos(fingerprint_nanos));
+        self.update_bookkeeping
+            .push(Duration::from_nanos(bookkeeping_nanos));
+        Ok((dirty, total))
+    }
 }
 
 /// One phase of a benchmark round.
@@ -279,9 +325,7 @@ fn run_phase_edit(
         Phase::Cold => {
             // Every function edited (fresh round constants) — all dirty.
             let text = synthetic_module(&consts)?;
-            let t = Instant::now();
-            let (dirty, total) = client.update(&text).map_err(|e| e.to_string())?;
-            series.update.push(t.elapsed());
+            let (dirty, total) = series.timed_update(client, &text)?;
             if dirty != total {
                 return Err(format!(
                     "cold round: expected all dirty, got {dirty}/{total}"
@@ -292,9 +336,7 @@ fn run_phase_edit(
             // Only function 0 edited relative to the cold phase.
             consts[0] += 0.5;
             let text = synthetic_module(&consts)?;
-            let t = Instant::now();
-            let (dirty, _) = client.update(&text).map_err(|e| e.to_string())?;
-            series.update.push(t.elapsed());
+            let (dirty, _) = series.timed_update(client, &text)?;
             if dirty != 1 {
                 return Err(format!("incremental round: expected 1 dirty, got {dirty}"));
             }
@@ -483,6 +525,8 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
         all.incremental.extend(s.incremental);
         all.fast_path.extend(s.fast_path);
         all.update.extend(s.update);
+        all.update_fingerprint.extend(s.update_fingerprint);
+        all.update_bookkeeping.extend(s.update_bookkeeping);
     }
 
     let (corpus_samples, corpus_modules) = run_corpus(&addr)?;
@@ -504,6 +548,8 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
         incremental,
         fast_path,
         update: percentiles(&all.update),
+        update_fingerprint: percentiles(&all.update_fingerprint),
+        update_bookkeeping: percentiles(&all.update_bookkeeping),
         incremental_speedup: cold.p50_ms / incremental.p50_ms.max(1e-9),
         fast_path_speedup: cold.p50_ms / fast_path.p50_ms.max(1e-9),
         corpus: percentiles(&corpus_samples),

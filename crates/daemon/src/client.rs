@@ -122,12 +122,14 @@ impl DaemonClient {
         }
     }
 
-    /// UPDATE the session module; returns `(dirty, total)`.
-    pub fn update(&mut self, module_text: &str) -> io::Result<(u32, u32)> {
+    /// UPDATE the session module; returns the full UPDATED response
+    /// (dirty/total counts plus the server's fingerprint-vs-bookkeeping
+    /// timing split).
+    pub fn update(&mut self, module_text: &str) -> io::Result<Response> {
         match self.roundtrip(&Request::Update {
             module_text: module_text.into(),
         })? {
-            Response::Updated { dirty, total } => Ok((dirty, total)),
+            r @ Response::Updated { .. } => Ok(r),
             other => Err(unexpected("UPDATED", &other)),
         }
     }

@@ -226,10 +226,16 @@ pub enum Response {
     },
     /// Module replaced.
     Updated {
-        /// Functions whose content fingerprint changed (or are new).
+        /// Root functions whose span fingerprint changed (or everything,
+        /// after a structural change).
         dirty: u32,
-        /// Total functions in the new module.
+        /// Total root functions in the new module text.
         total: u32,
+        /// Server time spent span-scanning and hashing the new text.
+        fingerprint_nanos: u64,
+        /// Server time spent diffing fingerprints and updating session
+        /// bookkeeping.
+        bookkeeping_nanos: u64,
     },
     /// Decompilation result.
     Result {
@@ -554,7 +560,17 @@ impl Response {
             Response::Opened { session, functions } => {
                 Enc::new().u32(*session).u32(*functions).finish()
             }
-            Response::Updated { dirty, total } => Enc::new().u32(*dirty).u32(*total).finish(),
+            Response::Updated {
+                dirty,
+                total,
+                fingerprint_nanos,
+                bookkeeping_nanos,
+            } => Enc::new()
+                .u32(*dirty)
+                .u32(*total)
+                .u64(*fingerprint_nanos)
+                .u64(*bookkeeping_nanos)
+                .finish(),
             Response::Result {
                 functions,
                 cached,
@@ -610,8 +626,15 @@ impl Response {
             kind::UPDATED => (|| {
                 let dirty = d.u32()?;
                 let total = d.u32()?;
+                let fingerprint_nanos = d.u64()?;
+                let bookkeeping_nanos = d.u64()?;
                 d.expect_end()?;
-                Ok(Response::Updated { dirty, total })
+                Ok(Response::Updated {
+                    dirty,
+                    total,
+                    fingerprint_nanos,
+                    bookkeeping_nanos,
+                })
             })(),
             kind::RESULT => (|| {
                 let functions = d.u32()?;
@@ -892,6 +915,8 @@ mod tests {
             Response::Updated {
                 dirty: 1,
                 total: 16,
+                fingerprint_nanos: 812_345,
+                bookkeeping_nanos: 21_000,
             },
             Response::Result {
                 functions: 16,

@@ -670,10 +670,18 @@ fn dispatch(shared: &Arc<Shared>, state: &mut ConnState, req: Request) -> Respon
         }
         Request::Update { module_text } => match &state.session {
             Some(session) => match session.lock() {
-                Ok(mut session) => match session.update(&module_text) {
-                    Ok((dirty, total)) => Response::Updated { dirty, total },
-                    Err(e) => error(ErrorCode::ModuleParse, e),
-                },
+                Ok(mut session) => {
+                    // UPDATE never parses (and so never fails): it hashes
+                    // function spans and diffs. A syntax error in the new
+                    // text surfaces at the next DECOMPILE.
+                    let u = session.update(&module_text);
+                    Response::Updated {
+                        dirty: u.dirty,
+                        total: u.total,
+                        fingerprint_nanos: u.fingerprint_nanos,
+                        bookkeeping_nanos: u.bookkeeping_nanos,
+                    }
+                }
                 Err(_) => error(ErrorCode::DecompileFailed, "session poisoned"),
             },
             None => error(ErrorCode::NoSession, "no open session; send OPEN first"),

@@ -1,27 +1,38 @@
-//! Interactive decompilation sessions: a parsed module, its per-function
-//! content fingerprints, and the incremental re-decompilation logic.
+//! Interactive decompilation sessions: retained module text, span
+//! fingerprints, and the incremental re-decompilation logic.
 //!
-//! Invalidation rules (see DESIGN.md, "Interactive daemon & wire
-//! protocol"):
+//! Invalidation rules (see DESIGN.md, "Allocation-free hot path"):
 //!
-//! * OPEN parses the module and fingerprints every function
-//!   ([`splendid_core::module_fingerprints`], FNV-64 over canonical
-//!   printed IR); everything starts dirty.
-//! * UPDATE re-parses and re-fingerprints; a function is **dirty** when
-//!   its digest changed or its name is new. A whole-module digest equality
-//!   additionally catches global/debug-metadata changes: if it is
-//!   unchanged, the update is a no-op (dirty = 0).
-//! * DECOMPILE with nothing dirty and a retained last result answers from
-//!   the session without touching the scheduler (the fast path). Otherwise
-//!   the module is submitted to the shared [`Scheduler`]; unchanged
-//!   functions come back from the content-addressed serve cache (their
-//!   cache keys are built from the very same fingerprints), and only dirty
-//!   functions re-run `decompile_function`.
+//! * OPEN parses and prepares the module eagerly (the reply reports the
+//!   function count) and span-fingerprints the text
+//!   ([`splendid_core::fingerprint::span_fingerprints_into`]: one linear
+//!   pass, no parsing). Everything starts dirty.
+//! * UPDATE never parses. It re-hashes the function spans of the new
+//!   text into warm buffers and diffs them against the previous scan —
+//!   microseconds, allocation-free in steady state. A changed function
+//!   body marks its *root* dirty ([`splendid_core::incremental::root_of`]
+//!   folds outlined `_polly_parN` regions into the kernel they are
+//!   inlined back into); a preamble change or any added/removed/renamed
+//!   function marks everything dirty. Parse errors in the new text are
+//!   deliberately not detected here — they surface at the next
+//!   DECOMPILE, which is the first request that needs the IR.
+//! * DECOMPILE re-prepares lazily. When only a minority of roots is
+//!   dirty it builds a *mini-module* (preamble + dirty-root spans) and
+//!   [`splendid_core::incremental::reprepare`]s just those bytes,
+//!   transplanting the prepared functions into a clone of the previous
+//!   prepared module — parse + detransform cost tracks the edit, not the
+//!   module. Any structural surprise falls back to a full prepare;
+//!   correctness never depends on the incremental path. Unchanged
+//!   functions keep their content fingerprints and come back from the
+//!   content-addressed serve cache; with nothing dirty at all, the
+//!   retained last result answers without touching the scheduler.
 
+use splendid_core::fingerprint::{span_fingerprints_into, SpanFingerprints};
+use splendid_core::incremental::{reprepare, root_of};
 use splendid_core::{prepare_module, PreparedModule, SplendidOptions, StageTimings, Variant};
-use splendid_ir::{parser::parse_module, printer::module_str};
+use splendid_ir::{parser::parse_module, ModuleSpans};
 use splendid_serve::{JobError, JobInput, JobRequest, Scheduler, ServeStats};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,6 +45,20 @@ pub fn variant_from_wire(v: u8) -> Option<Variant> {
         3 => Some(Variant::Full),
         _ => None,
     }
+}
+
+/// What a session's UPDATE returns to the connection handler.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateOutcome {
+    /// Root functions dirty after this update (accumulated since the
+    /// last successful decompile).
+    pub dirty: u32,
+    /// Total root functions in the module text.
+    pub total: u32,
+    /// Time spent span-scanning and hashing the new text.
+    pub fingerprint_nanos: u64,
+    /// Time spent diffing fingerprints and updating session state.
+    pub bookkeeping_nanos: u64,
 }
 
 /// What a session's DECOMPILE returns to the connection handler.
@@ -69,22 +94,32 @@ pub struct Session {
     options: SplendidOptions,
     /// Per-session serve counters, teed from the shared scheduler.
     pub stats: Arc<ServeStats>,
-    /// The prepared (parsed + detransformed) module. Preparing happens
-    /// once per OPEN/UPDATE — the fingerprints need it anyway — and is
-    /// submitted as [`JobInput::Prepared`] behind an `Arc`, so DECOMPILE
-    /// skips straight to the per-function fan-out without copying the
-    /// module.
+    /// Retained module text — the source of truth between UPDATEs.
+    text: String,
+    /// Span scan of `text` (byte ranges of the preamble and every `func`
+    /// definition). Warm buffer: reused across updates.
+    spans: ModuleSpans,
+    /// Span fingerprints of `text`, parallel to `spans`.
+    span_fps: SpanFingerprints,
+    /// Scratch buffers the next UPDATE scans into before the diff (then
+    /// swapped with `spans`/`span_fps`, so both stay warm).
+    scratch_spans: ModuleSpans,
+    scratch_fps: SpanFingerprints,
+    /// Distinct root functions in `spans` (outlined regions folded into
+    /// their kernels) — the `total` every UPDATE reply reports.
+    roots_total: u32,
+    /// Roots whose span hash changed since the last successful decompile.
+    dirty_roots: BTreeSet<String>,
+    /// Everything is dirty (fresh OPEN, preamble edit, or any
+    /// added/removed/renamed function).
+    all_dirty: bool,
+    /// The prepared (parsed + detransformed) module, submitted as
+    /// [`JobInput::Prepared`] behind an `Arc` so DECOMPILE skips straight
+    /// to the per-function fan-out without copying it.
     prepared: Arc<PreparedModule>,
-    /// name → content fingerprint of the current module's *prepared*
-    /// functions (outlined parallel regions inlined back into their
-    /// callers, exactly the functions the scheduler fans out — so an
-    /// edit inside an outlined region body dirties the kernel it is
-    /// inlined into, matching the serve cache's keying).
-    fingerprints: HashMap<String, u64>,
-    /// Digest over the whole printed module (globals included).
-    module_digest: u64,
-    /// Functions changed since the last successful decompile.
-    dirty: u32,
+    /// `prepared` no longer reflects `text`; the next DECOMPILE must
+    /// re-prepare (incrementally when it can) before submitting.
+    prepared_stale: bool,
     last: Option<LastResult>,
     /// Request counters for the stats surface.
     opens: u64,
@@ -95,23 +130,28 @@ pub struct Session {
     started: Instant,
 }
 
-/// What [`digest_module`] produces: the shared prepared module, the
-/// prepared-function fingerprints, and the raw-module digest.
-type DigestedModule = (Arc<PreparedModule>, HashMap<String, u64>, u64);
+/// Distinct root-function count of a span scan.
+fn count_roots(spans: &ModuleSpans, text: &str) -> u32 {
+    let mut roots: Vec<&str> = spans
+        .funcs
+        .iter()
+        .map(|f| root_of(f.name_str(text)))
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    roots.len() as u32
+}
 
-/// Parse and prepare module text, returning the prepared module, the
-/// prepared-function fingerprints (so dirty tracking agrees with the
-/// scheduler's cache keys by construction), and a digest over the raw
-/// printed module for no-op detection.
-fn digest_module(text: &str, opts: &SplendidOptions) -> Result<DigestedModule, String> {
-    let module = parse_module(text).map_err(|e| e.to_string())?;
-    let digest = splendid_core::fingerprint::fnv64(module_str(&module).as_bytes());
+/// Parse and prepare module text from scratch (the non-incremental path).
+fn full_prepare(text: &str, opts: &SplendidOptions) -> Result<PreparedModule, JobError> {
+    let module = parse_module(text).map_err(|e| JobError::Parse(e.to_string()))?;
     let mut timings = StageTimings::default();
-    let prepared = prepare_module(&module, opts, &mut timings).map_err(|e| e.to_string())?;
+    let prepared = prepare_module(&module, opts, &mut timings)
+        .map_err(|e| JobError::Prepare(e.to_string()))?;
     // Populate the memoized digests before sharing: every later consumer
     // (cache keys, dirty diffs) reads the same computed-once values.
-    let fingerprints = prepared.function_fingerprints().into_iter().collect();
-    Ok((Arc::new(prepared), fingerprints, digest))
+    prepared.digests();
+    Ok(prepared)
 }
 
 impl Session {
@@ -121,17 +161,26 @@ impl Session {
             variant,
             ..SplendidOptions::default()
         };
-        let (prepared, fingerprints, module_digest) = digest_module(text, &options)?;
-        let dirty = fingerprints.len() as u32;
+        let prepared = full_prepare(text, &options).map_err(|e| e.to_string())?;
+        let mut spans = ModuleSpans::default();
+        let mut span_fps = SpanFingerprints::default();
+        span_fingerprints_into(text, &mut spans, &mut span_fps);
+        let roots_total = count_roots(&spans, text);
         Ok(Session {
             id,
             name,
             options,
             stats: Arc::new(ServeStats::default()),
-            prepared,
-            fingerprints,
-            module_digest,
-            dirty,
+            text: text.to_string(),
+            spans,
+            span_fps,
+            scratch_spans: ModuleSpans::default(),
+            scratch_fps: SpanFingerprints::default(),
+            roots_total,
+            dirty_roots: BTreeSet::new(),
+            all_dirty: true,
+            prepared: Arc::new(prepared),
+            prepared_stale: false,
             last: None,
             opens: 1,
             updates: 0,
@@ -141,47 +190,113 @@ impl Session {
         })
     }
 
-    /// Functions in the current module after preparation (outlined
-    /// parallel regions are inlined away) — the unit of incremental
-    /// re-decompilation, and the count every RESULT frame reports.
+    /// Functions in the current prepared module (outlined parallel
+    /// regions are inlined away) — the unit of incremental
+    /// re-decompilation, and the count the OPENED frame reports.
     pub fn functions(&self) -> u32 {
-        self.fingerprints.len() as u32
+        self.prepared.digests().functions.len() as u32
     }
 
-    /// Replace the module, dirty-diffing against the previous
-    /// fingerprints. Returns `(dirty, total)`.
-    pub fn update(&mut self, text: &str) -> Result<(u32, u32), String> {
-        let (prepared, fingerprints, module_digest) = digest_module(text, &self.options)?;
-        self.updates += 1;
-        if module_digest == self.module_digest {
-            // Byte-identical module: nothing to do, previous dirt stands.
-            return Ok((self.dirty, self.functions()));
+    /// Root functions dirty right now.
+    fn dirty_count(&self) -> u32 {
+        if self.all_dirty {
+            self.roots_total
+        } else {
+            self.dirty_roots.len() as u32
         }
-        let mut newly_dirty = 0u32;
-        for (name, fp) in &fingerprints {
-            if self.fingerprints.get(name) != Some(fp) {
-                newly_dirty += 1;
+    }
+
+    /// Replace the module text, dirty-diffing span fingerprints against
+    /// the previous scan. No parsing happens here — this is the hot
+    /// path an editor hits on every keystroke burst.
+    pub fn update(&mut self, text: &str) -> UpdateOutcome {
+        self.updates += 1;
+        let t0 = Instant::now();
+        span_fingerprints_into(text, &mut self.scratch_spans, &mut self.scratch_fps);
+        let fingerprint_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+        let t1 = Instant::now();
+        let mut structural = self.scratch_fps.preamble != self.span_fps.preamble
+            || self.scratch_fps.funcs.len() != self.span_fps.funcs.len();
+        let mut changed = structural;
+        if !structural {
+            for (i, f) in self.scratch_fps.funcs.iter().enumerate() {
+                match self.span_fps.position_of(f.name_hash) {
+                    None => {
+                        // Renamed (or hash-colliding) function: be safe.
+                        structural = true;
+                        changed = true;
+                        break;
+                    }
+                    Some(j) => {
+                        if self.span_fps.funcs[j].body_hash != f.body_hash {
+                            changed = true;
+                            let name = self.scratch_spans.funcs[i].name_str(text);
+                            self.dirty_roots.insert(root_of(name).to_string());
+                        }
+                    }
+                }
             }
         }
-        // A non-function change (globals, debug vars) shifts the module
-        // context every cache key includes; treat everything as dirty.
-        if newly_dirty == 0 {
-            newly_dirty = fingerprints.len() as u32;
+        if changed {
+            // Keep both buffer pairs warm by swapping rather than moving.
+            std::mem::swap(&mut self.spans, &mut self.scratch_spans);
+            std::mem::swap(&mut self.span_fps, &mut self.scratch_fps);
+            self.text.clear();
+            self.text.push_str(text);
+            self.roots_total = count_roots(&self.spans, &self.text);
+            self.prepared_stale = true;
+            // The retained result no longer matches the module text.
+            self.last = None;
+            if structural {
+                self.all_dirty = true;
+                self.dirty_roots.clear();
+            }
         }
-        self.prepared = prepared;
-        self.fingerprints = fingerprints;
-        self.module_digest = module_digest;
-        // The retained result no longer matches the module text.
-        self.last = None;
-        self.dirty = self.dirty.saturating_add(newly_dirty).min(self.functions());
-        Ok((self.dirty, self.functions()))
+        UpdateOutcome {
+            dirty: self.dirty_count(),
+            total: self.roots_total,
+            fingerprint_nanos,
+            bookkeeping_nanos: u64::try_from(t1.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Bring `prepared` back in sync with `text`: incrementally when a
+    /// strict minority of roots is dirty, from scratch otherwise (or
+    /// whenever the incremental path declines).
+    fn refresh_prepared(&mut self) -> Result<(), JobError> {
+        if !self.all_dirty
+            && !self.dirty_roots.is_empty()
+            && (self.dirty_roots.len() as u32) < self.roots_total
+        {
+            let mut mini = String::new();
+            for &(a, b) in &self.spans.preamble {
+                mini.push_str(&self.text[a..b]);
+            }
+            for f in &self.spans.funcs {
+                if self.dirty_roots.contains(root_of(f.name_str(&self.text))) {
+                    mini.push_str(f.body_str(&self.text));
+                }
+            }
+            let roots: Vec<&str> = self.dirty_roots.iter().map(|s| s.as_str()).collect();
+            let mut timings = StageTimings::default();
+            if let Ok(p) = reprepare(&self.prepared, &mini, &roots, &self.options, &mut timings) {
+                self.prepared = Arc::new(p);
+                self.prepared_stale = false;
+                return Ok(());
+            }
+            // Recoverable by design: fall through to the full prepare.
+        }
+        self.prepared = Arc::new(full_prepare(&self.text, &self.options)?);
+        self.prepared_stale = false;
+        Ok(())
     }
 
     /// Decompile the current module incrementally through the shared
     /// scheduler (or from the retained result when nothing is dirty).
     pub fn decompile(&mut self, scheduler: &Scheduler) -> Result<DecompileReply, JobError> {
         self.decompiles += 1;
-        let dirty = self.dirty;
+        let dirty = self.dirty_count();
         if dirty == 0 {
             if let Some(last) = &self.last {
                 self.fast_path_decompiles += 1;
@@ -195,6 +310,9 @@ impl Session {
                 });
             }
         }
+        if self.prepared_stale {
+            self.refresh_prepared()?;
+        }
         let request = JobRequest {
             name: self.name.clone(),
             input: JobInput::Prepared(Arc::clone(&self.prepared)),
@@ -203,7 +321,8 @@ impl Session {
         let result = scheduler
             .submit_with_stats(request, Some(Arc::clone(&self.stats)))
             .wait()?;
-        self.dirty = 0;
+        self.all_dirty = false;
+        self.dirty_roots.clear();
         let reply = DecompileReply {
             source: result.output.source.clone(),
             functions: result.functions as u32,
@@ -232,7 +351,7 @@ impl Session {
             self.name,
             self.started.elapsed().as_secs(),
             self.functions(),
-            self.dirty
+            self.dirty_count()
         ));
         out.push_str(&format!(
             "  requests   {} open / {} update / {} decompile ({} fast-path)\n",
@@ -274,6 +393,7 @@ impl Session {
 mod tests {
     use super::*;
     use splendid_cfront::{lower_program, parse_program, LowerOptions};
+    use splendid_ir::printer::module_str;
     use splendid_parallel::{parallelize_module, ParallelizeOptions};
     use splendid_serve::ServeConfig;
     use splendid_transforms::{optimize_module, O2Options};
@@ -310,8 +430,8 @@ mod tests {
 
         // Edit only the middle kernel's constant.
         let edited = module_text(&[0.25, 0.625, 0.75]);
-        let (dirty, total) = session.update(&edited).unwrap();
-        assert_eq!((dirty, total), (1, 3), "exactly one function is dirty");
+        let u = session.update(&edited);
+        assert_eq!((u.dirty, u.total), (1, 3), "exactly one function is dirty");
 
         let second = session.decompile(&scheduler).unwrap();
         assert_eq!(second.dirty, 1);
@@ -322,11 +442,78 @@ mod tests {
         assert_ne!(first.source, second.source);
 
         // Identical text: nothing dirty, fast path answers in-session.
-        let (dirty, _) = session.update(&edited).unwrap();
-        assert_eq!(dirty, 0);
+        let u = session.update(&edited);
+        assert_eq!(u.dirty, 0);
         let third = session.decompile(&scheduler).unwrap();
         assert!(third.fast_path);
         assert_eq!(third.source, second.source);
+    }
+
+    #[test]
+    fn incremental_output_matches_full_reprepare() {
+        // The decompiled source after an incremental re-prepare must be
+        // byte-identical to what a fresh session over the same text
+        // produces — the transplant path must never change the output.
+        let scheduler = Scheduler::new(ServeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let base = module_text(&[0.25, 0.5, 0.75]);
+        let edited = module_text(&[0.25, 0.625, 0.75]);
+
+        let mut session = Session::open(1, "t".into(), Variant::Full, &base).unwrap();
+        session.decompile(&scheduler).unwrap();
+        session.update(&edited);
+        let incremental = session.decompile(&scheduler).unwrap();
+
+        let mut fresh = Session::open(2, "t".into(), Variant::Full, &edited).unwrap();
+        let full = fresh.decompile(&scheduler).unwrap();
+        assert_eq!(incremental.source, full.source);
+    }
+
+    #[test]
+    fn preamble_edits_dirty_everything() {
+        let scheduler = Scheduler::new(ServeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let base = module_text(&[0.25, 0.5]);
+        let mut session = Session::open(1, "t".into(), Variant::Full, &base).unwrap();
+        session.decompile(&scheduler).unwrap();
+
+        // Rename a global: the preamble hash shifts, so every function's
+        // context — and hence every cache key — is suspect.
+        let edited = base.replace("@A0", "@Z0");
+        let u = session.update(&edited);
+        assert_eq!(u.dirty, u.total, "preamble edits must dirty everything");
+    }
+
+    #[test]
+    fn update_reports_timing_split() {
+        let base = module_text(&[0.25]);
+        let mut session = Session::open(1, "t".into(), Variant::Full, &base).unwrap();
+        let u = session.update(&module_text(&[0.375]));
+        assert_eq!(u.dirty, 1);
+        assert!(u.fingerprint_nanos > 0, "scan+hash time must be measured");
+    }
+
+    #[test]
+    fn garbage_update_fails_at_decompile_not_update() {
+        let scheduler = Scheduler::new(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let base = module_text(&[0.25]);
+        let mut session = Session::open(1, "t".into(), Variant::Full, &base).unwrap();
+        session.decompile(&scheduler).unwrap();
+        // UPDATE is validation-free by design (it never parses); the
+        // error surfaces at the next DECOMPILE, and a corrective UPDATE
+        // heals the session.
+        session.update("this is not ir");
+        let err = session.decompile(&scheduler).unwrap_err();
+        assert!(matches!(err, JobError::Parse(_)), "{err:?}");
+        session.update(&base);
+        assert!(session.decompile(&scheduler).is_ok());
     }
 
     #[test]

@@ -72,7 +72,9 @@ fn incremental_session_over_tcp() {
 
     // Edit exactly one kernel: one dirty, the rest served from cache.
     let edited = module_text(&[0.25, 0.625, 0.75]);
-    let (dirty, total) = client.update(&edited).unwrap();
+    let Response::Updated { dirty, total, .. } = client.update(&edited).unwrap() else {
+        panic!("expected UPDATED");
+    };
     assert_eq!((dirty, total), (1, 3));
     let Response::Result {
         cached,

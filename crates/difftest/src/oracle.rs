@@ -10,6 +10,7 @@
 //! | `polly`            | cfront → `-O2` → Polly-sim parallelizer → interp      |
 //! | `decompile-libomp` | polly IR → SPLENDID decompile → cfront(libomp) → -O2 → interp |
 //! | `decompile-libgomp`| same, recompiled against the GOMP-style runtime       |
+//! | `decompile-quick`  | polly IR → Quick-tier decompile → cfront(libomp) → -O2 → interp |
 //! | `stability`        | decompiling the same IR twice must be byte-identical  |
 //!
 //! The decompilation step goes through a [`Decompiler`] so the CLI can
@@ -233,10 +234,41 @@ impl<'d> Oracle<'d> {
             }
         }
 
+        // Route decompile-quick: the single-pass Quick tier (no CFG
+        // reconstruction) must still recompile and agree on the
+        // checksum — lower readability, never lower correctness.
+        let qopts = SplendidOptions {
+            start_tier: splendid_core::FidelityTier::Quick,
+            ..SplendidOptions::default()
+        };
+        let quick = self
+            .decompiler
+            .decompile(&polly, &qopts)
+            .map_err(|e| fail("decompile-quick", FailureKind::PipelineError, e))?;
+        let (cq, _) =
+            Harness::recompile_and_run(&quick, OmpRuntime::LibOmp, CompilerProfile::gcc(), &names)
+                .map_err(|e| {
+                    fail(
+                        "decompile-quick",
+                        FailureKind::PipelineError,
+                        format!("{e}\n--- quick source ---\n{quick}"),
+                    )
+                })?;
+        if cq != reference {
+            return Err(fail(
+                "decompile-quick",
+                FailureKind::Mismatch,
+                format!(
+                    "quick-tier checksum {cq} != reference {reference}\
+                     \n--- quick source ---\n{quick}"
+                ),
+            ));
+        }
+
         Ok(CaseReport {
             checksum: reference,
             parallelized_loops,
-            routes: 6,
+            routes: 7,
         })
     }
 }
@@ -257,7 +289,7 @@ mod tests {
             .check_source(GOOD, &["A".into()])
             .unwrap_or_else(|e| panic!("{e}"));
         assert!(report.checksum.is_finite());
-        assert_eq!(report.routes, 6);
+        assert_eq!(report.routes, 7);
         assert!(report.parallelized_loops >= 1, "elementwise loop is DOALL");
     }
 

@@ -67,8 +67,8 @@ pub struct Vm<'m> {
     mem: Vec<u8>,
     /// Stack bump pointer.
     sp: u64,
-    /// Global name -> base address.
-    global_base: HashMap<String, u64>,
+    /// Global name symbol -> base address.
+    global_base: HashMap<splendid_ir::Symbol, u64>,
     /// Cycle accumulator (cost model).
     cycles: u64,
     /// Bytes moved by loads/stores (for the bandwidth ceiling).
@@ -108,7 +108,7 @@ impl<'m> Vm<'m> {
                     }
                 }
             }
-            global_base.insert(g.name.clone(), base);
+            global_base.insert(g.name, base);
         }
         let fuel = config.fuel;
         Vm {
@@ -137,9 +137,10 @@ impl<'m> Vm<'m> {
 
     /// Base address of a global.
     pub fn global_addr(&self, name: &str) -> Result<u64, ExecError> {
-        self.global_base
-            .get(name)
-            .copied()
+        self.module
+            .symbols
+            .lookup(name)
+            .and_then(|sym| self.global_base.get(&sym).copied())
             .ok_or_else(|| ExecError(format!("unknown global '{name}'")))
     }
 
@@ -169,7 +170,7 @@ impl<'m> Vm<'m> {
             .module
             .globals
             .iter()
-            .find(|g| g.name == name)
+            .find(|g| self.module.name_of(g.name) == name)
             .ok_or_else(|| ExecError(format!("unknown global '{name}'")))?;
         let n = g.mem.num_elems();
         let mut sum = 0.0;
@@ -184,7 +185,7 @@ impl<'m> Vm<'m> {
     pub fn checksum_all(&self) -> Result<f64, ExecError> {
         let mut sum = 0.0;
         for g in &self.module.globals {
-            sum += self.checksum_global(&g.name)?;
+            sum += self.checksum_global(self.module.name_of(g.name))?;
         }
         Ok(sum)
     }
@@ -319,8 +320,8 @@ impl<'m> Vm<'m> {
             Value::ConstInt { val, .. } => RtVal::Int(val),
             Value::ConstF64(bits) => RtVal::F64(f64::from_bits(bits)),
             Value::Global(g) => {
-                let name = &self.module.globals[g.index()].name;
-                RtVal::Ptr(self.global_base[name])
+                let name = self.module.globals[g.index()].name;
+                RtVal::Ptr(self.global_base[&name])
             }
             Value::Function(f) => RtVal::Int(f.0 as i64), // function token
             Value::Undef(ty) => match ty {
@@ -521,7 +522,10 @@ impl<'m> Vm<'m> {
                         self.tick(prof.call_cost)?;
                         Ok(self.call(*cid, vals)?)
                     }
-                    Callee::External(name) => self.call_external(f, name, args, vals),
+                    Callee::External(name) => {
+                        let nm = self.module.name_of(*name);
+                        self.call_external(f, nm, args, vals)
+                    }
                 }
             }
             InstKind::DbgValue { .. } | InstKind::Nop => {

@@ -2,35 +2,42 @@
 //! instruction, positioned at the end of a current block.
 
 use crate::{
-    BinOp, BlockId, Callee, CastOp, FPred, Function, IPred, Inst, InstKind, MemType, Param, Type,
-    Value, VarId,
+    BinOp, BlockId, Callee, CastOp, FPred, FuncId, Function, IPred, Inst, InstKind, MemType,
+    Module, Type, Value, VarId,
 };
 
 /// Builds a [`Function`] by appending instructions to a current insertion
-/// block, in the style of LLVM's `IRBuilder`.
-pub struct FuncBuilder {
+/// block, in the style of LLVM's `IRBuilder`. The builder borrows the
+/// destination [`Module`] so every name is interned at construction time;
+/// [`FuncBuilder::finish`] pushes the function and returns its id.
+pub struct FuncBuilder<'m> {
+    module: &'m mut Module,
     func: Function,
     cur: BlockId,
 }
 
-impl FuncBuilder {
+impl<'m> FuncBuilder<'m> {
     /// Start building a function with the given name, parameters, and
     /// return type. The insertion point is the entry block.
-    pub fn new(name: &str, params: &[(&str, Type)], ret_ty: Type) -> FuncBuilder {
-        let params = params
-            .iter()
-            .map(|(n, t)| Param {
-                name: (*n).into(),
-                ty: *t,
-            })
-            .collect();
-        let func = Function::new(name, params, ret_ty);
+    pub fn new(
+        module: &'m mut Module,
+        name: &str,
+        params: &[(&str, Type)],
+        ret_ty: Type,
+    ) -> FuncBuilder<'m> {
+        let func = Function::new(&mut module.symbols, name, params, ret_ty);
         let cur = func.entry;
-        FuncBuilder { func, cur }
+        FuncBuilder { module, func, cur }
     }
 
-    /// Finish building and return the function.
-    pub fn finish(self) -> Function {
+    /// Finish building: push the function into the module and return its
+    /// id.
+    pub fn finish(self) -> FuncId {
+        self.module.push_function(self.func)
+    }
+
+    /// Finish building and return the function without pushing it.
+    pub fn into_func(self) -> Function {
         self.func
     }
 
@@ -44,6 +51,21 @@ impl FuncBuilder {
         &mut self.func
     }
 
+    /// The destination module (for symbol lookups mid-build).
+    pub fn module(&self) -> &Module {
+        self.module
+    }
+
+    /// Intern a name in the destination module's symbol table.
+    pub fn intern(&mut self, name: &str) -> crate::Symbol {
+        self.module.intern(name)
+    }
+
+    /// An external callee by name.
+    pub fn ext(&mut self, name: &str) -> Callee {
+        Callee::External(self.module.intern(name))
+    }
+
     /// Current insertion block.
     pub fn current_block(&self) -> BlockId {
         self.cur
@@ -51,7 +73,8 @@ impl FuncBuilder {
 
     /// Create a new block without moving the insertion point.
     pub fn new_block(&mut self, name: &str) -> BlockId {
-        self.func.add_block(name)
+        let sym = self.module.intern(name);
+        self.func.add_block(sym)
     }
 
     /// Move the insertion point to the end of `block`.
@@ -82,7 +105,7 @@ impl FuncBuilder {
         let inst = if name.is_empty() {
             Inst::new(kind, ty)
         } else {
-            Inst::named(kind, ty, name)
+            Inst::named(kind, ty, self.module.intern(name))
         };
         let id = self.func.append_inst(self.cur, inst);
         Value::Inst(id)
@@ -208,7 +231,8 @@ mod tests {
     #[test]
     fn builds_loop_skeleton() {
         // for (i = 0; i < n; i++) ;
-        let mut b = FuncBuilder::new("count", &[("n", Type::I64)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "count", &[("n", Type::I64)], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let exit = b.new_block("exit");
@@ -229,17 +253,19 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        let f = b.finish();
+        let fid = b.finish();
+        let f = m.func(fid);
         assert_eq!(f.blocks.len(), 4);
         assert_eq!(f.successors(header), vec![body, exit]);
         assert_eq!(f.successors(body), vec![header]);
-        crate::verify::verify_function(&f).unwrap();
+        crate::verify::verify_function(f).unwrap();
     }
 
     #[test]
     #[should_panic(expected = "argument out of range")]
     fn arg_bounds_checked() {
-        let b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         b.arg(0);
     }
 }

@@ -1,6 +1,6 @@
 //! Instructions and opcodes.
 
-use crate::{BlockId, FuncId, MemType, Type, Value, VarId};
+use crate::{BlockId, FuncId, MemType, Symbol, Type, Value, VarId};
 
 /// Integer and floating-point binary opcodes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -264,15 +264,17 @@ pub enum Callee {
     /// Direct call to a function in the same module.
     Func(FuncId),
     /// External symbol (libm math functions, OpenMP runtime entry points
-    /// such as `__kmpc_fork_call` and `GOMP_parallel`, `malloc`, ...).
-    External(String),
+    /// such as `__kmpc_fork_call` and `GOMP_parallel`, `malloc`, ...),
+    /// interned in the owning module's symbol table.
+    External(Symbol),
 }
 
 impl Callee {
-    /// External symbol name, if this is an external callee.
-    pub fn external_name(&self) -> Option<&str> {
+    /// External symbol, if this is an external callee. Resolve through the
+    /// owning module's symbol table.
+    pub fn external_name(&self) -> Option<Symbol> {
         match self {
-            Callee::External(s) => Some(s),
+            Callee::External(s) => Some(*s),
             Callee::Func(_) => None,
         }
     }
@@ -553,8 +555,8 @@ pub struct Inst {
     /// Result type; `Void` for instructions without a result.
     pub ty: Type,
     /// Optional register-name hint carried from the source or synthesized
-    /// by passes (e.g. `indvar`, `iv.next`). Purely cosmetic.
-    pub name: Option<String>,
+    /// by passes (e.g. `indvar`, `iv.next`). Purely cosmetic; interned.
+    pub name: Option<Symbol>,
     /// Source line this instruction originates from, when known.
     pub dbg_line: Option<u32>,
 }
@@ -570,12 +572,12 @@ impl Inst {
         }
     }
 
-    /// New instruction with a register-name hint.
-    pub fn named(kind: InstKind, ty: Type, name: impl Into<String>) -> Inst {
+    /// New instruction with an interned register-name hint.
+    pub fn named(kind: InstKind, ty: Type, name: Symbol) -> Inst {
         Inst {
             kind,
             ty,
-            name: Some(name.into()),
+            name: Some(name),
             dbg_line: None,
         }
     }
@@ -707,7 +709,7 @@ mod tests {
         }
         .has_side_effects());
         assert!(InstKind::Call {
-            callee: Callee::External("exp".into()),
+            callee: Callee::External(Symbol(0)),
             args: vec![]
         }
         .has_side_effects());

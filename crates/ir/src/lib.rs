@@ -18,33 +18,40 @@
 //!   [`printer`] and [`parser`] with round-trip guarantees, and a
 //!   [`verify`] module enforcing SSA dominance and type rules.
 //!
+//! All identifiers (function, block, parameter, global, and value names)
+//! are interned into a per-module [`SymbolTable`] and carried as 4-byte
+//! [`Symbol`] handles, keeping the IR allocation-free on the hot paths.
+//!
 //! # Example
 //!
 //! ```
 //! use splendid_ir::{Module, Type, builder::FuncBuilder, BinOp};
 //!
 //! let mut module = Module::new("demo");
-//! let mut b = FuncBuilder::new("add1", &[("x", Type::I64)], Type::I64);
+//! let mut b = FuncBuilder::new(&mut module, "add1", &[("x", Type::I64)], Type::I64);
 //! let x = b.arg(0);
 //! let one = b.const_i64(1);
 //! let sum = b.bin(BinOp::Add, Type::I64, x, one, "sum");
 //! b.ret(Some(sum));
-//! let f = b.finish();
-//! module.push_function(f);
+//! b.finish();
 //! splendid_ir::verify::verify_module(&module).unwrap();
 //! ```
 
 pub mod builder;
 pub mod inst;
+pub mod intern;
 pub mod module;
 pub mod parser;
 pub mod printer;
+pub mod span;
 pub mod types;
 pub mod value;
 pub mod verify;
 
 pub use inst::{BinOp, Callee, CastOp, FPred, IPred, Inst, InstKind};
+pub use intern::{Symbol, SymbolTable};
 pub use module::{Block, DiVariable, Function, Global, GlobalInit, Module, Param};
+pub use span::{scan_spans, scan_spans_into, ByteSpan, FuncSpan, ModuleSpans};
 pub use types::{MemType, Type};
 pub use value::Value;
 

@@ -1,14 +1,22 @@
 //! Modules, functions, basic blocks, globals, and debug variables.
+//!
+//! All identifiers are interned into the owning module's [`SymbolTable`]
+//! and carried as [`Symbol`] handles; resolve them through
+//! [`Module::name_of`]. Instructions and blocks live in typed arenas and
+//! reference each other by index handles, so the whole IR is a handful of
+//! flat vectors with no per-node heap strings.
 
-use crate::{BlockId, FuncId, GlobalId, Inst, InstId, InstKind, MemType, Type, Value, VarId};
+use crate::{
+    BlockId, FuncId, Inst, InstId, InstKind, MemType, Symbol, SymbolTable, Type, Value, VarId,
+};
 use std::collections::HashMap;
 
 /// A function parameter.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Param {
-    /// Source-level name of the parameter.
-    pub name: String,
+    /// Source-level name of the parameter (interned).
+    pub name: Symbol,
     /// Scalar type of the parameter.
     pub ty: Type,
 }
@@ -18,8 +26,8 @@ pub struct Param {
 #[derive(Clone, PartialEq, Debug, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Block {
-    /// Label, unique within the function.
-    pub name: String,
+    /// Label, unique within the function (interned).
+    pub name: Symbol,
     /// Instruction ids in execution order. The last one is the terminator
     /// in a verified function.
     pub insts: Vec<InstId>,
@@ -34,8 +42,8 @@ pub struct Block {
 #[derive(Clone, PartialEq, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Function {
-    /// Symbol name.
-    pub name: String,
+    /// Symbol name (interned in the owning module).
+    pub name: Symbol,
     /// Parameters.
     pub params: Vec<Param>,
     /// Return type.
@@ -52,14 +60,27 @@ pub struct Function {
 }
 
 impl Function {
-    /// Create an empty function with a fresh entry block named `"entry"`.
-    pub fn new(name: impl Into<String>, params: Vec<Param>, ret_ty: Type) -> Function {
+    /// Create an empty function with a fresh entry block named `"entry"`,
+    /// interning the name and parameter names into `symbols`.
+    pub fn new(
+        symbols: &mut SymbolTable,
+        name: &str,
+        params: &[(&str, Type)],
+        ret_ty: Type,
+    ) -> Function {
+        let params = params
+            .iter()
+            .map(|(n, t)| Param {
+                name: symbols.intern(n),
+                ty: *t,
+            })
+            .collect();
         Function {
-            name: name.into(),
+            name: symbols.intern(name),
             params,
             ret_ty,
             blocks: vec![Block {
-                name: "entry".into(),
+                name: symbols.intern("entry"),
                 insts: Vec::new(),
             }],
             insts: Vec::new(),
@@ -88,11 +109,11 @@ impl Function {
         &mut self.blocks[id.index()]
     }
 
-    /// Allocate a new empty block with the given label.
-    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+    /// Allocate a new empty block with the given (already interned) label.
+    pub fn add_block(&mut self, name: Symbol) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
         self.blocks.push(Block {
-            name: name.into(),
+            name,
             insts: Vec::new(),
         });
         id
@@ -235,8 +256,8 @@ pub enum GlobalInit {
 #[derive(Clone, PartialEq, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Global {
-    /// Symbol name.
-    pub name: String,
+    /// Symbol name (interned).
+    pub name: Symbol,
     /// Shape of the object.
     pub mem: MemType,
     /// Initializer.
@@ -245,21 +266,24 @@ pub struct Global {
 
 /// A source-level variable described by debug metadata, the analogue of
 /// LLVM's `DILocalVariable`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DiVariable {
-    /// Source name (`"i"`, `"A"`, ...).
-    pub name: String,
-    /// Name of the function whose scope declared the variable.
-    pub scope: String,
+    /// Source name (`"i"`, `"A"`, ...), interned.
+    pub name: Symbol,
+    /// Name of the function whose scope declared the variable (interned).
+    pub scope: Symbol,
 }
 
-/// A translation unit: functions, globals, and debug variables.
-#[derive(Clone, PartialEq, Debug)]
+/// A translation unit: functions, globals, debug variables, and the symbol
+/// table that owns every identifier in them.
+#[derive(Clone, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Module {
     /// Module name (source file stem).
     pub name: String,
+    /// Interned identifiers for everything in this module.
+    pub symbols: SymbolTable,
     /// Function arena, indexed by [`FuncId`].
     pub functions: Vec<Function>,
     /// Global arena, indexed by [`GlobalId`].
@@ -273,10 +297,21 @@ impl Module {
     pub fn new(name: impl Into<String>) -> Module {
         Module {
             name: name.into(),
+            symbols: SymbolTable::new(),
             functions: Vec::new(),
             globals: Vec::new(),
             di_vars: Vec::new(),
         }
+    }
+
+    /// Intern an identifier into this module's symbol table.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.symbols.intern(s)
+    }
+
+    /// Resolve an interned identifier.
+    pub fn name_of(&self, sym: Symbol) -> &str {
+        self.symbols.resolve(sym)
     }
 
     /// Append a function, returning its id.
@@ -287,14 +322,27 @@ impl Module {
     }
 
     /// Append a global, returning its id.
-    pub fn push_global(&mut self, g: Global) -> GlobalId {
-        let id = GlobalId(self.globals.len() as u32);
+    pub fn push_global(&mut self, g: Global) -> crate::GlobalId {
+        let id = crate::GlobalId(self.globals.len() as u32);
         self.globals.push(g);
         id
     }
 
+    /// Append a global by name, interning the name.
+    pub fn push_global_named(
+        &mut self,
+        name: &str,
+        mem: MemType,
+        init: GlobalInit,
+    ) -> crate::GlobalId {
+        let name = self.symbols.intern(name);
+        self.push_global(Global { name, mem, init })
+    }
+
     /// Intern a debug variable (deduplicated on `(name, scope)`).
     pub fn intern_di_var(&mut self, name: &str, scope: &str) -> VarId {
+        let name = self.symbols.intern(name);
+        let scope = self.symbols.intern(scope);
         if let Some(i) = self
             .di_vars
             .iter()
@@ -303,10 +351,7 @@ impl Module {
             return VarId(i as u32);
         }
         let id = VarId(self.di_vars.len() as u32);
-        self.di_vars.push(DiVariable {
-            name: name.into(),
-            scope: scope.into(),
-        });
+        self.di_vars.push(DiVariable { name, scope });
         id
     }
 
@@ -322,18 +367,20 @@ impl Module {
 
     /// Find a function by symbol name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        let sym = self.symbols.lookup(name)?;
         self.functions
             .iter()
-            .position(|f| f.name == name)
+            .position(|f| f.name == sym)
             .map(|i| FuncId(i as u32))
     }
 
     /// Find a global by symbol name.
-    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+    pub fn global_by_name(&self, name: &str) -> Option<crate::GlobalId> {
+        let sym = self.symbols.lookup(name)?;
         self.globals
             .iter()
-            .position(|g| g.name == name)
-            .map(|i| GlobalId(i as u32))
+            .position(|g| g.name == sym)
+            .map(|i| crate::GlobalId(i as u32))
     }
 
     /// Map from function name to id for bulk lookups.
@@ -341,7 +388,7 @@ impl Module {
         self.functions
             .iter()
             .enumerate()
-            .map(|(i, f)| (f.name.as_str(), FuncId(i as u32)))
+            .map(|(i, f)| (self.symbols.resolve(f.name), FuncId(i as u32)))
             .collect()
     }
 
@@ -351,21 +398,96 @@ impl Module {
     }
 }
 
+/// Module equality is *semantic*: identifiers are compared by resolved
+/// string, not by raw [`Symbol`] id, so two modules that intern the same
+/// names in different orders still compare equal. (Derived equality on
+/// [`Function`] et al. compares raw symbols and is only meaningful within
+/// one module.)
+impl PartialEq for Module {
+    fn eq(&self, other: &Module) -> bool {
+        self.name == other.name
+            && self.globals.len() == other.globals.len()
+            && self.di_vars.len() == other.di_vars.len()
+            && self.functions.len() == other.functions.len()
+            && self.globals.iter().zip(&other.globals).all(|(a, b)| {
+                self.name_of(a.name) == other.name_of(b.name) && a.mem == b.mem && a.init == b.init
+            })
+            && self.di_vars.iter().zip(&other.di_vars).all(|(a, b)| {
+                self.name_of(a.name) == other.name_of(b.name)
+                    && self.name_of(a.scope) == other.name_of(b.scope)
+            })
+            && self
+                .functions
+                .iter()
+                .zip(&other.functions)
+                .all(|(a, b)| func_eq(self, a, other, b))
+    }
+}
+
+fn func_eq(am: &Module, a: &Function, bm: &Module, b: &Function) -> bool {
+    am.name_of(a.name) == bm.name_of(b.name)
+        && a.ret_ty == b.ret_ty
+        && a.entry == b.entry
+        && a.is_outlined == b.is_outlined
+        && a.params.len() == b.params.len()
+        && a.params
+            .iter()
+            .zip(&b.params)
+            .all(|(p, q)| p.ty == q.ty && am.name_of(p.name) == bm.name_of(q.name))
+        && a.blocks.len() == b.blocks.len()
+        && a.blocks
+            .iter()
+            .zip(&b.blocks)
+            .all(|(p, q)| p.insts == q.insts && am.name_of(p.name) == bm.name_of(q.name))
+        && a.insts.len() == b.insts.len()
+        && a.insts
+            .iter()
+            .zip(&b.insts)
+            .all(|(p, q)| inst_eq(am, p, bm, q))
+}
+
+fn inst_eq(am: &Module, a: &Inst, bm: &Module, b: &Inst) -> bool {
+    let names_eq = match (a.name, b.name) {
+        (Some(x), Some(y)) => am.name_of(x) == bm.name_of(y),
+        (None, None) => true,
+        _ => false,
+    };
+    a.ty == b.ty && a.dbg_line == b.dbg_line && names_eq && kind_eq(am, &a.kind, bm, &b.kind)
+}
+
+fn kind_eq(am: &Module, a: &InstKind, bm: &Module, b: &InstKind) -> bool {
+    use crate::Callee;
+    match (a, b) {
+        (
+            InstKind::Call {
+                callee: ca,
+                args: aa,
+            },
+            InstKind::Call {
+                callee: cb,
+                args: ab,
+            },
+        ) => {
+            aa == ab
+                && match (ca, cb) {
+                    (Callee::Func(x), Callee::Func(y)) => x == y,
+                    (Callee::External(x), Callee::External(y)) => am.name_of(*x) == bm.name_of(*y),
+                    _ => false,
+                }
+        }
+        _ => a == b,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BinOp, Inst, InstKind};
+    use crate::{BinOp, GlobalId, Inst, InstKind};
 
-    fn linear_func() -> Function {
+    fn linear_module() -> (Module, FuncId) {
         // entry: v0 = add a, 1 ; ret v0
-        let mut f = Function::new(
-            "f",
-            vec![Param {
-                name: "a".into(),
-                ty: Type::I64,
-            }],
-            Type::I64,
-        );
+        let mut m = Module::new("m");
+        let mut f = Function::new(&mut m.symbols, "f", &[("a", Type::I64)], Type::I64);
         let v0 = f.append_inst(
             f.entry,
             Inst::new(
@@ -386,20 +508,25 @@ mod tests {
                 Type::Void,
             ),
         );
-        f
+        let id = m.push_function(f);
+        (m, id)
     }
 
     #[test]
     fn append_and_terminator() {
-        let f = linear_func();
+        let (m, id) = linear_module();
+        let f = m.func(id);
         assert_eq!(f.live_inst_count(), 2);
         let t = f.terminator(f.entry).unwrap();
         assert!(f.inst(t).kind.is_terminator());
+        assert_eq!(m.name_of(f.name), "f");
+        assert_eq!(m.name_of(f.params[0].name), "a");
     }
 
     #[test]
     fn value_types() {
-        let f = linear_func();
+        let (m, id) = linear_module();
+        let f = m.func(id);
         assert_eq!(f.value_type(Value::Arg(0)), Type::I64);
         assert_eq!(f.value_type(Value::Inst(InstId(0))), Type::I64);
         assert_eq!(f.value_type(Value::f64(0.0)), Type::F64);
@@ -408,7 +535,8 @@ mod tests {
 
     #[test]
     fn replace_uses() {
-        let mut f = linear_func();
+        let (mut m, id) = linear_module();
+        let f = m.func_mut(id);
         f.replace_all_uses(Value::Arg(0), Value::i64(10));
         let mut ops = Vec::new();
         f.inst(InstId(0)).kind.for_each_operand(|v| ops.push(v));
@@ -417,7 +545,8 @@ mod tests {
 
     #[test]
     fn delete_inst_removes_from_block() {
-        let mut f = linear_func();
+        let (mut m, id) = linear_module();
+        let f = m.func_mut(id);
         f.delete_inst(InstId(0));
         assert_eq!(f.live_inst_count(), 1);
         assert!(matches!(f.inst(InstId(0)).kind, InstKind::Nop));
@@ -430,10 +559,11 @@ mod tests {
         //   a   b
         //    \ /
         //     x
-        let mut f = Function::new("g", vec![], Type::Void);
-        let a = f.add_block("a");
-        let b = f.add_block("b");
-        let x = f.add_block("x");
+        let mut syms = SymbolTable::new();
+        let mut f = Function::new(&mut syms, "g", &[], Type::Void);
+        let a = f.add_block(syms.intern("a"));
+        let b = f.add_block(syms.intern("b"));
+        let x = f.add_block(syms.intern("x"));
         f.append_inst(
             f.entry,
             Inst::new(
@@ -458,8 +588,9 @@ mod tests {
 
     #[test]
     fn rpo_excludes_unreachable() {
-        let mut f = Function::new("g", vec![], Type::Void);
-        let dead = f.add_block("dead");
+        let mut syms = SymbolTable::new();
+        let mut f = Function::new(&mut syms, "g", &[], Type::Void);
+        let dead = f.add_block(syms.intern("dead"));
         f.append_inst(f.entry, Inst::new(InstKind::Ret { val: None }, Type::Void));
         f.append_inst(dead, Inst::new(InstKind::Ret { val: None }, Type::Void));
         let rpo = f.reverse_post_order();
@@ -468,15 +599,10 @@ mod tests {
 
     #[test]
     fn module_lookup() {
-        let mut m = Module::new("m");
-        let id = m.push_function(linear_func());
+        let (mut m, id) = linear_module();
         assert_eq!(m.func_by_name("f"), Some(id));
         assert_eq!(m.func_by_name("nope"), None);
-        let g = m.push_global(Global {
-            name: "A".into(),
-            mem: MemType::array1(Type::F64, 4),
-            init: GlobalInit::Zero,
-        });
+        let g = m.push_global_named("A", MemType::array1(Type::F64, 4), GlobalInit::Zero);
         assert_eq!(m.global_by_name("A"), Some(g));
     }
 
@@ -493,9 +619,32 @@ mod tests {
 
     #[test]
     fn inst_blocks_ownership() {
-        let f = linear_func();
-        let owners = f.inst_blocks();
-        assert_eq!(owners[0], Some(f.entry));
-        assert_eq!(owners[1], Some(f.entry));
+        let (m, id) = linear_module();
+        let owners = m.func(id).inst_blocks();
+        assert_eq!(owners[0], Some(m.func(id).entry));
+        assert_eq!(owners[1], Some(m.func(id).entry));
+    }
+
+    #[test]
+    fn semantic_equality_ignores_intern_order() {
+        // Build two modules with the same content but different intern
+        // order: equality must hold because names are compared resolved.
+        let build = |warm: &[&str]| {
+            let mut m = Module::new("m");
+            for w in warm {
+                m.intern(w);
+            }
+            let mut f = Function::new(&mut m.symbols, "f", &[("a", Type::I64)], Type::I64);
+            f.append_inst(f.entry, Inst::new(InstKind::Ret { val: None }, Type::Void));
+            f.ret_ty = Type::Void;
+            m.push_function(f);
+            m
+        };
+        let a = build(&[]);
+        let b = build(&["zzz", "a", "f"]);
+        assert_ne!(a.functions[0].name, b.functions[0].name);
+        assert_eq!(a, b);
+        let c = build(&[]);
+        assert_eq!(a, c);
     }
 }

@@ -4,10 +4,15 @@
 //! Parsing renumbers instruction and block ids densely, so a parse of a
 //! printed module is structurally equal to the original up to id renaming
 //! (and exactly equal when the original ids were already dense).
+//!
+//! The lexer is zero-copy: tokens borrow `&str` slices of the input line,
+//! and identifiers are interned straight into the module's
+//! [`crate::SymbolTable`] — no per-token `String` is ever allocated.
 
 use crate::{
-    BinOp, Block, BlockId, Callee, CastOp, DiVariable, FPred, FuncId, Function, Global, GlobalInit,
-    IPred, Inst, InstId, InstKind, MemType, Module, Param, Type, Value, VarId,
+    BinOp, Block, BlockId, Callee, DiVariable, FPred, FuncId, Function, Global, GlobalId,
+    GlobalInit, IPred, Inst, InstId, InstKind, MemType, Module, Param, Symbol, SymbolTable, Type,
+    Value, VarId,
 };
 use std::collections::HashMap;
 
@@ -30,174 +35,175 @@ impl std::error::Error for ParseError {}
 
 type Result<T> = std::result::Result<T, ParseError>;
 
-#[derive(Debug, Clone, PartialEq)]
-enum Tok {
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Tok<'a> {
     /// `%12` with optional `:hint`.
-    Reg(u32, Option<String>),
+    Reg(u32, Option<&'a str>),
     /// `$3`.
     Arg(u32),
     /// `@name`.
-    Sym(String),
+    Sym(&'a str),
     /// `!4`.
     Meta(u32),
     /// Bare identifier or keyword.
-    Ident(String),
+    Ident(&'a str),
     /// Numeric literal (int, float, or 0x hex), kept as text.
-    Num(String),
+    Num(&'a str),
     /// Quoted string literal (unescaped content).
-    Str(String),
+    Str(&'a str),
     /// Single punctuation character.
     Punct(char),
     /// `->`.
     Arrow,
 }
 
-fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>> {
+fn ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'.'
+}
+
+fn lex_line<'a>(line: &'a str, lineno: usize, toks: &mut Vec<Tok<'a>>) -> Result<()> {
     let err = |msg: String| ParseError { line: lineno, msg };
-    let mut toks = Vec::new();
-    let bytes: Vec<char> = line.chars().collect();
+    let bytes = line.as_bytes();
     let mut i = 0;
     let n = bytes.len();
-    let ident_char = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == '.';
     while i < n {
         let c = bytes[i];
-        if c.is_whitespace() {
+        if c.is_ascii_whitespace() {
             i += 1;
             continue;
         }
-        if c == ';' {
+        if c == b';' {
             break; // comment to end of line
         }
         match c {
-            '%' | '$' | '!' => {
+            b'%' | b'$' | b'!' => {
                 i += 1;
                 let start = i;
                 while i < n && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
                 if start == i {
-                    return Err(err(format!("expected number after '{c}'")));
+                    return Err(err(format!("expected number after '{}'", c as char)));
                 }
-                let num: u32 = bytes[start..i]
-                    .iter()
-                    .collect::<String>()
+                let num: u32 = line[start..i]
                     .parse()
                     .map_err(|e| err(format!("bad id: {e}")))?;
                 match c {
-                    '%' => {
+                    b'%' => {
                         let hint =
-                            if i < n && bytes[i] == ':' && i + 1 < n && ident_char(bytes[i + 1]) {
+                            if i < n && bytes[i] == b':' && i + 1 < n && ident_byte(bytes[i + 1]) {
                                 i += 1;
                                 let hs = i;
-                                while i < n && ident_char(bytes[i]) {
+                                while i < n && ident_byte(bytes[i]) {
                                     i += 1;
                                 }
-                                Some(bytes[hs..i].iter().collect())
+                                Some(&line[hs..i])
                             } else {
                                 None
                             };
                         toks.push(Tok::Reg(num, hint));
                     }
-                    '$' => toks.push(Tok::Arg(num)),
+                    b'$' => toks.push(Tok::Arg(num)),
                     _ => toks.push(Tok::Meta(num)),
                 }
             }
-            '@' => {
+            b'@' => {
                 i += 1;
                 let start = i;
-                while i < n && ident_char(bytes[i]) {
+                while i < n && ident_byte(bytes[i]) {
                     i += 1;
                 }
                 if start == i {
                     return Err(err("expected symbol after '@'".into()));
                 }
-                toks.push(Tok::Sym(bytes[start..i].iter().collect()));
+                toks.push(Tok::Sym(&line[start..i]));
             }
-            '"' => {
+            b'"' => {
                 i += 1;
                 let start = i;
-                while i < n && bytes[i] != '"' {
+                while i < n && bytes[i] != b'"' {
                     i += 1;
                 }
                 if i == n {
                     return Err(err("unterminated string".into()));
                 }
-                toks.push(Tok::Str(bytes[start..i].iter().collect()));
+                toks.push(Tok::Str(&line[start..i]));
                 i += 1;
             }
-            '-' if i + 1 < n && bytes[i + 1] == '>' => {
+            b'-' if i + 1 < n && bytes[i + 1] == b'>' => {
                 toks.push(Tok::Arrow);
                 i += 2;
             }
-            '-' | '+' if i + 1 < n && bytes[i + 1].is_ascii_digit() => {
+            b'-' | b'+' if i + 1 < n && bytes[i + 1].is_ascii_digit() => {
                 let start = i;
                 i += 1;
                 while i < n
                     && (bytes[i].is_ascii_alphanumeric()
-                        || bytes[i] == '.'
-                        || bytes[i] == '+'
-                        || bytes[i] == '-')
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'+'
+                        || bytes[i] == b'-')
                 {
                     // Stop '+'/'-' unless preceded by exponent marker.
-                    if (bytes[i] == '+' || bytes[i] == '-') && !matches!(bytes[i - 1], 'e' | 'E') {
+                    if (bytes[i] == b'+' || bytes[i] == b'-')
+                        && !matches!(bytes[i - 1], b'e' | b'E')
+                    {
                         break;
                     }
                     i += 1;
                 }
-                toks.push(Tok::Num(bytes[start..i].iter().collect()));
+                toks.push(Tok::Num(&line[start..i]));
             }
-            '0'..='9' => {
+            b'0'..=b'9' => {
                 let start = i;
                 while i < n
                     && (bytes[i].is_ascii_alphanumeric()
-                        || bytes[i] == '.'
-                        || bytes[i] == '+'
-                        || bytes[i] == '-')
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'+'
+                        || bytes[i] == b'-')
                 {
-                    if (bytes[i] == '+' || bytes[i] == '-') && !matches!(bytes[i - 1], 'e' | 'E') {
+                    if (bytes[i] == b'+' || bytes[i] == b'-')
+                        && !matches!(bytes[i - 1], b'e' | b'E')
+                    {
                         break;
                     }
                     i += 1;
                 }
-                toks.push(Tok::Num(bytes[start..i].iter().collect()));
+                toks.push(Tok::Num(&line[start..i]));
             }
-            ',' | '(' | ')' | '[' | ']' | '{' | '}' | ':' | '=' => {
-                toks.push(Tok::Punct(c));
+            b',' | b'(' | b')' | b'[' | b']' | b'{' | b'}' | b':' | b'=' => {
+                toks.push(Tok::Punct(c as char));
                 i += 1;
             }
-            c if c.is_ascii_alphabetic() || c == '_' => {
+            c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < n && ident_char(bytes[i]) {
+                while i < n && ident_byte(bytes[i]) {
                     i += 1;
                 }
-                let word: String = bytes[start..i].iter().collect();
-                // `-inf` handled via Ident("inf") after Punct? We lex
-                // identifiers plainly; "inf"/"nan" handled at parse time.
-                toks.push(Tok::Ident(word));
+                toks.push(Tok::Ident(&line[start..i]));
             }
-            '-' => {
+            b'-' => {
                 // Bare '-' only appears before 'inf'.
                 if line[i..].starts_with("-inf") {
-                    toks.push(Tok::Ident("-inf".into()));
+                    toks.push(Tok::Ident("-inf"));
                     i += 4;
                 } else {
-                    return Err(err(format!("unexpected character '{c}'")));
+                    return Err(err("unexpected character '-'".into()));
                 }
             }
-            other => return Err(err(format!("unexpected character '{other}'"))),
+            other => return Err(err(format!("unexpected character '{}'", other as char))),
         }
     }
-    Ok(toks)
+    Ok(())
 }
 
-struct Cursor<'a> {
-    toks: &'a [Tok],
+struct Cursor<'t, 'a> {
+    toks: &'t [Tok<'a>],
     pos: usize,
     lineno: usize,
 }
 
-impl<'a> Cursor<'a> {
-    fn new(toks: &'a [Tok], lineno: usize) -> Cursor<'a> {
+impl<'t, 'a> Cursor<'t, 'a> {
+    fn new(toks: &'t [Tok<'a>], lineno: usize) -> Cursor<'t, 'a> {
         Cursor {
             toks,
             pos: 0,
@@ -212,12 +218,12 @@ impl<'a> Cursor<'a> {
         })
     }
 
-    fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos)
+    fn peek(&self) -> Option<Tok<'a>> {
+        self.toks.get(self.pos).copied()
     }
 
-    fn next(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).cloned();
+    fn next(&mut self) -> Option<Tok<'a>> {
+        let t = self.toks.get(self.pos).copied();
         if t.is_some() {
             self.pos += 1;
         }
@@ -232,7 +238,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn eat_punct(&mut self, c: char) -> bool {
-        if matches!(self.peek(), Some(Tok::Punct(p)) if *p == c) {
+        if matches!(self.peek(), Some(Tok::Punct(p)) if p == c) {
             self.pos += 1;
             true
         } else {
@@ -240,7 +246,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String> {
+    fn expect_ident(&mut self) -> Result<&'a str> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
             other => self.err(format!("expected identifier, got {other:?}")),
@@ -261,14 +267,14 @@ impl<'a> Cursor<'a> {
     }
 }
 
-struct SymbolTables {
-    globals: HashMap<String, crate::GlobalId>,
-    funcs: HashMap<String, FuncId>,
+struct NameMaps<'a> {
+    globals: HashMap<&'a str, GlobalId>,
+    funcs: HashMap<&'a str, FuncId>,
 }
 
 fn parse_type(c: &mut Cursor) -> Result<Type> {
     let name = c.expect_ident()?;
-    Type::from_name(&name).ok_or_else(|| ParseError {
+    Type::from_name(name).ok_or_else(|| ParseError {
         line: c.lineno,
         msg: format!("unknown type '{name}'"),
     })
@@ -288,7 +294,7 @@ fn parse_mem_type(c: &mut Cursor) -> Result<MemType> {
                     c.expect_kw("x")?;
                 }
                 Some(Tok::Ident(name)) => {
-                    let elem = Type::from_name(&name).ok_or_else(|| ParseError {
+                    let elem = Type::from_name(name).ok_or_else(|| ParseError {
                         line: c.lineno,
                         msg: format!("unknown element type '{name}'"),
                     })?;
@@ -325,8 +331,8 @@ fn parse_f64_payload(c: &mut Cursor) -> Result<Value> {
                 Ok(Value::f64(x))
             }
         }
-        Some(Tok::Ident(s)) if s == "inf" => Ok(Value::f64(f64::INFINITY)),
-        Some(Tok::Ident(s)) if s == "-inf" => Ok(Value::f64(f64::NEG_INFINITY)),
+        Some(Tok::Ident("inf")) => Ok(Value::f64(f64::INFINITY)),
+        Some(Tok::Ident("-inf")) => Ok(Value::f64(f64::NEG_INFINITY)),
         other => Err(ParseError {
             line: c.lineno,
             msg: format!("expected float payload, got {other:?}"),
@@ -334,7 +340,7 @@ fn parse_f64_payload(c: &mut Cursor) -> Result<Value> {
     }
 }
 
-fn parse_value(c: &mut Cursor, regs: &HashMap<u32, InstId>, syms: &SymbolTables) -> Result<Value> {
+fn parse_value(c: &mut Cursor, regs: &HashMap<u32, InstId>, names: &NameMaps) -> Result<Value> {
     match c.next() {
         Some(Tok::Reg(n, _)) => regs
             .get(&n)
@@ -345,9 +351,9 @@ fn parse_value(c: &mut Cursor, regs: &HashMap<u32, InstId>, syms: &SymbolTables)
             }),
         Some(Tok::Arg(i)) => Ok(Value::Arg(i)),
         Some(Tok::Sym(name)) => {
-            if let Some(g) = syms.globals.get(&name) {
+            if let Some(g) = names.globals.get(name) {
                 Ok(Value::Global(*g))
-            } else if let Some(f) = syms.funcs.get(&name) {
+            } else if let Some(f) = names.funcs.get(name) {
                 Ok(Value::Function(*f))
             } else {
                 Err(ParseError {
@@ -356,9 +362,9 @@ fn parse_value(c: &mut Cursor, regs: &HashMap<u32, InstId>, syms: &SymbolTables)
                 })
             }
         }
-        Some(Tok::Ident(tyname)) if tyname == "undef" => Ok(Value::Undef(parse_type(c)?)),
+        Some(Tok::Ident("undef")) => Ok(Value::Undef(parse_type(c)?)),
         Some(Tok::Ident(tyname)) => {
-            let ty = Type::from_name(&tyname).ok_or_else(|| ParseError {
+            let ty = Type::from_name(tyname).ok_or_else(|| ParseError {
                 line: c.lineno,
                 msg: format!("expected value, got '{tyname}'"),
             })?;
@@ -402,13 +408,13 @@ fn parse_block_ref(c: &mut Cursor, blocks: &HashMap<u32, BlockId>) -> Result<Blo
     })
 }
 
-#[allow(clippy::too_many_arguments)]
 fn parse_inst_line(
     toks: &[Tok],
     lineno: usize,
     regs: &HashMap<u32, InstId>,
     blocks: &HashMap<u32, BlockId>,
-    syms: &SymbolTables,
+    names: &NameMaps,
+    symbols: &mut SymbolTable,
 ) -> Result<Inst> {
     let mut c = Cursor::new(toks, lineno);
     // Optional result prefix: %N(:hint) =
@@ -416,39 +422,39 @@ fn parse_inst_line(
     let has_result = matches!(c.peek(), Some(Tok::Reg(..)));
     if has_result {
         if let Some(Tok::Reg(_, hint)) = c.next() {
-            name_hint = hint;
+            name_hint = hint.map(|h| symbols.intern(h));
         }
         c.expect_punct('=')?;
     }
     let op = c.expect_ident()?;
-    let mut inst = if let Some(bin) = BinOp::from_name(&op) {
+    let mut inst = if let Some(bin) = BinOp::from_name(op) {
         let ty = parse_type(&mut c)?;
-        let lhs = parse_value(&mut c, regs, syms)?;
+        let lhs = parse_value(&mut c, regs, names)?;
         c.expect_punct(',')?;
-        let rhs = parse_value(&mut c, regs, syms)?;
+        let rhs = parse_value(&mut c, regs, names)?;
         Inst::new(InstKind::Bin { op: bin, lhs, rhs }, ty)
     } else {
-        match op.as_str() {
+        match op {
             "icmp" => {
                 let p = c.expect_ident()?;
-                let pred = IPred::from_name(&p).ok_or_else(|| ParseError {
+                let pred = IPred::from_name(p).ok_or_else(|| ParseError {
                     line: lineno,
                     msg: format!("bad icmp predicate '{p}'"),
                 })?;
-                let lhs = parse_value(&mut c, regs, syms)?;
+                let lhs = parse_value(&mut c, regs, names)?;
                 c.expect_punct(',')?;
-                let rhs = parse_value(&mut c, regs, syms)?;
+                let rhs = parse_value(&mut c, regs, names)?;
                 Inst::new(InstKind::ICmp { pred, lhs, rhs }, Type::I1)
             }
             "fcmp" => {
                 let p = c.expect_ident()?;
-                let pred = FPred::from_name(&p).ok_or_else(|| ParseError {
+                let pred = FPred::from_name(p).ok_or_else(|| ParseError {
                     line: lineno,
                     msg: format!("bad fcmp predicate '{p}'"),
                 })?;
-                let lhs = parse_value(&mut c, regs, syms)?;
+                let lhs = parse_value(&mut c, regs, names)?;
                 c.expect_punct(',')?;
-                let rhs = parse_value(&mut c, regs, syms)?;
+                let rhs = parse_value(&mut c, regs, names)?;
                 Inst::new(InstKind::FCmp { pred, lhs, rhs }, Type::I1)
             }
             "alloca" => {
@@ -458,22 +464,22 @@ fn parse_inst_line(
             "load" => {
                 let ty = parse_type(&mut c)?;
                 c.expect_punct(',')?;
-                let ptr = parse_value(&mut c, regs, syms)?;
+                let ptr = parse_value(&mut c, regs, names)?;
                 Inst::new(InstKind::Load { ptr }, ty)
             }
             "store" => {
-                let val = parse_value(&mut c, regs, syms)?;
+                let val = parse_value(&mut c, regs, names)?;
                 c.expect_punct(',')?;
-                let ptr = parse_value(&mut c, regs, syms)?;
+                let ptr = parse_value(&mut c, regs, names)?;
                 Inst::new(InstKind::Store { val, ptr }, Type::Void)
             }
             "gep" => {
                 let elem = parse_mem_type(&mut c)?;
                 c.expect_punct(',')?;
-                let base = parse_value(&mut c, regs, syms)?;
+                let base = parse_value(&mut c, regs, names)?;
                 let mut indices = Vec::new();
                 while c.eat_punct(',') {
-                    indices.push(parse_value(&mut c, regs, syms)?);
+                    indices.push(parse_value(&mut c, regs, names)?);
                 }
                 Inst::new(
                     InstKind::Gep {
@@ -488,14 +494,14 @@ fn parse_inst_line(
                 let ty = parse_type(&mut c)?;
                 let callee = match c.next() {
                     Some(Tok::Sym(name)) => {
-                        let f = syms.funcs.get(&name).ok_or_else(|| ParseError {
+                        let f = names.funcs.get(name).ok_or_else(|| ParseError {
                             line: lineno,
                             msg: format!("unknown function @{name}"),
                         })?;
                         Callee::Func(*f)
                     }
-                    Some(Tok::Ident(kw)) if kw == "ext" => match c.next() {
-                        Some(Tok::Str(s)) => Callee::External(s),
+                    Some(Tok::Ident("ext")) => match c.next() {
+                        Some(Tok::Str(s)) => Callee::External(symbols.intern(s)),
                         other => {
                             return Err(ParseError {
                                 line: lineno,
@@ -514,7 +520,7 @@ fn parse_inst_line(
                 let mut args = Vec::new();
                 if !c.eat_punct(')') {
                     loop {
-                        args.push(parse_value(&mut c, regs, syms)?);
+                        args.push(parse_value(&mut c, regs, names)?);
                         if c.eat_punct(')') {
                             break;
                         }
@@ -529,7 +535,7 @@ fn parse_inst_line(
                 while c.eat_punct('[') {
                     let bb = parse_block_ref(&mut c, blocks)?;
                     c.expect_punct(':')?;
-                    let v = parse_value(&mut c, regs, syms)?;
+                    let v = parse_value(&mut c, regs, names)?;
                     c.expect_punct(']')?;
                     incomings.push((bb, v));
                 }
@@ -537,22 +543,22 @@ fn parse_inst_line(
             }
             "cast" => {
                 let o = c.expect_ident()?;
-                let cop = CastOp::from_name(&o).ok_or_else(|| ParseError {
+                let cop = crate::CastOp::from_name(o).ok_or_else(|| ParseError {
                     line: lineno,
                     msg: format!("bad cast op '{o}'"),
                 })?;
-                let val = parse_value(&mut c, regs, syms)?;
+                let val = parse_value(&mut c, regs, names)?;
                 c.expect_kw("to")?;
                 let ty = parse_type(&mut c)?;
                 Inst::new(InstKind::Cast { op: cop, val }, ty)
             }
             "select" => {
                 let ty = parse_type(&mut c)?;
-                let cond = parse_value(&mut c, regs, syms)?;
+                let cond = parse_value(&mut c, regs, names)?;
                 c.expect_punct(',')?;
-                let then_val = parse_value(&mut c, regs, syms)?;
+                let then_val = parse_value(&mut c, regs, names)?;
                 c.expect_punct(',')?;
-                let else_val = parse_value(&mut c, regs, syms)?;
+                let else_val = parse_value(&mut c, regs, names)?;
                 Inst::new(
                     InstKind::Select {
                         cond,
@@ -567,7 +573,7 @@ fn parse_inst_line(
                 Inst::new(InstKind::Br { target: t }, Type::Void)
             }
             "condbr" => {
-                let cond = parse_value(&mut c, regs, syms)?;
+                let cond = parse_value(&mut c, regs, names)?;
                 c.expect_punct(',')?;
                 let t = parse_block_ref(&mut c, blocks)?;
                 c.expect_punct(',')?;
@@ -582,18 +588,18 @@ fn parse_inst_line(
                 )
             }
             "ret" => {
-                if matches!(c.peek(), Some(Tok::Ident(s)) if s == "void") {
+                if matches!(c.peek(), Some(Tok::Ident("void"))) {
                     c.next();
                     Inst::new(InstKind::Ret { val: None }, Type::Void)
                 } else {
-                    let v = parse_value(&mut c, regs, syms)?;
+                    let v = parse_value(&mut c, regs, names)?;
                     Inst::new(InstKind::Ret { val: Some(v) }, Type::Void)
                 }
             }
             "unreachable" => Inst::new(InstKind::Unreachable, Type::Void),
             "nop" => Inst::new(InstKind::Nop, Type::Void),
             "dbg" => {
-                let v = parse_value(&mut c, regs, syms)?;
+                let v = parse_value(&mut c, regs, names)?;
                 c.expect_punct(',')?;
                 match c.next() {
                     Some(Tok::Meta(n)) => Inst::new(
@@ -621,7 +627,7 @@ fn parse_inst_line(
     };
     inst.name = name_hint;
     // Optional trailing `line=N`.
-    if matches!(c.peek(), Some(Tok::Ident(s)) if s == "line") {
+    if matches!(c.peek(), Some(Tok::Ident("line"))) {
         c.next();
         c.expect_punct('=')?;
         match c.next() {
@@ -648,45 +654,50 @@ fn parse_inst_line(
     Ok(inst)
 }
 
+fn lead_ident(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && ident_byte(bytes[i]) {
+        i += 1;
+    }
+    &line[..i]
+}
+
 /// Parse a module from its textual form.
 pub fn parse_module(text: &str) -> Result<Module> {
     let lines: Vec<&str> = text.lines().collect();
     let mut module = Module::new("unnamed");
-    let mut syms = SymbolTables {
+    let mut names = NameMaps {
         globals: HashMap::new(),
         funcs: HashMap::new(),
     };
 
     // Pre-scan: register function and global names so bodies can forward-
     // reference them (e.g. the fork call referencing an outlined region
-    // defined later in the file).
-    let mut func_order = Vec::new();
+    // defined later in the file). Interning them here also fixes their
+    // symbols in file order, independent of body contents.
     for (idx, raw) in lines.iter().enumerate() {
         let line = raw.trim();
         if let Some(rest) = line.strip_prefix("func @") {
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
-                .collect();
+            let name = lead_ident(rest);
             if name.is_empty() {
                 return Err(ParseError {
                     line: idx + 1,
                     msg: "missing function name".into(),
                 });
             }
-            let id = FuncId(func_order.len() as u32);
-            syms.funcs.insert(name.clone(), id);
-            func_order.push(name);
+            let id = FuncId(names.funcs.len() as u32);
+            module.symbols.intern(name);
+            names.funcs.insert(name, id);
         } else if let Some(rest) = line.strip_prefix("global @") {
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
-                .collect();
-            let id = crate::GlobalId(syms.globals.len() as u32);
-            syms.globals.insert(name, id);
+            let name = lead_ident(rest);
+            let id = GlobalId(names.globals.len() as u32);
+            module.symbols.intern(name);
+            names.globals.insert(name, id);
         }
     }
 
+    let mut toks: Vec<Tok> = Vec::new();
     let mut i = 0;
     while i < lines.len() {
         let lineno = i + 1;
@@ -695,13 +706,14 @@ pub fn parse_module(text: &str) -> Result<Module> {
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
-        let toks = lex_line(line, lineno)?;
+        toks.clear();
+        lex_line(line, lineno, &mut toks)?;
         let mut c = Cursor::new(&toks, lineno);
         match c.peek() {
-            Some(Tok::Ident(kw)) if kw == "module" => {
+            Some(Tok::Ident("module")) => {
                 c.next();
                 match c.next() {
-                    Some(Tok::Str(s)) => module.name = s,
+                    Some(Tok::Str(s)) => module.name = s.to_string(),
                     other => {
                         return Err(ParseError {
                             line: lineno,
@@ -710,7 +722,7 @@ pub fn parse_module(text: &str) -> Result<Module> {
                     }
                 }
             }
-            Some(Tok::Ident(kw)) if kw == "global" => {
+            Some(Tok::Ident("global")) => {
                 c.next();
                 let name = match c.next() {
                     Some(Tok::Sym(s)) => s,
@@ -725,8 +737,8 @@ pub fn parse_module(text: &str) -> Result<Module> {
                 let mem = parse_mem_type(&mut c)?;
                 c.expect_punct('=')?;
                 let init = match c.next() {
-                    Some(Tok::Ident(s)) if s == "zero" => GlobalInit::Zero,
-                    Some(Tok::Ident(s)) if s == "splat" => match c.next() {
+                    Some(Tok::Ident("zero")) => GlobalInit::Zero,
+                    Some(Tok::Ident("splat")) => match c.next() {
                         Some(Tok::Num(n)) => {
                             GlobalInit::SplatF64(n.parse().map_err(|e| ParseError {
                                 line: lineno,
@@ -747,9 +759,10 @@ pub fn parse_module(text: &str) -> Result<Module> {
                         })
                     }
                 };
+                let name = module.symbols.intern(name);
                 module.globals.push(Global { name, mem, init });
             }
-            Some(Tok::Ident(kw)) if kw == "divar" => {
+            Some(Tok::Ident("divar")) => {
                 c.next();
                 let id = match c.next() {
                     Some(Tok::Meta(n)) => n,
@@ -786,9 +799,11 @@ pub fn parse_module(text: &str) -> Result<Module> {
                         msg: format!("divar ids must be dense, got !{id}"),
                     });
                 }
+                let name = module.symbols.intern(name);
+                let scope = module.symbols.intern(scope);
                 module.di_vars.push(DiVariable { name, scope });
             }
-            Some(Tok::Ident(kw)) if kw == "func" => {
+            Some(Tok::Ident("func")) => {
                 // Parse header.
                 c.next();
                 let fname = match c.next() {
@@ -806,16 +821,22 @@ pub fn parse_module(text: &str) -> Result<Module> {
                     loop {
                         match c.next() {
                             Some(Tok::Reg(_, Some(pname))) => {
-                                // `$0:name ty` lexes `$0` as Arg though...
+                                // `%0:name ty` form (dense register syntax).
                                 let ty = parse_type(&mut c)?;
-                                params.push(Param { name: pname, ty });
+                                params.push(Param {
+                                    name: module.symbols.intern(pname),
+                                    ty,
+                                });
                             }
                             Some(Tok::Arg(_)) => {
                                 // `$0:name ty` — Arg token then `:name`.
                                 c.expect_punct(':')?;
                                 let pname = c.expect_ident()?;
                                 let ty = parse_type(&mut c)?;
-                                params.push(Param { name: pname, ty });
+                                params.push(Param {
+                                    name: module.symbols.intern(pname),
+                                    ty,
+                                });
                             }
                             other => {
                                 return Err(ParseError {
@@ -840,7 +861,7 @@ pub fn parse_module(text: &str) -> Result<Module> {
                     }
                 }
                 let ret_ty = parse_type(&mut c)?;
-                let is_outlined = matches!(c.peek(), Some(Tok::Ident(s)) if s == "outlined");
+                let is_outlined = matches!(c.peek(), Some(Tok::Ident("outlined")));
                 if is_outlined {
                     c.next();
                 }
@@ -869,13 +890,14 @@ pub fn parse_module(text: &str) -> Result<Module> {
                 i += 1; // consume "}"
 
                 let func = parse_function_body(
-                    &fname,
+                    fname,
                     params,
                     ret_ty,
                     is_outlined,
                     body,
                     body_start,
-                    &syms,
+                    &names,
+                    &mut module.symbols,
                 )?;
                 module.functions.push(func);
             }
@@ -890,6 +912,7 @@ pub fn parse_module(text: &str) -> Result<Module> {
     Ok(module)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn parse_function_body(
     name: &str,
     params: Vec<Param>,
@@ -897,7 +920,8 @@ fn parse_function_body(
     is_outlined: bool,
     body: &[&str],
     body_start: usize,
-    syms: &SymbolTables,
+    names: &NameMaps,
+    symbols: &mut SymbolTable,
 ) -> Result<Function> {
     // First pass: lex all lines, map printed block ids and register ids to
     // dense ids.
@@ -908,20 +932,28 @@ fn parse_function_body(
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
-        lexed.push((lineno, lex_line(line, lineno)?));
+        let mut toks = Vec::new();
+        lex_line(line, lineno, &mut toks)?;
+        lexed.push((lineno, toks));
     }
     let mut blocks_map: HashMap<u32, BlockId> = HashMap::new();
     let mut regs_map: HashMap<u32, InstId> = HashMap::new();
-    let mut block_names: Vec<String> = Vec::new();
+    let mut block_names: Vec<Symbol> = Vec::new();
     let mut n_insts = 0u32;
+    let mut scratch = String::new();
     for (lineno, toks) in &lexed {
         // Block header: Ident("bbN") Ident(name) ':'  (name optional).
         if let Some(Tok::Ident(first)) = toks.first() {
             if let Some(num) = first.strip_prefix("bb").and_then(|s| s.parse::<u32>().ok()) {
                 if matches!(toks.last(), Some(Tok::Punct(':'))) {
                     let bname = match toks.get(1) {
-                        Some(Tok::Ident(n)) => n.clone(),
-                        _ => format!("bb{num}"),
+                        Some(Tok::Ident(n)) => symbols.intern(n),
+                        _ => {
+                            scratch.clear();
+                            use std::fmt::Write as _;
+                            let _ = write!(scratch, "bb{num}");
+                            symbols.intern(&scratch)
+                        }
                     };
                     let id = BlockId(block_names.len() as u32);
                     if blocks_map.insert(num, id).is_some() {
@@ -951,13 +983,13 @@ fn parse_function_body(
     }
 
     let mut func = Function {
-        name: name.into(),
+        name: symbols.intern(name),
         params,
         ret_ty,
         blocks: block_names
             .iter()
-            .map(|n| Block {
-                name: n.clone(),
+            .map(|&n| Block {
+                name: n,
                 insts: Vec::new(),
             })
             .collect(),
@@ -984,7 +1016,7 @@ fn parse_function_body(
             line: *lineno,
             msg: "instruction before any block label".into(),
         })?;
-        let inst = parse_inst_line(toks, *lineno, &regs_map, &blocks_map, syms)?;
+        let inst = parse_inst_line(toks, *lineno, &regs_map, &blocks_map, names, symbols)?;
         func.append_inst(bb, inst);
     }
     Ok(func)
@@ -1025,7 +1057,7 @@ bb3 exit:
         assert_eq!(m.functions.len(), 1);
         let f = &m.functions[0];
         assert_eq!(f.blocks.len(), 4);
-        assert_eq!(f.params[0].name, "n");
+        assert_eq!(m.name_of(f.params[0].name), "n");
         crate::verify::verify_module(&m).unwrap();
     }
 
@@ -1135,5 +1167,17 @@ bb0 entry:
         let m = parse_module(src).unwrap();
         let m2 = parse_module(&module_str(&m)).unwrap();
         assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn reparse_yields_identical_symbols() {
+        // Symbols are assigned in deterministic parse order, so parsing the
+        // same text twice yields bit-identical modules, including raw
+        // symbol ids.
+        let a = parse_module(SAMPLE).unwrap();
+        let b = parse_module(SAMPLE).unwrap();
+        assert_eq!(a.symbols, b.symbols);
+        assert_eq!(a.functions[0].name, b.functions[0].name);
+        assert_eq!(a, b);
     }
 }

@@ -19,178 +19,279 @@
 //! `$<index>`; globals and functions are `@<name>`; constants are written
 //! with an explicit type (`i64 5`, `f64 2.5`); debug variables are
 //! `!<id>`.
+//!
+//! All printers come in two forms: a `write_*` function appending into a
+//! caller-supplied buffer (allocation-free once the buffer has warmed),
+//! and a `*_str` convenience wrapper allocating a fresh `String`.
 
 use crate::{Callee, Function, GlobalInit, InstKind, Module, Value};
 use std::fmt::Write;
 
-/// Render a value operand.
-pub fn value_str(v: Value) -> String {
+/// Append a value operand (without module-resolved names) to `out`.
+pub fn write_value(out: &mut String, v: Value) {
     match v {
-        Value::Inst(id) => format!("%{}", id.0),
-        Value::Arg(i) => format!("${i}"),
-        Value::ConstInt { ty, val } => format!("{ty} {val}"),
+        Value::Inst(id) => {
+            let _ = write!(out, "%{}", id.0);
+        }
+        Value::Arg(i) => {
+            let _ = write!(out, "${i}");
+        }
+        Value::ConstInt { ty, val } => {
+            let _ = write!(out, "{ty} {val}");
+        }
         Value::ConstF64(bits) => {
             let x = f64::from_bits(bits);
             if x.is_nan() {
-                format!("f64 {bits:#x}")
+                let _ = write!(out, "f64 {bits:#x}");
             } else if x == f64::INFINITY {
-                "f64 inf".to_string()
+                out.push_str("f64 inf");
             } else if x == f64::NEG_INFINITY {
-                "f64 -inf".to_string()
+                out.push_str("f64 -inf");
             } else {
                 // `{:?}` guarantees round-trip for finite f64.
-                format!("f64 {x:?}")
+                let _ = write!(out, "f64 {x:?}");
             }
         }
-        Value::Global(g) => format!("@g{}", g.0),
-        Value::Function(f) => format!("@f{}", f.0),
-        Value::Undef(ty) => format!("undef {ty}"),
+        Value::Global(g) => {
+            let _ = write!(out, "@g{}", g.0);
+        }
+        Value::Function(f) => {
+            let _ = write!(out, "@f{}", f.0);
+        }
+        Value::Undef(ty) => {
+            let _ = write!(out, "undef {ty}");
+        }
     }
 }
 
-fn value_str_in(m: &Module, v: Value) -> String {
+/// Render a value operand.
+pub fn value_str(v: Value) -> String {
+    let mut s = String::new();
+    write_value(&mut s, v);
+    s
+}
+
+fn write_value_in(out: &mut String, m: &Module, v: Value) {
     match v {
-        Value::Global(g) => format!("@{}", m.globals[g.index()].name),
-        Value::Function(f) => format!("@{}", m.functions[f.index()].name),
-        other => value_str(other),
+        Value::Global(g) => {
+            out.push('@');
+            out.push_str(m.name_of(m.globals[g.index()].name));
+        }
+        Value::Function(f) => {
+            out.push('@');
+            out.push_str(m.name_of(m.functions[f.index()].name));
+        }
+        other => write_value(out, other),
+    }
+}
+
+/// Append one instruction (without trailing newline) to `out`, resolving
+/// global and function names through `module`.
+pub fn write_inst(out: &mut String, module: &Module, func: &Function, id: crate::InstId) {
+    let inst = func.inst(id);
+    if inst.has_result() {
+        let _ = write!(out, "%{}", id.0);
+        if let Some(name) = inst.name {
+            out.push(':');
+            out.push_str(module.name_of(name));
+        }
+        out.push_str(" = ");
+    }
+    match &inst.kind {
+        InstKind::Bin { op, lhs, rhs } => {
+            let _ = write!(out, "{} {} ", op.name(), inst.ty);
+            write_value_in(out, module, *lhs);
+            out.push_str(", ");
+            write_value_in(out, module, *rhs);
+        }
+        InstKind::ICmp { pred, lhs, rhs } => {
+            let _ = write!(out, "icmp {} ", pred.name());
+            write_value_in(out, module, *lhs);
+            out.push_str(", ");
+            write_value_in(out, module, *rhs);
+        }
+        InstKind::FCmp { pred, lhs, rhs } => {
+            let _ = write!(out, "fcmp {} ", pred.name());
+            write_value_in(out, module, *lhs);
+            out.push_str(", ");
+            write_value_in(out, module, *rhs);
+        }
+        InstKind::Alloca { mem } => {
+            let _ = write!(out, "alloca {mem}");
+        }
+        InstKind::Load { ptr } => {
+            let _ = write!(out, "load {}, ", inst.ty);
+            write_value_in(out, module, *ptr);
+        }
+        InstKind::Store { val, ptr } => {
+            out.push_str("store ");
+            write_value_in(out, module, *val);
+            out.push_str(", ");
+            write_value_in(out, module, *ptr);
+        }
+        InstKind::Gep {
+            elem,
+            base,
+            indices,
+        } => {
+            let _ = write!(out, "gep {elem}, ");
+            write_value_in(out, module, *base);
+            for i in indices {
+                out.push_str(", ");
+                write_value_in(out, module, *i);
+            }
+        }
+        InstKind::Call { callee, args } => {
+            let _ = write!(out, "call {} ", inst.ty);
+            match callee {
+                Callee::Func(f) => {
+                    out.push('@');
+                    out.push_str(module.name_of(module.functions[f.index()].name));
+                }
+                Callee::External(name) => {
+                    out.push_str("ext \"");
+                    out.push_str(module.name_of(*name));
+                    out.push('"');
+                }
+            }
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_value_in(out, module, *a);
+            }
+            out.push(')');
+        }
+        InstKind::Phi { incomings } => {
+            let _ = write!(out, "phi {}", inst.ty);
+            for (bb, val) in incomings {
+                let _ = write!(out, " [bb{}: ", bb.0);
+                write_value_in(out, module, *val);
+                out.push(']');
+            }
+        }
+        InstKind::Cast { op, val } => {
+            let _ = write!(out, "cast {} ", op.name());
+            write_value_in(out, module, *val);
+            let _ = write!(out, " to {}", inst.ty);
+        }
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            let _ = write!(out, "select {} ", inst.ty);
+            write_value_in(out, module, *cond);
+            out.push_str(", ");
+            write_value_in(out, module, *then_val);
+            out.push_str(", ");
+            write_value_in(out, module, *else_val);
+        }
+        InstKind::Br { target } => {
+            let _ = write!(out, "br bb{}", target.0);
+        }
+        InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            out.push_str("condbr ");
+            write_value_in(out, module, *cond);
+            let _ = write!(out, ", bb{}, bb{}", then_bb.0, else_bb.0);
+        }
+        InstKind::Ret { val: Some(val) } => {
+            out.push_str("ret ");
+            write_value_in(out, module, *val);
+        }
+        InstKind::Ret { val: None } => out.push_str("ret void"),
+        InstKind::Unreachable => out.push_str("unreachable"),
+        InstKind::DbgValue { val, var } => {
+            out.push_str("dbg ");
+            write_value_in(out, module, *val);
+            let _ = write!(out, ", !{}", var.0);
+        }
+        InstKind::Nop => out.push_str("nop"),
+    }
+    if let Some(line) = inst.dbg_line {
+        let _ = write!(out, " line={line}");
     }
 }
 
 /// Render one instruction (without trailing newline), resolving global and
 /// function names through `module`.
 pub fn inst_str(module: &Module, func: &Function, id: crate::InstId) -> String {
-    let inst = func.inst(id);
-    let v = |val: Value| value_str_in(module, val);
     let mut s = String::new();
-    if inst.has_result() {
-        write!(s, "%{}", id.0).unwrap();
-        if let Some(name) = &inst.name {
-            write!(s, ":{name}").unwrap();
-        }
-        s.push_str(" = ");
-    }
-    match &inst.kind {
-        InstKind::Bin { op, lhs, rhs } => {
-            write!(s, "{} {} {}, {}", op.name(), inst.ty, v(*lhs), v(*rhs)).unwrap()
-        }
-        InstKind::ICmp { pred, lhs, rhs } => {
-            write!(s, "icmp {} {}, {}", pred.name(), v(*lhs), v(*rhs)).unwrap()
-        }
-        InstKind::FCmp { pred, lhs, rhs } => {
-            write!(s, "fcmp {} {}, {}", pred.name(), v(*lhs), v(*rhs)).unwrap()
-        }
-        InstKind::Alloca { mem } => write!(s, "alloca {mem}").unwrap(),
-        InstKind::Load { ptr } => write!(s, "load {}, {}", inst.ty, v(*ptr)).unwrap(),
-        InstKind::Store { val, ptr } => write!(s, "store {}, {}", v(*val), v(*ptr)).unwrap(),
-        InstKind::Gep {
-            elem,
-            base,
-            indices,
-        } => {
-            write!(s, "gep {elem}, {}", v(*base)).unwrap();
-            for i in indices {
-                write!(s, ", {}", v(*i)).unwrap();
-            }
-        }
-        InstKind::Call { callee, args } => {
-            write!(s, "call {} ", inst.ty).unwrap();
-            match callee {
-                Callee::Func(f) => write!(s, "@{}", module.functions[f.index()].name).unwrap(),
-                Callee::External(name) => write!(s, "ext \"{name}\"").unwrap(),
-            }
-            s.push('(');
-            for (i, a) in args.iter().enumerate() {
-                if i > 0 {
-                    s.push_str(", ");
-                }
-                s.push_str(&v(*a));
-            }
-            s.push(')');
-        }
-        InstKind::Phi { incomings } => {
-            write!(s, "phi {}", inst.ty).unwrap();
-            for (bb, val) in incomings {
-                write!(s, " [bb{}: {}]", bb.0, v(*val)).unwrap();
-            }
-        }
-        InstKind::Cast { op, val } => {
-            write!(s, "cast {} {} to {}", op.name(), v(*val), inst.ty).unwrap()
-        }
-        InstKind::Select {
-            cond,
-            then_val,
-            else_val,
-        } => write!(
-            s,
-            "select {} {}, {}, {}",
-            inst.ty,
-            v(*cond),
-            v(*then_val),
-            v(*else_val)
-        )
-        .unwrap(),
-        InstKind::Br { target } => write!(s, "br bb{}", target.0).unwrap(),
-        InstKind::CondBr {
-            cond,
-            then_bb,
-            else_bb,
-        } => write!(s, "condbr {}, bb{}, bb{}", v(*cond), then_bb.0, else_bb.0).unwrap(),
-        InstKind::Ret { val: Some(val) } => write!(s, "ret {}", v(*val)).unwrap(),
-        InstKind::Ret { val: None } => s.push_str("ret void"),
-        InstKind::Unreachable => s.push_str("unreachable"),
-        InstKind::DbgValue { val, var } => write!(s, "dbg {}, !{}", v(*val), var.0).unwrap(),
-        InstKind::Nop => s.push_str("nop"),
-    }
-    if let Some(line) = inst.dbg_line {
-        write!(s, " line={line}").unwrap();
-    }
+    write_inst(&mut s, module, func, id);
     s
+}
+
+/// Append a function to `out`.
+pub fn write_function(out: &mut String, module: &Module, func: &Function) {
+    out.push_str("func @");
+    out.push_str(module.name_of(func.name));
+    out.push('(');
+    for (i, p) in func.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "${i}:{} {}", module.name_of(p.name), p.ty);
+    }
+    let _ = write!(out, ") -> {}", func.ret_ty);
+    if func.is_outlined {
+        out.push_str(" outlined");
+    }
+    out.push_str(" {\n");
+    for bb in func.block_ids() {
+        let block = func.block(bb);
+        let _ = writeln!(out, "bb{} {}:", bb.0, module.name_of(block.name));
+        for &i in &block.insts {
+            out.push_str("  ");
+            write_inst(out, module, func, i);
+            out.push('\n');
+        }
+    }
+    out.push_str("}\n");
 }
 
 /// Render a function.
 pub fn function_str(module: &Module, func: &Function) -> String {
     let mut s = String::new();
-    write!(s, "func @{}(", func.name).unwrap();
-    for (i, p) in func.params.iter().enumerate() {
-        if i > 0 {
-            s.push_str(", ");
-        }
-        write!(s, "${i}:{} {}", p.name, p.ty).unwrap();
-    }
-    write!(s, ") -> {}", func.ret_ty).unwrap();
-    if func.is_outlined {
-        s.push_str(" outlined");
-    }
-    s.push_str(" {\n");
-    for bb in func.block_ids() {
-        let block = func.block(bb);
-        writeln!(s, "bb{} {}:", bb.0, block.name).unwrap();
-        for &i in &block.insts {
-            writeln!(s, "  {}", inst_str(module, func, i)).unwrap();
-        }
-    }
-    s.push_str("}\n");
+    write_function(&mut s, module, func);
     s
+}
+
+/// Append a whole module to `out`.
+pub fn write_module(out: &mut String, module: &Module) {
+    let _ = writeln!(out, "module \"{}\"", module.name);
+    for g in &module.globals {
+        let _ = write!(out, "global @{} : {}", module.name_of(g.name), g.mem);
+        match g.init {
+            GlobalInit::Zero => out.push_str(" = zero\n"),
+            GlobalInit::SplatF64(x) => {
+                let _ = writeln!(out, " = splat {x:?}");
+            }
+        }
+    }
+    for (i, dv) in module.di_vars.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "divar !{} = \"{}\" in \"{}\"",
+            i,
+            module.name_of(dv.name),
+            module.name_of(dv.scope)
+        );
+    }
+    for f in &module.functions {
+        out.push('\n');
+        write_function(out, module, f);
+    }
 }
 
 /// Render a whole module.
 pub fn module_str(module: &Module) -> String {
     let mut s = String::new();
-    writeln!(s, "module \"{}\"", module.name).unwrap();
-    for g in &module.globals {
-        write!(s, "global @{} : {}", g.name, g.mem).unwrap();
-        match g.init {
-            GlobalInit::Zero => s.push_str(" = zero\n"),
-            GlobalInit::SplatF64(x) => writeln!(s, " = splat {x:?}").unwrap(),
-        }
-    }
-    for (i, dv) in module.di_vars.iter().enumerate() {
-        writeln!(s, "divar !{} = \"{}\" in \"{}\"", i, dv.name, dv.scope).unwrap();
-    }
-    for f in &module.functions {
-        s.push('\n');
-        s.push_str(&function_str(module, f));
-    }
+    write_module(&mut s, module);
     s
 }
 
@@ -209,13 +310,13 @@ mod tests {
     #[test]
     fn prints_simple_function() {
         let mut m = Module::new("t");
-        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::I64);
+        let mut b = FuncBuilder::new(&mut m, "f", &[("x", Type::I64)], Type::I64);
         let x = b.arg(0);
         let s = b.bin(BinOp::Add, Type::I64, x, Value::i64(2), "sum");
         let c = b.icmp(IPred::Sgt, s, Value::i64(0), "");
         let sel = b.select(c, s, Value::i64(0), Type::I64, "");
         b.ret(Some(sel));
-        m.push_function(b.finish());
+        b.finish();
         let text = module_str(&m);
         assert!(text.contains("func @f($0:x i64) -> i64 {"));
         assert!(text.contains("%0:sum = add i64 $0, i64 2"));
@@ -226,12 +327,8 @@ mod tests {
     #[test]
     fn prints_memory_and_calls() {
         let mut m = Module::new("t");
-        m.push_global(crate::Global {
-            name: "A".into(),
-            mem: MemType::array1(Type::F64, 8),
-            init: GlobalInit::Zero,
-        });
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        m.push_global_named("A", MemType::array1(Type::F64, 8), GlobalInit::Zero);
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let g = Value::Global(crate::GlobalId(0));
         let p = b.gep(
             MemType::array1(Type::F64, 8),
@@ -240,10 +337,11 @@ mod tests {
             "p",
         );
         let x = b.load(Type::F64, p, "x");
-        let e = b.call(Callee::External("exp".into()), vec![x], Type::F64, "e");
+        let exp = b.ext("exp");
+        let e = b.call(exp, vec![x], Type::F64, "e");
         b.store(e, p);
         b.ret(None);
-        m.push_function(b.finish());
+        b.finish();
         let text = module_str(&m);
         assert!(text.contains("global @A : [8 x f64] = zero"));
         assert!(text.contains("gep [8 x f64], @A, i64 0, i64 3"));
@@ -261,5 +359,19 @@ mod tests {
     #[test]
     fn undef_renders() {
         assert_eq!(value_str(Value::Undef(Type::I64)), "undef i64");
+    }
+
+    #[test]
+    fn write_module_reuses_buffer() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
+        b.ret(None);
+        b.finish();
+        let mut buf = String::new();
+        write_module(&mut buf, &m);
+        let first = buf.clone();
+        buf.clear();
+        write_module(&mut buf, &m);
+        assert_eq!(buf, first);
     }
 }

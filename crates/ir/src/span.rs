@@ -1,0 +1,203 @@
+//! Lexical function-span scanning over module text.
+//!
+//! [`scan_spans`] splits a module's textual form into the byte ranges of
+//! its `func @name { ... }` definitions plus the interleaved preamble
+//! (module/global/divar lines) — without tokenizing, parsing, or
+//! allocating per line. The daemon's UPDATE path hashes these spans to
+//! detect which functions an edit touched, so an edit re-fingerprints only
+//! the bytes that changed instead of re-parsing the module.
+//!
+//! The scan is intentionally forgiving: it only needs the same line-level
+//! structure the parser enforces (`func @name ... {` headers, a closing
+//! `}` on its own line). Text that fails these expectations still yields a
+//! deterministic split — the parser remains the arbiter of validity.
+
+/// Byte range `[start, end)` into the scanned text.
+pub type ByteSpan = (usize, usize);
+
+/// One `func` definition located by [`scan_spans`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuncSpan {
+    /// Byte range of the function name (without the `@`).
+    pub name: ByteSpan,
+    /// Byte range of the whole definition, from `func` through the
+    /// closing `}` (inclusive of its line terminator when present).
+    pub body: ByteSpan,
+}
+
+impl FuncSpan {
+    /// The function name as a slice of the scanned text.
+    pub fn name_str<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.name.0..self.name.1]
+    }
+
+    /// The definition bytes as a slice of the scanned text.
+    pub fn body_str<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.body.0..self.body.1]
+    }
+}
+
+/// Result of a lexical span scan: function spans in file order plus the
+/// preamble ranges (everything outside any function definition).
+#[derive(Clone, Debug, Default)]
+pub struct ModuleSpans {
+    /// Function definitions in file order.
+    pub funcs: Vec<FuncSpan>,
+    /// Byte ranges not covered by any function definition, in file order.
+    /// These carry the module header, globals, and debug variables that
+    /// feed the context fingerprint.
+    pub preamble: Vec<ByteSpan>,
+}
+
+impl ModuleSpans {
+    /// Clear retained buffers without releasing capacity, for reuse across
+    /// scans.
+    pub fn clear(&mut self) {
+        self.funcs.clear();
+        self.preamble.clear();
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'.'
+}
+
+/// Scan `text` into `out`, reusing its buffers. Allocation-free once the
+/// vectors have warmed to the module's function count.
+pub fn scan_spans_into(text: &str, out: &mut ModuleSpans) {
+    out.clear();
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let mut preamble_start = 0usize;
+    let mut cur_func: Option<(ByteSpan, usize)> = None; // (name, body start)
+    while pos < bytes.len() {
+        let line_end = match bytes[pos..].iter().position(|&b| b == b'\n') {
+            Some(off) => pos + off + 1,
+            None => bytes.len(),
+        };
+        let line = &bytes[pos..line_end];
+        // Trim ASCII whitespace without allocating.
+        let mut s = 0;
+        while s < line.len() && line[s].is_ascii_whitespace() {
+            s += 1;
+        }
+        let mut e = line.len();
+        while e > s && line[e - 1].is_ascii_whitespace() {
+            e -= 1;
+        }
+        let trimmed = &line[s..e];
+        if cur_func.is_none() {
+            if let Some(rest) = trimmed.strip_prefix(b"func @") {
+                let name_start = pos + s + "func @".len();
+                let mut name_len = 0;
+                while name_len < rest.len() && is_ident_byte(rest[name_len]) {
+                    name_len += 1;
+                }
+                if preamble_start < pos {
+                    out.preamble.push((preamble_start, pos));
+                }
+                cur_func = Some(((name_start, name_start + name_len), pos));
+            }
+        } else if trimmed == b"}" {
+            let (name, body_start) = cur_func.take().unwrap_or_default();
+            out.funcs.push(FuncSpan {
+                name,
+                body: (body_start, line_end),
+            });
+            preamble_start = line_end;
+        }
+        pos = line_end;
+    }
+    if let Some((name, body_start)) = cur_func {
+        // Unterminated function: attribute the tail to it so edits there
+        // still mark it dirty.
+        out.funcs.push(FuncSpan {
+            name,
+            body: (body_start, bytes.len()),
+        });
+    } else if preamble_start < bytes.len() {
+        out.preamble.push((preamble_start, bytes.len()));
+    }
+}
+
+/// Convenience wrapper allocating a fresh [`ModuleSpans`].
+pub fn scan_spans(text: &str) -> ModuleSpans {
+    let mut out = ModuleSpans::default();
+    scan_spans_into(text, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "module \"demo\"\nglobal @A : [8 x f64] = zero\n\nfunc @f($0:n i64) -> i64 {\nbb0 entry:\n  ret $0\n}\n\nfunc @g() -> void {\nbb0 entry:\n  ret void\n}\n";
+
+    #[test]
+    fn finds_functions_and_preamble() {
+        let spans = scan_spans(SAMPLE);
+        assert_eq!(spans.funcs.len(), 2);
+        assert_eq!(spans.funcs[0].name_str(SAMPLE), "f");
+        assert_eq!(spans.funcs[1].name_str(SAMPLE), "g");
+        assert!(spans.funcs[0].body_str(SAMPLE).starts_with("func @f"));
+        assert!(spans.funcs[0].body_str(SAMPLE).trim_end().ends_with('}'));
+        // Preamble covers the module/global lines and the blank separator.
+        let pre: String = spans.preamble.iter().map(|&(a, b)| &SAMPLE[a..b]).collect();
+        assert!(pre.contains("module \"demo\""));
+        assert!(pre.contains("global @A"));
+        assert!(!pre.contains("func @"));
+    }
+
+    #[test]
+    fn spans_cover_whole_text() {
+        let spans = scan_spans(SAMPLE);
+        let mut ranges: Vec<(usize, usize)> = spans.funcs.iter().map(|f| f.body).collect();
+        ranges.extend(spans.preamble.iter().copied());
+        ranges.sort();
+        let mut pos = 0;
+        for (a, b) in ranges {
+            assert_eq!(a, pos, "gap or overlap at byte {pos}");
+            pos = b;
+        }
+        assert_eq!(pos, SAMPLE.len());
+    }
+
+    #[test]
+    fn edit_changes_only_one_span() {
+        let edited = SAMPLE.replace("ret void", "unreachable");
+        let a = scan_spans(SAMPLE);
+        let b = scan_spans(&edited);
+        assert_eq!(a.funcs.len(), b.funcs.len());
+        assert_eq!(
+            a.funcs[0].body_str(SAMPLE),
+            b.funcs[0].body_str(&edited),
+            "editing @g must not change @f's span bytes"
+        );
+        assert_ne!(a.funcs[1].body_str(SAMPLE), b.funcs[1].body_str(&edited));
+    }
+
+    #[test]
+    fn reuse_is_clean() {
+        let mut spans = ModuleSpans::default();
+        scan_spans_into(SAMPLE, &mut spans);
+        assert_eq!(spans.funcs.len(), 2);
+        scan_spans_into("module \"empty\"\n", &mut spans);
+        assert_eq!(spans.funcs.len(), 0);
+        assert_eq!(spans.preamble.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_function_gets_tail() {
+        let src = "func @f() -> void {\nbb0 entry:\n  ret void\n";
+        let spans = scan_spans(src);
+        assert_eq!(spans.funcs.len(), 1);
+        assert_eq!(spans.funcs[0].body, (0, src.len()));
+    }
+
+    #[test]
+    fn empty_input() {
+        let spans = scan_spans("");
+        assert!(spans.funcs.is_empty());
+        assert!(spans.preamble.is_empty());
+    }
+}

@@ -34,8 +34,9 @@ fn err<T>(func: &str, msg: impl Into<String>) -> Result<T, VerifyError> {
 /// Verify every function in the module.
 pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
     for (i, f) in module.functions.iter().enumerate() {
+        let fname = module.name_of(f.name);
         verify_function(f).map_err(|mut e| {
-            e.func = format!("{} (fn{})", f.name, i);
+            e.func = format!("{} (fn{})", fname, i);
             e
         })?;
         // Check call arities against module functions.
@@ -46,15 +47,15 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
             } = &inst.kind
             {
                 if fid.index() >= module.functions.len() {
-                    return err(&f.name, format!("call to out-of-range {fid}"));
+                    return err(fname, format!("call to out-of-range {fid}"));
                 }
                 let callee = &module.functions[fid.index()];
                 if callee.params.len() != args.len() {
                     return err(
-                        &f.name,
+                        fname,
                         format!(
                             "call to @{} passes {} args, expects {}",
-                            callee.name,
+                            module.name_of(callee.name),
                             args.len(),
                             callee.params.len()
                         ),
@@ -68,8 +69,12 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
 
 /// Verify a single function: block structure, terminators, operand
 /// definedness, SSA dominance, phi/CFG consistency, and basic typing.
+///
+/// Function names are interned symbols that only the owning module can
+/// resolve, so errors from this entry point carry an empty function name;
+/// [`verify_module`] fills in the resolved name.
 pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
-    let name = &f.name;
+    let name = "";
     if f.blocks.is_empty() {
         return err(name, "function has no blocks");
     }
@@ -83,7 +88,7 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
     for bb in f.block_ids() {
         let block = f.block(bb);
         if block.insts.is_empty() {
-            return err(name, format!("block {bb} ({}) is empty", block.name));
+            return err(name, format!("block {bb} is empty"));
         }
         for (pos, &i) in block.insts.iter().enumerate() {
             if i.index() >= f.insts.len() {
@@ -254,7 +259,7 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
 }
 
 fn verify_types(f: &Function, i: InstId) -> Result<(), VerifyError> {
-    let name = &f.name;
+    let name = "";
     let inst = f.inst(i);
     let vt = |v: Value| f.value_type(v);
     match &inst.kind {
@@ -378,24 +383,27 @@ mod tests {
 
     #[test]
     fn accepts_valid_function() {
-        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("x", Type::I64)], Type::I64);
         let s = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "");
         b.ret(Some(s));
-        verify_function(&b.finish()).unwrap();
+        verify_function(&b.into_func()).unwrap();
     }
 
     #[test]
     fn rejects_missing_terminator() {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         b.bin(BinOp::Add, Type::I64, Value::i64(1), Value::i64(2), "");
-        let e = verify_function(&b.finish()).unwrap_err();
+        let e = verify_function(&b.into_func()).unwrap_err();
         assert!(e.msg.contains("terminator"), "{e}");
     }
 
     #[test]
     fn rejects_use_before_def() {
         // entry: condbr c, a, b ; a: %x = add ; b: use %x  (no dominance)
-        let mut b = FuncBuilder::new("f", &[("c", Type::I1)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("c", Type::I1)], Type::Void);
         let a = b.new_block("a");
         let bb = b.new_block("b");
         b.cond_br(b.arg(0), a, bb);
@@ -406,68 +414,74 @@ mod tests {
         let y = b.bin(BinOp::Add, Type::I64, x, Value::i64(1), "y");
         let _ = y;
         b.ret(None);
-        let e = verify_function(&b.finish()).unwrap_err();
+        let e = verify_function(&b.into_func()).unwrap_err();
         assert!(e.msg.contains("dominate"), "{e}");
     }
 
     #[test]
     fn rejects_phi_pred_mismatch() {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let next = b.new_block("next");
         b.br(next);
         b.switch_to(next);
         // Phi claims a predecessor that is not a CFG pred.
         b.phi(Type::I64, vec![(next, Value::i64(0))], "p");
         b.ret(None);
-        let e = verify_function(&b.finish()).unwrap_err();
+        let e = verify_function(&b.into_func()).unwrap_err();
         assert!(e.msg.contains("phi predecessors"), "{e}");
     }
 
     #[test]
     fn rejects_type_mismatch() {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         b.bin(BinOp::Add, Type::I64, Value::i64(1), Value::f64(1.0), "");
         b.ret(None);
-        let e = verify_function(&b.finish()).unwrap_err();
+        let e = verify_function(&b.into_func()).unwrap_err();
         assert!(e.msg.contains("bin operand types"), "{e}");
     }
 
     #[test]
     fn rejects_float_opcode_on_int() {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         b.bin(BinOp::FAdd, Type::I64, Value::i64(1), Value::i64(2), "");
         b.ret(None);
-        let e = verify_function(&b.finish()).unwrap_err();
+        let e = verify_function(&b.into_func()).unwrap_err();
         assert!(e.msg.contains("float mismatch"), "{e}");
     }
 
     #[test]
     fn rejects_bad_ret_type() {
-        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::I64);
         b.ret(Some(Value::f64(0.0)));
-        let e = verify_function(&b.finish()).unwrap_err();
+        let e = verify_function(&b.into_func()).unwrap_err();
         assert!(e.msg.contains("return type"), "{e}");
     }
 
     #[test]
     fn rejects_call_arity_mismatch() {
         let mut m = Module::new("m");
-        let mut callee = FuncBuilder::new("g", &[("x", Type::I64)], Type::Void);
+        let mut callee = FuncBuilder::new(&mut m, "g", &[("x", Type::I64)], Type::Void);
         callee.ret(None);
-        let gid = m.push_function(callee.finish());
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let gid = callee.finish();
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         b.call(crate::Callee::Func(gid), vec![], Type::Void, "");
         b.ret(None);
-        m.push_function(b.finish());
+        b.finish();
         let e = verify_module(&m).unwrap_err();
         assert!(e.msg.contains("passes 0 args"), "{e}");
+        assert!(e.func.contains('f'), "{e}");
     }
 
     #[test]
     fn loop_phi_back_edge_accepted() {
         // Built in builder tests too, but assert here the dominance logic
         // accepts a value defined in the loop body used by the header phi.
-        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("n", Type::I64)], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let exit = b.new_block("exit");
@@ -487,23 +501,25 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        verify_function(&b.finish()).unwrap();
+        verify_function(&b.into_func()).unwrap();
     }
 
     #[test]
     fn rejects_empty_block() {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         b.new_block("empty");
         b.ret(None);
-        let e = verify_function(&b.finish()).unwrap_err();
+        let e = verify_function(&b.into_func()).unwrap_err();
         assert!(e.msg.contains("empty"), "{e}");
     }
 
     #[test]
     fn nop_placed_rejected() {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         let nop = f.add_inst(Inst::new(InstKind::Nop, Type::Void));
         f.block_mut(f.entry).insts.insert(0, nop);
         let e = verify_function(&f).unwrap_err();

@@ -45,7 +45,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 fn build(ops: &[Op]) -> Module {
     let mut m = Module::new("prop");
     let var = m.intern_di_var("x", "f");
-    let mut b = FuncBuilder::new("f", &[("a", Type::I64)], Type::I64);
+    let mut b = FuncBuilder::new(&mut m, "f", &[("a", Type::I64)], Type::I64);
     let slot = b.alloca(MemType::array1(Type::F64, 8), "buf");
     let mut acc = b.arg(0);
     let mut facc = Value::f64(1.0);
@@ -71,7 +71,7 @@ fn build(ops: &[Op]) -> Module {
         }
     }
     b.ret(Some(acc));
-    m.push_function(b.finish());
+    b.finish();
     m
 }
 

@@ -85,7 +85,11 @@ pub fn parallelize_module(module: &mut Module, opts: &ParallelizeOptions) -> Par
         if module.func(fid).is_outlined {
             continue;
         }
-        if !opts.only_functions.is_empty() && !opts.only_functions.contains(&module.func(fid).name)
+        if !opts.only_functions.is_empty()
+            && !opts
+                .only_functions
+                .iter()
+                .any(|n| n == module.name_of(module.func(fid).name))
         {
             continue;
         }
@@ -93,7 +97,7 @@ pub fn parallelize_module(module: &mut Module, opts: &ParallelizeOptions) -> Par
         if !outcomes.is_empty() {
             report
                 .functions
-                .push((module.func(fid).name.clone(), outcomes));
+                .push((module.name_of(module.func(fid).name).to_string(), outcomes));
         }
     }
     report
@@ -253,7 +257,7 @@ fn try_parallelize(
                 _ => true,
             }
         };
-        match classify_doall(f, &li, lid, cl, &is_symbol) {
+        match classify_doall(f, &module.symbols, &li, lid, cl, &is_symbol) {
             DoallResult::Doall => Vec::new(),
             DoallResult::DoallWithChecks(pairs) => {
                 if !opts.version_aliasing {
@@ -289,7 +293,11 @@ fn try_parallelize(
     };
 
     *region_counter += 1;
-    let region_name = format!("{}_polly_par{}", module.func(fid).name, *region_counter);
+    let region_name = format!(
+        "{}_polly_par{}",
+        module.name_of(module.func(fid).name),
+        *region_counter
+    );
     outline_loop(module, fid, lid, &cl, &region_name)?;
     Ok((region_name, versioned))
 }
@@ -324,7 +332,12 @@ fn estimate_work(f: &Function, li: &LoopInfo, lid: LoopId) -> u64 {
 
 /// Compute `(lb, ub_incl)` values (inserting instructions into `block`
 /// before its terminator) describing the sequential iteration space.
-fn iteration_space(f: &mut Function, block: BlockId, cl: &CountedLoop) -> (Value, Value) {
+fn iteration_space(
+    f: &mut Function,
+    symbols: &mut splendid_ir::SymbolTable,
+    block: BlockId,
+    cl: &CountedLoop,
+) -> (Value, Value) {
     let cont_pred = if cl.continue_on_true {
         cl.pred
     } else {
@@ -344,7 +357,7 @@ fn iteration_space(f: &mut Function, block: BlockId, cl: &CountedLoop) -> (Value
                     rhs: Value::i64(1),
                 },
                 Type::I64,
-                "ub.incl",
+                symbols.intern("ub.incl"),
             ));
             let pos = f.block(block).insts.len() - 1;
             f.block_mut(block).insts.insert(pos, sub);
@@ -404,45 +417,50 @@ fn outline_loop(
     // Build the region function.
     let mut params = vec![
         Param {
-            name: "tid".into(),
+            name: module.symbols.intern("tid"),
             ty: Type::I64,
         },
         Param {
-            name: "lb".into(),
+            name: module.symbols.intern("lb"),
             ty: Type::I64,
         },
         Param {
-            name: "ub".into(),
+            name: module.symbols.intern("ub"),
             ty: Type::I64,
         },
     ];
     for (k, v) in captures.iter().enumerate() {
         let (name, ty) = match v {
             Value::Inst(d) => (
-                clone_src
-                    .inst(*d)
-                    .name
-                    .clone()
-                    .unwrap_or_else(|| format!("cap{k}")),
+                match clone_src.inst(*d).name {
+                    Some(n) => n,
+                    None => module.symbols.intern(&format!("cap{k}")),
+                },
                 clone_src.inst(*d).ty,
             ),
             Value::Arg(a) => (
-                clone_src.params[*a as usize].name.clone(),
+                clone_src.params[*a as usize].name,
                 clone_src.params[*a as usize].ty,
             ),
             _ => unreachable!("only insts and args are captured"),
         };
         params.push(Param { name, ty });
     }
-    let mut region = Function::new(region_name, params, Type::Void);
-    region.is_outlined = true;
-    region.blocks.clear();
+    let mut region = Function {
+        name: module.symbols.intern(region_name),
+        params,
+        ret_ty: Type::Void,
+        blocks: Vec::new(),
+        insts: Vec::new(),
+        entry: BlockId(0),
+        is_outlined: true,
+    };
 
     // Entry: thread-local bound slots + static init + guard.
     let entry = {
         let id = BlockId(region.blocks.len() as u32);
         region.blocks.push(Block {
-            name: "entry".into(),
+            name: module.symbols.intern("entry"),
             insts: Vec::new(),
         });
         id
@@ -451,7 +469,7 @@ fn outline_loop(
     let finish = {
         let id = BlockId(region.blocks.len() as u32);
         region.blocks.push(Block {
-            name: "runtime.finish".into(),
+            name: module.symbols.intern("runtime.finish"),
             insts: Vec::new(),
         });
         id
@@ -467,7 +485,7 @@ fn outline_loop(
                 mem: splendid_ir::MemType::Scalar(Type::I64),
             },
             Type::Ptr,
-            "lb.addr",
+            module.symbols.intern("lb.addr"),
         ),
     );
     let pub_ = region.append_inst(
@@ -477,7 +495,7 @@ fn outline_loop(
                 mem: splendid_ir::MemType::Scalar(Type::I64),
             },
             Type::Ptr,
-            "ub.addr",
+            module.symbols.intern("ub.addr"),
         ),
     );
     region.append_inst(
@@ -504,7 +522,7 @@ fn outline_loop(
         entry,
         Inst::new(
             InstKind::Call {
-                callee: Callee::External(KMPC_FOR_STATIC_INIT.into()),
+                callee: Callee::External(module.symbols.intern(KMPC_FOR_STATIC_INIT)),
                 args: vec![
                     tid,
                     Value::Inst(plb),
@@ -525,7 +543,7 @@ fn outline_loop(
                 ptr: Value::Inst(plb),
             },
             Type::I64,
-            "lb",
+            module.symbols.intern("lb"),
         ),
     );
     let ubt = region.append_inst(
@@ -535,7 +553,7 @@ fn outline_loop(
                 ptr: Value::Inst(pub_),
             },
             Type::I64,
-            "ub",
+            module.symbols.intern("ub"),
         ),
     );
     let guard = region.append_inst(
@@ -547,7 +565,7 @@ fn outline_loop(
                 rhs: Value::Inst(ubt),
             },
             Type::I1,
-            "guard",
+            module.symbols.intern("guard"),
         ),
     );
 
@@ -556,7 +574,7 @@ fn outline_loop(
     for &bb in &l.blocks {
         let id = BlockId(region.blocks.len() as u32);
         region.blocks.push(Block {
-            name: clone_src.block(bb).name.clone(),
+            name: clone_src.block(bb).name,
             insts: Vec::new(),
         });
         block_map.insert(bb, id);
@@ -675,7 +693,7 @@ fn outline_loop(
         finish,
         Inst::new(
             InstKind::Call {
-                callee: Callee::External(KMPC_FOR_STATIC_FINI.into()),
+                callee: Callee::External(module.symbols.intern(KMPC_FOR_STATIC_FINI)),
                 args: vec![tid],
             },
             Type::Void,
@@ -687,13 +705,17 @@ fn outline_loop(
 
     // Caller side: compute the iteration space, emit the fork, bypass the
     // loop.
-    let f = module.func_mut(fid);
-    let (lb_v, ub_v) = iteration_space(f, preheader, cl);
+    let Module {
+        symbols, functions, ..
+    } = module;
+    let f = &mut functions[fid.index()];
+    let (lb_v, ub_v) = iteration_space(f, symbols, preheader, cl);
     let mut args = vec![Value::Function(region_id), lb_v, ub_v];
     args.extend(captures.iter().copied());
+    let fork_callee = Callee::External(symbols.intern(KMPC_FORK_CALL));
     let fork = f.add_inst(Inst::new(
         InstKind::Call {
-            callee: Callee::External(KMPC_FORK_CALL.into()),
+            callee: fork_callee,
             args,
         },
         Type::Void,
@@ -718,7 +740,10 @@ fn version_loop(
     cl: &CountedLoop,
     checks: &[(MemRoot, MemRoot)],
 ) -> Result<Vec<InstId>, String> {
-    let f = module.func_mut(fid);
+    let Module {
+        symbols, functions, ..
+    } = module;
+    let f = &mut functions[fid.index()];
     let (l, preheader) = {
         let dt = DomTree::compute(f);
         let li = LoopInfo::compute(f, &dt);
@@ -728,11 +753,17 @@ fn version_loop(
     };
 
     // Clone the loop as the sequential fallback.
-    let map = splendid_transforms::clone::clone_blocks(f, &l.blocks, ".seq");
+    let map = splendid_transforms::clone::clone_blocks(f, symbols, &l.blocks, ".seq");
 
     // New blocks for routing.
-    let par_path = f.add_block("par.path");
-    let seq_path = f.add_block("seq.path");
+    let par_path = {
+        let n = symbols.intern("par.path");
+        f.add_block(n)
+    };
+    let seq_path = {
+        let n = symbols.intern("seq.path");
+        f.add_block(n)
+    };
 
     // The preheader's terminator moves to par_path; seq_path gets a copy
     // targeting the clone.
@@ -760,7 +791,7 @@ fn version_loop(
     f.block_mut(seq_path).insts.push(seq_term);
 
     // Compute the overlap checks in the preheader.
-    let (_, ub_v) = iteration_space(f, preheader, cl);
+    let (_, ub_v) = iteration_space(f, symbols, preheader, cl);
     let one_past = f.add_inst(Inst::named(
         InstKind::Bin {
             op: BinOp::Add,
@@ -768,7 +799,7 @@ fn version_loop(
             rhs: Value::i64(1),
         },
         Type::I64,
-        "extent",
+        symbols.intern("extent"),
     ));
     let pos = f.block(preheader).insts.len() - 1;
     f.block_mut(preheader).insts.insert(pos, one_past);
@@ -796,7 +827,7 @@ fn version_loop(
                 indices: vec![Value::Inst(one_past)],
             },
             Type::Ptr,
-            "end.a",
+            symbols.intern("end.a"),
         ));
         let end_b = emit(Inst::named(
             InstKind::Gep {
@@ -805,7 +836,7 @@ fn version_loop(
                 indices: vec![Value::Inst(one_past)],
             },
             Type::Ptr,
-            "end.b",
+            symbols.intern("end.b"),
         ));
         let a_before_b = emit(Inst::new(
             InstKind::ICmp {
@@ -830,7 +861,7 @@ fn version_loop(
                 rhs: b_before_a,
             },
             Type::I1,
-            "noalias",
+            symbols.intern("noalias"),
         ));
         all_ok = Some(match all_ok {
             None => disjoint,
@@ -901,10 +932,10 @@ void k(double alpha) {
         splendid_ir::verify::verify_module(&m).unwrap();
         // A fork call exists in the kernel; an outlined region exists.
         let region = m.functions.iter().find(|f| f.is_outlined).expect("region");
-        assert!(region.name.contains("polly_par"));
+        assert!(m.name_of(region.name).contains("polly_par"));
         let k = m.func(m.func_by_name("k").unwrap());
         let has_fork = k.insts.iter().any(|i| {
-            matches!(&i.kind, InstKind::Call { callee: Callee::External(n), .. } if n == KMPC_FORK_CALL)
+            matches!(&i.kind, InstKind::Call { callee: Callee::External(n), .. } if m.name_of(*n) == KMPC_FORK_CALL)
         });
         assert!(has_fork);
         // No loop remains in the kernel.
@@ -927,14 +958,14 @@ void k(double alpha) {
                 InstKind::Call {
                     callee: Callee::External(n),
                     args,
-                } if n == KMPC_FOR_STATIC_INIT => {
+                } if m.name_of(*n) == KMPC_FOR_STATIC_INIT => {
                     saw_init = true;
                     assert_eq!(args.len(), 7);
                 }
                 InstKind::Call {
                     callee: Callee::External(n),
                     ..
-                } if n == KMPC_FOR_STATIC_FINI => {
+                } if m.name_of(*n) == KMPC_FOR_STATIC_FINI => {
                     saw_fini = true;
                 }
                 InstKind::ICmp {
@@ -954,7 +985,7 @@ void k(double alpha) {
         let region = m.functions.iter().find(|f| f.is_outlined).unwrap();
         // tid, lb, ub + alpha.
         assert_eq!(region.params.len(), 4);
-        assert!(region.params.iter().any(|p| p.name == "alpha"));
+        assert!(region.params.iter().any(|p| m.name_of(p.name) == "alpha"));
     }
 
     #[test]
@@ -1025,7 +1056,7 @@ void may_alias(double* A, double* B, double* C) {
         // Both a fork call and a sequential loop remain in the function.
         let k = m.func(m.func_by_name("may_alias").unwrap());
         let has_fork = k.insts.iter().any(|i| {
-            matches!(&i.kind, InstKind::Call { callee: Callee::External(n), .. } if n == KMPC_FORK_CALL)
+            matches!(&i.kind, InstKind::Call { callee: Callee::External(n), .. } if m.name_of(*n) == KMPC_FORK_CALL)
         });
         assert!(has_fork);
         let dt = DomTree::compute(k);

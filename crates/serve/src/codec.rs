@@ -671,6 +671,9 @@ fn enc_tier(e: &mut Enc, t: FidelityTier) {
         FidelityTier::Natural => 0,
         FidelityTier::Structured => 1,
         FidelityTier::Literal => 2,
+        // 3 extends the historical encoding: records written before the
+        // Quick tier existed keep decoding unchanged.
+        FidelityTier::Quick => 3,
     });
 }
 
@@ -679,6 +682,7 @@ fn dec_tier(d: &mut Dec<'_>) -> R<FidelityTier> {
         0 => FidelityTier::Natural,
         1 => FidelityTier::Structured,
         2 => FidelityTier::Literal,
+        3 => FidelityTier::Quick,
         _ => return err("invalid fidelity tier"),
     })
 }

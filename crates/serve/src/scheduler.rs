@@ -335,6 +335,8 @@ fn options_fingerprint(o: &SplendidOptions) -> u64 {
         FidelityTier::Natural => 1u8,
         FidelityTier::Structured => 2,
         FidelityTier::Literal => 3,
+        // Quick results must never alias Natural/Structured/Literal ones.
+        FidelityTier::Quick => 4,
     };
     let mut h = Fnv64::new();
     h.write(&[
@@ -779,7 +781,11 @@ fn run_function_item(
     if !state.expired() {
         match decompile_item(state, prepared, fid, options, cache, stats) {
             Ok(out) => {
-                if out.tier > FidelityTier::Natural {
+                // A Quick emit that was *requested* is the job's contract,
+                // not a degradation; anything below the requested rung is.
+                let requested_quick =
+                    options.start_tier == FidelityTier::Quick && out.tier == FidelityTier::Quick;
+                if out.tier > FidelityTier::Natural && !requested_quick {
                     state.degraded.fetch_add(1, Ordering::Relaxed);
                 }
                 lock(&state.slots)[slot] = Some(out);

@@ -159,7 +159,10 @@ pub(crate) fn run_validation(
             // decides what happens to the job itself.
             break;
         }
-        let name = prepared.module.func(fid).name.clone();
+        let name = prepared
+            .module
+            .name_of(prepared.module.func(fid).name)
+            .to_string();
         let fkey = if persist {
             catch_unwind(AssertUnwindSafe(|| {
                 function_cache_key(prepared, fid, options)
@@ -327,6 +330,8 @@ fn prove_function(
 fn next_tier(tier: FidelityTier) -> Option<FidelityTier> {
     match tier {
         FidelityTier::Natural => Some(FidelityTier::Structured),
+        // A mismatched Quick emit falls into the ordinary ladder.
+        FidelityTier::Quick => Some(FidelityTier::Structured),
         FidelityTier::Structured => Some(FidelityTier::Literal),
         FidelityTier::Literal => None,
     }

@@ -124,7 +124,7 @@ fn identical_text_submissions_share_cache_entries() {
 /// arena — every fidelity tier must refuse it, bottoming the ladder out.
 fn poisoned_module() -> Module {
     let mut m = Module::new("poisoned");
-    let mut f = splendid_ir::Function::new("boom", Vec::new(), Type::I64);
+    let mut f = splendid_ir::Function::new(&mut m.symbols, "boom", &[], Type::I64);
     let entry = f.entry;
     f.append_inst(
         entry,

@@ -1,7 +1,7 @@
 //! Region-cloning utilities shared by inlining, unrolling, distribution,
 //! and the parallelizer's loop versioning.
 
-use splendid_ir::{BlockId, Function, InstId, InstKind, Value};
+use splendid_ir::{BlockId, Function, InstId, InstKind, SymbolTable, Value};
 use std::collections::HashMap;
 
 /// Result of cloning a set of blocks inside one function.
@@ -35,14 +35,23 @@ impl CloneMap {
 /// the clones; references to the outside are left untouched. Phi incomings
 /// from outside blocks keep their original predecessor — callers must fix
 /// them up according to how they stitch the clone into the CFG.
-pub fn clone_blocks(f: &mut Function, blocks: &[BlockId], suffix: &str) -> CloneMap {
+pub fn clone_blocks(
+    f: &mut Function,
+    symbols: &mut SymbolTable,
+    blocks: &[BlockId],
+    suffix: &str,
+) -> CloneMap {
     let mut map = CloneMap {
         blocks: HashMap::new(),
         insts: HashMap::new(),
     };
     // Pass 1: create blocks and clone instructions verbatim.
+    let mut scratch = String::new();
     for &b in blocks {
-        let name = format!("{}{}", f.block(b).name, suffix);
+        scratch.clear();
+        scratch.push_str(symbols.resolve(f.block(b).name));
+        scratch.push_str(suffix);
+        let name = symbols.intern(&scratch);
         let nb = f.add_block(name);
         map.blocks.insert(b, nb);
     }
@@ -87,7 +96,8 @@ mod tests {
 
     #[test]
     fn clones_loop_region() {
-        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+        let mut m = splendid_ir::Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("n", Type::I64)], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let exit = b.new_block("exit");
@@ -107,9 +117,9 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         let before_blocks = f.blocks.len();
-        let map = clone_blocks(&mut f, &[header, body], ".clone");
+        let map = clone_blocks(&mut f, &mut m.symbols, &[header, body], ".clone");
         assert_eq!(f.blocks.len(), before_blocks + 2);
         // The cloned header's phi refers to the cloned body for its back
         // edge and keeps the outside (entry) incoming.
@@ -137,14 +147,15 @@ mod tests {
 
     #[test]
     fn clone_is_disjoint() {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = splendid_ir::Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let x = b.bin(BinOp::Add, Type::I64, Value::i64(1), Value::i64(2), "");
         let _ = x;
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         let entry = f.entry;
         let before = f.insts.len();
-        let map = clone_blocks(&mut f, &[entry], ".c");
+        let map = clone_blocks(&mut f, &mut m.symbols, &[entry], ".c");
         assert_eq!(f.insts.len(), before * 2);
         for (o, n) in &map.insts {
             assert_ne!(o, n);

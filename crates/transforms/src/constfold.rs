@@ -235,14 +235,16 @@ fn fold_cast(op: CastOp, val: Value, to: Type) -> Option<Value> {
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
 
     #[test]
     fn folds_arithmetic_chain() {
-        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::I64);
         let a = b.bin(BinOp::Add, Type::I64, Value::i64(2), Value::i64(3), "");
         let c = b.bin(BinOp::Mul, Type::I64, a, Value::i64(4), "");
         b.ret(Some(c));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         let n = fold_constants(&mut f);
         assert_eq!(n, 2);
         let ret = f
@@ -259,13 +261,14 @@ mod tests {
 
     #[test]
     fn identities() {
-        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("x", Type::I64)], Type::I64);
         let x = b.arg(0);
         let a = b.bin(BinOp::Add, Type::I64, x, Value::i64(0), "");
         let m = b.bin(BinOp::Mul, Type::I64, a, Value::i64(1), "");
         let s = b.bin(BinOp::Sub, Type::I64, m, Value::i64(0), "");
         b.ret(Some(s));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         fold_constants(&mut f);
         let ret = f
             .insts
@@ -280,19 +283,21 @@ mod tests {
 
     #[test]
     fn division_by_zero_not_folded() {
-        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::I64);
         let d = b.bin(BinOp::SDiv, Type::I64, Value::i64(1), Value::i64(0), "");
         b.ret(Some(d));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         assert_eq!(fold_constants(&mut f), 0);
     }
 
     #[test]
     fn float_folding() {
-        let mut b = FuncBuilder::new("f", &[], Type::F64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::F64);
         let a = b.bin(BinOp::FMul, Type::F64, Value::f64(2.0), Value::f64(3.5), "");
         b.ret(Some(a));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         fold_constants(&mut f);
         let ret = f
             .insts
@@ -307,11 +312,12 @@ mod tests {
 
     #[test]
     fn cmp_and_select_fold() {
-        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::I64);
         let c = b.icmp(IPred::Slt, Value::i64(1), Value::i64(2), "");
         let s = b.select(c, Value::i64(10), Value::i64(20), Type::I64, "");
         b.ret(Some(s));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         fold_constants(&mut f);
         let ret = f
             .insts
@@ -326,11 +332,12 @@ mod tests {
 
     #[test]
     fn casts_fold() {
-        let mut b = FuncBuilder::new("f", &[], Type::F64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::F64);
         let w = b.cast(CastOp::Sext, Value::i32(-5), Type::I64, "");
         let x = b.cast(CastOp::SiToFp, w, Type::F64, "");
         b.ret(Some(x));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         fold_constants(&mut f);
         let ret = f
             .insts
@@ -355,10 +362,11 @@ mod tests {
     #[test]
     fn float_identities_not_applied() {
         // x + 0.0 must not fold (x could be -0.0).
-        let mut b = FuncBuilder::new("f", &[("x", Type::F64)], Type::F64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("x", Type::F64)], Type::F64);
         let a = b.bin(BinOp::FAdd, Type::F64, b.arg(0), Value::f64(0.0), "");
         b.ret(Some(a));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         assert_eq!(fold_constants(&mut f), 0);
     }
 }

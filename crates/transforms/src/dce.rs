@@ -85,16 +85,18 @@ pub fn scrub_dangling_dbg(f: &mut Function) -> usize {
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::{BinOp, MemType, Type};
 
     #[test]
     fn removes_unused_chain() {
-        let mut b = FuncBuilder::new("f", &[("x", Type::I64)], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("x", Type::I64)], Type::I64);
         let dead1 = b.bin(BinOp::Add, Type::I64, b.arg(0), Value::i64(1), "");
         let _dead2 = b.bin(BinOp::Mul, Type::I64, dead1, Value::i64(2), "");
         let live = b.bin(BinOp::Sub, Type::I64, b.arg(0), Value::i64(3), "");
         b.ret(Some(live));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         assert_eq!(eliminate_dead_code(&mut f), 2);
         assert_eq!(f.live_inst_count(), 2);
         splendid_ir::verify::verify_function(&f).unwrap();
@@ -102,17 +104,14 @@ mod tests {
 
     #[test]
     fn keeps_side_effects() {
-        let mut b = FuncBuilder::new("f", &[("p", Type::Ptr)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("p", Type::Ptr)], Type::Void);
         b.store(Value::i64(1), b.arg(0));
         let _unused_load = b.load(Type::I64, b.arg(0), "");
-        b.call(
-            splendid_ir::Callee::External("foo".into()),
-            vec![],
-            Type::I64,
-            "",
-        );
+        let foo = b.ext("foo");
+        b.call(foo, vec![], Type::I64, "");
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         // The load is pure and unused: removed. Store and call stay.
         assert_eq!(eliminate_dead_code(&mut f), 1);
         assert_eq!(f.live_inst_count(), 3);
@@ -120,21 +119,23 @@ mod tests {
 
     #[test]
     fn keeps_used_alloca() {
-        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::I64);
         let a = b.alloca(MemType::Scalar(Type::I64), "");
         b.store(Value::i64(1), a);
         let v = b.load(Type::I64, a, "");
         b.ret(Some(v));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         assert_eq!(eliminate_dead_code(&mut f), 0);
     }
 
     #[test]
     fn removes_unused_alloca() {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         b.alloca(MemType::Scalar(Type::I64), "");
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         assert_eq!(eliminate_dead_code(&mut f), 1);
     }
 
@@ -142,11 +143,11 @@ mod tests {
     fn scrubs_dangling_dbg() {
         let mut m = splendid_ir::Module::new("m");
         let var = m.intern_di_var("x", "f");
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let v = b.bin(BinOp::Add, Type::I64, Value::i64(1), Value::i64(2), "");
         b.dbg_value(v, var);
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         // The dbg use keeps `v` alive from DCE's perspective? No: dbg is a
         // use, so DCE keeps it. Simulate a pass deleting v directly.
         f.delete_inst(v.as_inst().unwrap());

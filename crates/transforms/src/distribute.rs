@@ -7,11 +7,11 @@ use crate::dce::{eliminate_dead_code, scrub_dangling_dbg};
 use splendid_analysis::alias::{alias, mem_root, AliasResult, MemRoot};
 use splendid_analysis::domtree::DomTree;
 use splendid_analysis::loops::{LoopId, LoopInfo};
-use splendid_ir::{Function, InstId, InstKind};
+use splendid_ir::{Function, InstId, InstKind, SymbolTable};
 
 /// Distribute the (unique) outermost loop of `f` into one loop per written
 /// memory root, when legal. Returns the number of resulting loops.
-pub fn distribute_outermost(f: &mut Function) -> Result<usize, String> {
+pub fn distribute_outermost(f: &mut Function, symbols: &mut SymbolTable) -> Result<usize, String> {
     let dt = DomTree::compute(f);
     let li = LoopInfo::compute(f, &dt);
     let tops = li.top_level();
@@ -21,7 +21,7 @@ pub fn distribute_outermost(f: &mut Function) -> Result<usize, String> {
             tops.len()
         ));
     };
-    distribute_loop(f, &li, *lid)
+    distribute_loop(f, symbols, &li, *lid)
 }
 
 /// Distribute loop `lid` by written memory root.
@@ -31,7 +31,12 @@ pub fn distribute_outermost(f: &mut Function) -> Result<usize, String> {
 /// acyclic, and groups are emitted in dependence order. All loop structure
 /// (inner loops, IV) is cloned per group; dead code in each clone is
 /// removed.
-pub fn distribute_loop(f: &mut Function, li: &LoopInfo, lid: LoopId) -> Result<usize, String> {
+pub fn distribute_loop(
+    f: &mut Function,
+    symbols: &mut SymbolTable,
+    li: &LoopInfo,
+    lid: LoopId,
+) -> Result<usize, String> {
     let l = li.get(lid).clone();
     let exits = l.exits.clone();
     let [exit] = exits.as_slice() else {
@@ -107,7 +112,7 @@ pub fn distribute_loop(f: &mut Function, li: &LoopInfo, lid: LoopId) -> Result<u
     let mut chain_tail_exiting = *exiting;
     let mut all_regions: Vec<Vec<InstId>> = vec![groups[0].1.clone()];
     for (gi, _) in groups.iter().enumerate().skip(1) {
-        let map = clone_blocks(f, &loop_blocks, &format!(".d{gi}"));
+        let map = clone_blocks(f, symbols, &loop_blocks, &format!(".d{gi}"));
         // Retarget the previous region's exit edge to this clone's header.
         let new_header = map.block(l.header);
         let t = f
@@ -208,11 +213,13 @@ pub fn distribute_loop(f: &mut Function, li: &LoopInfo, lid: LoopId) -> Result<u
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::{BinOp, GlobalId, IPred, MemType, Type, Value};
 
     /// for (i) { A[i] = i; B[i] = 2*i; }
-    fn two_store_loop() -> Function {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+    fn two_store_loop() -> (Module, Function) {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let latch = b.new_block("latch");
@@ -248,13 +255,14 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        b.finish()
+        let f = b.into_func();
+        (m, f)
     }
 
     #[test]
     fn distributes_two_groups() {
-        let mut f = two_store_loop();
-        let n = distribute_outermost(&mut f).unwrap();
+        let (mut m, mut f) = two_store_loop();
+        let n = distribute_outermost(&mut f, &mut m.symbols).unwrap();
         assert_eq!(n, 2);
         splendid_ir::verify::verify_function(&f).unwrap();
         // Two loops now exist, each with exactly one store.
@@ -275,7 +283,8 @@ mod tests {
 
     #[test]
     fn single_group_rejected() {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let exit = b.new_block("exit");
@@ -304,14 +313,14 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        let mut f = b.finish();
-        assert!(distribute_outermost(&mut f).is_err());
+        let mut f = b.into_func();
+        assert!(distribute_outermost(&mut f, &mut m.symbols).is_err());
     }
 
     #[test]
     fn distribution_preserves_iv_per_loop() {
-        let mut f = two_store_loop();
-        distribute_outermost(&mut f).unwrap();
+        let (mut m, mut f) = two_store_loop();
+        distribute_outermost(&mut f, &mut m.symbols).unwrap();
         let dt = DomTree::compute(&f);
         let li = LoopInfo::compute(&f, &dt);
         use splendid_analysis::indvar::recognize_counted_loop;

@@ -18,7 +18,12 @@ pub fn inline_call(module: &mut Module, caller: FuncId, call_inst: InstId) -> Re
             InstKind::Call {
                 callee: Callee::External(n),
                 ..
-            } => return Err(format!("cannot inline external call to {n}")),
+            } => {
+                return Err(format!(
+                    "cannot inline external call to {}",
+                    module.symbols.resolve(*n)
+                ))
+            }
             _ => return Err("not a call instruction".into()),
         }
     };
@@ -30,7 +35,8 @@ pub fn inline_call(module: &mut Module, caller: FuncId, call_inst: InstId) -> Re
         return Err("arity mismatch".into());
     }
 
-    let f = module.func_mut(caller);
+    let symbols = &mut module.symbols;
+    let f = &mut module.functions[caller.index()];
 
     // Locate the call within its block.
     let owners = f.inst_blocks();
@@ -43,7 +49,8 @@ pub fn inline_call(module: &mut Module, caller: FuncId, call_inst: InstId) -> Re
         .ok_or("call not found in its block")?;
 
     // Split the block: instructions after the call move to a continuation.
-    let cont_bb = f.add_block(format!("{}.cont", f.block(call_bb).name));
+    let cont_name = symbols.intern(&format!("{}.cont", symbols.resolve(f.block(call_bb).name)));
+    let cont_bb = f.add_block(cont_name);
     let tail: Vec<InstId> = f.block_mut(call_bb).insts.split_off(pos + 1);
     f.block_mut(cont_bb).insts = tail;
     // The call itself is removed from the original block.
@@ -67,7 +74,12 @@ pub fn inline_call(module: &mut Module, caller: FuncId, call_inst: InstId) -> Re
     // Copy callee blocks and instructions into the caller with remapping.
     let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
     for (idx, block) in callee.blocks.iter().enumerate() {
-        let nb = f.add_block(format!("{}.{}", callee.name, block.name));
+        let nb_name = symbols.intern(&format!(
+            "{}.{}",
+            symbols.resolve(callee.name),
+            symbols.resolve(block.name)
+        ));
+        let nb = f.add_block(nb_name);
         block_map.insert(BlockId(idx as u32), nb);
     }
     // Pre-reserve caller-side ids for every placed callee instruction so a
@@ -190,7 +202,7 @@ pub fn inline_all_calls_to(module: &mut Module, callee: FuncId) -> usize {
 pub fn strip_dead_functions(module: &mut Module, roots: &[&str]) -> usize {
     let mut used = vec![false; module.functions.len()];
     for (i, f) in module.functions.iter().enumerate() {
-        if roots.contains(&f.name.as_str()) {
+        if roots.contains(&module.symbols.resolve(f.name)) {
             used[i] = true;
         }
     }
@@ -262,21 +274,22 @@ pub fn strip_dead_functions(module: &mut Module, roots: &[&str]) -> usize {
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::{BinOp, IPred};
 
     fn make_module() -> (Module, FuncId, FuncId) {
         let mut m = Module::new("m");
         // callee: double(x) = x * 2
-        let mut cb = FuncBuilder::new("double", &[("x", Type::I64)], Type::I64);
+        let mut cb = FuncBuilder::new(&mut m, "double", &[("x", Type::I64)], Type::I64);
         let r = cb.bin(BinOp::Mul, Type::I64, cb.arg(0), Value::i64(2), "");
         cb.ret(Some(r));
-        let callee = m.push_function(cb.finish());
+        let callee = cb.finish();
         // caller: f(y) = double(y) + 1
-        let mut fb = FuncBuilder::new("f", &[("y", Type::I64)], Type::I64);
+        let mut fb = FuncBuilder::new(&mut m, "f", &[("y", Type::I64)], Type::I64);
         let c = fb.call(Callee::Func(callee), vec![fb.arg(0)], Type::I64, "");
         let s = fb.bin(BinOp::Add, Type::I64, c, Value::i64(1), "");
         fb.ret(Some(s));
-        let caller = m.push_function(fb.finish());
+        let caller = fb.finish();
         (m, caller, callee)
     }
 
@@ -325,7 +338,7 @@ mod tests {
     fn inlines_branchy_callee() {
         let mut m = Module::new("m");
         // callee: abs(x) = x < 0 ? -x : x with two returns.
-        let mut cb = FuncBuilder::new("abs", &[("x", Type::I64)], Type::I64);
+        let mut cb = FuncBuilder::new(&mut m, "abs", &[("x", Type::I64)], Type::I64);
         let neg_b = cb.new_block("neg");
         let pos_b = cb.new_block("pos");
         let c = cb.icmp(IPred::Slt, cb.arg(0), Value::i64(0), "");
@@ -335,11 +348,11 @@ mod tests {
         cb.ret(Some(n));
         cb.switch_to(pos_b);
         cb.ret(Some(cb.arg(0)));
-        let callee = m.push_function(cb.finish());
-        let mut fb = FuncBuilder::new("g", &[("y", Type::I64)], Type::I64);
+        let callee = cb.finish();
+        let mut fb = FuncBuilder::new(&mut m, "g", &[("y", Type::I64)], Type::I64);
         let r = fb.call(Callee::Func(callee), vec![fb.arg(0)], Type::I64, "");
         fb.ret(Some(r));
-        let caller = m.push_function(fb.finish());
+        let caller = fb.finish();
         inline_call(&mut m, caller, InstId(0)).unwrap();
         splendid_ir::verify::verify_module(&m).unwrap();
         // A merge phi must exist in the continuation.
@@ -353,21 +366,17 @@ mod tests {
     #[test]
     fn rejects_external_and_recursive() {
         let mut m = Module::new("m");
-        let mut fb = FuncBuilder::new("f", &[], Type::F64);
-        let e = fb.call(
-            Callee::External("exp".into()),
-            vec![Value::f64(1.0)],
-            Type::F64,
-            "",
-        );
+        let mut fb = FuncBuilder::new(&mut m, "f", &[], Type::F64);
+        let exp = fb.ext("exp");
+        let e = fb.call(exp, vec![Value::f64(1.0)], Type::F64, "");
         fb.ret(Some(e));
-        let caller = m.push_function(fb.finish());
+        let caller = fb.finish();
         assert!(inline_call(&mut m, caller, InstId(0)).is_err());
 
-        let mut rb = FuncBuilder::new("r", &[], Type::Void);
+        let mut rb = FuncBuilder::new(&mut m, "r", &[], Type::Void);
         rb.call(Callee::Func(FuncId(1)), vec![], Type::Void, "");
         rb.ret(None);
-        let rec = m.push_function(rb.finish());
+        let rec = rb.finish();
         assert!(inline_call(&mut m, rec, InstId(0)).is_err());
     }
 
@@ -378,7 +387,7 @@ mod tests {
         let removed = strip_dead_functions(&mut m, &["f"]);
         assert_eq!(removed, 1);
         assert_eq!(m.functions.len(), 1);
-        assert_eq!(m.functions[0].name, "f");
+        assert_eq!(m.name_of(m.functions[0].name), "f");
         splendid_ir::verify::verify_module(&m).unwrap();
         let _ = caller;
     }

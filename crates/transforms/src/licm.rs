@@ -166,11 +166,13 @@ fn hoist_one_loop(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopI
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::{BinOp, GlobalId, IPred, MemType, Type};
 
     /// Build for (i=0;i<n;i++) { body } returning (function, body block).
     fn with_loop(params: &[(&str, Type)], body: impl FnOnce(&mut FuncBuilder, Value)) -> Function {
-        let mut b = FuncBuilder::new("f", params, Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", params, Type::Void);
         let header = b.new_block("header");
         let bodyb = b.new_block("body");
         let latch = b.new_block("latch");
@@ -194,7 +196,7 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        b.finish()
+        b.into_func()
     }
 
     #[test]

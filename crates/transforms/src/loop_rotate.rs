@@ -10,19 +10,19 @@
 use splendid_analysis::domtree::DomTree;
 use splendid_analysis::indvar::recognize_counted_loop;
 use splendid_analysis::loops::LoopInfo;
-use splendid_ir::{Function, Inst, InstId, InstKind, Type, Value};
+use splendid_ir::{Function, Inst, InstId, InstKind, SymbolTable, Type, Value};
 use std::collections::HashSet;
 
 /// Rotate every rotatable counted loop in `f`. Returns how many loops were
 /// rotated.
-pub fn rotate_loops(f: &mut Function) -> usize {
+pub fn rotate_loops(f: &mut Function, symbols: &mut SymbolTable) -> usize {
     let mut rotated = 0;
     loop {
         let dt = DomTree::compute(f);
         let li = LoopInfo::compute(f, &dt);
         let mut did = false;
         for lid in li.ids() {
-            if rotate_one(f, &li, lid) {
+            if rotate_one(f, symbols, &li, lid) {
                 rotated += 1;
                 did = true;
                 break; // analyses invalidated; recompute
@@ -39,7 +39,12 @@ pub fn rotate_loops(f: &mut Function) -> usize {
 /// Safety requirements: the only value defined inside the loop and used
 /// outside is none (no loop-closed values), and the header contains only
 /// the IV phi, the exit comparison, and the terminator.
-fn rotate_one(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -> bool {
+fn rotate_one(
+    f: &mut Function,
+    symbols: &mut SymbolTable,
+    li: &LoopInfo,
+    lid: splendid_analysis::LoopId,
+) -> bool {
     let Some(cl) = recognize_counted_loop(f, li, lid) else {
         return false;
     };
@@ -142,7 +147,7 @@ fn rotate_one(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -
             },
             Type::I1,
         );
-        inst.name = Some("guard".into());
+        inst.name = Some(symbols.intern("guard"));
         f.add_inst(inst)
     };
     // Replace the preheader terminator `br header` with the guard branch.
@@ -190,7 +195,7 @@ fn rotate_one(f: &mut Function, li: &LoopInfo, lid: splendid_analysis::LoopId) -
         },
         Type::I1,
     );
-    rot_cmp_inst.name = f.inst(cl.cmp).name.clone();
+    rot_cmp_inst.name = f.inst(cl.cmp).name;
     let rot_cmp = f.add_inst(rot_cmp_inst);
     let latch_term = f.terminator(latch).expect("latch terminator");
     if !matches!(f.inst(latch_term).kind, InstKind::Br { .. }) {
@@ -255,12 +260,14 @@ pub fn guard_of_block(f: &Function, block: splendid_ir::BlockId) -> Option<InstI
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::{BinOp, GlobalId, IPred, MemType};
 
     /// Canonical frontend shape:
     /// entry -> header(phi, cmp, condbr) -> body -> latch(iv.next) -> header
-    fn for_loop_with_store() -> Function {
-        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::Void);
+    fn for_loop_with_store() -> (Module, Function) {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("n", Type::I64)], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let latch = b.new_block("latch");
@@ -291,14 +298,15 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        b.finish()
+        let f = b.into_func();
+        (m, f)
     }
 
     #[test]
     fn rotates_canonical_for_loop() {
-        let mut f = for_loop_with_store();
+        let (mut m, mut f) = for_loop_with_store();
         assert!(!has_rotated_loop(&f));
-        let n = rotate_loops(&mut f);
+        let n = rotate_loops(&mut f, &mut m.symbols);
         assert_eq!(n, 1);
         splendid_ir::verify::verify_function(&f).unwrap();
         assert!(
@@ -309,8 +317,8 @@ mod tests {
 
     #[test]
     fn rotation_preserves_counted_semantics() {
-        let mut f = for_loop_with_store();
-        rotate_loops(&mut f);
+        let (mut m, mut f) = for_loop_with_store();
+        rotate_loops(&mut f, &mut m.symbols);
         let dt = DomTree::compute(&f);
         let li = LoopInfo::compute(&f, &dt);
         assert_eq!(li.loops.len(), 1);
@@ -325,8 +333,8 @@ mod tests {
 
     #[test]
     fn guard_check_inserted() {
-        let mut f = for_loop_with_store();
-        rotate_loops(&mut f);
+        let (mut m, mut f) = for_loop_with_store();
+        rotate_loops(&mut f, &mut m.symbols);
         // The entry block (preheader) now ends in a conditional guard.
         let g = guard_of_block(&f, f.entry).expect("guard");
         let InstKind::ICmp { pred, lhs, rhs } = f.inst(g).kind else {
@@ -339,10 +347,10 @@ mod tests {
 
     #[test]
     fn already_rotated_untouched() {
-        let mut f = for_loop_with_store();
-        rotate_loops(&mut f);
+        let (mut m, mut f) = for_loop_with_store();
+        rotate_loops(&mut f, &mut m.symbols);
         let before = f.clone();
-        let n = rotate_loops(&mut f);
+        let n = rotate_loops(&mut f, &mut m.symbols);
         assert_eq!(n, 0);
         assert_eq!(f, before);
     }
@@ -350,7 +358,8 @@ mod tests {
     #[test]
     fn loop_with_escaping_value_not_rotated() {
         // return the final iv: the value escapes the loop.
-        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("n", Type::I64)], Type::I64);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let latch = b.new_block("latch");
@@ -373,7 +382,7 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(Some(iv));
-        let mut f = b.finish();
-        assert_eq!(rotate_loops(&mut f), 0);
+        let mut f = b.into_func();
+        assert_eq!(rotate_loops(&mut f, &mut m.symbols), 0);
     }
 }

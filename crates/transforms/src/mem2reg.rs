@@ -9,7 +9,7 @@
 //! relate SSA values back to source variables.
 
 use splendid_analysis::domtree::DomTree;
-use splendid_ir::{BlockId, Function, Inst, InstId, InstKind, MemType, Type, Value, VarId};
+use splendid_ir::{BlockId, Function, Inst, InstId, InstKind, MemType, Symbol, Type, Value, VarId};
 use std::collections::{HashMap, HashSet};
 
 /// Statistics returned by [`promote_allocas`].
@@ -25,7 +25,7 @@ struct AllocaInfo {
     id: InstId,
     ty: Type,
     var: Option<VarId>,
-    name: Option<String>,
+    name: Option<Symbol>,
 }
 
 /// Promote every promotable scalar alloca in `f` to SSA form.
@@ -77,7 +77,7 @@ pub fn promote_allocas(f: &mut Function) -> Mem2RegStats {
                         },
                         info.ty,
                     );
-                    phi.name = info.name.clone();
+                    phi.name = info.name;
                     let id = f.add_inst(phi);
                     f.block_mut(frontier).insts.insert(0, id);
                     phi_for.insert((frontier, ai), id);
@@ -132,7 +132,7 @@ fn find_promotable(f: &Function) -> Vec<AllocaInfo> {
                 id,
                 ty: *ty,
                 var: None,
-                name: inst.name.clone(),
+                name: inst.name,
             });
         }
     }
@@ -314,7 +314,7 @@ mod tests {
     fn branchy() -> (Module, Function) {
         let mut m = Module::new("t");
         let var = m.intern_di_var("x", "f");
-        let mut b = FuncBuilder::new("f", &[("c", Type::I1)], Type::I64);
+        let mut b = FuncBuilder::new(&mut m, "f", &[("c", Type::I1)], Type::I64);
         let then_b = b.new_block("then");
         let join = b.new_block("join");
         let x = b.alloca(MemType::Scalar(Type::I64), "x.addr");
@@ -327,7 +327,8 @@ mod tests {
         b.switch_to(join);
         let v = b.load(Type::I64, x, "");
         b.ret(Some(v));
-        (m, b.finish())
+        let f = b.into_func();
+        (m, f)
     }
 
     #[test]
@@ -373,7 +374,8 @@ mod tests {
 
     #[test]
     fn straight_line_no_phi() {
-        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::I64);
         let x = b.alloca(MemType::Scalar(Type::I64), "x");
         b.store(Value::i64(5), x);
         let v = b.load(Type::I64, x, "");
@@ -381,7 +383,7 @@ mod tests {
         b.store(w, x);
         let v2 = b.load(Type::I64, x, "");
         b.ret(Some(v2));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         let stats = promote_allocas(&mut f);
         assert_eq!(stats.promoted, 1);
         assert_eq!(stats.phis_inserted, 0);
@@ -401,7 +403,8 @@ mod tests {
     #[test]
     fn loop_variable_gets_header_phi() {
         // i = 0; while (i < n) i = i + 1; return i;
-        let mut b = FuncBuilder::new("f", &[("n", Type::I64)], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("n", Type::I64)], Type::I64);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let exit = b.new_block("exit");
@@ -420,7 +423,7 @@ mod tests {
         b.switch_to(exit);
         let fin = b.load(Type::I64, i_slot, "");
         b.ret(Some(fin));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         let stats = promote_allocas(&mut f);
         assert_eq!(stats.promoted, 1);
         assert!(stats.phis_inserted >= 1);
@@ -429,7 +432,8 @@ mod tests {
 
     #[test]
     fn array_alloca_not_promoted() {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let a = b.alloca(MemType::array1(Type::F64, 4), "buf");
         let p = b.gep(
             MemType::array1(Type::F64, 4),
@@ -439,7 +443,7 @@ mod tests {
         );
         b.store(Value::f64(1.0), p);
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         let stats = promote_allocas(&mut f);
         assert_eq!(stats.promoted, 0);
         splendid_ir::verify::verify_function(&f).unwrap();
@@ -448,23 +452,25 @@ mod tests {
     #[test]
     fn escaping_alloca_not_promoted() {
         // The alloca's address is stored somewhere: not promotable.
-        let mut b = FuncBuilder::new("f", &[("sink", Type::Ptr)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("sink", Type::Ptr)], Type::Void);
         let a = b.alloca(MemType::Scalar(Type::I64), "x");
         b.store(a, b.arg(0));
         b.store(Value::i64(1), a);
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         let stats = promote_allocas(&mut f);
         assert_eq!(stats.promoted, 0);
     }
 
     #[test]
     fn uninitialized_load_becomes_undef() {
-        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::I64);
         let a = b.alloca(MemType::Scalar(Type::I64), "x");
         let v = b.load(Type::I64, a, "");
         b.ret(Some(v));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         promote_allocas(&mut f);
         let ret = f
             .insts

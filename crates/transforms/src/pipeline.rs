@@ -41,7 +41,10 @@ pub struct O2Stats {
 /// Optimize a single function in place.
 pub fn optimize_function(module: &mut Module, func: FuncId, opts: &O2Options) -> O2Stats {
     let mut stats = O2Stats::default();
-    let f = module.func_mut(func);
+    let Module {
+        symbols, functions, ..
+    } = module;
+    let f = &mut functions[func.index()];
     stats.promoted_allocas = crate::mem2reg::promote_allocas(f).promoted;
     stats.folded += crate::constfold::fold_constants(f);
     stats.dce_removed += crate::dce::eliminate_dead_code(f);
@@ -52,7 +55,7 @@ pub fn optimize_function(module: &mut Module, func: FuncId, opts: &O2Options) ->
     stats.folded += crate::constfold::fold_constants(f);
     stats.dce_removed += crate::dce::eliminate_dead_code(f);
     if opts.rotate_loops {
-        stats.rotated = crate::loop_rotate::rotate_loops(f);
+        stats.rotated = crate::loop_rotate::rotate_loops(f, symbols);
     }
     // Rotation guards with constant bounds fold away, exactly as LLVM's
     // -O2 folds them for compile-time trip counts; guards inside outlined
@@ -88,12 +91,12 @@ mod tests {
     /// coef = 2*21 computed outside.
     fn frontend_style(m: &mut splendid_ir::Module) -> FuncId {
         let var_i = m.intern_di_var("i", "k");
-        let g = m.push_global(splendid_ir::Global {
-            name: "A".into(),
-            mem: MemType::array1(Type::F64, 100),
-            init: splendid_ir::GlobalInit::Zero,
-        });
-        let mut b = FuncBuilder::new("k", &[], Type::Void);
+        let g = m.push_global_named(
+            "A",
+            MemType::array1(Type::F64, 100),
+            splendid_ir::GlobalInit::Zero,
+        );
+        let mut b = FuncBuilder::new(m, "k", &[], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let latch = b.new_block("latch");
@@ -127,7 +130,7 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        m.push_function(b.finish())
+        b.finish()
     }
 
     #[test]

@@ -188,11 +188,13 @@ fn merge_straight_line(f: &mut Function) -> bool {
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::{BinOp, Type};
 
     #[test]
     fn folds_constant_branch_and_removes_dead_block() {
-        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::I64);
         let then_b = b.new_block("then");
         let else_b = b.new_block("else");
         let join = b.new_block("join");
@@ -208,7 +210,7 @@ mod tests {
             "",
         );
         b.ret(Some(p));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         assert!(simplify_cfg(&mut f));
         splendid_ir::verify::verify_function(&f).unwrap();
         // Everything merges into one block returning 1.
@@ -226,7 +228,8 @@ mod tests {
 
     #[test]
     fn merges_chain() {
-        let mut b = FuncBuilder::new("f", &[], Type::I64);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::I64);
         let b1 = b.new_block("b1");
         let b2 = b.new_block("b2");
         let x = b.bin(BinOp::Add, Type::I64, Value::i64(1), Value::i64(2), "");
@@ -236,7 +239,7 @@ mod tests {
         b.br(b2);
         b.switch_to(b2);
         b.ret(Some(y));
-        let mut f = b.finish();
+        let mut f = b.into_func();
         assert!(simplify_cfg(&mut f));
         assert_eq!(f.blocks.len(), 1);
         splendid_ir::verify::verify_function(&f).unwrap();
@@ -244,7 +247,8 @@ mod tests {
 
     #[test]
     fn preserves_loops() {
-        let mut b = FuncBuilder::new("f", &[("c", Type::I1)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("c", Type::I1)], Type::Void);
         let body = b.new_block("body");
         let exit = b.new_block("exit");
         b.br(body);
@@ -252,7 +256,7 @@ mod tests {
         b.cond_br(b.arg(0), body, exit);
         b.switch_to(exit);
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         simplify_cfg(&mut f);
         splendid_ir::verify::verify_function(&f).unwrap();
         // The loop structure must survive (body cannot merge into entry
@@ -262,7 +266,8 @@ mod tests {
 
     #[test]
     fn no_change_reports_false() {
-        let mut b = FuncBuilder::new("f", &[("c", Type::I1)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("c", Type::I1)], Type::Void);
         let t = b.new_block("t");
         let e = b.new_block("e");
         b.cond_br(b.arg(0), t, e);
@@ -270,18 +275,19 @@ mod tests {
         b.ret(None);
         b.switch_to(e);
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         assert!(!simplify_cfg(&mut f));
     }
 
     #[test]
     fn both_way_condbr_becomes_br() {
-        let mut b = FuncBuilder::new("f", &[("c", Type::I1)], Type::Void);
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[("c", Type::I1)], Type::Void);
         let next = b.new_block("next");
         b.cond_br(b.arg(0), next, next);
         b.switch_to(next);
         b.ret(None);
-        let mut f = b.finish();
+        let mut f = b.into_func();
         assert!(simplify_cfg(&mut f));
         assert_eq!(f.blocks.len(), 1);
         splendid_ir::verify::verify_function(&f).unwrap();

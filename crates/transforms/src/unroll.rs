@@ -5,7 +5,7 @@ use crate::clone::clone_blocks;
 use splendid_analysis::domtree::DomTree;
 use splendid_analysis::indvar::recognize_counted_loop;
 use splendid_analysis::loops::{LoopId, LoopInfo};
-use splendid_ir::{BinOp, Function, Inst, InstKind, Value};
+use splendid_ir::{BinOp, Function, Inst, InstKind, SymbolTable, Value};
 
 /// Unroll the innermost counted loop by `factor`.
 ///
@@ -14,7 +14,11 @@ use splendid_ir::{BinOp, Function, Inst, InstKind, Value};
 /// values escaping the loop. When the IV starts at 0 with step 1 and
 /// `factor` is a power of two, the per-copy offsets use `or` (as LLVM's
 /// instcombine produces, and as shown in the paper's Figure 3).
-pub fn unroll_innermost(f: &mut Function, factor: u32) -> Result<(), String> {
+pub fn unroll_innermost(
+    f: &mut Function,
+    symbols: &mut SymbolTable,
+    factor: u32,
+) -> Result<(), String> {
     if factor < 2 {
         return Err("factor must be at least 2".into());
     }
@@ -25,10 +29,16 @@ pub fn unroll_innermost(f: &mut Function, factor: u32) -> Result<(), String> {
         .filter(|&l| li.get(l).children.is_empty())
         .max_by_key(|&l| li.get(l).depth)
         .ok_or("no loop to unroll")?;
-    unroll_loop(f, &li, innermost, factor)
+    unroll_loop(f, symbols, &li, innermost, factor)
 }
 
-fn unroll_loop(f: &mut Function, li: &LoopInfo, lid: LoopId, factor: u32) -> Result<(), String> {
+fn unroll_loop(
+    f: &mut Function,
+    symbols: &mut SymbolTable,
+    li: &LoopInfo,
+    lid: LoopId,
+    factor: u32,
+) -> Result<(), String> {
     let cl = recognize_counted_loop(f, li, lid).ok_or("loop is not counted")?;
     if cl.bottom_tested {
         return Err("unroll expects a top-tested loop".into());
@@ -57,7 +67,7 @@ fn unroll_loop(f: &mut Function, li: &LoopInfo, lid: LoopId, factor: u32) -> Res
     // latch.
     let mut prev = body;
     for m in 1..factor {
-        let map = clone_blocks(f, &[body], &format!(".u{m}"));
+        let map = clone_blocks(f, symbols, &[body], &format!(".u{m}"));
         let clone_bb = map.blocks[&body];
         // Compute the per-copy IV offset at the top of the clone.
         let off = (m as i64) * cl.step;
@@ -74,7 +84,7 @@ fn unroll_loop(f: &mut Function, li: &LoopInfo, lid: LoopId, factor: u32) -> Res
             },
             iv_ty,
         );
-        off_inst.name = Some(format!("i.u{m}"));
+        off_inst.name = Some(symbols.intern(&format!("i.u{m}")));
         let off_id = f.add_inst(off_inst);
         f.block_mut(clone_bb).insts.insert(0, off_id);
         // Inside the clone, the IV reads become the offset value.
@@ -144,11 +154,13 @@ fn unroll_loop(f: &mut Function, li: &LoopInfo, lid: LoopId, factor: u32) -> Res
 mod tests {
     use super::*;
     use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::Module;
     use splendid_ir::{GlobalId, IPred, MemType, Type};
 
     /// for (i = 0; i < 1000; i++) A[i] = B[i] + C[i];
-    fn vector_add() -> Function {
-        let mut b = FuncBuilder::new("f", &[], Type::Void);
+    fn vector_add() -> (Module, Function) {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new(&mut m, "f", &[], Type::Void);
         let header = b.new_block("header");
         let body = b.new_block("body");
         let latch = b.new_block("latch");
@@ -189,13 +201,14 @@ mod tests {
         b.br(header);
         b.switch_to(exit);
         b.ret(None);
-        b.finish()
+        let f = b.into_func();
+        (m, f)
     }
 
     #[test]
     fn unrolls_by_four_with_or_offsets() {
-        let mut f = vector_add();
-        unroll_innermost(&mut f, 4).unwrap();
+        let (mut m, mut f) = vector_add();
+        unroll_innermost(&mut f, &mut m.symbols, 4).unwrap();
         splendid_ir::verify::verify_function(&f).unwrap();
         // Three `or` offset computations exist.
         let ors = f
@@ -220,20 +233,20 @@ mod tests {
 
     #[test]
     fn rejects_indivisible_trip() {
-        let mut f = vector_add();
-        let err = unroll_innermost(&mut f, 3).unwrap_err();
+        let (mut m, mut f) = vector_add();
+        let err = unroll_innermost(&mut f, &mut m.symbols, 3).unwrap_err();
         assert!(err.contains("not divisible"), "{err}");
     }
 
     #[test]
     fn rejects_tiny_factor() {
-        let mut f = vector_add();
-        assert!(unroll_innermost(&mut f, 1).is_err());
+        let (mut m, mut f) = vector_add();
+        assert!(unroll_innermost(&mut f, &mut m.symbols, 1).is_err());
     }
 
     #[test]
     fn add_offsets_for_nonzero_init() {
-        let mut f = vector_add();
+        let (mut m, mut f) = vector_add();
         // Make the IV start at 4 so the `or` trick is invalid.
         for inst in &mut f.insts {
             if let InstKind::Phi { incomings } = &mut inst.kind {
@@ -245,15 +258,14 @@ mod tests {
             }
         }
         // trip = 996 which is divisible by 4.
-        unroll_innermost(&mut f, 4).unwrap();
+        unroll_innermost(&mut f, &mut m.symbols, 4).unwrap();
         let adds_with_iv_offsets = f
             .insts
             .iter()
             .filter(|i| {
                 matches!(i.kind, InstKind::Bin { op: BinOp::Add, .. })
                     && i.name
-                        .as_deref()
-                        .map(|n| n.starts_with("i.u"))
+                        .map(|n| m.symbols.resolve(n).starts_with("i.u"))
                         .unwrap_or(false)
             })
             .count();

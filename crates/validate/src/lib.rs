@@ -189,9 +189,9 @@ pub fn check_module(src: &Module, source: &str, cfg: &ValidateConfig) -> Vec<Fun
         .iter()
         .filter(|f| !f.is_outlined)
         .map(|f| FunctionVerdict {
-            name: f.name.clone(),
+            name: src.name_of(f.name).to_string(),
             verdict: match &relowered {
-                Ok(m) => check_function(src, m, &f.name, cfg),
+                Ok(m) => check_function(src, m, src.name_of(f.name), cfg),
                 Err(e) => Verdict::Unverified(Reason::new(ReasonKind::Relower, e.clone())),
             },
         })
@@ -208,13 +208,17 @@ pub fn check_function(
 ) -> Verdict {
     let unv = |kind, detail: String| Verdict::Unverified(Reason::new(kind, detail));
 
-    let Some(sf) = src.functions.iter().find(|f| f.name == name) else {
+    let Some(sf) = src.functions.iter().find(|f| src.name_of(f.name) == name) else {
         return unv(
             ReasonKind::MissingFunction,
             format!("'{name}' not in source module"),
         );
     };
-    let Some(rf) = relowered.functions.iter().find(|f| f.name == name) else {
+    let Some(rf) = relowered
+        .functions
+        .iter()
+        .find(|f| relowered.name_of(f.name) == name)
+    else {
         return unv(
             ReasonKind::MissingFunction,
             format!("'{name}' not in re-lowered module"),
@@ -227,7 +231,11 @@ pub fn check_function(
     if let Some(p) = sf.params.iter().find(|p| !seedable(p.ty)) {
         return unv(
             ReasonKind::UnsupportedSignature,
-            format!("parameter '{}' has unseedable type {}", p.name, p.ty),
+            format!(
+                "parameter '{}' has unseedable type {}",
+                src.name_of(p.name),
+                p.ty
+            ),
         );
     }
     if sf.params.len() != rf.params.len() {
@@ -248,13 +256,20 @@ pub fn check_function(
         if g.mem.elem().size_bytes() != 8 {
             return unv(
                 ReasonKind::UnsupportedGlobal,
-                format!("global '{}' has non-word elements", g.name),
+                format!("global '{}' has non-word elements", src.name_of(g.name)),
             );
         }
-        if !relowered.globals.iter().any(|r| r.name == g.name) {
+        if !relowered
+            .globals
+            .iter()
+            .any(|r| relowered.name_of(r.name) == src.name_of(g.name))
+        {
             return unv(
                 ReasonKind::Mismatch,
-                format!("global '{}' missing from re-lowered module", g.name),
+                format!(
+                    "global '{}' missing from re-lowered module",
+                    src.name_of(g.name)
+                ),
             );
         }
     }
@@ -310,7 +325,7 @@ fn run_probe(
     // are finite and small so arithmetic stays finite-ish and branches on
     // magnitudes are exercised. The re-lowered side replays the same
     // stream below, once its fuel budget is known.
-    let mut rng = ProbeRng::new(cfg.seed, &sf.name, probe);
+    let mut rng = ProbeRng::new(cfg.seed, src.name_of(sf.name), probe);
     if probe > 0 {
         if let Err(detail) = seed_globals(&mut vm_src, src, relowered, &mut rng) {
             return ProbeOutcome::SourceFailed(Reason::new(
@@ -331,7 +346,7 @@ fn run_probe(
         })
         .collect();
 
-    let src_ret = match vm_src.call_by_name(&sf.name, &args) {
+    let src_ret = match vm_src.call_by_name(src.name_of(sf.name), &args) {
         Ok(r) => r,
         Err(e) => {
             let kind = if e.0.contains("fuel exhausted") {
@@ -366,12 +381,12 @@ fn run_probe(
         // Replay the exact seeding stream the source side consumed (the
         // generator is keyed by (seed, function, probe), so restarting it
         // reproduces the same values in the same order).
-        let mut rng = ProbeRng::new(cfg.seed, &sf.name, probe);
+        let mut rng = ProbeRng::new(cfg.seed, src.name_of(sf.name), probe);
         if let Err(detail) = seed_globals(&mut vm_re, src, relowered, &mut rng) {
             return ProbeOutcome::Diverge(format!("could not seed re-lowered side: {detail}"));
         }
     }
-    let re_ret = match vm_re.call_by_name(&rf.name, &re_args) {
+    let re_ret = match vm_re.call_by_name(relowered.name_of(rf.name), &re_args) {
         Ok(r) => r,
         Err(e) => {
             return ProbeOutcome::Diverge(format!(
@@ -384,29 +399,28 @@ fn run_probe(
         return ProbeOutcome::Diverge(detail);
     }
     for g in &src.globals {
+        let gname = src.name_of(g.name);
         for k in 0..g.mem.num_elems() {
-            let s = match vm_src.read_global_f64(&g.name, k) {
+            let s = match vm_src.read_global_f64(gname, k) {
                 Ok(v) => v,
                 Err(e) => {
                     return ProbeOutcome::SourceFailed(Reason::new(
                         ReasonKind::Inconclusive,
-                        format!("probe {probe}: reading source global '{}': {e}", g.name),
+                        format!("probe {probe}: reading source global '{gname}': {e}"),
                     ))
                 }
             };
-            let r = match vm_re.read_global_f64(&g.name, k) {
+            let r = match vm_re.read_global_f64(gname, k) {
                 Ok(v) => v,
                 Err(e) => {
                     return ProbeOutcome::Diverge(format!(
-                        "re-lowered global '{}' unreadable: {e}",
-                        g.name
+                        "re-lowered global '{gname}' unreadable: {e}"
                     ))
                 }
             };
             if s.to_bits() != r.to_bits() {
                 return ProbeOutcome::Diverge(format!(
-                    "global {}[{k}]: source {s:?} vs re-lowered {r:?}",
-                    g.name
+                    "global {gname}[{k}]: source {s:?} vs re-lowered {r:?}"
                 ));
             }
         }
@@ -428,12 +442,16 @@ fn seed_globals(
         if g.mem.elem() != Type::F64 {
             continue;
         }
-        let shared = relowered.globals.iter().any(|r| r.name == g.name);
+        let gname = src.name_of(g.name);
+        let shared = relowered
+            .globals
+            .iter()
+            .any(|r| relowered.name_of(r.name) == gname);
         for k in 0..g.mem.num_elems() {
             let v = rng.next_f64();
             if shared {
-                vm.write_global_f64(&g.name, k, v)
-                    .map_err(|e| format!("could not seed global '{}': {e}", g.name))?;
+                vm.write_global_f64(gname, k, v)
+                    .map_err(|e| format!("could not seed global '{gname}': {e}"))?;
             }
         }
     }

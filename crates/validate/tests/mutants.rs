@@ -126,7 +126,8 @@ fn validator_kills_every_detectable_mutant() {
         if let Ok(mutant_module) = relower(&mutant_source) {
             let distinguishable = original.functions.iter().any(|f| {
                 !f.is_outlined
-                    && !check_function(&original, &mutant_module, &f.name, &cfg).is_verified()
+                    && !check_function(&original, &mutant_module, original.name_of(f.name), &cfg)
+                        .is_verified()
             });
             if !distinguishable {
                 equivalent += 1;

@@ -11,8 +11,10 @@
 #                       so a report is interpretable off the box that
 #                       produced it.
 #   BENCH_daemon.json — interactive daemon latency: cold / incremental /
-#                       fast-path p50/p95/p99 and the headline
-#                       incremental-vs-cold speedup (gated at >= 5x).
+#                       fast-path p50/p95/p99, the headline
+#                       incremental-vs-cold speedup (gated at >= 5x), and
+#                       the UPDATE round-trip with its server-side
+#                       fingerprint/bookkeeping split (p50 gated at <= 5ms).
 #   BENCH_cache.json  — persistent cache tier: cold decompile vs warm
 #                       restart from the on-disk store (gated at >= 5x)
 #                       vs peer-fed over CACHE_GET, plus the warm run's
@@ -34,7 +36,16 @@ cat BENCH_serve.json
 grep -q '"workers":' BENCH_serve.json \
     || { echo "BENCH_serve.json is missing the worker count" >&2; exit 1; }
 
-./target/release/splendid bench-daemon --json --min-speedup 5 > BENCH_daemon.json
+# Parallel-speedup gates are meaningless on one worker: a single-core
+# machine records honest numbers but must not pretend they gate anything.
+workers=$(sed -n 's/.*"workers": *\([0-9][0-9]*\).*/\1/p' BENCH_serve.json | head -n1)
+if [ "${workers:-0}" -le 1 ]; then
+    echo "bench_serve.sh: resolved workers=$workers — refusing to enforce" \
+         "parallel speedup gates on a serial run" >&2
+    exit 1
+fi
+
+./target/release/splendid bench-daemon --json --min-speedup 5 --max-update-p50-ms 5 > BENCH_daemon.json
 
 echo "wrote $(pwd)/BENCH_daemon.json:"
 cat BENCH_daemon.json

@@ -9,7 +9,7 @@
 //! splendid connect [--addr A] [--unix PATH] [file.{ir,c}] [--variant V]
 //!                  [--stats] [--malformed <dir>]
 //! splendid bench-daemon [--connections N] [--rounds M] [--functions F]
-//!                       [--addr A] [--json] [--min-speedup X]
+//!                       [--addr A] [--json] [--min-speedup X] [--max-update-p50-ms MS]
 //! splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>]
 //!                   [--validate] [--stats]
 //! splendid difftest --faults N [--fault-cases M] [--seed S]
@@ -42,12 +42,12 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         splendid decompile <file.{{ir,c}}> [--variant v1|portable|full] [--stats]\n  \
+         splendid decompile <file.{{ir,c}}> [--variant v1|portable|full] [--quick] [--stats]\n  \
          splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]\n  \
          splendid bench-serve [--jobs N] [--rounds R] [--json]\n  \
          splendid daemon [--addr A] [--unix PATH] [--jobs N] [--max-connections N] [--idle-timeout SECS] [--deadline SECS] [--cache-dir DIR] [--cache-budget-mb N] [--peer ADDR]\n  \
          splendid connect [--addr A] [--unix PATH] [file.{{ir,c}}] [--variant V] [--stats] [--malformed <dir>]\n  \
-         splendid bench-daemon [--connections N] [--rounds M] [--functions F] [--addr A] [--json] [--min-speedup X]\n  \
+         splendid bench-daemon [--connections N] [--rounds M] [--functions F] [--addr A] [--json] [--min-speedup X] [--max-update-p50-ms MS]\n  \
          splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--validate] [--stats]\n  \
          splendid difftest --faults N [--fault-cases M] [--seed S]\n  \
          splendid validate <file.{{ir,c}}> [--variant V] [--stats] [--addr A] [--unix PATH]\n  \
@@ -93,6 +93,8 @@ struct Args {
     peer: Option<String>,
     validate: bool,
     min_verified: f64,
+    quick: bool,
+    max_update_p50_ms: f64,
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -126,6 +128,8 @@ fn parse_args(args: &[String]) -> Args {
         peer: None,
         validate: false,
         min_verified: 0.9,
+        quick: false,
+        max_update_p50_ms: 0.0,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -221,6 +225,12 @@ fn parse_args(args: &[String]) -> Args {
                     .unwrap_or_else(|_| fail("--min-speedup: not a number"))
             }
             "--validate" => out.validate = true,
+            "--quick" => out.quick = true,
+            "--max-update-p50-ms" => {
+                out.max_update_p50_ms = value("--max-update-p50-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-update-p50-ms: not a number"))
+            }
             "--min-verified" => {
                 out.min_verified = value("--min-verified")
                     .parse()
@@ -233,15 +243,20 @@ fn parse_args(args: &[String]) -> Args {
     out
 }
 
-fn options_for(variant: Variant) -> SplendidOptions {
+fn options_for(variant: Variant, quick: bool) -> SplendidOptions {
     SplendidOptions {
         variant,
+        start_tier: if quick {
+            splendid_core::FidelityTier::Quick
+        } else {
+            splendid_core::FidelityTier::Natural
+        },
         ..SplendidOptions::default()
     }
 }
 
 /// Load one input file as a decompilation request.
-fn load_request(path: &Path, variant: Variant) -> JobRequest {
+fn load_request(path: &Path, variant: Variant, quick: bool) -> JobRequest {
     let name = path
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
@@ -255,7 +270,7 @@ fn load_request(path: &Path, variant: Variant) -> JobRequest {
     JobRequest {
         name,
         input,
-        options: options_for(variant),
+        options: options_for(variant, quick),
     }
 }
 
@@ -273,7 +288,7 @@ fn cmd_decompile(args: Args) {
     let [path] = args.positional.as_slice() else {
         usage()
     };
-    let request = load_request(Path::new(path), args.variant);
+    let request = load_request(Path::new(path), args.variant, args.quick);
     let scheduler = Scheduler::new(ServeConfig {
         workers: args.jobs,
         ..Default::default()
@@ -323,7 +338,7 @@ fn cmd_batch(args: Args) {
     }
     let requests: Vec<JobRequest> = files
         .iter()
-        .map(|p| load_request(p, args.variant))
+        .map(|p| load_request(p, args.variant, args.quick))
         .collect();
     let scheduler = Scheduler::new(ServeConfig {
         workers: args.jobs,
@@ -660,7 +675,7 @@ fn cmd_validate(args: Args) {
     }
 
     // Local: scheduler with the checker switched on.
-    let mut request = load_request(path, args.variant);
+    let mut request = load_request(path, args.variant, args.quick);
     request.options.validate = true;
     let scheduler = Scheduler::new(ServeConfig {
         workers: args.jobs,
@@ -1106,6 +1121,13 @@ fn cmd_bench_daemon(args: Args) {
         eprintln!(
             "bench-daemon: incremental speedup {:.2}x is below the required {:.2}x",
             report.incremental_speedup, args.min_speedup
+        );
+        std::process::exit(1);
+    }
+    if args.max_update_p50_ms > 0.0 && report.update.p50_ms > args.max_update_p50_ms {
+        eprintln!(
+            "bench-daemon: UPDATE p50 {:.3}ms exceeds the allowed {:.3}ms",
+            report.update.p50_ms, args.max_update_p50_ms
         );
         std::process::exit(1);
     }
