@@ -77,12 +77,25 @@ impl Percentiles {
 /// auto-parallelize → print). Each kernel works its own global arrays,
 /// so editing one constant dirties exactly one function.
 pub fn synthetic_module(consts: &[f64]) -> Result<String, String> {
+    synthetic_module_tagged("", consts)
+}
+
+/// [`synthetic_module`] with `tag` (a C-identifier fragment) spliced
+/// into every global and kernel name. Tagged modules have *distinct
+/// module contexts* — distinct admission tenants — where untagged ones
+/// all share one context fingerprint (globals and debug vars are the
+/// context; constants are not). `bench-overload` uses this to drive
+/// mixed-tenant load.
+pub fn synthetic_module_tagged(tag: &str, consts: &[f64]) -> Result<String, String> {
     use splendid_cfront::{lower_program, parse_program, LowerOptions};
     use splendid_parallel::{parallelize_module, ParallelizeOptions};
     use splendid_transforms::{optimize_module, O2Options};
 
     let mut src = String::new();
     for (i, c) in consts.iter().enumerate() {
+        // Shadow the index with its tagged form: `i` below only ever
+        // appears inside identifiers.
+        let i = format!("{tag}{i}");
         // PolyBench-weight kernels (gemm plus a 5-point stencil sweep):
         // enough loop nests and statements that decompiling one function
         // dominates the fixed per-request costs, as real modules do.

@@ -136,9 +136,21 @@ impl DaemonClient {
 
     /// DECOMPILE the session module; returns the full RESULT response.
     pub fn decompile(&mut self) -> io::Result<Response> {
-        match self.roundtrip(&Request::Decompile)? {
+        match self.roundtrip(&Request::Decompile { budget_ms: 0 })? {
             r @ Response::Result { .. } => Ok(r),
             other => Err(unexpected("RESULT", &other)),
+        }
+    }
+
+    /// DECOMPILE with a client budget. Unlike [`DaemonClient::decompile`]
+    /// this surfaces admission refusals: the result is either the RESULT
+    /// response or a BUSY response (anything else, including daemon
+    /// errors, is an I/O error). Callers under load inspect
+    /// [`Response::Busy`] for the `retry_after_ms` hint.
+    pub fn decompile_with_budget(&mut self, budget_ms: u32) -> io::Result<Response> {
+        match self.roundtrip(&Request::Decompile { budget_ms })? {
+            r @ (Response::Result { .. } | Response::Busy { .. }) => Ok(r),
+            other => Err(unexpected("RESULT or BUSY", &other)),
         }
     }
 
@@ -203,6 +215,9 @@ impl DaemonClient {
 fn unexpected(wanted: &str, got: &Response) -> io::Error {
     let detail = match got {
         Response::Error { code, message } => format!("daemon error [{code}]: {message}"),
+        Response::Busy { retry_after_ms } => {
+            format!("daemon busy: retry in {retry_after_ms} ms")
+        }
         other => format!("expected {wanted}, got {other:?}"),
     };
     io::Error::other(detail)

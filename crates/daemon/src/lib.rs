@@ -26,6 +26,7 @@
 
 pub mod bench;
 pub mod client;
+pub mod overload;
 pub mod peer;
 pub mod protocol;
 pub mod server;
@@ -33,7 +34,8 @@ pub mod session;
 
 pub use bench::{percentiles, run_bench, BenchConfig, BenchReport, Percentiles};
 pub use client::DaemonClient;
-pub use peer::PeerTier;
+pub use overload::{run_overload_bench, OverloadConfig, OverloadReport};
+pub use peer::{PeerTier, DEFAULT_PEER_TIMEOUT};
 pub use protocol::{ErrorCode, FrameAssembler, FrameEvent, Request, Response};
 pub use server::{Daemon, DaemonConfig, DaemonStats};
-pub use session::{DecompileReply, Session};
+pub use session::{DecompileReply, Session, SessionError};

@@ -1,0 +1,687 @@
+//! `bench-overload`: measures how the daemon behaves *past* saturation —
+//! the regime `bench-daemon` deliberately avoids.
+//!
+//! Three phases:
+//!
+//! * **peer** — an in-process blackhole TCP listener (accepts, never
+//!   answers) stands in for a dead peer daemon. The phase trips the
+//!   peer tier's circuit breaker, then measures the per-miss cost of a
+//!   tripped breaker: it must be *sub-millisecond*, not the 2-second
+//!   socket timeout every miss paid before the breaker existed.
+//! * **baseline** — closed-loop throughput with exactly as many clients
+//!   as workers (no queueing to speak of): the un-overloaded goodput
+//!   that the overload phase is graded against.
+//! * **overload** — `overload_factor`× as many clients as workers, each
+//!   carrying a request budget, against a daemon with a small admission
+//!   queue. Records goodput (completed results/s), shed rate (BUSY
+//!   responses), degraded-result count, and p99 of *completed* requests.
+//!
+//! Gates (owned-daemon mode): goodput under overload within 20% of the
+//! baseline, zero watchdog-attributed timeouts for admitted requests,
+//! nonzero sheds, and tripped-breaker misses under 1 ms. In attach mode
+//! (`--addr`) the daemon's serve counters are out of reach, so only the
+//! peer gate is evaluated and the load phases are reported unscored —
+//! that is what `scripts/overload_smoke.sh` uses, asserting sheds out
+//! of the daemon's own STATS text instead.
+
+use crate::bench::{percentiles, synthetic_module_tagged, Percentiles};
+use crate::client::DaemonClient;
+use crate::peer::PeerTier;
+use crate::protocol::Response;
+use crate::server::{Daemon, DaemonConfig};
+use splendid_serve::CacheTier;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Overload-benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Scheduler workers for the in-process daemon (and the baseline
+    /// client count).
+    pub workers: usize,
+    /// Client multiplier for the overload phase (the paper point is 4×).
+    pub overload_factor: usize,
+    /// Edit/decompile rounds per client in each load phase.
+    pub rounds: usize,
+    /// Functions per synthetic module (small: the point is queueing, not
+    /// per-job weight).
+    pub functions: usize,
+    /// Request budget carried by overload-phase DECOMPILEs, in ms.
+    pub budget_ms: u32,
+    /// Per-operation timeout for the dead-peer phase. Kept well under
+    /// the 2 s default so the phase runs in CI time; the *ratio* between
+    /// this and the tripped fast-fail is what the gate is about.
+    pub peer_timeout: Duration,
+    /// Attach to a daemon at this TCP address instead of starting an
+    /// in-process one (gates on serve counters are skipped).
+    pub addr: Option<String>,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> OverloadConfig {
+        OverloadConfig {
+            workers: 2,
+            overload_factor: 4,
+            rounds: 8,
+            functions: 4,
+            budget_ms: 10_000,
+            peer_timeout: Duration::from_millis(120),
+            addr: None,
+        }
+    }
+}
+
+/// One load phase's outcome.
+#[derive(Debug, Clone)]
+pub struct LoadPhase {
+    /// Clients driven.
+    pub clients: usize,
+    /// RESULT responses received.
+    pub completed: u64,
+    /// BUSY responses received.
+    pub busy: u64,
+    /// RESULT responses with at least one below-Natural function.
+    pub degraded_results: u64,
+    /// Completed results per second of phase wall time.
+    pub jobs_per_sec: f64,
+    /// Latency percentiles over *completed* requests only.
+    pub latency: Percentiles,
+}
+
+impl LoadPhase {
+    fn json(&self) -> String {
+        format!(
+            "{{ \"clients\": {}, \"completed\": {}, \"busy\": {}, \"degraded_results\": {}, \
+             \"jobs_per_sec\": {:.3}, \"latency\": {} }}",
+            self.clients,
+            self.completed,
+            self.busy,
+            self.degraded_results,
+            self.jobs_per_sec,
+            self.latency.json()
+        )
+    }
+}
+
+/// Dead-peer phase outcome.
+#[derive(Debug, Clone)]
+pub struct PeerPhase {
+    /// Configured per-operation timeout, ms.
+    pub timeout_ms: f64,
+    /// Misses paid in full (socket timeouts) before the breaker tripped.
+    pub misses_to_trip: u64,
+    /// Mean per-miss cost while tripping (should be ≈ the timeout).
+    pub tripping_avg_ms: f64,
+    /// Gets issued against the open breaker.
+    pub fast_fails: u64,
+    /// Mean per-miss cost with the breaker open — the headline number.
+    pub fast_fail_avg_ms: f64,
+    /// Breaker state at the end of the phase.
+    pub breaker_open: bool,
+}
+
+impl PeerPhase {
+    fn json(&self) -> String {
+        format!(
+            "{{ \"timeout_ms\": {:.1}, \"misses_to_trip\": {}, \"tripping_avg_ms\": {:.3}, \
+             \"fast_fails\": {}, \"fast_fail_avg_ms\": {:.4}, \"breaker_open\": {} }}",
+            self.timeout_ms,
+            self.misses_to_trip,
+            self.tripping_avg_ms,
+            self.fast_fails,
+            self.fast_fail_avg_ms,
+            self.breaker_open
+        )
+    }
+}
+
+/// Gate verdicts. `evaluated == false` (attach mode) leaves the load
+/// gates vacuously true.
+#[derive(Debug, Clone)]
+pub struct Gates {
+    /// Whether the serve-counter gates were evaluated (owned daemon).
+    pub evaluated: bool,
+    /// Goodput under overload ≥ 0.8× baseline throughput.
+    pub goodput_ok: bool,
+    /// No admitted request was killed by the watchdog or a deadline.
+    pub no_watchdog_timeouts: bool,
+    /// Admission control actually shed something under 4× load.
+    pub sheds_nonzero: bool,
+    /// Tripped-breaker misses averaged under 1 ms.
+    pub peer_fast_fail_ok: bool,
+}
+
+impl Gates {
+    /// All gates green.
+    pub fn passed(&self) -> bool {
+        self.goodput_ok && self.no_watchdog_timeouts && self.sheds_nonzero && self.peer_fast_fail_ok
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"evaluated\": {}, \"goodput_ok\": {}, \"no_watchdog_timeouts\": {}, \
+             \"sheds_nonzero\": {}, \"peer_fast_fail_ok\": {}, \"passed\": {} }}",
+            self.evaluated,
+            self.goodput_ok,
+            self.no_watchdog_timeouts,
+            self.sheds_nonzero,
+            self.peer_fast_fail_ok,
+            self.passed()
+        )
+    }
+}
+
+/// The full overload report.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Echo of the configuration.
+    pub workers: usize,
+    /// Echo of the configuration.
+    pub rounds: usize,
+    /// Echo of the configuration.
+    pub functions: usize,
+    /// Dead-peer / circuit-breaker phase.
+    pub peer: PeerPhase,
+    /// Un-overloaded closed loop (clients == workers).
+    pub baseline: LoadPhase,
+    /// Saturated closed loop (clients == workers × overload_factor).
+    pub overload: LoadPhase,
+    /// overload goodput ÷ baseline throughput.
+    pub goodput_ratio: f64,
+    /// busy ÷ (busy + completed) in the overload phase.
+    pub shed_rate: f64,
+    /// Scheduler counter: admission sheds (owned mode; 0 in attach mode).
+    pub serve_sheds: u64,
+    /// Scheduler counter: deadline/watchdog kills of admitted jobs.
+    pub serve_timed_out: u64,
+    /// Scheduler counter: requests admitted at `Quick` under pressure.
+    pub serve_degraded: u64,
+    /// Gate verdicts.
+    pub gates: Gates,
+}
+
+impl OverloadReport {
+    /// Render as pretty-printed JSON (hand-rolled; no serde offline).
+    pub fn json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"bench-overload\",\n");
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        out.push_str(&format!(
+            "  \"functions_per_module\": {},\n",
+            self.functions
+        ));
+        out.push_str(&format!("  \"peer\": {},\n", self.peer.json()));
+        out.push_str(&format!("  \"baseline\": {},\n", self.baseline.json()));
+        out.push_str(&format!("  \"overload\": {},\n", self.overload.json()));
+        out.push_str(&format!(
+            "  \"goodput_ratio\": {:.3},\n",
+            self.goodput_ratio
+        ));
+        out.push_str(&format!("  \"shed_rate\": {:.3},\n", self.shed_rate));
+        out.push_str(&format!("  \"serve_sheds\": {},\n", self.serve_sheds));
+        out.push_str(&format!(
+            "  \"serve_timed_out\": {},\n",
+            self.serve_timed_out
+        ));
+        out.push_str(&format!("  \"serve_degraded\": {},\n", self.serve_degraded));
+        out.push_str(&format!("  \"gates\": {}\n", self.gates.json()));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render as human-oriented text.
+    pub fn text(&self) -> String {
+        let mut out = format!(
+            "bench-overload: {} worker(s), {}x overload, {} round(s), {}-function modules\n",
+            self.workers,
+            self.overload
+                .clients
+                .checked_div(self.baseline.clients)
+                .unwrap_or(0),
+            self.rounds,
+            self.functions
+        );
+        out.push_str(&format!(
+            "  peer       {:.0}ms timeout; {} misses to trip (avg {:.1}ms), then {} fast-fails avg {:.4}ms\n",
+            self.peer.timeout_ms,
+            self.peer.misses_to_trip,
+            self.peer.tripping_avg_ms,
+            self.peer.fast_fails,
+            self.peer.fast_fail_avg_ms
+        ));
+        let load = |label: &str, p: &LoadPhase| {
+            format!(
+                "  {label:<10} {} clients: {:.1} jobs/s, {} ok / {} busy / {} degraded, p99 {:.1}ms\n",
+                p.clients, p.jobs_per_sec, p.completed, p.busy, p.degraded_results, p.latency.p99_ms
+            )
+        };
+        out.push_str(&load("baseline", &self.baseline));
+        out.push_str(&load("overload", &self.overload));
+        out.push_str(&format!(
+            "  goodput    {:.1}% of baseline; shed rate {:.1}%\n",
+            self.goodput_ratio * 100.0,
+            self.shed_rate * 100.0
+        ));
+        out.push_str(&format!(
+            "  serve      {} shed / {} degraded / {} timed out\n",
+            self.serve_sheds, self.serve_degraded, self.serve_timed_out
+        ));
+        out.push_str(&format!(
+            "  gates      {}\n",
+            if !self.gates.evaluated {
+                "not evaluated (attached to an external daemon)"
+            } else if self.gates.passed() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        ));
+        out
+    }
+}
+
+/// A TCP listener that accepts connections and never answers — the
+/// worst kind of dead peer, because every operation against it runs the
+/// full socket timeout. Returns `(addr, stop flag, join handle)`.
+fn blackhole() -> std::io::Result<(String, Arc<AtomicBool>, JoinHandle<()>)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?.to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = thread::spawn(move || {
+        // Hold accepted sockets open (dropping them would fast-fail the
+        // client with a reset instead of a timeout).
+        let mut held = Vec::new();
+        while !stop2.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((s, _)) => held.push(s),
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        drop(held);
+    });
+    Ok((addr, stop, handle))
+}
+
+/// Phase 1: trip the breaker against a blackhole peer, then measure the
+/// per-miss cost of the open breaker.
+fn run_peer_phase(cfg: &OverloadConfig) -> Result<PeerPhase, String> {
+    let (addr, stop, handle) = blackhole().map_err(|e| e.to_string())?;
+    let tier = PeerTier::with_timeout(addr, cfg.peer_timeout);
+
+    // Trip: every get times out until the breaker opens. Bound the loop
+    // hard — if the breaker never opens that is itself the failure.
+    let tripping = Instant::now();
+    let mut misses_to_trip = 0u64;
+    while !tier.counters().breaker_open {
+        if misses_to_trip >= 16 {
+            stop.store(true, Ordering::Relaxed);
+            let _ = handle.join();
+            return Err("peer breaker failed to open after 16 timed-out misses".into());
+        }
+        let _ = tier.get(misses_to_trip);
+        misses_to_trip += 1;
+    }
+    let tripping_avg_ms = tripping.elapsed().as_secs_f64() * 1e3 / (misses_to_trip.max(1)) as f64;
+
+    // Measure: with the breaker open every get must fail without
+    // touching the socket.
+    const FAST_FAILS: u64 = 200;
+    let t = Instant::now();
+    for key in 0..FAST_FAILS {
+        let _ = tier.get(1_000_000 + key);
+    }
+    let fast_fail_avg_ms = t.elapsed().as_secs_f64() * 1e3 / FAST_FAILS as f64;
+    let counters = tier.counters();
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = handle.join();
+
+    Ok(PeerPhase {
+        timeout_ms: cfg.peer_timeout.as_secs_f64() * 1e3,
+        misses_to_trip,
+        tripping_avg_ms,
+        fast_fails: counters.breaker_fast_fails,
+        fast_fail_avg_ms,
+        breaker_open: counters.breaker_open,
+    })
+}
+
+/// Constant for (client, round, function), distinct across all axes and
+/// disjoint from `bench-daemon`'s constants.
+fn overload_const(client: usize, round: usize, func: usize) -> f64 {
+    3.0 + client as f64 * 0.001 + round as f64 * 0.01 + func as f64 * 0.1
+}
+
+/// Connect, open, warm up (untimed), and pre-build every round's
+/// module text. Split out of [`run_client`] so a setup failure can
+/// still honour the barrier schedule.
+fn setup_client(
+    addr: &str,
+    client_id: usize,
+    cfg: &OverloadConfig,
+) -> Result<(DaemonClient, Vec<String>), String> {
+    let mut client = DaemonClient::connect_tcp(addr).map_err(|e| e.to_string())?;
+    let mut consts: Vec<f64> = (0..cfg.functions)
+        .map(|f| overload_const(client_id, 0, f))
+        .collect();
+    client
+        .open(
+            &format!("overload-c{client_id}"),
+            3,
+            &synthetic_module_tagged(&format!("t{client_id}_"), &consts)?,
+        )
+        .map_err(|e| e.to_string())?;
+    // Cold warmup, untimed: every subsequent round is a 1-dirty edit.
+    // Under saturation even the warmup can be shed — retry with the
+    // server's backoff hint until admitted (bounded so a wedged daemon
+    // fails the bench instead of hanging it).
+    let mut warmed = false;
+    for _ in 0..1000 {
+        match client.decompile_with_budget(0).map_err(|e| e.to_string())? {
+            Response::Result { .. } => {
+                warmed = true;
+                break;
+            }
+            Response::Busy { retry_after_ms } => {
+                thread::sleep(Duration::from_millis(
+                    u64::from(retry_after_ms).clamp(5, 100),
+                ));
+            }
+            other => return Err(format!("warmup: expected RESULT or BUSY, got {other:?}")),
+        }
+    }
+    if !warmed {
+        return Err("warmup decompile was shed 1000 times in a row".into());
+    }
+
+    // Pre-build every round's module text: the C-pipeline run inside
+    // `synthetic_module` is client-side work that would otherwise gap
+    // the closed loop and let the server queue drain between rounds.
+    let texts: Vec<String> = (1..=cfg.rounds)
+        .map(|round| {
+            consts[0] = overload_const(client_id, round, 0);
+            synthetic_module_tagged(&format!("t{client_id}_"), &consts)
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((client, texts))
+}
+
+/// One round: UPDATE then retry DECOMPILE until it lands. A shed is
+/// counted (and backed off, capped — the bench wants sustained
+/// pressure, not politeness) but the edit still has to be decompiled,
+/// exactly like an editor under load.
+fn run_round(
+    client: &mut DaemonClient,
+    text: &str,
+    budget_ms: u32,
+) -> Result<(Duration, u64, u64), String> {
+    client.update(text).map_err(|e| e.to_string())?;
+    let (mut busy, mut degraded) = (0u64, 0u64);
+    let mut attempts = 0u32;
+    loop {
+        let t = Instant::now();
+        match client
+            .decompile_with_budget(budget_ms)
+            .map_err(|e| e.to_string())?
+        {
+            Response::Result { degraded: d, .. } => {
+                if d > 0 {
+                    degraded += 1;
+                }
+                return Ok((t.elapsed(), busy, degraded));
+            }
+            Response::Busy { retry_after_ms } => {
+                busy += 1;
+                attempts += 1;
+                if attempts >= 100 {
+                    return Err("one round was shed 100 times in a row".into());
+                }
+                thread::sleep(Duration::from_millis(u64::from(retry_after_ms).min(20)));
+            }
+            other => return Err(format!("expected RESULT or BUSY, got {other:?}")),
+        }
+    }
+}
+
+/// One client's closed loop: setup, then `rounds` barrier-aligned
+/// one-function edits, each followed by a DECOMPILE carrying
+/// `budget_ms`.
+///
+/// The barrier makes every round a simultaneous burst of `clients`
+/// requests against the bounded queue, so queue-full sheds are a
+/// structural property of the overload phase rather than a scheduling
+/// coincidence. Every thread executes the identical barrier schedule
+/// even after a failure (flagging `failed` and idling through the
+/// remaining waits) so the others never deadlock.
+#[allow(clippy::type_complexity)]
+fn run_client(
+    addr: &str,
+    client_id: usize,
+    cfg: &OverloadConfig,
+    budget_ms: u32,
+    barrier: &Barrier,
+    failed: &AtomicBool,
+) -> Result<(Vec<Duration>, u64, u64, u64), String> {
+    let mut err: Option<String> = None;
+    let mut state = match setup_client(addr, client_id, cfg) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            failed.store(true, Ordering::Relaxed);
+            err = Some(e);
+            None
+        }
+    };
+
+    let mut latencies = Vec::with_capacity(cfg.rounds);
+    let (mut completed, mut busy, mut degraded) = (0u64, 0u64, 0u64);
+    for round in 0..cfg.rounds {
+        barrier.wait();
+        if failed.load(Ordering::Relaxed) {
+            continue;
+        }
+        if let Some((client, texts)) = state.as_mut() {
+            match run_round(client, &texts[round], budget_ms) {
+                Ok((latency, b, d)) => {
+                    latencies.push(latency);
+                    completed += 1;
+                    busy += b;
+                    degraded += d;
+                }
+                Err(e) => {
+                    failed.store(true, Ordering::Relaxed);
+                    err = Some(e);
+                    state = None;
+                }
+            }
+        }
+    }
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if failed.load(Ordering::Relaxed) {
+        return Err("aborted: another overload client failed".into());
+    }
+    if let Some((mut client, _)) = state {
+        client.close().map_err(|e| e.to_string())?;
+    }
+    Ok((latencies, completed, busy, degraded))
+}
+
+/// Drive `clients` concurrent closed loops and aggregate.
+fn run_load_phase(
+    addr: &str,
+    clients: usize,
+    id_base: usize,
+    cfg: &OverloadConfig,
+    budget_ms: u32,
+) -> Result<LoadPhase, String> {
+    let started = Instant::now();
+    let barrier = Arc::new(Barrier::new(clients));
+    let failed = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let addr = addr.to_string();
+            let cfg = cfg.clone();
+            let barrier = Arc::clone(&barrier);
+            let failed = Arc::clone(&failed);
+            thread::spawn(move || {
+                run_client(&addr, id_base + i, &cfg, budget_ms, &barrier, &failed)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let (mut completed, mut busy, mut degraded) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (l, c, b, d) = h
+            .join()
+            .map_err(|_| "overload client thread panicked".to_string())??;
+        latencies.extend(l);
+        completed += c;
+        busy += b;
+        degraded += d;
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    Ok(LoadPhase {
+        clients,
+        completed,
+        busy,
+        degraded_results: degraded,
+        jobs_per_sec: completed as f64 / elapsed,
+        latency: percentiles(&latencies),
+    })
+}
+
+/// Run the overload benchmark. With `cfg.addr == None` an in-process
+/// daemon is started with a deliberately small admission queue
+/// (`max_pending = 2×workers`, degrade at `workers`) and drained
+/// afterwards.
+pub fn run_overload_bench(cfg: &OverloadConfig) -> Result<OverloadReport, String> {
+    let peer = run_peer_phase(cfg)?;
+
+    let owned_daemon = match cfg.addr {
+        Some(_) => None,
+        None => {
+            let mut config = DaemonConfig {
+                max_connections: cfg.workers * cfg.overload_factor + 2,
+                ..Default::default()
+            };
+            config.serve.workers = cfg.workers;
+            // Small queue so 4× load actually sheds: up to 2 jobs
+            // pending per worker (half the overload client count),
+            // degrading to Quick once one whole worker's worth is
+            // already waiting.
+            config.serve.max_pending_jobs = cfg.workers * 2;
+            config.serve.degrade_pending_jobs = cfg.workers;
+            Some(Daemon::start(config).map_err(|e| e.to_string())?)
+        }
+    };
+    let addr = match (&cfg.addr, &owned_daemon) {
+        (Some(a), _) => a.clone(),
+        (None, Some(d)) => d.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    // Baseline: clients == workers, no budget (plain DECOMPILE).
+    let baseline = run_load_phase(&addr, cfg.workers, 0, cfg, 0)?;
+    // Overload: factor× clients, each carrying a budget.
+    let overload = run_load_phase(
+        &addr,
+        cfg.workers * cfg.overload_factor,
+        1000,
+        cfg,
+        cfg.budget_ms,
+    )?;
+
+    let (serve_sheds, serve_timed_out, serve_degraded, evaluated) = match &owned_daemon {
+        Some(d) => {
+            let s = d.serve_stats();
+            (
+                s.jobs_shed_queue + s.jobs_shed_quota + s.jobs_shed_deadline,
+                s.jobs_timed_out,
+                s.jobs_degraded_admission,
+                true,
+            )
+        }
+        None => (0, 0, 0, false),
+    };
+
+    if let Some(daemon) = owned_daemon {
+        if !daemon.drain() {
+            return Err("daemon failed to drain cleanly after the overload bench".into());
+        }
+    }
+
+    let goodput_ratio = overload.jobs_per_sec / baseline.jobs_per_sec.max(1e-9);
+    let shed_rate = overload.busy as f64 / (overload.busy + overload.completed).max(1) as f64;
+    let gates = Gates {
+        evaluated,
+        goodput_ok: !evaluated || goodput_ratio >= 0.8,
+        no_watchdog_timeouts: !evaluated || serve_timed_out == 0,
+        sheds_nonzero: !evaluated || serve_sheds > 0,
+        peer_fast_fail_ok: peer.fast_fail_avg_ms < 1.0 && peer.breaker_open,
+    };
+
+    Ok(OverloadReport {
+        workers: cfg.workers,
+        rounds: cfg.rounds,
+        functions: cfg.functions,
+        peer,
+        baseline,
+        overload,
+        goodput_ratio,
+        shed_rate,
+        serve_sheds,
+        serve_timed_out,
+        serve_degraded,
+        gates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The blackhole helper really does hold connections open without
+    /// answering (a closed port would reset instead).
+    #[test]
+    fn blackhole_accepts_and_stays_silent() {
+        let (addr, stop, handle) = blackhole().unwrap();
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        use std::io::{Read, Write};
+        s.write_all(b"hello?").unwrap();
+        let mut buf = [0u8; 8];
+        let err = s.read(&mut buf).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "expected a read timeout, got {err:?}"
+        );
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    /// End-to-end peer phase against a fast timeout: trips, then
+    /// fast-fails in well under a millisecond per miss.
+    #[test]
+    fn peer_phase_trips_and_fast_fails() {
+        let cfg = OverloadConfig {
+            peer_timeout: Duration::from_millis(40),
+            ..Default::default()
+        };
+        let phase = run_peer_phase(&cfg).unwrap();
+        assert!(phase.breaker_open, "{phase:?}");
+        assert!(phase.misses_to_trip >= 3, "{phase:?}");
+        assert!(phase.fast_fail_avg_ms < 1.0, "{phase:?}");
+        assert_eq!(phase.fast_fails, 200, "{phase:?}");
+    }
+}

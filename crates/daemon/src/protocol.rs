@@ -81,6 +81,10 @@ pub mod kind {
     pub const CACHE_STORED: u8 = 0x88;
     /// Validated decompilation result (verdict tallies + source).
     pub const VALIDATED: u8 = 0x89;
+    /// The daemon shed the request at admission (overloaded or over
+    /// quota); carries a `retry_after_ms` hint. Not an error — the
+    /// connection and session both survive.
+    pub const BUSY: u8 = 0x8A;
     /// Typed error.
     pub const ERROR: u8 = 0xEE;
 }
@@ -180,7 +184,14 @@ pub enum Request {
         module_text: String,
     },
     /// Decompile the session module.
-    Decompile,
+    Decompile {
+        /// Client budget for this request in milliseconds; 0 means no
+        /// budget. Relative rather than absolute so clock skew between
+        /// client and daemon cannot distort it; the daemon converts it
+        /// to an absolute deadline on arrival and propagates it through
+        /// admission, the scheduler, and the cache tiers.
+        budget_ms: u32,
+    },
     /// Stats dump; `daemon_wide` selects scope.
     Stats {
         /// `true` for the daemon-wide dump, `false` for this session.
@@ -274,6 +285,11 @@ pub enum Response {
         /// `false` when the daemon rejected the record (e.g. it failed
         /// validation) without treating it as a wire error.
         stored: bool,
+    },
+    /// The request was shed at admission; the caller should back off.
+    Busy {
+        /// Suggested backoff before retrying, milliseconds.
+        retry_after_ms: u32,
     },
     /// Validated decompilation result.
     Validated {
@@ -447,7 +463,7 @@ impl Request {
         match self {
             Request::Open { .. } => kind::OPEN,
             Request::Update { .. } => kind::UPDATE,
-            Request::Decompile => kind::DECOMPILE,
+            Request::Decompile { .. } => kind::DECOMPILE,
             Request::Stats { .. } => kind::STATS,
             Request::Close => kind::CLOSE,
             Request::Ping => kind::PING,
@@ -466,7 +482,11 @@ impl Request {
                 module_text,
             } => Enc::new().u8(*variant).str(name).str(module_text).finish(),
             Request::Update { module_text } => Enc::new().str(module_text).finish(),
-            Request::Decompile | Request::Close | Request::Ping => Vec::new(),
+            // Back-compat: a budget-less DECOMPILE stays the empty
+            // payload older daemons already understand.
+            Request::Decompile { budget_ms: 0 } => Vec::new(),
+            Request::Decompile { budget_ms } => Enc::new().u32(*budget_ms).finish(),
+            Request::Close | Request::Ping => Vec::new(),
             Request::Stats { daemon_wide } => Enc::new().u8(u8::from(*daemon_wide)).finish(),
             Request::CacheGet { key } => Enc::new().u64(*key).finish(),
             Request::CachePut { key, blob } => Enc::new().u64(*key).bytes(blob).finish(),
@@ -499,7 +519,13 @@ impl Request {
                 d.expect_end()?;
                 Ok(Request::Update { module_text })
             })(),
-            kind::DECOMPILE => d.expect_end().map(|()| Request::Decompile),
+            // Empty payload = no budget (frames from pre-budget clients);
+            // otherwise exactly one u32.
+            kind::DECOMPILE => (|| {
+                let budget_ms = if payload.is_empty() { 0 } else { d.u32()? };
+                d.expect_end()?;
+                Ok(Request::Decompile { budget_ms })
+            })(),
             kind::STATS => (|| {
                 let scope = d.u8()?;
                 d.expect_end()?;
@@ -549,6 +575,7 @@ impl Response {
             Response::Pong => kind::PONG,
             Response::CacheValue { .. } => kind::CACHE_VALUE,
             Response::CacheStored { .. } => kind::CACHE_STORED,
+            Response::Busy { .. } => kind::BUSY,
             Response::Validated { .. } => kind::VALIDATED,
             Response::Error { .. } => kind::ERROR,
         }
@@ -595,6 +622,7 @@ impl Response {
                 None => Enc::new().u8(0).finish(),
             },
             Response::CacheStored { stored } => Enc::new().u8(u8::from(*stored)).finish(),
+            Response::Busy { retry_after_ms } => Enc::new().u32(*retry_after_ms).finish(),
             Response::Validated {
                 functions,
                 verified,
@@ -672,6 +700,11 @@ impl Response {
                 let stored = d.u8()? != 0;
                 d.expect_end()?;
                 Ok(Response::CacheStored { stored })
+            })(),
+            kind::BUSY => (|| {
+                let retry_after_ms = d.u32()?;
+                d.expect_end()?;
+                Ok(Response::Busy { retry_after_ms })
             })(),
             kind::VALIDATED => (|| {
                 let functions = d.u32()?;
@@ -881,7 +914,8 @@ mod tests {
             Request::Update {
                 module_text: "new text".into(),
             },
-            Request::Decompile,
+            Request::Decompile { budget_ms: 0 },
+            Request::Decompile { budget_ms: 250 },
             Request::Stats { daemon_wide: true },
             Request::Close,
             Request::Ping,
@@ -938,6 +972,9 @@ mod tests {
             Response::CacheValue { blob: None },
             Response::CacheStored { stored: true },
             Response::CacheStored { stored: false },
+            Response::Busy {
+                retry_after_ms: 750,
+            },
             Response::Validated {
                 functions: 3,
                 verified: 2,
@@ -955,6 +992,29 @@ mod tests {
             let back = Response::decode(resp.kind(), &payload).unwrap().unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn decompile_budget_wire_compat() {
+        // A budget of 0 must encode as the legacy empty payload...
+        assert!(Request::Decompile { budget_ms: 0 }
+            .encode_payload()
+            .is_empty());
+        // ...and the legacy empty payload must decode as budget 0.
+        assert_eq!(
+            Request::decode(kind::DECOMPILE, &[]).unwrap().unwrap(),
+            Request::Decompile { budget_ms: 0 }
+        );
+        // Truncated and over-long budget payloads are BadPayload, not
+        // lenient decodes.
+        assert!(Request::decode(kind::DECOMPILE, &[0x01, 0x02])
+            .unwrap()
+            .is_err());
+        assert!(
+            Request::decode(kind::DECOMPILE, &[0x01, 0x02, 0x03, 0x04, 0x05])
+                .unwrap()
+                .is_err()
+        );
     }
 
     #[test]

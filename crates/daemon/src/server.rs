@@ -12,12 +12,13 @@
 //! is the backpressure: clients block in `connect`/first read instead of
 //! being torn down.
 
-use crate::peer::PeerTier;
+use crate::peer::{PeerTier, DEFAULT_PEER_TIMEOUT};
 use crate::protocol::{self, kind, ErrorCode, FrameAssembler, FrameEvent, Request, Response};
-use crate::session::{variant_from_wire, Session};
+use crate::session::{variant_from_wire, Session, SessionError};
 use splendid_cachestore::StoreConfig;
 use splendid_serve::{
     codec, BlobTiers, CacheTier, DiskTier, JobError, JobRequest, Scheduler, ServeConfig,
+    StatsSnapshot,
 };
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -57,6 +58,10 @@ pub struct DaemonConfig {
     /// TCP address of a peer daemon whose persistent tier is consulted
     /// (via `CACHE_GET`) behind the local tiers.
     pub peer: Option<String>,
+    /// Per-operation socket timeout for the peer tier (connect, send,
+    /// receive each get this budget). The circuit breaker keys off
+    /// operations that exhaust it.
+    pub peer_timeout: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -71,6 +76,7 @@ impl Default for DaemonConfig {
             cache_dir: None,
             cache_budget_bytes: None,
             peer: None,
+            peer_timeout: DEFAULT_PEER_TIMEOUT,
         }
     }
 }
@@ -100,6 +106,8 @@ pub struct DaemonStats {
     pub errors_sent: AtomicU64,
     /// Requests refused because the daemon was draining.
     pub rejected_draining: AtomicU64,
+    /// Requests answered with BUSY by admission control.
+    pub requests_shed: AtomicU64,
 }
 
 /// State shared between accept loops, connection handlers, and the
@@ -155,10 +163,11 @@ impl Shared {
             get(&s.errors_sent)
         ));
         out.push_str(&format!(
-            "  protocol     {} desyncs survived / {} oversized skipped / {} refused draining\n",
+            "  protocol     {} desyncs survived / {} oversized skipped / {} refused draining / {} shed busy\n",
             get(&s.desyncs),
             get(&s.oversized_frames),
-            get(&s.rejected_draining)
+            get(&s.rejected_draining),
+            get(&s.requests_shed)
         ));
         out.push_str(&self.scheduler.stats().to_string());
         let sessions = match self.sessions.lock() {
@@ -218,7 +227,10 @@ impl Daemon {
             tiers.push(Arc::new(DiskTier::open(dir, store_config)?));
         }
         if let Some(peer) = &config.peer {
-            tiers.push(Arc::new(PeerTier::new(peer.clone())));
+            tiers.push(Arc::new(PeerTier::with_timeout(
+                peer.clone(),
+                config.peer_timeout,
+            )));
         }
 
         let shared = Arc::new(Shared {
@@ -272,6 +284,12 @@ impl Daemon {
     /// The daemon-wide stats dump, as served to STATS requests.
     pub fn stats_text(&self) -> String {
         self.shared.stats_text()
+    }
+
+    /// Snapshot of the shared scheduler's serve-layer counters (shed /
+    /// degraded / timed-out breakdown for the overload bench and tests).
+    pub fn serve_stats(&self) -> StatsSnapshot {
+        self.shared.scheduler.stats()
     }
 
     /// Graceful drain: stop accepting, let in-flight requests complete,
@@ -452,6 +470,11 @@ fn handle_connection(mut conn: Conn, shared: &Arc<Shared>) {
                         break 'conn;
                     }
                 }
+                // Refresh again after dispatch: a request that takes
+                // longer than the idle timeout to serve must not count
+                // its own service time as idleness (the session would
+                // be evicted the instant its response went out).
+                state.last_activity = Instant::now();
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 // Idle tick: observe drain and the idle timeout.
@@ -686,7 +709,7 @@ fn dispatch(shared: &Arc<Shared>, state: &mut ConnState, req: Request) -> Respon
             },
             None => error(ErrorCode::NoSession, "no open session; send OPEN first"),
         },
-        Request::Decompile => {
+        Request::Decompile { budget_ms } => {
             if draining {
                 shared
                     .stats
@@ -698,7 +721,13 @@ fn dispatch(shared: &Arc<Shared>, state: &mut ConnState, req: Request) -> Respon
                 Some(session) => match session.lock() {
                     Ok(mut session) => {
                         let started = Instant::now();
-                        match session.decompile(&shared.scheduler) {
+                        // The wire carries a *relative* budget (immune to
+                        // clock skew); it becomes an absolute deadline the
+                        // moment we pick the request up, so queueing time
+                        // counts against it too.
+                        let deadline = (budget_ms > 0)
+                            .then(|| started + Duration::from_millis(u64::from(budget_ms)));
+                        match session.decompile_with(&shared.scheduler, deadline) {
                             Ok(reply) => Response::Result {
                                 functions: reply.functions,
                                 cached: reply.cached,
@@ -709,11 +738,20 @@ fn dispatch(shared: &Arc<Shared>, state: &mut ConnState, req: Request) -> Respon
                                 fast_path: reply.fast_path,
                                 source: reply.source,
                             },
-                            Err(JobError::TimedOut { stage }) => error(
+                            Err(SessionError::Busy(busy)) => {
+                                shared.stats.requests_shed.fetch_add(1, Ordering::Relaxed);
+                                Response::Busy {
+                                    retry_after_ms: u32::try_from(busy.retry_after_ms)
+                                        .unwrap_or(u32::MAX),
+                                }
+                            }
+                            Err(SessionError::Job(JobError::TimedOut { stage })) => error(
                                 ErrorCode::Deadline,
                                 format!("request deadline expired during {stage}"),
                             ),
-                            Err(e) => error(ErrorCode::DecompileFailed, format!("{e}")),
+                            Err(SessionError::Job(e)) => {
+                                error(ErrorCode::DecompileFailed, format!("{e}"))
+                            }
                         }
                     }
                     Err(_) => error(ErrorCode::DecompileFailed, "session poisoned"),
@@ -745,8 +783,24 @@ fn dispatch(shared: &Arc<Shared>, state: &mut ConnState, req: Request) -> Respon
                 validate: true,
                 ..Default::default()
             };
+            // VALIDATE is stateless (no session, no tenant fingerprint
+            // yet) but still holds a worker, so it goes through the same
+            // admission gate as DECOMPILE.
+            let ticket = match shared.scheduler.admit(None, None) {
+                Ok(t) => t,
+                Err(busy) => {
+                    shared.stats.requests_shed.fetch_add(1, Ordering::Relaxed);
+                    return Response::Busy {
+                        retry_after_ms: u32::try_from(busy.retry_after_ms).unwrap_or(u32::MAX),
+                    };
+                }
+            };
             let started = Instant::now();
-            match shared.scheduler.submit(request).wait() {
+            match shared
+                .scheduler
+                .submit_ticketed(ticket, request, None)
+                .wait()
+            {
                 Ok(result) => Response::Validated {
                     functions: result.functions as u32,
                     verified: result.verified_functions as u32,

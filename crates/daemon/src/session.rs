@@ -31,11 +31,38 @@ use splendid_core::fingerprint::{span_fingerprints_into, SpanFingerprints};
 use splendid_core::incremental::{reprepare, root_of};
 use splendid_core::{prepare_module, PreparedModule, SplendidOptions, StageTimings, Variant};
 use splendid_ir::{parser::parse_module, ModuleSpans};
-use splendid_serve::{JobError, JobInput, JobRequest, Scheduler, ServeStats};
+use splendid_serve::{Busy, JobError, JobInput, JobRequest, Scheduler, ServeStats};
 use std::collections::BTreeSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Why a DECOMPILE produced no reply: refused at admission (the caller
+/// should back off and retry) or accepted-but-failed (a job error).
+#[derive(Debug)]
+pub enum SessionError {
+    /// Shed at admission; carries the retry hint for the BUSY frame.
+    Busy(Busy),
+    /// The job ran (or tried to) and failed.
+    Job(JobError),
+}
+
+impl From<JobError> for SessionError {
+    fn from(e: JobError) -> SessionError {
+        SessionError::Job(e)
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Busy(b) => b.fmt(f),
+            SessionError::Job(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
 
 /// Decode the wire variant byte; `None` for out-of-range values.
 pub fn variant_from_wire(v: u8) -> Option<Variant> {
@@ -292,9 +319,36 @@ impl Session {
         Ok(())
     }
 
+    /// The session's tenant id for admission fairness: the prepared
+    /// module's context fingerprint (the `ModuleDigests` digest), so
+    /// "one tenant" means one module being worked on, however many
+    /// connections hammer it.
+    pub fn tenant(&self) -> u64 {
+        self.prepared.context_fingerprint()
+    }
+
     /// Decompile the current module incrementally through the shared
     /// scheduler (or from the retained result when nothing is dirty).
     pub fn decompile(&mut self, scheduler: &Scheduler) -> Result<DecompileReply, JobError> {
+        self.decompile_with(scheduler, None).map_err(|e| match e {
+            // Budget-less callers (tests, legacy paths) never configure
+            // admission bounds, but map a refusal defensively anyway.
+            SessionError::Busy(b) => JobError::Decompile(b.to_string()),
+            SessionError::Job(e) => e,
+        })
+    }
+
+    /// [`Session::decompile`] with overload protection: the request
+    /// passes through scheduler admission (keyed by this session's
+    /// tenant id) before any work happens, and `deadline` — the wire
+    /// budget, made absolute — rides the job through the scheduler and
+    /// cache tiers. The fast path is exempt from admission: answering
+    /// from the retained result costs nanoseconds and touches no queue.
+    pub fn decompile_with(
+        &mut self,
+        scheduler: &Scheduler,
+        deadline: Option<Instant>,
+    ) -> Result<DecompileReply, SessionError> {
         self.decompiles += 1;
         let dirty = self.dirty_count();
         if dirty == 0 {
@@ -310,6 +364,12 @@ impl Session {
                 });
             }
         }
+        // Admit before re-preparing: a to-be-shed request must not burn
+        // CPU on parse/detransform first. The ticket holds the queue
+        // slot through the prepare (dropped on the error path).
+        let ticket = scheduler
+            .admit(Some(self.tenant()), deadline)
+            .map_err(SessionError::Busy)?;
         if self.prepared_stale {
             self.refresh_prepared()?;
         }
@@ -319,8 +379,9 @@ impl Session {
             options: self.options.clone(),
         };
         let result = scheduler
-            .submit_with_stats(request, Some(Arc::clone(&self.stats)))
-            .wait()?;
+            .submit_ticketed(ticket, request, Some(Arc::clone(&self.stats)))
+            .wait()
+            .map_err(SessionError::Job)?;
         self.all_dirty = false;
         self.dirty_roots.clear();
         let reply = DecompileReply {

@@ -285,6 +285,196 @@ fn unix_socket_roundtrip() {
     assert!(!path.exists(), "drain removes the socket file");
 }
 
+/// A TCP listener that never accepts: connects succeed (the OS backlog
+/// takes them) but every read against it runs out the peer timeout — a
+/// deterministic dead peer, independent of machine speed.
+fn blackhole_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::mem::forget(listener); // held open for the rest of the test process
+    addr
+}
+
+/// DaemonConfig with one worker, a one-slot admission queue, and a dead
+/// peer whose timeout stretches any cold decompile to a deterministic
+/// several hundred ms: the saturation fixture for the tests below.
+fn saturated_config() -> DaemonConfig {
+    DaemonConfig {
+        peer: Some(blackhole_addr()),
+        peer_timeout: Duration::from_millis(300),
+        serve: ServeConfig {
+            workers: 1,
+            max_pending_jobs: 1,
+            ..ServeConfig::default()
+        },
+        ..DaemonConfig::default()
+    }
+}
+
+#[test]
+fn slow_request_does_not_count_as_idle() {
+    // Regression test: a request whose *service time* exceeds the idle
+    // timeout must not get its session evicted the moment the response
+    // goes out. The dead peer makes the cold decompile pay ~3 peer
+    // timeouts (get / put / get, then the breaker trips), far past the
+    // idle window, without depending on compute speed.
+    let daemon = start(DaemonConfig {
+        idle_timeout: Some(Duration::from_millis(250)),
+        peer: Some(blackhole_addr()),
+        peer_timeout: Duration::from_millis(200),
+        serve: ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        ..DaemonConfig::default()
+    });
+    let mut client = connect(&daemon);
+    client
+        .open("slow", 3, &module_text(&[0.1, 0.2, 0.3, 0.4]))
+        .unwrap();
+
+    let t = std::time::Instant::now();
+    match client.decompile().unwrap() {
+        Response::Result { functions, .. } => assert_eq!(functions, 4),
+        other => panic!("expected RESULT, got {other:?}"),
+    }
+    assert!(
+        t.elapsed() >= Duration::from_millis(250),
+        "premise: the dead peer must stretch this request past the idle \
+         window (took {:?})",
+        t.elapsed()
+    );
+
+    // Sit out one idle-check tick (100ms) but stay inside the idle
+    // window as measured from the *end* of the slow request. Before the
+    // fix, `last_activity` still pointed at the request's arrival, so
+    // the first tick after the response evicted the session.
+    std::thread::sleep(Duration::from_millis(150));
+    client.ping().unwrap();
+    match client.decompile().unwrap() {
+        Response::Result { fast_path, .. } => assert!(fast_path, "session state survived"),
+        other => panic!("expected RESULT, got {other:?}"),
+    }
+    assert_eq!(
+        daemon
+            .stats()
+            .sessions_evicted
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "service time must not be billed as idleness"
+    );
+    client.close().unwrap();
+    assert!(daemon.drain());
+}
+
+#[test]
+fn saturated_daemon_sheds_busy_and_recovers() {
+    let daemon = start(saturated_config());
+
+    // Blocker occupies the single worker with a dead-peer-stretched job
+    // and holds the one admission slot.
+    let mut blocker = connect(&daemon);
+    blocker
+        .open("blocker", 3, &module_text(&[1.0, 2.0, 3.0]))
+        .unwrap();
+    send_decompile(&mut blocker).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // admitted, in flight
+
+    // A second session's DECOMPILE finds the queue full: typed BUSY
+    // with a retry hint, not an error, and the connection survives.
+    let mut shed = connect(&daemon);
+    shed.open("shed", 3, &module_text(&[4.0])).unwrap();
+    let retry_after_ms = match shed.decompile_with_budget(0).unwrap() {
+        Response::Busy { retry_after_ms } => retry_after_ms,
+        other => panic!("expected BUSY from a saturated daemon, got {other:?}"),
+    };
+    assert!(retry_after_ms > 0, "BUSY must carry a retry hint");
+
+    // Honouring the hint eventually lands the request once the blocker
+    // completes — BUSY is backpressure, not rejection.
+    let mut attempts = 0;
+    loop {
+        match shed.decompile_with_budget(0).unwrap() {
+            Response::Result { functions, .. } => {
+                assert_eq!(functions, 1);
+                break;
+            }
+            Response::Busy { retry_after_ms } => {
+                attempts += 1;
+                assert!(attempts < 200, "still BUSY after 200 retries");
+                std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms).min(50)));
+            }
+            other => panic!("expected RESULT or BUSY, got {other:?}"),
+        }
+    }
+    match blocker.read_response().unwrap() {
+        Response::Result { functions, .. } => assert_eq!(functions, 3),
+        other => panic!("blocker's admitted job must complete, got {other:?}"),
+    }
+
+    // Both ledgers saw the shed: the scheduler's queue-full counter and
+    // the daemon's BUSY-responses counter.
+    assert!(daemon.serve_stats().jobs_shed_queue >= 1);
+    assert!(
+        daemon
+            .stats()
+            .requests_shed
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    let stats_text = shed.stats(true).unwrap();
+    assert!(stats_text.contains("shed busy"), "{stats_text}");
+    assert!(daemon.drain());
+}
+
+#[test]
+fn drain_under_saturation_completes_admitted_work() {
+    let daemon = start(saturated_config());
+
+    let mut blocker = connect(&daemon);
+    blocker
+        .open("blocker", 3, &module_text(&[5.0, 6.0, 7.0]))
+        .unwrap();
+    send_decompile(&mut blocker).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // admitted, in flight
+
+    // Saturation is real before the drain starts: a second session is
+    // shed with BUSY.
+    let mut late = connect(&daemon);
+    late.open("late", 3, &module_text(&[8.0])).unwrap();
+    match late.decompile_with_budget(0).unwrap() {
+        Response::Busy { .. } => {}
+        other => panic!("expected BUSY before drain, got {other:?}"),
+    }
+    assert!(
+        daemon
+            .stats()
+            .requests_shed
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+
+    let drainer = std::thread::spawn(move || daemon.drain());
+
+    // The admitted in-flight job completes with a real result even
+    // though the drain began mid-request.
+    match blocker.read_response().unwrap() {
+        Response::Result { functions, .. } => assert_eq!(functions, 3),
+        other => panic!("admitted decompile must finish during drain, got {other:?}"),
+    }
+
+    // Work arriving after the drain began is refused — either with the
+    // typed DRAINING error or, if the handler already observed the drain
+    // on an idle tick, by winding the connection down.
+    match late.roundtrip(&splendid_daemon::protocol::Request::Decompile { budget_ms: 0 }) {
+        Ok(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Draining),
+        Ok(other) => panic!("draining daemon must refuse new work, got {other:?}"),
+        Err(_) => {} // connection already closed by the drain: also a refusal
+    }
+
+    assert!(drainer.join().unwrap(), "drain wound down cleanly");
+}
+
 #[test]
 fn validate_request_is_stateless_and_annotates() {
     let daemon = start(DaemonConfig::default());

@@ -176,6 +176,65 @@ fn cache_frames_earn_typed_answers_under_fuzz() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Seeded fuzz over the DECOMPILE-budget and BUSY surfaces: random
+/// budgets on sessionless DECOMPILEs (decode fine, then NoSession),
+/// truncated budget payloads (BadPayload), and BUSY frames sent *to*
+/// the daemon (UnknownKind — BUSY is strictly a response). Every frame
+/// earns exactly one typed answer and the connection survives all of it.
+#[test]
+fn budget_and_busy_frames_earn_typed_answers_under_fuzz() {
+    let daemon = Daemon::start(DaemonConfig::default()).unwrap();
+    for seed in 400..416u64 {
+        let mut rng = FaultRng::new(seed);
+        let mut client = DaemonClient::connect_tcp(daemon.local_addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        for round in 0..16 {
+            let ctx = format!("seed {seed} round {round}");
+            let want = match rng.below(3) {
+                0 => {
+                    // Sessionless DECOMPILE with an arbitrary budget —
+                    // including 0, which travels as the back-compat
+                    // empty payload, and u32::MAX.
+                    let budget = (rng.next_u64() & 0xFFFF_FFFF) as u32;
+                    let payload = if budget == 0 {
+                        Vec::new()
+                    } else {
+                        budget.to_le_bytes().to_vec()
+                    };
+                    client
+                        .send_raw(&frame_bytes(kind::DECOMPILE, &payload))
+                        .unwrap();
+                    splendid_daemon::ErrorCode::NoSession
+                }
+                1 => {
+                    // A budget that is neither absent nor a whole u32.
+                    let cut = 1 + rng.below(3) as usize;
+                    client
+                        .send_raw(&frame_bytes(kind::DECOMPILE, &vec![0xEE; cut]))
+                        .unwrap();
+                    splendid_daemon::ErrorCode::BadPayload
+                }
+                _ => {
+                    // A response kind aimed at the daemon.
+                    let hint = ((rng.next_u64() & 0xFFFF_FFFF) as u32).to_le_bytes();
+                    client.send_raw(&frame_bytes(kind::BUSY, &hint)).unwrap();
+                    splendid_daemon::ErrorCode::UnknownKind
+                }
+            };
+            match client.read_response().unwrap() {
+                Response::Error { code, .. } => assert_eq!(code, want, "{ctx}"),
+                other => panic!("{ctx}: expected ERROR [{want}], got {other:?}"),
+            }
+        }
+        // The connection survived all of it.
+        client.ping().unwrap();
+    }
+    assert_eq!(daemon.open_sessions(), 0);
+    assert!(daemon.drain());
+}
+
 #[test]
 fn daemon_answers_ping_after_socket_noise() {
     let daemon = Daemon::start(DaemonConfig::default()).unwrap();

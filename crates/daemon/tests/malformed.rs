@@ -56,7 +56,7 @@ fn corpus_never_kills_the_daemon() {
         .filter(|p| p.extension().is_some_and(|e| e == "hex"))
         .collect();
     entries.sort();
-    assert!(entries.len() >= 13, "corpus went missing: {entries:?}");
+    assert!(entries.len() >= 16, "corpus went missing: {entries:?}");
 
     for path in &entries {
         let name = path.file_stem().unwrap().to_string_lossy().into_owned();
@@ -79,6 +79,17 @@ fn corpus_never_kills_the_daemon() {
             "oversized-len" => assert_eq!(codes, vec![ErrorCode::Oversized], "{name}"),
             "bad-payload-open" => assert_eq!(codes, vec![ErrorCode::BadPayload], "{name}"),
             "update-no-session" => assert_eq!(codes, vec![ErrorCode::NoSession], "{name}"),
+            "busy-kind-request" => assert_eq!(
+                codes,
+                vec![ErrorCode::UnknownKind],
+                "{name}: BUSY is a response kind, never a request"
+            ),
+            "decompile-truncated-budget" => {
+                assert_eq!(codes, vec![ErrorCode::BadPayload], "{name}")
+            }
+            "decompile-budget-no-session" => {
+                assert_eq!(codes, vec![ErrorCode::NoSession], "{name}")
+            }
             "cache-get-no-cache" => assert_eq!(
                 codes,
                 vec![ErrorCode::NoCache],

@@ -243,6 +243,13 @@ pub struct TierCounters {
     /// write-behind messages). Errors degrade to misses, never to
     /// request failures.
     pub errors: u64,
+    /// Circuit-breaker trips (closed/half-open → open transitions).
+    /// Always 0 for tiers without a breaker.
+    pub breaker_trips: u64,
+    /// Operations refused instantly because the breaker was open.
+    pub breaker_fast_fails: u64,
+    /// Whether the breaker is open right now.
+    pub breaker_open: bool,
 }
 
 impl TierCounters {
@@ -275,6 +282,13 @@ pub trait CacheTier: Send + Sync {
     fn counters(&self) -> TierCounters;
     /// Block until queued writes are durable. Default: nothing queued.
     fn flush(&self) {}
+    /// Worst-case cost of one `get` against this tier right now. Local
+    /// tiers answer in microseconds (zero); a network tier reports its
+    /// configured timeout (or near-zero while its breaker is open) so
+    /// deadline-aware readers can skip it instead of waiting it out.
+    fn cost_hint(&self) -> std::time::Duration {
+        std::time::Duration::ZERO
+    }
 }
 
 /// Write-behind queue depth for the disk tier. Deep enough that a burst
@@ -389,6 +403,7 @@ impl CacheTier for DiskTier {
             misses: self.misses.load(Ordering::Relaxed),
             fills: self.fills.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            ..TierCounters::default()
         }
     }
 
@@ -442,7 +457,22 @@ impl BlobTiers {
     /// Read through the chain. A hit in tier N back-fills tiers 0..N so
     /// the next lookup stops sooner.
     pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        self.get_before(key, None)
+    }
+
+    /// Deadline-aware read through the chain: a tier whose worst-case
+    /// cost ([`CacheTier::cost_hint`]) would not fit inside the
+    /// remaining budget is skipped — a near-deadline request must not
+    /// spend its last milliseconds waiting on a peer round-trip when
+    /// decompiling locally could still make it.
+    pub fn get_before(&self, key: u64, deadline: Option<std::time::Instant>) -> Option<Vec<u8>> {
         for (i, tier) in self.tiers.iter().enumerate() {
+            if let Some(d) = deadline {
+                let budget = d.saturating_duration_since(std::time::Instant::now());
+                if tier.cost_hint() > budget {
+                    continue;
+                }
+            }
             if let Some(blob) = tier.get(key) {
                 for nearer in &self.tiers[..i] {
                     nearer.put(key, &blob);
@@ -464,6 +494,16 @@ impl BlobTiers {
     /// Undecodable blobs count as tier errors-as-misses by contract.
     pub fn get_function(&self, key: u64) -> Option<FunctionOutput> {
         codec::decode_function_record(&self.get(key)?).ok()
+    }
+
+    /// [`BlobTiers::get_function`] with a deadline (see
+    /// [`BlobTiers::get_before`]).
+    pub fn get_function_before(
+        &self,
+        key: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> Option<FunctionOutput> {
+        codec::decode_function_record(&self.get_before(key, deadline)?).ok()
     }
 
     /// Encode and write through a function record.
@@ -564,6 +604,8 @@ mod tests {
         hits: AtomicU64,
         misses: AtomicU64,
         fills: AtomicU64,
+        /// Advertised worst-case lookup cost (a "network timeout").
+        cost: Mutex<std::time::Duration>,
     }
 
     impl MockTier {
@@ -574,6 +616,7 @@ mod tests {
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 fills: AtomicU64::new(0),
+                cost: Mutex::new(std::time::Duration::ZERO),
             }
         }
     }
@@ -600,8 +643,11 @@ mod tests {
                 hits: self.hits.load(Ordering::Relaxed),
                 misses: self.misses.load(Ordering::Relaxed),
                 fills: self.fills.load(Ordering::Relaxed),
-                errors: 0,
+                ..TierCounters::default()
             }
+        }
+        fn cost_hint(&self) -> std::time::Duration {
+            self.cost.lock().map(|c| *c).unwrap_or_default()
         }
     }
 
@@ -661,6 +707,24 @@ mod tests {
         let disk_first =
             BlobTiers::new(vec![Arc::new(MockTier::new("disk")) as Arc<dyn CacheTier>]);
         assert!(disk_first.disk().is_some());
+    }
+
+    #[test]
+    fn deadline_skips_tiers_too_expensive_to_answer_in_time() {
+        let slow = Arc::new(MockTier::new("peer"));
+        slow.put(9, b"remote-record");
+        slow.fills.store(0, Ordering::Relaxed);
+        *slow.cost.lock().unwrap() = std::time::Duration::from_secs(2);
+        let chain = BlobTiers::new(vec![Arc::clone(&slow) as Arc<dyn CacheTier>]);
+        // 10 ms of budget cannot fit a 2 s worst case: the tier is
+        // skipped outright — no lookup, no counter movement.
+        let soon = std::time::Instant::now() + std::time::Duration::from_millis(10);
+        assert!(chain.get_before(9, Some(soon)).is_none());
+        assert_eq!(slow.counters().hits + slow.counters().misses, 0);
+        // A generous (or absent) deadline reads through as usual.
+        let ample = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        assert!(chain.get_before(9, Some(ample)).is_some());
+        assert!(chain.get_before(9, None).is_some());
     }
 
     #[test]

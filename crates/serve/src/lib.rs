@@ -15,6 +15,10 @@
 //!   a stable FNV-1a 64 digest of (module context, canonically printed
 //!   function IR, options fingerprint), so re-decompiling unchanged
 //!   functions is a lookup;
+//! * [`admission`] — overload protection in front of the scheduler:
+//!   bounded admission, per-tenant fairness/quotas, and the
+//!   admit → degrade → shed ladder with typed [`admission::Busy`]
+//!   refusals;
 //! * [`stats`] — service observability: per-stage wall time, queue
 //!   depth, cache hit rate, job counts, snapshotable and pretty-printable;
 //! * [`hash`] — the stable FNV-1a hasher behind the cache keys.
@@ -22,6 +26,7 @@
 //! The `splendid` binary (`src/bin/splendid.rs`) wires this up as a CLI
 //! with `decompile`, `batch`, and `bench-serve` subcommands.
 
+pub mod admission;
 pub mod cache;
 pub mod codec;
 pub mod hash;
@@ -30,6 +35,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod validate;
 
+pub use admission::{AdmissionTicket, Busy, ShedReason};
 pub use cache::{BlobTiers, CacheCounters, CacheTier, DiskTier, FunctionCache, TierCounters};
 pub use pool::{PoolRemote, WorkerPool};
 pub use scheduler::{
@@ -62,5 +68,7 @@ mod send_sync_assertions {
         assert_send_sync::<JobRequest>();
         assert_send_sync::<JobResult>();
         assert_send_sync::<JobError>();
+        assert_send_sync::<AdmissionTicket>();
+        assert_send_sync::<Busy>();
     }
 }

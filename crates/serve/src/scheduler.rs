@@ -21,6 +21,7 @@
 //!   floor with the cache bypassed; a second failure quarantines the job
 //!   (counted, reported as [`JobError::Panicked`]).
 
+use crate::admission::{AdmissionController, AdmissionLease, AdmissionTicket, Busy, ShedReason};
 use crate::cache::{BlobTiers, FunctionCache};
 use crate::codec;
 use crate::hash::Fnv64;
@@ -53,6 +54,18 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Deadline applied to every job; `None` means jobs never time out.
     pub job_timeout: Option<Duration>,
+    /// Admission bound on pending (admitted, not yet completed) jobs;
+    /// requests past the bound are shed with a typed [`Busy`]. 0
+    /// disables the bound (the pre-admission-control behavior).
+    pub max_pending_jobs: usize,
+    /// Pending-job level past which admitted requests are degraded to
+    /// the `Quick` fidelity tier instead of running at full fidelity
+    /// (the middle rung of the admission ladder). 0 disables.
+    pub degrade_pending_jobs: usize,
+    /// Per-tenant token-bucket burst; 0 disables quotas.
+    pub quota_burst: u32,
+    /// Per-tenant token-bucket refill rate, requests/second.
+    pub quota_per_sec: u32,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +74,10 @@ impl Default for ServeConfig {
             workers: 0,
             cache_capacity: 4096,
             job_timeout: None,
+            max_pending_jobs: 0,
+            degrade_pending_jobs: 0,
+            quota_burst: 0,
+            quota_per_sec: 0,
         }
     }
 }
@@ -246,6 +263,10 @@ struct JobState {
     /// `Text` jobs so the last work item can persist the assembled
     /// output on its way out.
     module_key: std::sync::OnceLock<u64>,
+    /// Admission lease, released on completion so the pending gauge
+    /// (and the tenant's in-flight share) frees exactly when the job's
+    /// capacity does — not when the handle is dropped.
+    lease: Mutex<Option<AdmissionLease>>,
 }
 
 impl JobState {
@@ -272,10 +293,22 @@ impl JobState {
         let mut done = lock(&self.done);
         if done.is_none() {
             match &result {
-                Ok(_) => self.stats.add(|s| &s.jobs_completed, 1),
+                Ok(r) => {
+                    self.stats.add(|s| &s.jobs_completed, 1);
+                    // Service-time estimate feed for admission's queue-wait
+                    // and retry-after hints.
+                    self.stats.add(
+                        |s| &s.ns_jobs_wall,
+                        u64::try_from(r.wall.as_nanos()).unwrap_or(u64::MAX),
+                    );
+                }
                 Err(JobError::TimedOut { .. }) => self.stats.add(|s| &s.jobs_timed_out, 1),
                 Err(_) => self.stats.add(|s| &s.jobs_failed, 1),
             };
+            // Free the admission slot BEFORE publishing the result: the
+            // waiter's very next request must not be refused by tenant
+            // fairness because this finished job still holds its lease.
+            lock(&self.lease).take();
             *done = Some(result);
             self.cv.notify_all();
         }
@@ -461,6 +494,7 @@ pub struct Scheduler {
     tiers: Arc<BlobTiers>,
     certs: Arc<CertCache>,
     stats: Arc<ServeStats>,
+    admission: Arc<AdmissionController>,
     watchdog: Option<Watchdog>,
     config: ServeConfig,
 }
@@ -487,6 +521,13 @@ impl Scheduler {
             tiers: Arc::new(tiers),
             certs: Arc::new(CertCache::default()),
             stats: Arc::new(ServeStats::default()),
+            admission: Arc::new(AdmissionController::new(
+                config.max_pending_jobs,
+                config.degrade_pending_jobs,
+                config.quota_burst,
+                config.quota_per_sec,
+                workers,
+            )),
             // No deadline, nothing to sweep: don't pay for the thread.
             watchdog: config.job_timeout.map(|_| Watchdog::start()),
             config,
@@ -508,25 +549,113 @@ impl Scheduler {
         self.submit_with_stats(request, None)
     }
 
+    /// Average observed job service time, in ms, for admission's queue
+    /// estimates. Defaults to a conservative 50 ms before any job has
+    /// completed.
+    fn avg_job_ms(&self) -> u64 {
+        let completed = self.stats.jobs_completed.load(Ordering::Relaxed);
+        if completed == 0 {
+            return 50;
+        }
+        let wall_ns = self.stats.ns_jobs_wall.load(Ordering::Relaxed);
+        (wall_ns / completed / 1_000_000).max(1)
+    }
+
+    /// Walk the admission ladder for one prospective request (see
+    /// `crate::admission`). `tenant` is the caller's fairness key — the
+    /// daemon passes the session's module-context digest — and
+    /// `deadline` the request's absolute budget, if it carries one.
+    ///
+    /// On success the returned ticket *reserves* queue capacity; pass it
+    /// to [`Scheduler::submit_ticketed`] (or drop it to release the
+    /// reservation). On refusal the typed [`Busy`] carries a
+    /// `retry_after_ms` hint sized from the current queue and observed
+    /// job service times. Sheds and degradations are counted in the
+    /// scheduler-wide stats by reason.
+    pub fn admit(
+        &self,
+        tenant: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> Result<AdmissionTicket, Busy> {
+        match self.admission.admit(tenant, deadline, self.avg_job_ms()) {
+            Ok(ticket) => {
+                if ticket.degraded() {
+                    self.stats
+                        .jobs_degraded_admission
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(ticket)
+            }
+            Err(busy) => {
+                let counter = match busy.reason {
+                    ShedReason::QueueFull => &self.stats.jobs_shed_queue,
+                    ShedReason::QuotaExhausted => &self.stats.jobs_shed_quota,
+                    ShedReason::DeadlineDoomed => &self.stats.jobs_shed_deadline,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                Err(busy)
+            }
+        }
+    }
+
+    /// Submit a job under an admission ticket: the ticket's degrade
+    /// decision rewrites the request's start tier to `Quick`, and its
+    /// deadline rides the job state through every handoff (combined with
+    /// the scheduler's own `job_timeout`, whichever is earlier).
+    pub fn submit_ticketed(
+        &self,
+        ticket: AdmissionTicket,
+        mut request: JobRequest,
+        session_stats: Option<Arc<ServeStats>>,
+    ) -> JobHandle {
+        if ticket.degrade {
+            request.options.start_tier = FidelityTier::Quick;
+        }
+        self.submit_inner(ticket, request, session_stats)
+    }
+
     /// [`Scheduler::submit`], additionally recording every counter and
     /// stage timing this job produces into `session_stats` (on top of the
     /// scheduler-wide stats). The daemon uses this to give each session
     /// its own [`ServeStats`] while sharing one scheduler and one
     /// function cache across all sessions.
+    ///
+    /// This path bypasses the admission *checks* (batch/CLI callers have
+    /// no tenant and no wire deadline) but still occupies the pending
+    /// gauge, so the daemon's admission decisions see batch load too.
     pub fn submit_with_stats(
         &self,
         request: JobRequest,
         session_stats: Option<Arc<ServeStats>>,
     ) -> JobHandle {
+        self.submit_inner(self.admission.bypass_ticket(), request, session_stats)
+    }
+
+    fn submit_inner(
+        &self,
+        ticket: AdmissionTicket,
+        request: JobRequest,
+        session_stats: Option<Arc<ServeStats>>,
+    ) -> JobHandle {
+        let AdmissionTicket {
+            lease, deadline, ..
+        } = ticket;
         let sink = StatsSink {
             primary: Arc::clone(&self.stats),
             extra: session_stats,
         };
         sink.add(|s| &s.jobs_submitted, 1);
+        // A request can carry its own deadline *and* run under a
+        // scheduler-wide timeout: the earlier one wins.
+        let config_deadline = self.config.job_timeout.map(|t| Instant::now() + t);
+        let deadline = match (deadline, config_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let state = Arc::new(JobState {
             name: request.name.clone(),
             started: Instant::now(),
-            deadline: self.config.job_timeout.map(|t| Instant::now() + t),
+            deadline,
             stage: AtomicU8::new(job_stage::QUEUED),
             cancelled: AtomicBool::new(false),
             remaining: AtomicUsize::new(0),
@@ -541,6 +670,7 @@ impl Scheduler {
             tiers: Arc::clone(&self.tiers),
             certs: Arc::clone(&self.certs),
             module_key: std::sync::OnceLock::new(),
+            lease: Mutex::new(lease),
         });
         if let Some(w) = &self.watchdog {
             w.register(&state);
@@ -584,6 +714,7 @@ impl Scheduler {
             self.pool.respawned(),
         );
         snap.tiers = self.tiers.counters();
+        snap.admission_pending = self.admission.pending();
         snap
     }
 
@@ -875,12 +1006,21 @@ fn decompile_item(
         // LRU miss: read through the blob tiers (disk, then peer). A
         // hit is promoted into the LRU so the next lookup is in-memory;
         // the tiers promote among themselves (peer → disk) internally.
-        if let Some(out) = state.tiers.get_function(k) {
+        // The job's deadline rides along: a tier whose worst-case cost
+        // (e.g. a peer round-trip timeout) would blow the remaining
+        // budget is skipped, not waited on.
+        if let Some(out) = state.tiers.get_function_before(k, state.deadline) {
             state.cached.fetch_add(1, Ordering::Relaxed);
             stats.add(|s| &s.functions_from_cache, 1);
             cache.insert(k, Arc::new(out.clone()));
             return Ok(out);
         }
+    }
+    // Deadline check at the handoff into the ladder: expired work is
+    // cancelled here instead of burning a worker only for the watchdog
+    // to discover the corpse.
+    if state.expired() {
+        return Err(state.timeout_error());
     }
     match attempt_decompile(prepared, fid, options, stats) {
         Ok(Ok(out)) => {

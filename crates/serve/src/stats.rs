@@ -21,6 +21,18 @@ pub struct ServeStats {
     pub jobs_failed: AtomicU64,
     /// Jobs cancelled by their deadline.
     pub jobs_timed_out: AtomicU64,
+    /// Requests shed at admission because the pending-job queue was full.
+    pub jobs_shed_queue: AtomicU64,
+    /// Requests shed at admission by per-tenant fairness or quota.
+    pub jobs_shed_quota: AtomicU64,
+    /// Requests shed at admission because the estimated queue wait
+    /// already exceeded their deadline (doomed work, never started).
+    pub jobs_shed_deadline: AtomicU64,
+    /// Requests admitted but degraded to the `Quick` tier by pressure.
+    pub jobs_degraded_admission: AtomicU64,
+    /// Cumulative wall time of completed jobs, ns — admission's
+    /// service-time estimate (`/ jobs_completed`).
+    pub ns_jobs_wall: AtomicU64,
     /// Per-function work items decompiled (cache misses that ran).
     pub functions_decompiled: AtomicU64,
     /// Per-function work items served from the cache.
@@ -105,6 +117,11 @@ impl ServeStats {
             jobs_completed: get(&self.jobs_completed),
             jobs_failed: get(&self.jobs_failed),
             jobs_timed_out: get(&self.jobs_timed_out),
+            jobs_shed_queue: get(&self.jobs_shed_queue),
+            jobs_shed_quota: get(&self.jobs_shed_quota),
+            jobs_shed_deadline: get(&self.jobs_shed_deadline),
+            jobs_degraded_admission: get(&self.jobs_degraded_admission),
+            admission_pending: 0,
             functions_decompiled: get(&self.functions_decompiled),
             functions_from_cache: get(&self.functions_from_cache),
             functions_degraded_structured: get(&self.functions_degraded_structured),
@@ -149,6 +166,17 @@ pub struct StatsSnapshot {
     pub jobs_failed: u64,
     /// Jobs cancelled by deadline.
     pub jobs_timed_out: u64,
+    /// Requests shed at admission: queue bound.
+    pub jobs_shed_queue: u64,
+    /// Requests shed at admission: tenant fairness/quota.
+    pub jobs_shed_quota: u64,
+    /// Requests shed at admission: doomed deadline.
+    pub jobs_shed_deadline: u64,
+    /// Requests admitted at the `Quick` tier under pressure.
+    pub jobs_degraded_admission: u64,
+    /// Jobs admitted but not yet completed (gauge). Populated by
+    /// [`crate::scheduler::Scheduler::stats`].
+    pub admission_pending: usize,
     /// Functions decompiled from scratch.
     pub functions_decompiled: u64,
     /// Functions served from the cache.
@@ -200,6 +228,11 @@ impl StatsSnapshot {
     pub fn functions_degraded(&self) -> u64 {
         self.functions_degraded_structured + self.functions_degraded_literal
     }
+
+    /// Total requests shed at admission, across all reasons.
+    pub fn jobs_shed(&self) -> u64 {
+        self.jobs_shed_queue + self.jobs_shed_quota + self.jobs_shed_deadline
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -214,6 +247,16 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "  jobs       {} submitted / {} completed / {} failed / {} timed out",
             self.jobs_submitted, self.jobs_completed, self.jobs_failed, self.jobs_timed_out
+        )?;
+        writeln!(
+            f,
+            "  admission  {} pending, {} shed ({} queue-full / {} quota / {} doomed), {} degraded to quick",
+            self.admission_pending,
+            self.jobs_shed(),
+            self.jobs_shed_queue,
+            self.jobs_shed_quota,
+            self.jobs_shed_deadline,
+            self.jobs_degraded_admission
         )?;
         writeln!(
             f,
@@ -251,7 +294,7 @@ impl std::fmt::Display for StatsSnapshot {
             self.validate_quarantined
         )?;
         for tier in &self.tiers {
-            writeln!(
+            write!(
                 f,
                 "  tier:{:<5} {} hits / {} misses / {} fills / {} errors ({:.1}% hit rate)",
                 tier.name,
@@ -261,6 +304,17 @@ impl std::fmt::Display for StatsSnapshot {
                 tier.errors,
                 100.0 * tier.hit_rate()
             )?;
+            // Breaker state only appears for tiers that have one (peer).
+            if tier.breaker_trips > 0 || tier.breaker_fast_fails > 0 || tier.breaker_open {
+                write!(
+                    f,
+                    " [breaker {}, {} trips, {} fast-fails]",
+                    if tier.breaker_open { "open" } else { "closed" },
+                    tier.breaker_trips,
+                    tier.breaker_fast_fails
+                )?;
+            }
+            writeln!(f)?;
         }
         writeln!(
             f,

@@ -6,7 +6,9 @@
 #      against it (bench-daemon in attach mode),
 #   3. replay the malformed-frame corpus, proving the daemon survives
 #      every file,
-#   4. SIGTERM the daemon and assert it drains cleanly (exit 0).
+#   4. SIGTERM the daemon *while* a fresh multi-connection burst is in
+#      flight and assert it still drains cleanly (exit 0): admitted
+#      work completes, late work is refused, nothing hangs.
 #
 # Usage: scripts/daemon_smoke.sh [--addr HOST:PORT]
 set -euo pipefail
@@ -40,11 +42,18 @@ echo "== malformed-frame corpus replay =="
 echo "== daemon-wide stats =="
 ./target/release/splendid connect --addr "$ADDR" --stats
 
-echo "== graceful drain on SIGTERM =="
+echo "== graceful drain on SIGTERM under load =="
+./target/release/splendid bench-daemon \
+  --addr "$ADDR" --connections 4 --rounds 200 --functions 8 \
+  >/dev/null 2>&1 &
+LOAD_PID=$!
+sleep 1 # mid-burst
 kill -TERM "$DAEMON_PID"
 STATUS=0
 wait "$DAEMON_PID" || STATUS=$?
 trap - EXIT
+kill "$LOAD_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
 if [ "$STATUS" -ne 0 ]; then
   echo "daemon exited with status $STATUS (want 0: clean drain)" >&2
   exit 1

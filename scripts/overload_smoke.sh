@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Overload smoke test, as run by the CI `overload` job:
+#
+#   1. start `splendid daemon` with 2 workers and a deliberately small
+#      admission queue (--max-pending 4, degrading to the Quick tier at
+#      2 pending),
+#   2. saturate it with `bench-overload --addr` (attach mode: 4x as many
+#      closed-loop clients as workers, firing in lockstep bursts),
+#   3. assert from the daemon's own STATS text that admission control
+#      actually shed (nonzero "shed busy") and that overload caused zero
+#      protocol errors (no desyncs, nothing oversized),
+#   4. SIGTERM the daemon *while* a second saturating burst is in
+#      flight: admitted work completes, the rest is shed or refused, and
+#      the daemon still exits 0 (clean drain).
+#
+# Usage: scripts/overload_smoke.sh [--addr HOST:PORT]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${2:-127.0.0.1:7879}"
+
+cargo build --release -p splendid
+
+./target/release/splendid daemon --addr "$ADDR" \
+  --jobs 2 --max-pending 4 --degrade-pending 2 &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+
+# Wait for the daemon to accept connections (the PING path).
+for _ in $(seq 1 50); do
+  if ./target/release/splendid connect --addr "$ADDR" --stats >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.2
+done
+
+echo "== saturating attach-mode overload run (8 clients vs 2 workers) =="
+./target/release/splendid bench-overload --addr "$ADDR" --jobs 2 --rounds 8
+
+echo "== daemon-side assertions from STATS =="
+STATS="$(./target/release/splendid connect --addr "$ADDR" --stats)"
+echo "$STATS"
+
+SHED="$(echo "$STATS" | sed -n 's/.* \([0-9][0-9]*\) shed busy.*/\1/p')"
+if [ -z "$SHED" ] || [ "$SHED" -eq 0 ]; then
+  echo "expected nonzero 'shed busy' in daemon stats under 4x saturation" >&2
+  exit 1
+fi
+echo "admission shed $SHED requests: OK"
+
+DESYNCS="$(echo "$STATS" | sed -n 's/.* \([0-9][0-9]*\) desyncs survived.*/\1/p')"
+OVERSIZED="$(echo "$STATS" | sed -n 's/.* \([0-9][0-9]*\) oversized skipped.*/\1/p')"
+if [ "${DESYNCS:-1}" -ne 0 ] || [ "${OVERSIZED:-1}" -ne 0 ]; then
+  echo "overload must not corrupt the protocol (desyncs=$DESYNCS oversized=$OVERSIZED)" >&2
+  exit 1
+fi
+echo "zero protocol errors under overload: OK"
+
+echo "== graceful drain on SIGTERM under saturation =="
+./target/release/splendid bench-overload --addr "$ADDR" --jobs 2 --rounds 50 \
+  >/dev/null 2>&1 &
+LOAD_PID=$!
+sleep 1 # mid-burst
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+trap - EXIT
+kill "$LOAD_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
+if [ "$STATUS" -ne 0 ]; then
+  echo "daemon exited with status $STATUS (want 0: clean drain under load)" >&2
+  exit 1
+fi
+echo "daemon drained cleanly under saturation"

@@ -5,11 +5,14 @@
 //! splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]
 //! splendid bench-serve [--jobs N] [--rounds R] [--json]
 //! splendid daemon [--addr A] [--unix PATH] [--jobs N] [--max-connections N]
-//!                 [--idle-timeout SECS] [--deadline SECS]
+//!                 [--idle-timeout SECS] [--deadline SECS] [--peer-timeout-ms MS]
+//!                 [--max-pending N] [--degrade-pending N] [--quota-burst N] [--quota-rps N]
 //! splendid connect [--addr A] [--unix PATH] [file.{ir,c}] [--variant V]
 //!                  [--stats] [--malformed <dir>]
 //! splendid bench-daemon [--connections N] [--rounds M] [--functions F]
 //!                       [--addr A] [--json] [--min-speedup X] [--max-update-p50-ms MS]
+//! splendid bench-overload [--jobs N] [--rounds R] [--functions F]
+//!                         [--addr A] [--json]
 //! splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>]
 //!                   [--validate] [--stats]
 //! splendid difftest --faults N [--fault-cases M] [--seed S]
@@ -45,9 +48,10 @@ fn usage() -> ! {
          splendid decompile <file.{{ir,c}}> [--variant v1|portable|full] [--quick] [--stats]\n  \
          splendid batch <dir> [--jobs N] [--rounds K] [--variant V] [--stats]\n  \
          splendid bench-serve [--jobs N] [--rounds R] [--json]\n  \
-         splendid daemon [--addr A] [--unix PATH] [--jobs N] [--max-connections N] [--idle-timeout SECS] [--deadline SECS] [--cache-dir DIR] [--cache-budget-mb N] [--peer ADDR]\n  \
+         splendid daemon [--addr A] [--unix PATH] [--jobs N] [--max-connections N] [--idle-timeout SECS] [--deadline SECS] [--cache-dir DIR] [--cache-budget-mb N] [--peer ADDR] [--peer-timeout-ms MS] [--max-pending N] [--degrade-pending N] [--quota-burst N] [--quota-rps N]\n  \
          splendid connect [--addr A] [--unix PATH] [file.{{ir,c}}] [--variant V] [--stats] [--malformed <dir>]\n  \
          splendid bench-daemon [--connections N] [--rounds M] [--functions F] [--addr A] [--json] [--min-speedup X] [--max-update-p50-ms MS]\n  \
+         splendid bench-overload [--jobs N] [--rounds R] [--functions F] [--addr A] [--json]\n  \
          splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--validate] [--stats]\n  \
          splendid difftest --faults N [--fault-cases M] [--seed S]\n  \
          splendid validate <file.{{ir,c}}> [--variant V] [--stats] [--addr A] [--unix PATH]\n  \
@@ -95,6 +99,11 @@ struct Args {
     min_verified: f64,
     quick: bool,
     max_update_p50_ms: f64,
+    peer_timeout_ms: u64,
+    max_pending: usize,
+    degrade_pending: usize,
+    quota_burst: u32,
+    quota_rps: u32,
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -130,6 +139,12 @@ fn parse_args(args: &[String]) -> Args {
         min_verified: 0.9,
         quick: false,
         max_update_p50_ms: 0.0,
+        // 0 = keep the peer tier's built-in default (2 s).
+        peer_timeout_ms: 0,
+        max_pending: 0,
+        degrade_pending: 0,
+        quota_burst: 0,
+        quota_rps: 0,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -235,6 +250,31 @@ fn parse_args(args: &[String]) -> Args {
                 out.min_verified = value("--min-verified")
                     .parse()
                     .unwrap_or_else(|_| fail("--min-verified: not a number in [0, 1]"))
+            }
+            "--peer-timeout-ms" => {
+                out.peer_timeout_ms = value("--peer-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--peer-timeout-ms: not a number (0 = default 2000)"))
+            }
+            "--max-pending" => {
+                out.max_pending = value("--max-pending")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-pending: not a number (0 = unbounded)"))
+            }
+            "--degrade-pending" => {
+                out.degrade_pending = value("--degrade-pending")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--degrade-pending: not a number (0 = off)"))
+            }
+            "--quota-burst" => {
+                out.quota_burst = value("--quota-burst")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--quota-burst: not a number (0 = no quotas)"))
+            }
+            "--quota-rps" => {
+                out.quota_rps = value("--quota-rps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--quota-rps: not a number (0 = no quotas)"))
             }
             flag if flag.starts_with('-') => fail(&format!("unknown flag {flag}")),
             _ => out.positional.push(a.clone()),
@@ -907,6 +947,10 @@ fn daemon_config_from(args: &Args) -> DaemonConfig {
                 0 => None,
                 s => Some(Duration::from_secs(s)),
             },
+            max_pending_jobs: args.max_pending,
+            degrade_pending_jobs: args.degrade_pending,
+            quota_burst: args.quota_burst,
+            quota_per_sec: args.quota_rps,
             ..Default::default()
         },
         cache_dir: args.cache_dir.clone().map(PathBuf::from),
@@ -915,6 +959,10 @@ fn daemon_config_from(args: &Args) -> DaemonConfig {
             mb => Some(mb * 1024 * 1024),
         },
         peer: args.peer.clone(),
+        peer_timeout: match args.peer_timeout_ms {
+            0 => splendid_daemon::DEFAULT_PEER_TIMEOUT,
+            ms => Duration::from_millis(ms),
+        },
     }
 }
 
@@ -1129,6 +1177,33 @@ fn cmd_bench_daemon(args: Args) {
             "bench-daemon: UPDATE p50 {:.3}ms exceeds the allowed {:.3}ms",
             report.update.p50_ms, args.max_update_p50_ms
         );
+        std::process::exit(1);
+    }
+}
+
+/// `splendid bench-overload` — behavior past saturation: dead-peer
+/// breaker cost, baseline vs 4×-overloaded goodput, shed rate, and p99
+/// under overload. In-process mode (no `--addr`) starts a daemon with a
+/// deliberately small admission queue and gates on the report; attach
+/// mode drives an external daemon and only gates the breaker phase (the
+/// smoke script asserts sheds from the daemon's own STATS text).
+fn cmd_bench_overload(args: Args) {
+    let cfg = splendid_daemon::OverloadConfig {
+        workers: if args.jobs == 0 { 2 } else { args.jobs },
+        rounds: if args.rounds == 0 { 8 } else { args.rounds },
+        functions: args.functions.clamp(1, 8),
+        addr: args.addr.clone(),
+        ..Default::default()
+    };
+    let report = splendid_daemon::run_overload_bench(&cfg)
+        .unwrap_or_else(|e| fail(&format!("bench-overload: {e}")));
+    if args.json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.text());
+    }
+    if !report.gates.passed() {
+        eprintln!("bench-overload: gates failed: {:?}", report.gates);
         std::process::exit(1);
     }
 }
@@ -1379,6 +1454,7 @@ fn main() {
         "daemon" => cmd_daemon(args),
         "connect" => cmd_connect(args),
         "bench-daemon" => cmd_bench_daemon(args),
+        "bench-overload" => cmd_bench_overload(args),
         "difftest" => cmd_difftest(args),
         "validate" => cmd_validate(args),
         "bench-validate" => cmd_bench_validate(args),
