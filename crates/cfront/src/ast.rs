@@ -329,6 +329,8 @@ pub struct OmpClauses {
     pub nowait: bool,
     /// `private(...)` variables.
     pub private: Vec<String>,
+    /// `reduction(op:var)` clauses, one `(op, var)` pair each.
+    pub reduction: Vec<(String, String)>,
 }
 
 impl OmpClauses {
@@ -345,6 +347,9 @@ impl OmpClauses {
         }
         if !self.private.is_empty() {
             write!(s, " private({})", self.private.join(", ")).unwrap();
+        }
+        for (op, var) in &self.reduction {
+            write!(s, " reduction({op}:{var})").unwrap();
         }
         s
     }
@@ -420,6 +425,16 @@ pub enum CStmt {
     /// Combined `#pragma omp parallel for ...`.
     OmpParallelFor {
         /// Clauses.
+        clauses: OmpClauses,
+        /// The loop (must be `CStmt::For`).
+        loop_stmt: Box<CStmt>,
+    },
+    /// `#pragma omp simd ...` applied to a `for` loop. A vectorization
+    /// hint: lowering treats the loop as sequential (lane order is
+    /// preserved by the ordered-reduction semantics of the vector IR),
+    /// so round-trips through the interpreter stay bit-exact.
+    OmpSimd {
+        /// Clauses (`reduction(...)` in practice).
         clauses: OmpClauses,
         /// The loop (must be `CStmt::For`).
         loop_stmt: Box<CStmt>,
@@ -562,6 +577,10 @@ fn print_stmt(out: &mut String, stmt: &CStmt, level: usize) {
         }
         CStmt::OmpParallelFor { clauses, loop_stmt } => {
             writeln!(out, "#pragma omp parallel for{}", clauses.print()).unwrap();
+            print_stmt(out, loop_stmt, level);
+        }
+        CStmt::OmpSimd { clauses, loop_stmt } => {
+            writeln!(out, "#pragma omp simd{}", clauses.print()).unwrap();
             print_stmt(out, loop_stmt, level);
         }
         CStmt::OmpBarrier => writeln!(out, "#pragma omp barrier").unwrap(),
@@ -721,7 +740,7 @@ mod tests {
             clauses: OmpClauses {
                 schedule: Some(Schedule::Static),
                 nowait: true,
-                private: vec![],
+                ..OmpClauses::default()
             },
             loop_stmt: Box::new(loop_stmt),
         };

@@ -944,6 +944,11 @@ impl<'m> FuncLowerer<'m> {
                 };
                 self.lower_omp_parallel(&par_clauses, &region)
             }
+            // `simd` is a vectorization hint, not a work-sharing
+            // construct: the loop lowers sequentially and the checksum
+            // semantics are identical to the plain loop (the vector IR's
+            // reductions are ordered, so even float results agree).
+            CStmt::OmpSimd { loop_stmt, .. } => self.lower_stmt(loop_stmt),
             CStmt::OmpBarrier => self.lower_omp_barrier(),
             CStmt::Goto(label) => {
                 let bb = self.label_block(label);

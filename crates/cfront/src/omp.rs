@@ -492,9 +492,9 @@ fn free_vars_stmt(stmt: &CStmt, bound: &mut HashSet<String>, out: &mut Vec<Strin
             }
             free_vars_stmts(body, &mut inner_bound, out);
         }
-        CStmt::OmpFor { loop_stmt, .. } | CStmt::OmpParallelFor { loop_stmt, .. } => {
-            free_vars_stmt(loop_stmt, bound, out)
-        }
+        CStmt::OmpFor { loop_stmt, .. }
+        | CStmt::OmpParallelFor { loop_stmt, .. }
+        | CStmt::OmpSimd { loop_stmt, .. } => free_vars_stmt(loop_stmt, bound, out),
     }
 }
 
@@ -598,6 +598,7 @@ fn written_vars_stmt(stmt: &CStmt, out: &mut HashSet<String>) {
         CStmt::Comment(_) => {}
         CStmt::Block(b) => written_vars_stmts(b, out),
         CStmt::OmpParallel { body, .. } => written_vars_stmts(body, out),
+        CStmt::OmpSimd { loop_stmt, .. } => written_vars_stmt(loop_stmt, out),
         CStmt::OmpFor { loop_stmt, clauses } | CStmt::OmpParallelFor { loop_stmt, clauses } => {
             let mut inner = HashSet::new();
             written_vars_stmt(loop_stmt, &mut inner);

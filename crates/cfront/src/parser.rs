@@ -527,6 +527,7 @@ impl Parser {
             Some(&"parallel") if words.get(2) == Some(&"for") => ("parallel for", &words[3..]),
             Some(&"parallel") => ("parallel", &words[2..]),
             Some(&"for") => ("for", &words[2..]),
+            Some(&"simd") => ("simd", &words[2..]),
             Some(&"barrier") => return Ok(CStmt::OmpBarrier),
             other => return self.err(format!("unsupported omp directive {other:?}")),
         };
@@ -559,6 +560,16 @@ impl Parser {
                     loop_stmt: Box::new(inner),
                 })
             }
+            "simd" => {
+                let inner = self.parse_stmt()?;
+                if !matches!(inner, CStmt::For { .. }) {
+                    return self.err("#pragma omp simd must precede a for loop");
+                }
+                Ok(CStmt::OmpSimd {
+                    clauses,
+                    loop_stmt: Box::new(inner),
+                })
+            }
             _ => unreachable!(),
         }
     }
@@ -584,6 +595,20 @@ impl Parser {
                         clauses.schedule = Some(Schedule::StaticChunk(c));
                     }
                     other => return Err(format!("unsupported schedule {other:?}")),
+                }
+                rest = r[close + 1..].trim_start();
+            } else if let Some(r) = rest.strip_prefix("reduction(") {
+                let close = r.find(')').ok_or("unclosed reduction clause")?;
+                let inner = &r[..close];
+                let (op, vars) = inner
+                    .split_once(':')
+                    .ok_or("reduction clause needs 'op:var'")?;
+                let op = op.trim();
+                if !matches!(op, "+" | "min" | "max") {
+                    return Err(format!("unsupported reduction operator '{op}'"));
+                }
+                for var in vars.split(',').map(|s| s.trim()).filter(|s| !s.is_empty()) {
+                    clauses.reduction.push((op.to_string(), var.to_string()));
                 }
                 rest = r[close + 1..].trim_start();
             } else if let Some(r) = rest.strip_prefix("private(") {

@@ -154,9 +154,11 @@ fn check_stmt(
         }
         CStmt::Block(b) => check_stmts(b, scope, prog, f),
         CStmt::OmpParallel { body, .. } => check_stmts(body, scope, prog, f),
-        CStmt::OmpFor { loop_stmt, .. } | CStmt::OmpParallelFor { loop_stmt, .. } => {
+        CStmt::OmpFor { loop_stmt, .. }
+        | CStmt::OmpParallelFor { loop_stmt, .. }
+        | CStmt::OmpSimd { loop_stmt, .. } => {
             if !matches!(**loop_stmt, CStmt::For { .. }) {
-                return Err(SemaError("omp for must apply to a for loop".into()));
+                return Err(SemaError("omp for/simd must apply to a for loop".into()));
             }
             check_stmt(loop_stmt, scope, prog, f)
         }

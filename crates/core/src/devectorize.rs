@@ -1,0 +1,790 @@
+//! SIMD devectorizer: recognizes widened (vectorized) loops and lowers
+//! them back to their scalar epilogue, recording a marker for the pragma
+//! generator so the structurer can annotate the recovered loop with
+//! `#pragma omp simd` (plus `reduction(...)` clauses when a horizontal
+//! reduction feeds the loop's exit value).
+//!
+//! The vectorizer (`splendid_transforms::vectorize`) widens a counted
+//! loop into the shape
+//!
+//! ```text
+//! pre:      ... splats / lane-index vectors ...
+//!           br vec.cond
+//! vec.cond: viv  = phi [pre: init] [vec.body: viv.next]
+//!           vacc = phi [pre: acc0] [vec.body: acc.next]   (0+ of these)
+//!           last = add viv, VF-1
+//!           ok   = icmp slt last, bound
+//!           condbr ok, vec.body, header
+//! vec.body: ... wide loads / lane-wise ops / wide stores ...
+//!           acc.next = reduce op vacc, <vexpr>
+//!           viv.next = add viv, VF
+//!           br vec.cond
+//! header:   (original scalar loop — the epilogue)
+//! ```
+//!
+//! and rewires the epilogue's phis to resume from `viv` / `vacc`. This
+//! pass inverts that: it proves the shape above, deletes `vec.cond` and
+//! `vec.body`, points `pre` straight at the epilogue header with the
+//! original scalar initial values, and leaves a
+//! `call splendid.simd.mark(vf, nred, [op, phi]...)` pseudo-instruction
+//! at the end of `pre`. The scalar epilogue *is* the original loop, so
+//! the structurer recovers a plain `for` — the marker only adds the
+//! pragma. When recognition fails (hand-written vector IR, a shape the
+//! vectorizer never emits), the loop is left alone and the fidelity
+//! ladder handles the vector instructions lane-explicitly at the literal
+//! tier.
+
+use splendid_ir::{
+    BlockId, Callee, Function, IPred, Inst, InstId, InstKind, Module, ReduceOp, SymbolTable, Type,
+    Value,
+};
+use splendid_transforms::dce::eliminate_dead_code;
+use splendid_transforms::simplify_cfg::simplify_cfg;
+use std::collections::HashMap;
+
+/// External pseudo-call recording a devectorized loop. Never emitted as
+/// C; decoded by the structurer (and skipped everywhere else, like
+/// [`crate::detransform::PRAGMA_MARKER`]).
+pub const SIMD_MARKER: &str = "splendid.simd.mark";
+
+/// Facts recorded by a SIMD marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimdMarkerInfo {
+    /// Vectorization factor of the loop that was devectorized.
+    pub vf: u8,
+    /// Reductions carried by the loop: the clause operator and the
+    /// epilogue-header phi that materializes as the reduction variable.
+    pub reductions: Vec<(ReduceOp, InstId)>,
+}
+
+fn encode_reduce_op(op: ReduceOp) -> i64 {
+    match op {
+        ReduceOp::Add => 0,
+        ReduceOp::Min => 1,
+        ReduceOp::Max => 2,
+    }
+}
+
+fn decode_reduce_op(code: i64) -> Option<ReduceOp> {
+    Some(match code {
+        0 => ReduceOp::Add,
+        1 => ReduceOp::Min,
+        2 => ReduceOp::Max,
+        _ => return None,
+    })
+}
+
+/// Decode a SIMD marker call instruction.
+///
+/// Phi ids are encoded as integer immediates rather than SSA operands:
+/// the marker lives in the preheader, which the epilogue phis do not
+/// dominate. Ids stay valid because [`Function::delete_inst`] tombstones
+/// without renumbering.
+pub fn decode_simd_marker(symbols: &SymbolTable, kind: &InstKind) -> Option<SimdMarkerInfo> {
+    if let InstKind::Call {
+        callee: Callee::External(name),
+        args,
+    } = kind
+    {
+        if symbols.resolve(*name) == SIMD_MARKER && args.len() >= 2 {
+            let vf = u8::try_from(args[0].as_int()?).ok()?;
+            let nred = usize::try_from(args[1].as_int()?).ok()?;
+            if args.len() != 2 + 2 * nred {
+                return None;
+            }
+            let mut reductions = Vec::with_capacity(nred);
+            for r in 0..nred {
+                let op = decode_reduce_op(args[2 + 2 * r].as_int()?)?;
+                let phi = InstId(u32::try_from(args[3 + 2 * r].as_int()?).ok()?);
+                reductions.push((op, phi));
+            }
+            return Some(SimdMarkerInfo { vf, reductions });
+        }
+    }
+    None
+}
+
+/// Report of devectorization over one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DevecReport {
+    /// Function name.
+    pub function: String,
+    /// Widened loops recovered as scalar `for` + marker.
+    pub loops: usize,
+    /// Reduction clauses recorded across those loops.
+    pub reductions: usize,
+}
+
+/// A recognized widened loop, ready to be lowered.
+struct VecLoopMatch {
+    pre: BlockId,
+    vc: BlockId,
+    vb: BlockId,
+    eh: BlockId,
+    vf: i64,
+    /// Vector induction phi (in `vc`) and its scalar initial value.
+    viv: InstId,
+    iv_init: Value,
+    /// Accumulator phis in `vc`: (phi, scalar init, reduction op).
+    accs: Vec<(InstId, Value, ReduceOp)>,
+}
+
+/// Devectorize every recognizable widened loop in the module. Returns
+/// one report per function that had at least one loop recovered.
+pub fn devectorize_module(module: &mut Module) -> Vec<DevecReport> {
+    let mut reports = Vec::new();
+    let Module {
+        symbols, functions, ..
+    } = module;
+    for f in functions.iter_mut() {
+        let (loops, reductions) = devectorize_function(f, symbols);
+        if loops > 0 {
+            reports.push(DevecReport {
+                function: symbols.resolve(f.name).to_string(),
+                loops,
+                reductions,
+            });
+        }
+    }
+    reports
+}
+
+/// Devectorize one function; returns `(loops, reductions)` recovered.
+pub fn devectorize_function(f: &mut Function, symbols: &mut SymbolTable) -> (usize, usize) {
+    let mut loops = 0;
+    let mut reductions = 0;
+    while let Some(m) = find_vector_loop(f) {
+        reductions += m.accs.len();
+        apply(f, symbols, &m);
+        loops += 1;
+    }
+    if loops > 0 {
+        // vec.cond / vec.body are unreachable now; the preheader's splats
+        // and lane-index vectors are dead.
+        simplify_cfg(f);
+        eliminate_dead_code(f);
+        debug_assert!(
+            splendid_ir::verify::verify_function(f).is_ok(),
+            "devectorized function fails verification"
+        );
+    }
+    (loops, reductions)
+}
+
+/// Map each placed instruction to its owning block.
+fn owners(f: &Function) -> Vec<Option<BlockId>> {
+    f.inst_blocks()
+}
+
+/// Predecessor lists, from terminator successors.
+fn preds(f: &Function) -> HashMap<BlockId, Vec<BlockId>> {
+    let mut map: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for bb in f.block_ids() {
+        if let Some(t) = f.terminator(bb) {
+            for s in f.inst(t).kind.successors() {
+                map.entry(s).or_default().push(bb);
+            }
+        }
+    }
+    map
+}
+
+/// Scan for one widened loop matching the vectorizer's output shape.
+fn find_vector_loop(f: &Function) -> Option<VecLoopMatch> {
+    let owner = owners(f);
+    let pred_map = preds(f);
+    'blocks: for vc in f.block_ids() {
+        // Split vc into leading phis and a strict add/icmp/condbr tail.
+        let insts: Vec<InstId> = f
+            .block(vc)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&i| !matches!(f.inst(i).kind, InstKind::Nop | InstKind::DbgValue { .. }))
+            .collect();
+        let mut phis: Vec<InstId> = Vec::new();
+        let mut rest = insts.as_slice();
+        while let Some((&i, tail)) = rest.split_first() {
+            if matches!(f.inst(i).kind, InstKind::Phi { .. }) {
+                phis.push(i);
+                rest = tail;
+            } else {
+                break;
+            }
+        }
+        if phis.is_empty() || rest.len() != 3 {
+            continue;
+        }
+        let (last_id, cmp_id, br_id) = (rest[0], rest[1], rest[2]);
+        let InstKind::Bin {
+            op: splendid_ir::BinOp::Add,
+            lhs: Value::Inst(viv),
+            rhs: Value::ConstInt { val: k, .. },
+        } = f.inst(last_id).kind
+        else {
+            continue;
+        };
+        let InstKind::ICmp {
+            pred: IPred::Slt,
+            lhs: Value::Inst(cmp_lhs),
+            rhs: _,
+        } = f.inst(cmp_id).kind
+        else {
+            continue;
+        };
+        let InstKind::CondBr {
+            cond: Value::Inst(br_cond),
+            then_bb: vb,
+            else_bb: eh,
+        } = f.inst(br_id).kind
+        else {
+            continue;
+        };
+        // The bounds-test offset encodes both VF and the epilogue shape:
+        // a top-tested epilogue tests `viv + VF-1 < bound` (offset in
+        // {1,3,7}), a rotated do-while epilogue tests `viv + VF < bound`
+        // (offset in {2,4,8}) so it always keeps at least one iteration.
+        // The sets are disjoint, so the offset alone recovers VF.
+        let vf = match k {
+            1 | 3 | 7 => k + 1,
+            2 | 4 | 8 => k,
+            _ => continue,
+        };
+        if cmp_lhs != last_id
+            || br_cond != cmp_id
+            || vb == vc
+            || eh == vc
+            || eh == vb
+            || !phis.contains(&viv)
+        {
+            continue;
+        }
+
+        // vec.body: straight-line, branches only back to vc, and holds the
+        // stride-VF induction update plus at least one vector instruction.
+        let body: Vec<InstId> = f
+            .block(vb)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&i| !matches!(f.inst(i).kind, InstKind::Nop | InstKind::DbgValue { .. }))
+            .collect();
+        let Some((&term, body_insts)) = body.split_last() else {
+            continue;
+        };
+        if !matches!(f.inst(term).kind, InstKind::Br { target } if target == vc) {
+            continue;
+        }
+        let mut viv_next = None;
+        let mut saw_vector = false;
+        for &i in body_insts {
+            let inst = f.inst(i);
+            if let InstKind::Bin {
+                op: splendid_ir::BinOp::Add,
+                lhs: Value::Inst(p),
+                rhs: Value::ConstInt { val, .. },
+            } = inst.kind
+            {
+                if p == viv && val == vf {
+                    viv_next = Some(i);
+                }
+            }
+            if inst.ty.is_vector() || matches!(inst.kind, InstKind::Reduce { .. }) {
+                saw_vector = true;
+            }
+        }
+        let viv_next = match viv_next {
+            Some(i) => i,
+            None => continue,
+        };
+        if !saw_vector {
+            continue;
+        }
+
+        // The loop must be entered only from one preheader, with the body
+        // as the sole latch.
+        if pred_map.get(&vb).map(Vec::as_slice) != Some(&[vc]) {
+            continue;
+        }
+        let vc_preds = pred_map.get(&vc).cloned().unwrap_or_default();
+        if vc_preds.len() != 2 || !vc_preds.contains(&vb) {
+            continue;
+        }
+        let pre = *vc_preds.iter().find(|&&b| b != vb)?;
+
+        // Induction phi: exactly [pre: init] [vb: viv_next].
+        let iv_init = match phi_shape(f, viv, pre, vb) {
+            Some((init, back)) if back == Value::Inst(viv_next) => init,
+            _ => continue,
+        };
+
+        // Every other vc phi must be a reduction accumulator whose
+        // backedge is an in-body `reduce` folding into itself.
+        let mut accs = Vec::new();
+        for &p in &phis {
+            if p == viv {
+                continue;
+            }
+            let Some((init, Value::Inst(next))) = phi_shape(f, p, pre, vb) else {
+                continue 'blocks;
+            };
+            if owner[next.index()] != Some(vb) {
+                continue 'blocks;
+            }
+            let InstKind::Reduce {
+                op,
+                acc: Value::Inst(acc),
+                ..
+            } = f.inst(next).kind
+            else {
+                continue 'blocks;
+            };
+            if acc != p {
+                continue 'blocks;
+            }
+            accs.push((p, init, op));
+        }
+
+        // No value defined inside the widened loop may be used outside it,
+        // except through the epilogue header's phis (which get rewritten
+        // to the scalar initial values).
+        let in_loop = |v: Value| matches!(v, Value::Inst(d) if matches!(owner[d.index()], Some(b) if b == vc || b == vb));
+        let mut escapes = false;
+        for bb in f.block_ids() {
+            if bb == vc || bb == vb {
+                continue;
+            }
+            for &i in &f.block(bb).insts {
+                match &f.inst(i).kind {
+                    InstKind::Phi { incomings } if bb == eh => {
+                        for &(p, v) in incomings {
+                            if in_loop(v) {
+                                let ok = p == vc
+                                    && matches!(v, Value::Inst(d) if d == viv
+                                        || accs.iter().any(|&(a, _, _)| a == d));
+                                if !ok {
+                                    escapes = true;
+                                }
+                            }
+                        }
+                    }
+                    kind => kind.for_each_operand(|v| {
+                        if in_loop(v) {
+                            escapes = true;
+                        }
+                    }),
+                }
+            }
+        }
+        if escapes {
+            continue;
+        }
+
+        return Some(VecLoopMatch {
+            pre,
+            vc,
+            vb,
+            eh,
+            vf,
+            viv,
+            iv_init,
+            accs,
+        });
+    }
+    None
+}
+
+/// A phi's `(init, backedge)` values if its incomings are exactly
+/// `[pre: init] [latch: backedge]`.
+fn phi_shape(f: &Function, phi: InstId, pre: BlockId, latch: BlockId) -> Option<(Value, Value)> {
+    let InstKind::Phi { incomings } = &f.inst(phi).kind else {
+        return None;
+    };
+    if incomings.len() != 2 {
+        return None;
+    }
+    let init = incomings.iter().find(|(b, _)| *b == pre)?.1;
+    let back = incomings.iter().find(|(b, _)| *b == latch)?.1;
+    Some((init, back))
+}
+
+/// Lower one recognized loop: rewire the epilogue onto the preheader,
+/// drop the widened blocks, and leave the marker.
+fn apply(f: &mut Function, symbols: &mut SymbolTable, m: &VecLoopMatch) {
+    // 1. Epilogue phis resume from the scalar initial values along the
+    //    new pre -> eh edge; remember which phi carries each reduction.
+    let mut red_phis: Vec<(ReduceOp, InstId)> = Vec::new();
+    for i in f.block(m.eh).insts.clone() {
+        if let InstKind::Phi { incomings } = &mut f.inst_mut(i).kind {
+            for (p, v) in incomings.iter_mut() {
+                if *p != m.vc {
+                    continue;
+                }
+                *p = m.pre;
+                if let Value::Inst(d) = *v {
+                    if d == m.viv {
+                        *v = m.iv_init;
+                    } else if let Some(&(_, init, op)) = m.accs.iter().find(|&&(a, _, _)| a == d) {
+                        *v = init;
+                        red_phis.push((op, i));
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. The preheader jumps straight to the epilogue.
+    if let Some(t) = f.terminator(m.pre) {
+        match &mut f.inst_mut(t).kind {
+            InstKind::Br { target } if *target == m.vc => *target = m.eh,
+            InstKind::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                if *then_bb == m.vc {
+                    *then_bb = m.eh;
+                }
+                if *else_bb == m.vc {
+                    *else_bb = m.eh;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // 3. Marker before the preheader's terminator. Reduction phis are
+    //    integer immediates (see `decode_simd_marker`).
+    let mut args = vec![Value::i64(m.vf), Value::i64(red_phis.len() as i64)];
+    for &(op, phi) in &red_phis {
+        args.push(Value::i64(encode_reduce_op(op)));
+        args.push(Value::i64(phi.index() as i64));
+    }
+    let marker = f.add_inst(Inst::new(
+        InstKind::Call {
+            callee: Callee::External(symbols.intern(SIMD_MARKER)),
+            args,
+        },
+        Type::Void,
+    ));
+    let at = f.block(m.pre).insts.len().saturating_sub(1);
+    f.block_mut(m.pre).insts.insert(at, marker);
+
+    // 4. Gut the widened blocks. They are unreachable now; tombstoning
+    //    their instructions keeps this scan from re-matching them, and an
+    //    `unreachable` terminator keeps the function well-formed until
+    //    `simplify_cfg` excises the blocks.
+    for bb in [m.vc, m.vb] {
+        for i in f.block(bb).insts.clone() {
+            f.delete_inst(i);
+        }
+        f.append_inst(bb, Inst::new(InstKind::Unreachable, Type::Void));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{decompile, SplendidOptions};
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::verify::verify_function;
+    use splendid_ir::{BinOp, GlobalInit, MemType};
+    use splendid_transforms::vectorize::{vectorize_module, VectorizeOptions};
+
+    /// `for (i = 0; i < n; i++) A[i] = B[i] + C[i];` over f64[100].
+    fn vector_add(m: &mut Module, n: i64) -> splendid_ir::FuncId {
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        let b = m.push_global_named("B", arr.clone(), GlobalInit::Zero);
+        let c = m.push_global_named("C", arr.clone(), GlobalInit::Zero);
+        let mut fb = FuncBuilder::new(m, "vadd", &[], Type::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let latch = fb.new_block("latch");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let iv = fb.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let cmp = fb.icmp(IPred::Slt, iv, Value::i64(n), "cmp");
+        fb.cond_br(cmp, body, exit);
+        fb.switch_to(body);
+        let gb = fb.gep(arr.clone(), Value::Global(b), vec![Value::i64(0), iv], "pb");
+        let lb = fb.load(Type::F64, gb, "vb");
+        let gc = fb.gep(arr.clone(), Value::Global(c), vec![Value::i64(0), iv], "pc");
+        let lc = fb.load(Type::F64, gc, "vc");
+        let sum = fb.bin(BinOp::FAdd, Type::F64, lb, lc, "sum");
+        let ga = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "pa");
+        fb.store(sum, ga);
+        fb.br(latch);
+        fb.switch_to(latch);
+        let next = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        if let Value::Inst(phi) = iv {
+            if let InstKind::Phi { incomings } = &mut fb.func_mut().inst_mut(phi).kind {
+                incomings.push((latch, next));
+            }
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    /// `s = 0; for (i = 0; i < n; i++) s += A[i] * B[i]; store s` — a dot
+    /// product with an f64 add reduction.
+    fn dot(m: &mut Module, n: i64) -> splendid_ir::FuncId {
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        let b = m.push_global_named("B", arr.clone(), GlobalInit::Zero);
+        let out = m.push_global_named("OUT", MemType::array1(Type::F64, 1), GlobalInit::Zero);
+        let mut fb = FuncBuilder::new(m, "dot", &[], Type::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("latch");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let iv = fb.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let acc = fb.phi(Type::F64, vec![(entry, Value::f64(0.0))], "s");
+        let cmp = fb.icmp(IPred::Slt, iv, Value::i64(n), "cmp");
+        fb.cond_br(cmp, body, exit);
+        fb.switch_to(body);
+        let ga = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "pa");
+        let la = fb.load(Type::F64, ga, "va");
+        let gb = fb.gep(arr.clone(), Value::Global(b), vec![Value::i64(0), iv], "pb");
+        let lb = fb.load(Type::F64, gb, "vb");
+        let prod = fb.bin(BinOp::FMul, Type::F64, la, lb, "prod");
+        let acc_next = fb.bin(BinOp::FAdd, Type::F64, acc, prod, "s.next");
+        let next = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        for (phi, v) in [(iv, next), (acc, acc_next)] {
+            if let Value::Inst(p) = phi {
+                if let InstKind::Phi { incomings } = &mut fb.func_mut().inst_mut(p).kind {
+                    incomings.push((body, v));
+                }
+            }
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+        let go = fb.gep(
+            MemType::array1(Type::F64, 1),
+            Value::Global(out),
+            vec![Value::i64(0), Value::i64(0)],
+            "po",
+        );
+        fb.store(acc, go);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    /// Seed every f64 array global named A/B/C with distinct nonzero
+    /// contents, run `func`, and checksum all of memory.
+    fn run_checksum(m: &Module, func: &str) -> f64 {
+        use splendid_interp::{MachineConfig, Vm};
+        let mut vm = Vm::new(m, MachineConfig::default());
+        for (gi, name) in ["A", "B", "C"].iter().enumerate() {
+            if vm.global_addr(name).is_ok() {
+                for i in 0..100 {
+                    let v = (i as f64) * 0.5 - 20.0 + (gi as f64) * 1.25;
+                    vm.write_global_f64(name, i, v).unwrap();
+                }
+            }
+        }
+        vm.call_by_name(func, &[]).unwrap();
+        vm.checksum_all().unwrap()
+    }
+
+    /// Re-lower decompiled C and checksum it under the same seeding.
+    fn recompiled_checksum(source: &str, func: &str) -> f64 {
+        use splendid_cfront::{lower_program, parse_program, LowerOptions};
+        let prog = parse_program(source)
+            .unwrap_or_else(|e| panic!("recompile parse failed: {e}\n{source}"));
+        let m2 = lower_program(&prog, "re", &LowerOptions::default())
+            .unwrap_or_else(|e| panic!("recompile lower failed: {e}\n{source}"));
+        run_checksum(&m2, func)
+    }
+
+    /// Collect the decoded SIMD markers left in `f`.
+    fn markers(f: &Function, symbols: &SymbolTable) -> Vec<SimdMarkerInfo> {
+        let mut out = Vec::new();
+        for bb in f.block_ids() {
+            for &i in &f.block(bb).insts {
+                if let Some(info) = decode_simd_marker(symbols, &f.inst(i).kind) {
+                    out.push(info);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn devectorize_restores_scalar_vector_add() {
+        let mut m = Module::new("t");
+        let fid = vector_add(&mut m, 97);
+        let scalar_sum = run_checksum(&m, "vadd");
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 1);
+        let vec_sum = run_checksum(&m, "vadd");
+
+        let reports = devectorize_module(&mut m);
+        assert_eq!(
+            reports,
+            vec![DevecReport {
+                function: "vadd".into(),
+                loops: 1,
+                reductions: 0,
+            }]
+        );
+        verify_function(m.func(fid)).unwrap();
+        let printed = splendid_ir::printer::function_str(&m, m.func(fid));
+        assert!(printed.contains(SIMD_MARKER), "marker missing:\n{printed}");
+        assert!(!printed.contains("v4f64"), "vector IR survived:\n{printed}");
+        let infos = markers(m.func(fid), &m.symbols);
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].vf, 4);
+        assert!(infos[0].reductions.is_empty());
+
+        let devec_sum = run_checksum(&m, "vadd");
+        assert_eq!(scalar_sum.to_bits(), vec_sum.to_bits());
+        assert_eq!(scalar_sum.to_bits(), devec_sum.to_bits());
+    }
+
+    #[test]
+    fn devectorize_records_dot_reduction() {
+        let mut m = Module::new("t");
+        let fid = dot(&mut m, 97);
+        let scalar_sum = run_checksum(&m, "dot");
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 1);
+        assert_eq!(stats.reductions, 1);
+
+        let reports = devectorize_module(&mut m);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].loops, 1);
+        assert_eq!(reports[0].reductions, 1);
+        verify_function(m.func(fid)).unwrap();
+        let infos = markers(m.func(fid), &m.symbols);
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].reductions.len(), 1);
+        assert_eq!(infos[0].reductions[0].0, ReduceOp::Add);
+
+        let devec_sum = run_checksum(&m, "dot");
+        assert_eq!(scalar_sum.to_bits(), devec_sum.to_bits());
+    }
+
+    /// Rotated (do-while) form of `vector_add`, the shape `-O2` loop
+    /// rotation hands the vectorizer.
+    fn rotated_vector_add(m: &mut Module, n: i64) -> splendid_ir::FuncId {
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        let b = m.push_global_named("B", arr.clone(), GlobalInit::Zero);
+        let c = m.push_global_named("C", arr.clone(), GlobalInit::Zero);
+        let mut fb = FuncBuilder::new(m, "vadd", &[], Type::Void);
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(body);
+        fb.switch_to(body);
+        let iv = fb.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let gb = fb.gep(arr.clone(), Value::Global(b), vec![Value::i64(0), iv], "pb");
+        let lb = fb.load(Type::F64, gb, "vb");
+        let gc = fb.gep(arr.clone(), Value::Global(c), vec![Value::i64(0), iv], "pc");
+        let lc = fb.load(Type::F64, gc, "vc");
+        let sum = fb.bin(BinOp::FAdd, Type::F64, lb, lc, "sum");
+        let ga = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "pa");
+        fb.store(sum, ga);
+        let next = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        if let Value::Inst(phi) = iv {
+            if let InstKind::Phi { incomings } = &mut fb.func_mut().inst_mut(phi).kind {
+                incomings.push((body, next));
+            }
+        }
+        let cmp = fb.icmp(IPred::Slt, next, Value::i64(n), "cmp");
+        fb.cond_br(cmp, body, exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn rotated_loop_roundtrips_and_carries_pragma() {
+        // VF divides the trip count — the epilogue still holds iterations
+        // because the rotated vector loop stops one group early.
+        let mut m = Module::new("t");
+        let fid = rotated_vector_add(&mut m, 96);
+        let scalar_sum = run_checksum(&m, "vadd");
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 1);
+
+        let out = decompile(&m, &SplendidOptions::default()).unwrap();
+        assert!(
+            out.source.contains("#pragma omp simd"),
+            "missing simd pragma on rotated loop:\n{}",
+            out.source
+        );
+        assert_eq!(
+            recompiled_checksum(&out.source, "vadd").to_bits(),
+            scalar_sum.to_bits(),
+            "rotated round trip diverges:\n{}",
+            out.source
+        );
+
+        // And the direct devectorizer path recovers VF from the rotated
+        // bounds-test offset.
+        let reports = devectorize_module(&mut m);
+        assert_eq!(reports.len(), 1);
+        let infos = markers(m.func(fid), &m.symbols);
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].vf, 4);
+        assert_eq!(run_checksum(&m, "vadd").to_bits(), scalar_sum.to_bits());
+    }
+
+    #[test]
+    fn scalar_module_is_untouched() {
+        let mut m = Module::new("t");
+        vector_add(&mut m, 97);
+        let before = run_checksum(&m, "vadd");
+        let reports = devectorize_module(&mut m);
+        assert!(reports.is_empty(), "false positive: {reports:?}");
+        assert_eq!(before.to_bits(), run_checksum(&m, "vadd").to_bits());
+    }
+
+    #[test]
+    fn decompiled_simd_loop_carries_pragma() {
+        let mut m = Module::new("t");
+        vector_add(&mut m, 97);
+        let scalar_sum = run_checksum(&m, "vadd");
+        vectorize_module(&mut m, &VectorizeOptions::default());
+
+        let out = decompile(&m, &SplendidOptions::default()).unwrap();
+        assert!(
+            out.source.contains("#pragma omp simd"),
+            "missing simd pragma:\n{}",
+            out.source
+        );
+        assert_eq!(
+            recompiled_checksum(&out.source, "vadd").to_bits(),
+            scalar_sum.to_bits(),
+            "devectorized C diverges:\n{}",
+            out.source
+        );
+    }
+
+    #[test]
+    fn decompiled_dot_carries_reduction_clause() {
+        let mut m = Module::new("t");
+        dot(&mut m, 97);
+        let scalar_sum = run_checksum(&m, "dot");
+        vectorize_module(&mut m, &VectorizeOptions::default());
+
+        let out = decompile(&m, &SplendidOptions::default()).unwrap();
+        assert!(
+            out.source.contains("#pragma omp simd reduction(+:"),
+            "missing reduction clause:\n{}",
+            out.source
+        );
+        assert_eq!(
+            recompiled_checksum(&out.source, "dot").to_bits(),
+            scalar_sum.to_bits(),
+            "devectorized C diverges:\n{}",
+            out.source
+        );
+    }
+}

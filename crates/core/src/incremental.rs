@@ -150,6 +150,13 @@ pub fn reprepare(
         }
     }
     regions.extend(mini_prep.regions.iter().cloned());
+    let mut simd_loops = Vec::with_capacity(prev.simd_loops.len());
+    for r in &prev.simd_loops {
+        if !dirty_roots.contains(&r.function.as_str()) {
+            simd_loops.push(r.clone());
+        }
+    }
+    simd_loops.extend(mini_prep.simd_loops.iter().cloned());
 
     for name in dirty_roots {
         let dst_fid = module
@@ -171,6 +178,7 @@ pub fn reprepare(
     let prepared = PreparedModule {
         module,
         regions,
+        simd_loops,
         digests: std::sync::OnceLock::new(),
     };
     let _ = prepared.digests.set(digests);

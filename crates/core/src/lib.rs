@@ -37,6 +37,7 @@
 
 pub mod analyzer;
 pub mod detransform;
+pub mod devectorize;
 pub mod error;
 pub mod fault;
 pub mod fingerprint;

@@ -16,11 +16,12 @@
 //! mirroring the structurer's lvalue rules.
 
 use crate::detransform::decode_marker;
+use crate::devectorize::decode_simd_marker;
 use crate::error::{SplendidError, Stage};
 use splendid_cfront::ast::{CBinOp, CExpr, CFunc, CStmt, CType};
 use splendid_ir::{
     BinOp, BlockId, Callee, CastOp, FPred, Function, IPred, InstId, InstKind, MemType, Module,
-    Type, Value,
+    ReduceOp, Type, Value,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -134,7 +135,9 @@ pub fn emit_literal(module: &Module, f: &Function) -> Result<LiteralFunc, Splend
     for bb in f.block_ids() {
         for &i in &f.block(bb).insts {
             let inst = f.inst(i);
-            if decode_marker(&module.symbols, &inst.kind).is_some() {
+            if decode_marker(&module.symbols, &inst.kind).is_some()
+                || decode_simd_marker(&module.symbols, &inst.kind).is_some()
+            {
                 continue;
             }
             match &inst.kind {
@@ -155,6 +158,32 @@ pub fn emit_literal(module: &Module, f: &Function) -> Result<LiteralFunc, Splend
                     names[i.index()] = Some(name);
                 }
                 InstKind::Gep { .. } => {} // folded at each use
+                // Vector values become one scalar variable per lane
+                // (`v7_0 .. v7_3`): the lane-explicit bottom rung for IR
+                // the devectorizer did not recognize.
+                _ if inst.ty.is_vector() => {
+                    if matches!(inst.kind, InstKind::Phi { .. }) {
+                        return Err(err(
+                            module,
+                            f,
+                            format!("vector phi %{} has no literal form", i.0),
+                        ));
+                    }
+                    let name = format!("{vp}{}", i.0);
+                    let (lanes, lane_ty) = match inst.ty.vec_ty() {
+                        Some(vt) if vt.elem.is_float() => (vt.lanes, CType::Double),
+                        Some(vt) => (vt.lanes, CType::Long),
+                        None => unreachable!("is_vector implies vec_ty"),
+                    };
+                    for l in 0..lanes {
+                        decls.push(CStmt::Decl {
+                            name: format!("{name}_{l}"),
+                            ty: lane_ty.clone(),
+                            init: None,
+                        });
+                    }
+                    names[i.index()] = Some(name);
+                }
                 _ if inst.has_result() => {
                     let name = format!("{vp}{}", i.0);
                     decls.push(CStmt::Decl {
@@ -366,6 +395,76 @@ impl<'a> LiteralEmitter<'a> {
         }
     }
 
+    /// True when a value is vector-typed (lane-split in this tier).
+    fn is_vector_value(&self, v: Value) -> bool {
+        match v {
+            Value::Inst(id) => self.f.inst(id).ty.is_vector(),
+            Value::Undef(t) => t.is_vector(),
+            _ => false,
+        }
+    }
+
+    /// Lane count of a vector-typed value.
+    fn lanes_of(&self, v: Value) -> Result<u8, SplendidError> {
+        let lanes = match v {
+            Value::Inst(id) => self.f.inst(id).ty.lanes(),
+            Value::Undef(t) => t.lanes(),
+            _ => None,
+        };
+        lanes.ok_or_else(|| {
+            err(
+                self.module,
+                self.f,
+                format!("expected a vector value, got {v:?}"),
+            )
+        })
+    }
+
+    /// The per-lane variable of a vector-valued instruction.
+    fn lane_name(&self, id: InstId, lane: u8) -> Result<String, SplendidError> {
+        Ok(format!("{}_{lane}", self.name_of(id)?))
+    }
+
+    /// The C expression for one lane of a vector operand.
+    fn lane_operand(&self, v: Value, lane: u8) -> Result<CExpr, SplendidError> {
+        match v {
+            Value::Inst(id) if self.f.inst(id).ty.is_vector() => {
+                Ok(CExpr::ident(self.lane_name(id, lane)?))
+            }
+            Value::Undef(t) if t.is_vector() => Ok(match t.vec_ty() {
+                Some(vt) if vt.elem.is_float() => CExpr::Float(0.0),
+                _ => CExpr::Int(0),
+            }),
+            other => Err(err(
+                self.module,
+                self.f,
+                format!("non-vector operand {other:?} in a vector context"),
+            )),
+        }
+    }
+
+    /// The element lvalue `lane` steps past a wide access's address:
+    /// `A[i]` -> `A[i + lane]`.
+    fn lane_lvalue(&self, ptr: Value, lane: u8) -> Result<CExpr, SplendidError> {
+        let base = self.lvalue(ptr)?;
+        if lane == 0 {
+            return Ok(base);
+        }
+        match base {
+            CExpr::Index { base, mut indices } => {
+                if let Some(last) = indices.last_mut() {
+                    *last = CExpr::bin(CBinOp::Add, last.clone(), CExpr::Int(lane as i64));
+                }
+                Ok(CExpr::Index { base, indices })
+            }
+            other => Err(err(
+                self.module,
+                self.f,
+                format!("wide access through non-indexable address {other:?}"),
+            )),
+        }
+    }
+
     fn rvalue(&self, id: InstId) -> Result<CExpr, SplendidError> {
         let inst = self.f.inst(id);
         match &inst.kind {
@@ -494,7 +593,9 @@ impl<'a> LiteralEmitter<'a> {
     fn emit_block(&mut self, bb: BlockId, out: &mut Vec<CStmt>) -> Result<(), SplendidError> {
         for &i in &self.f.block(bb).insts.clone() {
             let inst = self.f.inst(i);
-            if decode_marker(&self.module.symbols, &inst.kind).is_some() {
+            if decode_marker(&self.module.symbols, &inst.kind).is_some()
+                || decode_simd_marker(&self.module.symbols, &inst.kind).is_some()
+            {
                 continue;
             }
             match &inst.kind {
@@ -503,6 +604,110 @@ impl<'a> LiteralEmitter<'a> {
                 | InstKind::Phi { .. }
                 | InstKind::Alloca { .. }
                 | InstKind::Gep { .. } => {}
+                InstKind::Splat { val } => {
+                    let e = self.operand(*val)?;
+                    for l in 0..self.lanes_of(Value::Inst(i))? {
+                        out.push(self.assign(self.lane_name(i, l)?, e.clone()));
+                    }
+                }
+                InstKind::ExtractLane { vec, lane } => {
+                    let rhs = self.lane_operand(*vec, *lane)?;
+                    let name = self.name_of(i)?;
+                    out.push(self.assign(name, rhs));
+                }
+                InstKind::InsertLane { vec, val, lane } => {
+                    for l in 0..self.lanes_of(Value::Inst(i))? {
+                        let rhs = if l == *lane {
+                            self.operand(*val)?
+                        } else {
+                            self.lane_operand(*vec, l)?
+                        };
+                        out.push(self.assign(self.lane_name(i, l)?, rhs));
+                    }
+                }
+                InstKind::Reduce { op, acc, vec } => {
+                    // Ordered left-to-right fold, matching the
+                    // interpreter's (and the scalar loop's) semantics.
+                    let name = self.name_of(i)?;
+                    out.push(self.assign(name.clone(), self.operand(*acc)?));
+                    for l in 0..self.lanes_of(*vec)? {
+                        let lane = self.lane_operand(*vec, l)?;
+                        match op {
+                            ReduceOp::Add => out.push(self.assign(
+                                name.clone(),
+                                CExpr::bin(CBinOp::Add, CExpr::ident(name.clone()), lane),
+                            )),
+                            ReduceOp::Min | ReduceOp::Max => {
+                                let cmp = if *op == ReduceOp::Min {
+                                    CBinOp::Lt
+                                } else {
+                                    CBinOp::Gt
+                                };
+                                out.push(CStmt::If {
+                                    cond: CExpr::bin(cmp, lane.clone(), CExpr::ident(name.clone())),
+                                    then_body: vec![self.assign(name.clone(), lane)],
+                                    else_body: vec![],
+                                });
+                            }
+                        }
+                    }
+                }
+                InstKind::Load { ptr } if inst.ty.is_vector() => {
+                    for l in 0..self.lanes_of(Value::Inst(i))? {
+                        let rhs = self.lane_lvalue(*ptr, l)?;
+                        out.push(self.assign(self.lane_name(i, l)?, rhs));
+                    }
+                }
+                InstKind::Store { val, ptr } if self.is_vector_value(*val) => {
+                    for l in 0..self.lanes_of(*val)? {
+                        let lhs = self.lane_lvalue(*ptr, l)?;
+                        let rhs = self.lane_operand(*val, l)?;
+                        out.push(CStmt::Expr(CExpr::Assign {
+                            lhs: Box::new(lhs),
+                            op: None,
+                            rhs: Box::new(rhs),
+                        }));
+                    }
+                }
+                InstKind::Bin { op, lhs, rhs } if inst.ty.is_vector() => {
+                    let cop = match op {
+                        BinOp::Add | BinOp::FAdd => CBinOp::Add,
+                        BinOp::Sub | BinOp::FSub => CBinOp::Sub,
+                        BinOp::Mul | BinOp::FMul => CBinOp::Mul,
+                        BinOp::SDiv | BinOp::FDiv => CBinOp::Div,
+                        BinOp::SRem => CBinOp::Rem,
+                        BinOp::And => CBinOp::BAnd,
+                        BinOp::Or => CBinOp::BOr,
+                        BinOp::Xor => CBinOp::BXor,
+                        BinOp::Shl => CBinOp::Shl,
+                        BinOp::AShr => CBinOp::Shr,
+                    };
+                    for l in 0..self.lanes_of(Value::Inst(i))? {
+                        let e = CExpr::bin(
+                            cop,
+                            self.lane_operand(*lhs, l)?,
+                            self.lane_operand(*rhs, l)?,
+                        );
+                        out.push(self.assign(self.lane_name(i, l)?, e));
+                    }
+                }
+                InstKind::Cast { op, val } if inst.ty.is_vector() => {
+                    for l in 0..self.lanes_of(Value::Inst(i))? {
+                        let e = self.lane_operand(*val, l)?;
+                        let e = match op {
+                            CastOp::SiToFp => CExpr::Cast {
+                                ty: CType::Double,
+                                expr: Box::new(e),
+                            },
+                            CastOp::FpToSi => CExpr::Cast {
+                                ty: CType::Long,
+                                expr: Box::new(e),
+                            },
+                            _ => e,
+                        };
+                        out.push(self.assign(self.lane_name(i, l)?, e));
+                    }
+                }
                 InstKind::Store { val, ptr } => {
                     let lhs = self.lvalue(*ptr)?;
                     let rhs = self.operand(*val)?;

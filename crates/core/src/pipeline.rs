@@ -8,6 +8,7 @@
 //! available, so a module-level answer is always produced.
 
 use crate::detransform::{detransform_and_inline, RegionReport};
+use crate::devectorize::{devectorize_module, DevecReport};
 use crate::error::{panic_message, SplendidError, Stage};
 use crate::fault::FaultPlan;
 use crate::literal::emit_literal;
@@ -208,6 +209,9 @@ pub struct PreparedModule {
     pub module: Module,
     /// Reports from the Parallel Region Detransformer.
     pub regions: Vec<RegionReport>,
+    /// Reports from the SIMD devectorizer: widened loops recovered as
+    /// scalar `for` loops carrying a `#pragma omp simd` marker.
+    pub simd_loops: Vec<DevecReport>,
     /// Lazily computed, memoized content digests (see [`crate::fingerprint`]):
     /// the serve cache keys every per-function lookup on these, so
     /// computing them once per prepared module instead of once per lookup
@@ -262,10 +266,16 @@ pub fn prepare_module(
     } else {
         Vec::new()
     };
+    // Devectorization runs for every variant: without it, vector
+    // instructions reach the structurer's expression builder and the
+    // whole function degrades to the literal tier.
+    let simd_loops = catch_unwind(AssertUnwindSafe(|| devectorize_module(&mut work)))
+        .map_err(|p| SplendidError::fatal(Stage::Detransform, panic_message(p)))?;
     timings.detransform += start.elapsed();
     Ok(PreparedModule {
         module: work,
         regions,
+        simd_loops,
         digests: std::sync::OnceLock::new(),
     })
 }

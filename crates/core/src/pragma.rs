@@ -21,7 +21,7 @@ pub fn clauses_for(info: MarkerInfo) -> OmpClauses {
             Schedule::Static
         }),
         nowait: info.nowait,
-        private: Vec::new(),
+        ..OmpClauses::default()
     }
 }
 

@@ -10,6 +10,7 @@
 //! names chosen by [`crate::naming`].
 
 use crate::detransform::{decode_marker, MarkerInfo};
+use crate::devectorize::{decode_simd_marker, SimdMarkerInfo};
 use crate::error::{SplendidError, Stage};
 use crate::naming::{NameOrigin, Naming};
 use splendid_analysis::domtree::{ipostdoms, DomTree};
@@ -103,6 +104,7 @@ struct Structurer<'a> {
     need_label: HashSet<BlockId>,
     gotos: usize,
     pending_pragma: Option<MarkerInfo>,
+    pending_simd: Option<SimdMarkerInfo>,
     /// First structural defect encountered (IR shape the expression
     /// reconstructor has no rule for). Recorded instead of panicking;
     /// turns the whole structuring attempt into a recoverable error so
@@ -167,6 +169,7 @@ pub fn structure_function(
         need_label: HashSet::new(),
         gotos: 0,
         pending_pragma: None,
+        pending_simd: None,
         diag: std::cell::RefCell::new(None),
     };
 
@@ -568,6 +571,14 @@ impl<'a> Structurer<'a> {
                 }
                 continue;
             }
+            if let Some(info) = decode_simd_marker(&self.module.symbols, &inst.kind) {
+                // Markers never print; without pragma emission the
+                // devectorized loop stays a plain `for`.
+                if self.opts.emit_pragmas {
+                    self.pending_simd = Some(info);
+                }
+                continue;
+            }
             match &inst.kind {
                 InstKind::Store { val, ptr } => {
                     let lhs = self.lvalue_of(*ptr);
@@ -838,6 +849,7 @@ impl<'a> Structurer<'a> {
         // The pragma pending at loop entry belongs to THIS loop; take it
         // now so inner loops cannot steal it during body emission.
         let pragma = self.pending_pragma.take();
+        let simd = self.pending_simd.take();
         let l = self.li.get(lid).clone();
         // Absorb the loop plumbing.
         self.absorbed.insert(cl.iv);
@@ -984,7 +996,7 @@ impl<'a> Structurer<'a> {
             step: Some(step_expr),
             body,
         };
-        self.wrap_with_pragma(for_stmt, pragma, out);
+        self.wrap_with_pragma(for_stmt, pragma, simd, out);
         // Mark all loop blocks visited.
         for b in l.blocks {
             self.visited.insert(b);
@@ -1231,11 +1243,12 @@ impl<'a> Structurer<'a> {
     }
 
     /// Wrap a loop statement in `#pragma omp parallel { #pragma omp for }`
-    /// when a marker was pending at loop entry.
+    /// or `#pragma omp simd` when a marker was pending at loop entry.
     fn wrap_with_pragma(
         &mut self,
         loop_stmt: CStmt,
         pragma: Option<MarkerInfo>,
+        simd: Option<SimdMarkerInfo>,
         out: &mut Vec<CStmt>,
     ) {
         match pragma {
@@ -1249,7 +1262,24 @@ impl<'a> Structurer<'a> {
                     }],
                 });
             }
-            _ => out.push(loop_stmt),
+            // A work-sharing pragma and a simd marker never land on the
+            // same loop (the vectorize route runs on sequential modules),
+            // so the simd wrap only applies when no omp pragma did.
+            _ => match simd {
+                Some(info) if self.opts.emit_pragmas => {
+                    let mut clauses = OmpClauses::default();
+                    for &(op, phi) in &info.reductions {
+                        clauses
+                            .reduction
+                            .push((op.clause_name().to_string(), self.name_of(phi)));
+                    }
+                    out.push(CStmt::OmpSimd {
+                        clauses,
+                        loop_stmt: Box::new(loop_stmt),
+                    });
+                }
+                _ => out.push(loop_stmt),
+            },
         }
     }
 }

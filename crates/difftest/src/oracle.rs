@@ -13,6 +13,18 @@
 //! | `decompile-quick`  | polly IR → Quick-tier decompile → cfront(libomp) → -O2 → interp |
 //! | `stability`        | decompiling the same IR twice must be byte-identical  |
 //!
+//! With [`Oracle::vectorize`] set, two more routes run:
+//!
+//! | route         | pipeline                                                   |
+//! |---------------|------------------------------------------------------------|
+//! | `vectorize`   | o2 IR → loop vectorizer → interp (vector-lane execution)   |
+//! | `devectorize` | vectorized IR → SPLENDID decompile → cfront → -O2 → interp |
+//!
+//! The `devectorize` route is the SIMD round trip: the decompiler must
+//! either recognize the widened loops (emitting `#pragma omp simd`) or
+//! fall down the fidelity ladder to lane-explicit literal C — both must
+//! reproduce the reference checksum bit-for-bit.
+//!
 //! The decompilation step goes through a [`Decompiler`] so the CLI can
 //! route it through `splendid-serve`'s scheduler + function cache (the
 //! second decompilation of each module is then served from cache and the
@@ -28,6 +40,7 @@ use splendid_interp::{CompilerProfile, MachineConfig};
 use splendid_ir::Module;
 use splendid_parallel::{parallelize_module, ParallelizeOptions};
 use splendid_polybench::Harness;
+use splendid_transforms::vectorize::{vectorize_module, VectorizeOptions};
 
 /// Pluggable decompilation backend.
 pub trait Decompiler {
@@ -111,7 +124,9 @@ pub struct CaseReport {
     pub checksum: f64,
     /// Loops the Polly-sim parallelizer outlined in this case.
     pub parallelized_loops: usize,
-    /// Routes executed (constant today, but reported for the record).
+    /// Loops the vectorizer widened (0 unless the vector routes ran).
+    pub vectorized_loops: usize,
+    /// Routes executed on this case.
     pub routes: usize,
 }
 
@@ -121,6 +136,10 @@ pub struct Oracle<'d> {
     /// Profitability floor handed to the parallelizer (0 = parallelize
     /// anything provably safe, maximizing route divergence surface).
     pub min_work: u64,
+    /// Also run the `vectorize` / `devectorize` routes (the SIMD round
+    /// trip). Off by default: the scalar routes stay byte-compatible
+    /// with historical campaign reports.
+    pub vectorize: bool,
 }
 
 impl<'d> Oracle<'d> {
@@ -129,6 +148,7 @@ impl<'d> Oracle<'d> {
         Oracle {
             decompiler,
             min_work: 0,
+            vectorize: false,
         }
     }
 
@@ -265,10 +285,63 @@ impl<'d> Oracle<'d> {
             ));
         }
 
+        // Routes vectorize / devectorize: widen the scalar -O2 module,
+        // run it lane-wise, then round-trip the vector IR through the
+        // decompiler and recompile. Both must reproduce the reference.
+        let mut vectorized_loops = 0;
+        let mut routes = 7;
+        if self.vectorize {
+            routes += 2;
+            let mut wide = o2.clone();
+            let vstats = vectorize_module(&mut wide, &VectorizeOptions::default());
+            vectorized_loops = vstats.vectorized_loops;
+            let (cv, _) = Harness::run(&wide, MachineConfig::default(), &names)
+                .map_err(|e| fail("vectorize", FailureKind::PipelineError, e.to_string()))?;
+            if cv != reference {
+                return Err(fail(
+                    "vectorize",
+                    FailureKind::Mismatch,
+                    format!(
+                        "vectorized checksum {cv} != reference {reference} \
+                         ({vectorized_loops} loop(s) widened)"
+                    ),
+                ));
+            }
+
+            let devec = self
+                .decompiler
+                .decompile(&wide, &sopts)
+                .map_err(|e| fail("devectorize", FailureKind::PipelineError, e))?;
+            let (cd, _) = Harness::recompile_and_run(
+                &devec,
+                OmpRuntime::LibOmp,
+                CompilerProfile::gcc(),
+                &names,
+            )
+            .map_err(|e| {
+                fail(
+                    "devectorize",
+                    FailureKind::PipelineError,
+                    format!("{e}\n--- devectorized source ---\n{devec}"),
+                )
+            })?;
+            if cd != reference {
+                return Err(fail(
+                    "devectorize",
+                    FailureKind::Mismatch,
+                    format!(
+                        "devectorized checksum {cd} != reference {reference}\
+                         \n--- devectorized source ---\n{devec}"
+                    ),
+                ));
+            }
+        }
+
         Ok(CaseReport {
             checksum: reference,
             parallelized_loops,
-            routes: 7,
+            vectorized_loops,
+            routes,
         })
     }
 }
@@ -291,6 +364,42 @@ mod tests {
         assert!(report.checksum.is_finite());
         assert_eq!(report.routes, 7);
         assert!(report.parallelized_loops >= 1, "elementwise loop is DOALL");
+        assert_eq!(report.vectorized_loops, 0, "SIMD routes are opt-in");
+    }
+
+    #[test]
+    fn simd_routes_roundtrip_vector_ir() {
+        let dec = InProcessDecompiler;
+        let mut oracle = Oracle::new(&dec);
+        oracle.vectorize = true;
+        let report = oracle
+            .check_source(GOOD, &["A".into()])
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(report.routes, 9);
+        assert!(
+            report.vectorized_loops >= 1,
+            "the elementwise kernel is stride-1 and should widen"
+        );
+    }
+
+    const DOT_STYLE: &str = "double A[64];\ndouble B[64];\ndouble S[1];\n\
+        void init() {\n  int i;\n  for (i = 0; i < 64; i++) { A[i] = i * 0.25; B[i] = 8.0 - i; }\n}\n\
+        void kernel() {\n  int i;\n  double s = 0.0;\n  \
+        for (i = 0; i < 64; i++) { s = s + A[i] * B[i]; }\n  S[0] = s;\n}\n";
+
+    #[test]
+    fn simd_routes_handle_reductions() {
+        let dec = InProcessDecompiler;
+        let mut oracle = Oracle::new(&dec);
+        oracle.vectorize = true;
+        let report = oracle
+            .check_source(DOT_STYLE, &["A".into(), "B".into(), "S".into()])
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.checksum.is_finite());
+        assert!(
+            report.vectorized_loops >= 1,
+            "dot-style reduction should widen"
+        );
     }
 
     #[test]

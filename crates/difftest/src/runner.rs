@@ -75,6 +75,11 @@ pub struct DifftestReport {
     pub failed: Vec<FailedCase>,
     /// Loops the parallelizer route outlined, summed over passing cases.
     pub parallelized_loops: usize,
+    /// Loops the vectorizer widened, summed over passing cases. Only
+    /// nonzero (and only printed) when the oracle ran the SIMD routes.
+    pub vectorized_loops: usize,
+    /// Whether the oracle ran the `vectorize`/`devectorize` routes.
+    pub simd_routes: bool,
     /// FNV-1a over the passing checksums' bit patterns: a campaign
     /// fingerprint that two identical runs must reproduce exactly.
     pub checksum_digest: u64,
@@ -153,6 +158,9 @@ impl std::fmt::Display for DifftestReport {
             "  parallelized loops: {}  checksum digest: {:#018x}",
             self.parallelized_loops, self.checksum_digest
         )?;
+        if self.simd_routes {
+            writeln!(f, "  vectorized loops: {}", self.vectorized_loops)?;
+        }
         if let Some(v) = &self.validation {
             writeln!(
                 f,
@@ -205,6 +213,7 @@ pub fn run_difftest(oracle: &Oracle, cfg: &DifftestConfig) -> DifftestReport {
     let mut passed = 0;
     let mut failed = Vec::new();
     let mut parallelized = 0usize;
+    let mut vectorized = 0usize;
     let mut digest: u64 = 0xCBF2_9CE4_8422_2325;
     let mut validation = cfg.validate.then(ValidationReport::default);
 
@@ -220,6 +229,7 @@ pub fn run_difftest(oracle: &Oracle, cfg: &DifftestConfig) -> DifftestReport {
             Ok(report) => {
                 passed += 1;
                 parallelized += report.parallelized_loops;
+                vectorized += report.vectorized_loops;
                 digest = fnv1a64_fold(digest, report.checksum.to_bits());
             }
             Err(failure) => {
@@ -247,6 +257,8 @@ pub fn run_difftest(oracle: &Oracle, cfg: &DifftestConfig) -> DifftestReport {
         passed,
         failed,
         parallelized_loops: parallelized,
+        vectorized_loops: vectorized,
+        simd_routes: oracle.vectorize,
         checksum_digest: digest,
         validation,
     }
@@ -255,7 +267,10 @@ pub fn run_difftest(oracle: &Oracle, cfg: &DifftestConfig) -> DifftestReport {
 /// Oracle routes whose failure indicts the *decompilation* rather than
 /// the generated program itself. Only on these may an all-`Verified`
 /// validator verdict be called unsound: an o0/o2/polly failure happens
-/// before decompilation and the validator makes no claim about it.
+/// before decompilation and the validator makes no claim about it. The
+/// SIMD routes are also excluded — `devectorize` decompiles the
+/// *vectorized* module, while the validator's verdicts cover the polly
+/// module, so they speak about different inputs.
 fn failure_indicts_decompilation(route: &str) -> bool {
     matches!(
         route,
@@ -449,6 +464,29 @@ mod tests {
         assert!(!failure_indicts_decompilation("o0"));
         assert!(!failure_indicts_decompilation("o2"));
         assert!(!failure_indicts_decompilation("polly"));
+        assert!(!failure_indicts_decompilation("vectorize"));
+        assert!(!failure_indicts_decompilation("devectorize"));
+    }
+
+    #[test]
+    fn simd_campaign_passes_and_is_deterministic() {
+        let dec = InProcessDecompiler;
+        let mut oracle = Oracle::new(&dec);
+        oracle.vectorize = true;
+        let cfg = DifftestConfig {
+            seed: 0x5EED,
+            cases: 12,
+            ..DifftestConfig::default()
+        };
+        let a = run_difftest(&oracle, &cfg);
+        let b = run_difftest(&oracle, &cfg);
+        assert!(a.all_passed(), "SIMD campaign diverged:\n{a}");
+        assert_eq!(a.to_string(), b.to_string());
+        assert!(
+            a.vectorized_loops > 0,
+            "expected at least one vectorizable loop in 12 cases:\n{a}"
+        );
+        assert!(a.to_string().contains("vectorized loops:"));
     }
 
     #[test]

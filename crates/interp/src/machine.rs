@@ -22,6 +22,12 @@ pub struct CompilerProfile {
     pub call_cost: u64,
     /// Math-library function cost (exp, sqrt, ...).
     pub mathfn_cost: u64,
+    /// Lane-wise SIMD ALU op cost (one issue covers all lanes).
+    pub vec_op_cost: u64,
+    /// Wide (vector) load/store cost.
+    pub vec_mem_cost: u64,
+    /// Cross-lane shuffle cost (splat/extract/insert/reduce).
+    pub vec_shuffle_cost: u64,
 }
 
 impl CompilerProfile {
@@ -36,6 +42,9 @@ impl CompilerProfile {
             branch_cost: 2,
             call_cost: 20,
             mathfn_cost: 40,
+            vec_op_cost: 4,
+            vec_mem_cost: 5,
+            vec_shuffle_cost: 2,
         }
     }
 
@@ -52,6 +61,9 @@ impl CompilerProfile {
             branch_cost: 1,
             call_cost: 24,
             mathfn_cost: 40,
+            vec_op_cost: 4,
+            vec_mem_cost: 6,
+            vec_shuffle_cost: 3,
         }
     }
 }

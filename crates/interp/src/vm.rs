@@ -3,10 +3,73 @@
 use crate::machine::MachineConfig;
 use splendid_ir::{
     BinOp, BlockId, Callee, CastOp, FPred, FuncId, GlobalInit, IPred, InstId, InstKind, Module,
-    Type, Value,
+    ReduceOp, Type, Value, VecTy,
 };
 use splendid_parallel::runtime::*;
 use std::collections::HashMap;
+
+/// A SIMD register: raw lane bits plus the vector type that interprets
+/// them. Lanes beyond `ty.lanes` are always zero, so derived equality is
+/// well-defined, and float lanes compare by bit pattern (the determinism
+/// contract the difftest oracle relies on).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VecVal {
+    /// Lane payloads, little-lane-first; unused high lanes are zero.
+    pub bits: [u64; 8],
+    /// The vector type these bits carry.
+    pub ty: VecTy,
+}
+
+impl VecVal {
+    /// All-zero-lane vector of the given type.
+    pub fn zero(ty: VecTy) -> VecVal {
+        VecVal { bits: [0; 8], ty }
+    }
+
+    /// Lane count.
+    pub fn lanes(&self) -> usize {
+        self.ty.lanes as usize
+    }
+
+    /// Lane `i` as a float (bit reinterpretation).
+    pub fn lane_f64(&self, i: usize) -> f64 {
+        f64::from_bits(self.bits[i])
+    }
+
+    /// Lane `i` as a sign-extended integer.
+    pub fn lane_i64(&self, i: usize) -> i64 {
+        self.bits[i] as i64
+    }
+
+    /// Set lane `i` from a float.
+    pub fn set_f64(&mut self, i: usize, x: f64) {
+        self.bits[i] = x.to_bits();
+    }
+
+    /// Set lane `i` from an integer.
+    pub fn set_i64(&mut self, i: usize, x: i64) {
+        self.bits[i] = x as u64;
+    }
+
+    /// Lane `i` as an [`RtVal`] of the element type.
+    pub fn lane(&self, i: usize) -> RtVal {
+        if self.ty.elem.is_float() {
+            RtVal::F64(self.lane_f64(i))
+        } else {
+            RtVal::Int(self.lane_i64(i))
+        }
+    }
+
+    /// Store an [`RtVal`] into lane `i`, checking the element type.
+    pub fn set_lane(&mut self, i: usize, v: RtVal) -> Result<(), ExecError> {
+        if self.ty.elem.is_float() {
+            self.set_f64(i, v.as_f64()?);
+        } else {
+            self.set_i64(i, v.as_int()?);
+        }
+        Ok(())
+    }
+}
 
 /// A runtime value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +80,8 @@ pub enum RtVal {
     F64(f64),
     /// A memory address.
     Ptr(u64),
+    /// A SIMD register.
+    Vec(VecVal),
 }
 
 impl RtVal {
@@ -41,6 +106,14 @@ impl RtVal {
         match self {
             RtVal::Ptr(p) => Ok(p),
             other => Err(ExecError(format!("expected ptr, got {other:?}"))),
+        }
+    }
+
+    /// Vector payload or error.
+    pub fn as_vec(self) -> Result<VecVal, ExecError> {
+        match self {
+            RtVal::Vec(v) => Ok(v),
+            other => Err(ExecError(format!("expected vector, got {other:?}"))),
         }
     }
 }
@@ -327,6 +400,7 @@ impl<'m> Vm<'m> {
             Value::Undef(ty) => match ty {
                 Type::F64 => RtVal::F64(0.0),
                 Type::Ptr => RtVal::Ptr(0),
+                Type::Vec(v) => RtVal::Vec(VecVal::zero(v)),
                 _ => RtVal::Int(0),
             },
         })
@@ -345,6 +419,68 @@ impl<'m> Vm<'m> {
             InstKind::Bin { op, lhs, rhs } => {
                 let a = self.eval(frame, *lhs)?;
                 let b = self.eval(frame, *rhs)?;
+                if let Type::Vec(vt) = inst.ty {
+                    let (va, vb) = (a.as_vec()?, b.as_vec()?);
+                    let mut r = VecVal::zero(vt);
+                    if vt.elem.is_float() {
+                        for i in 0..r.lanes() {
+                            let (x, y) = (va.lane_f64(i), vb.lane_f64(i));
+                            let v = match op {
+                                BinOp::FAdd => x + y,
+                                BinOp::FSub => x - y,
+                                BinOp::FMul => x * y,
+                                BinOp::FDiv => x / y,
+                                other => {
+                                    return Err(ExecError(format!(
+                                        "int opcode {} on float vector",
+                                        other.name()
+                                    )))
+                                }
+                            };
+                            r.set_f64(i, v);
+                        }
+                    } else {
+                        for i in 0..r.lanes() {
+                            let (x, y) = (va.lane_i64(i), vb.lane_i64(i));
+                            let v = match op {
+                                BinOp::Add => x.wrapping_add(y),
+                                BinOp::Sub => x.wrapping_sub(y),
+                                BinOp::Mul => x.wrapping_mul(y),
+                                BinOp::SDiv => {
+                                    if y == 0 {
+                                        return Err(ExecError("division by zero".into()));
+                                    }
+                                    x.wrapping_div(y)
+                                }
+                                BinOp::SRem => {
+                                    if y == 0 {
+                                        return Err(ExecError("remainder by zero".into()));
+                                    }
+                                    x.wrapping_rem(y)
+                                }
+                                BinOp::And => x & y,
+                                BinOp::Or => x | y,
+                                BinOp::Xor => x ^ y,
+                                BinOp::Shl => x.wrapping_shl(y as u32),
+                                BinOp::AShr => x.wrapping_shr(y as u32),
+                                other => {
+                                    return Err(ExecError(format!(
+                                        "float opcode {} on int vector",
+                                        other.name()
+                                    )))
+                                }
+                            };
+                            r.set_i64(i, v);
+                        }
+                    }
+                    let cost = if *op == BinOp::FDiv {
+                        prof.fdiv_cost
+                    } else {
+                        prof.vec_op_cost
+                    };
+                    self.tick(cost)?;
+                    return Ok(Some(RtVal::Vec(r)));
+                }
                 let (cost, r) = match op {
                     BinOp::FAdd => (prof.flop_cost, RtVal::F64(a.as_f64()? + b.as_f64()?)),
                     BinOp::FSub => (prof.flop_cost, RtVal::F64(a.as_f64()? - b.as_f64()?)),
@@ -432,13 +568,25 @@ impl<'m> Vm<'m> {
                 let addr = self.eval(frame, *ptr)?.as_ptr()?;
                 let size = inst.ty.size_bytes();
                 self.bytes += size;
-                self.tick(prof.mem_cost)?;
+                let cost = if inst.ty.is_vector() {
+                    prof.vec_mem_cost
+                } else {
+                    prof.mem_cost
+                };
+                self.tick(cost)?;
                 let v = match inst.ty {
                     Type::F64 => RtVal::F64(f64::from_bits(self.load_u64(addr)?)),
                     Type::Ptr => RtVal::Ptr(self.load_u64(addr)?),
                     Type::I64 => RtVal::Int(self.load_u64(addr)? as i64),
                     Type::I32 => RtVal::Int(self.load_u32(addr)? as i32 as i64),
                     Type::I8 | Type::I1 => RtVal::Int(self.load_u8(addr)? as i8 as i64),
+                    Type::Vec(vt) => {
+                        let mut r = VecVal::zero(vt);
+                        for i in 0..r.lanes() {
+                            r.bits[i] = self.load_u64(addr + 8 * i as u64)?;
+                        }
+                        RtVal::Vec(r)
+                    }
                     Type::Void => return Err(ExecError("load of void".into())),
                 };
                 Ok(Some(v))
@@ -448,8 +596,18 @@ impl<'m> Vm<'m> {
                 let v = self.eval(frame, *val)?;
                 let ty = f.value_type(*val);
                 self.bytes += ty.size_bytes();
-                self.tick(prof.mem_cost)?;
+                let cost = if ty.is_vector() {
+                    prof.vec_mem_cost
+                } else {
+                    prof.mem_cost
+                };
+                self.tick(cost)?;
                 match (ty, v) {
+                    (Type::Vec(_), RtVal::Vec(x)) => {
+                        for i in 0..x.lanes() {
+                            self.store_u64(addr + 8 * i as u64, x.bits[i])?;
+                        }
+                    }
                     (Type::F64, RtVal::F64(x)) => self.store_u64(addr, x.to_bits())?,
                     (Type::Ptr, RtVal::Ptr(p)) => self.store_u64(addr, p)?,
                     (Type::I64, RtVal::Int(x)) => self.store_u64(addr, x as u64)?,
@@ -475,6 +633,30 @@ impl<'m> Vm<'m> {
             }
             InstKind::Cast { op, val } => {
                 let v = self.eval(frame, *val)?;
+                if let Type::Vec(vt) = inst.ty {
+                    let src = v.as_vec()?;
+                    let mut r = VecVal::zero(vt);
+                    match op {
+                        CastOp::SiToFp => {
+                            for i in 0..r.lanes() {
+                                r.set_f64(i, src.lane_i64(i) as f64);
+                            }
+                        }
+                        CastOp::FpToSi => {
+                            for i in 0..r.lanes() {
+                                r.set_i64(i, src.lane_f64(i) as i64);
+                            }
+                        }
+                        other => {
+                            return Err(ExecError(format!(
+                                "unsupported vector cast {}",
+                                other.name()
+                            )))
+                        }
+                    }
+                    self.tick(prof.vec_op_cost)?;
+                    return Ok(Some(RtVal::Vec(r)));
+                }
                 self.tick(prof.int_cost)?;
                 let r = match op {
                     CastOp::Sext | CastOp::Bitcast => v,
@@ -527,6 +709,81 @@ impl<'m> Vm<'m> {
                         self.call_external(f, nm, args, vals)
                     }
                 }
+            }
+            InstKind::Splat { val } => {
+                let ty = inst
+                    .ty
+                    .vec_ty()
+                    .ok_or_else(|| ExecError("splat to non-vector".into()))?;
+                let v = self.eval(frame, *val)?;
+                let mut r = VecVal::zero(ty);
+                for i in 0..r.lanes() {
+                    r.set_lane(i, v)?;
+                }
+                self.tick(prof.vec_shuffle_cost)?;
+                Ok(Some(RtVal::Vec(r)))
+            }
+            InstKind::ExtractLane { vec, lane } => {
+                let v = self.eval(frame, *vec)?.as_vec()?;
+                if *lane as usize >= v.lanes() {
+                    return Err(ExecError(format!("lane {lane} out of range")));
+                }
+                self.tick(prof.vec_shuffle_cost)?;
+                Ok(Some(v.lane(*lane as usize)))
+            }
+            InstKind::InsertLane { vec, val, lane } => {
+                let mut v = self.eval(frame, *vec)?.as_vec()?;
+                if *lane as usize >= v.lanes() {
+                    return Err(ExecError(format!("lane {lane} out of range")));
+                }
+                let x = self.eval(frame, *val)?;
+                v.set_lane(*lane as usize, x)?;
+                self.tick(prof.vec_shuffle_cost)?;
+                Ok(Some(RtVal::Vec(v)))
+            }
+            InstKind::Reduce { op, acc, vec } => {
+                let v = self.eval(frame, *vec)?.as_vec()?;
+                let a = self.eval(frame, *acc)?;
+                // Ordered fold, lane 0 first; min/max follow the scalar
+                // compare+select idiom exactly so devectorized loops are
+                // bit-identical.
+                let r = if v.ty.elem.is_float() {
+                    let mut acc = a.as_f64()?;
+                    for i in 0..v.lanes() {
+                        let x = v.lane_f64(i);
+                        acc = match op {
+                            ReduceOp::Add => acc + x,
+                            ReduceOp::Min => {
+                                if x < acc {
+                                    x
+                                } else {
+                                    acc
+                                }
+                            }
+                            ReduceOp::Max => {
+                                if x > acc {
+                                    x
+                                } else {
+                                    acc
+                                }
+                            }
+                        };
+                    }
+                    RtVal::F64(acc)
+                } else {
+                    let mut acc = a.as_int()?;
+                    for i in 0..v.lanes() {
+                        let x = v.lane_i64(i);
+                        acc = match op {
+                            ReduceOp::Add => acc.wrapping_add(x),
+                            ReduceOp::Min => acc.min(x),
+                            ReduceOp::Max => acc.max(x),
+                        };
+                    }
+                    RtVal::Int(acc)
+                };
+                self.tick(prof.vec_shuffle_cost * v.lanes() as u64 / 2)?;
+                Ok(Some(r))
             }
             InstKind::DbgValue { .. } | InstKind::Nop => {
                 // Debug intrinsics are free.
@@ -589,9 +846,10 @@ impl<'m> Vm<'m> {
                 self.tick(self.config.barrier_overhead)?;
                 Ok(None)
             }
-            // The decompiler's pragma marker is metadata; executing a
-            // detransformed (pre-emission) module treats it as free.
-            "splendid.omp.mark" => Ok(None),
+            // The decompiler's pragma and simd markers are metadata;
+            // executing a detransformed (pre-emission) module treats
+            // them as free.
+            "splendid.omp.mark" | "splendid.simd.mark" => Ok(None),
             other => Err(ExecError(format!("call to unknown external '{other}'"))),
         }
     }

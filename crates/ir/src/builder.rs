@@ -189,6 +189,34 @@ impl<'m> FuncBuilder<'m> {
         )
     }
 
+    /// Append a splat broadcasting `val` into every lane of `ty`.
+    pub fn splat(&mut self, ty: Type, val: Value, name: &str) -> Value {
+        self.push(InstKind::Splat { val }, ty, name)
+    }
+
+    /// Append an extractlane; the result is the vector's lane type.
+    pub fn extract_lane(&mut self, ty: Type, vec: Value, lane: u8, name: &str) -> Value {
+        self.push(InstKind::ExtractLane { vec, lane }, ty, name)
+    }
+
+    /// Append an insertlane producing an updated vector of type `ty`.
+    pub fn insert_lane(&mut self, ty: Type, vec: Value, val: Value, lane: u8, name: &str) -> Value {
+        self.push(InstKind::InsertLane { vec, val, lane }, ty, name)
+    }
+
+    /// Append an ordered horizontal reduction over `vec` starting from
+    /// scalar accumulator `acc`; the result is the lane type `ty`.
+    pub fn reduce(
+        &mut self,
+        op: crate::ReduceOp,
+        ty: Type,
+        acc: Value,
+        vec: Value,
+        name: &str,
+    ) -> Value {
+        self.push(InstKind::Reduce { op, acc, vec }, ty, name)
+    }
+
     /// Append an unconditional branch terminator.
     pub fn br(&mut self, target: BlockId) {
         self.push(InstKind::Br { target }, Type::Void, "");

@@ -257,6 +257,49 @@ impl CastOp {
     }
 }
 
+/// Horizontal reduction operators for [`InstKind::Reduce`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ReduceOp {
+    /// Sum of lanes (wrapping for integers, IEEE for floats).
+    Add,
+    /// Minimum of lanes (`if lane < acc { lane } else { acc }` semantics,
+    /// matching the scalar compare+select idiom the vectorizer recognizes).
+    Min,
+    /// Maximum of lanes (`if lane > acc { lane } else { acc }` semantics).
+    Max,
+}
+
+impl ReduceOp {
+    /// Mnemonic used by the textual format.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceOp::Add => "add",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+        }
+    }
+
+    /// Parse a mnemonic produced by [`ReduceOp::name`].
+    pub fn from_name(s: &str) -> Option<ReduceOp> {
+        Some(match s {
+            "add" => ReduceOp::Add,
+            "min" => ReduceOp::Min,
+            "max" => ReduceOp::Max,
+            _ => return None,
+        })
+    }
+
+    /// The C-level `reduction(...)` clause operator for this reduction.
+    pub fn clause_name(self) -> &'static str {
+        match self {
+            ReduceOp::Add => "+",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+        }
+    }
+}
+
 /// Callee of a [`InstKind::Call`].
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -366,6 +409,44 @@ pub enum InstKind {
         /// Value if false.
         else_val: Value,
     },
+    /// Broadcast a scalar into every lane of a vector; the instruction type
+    /// is the vector type.
+    Splat {
+        /// Scalar value to broadcast; its type must be the lane type.
+        val: Value,
+    },
+    /// Read one lane of a vector; the instruction type is the lane type.
+    /// The lane index is an immediate, not a value operand.
+    ExtractLane {
+        /// Vector operand.
+        vec: Value,
+        /// Immediate lane index, `< lanes`.
+        lane: u8,
+    },
+    /// Replace one lane of a vector; the instruction type is the vector
+    /// type. The lane index is an immediate, not a value operand.
+    InsertLane {
+        /// Vector operand providing the other lanes.
+        vec: Value,
+        /// Scalar value written into the lane; must be the lane type.
+        val: Value,
+        /// Immediate lane index, `< lanes`.
+        lane: u8,
+    },
+    /// Ordered horizontal reduction folding an accumulator across the lanes
+    /// of a vector, lane 0 first: `acc ⊕ l0 ⊕ l1 ⊕ ...` evaluated left to
+    /// right. The instruction type is the scalar lane type. The explicit
+    /// accumulator makes in-loop reductions bit-exact against the scalar
+    /// loop (no reassociation), which is what lets difftest compare
+    /// vectorized and scalar runs for equality.
+    Reduce {
+        /// Reduction operator.
+        op: ReduceOp,
+        /// Scalar accumulator (start value); must be the lane type.
+        acc: Value,
+        /// Vector operand.
+        vec: Value,
+    },
     /// Unconditional branch (terminator).
     Br {
         /// Destination block.
@@ -472,6 +553,16 @@ impl InstKind {
                 }
             }
             InstKind::Cast { val, .. } => f(*val),
+            InstKind::Splat { val } => f(*val),
+            InstKind::ExtractLane { vec, .. } => f(*vec),
+            InstKind::InsertLane { vec, val, .. } => {
+                f(*vec);
+                f(*val);
+            }
+            InstKind::Reduce { acc, vec, .. } => {
+                f(*acc);
+                f(*vec);
+            }
             InstKind::Select {
                 cond,
                 then_val,
@@ -524,6 +615,16 @@ impl InstKind {
                 }
             }
             InstKind::Cast { val, .. } => f(val),
+            InstKind::Splat { val } => f(val),
+            InstKind::ExtractLane { vec, .. } => f(vec),
+            InstKind::InsertLane { vec, val, .. } => {
+                f(vec);
+                f(val);
+            }
+            InstKind::Reduce { acc, vec, .. } => {
+                f(acc);
+                f(vec);
+            }
             InstKind::Select {
                 cond,
                 then_val,

@@ -48,11 +48,11 @@ pub mod types;
 pub mod value;
 pub mod verify;
 
-pub use inst::{BinOp, Callee, CastOp, FPred, IPred, Inst, InstKind};
+pub use inst::{BinOp, Callee, CastOp, FPred, IPred, Inst, InstKind, ReduceOp};
 pub use intern::{Symbol, SymbolTable};
 pub use module::{Block, DiVariable, Function, Global, GlobalInit, Module, Param};
 pub use span::{scan_spans, scan_spans_into, ByteSpan, FuncSpan, ModuleSpans};
-pub use types::{MemType, Type};
+pub use types::{MemType, Type, VecElem, VecTy};
 pub use value::Value;
 
 /// Identifier of a function within a [`Module`].

@@ -408,6 +408,19 @@ fn parse_block_ref(c: &mut Cursor, blocks: &HashMap<u32, BlockId>) -> Result<Blo
     })
 }
 
+fn parse_lane_index(c: &mut Cursor) -> Result<u8> {
+    match c.next() {
+        Some(Tok::Num(n)) => n.parse().map_err(|e| ParseError {
+            line: c.lineno,
+            msg: format!("bad lane index '{n}': {e}"),
+        }),
+        other => Err(ParseError {
+            line: c.lineno,
+            msg: format!("expected lane index, got {other:?}"),
+        }),
+    }
+}
+
 fn parse_inst_line(
     toks: &[Tok],
     lineno: usize,
@@ -567,6 +580,39 @@ fn parse_inst_line(
                     },
                     ty,
                 )
+            }
+            "splat" => {
+                let ty = parse_type(&mut c)?;
+                let val = parse_value(&mut c, regs, names)?;
+                Inst::new(InstKind::Splat { val }, ty)
+            }
+            "extractlane" => {
+                let ty = parse_type(&mut c)?;
+                let vec = parse_value(&mut c, regs, names)?;
+                c.expect_punct(',')?;
+                let lane = parse_lane_index(&mut c)?;
+                Inst::new(InstKind::ExtractLane { vec, lane }, ty)
+            }
+            "insertlane" => {
+                let ty = parse_type(&mut c)?;
+                let vec = parse_value(&mut c, regs, names)?;
+                c.expect_punct(',')?;
+                let val = parse_value(&mut c, regs, names)?;
+                c.expect_punct(',')?;
+                let lane = parse_lane_index(&mut c)?;
+                Inst::new(InstKind::InsertLane { vec, val, lane }, ty)
+            }
+            "reduce" => {
+                let o = c.expect_ident()?;
+                let rop = crate::ReduceOp::from_name(o).ok_or_else(|| ParseError {
+                    line: lineno,
+                    msg: format!("bad reduce op '{o}'"),
+                })?;
+                let ty = parse_type(&mut c)?;
+                let acc = parse_value(&mut c, regs, names)?;
+                c.expect_punct(',')?;
+                let vec = parse_value(&mut c, regs, names)?;
+                Inst::new(InstKind::Reduce { op: rop, acc, vec }, ty)
             }
             "br" => {
                 let t = parse_block_ref(&mut c, blocks)?;

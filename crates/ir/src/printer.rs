@@ -176,6 +176,28 @@ pub fn write_inst(out: &mut String, module: &Module, func: &Function, id: crate:
             write_value_in(out, module, *val);
             let _ = write!(out, " to {}", inst.ty);
         }
+        InstKind::Splat { val } => {
+            let _ = write!(out, "splat {} ", inst.ty);
+            write_value_in(out, module, *val);
+        }
+        InstKind::ExtractLane { vec, lane } => {
+            let _ = write!(out, "extractlane {} ", inst.ty);
+            write_value_in(out, module, *vec);
+            let _ = write!(out, ", {lane}");
+        }
+        InstKind::InsertLane { vec, val, lane } => {
+            let _ = write!(out, "insertlane {} ", inst.ty);
+            write_value_in(out, module, *vec);
+            out.push_str(", ");
+            write_value_in(out, module, *val);
+            let _ = write!(out, ", {lane}");
+        }
+        InstKind::Reduce { op, acc, vec } => {
+            let _ = write!(out, "reduce {} {} ", op.name(), inst.ty);
+            write_value_in(out, module, *acc);
+            out.push_str(", ");
+            write_value_in(out, module, *vec);
+        }
         InstKind::Select {
             cond,
             then_val,

@@ -5,6 +5,58 @@
 //! `getelementptr` element types) and additionally supports multi-dimensional
 //! arrays of scalars, which is all the PolyBench kernels require.
 
+/// Lane element of a vector type. Only 64-bit lanes are modeled; that is
+/// what the paper's kernels (double arrays, i64 induction arithmetic)
+/// produce, and it keeps every lane exactly one memory word.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum VecElem {
+    /// 64-bit integer lanes.
+    I64,
+    /// 64-bit IEEE-754 float lanes.
+    F64,
+}
+
+impl VecElem {
+    /// The scalar type of one lane.
+    pub fn scalar(self) -> Type {
+        match self {
+            VecElem::I64 => Type::I64,
+            VecElem::F64 => Type::F64,
+        }
+    }
+
+    /// Whether lanes are floating-point.
+    pub fn is_float(self) -> bool {
+        matches!(self, VecElem::F64)
+    }
+}
+
+/// A fixed-width SIMD vector type `<lanes x elem>`.
+///
+/// `lanes` is restricted to 2, 4, or 8 so every vector type has a stable
+/// single-identifier textual name (`v4f64`) the zero-copy lexer can treat
+/// like any other type keyword.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VecTy {
+    /// Lane element type.
+    pub elem: VecElem,
+    /// Lane count; one of 2, 4, 8.
+    pub lanes: u8,
+}
+
+impl VecTy {
+    /// Construct a vector type; panics unless `lanes` is 2, 4, or 8.
+    pub fn new(elem: VecElem, lanes: u8) -> VecTy {
+        assert!(
+            matches!(lanes, 2 | 4 | 8),
+            "vector lane count must be 2, 4, or 8, got {lanes}"
+        );
+        VecTy { elem, lanes }
+    }
+}
+
 /// Scalar first-class type of an SSA value.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -23,9 +75,16 @@ pub enum Type {
     F64,
     /// Opaque pointer (as in modern LLVM, pointers are untyped).
     Ptr,
+    /// Fixed-width SIMD vector (`<N x f64>` / `<N x i64>`).
+    Vec(VecTy),
 }
 
 impl Type {
+    /// A vector type with the given element and lane count.
+    pub fn vec(elem: VecElem, lanes: u8) -> Type {
+        Type::Vec(VecTy::new(elem, lanes))
+    }
+
     /// Whether the type is an integer type (including `i1`).
     pub fn is_int(self) -> bool {
         matches!(self, Type::I1 | Type::I8 | Type::I32 | Type::I64)
@@ -34,6 +93,38 @@ impl Type {
     /// Whether the type is a floating-point type.
     pub fn is_float(self) -> bool {
         matches!(self, Type::F64)
+    }
+
+    /// Whether the type is a vector type.
+    pub fn is_vector(self) -> bool {
+        matches!(self, Type::Vec(_))
+    }
+
+    /// The vector descriptor, if this is a vector type.
+    pub fn vec_ty(self) -> Option<VecTy> {
+        match self {
+            Type::Vec(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Scalar type of one lane for vectors; `None` for scalar types.
+    pub fn lane_type(self) -> Option<Type> {
+        self.vec_ty().map(|v| v.elem.scalar())
+    }
+
+    /// Lane count for vectors; `None` for scalar types.
+    pub fn lanes(self) -> Option<u8> {
+        self.vec_ty().map(|v| v.lanes)
+    }
+
+    /// Whether lane-wise (or scalar) arithmetic on this type is
+    /// floating-point: `f64` itself or a vector of `f64` lanes.
+    pub fn arith_is_float(self) -> bool {
+        match self {
+            Type::Vec(v) => v.elem.is_float(),
+            t => t.is_float(),
+        }
     }
 
     /// Size of the type in bytes when stored in memory.
@@ -45,6 +136,7 @@ impl Type {
             Type::I1 | Type::I8 => 1,
             Type::I32 => 4,
             Type::I64 | Type::F64 | Type::Ptr => 8,
+            Type::Vec(v) => 8 * v.lanes as u64,
         }
     }
 
@@ -59,7 +151,7 @@ impl Type {
         }
     }
 
-    /// Canonical textual name (`i64`, `f64`, `ptr`, ...).
+    /// Canonical textual name (`i64`, `f64`, `ptr`, `v4f64`, ...).
     pub fn name(self) -> &'static str {
         match self {
             Type::Void => "void",
@@ -69,6 +161,15 @@ impl Type {
             Type::I64 => "i64",
             Type::F64 => "f64",
             Type::Ptr => "ptr",
+            Type::Vec(v) => match (v.elem, v.lanes) {
+                (VecElem::F64, 2) => "v2f64",
+                (VecElem::F64, 4) => "v4f64",
+                (VecElem::F64, 8) => "v8f64",
+                (VecElem::I64, 2) => "v2i64",
+                (VecElem::I64, 4) => "v4i64",
+                (VecElem::I64, 8) => "v8i64",
+                (_, lanes) => panic!("unsupported vector lane count {lanes}"),
+            },
         }
     }
 
@@ -82,6 +183,12 @@ impl Type {
             "i64" => Type::I64,
             "f64" => Type::F64,
             "ptr" => Type::Ptr,
+            "v2f64" => Type::vec(VecElem::F64, 2),
+            "v4f64" => Type::vec(VecElem::F64, 4),
+            "v8f64" => Type::vec(VecElem::F64, 8),
+            "v2i64" => Type::vec(VecElem::I64, 2),
+            "v4i64" => Type::vec(VecElem::I64, 4),
+            "v8i64" => Type::vec(VecElem::I64, 8),
             _ => return None,
         })
     }
@@ -231,7 +338,37 @@ mod tests {
         ] {
             assert_eq!(Type::from_name(t.name()), Some(t));
         }
+        for elem in [VecElem::I64, VecElem::F64] {
+            for lanes in [2u8, 4, 8] {
+                let t = Type::vec(elem, lanes);
+                assert_eq!(Type::from_name(t.name()), Some(t));
+            }
+        }
         assert_eq!(Type::from_name("i128"), None);
+        assert_eq!(Type::from_name("v3f64"), None);
+    }
+
+    #[test]
+    fn vector_properties() {
+        let t = Type::vec(VecElem::F64, 4);
+        assert!(t.is_vector());
+        assert!(!t.is_float());
+        assert!(!t.is_int());
+        assert!(t.arith_is_float());
+        assert_eq!(t.lane_type(), Some(Type::F64));
+        assert_eq!(t.lanes(), Some(4));
+        assert_eq!(t.size_bytes(), 32);
+        let i = Type::vec(VecElem::I64, 2);
+        assert!(!i.arith_is_float());
+        assert_eq!(i.lane_type(), Some(Type::I64));
+        assert_eq!(i.size_bytes(), 16);
+        assert_eq!(Type::I64.lane_type(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn bad_lane_count_panics() {
+        VecTy::new(VecElem::F64, 3);
     }
 
     #[test]

@@ -277,7 +277,7 @@ fn verify_types(f: &Function, i: InstId) -> Result<(), VerifyError> {
                 );
             }
             let float = matches!(op, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv);
-            if float != inst.ty.is_float() {
+            if float != inst.ty.arith_is_float() {
                 return err(name, format!("{i}: opcode/type float mismatch"));
             }
         }
@@ -360,6 +360,75 @@ fn verify_types(f: &Function, i: InstId) -> Result<(), VerifyError> {
             }
             if vt(*then_val) != inst.ty || vt(*else_val) != inst.ty {
                 return err(name, format!("{i}: select arm types mismatch"));
+            }
+        }
+        InstKind::Splat { val } => {
+            let Some(lane_ty) = inst.ty.lane_type() else {
+                return err(name, format!("{i}: splat result must be a vector"));
+            };
+            if vt(*val) != lane_ty {
+                return err(
+                    name,
+                    format!("{i}: splat operand {} != lane type {lane_ty}", vt(*val)),
+                );
+            }
+        }
+        InstKind::ExtractLane { vec, lane } => {
+            let vty = vt(*vec);
+            let Some(v) = vty.vec_ty() else {
+                return err(name, format!("{i}: extractlane from non-vector {vty}"));
+            };
+            if inst.ty != v.elem.scalar() {
+                return err(name, format!("{i}: extractlane result must be lane type"));
+            }
+            if *lane >= v.lanes {
+                return err(name, format!("{i}: lane {lane} out of range"));
+            }
+        }
+        InstKind::InsertLane { vec, val, lane } => {
+            let Some(v) = inst.ty.vec_ty() else {
+                return err(name, format!("{i}: insertlane result must be a vector"));
+            };
+            if vt(*vec) != inst.ty {
+                return err(
+                    name,
+                    format!("{i}: insertlane vector operand type mismatch"),
+                );
+            }
+            if vt(*val) != v.elem.scalar() {
+                return err(name, format!("{i}: insertlane value must be lane type"));
+            }
+            if *lane >= v.lanes {
+                return err(name, format!("{i}: lane {lane} out of range"));
+            }
+        }
+        InstKind::Reduce { acc, vec, .. } => {
+            let vty = vt(*vec);
+            let Some(v) = vty.vec_ty() else {
+                return err(name, format!("{i}: reduce of non-vector {vty}"));
+            };
+            if inst.ty != v.elem.scalar() {
+                return err(name, format!("{i}: reduce result must be lane type"));
+            }
+            if vt(*acc) != v.elem.scalar() {
+                return err(name, format!("{i}: reduce accumulator must be lane type"));
+            }
+        }
+        InstKind::Cast { op, val } if inst.ty.is_vector() || vt(*val).is_vector() => {
+            let (src, dst) = (vt(*val).vec_ty(), inst.ty.vec_ty());
+            let (Some(src), Some(dst)) = (src, dst) else {
+                return err(name, format!("{i}: cast mixes vector and scalar"));
+            };
+            if src.lanes != dst.lanes {
+                return err(name, format!("{i}: cast changes lane count"));
+            }
+            let ok = match op {
+                crate::CastOp::SiToFp => !src.elem.is_float() && dst.elem.is_float(),
+                crate::CastOp::FpToSi => src.elem.is_float() && !dst.elem.is_float(),
+                _ => false,
+            };
+            if !ok {
+                return err(name, format!("{i}: unsupported vector cast {}", op.name()));
             }
         }
         InstKind::CondBr { cond, .. } if vt(*cond) != Type::I1 => {

@@ -29,7 +29,8 @@ use splendid_core::{DecompileOutput, FidelityTier, FunctionOutput, NamingStats};
 /// Record header magic.
 pub const CODEC_MAGIC: [u8; 4] = *b"SPCV";
 /// Encoding version; bump on any layout change.
-pub const CODEC_VERSION: u8 = 1;
+/// v2: `OmpClauses.reduction` pairs + the `OmpSimd` statement tag.
+pub const CODEC_VERSION: u8 = 2;
 /// Header kind byte for a function record.
 pub const KIND_FUNCTION: u8 = 0x01;
 /// Header kind byte for a module record.
@@ -446,6 +447,11 @@ fn enc_clauses(e: &mut Enc, c: &OmpClauses) {
     for p in &c.private {
         e.str(p);
     }
+    e.seq_len(c.reduction.len());
+    for (op, var) in &c.reduction {
+        e.str(op);
+        e.str(var);
+    }
 }
 
 fn dec_clauses(d: &mut Dec<'_>) -> R<OmpClauses> {
@@ -466,10 +472,18 @@ fn dec_clauses(d: &mut Dec<'_>) -> R<OmpClauses> {
     for _ in 0..n {
         private.push(d.str()?);
     }
+    let n = d.seq_len()?;
+    let mut reduction = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let op = d.str()?;
+        let var = d.str()?;
+        reduction.push((op, var));
+    }
     Ok(OmpClauses {
         schedule,
         nowait,
         private,
+        reduction,
     })
 }
 
@@ -556,6 +570,11 @@ fn enc_stmt(e: &mut Enc, s: &CStmt) {
             enc_clauses(e, clauses);
             enc_stmt(e, loop_stmt);
         }
+        CStmt::OmpSimd { clauses, loop_stmt } => {
+            e.u8(15);
+            enc_clauses(e, clauses);
+            enc_stmt(e, loop_stmt);
+        }
         CStmt::OmpBarrier => e.u8(11),
         CStmt::Goto(label) => {
             e.u8(12);
@@ -620,6 +639,10 @@ fn dec_stmt(d: &mut Dec<'_>, depth: u32) -> R<CStmt> {
         12 => CStmt::Goto(d.str()?),
         13 => CStmt::Label(d.str()?),
         14 => CStmt::Comment(d.str()?),
+        15 => CStmt::OmpSimd {
+            clauses: dec_clauses(d)?,
+            loop_stmt: Box::new(dec_stmt(d, depth + 1)?),
+        },
         _ => return err("invalid statement tag"),
     })
 }
@@ -867,6 +890,7 @@ mod tests {
                         schedule: Some(Schedule::StaticChunk(8)),
                         nowait: true,
                         private: vec!["j".into()],
+                        reduction: vec![("+".into(), "s".into())],
                     },
                     loop_stmt: Box::new(CStmt::For {
                         init: Some(Box::new(CStmt::Decl {

@@ -883,6 +883,18 @@ fn prepare_with_retry(
         match prepare_module(module, options, &mut timings) {
             Ok(prepared) => {
                 stats.record_timings(&timings);
+                let (loops, reds) = prepared
+                    .simd_loops
+                    .iter()
+                    .fold((0u64, 0u64), |(l, r), rep| {
+                        (l + rep.loops as u64, r + rep.reductions as u64)
+                    });
+                if loops > 0 {
+                    stats.add(|s| &s.simd_loops_devectorized, loops);
+                }
+                if reds > 0 {
+                    stats.add(|s| &s.simd_reductions, reds);
+                }
                 return Ok(prepared);
             }
             Err(e) if e.transient => match backoff.next() {

@@ -47,6 +47,11 @@ pub struct ServeStats {
     pub functions_quarantined: AtomicU64,
     /// Module preparations retried after a transient fault.
     pub prepare_retries: AtomicU64,
+    /// Vector loops devectorized to `#pragma omp simd` form during
+    /// module preparation.
+    pub simd_loops_devectorized: AtomicU64,
+    /// Reduction clauses recovered across those loops.
+    pub simd_reductions: AtomicU64,
     /// Functions whose output carries a `Verified` certificate.
     pub functions_verified: AtomicU64,
     /// Functions whose output carries an `Unverified` certificate.
@@ -129,6 +134,8 @@ impl ServeStats {
             functions_retried: get(&self.functions_retried),
             functions_quarantined: get(&self.functions_quarantined),
             prepare_retries: get(&self.prepare_retries),
+            simd_loops_devectorized: get(&self.simd_loops_devectorized),
+            simd_reductions: get(&self.simd_reductions),
             functions_verified: get(&self.functions_verified),
             functions_unverified: get(&self.functions_unverified),
             validations_run: get(&self.validations_run),
@@ -191,6 +198,10 @@ pub struct StatsSnapshot {
     pub functions_quarantined: u64,
     /// Module preparations retried after a transient fault.
     pub prepare_retries: u64,
+    /// Vector loops devectorized to `#pragma omp simd` form.
+    pub simd_loops_devectorized: u64,
+    /// Reduction clauses recovered across those loops.
+    pub simd_reductions: u64,
     /// Functions carrying a `Verified` certificate.
     pub functions_verified: u64,
     /// Functions carrying an `Unverified` certificate.
@@ -272,6 +283,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.functions_retried,
             self.functions_quarantined,
             self.prepare_retries
+        )?;
+        writeln!(
+            f,
+            "  simd       {} loops devectorized, {} reductions recovered",
+            self.simd_loops_devectorized, self.simd_reductions
         )?;
         writeln!(
             f,

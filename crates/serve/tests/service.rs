@@ -314,3 +314,44 @@ fn options_partition_the_cache() {
     );
     assert_ne!(full.output.source, v1.output.source);
 }
+
+#[test]
+fn devectorized_simd_loops_are_counted_in_stats() {
+    // A vectorized module submitted to the service is devectorized
+    // during preparation; the recovered loop/reduction counts must land
+    // in the service counters (and the pretty-printed stats surface).
+    use splendid_cfront::OmpRuntime;
+    use splendid_transforms::vectorize::{vectorize_module, VectorizeOptions};
+
+    let b = splendid_polybench::kernels::benchmark("jacobi-1d-imper").unwrap();
+    let mut module = Harness::compile(b.sequential, OmpRuntime::LibOmp).unwrap();
+    let widened = vectorize_module(&mut module, &VectorizeOptions::default());
+    assert_eq!(
+        widened.vectorized_loops, 2,
+        "jacobi widens both inner loops"
+    );
+
+    let scheduler = Scheduler::new(ServeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let res = scheduler
+        .submit(JobRequest::from_module("jacobi".to_string(), module))
+        .wait()
+        .unwrap();
+    assert_eq!(
+        res.output.source.matches("#pragma omp simd").count(),
+        2,
+        "both widened loops must come back as simd pragmas:\n{}",
+        res.output.source
+    );
+
+    let stats = scheduler.stats();
+    assert_eq!(stats.simd_loops_devectorized, 2, "{stats}");
+    assert_eq!(stats.simd_reductions, 0, "{stats}");
+    let text = stats.to_string();
+    assert!(
+        text.contains("simd       2 loops devectorized, 0 reductions recovered"),
+        "stats display must surface the simd line:\n{text}"
+    );
+}

@@ -21,5 +21,6 @@ pub mod mem2reg;
 pub mod pipeline;
 pub mod simplify_cfg;
 pub mod unroll;
+pub mod vectorize;
 
 pub use pipeline::{optimize_function, optimize_module, O2Options};

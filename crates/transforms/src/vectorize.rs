@@ -1,0 +1,1665 @@
+//! Deterministic innermost-loop vectorizer.
+//!
+//! This pass is the *producer* of realistic vector IR for the SIMD
+//! scenario: it widens stride-1 innermost counted loops to a fixed vector
+//! factor (VF, default 4), keeping the original loop as the scalar
+//! epilogue — exactly the main-loop/remainder shape LLVM's loop vectorizer
+//! emits and that the decompiler's devectorizer pattern-matches back into
+//! a `#pragma omp simd` loop.
+//!
+//! Reductions (`+`, `min`, `max` over `i64`/`f64`) stay **bit-exact**
+//! against the scalar loop: instead of a widened vector accumulator that
+//! would reassociate float adds, each vector iteration folds the lanes
+//! into the scalar accumulator in lane order with a single ordered
+//! `reduce` instruction. The operation sequence is therefore identical to
+//! the scalar loop's, which is what lets the difftest oracle and the
+//! translation validator compare checksums bitwise.
+//!
+//! Legality is deliberately conservative (this is a test-oracle producer,
+//! not a production vectorizer):
+//!   - counted loop, step 1, `slt` bound test on an `i64` IV — either
+//!     top-tested, or the rotated single-block do-while form `-O2` loop
+//!     rotation produces (bound test on the incremented IV at the
+//!     bottom); rotated epilogues always retain at least one iteration,
+//!     since a do-while body cannot absorb zero;
+//!   - top-tested: the header holds only phis, the bound compare, and the
+//!     branch; the body is a straight line of blocks ending in the latch;
+//!   - every memory access goes through a fully-indexed `gep` whose last
+//!     index is the IV or `IV ± constant` (stride-1 stencil reads like
+//!     `A[i-1]`/`A[i+1]`) with an invariant base and invariant leading
+//!     indices, and the innermost dimension is at least VF wide (so
+//!     distinct rows cannot overlap within a vector group); offsets obey
+//!     a conservative per-base dependence rule — all stores to a base
+//!     share one offset, and a load/store pair at different offsets is
+//!     only admitted when the body's textual order matches the scalar
+//!     dependence direction (load before store needs load offset >
+//!     store offset; store before load needs the reverse), so no lane
+//!     observes a value from the wrong same-group iteration;
+//!   - body ops are lane-wise arithmetic (`sdiv`/`srem` excluded so a
+//!     trap-free scalar prefix cannot become a trapping vector group),
+//!     `sitofp`/`fptosi` casts, loads, stores, and recognized reduction
+//!     chains; nothing else, and no value other than the IV and reduction
+//!     accumulators may live out of the loop.
+
+use std::collections::HashMap;
+
+use splendid_analysis::domtree::DomTree;
+use splendid_analysis::indvar::{recognize_counted_loop, CountedLoop};
+use splendid_analysis::loops::{LoopId, LoopInfo};
+use splendid_ir::{
+    BinOp, BlockId, CastOp, FPred, Function, IPred, Inst, InstId, InstKind, Module, ReduceOp,
+    SymbolTable, Type, Value, VecElem,
+};
+
+/// Tuning knobs for the vectorizer.
+#[derive(Debug, Clone)]
+pub struct VectorizeOptions {
+    /// Vector factor: how many scalar iterations one vector iteration
+    /// covers. Must be 2, 4, or 8 (the lane counts the IR supports).
+    pub vf: u8,
+}
+
+impl Default for VectorizeOptions {
+    fn default() -> VectorizeOptions {
+        VectorizeOptions { vf: 4 }
+    }
+}
+
+/// What the pass did, for serve-side stats and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VectorizeStats {
+    /// Loops widened to vector form.
+    pub vectorized_loops: usize,
+    /// Reduction accumulators converted to ordered `reduce` form.
+    pub reductions: usize,
+}
+
+impl VectorizeStats {
+    fn absorb(&mut self, other: VectorizeStats) {
+        self.vectorized_loops += other.vectorized_loops;
+        self.reductions += other.reductions;
+    }
+}
+
+/// Vectorize every eligible innermost loop in every function of `module`.
+pub fn vectorize_module(module: &mut Module, opts: &VectorizeOptions) -> VectorizeStats {
+    let mut stats = VectorizeStats::default();
+    let splendid_ir::Module {
+        symbols, functions, ..
+    } = module;
+    for f in functions.iter_mut() {
+        stats.absorb(vectorize_function(f, symbols, opts));
+    }
+    stats
+}
+
+/// Vectorize every eligible innermost loop in `f`.
+pub fn vectorize_function(
+    f: &mut Function,
+    symbols: &mut SymbolTable,
+    opts: &VectorizeOptions,
+) -> VectorizeStats {
+    assert!(
+        matches!(opts.vf, 2 | 4 | 8),
+        "vector factor must be 2, 4, or 8"
+    );
+    let mut stats = VectorizeStats::default();
+    // Headers already visited (vectorized or rejected). The scalar epilogue
+    // of a vectorized loop keeps its original header and would otherwise be
+    // recognized — and widened — again on the next sweep.
+    let mut done: Vec<BlockId> = Vec::new();
+    loop {
+        let dt = DomTree::compute(f);
+        let li = LoopInfo::compute(f, &dt);
+        let mut candidate = None;
+        for lid in li.ids() {
+            let l = li.get(lid);
+            if !l.children.is_empty() || done.contains(&l.header) {
+                continue;
+            }
+            candidate = Some((lid, l.header));
+            break;
+        }
+        let Some((lid, header)) = candidate else {
+            break;
+        };
+        done.push(header);
+        if let Some(s) = try_vectorize_loop(f, symbols, &li, lid, opts.vf) {
+            stats.vectorized_loops += 1;
+            stats.reductions += s;
+        }
+    }
+    stats
+}
+
+/// A recognized in-loop reduction: `acc(phi)` updated once per iteration
+/// either by `acc ⊕ expr` (add) or by the compare+select min/max idiom.
+struct Reduction {
+    /// The header phi carrying the accumulator.
+    phi: InstId,
+    /// Initial value flowing in from the preheader.
+    init: Value,
+    /// The instruction producing the next accumulator value (the `bin` or
+    /// the `select`).
+    next: InstId,
+    /// The per-iteration contribution that gets folded in.
+    expr: Value,
+    /// Which fold.
+    op: ReduceOp,
+    /// Body instructions that exist only to implement the reduction (the
+    /// `bin`, or the `cmp` + `select`); not cloned into the vector body.
+    internal: Vec<InstId>,
+}
+
+/// Attempt to widen one innermost loop; returns the number of reductions
+/// converted on success.
+fn try_vectorize_loop(
+    f: &mut Function,
+    symbols: &mut SymbolTable,
+    li: &LoopInfo,
+    lid: LoopId,
+    vf: u8,
+) -> Option<usize> {
+    let l = li.get(lid);
+    let cl = recognize_counted_loop(f, li, lid)?;
+    // Two shapes: top-tested `for (i = init; i < bound; i++)`, and the
+    // rotated do-while form `-O2`'s loop rotation produces (bound test on
+    // the incremented IV at the bottom of a single block).
+    if cl.step != 1 || cl.pred != IPred::Slt || !cl.continue_on_true {
+        return None;
+    }
+    let rotated = cl.bottom_tested;
+    if rotated != cl.cmp_uses_next {
+        return None;
+    }
+    if f.inst(cl.iv).ty != Type::I64 {
+        return None;
+    }
+    let header = l.header;
+    let latch = l.single_latch()?;
+    let pre = l.preheader(f)?;
+    if rotated != (header == latch) {
+        // Rotated loops must be the single-block form; top-tested loops
+        // must keep the compare/branch out of the body blocks.
+        return None;
+    }
+
+    let mut phis = Vec::new();
+    let mut body: Vec<InstId> = Vec::new();
+    if rotated {
+        // One block: leading phis, then the body, then the incremented-IV
+        // bound test and the backedge branch.
+        if l.blocks.len() != 1 {
+            return None;
+        }
+        let insts = f.block(header).insts.clone();
+        let (&term, rest) = insts.split_last()?;
+        if !matches!(f.inst(term).kind, InstKind::CondBr { .. }) {
+            return None;
+        }
+        for &id in rest {
+            match &f.inst(id).kind {
+                InstKind::Phi { .. } => {
+                    if !body.is_empty() {
+                        return None;
+                    }
+                    phis.push(id);
+                }
+                _ if id == cl.cmp => {}
+                _ => body.push(id),
+            }
+        }
+    } else {
+        // The header may hold only phis, the bound compare, the branch,
+        // and debug markers (which stay in the scalar epilogue).
+        let header_insts = f.block(header).insts.clone();
+        for &id in &header_insts {
+            match &f.inst(id).kind {
+                InstKind::Phi { .. } => phis.push(id),
+                _ if id == cl.cmp => {}
+                InstKind::CondBr { .. } => {}
+                InstKind::DbgValue { .. } => {}
+                _ => return None,
+            }
+        }
+
+        // Straight-line body chain from the header's in-loop successor to
+        // the latch, every block ending in an unconditional branch.
+        let chain = straight_line_body(f, l, header, latch)?;
+
+        // Body instructions in execution order, minus terminators.
+        for &bb in &chain {
+            let insts = &f.block(bb).insts;
+            let n = insts.len();
+            for &id in &insts[..n.saturating_sub(1)] {
+                body.push(id);
+            }
+            // Each chain block must end in a plain `br`.
+            match insts.last().map(|&t| &f.inst(t).kind) {
+                Some(InstKind::Br { .. }) => {}
+                _ => return None,
+            }
+        }
+    }
+
+    let in_loop = |id: InstId, owners: &[Option<BlockId>]| -> bool {
+        owners[id.index()].is_some_and(|b| l.contains(b))
+    };
+    let owners = f.inst_blocks();
+    let invariant = |v: Value| -> bool {
+        match v {
+            Value::Inst(id) => !in_loop(id, &owners),
+            _ => true,
+        }
+    };
+
+    // Affine stencil indices: body instructions of the form `iv + c` /
+    // `iv - c` (constant `c`) may serve as a gep's last index — the wide
+    // access then covers lanes `iv+c .. iv+c+VF-1`, exactly the addresses
+    // the group's scalar iterations would touch. The IV increment itself
+    // counts too (CSE may reuse it as an `A[i+1]` index).
+    let mut affine: HashMap<InstId, i64> = HashMap::new();
+    affine.insert(cl.next, 1);
+    for &id in &body {
+        if id == cl.next {
+            continue;
+        }
+        if let InstKind::Bin { op, lhs, rhs } = &f.inst(id).kind {
+            if f.inst(id).ty != Type::I64 {
+                continue;
+            }
+            let c = match (*op, *lhs, *rhs) {
+                (BinOp::Add, Value::Inst(a), v) | (BinOp::Add, v, Value::Inst(a)) if a == cl.iv => {
+                    v.as_int()
+                }
+                (BinOp::Sub, Value::Inst(a), v) if a == cl.iv => v.as_int().map(i64::wrapping_neg),
+                _ => None,
+            };
+            if let Some(c) = c {
+                affine.insert(id, c);
+            }
+        }
+    }
+
+    // Recognize every non-IV header phi as a reduction.
+    let mut reductions = Vec::new();
+    for &phi in &phis {
+        if phi == cl.iv {
+            continue;
+        }
+        let r = recognize_reduction(f, l, &owners, pre, latch, phi, &body)?;
+        reductions.push(r);
+    }
+    let internal: Vec<InstId> = reductions.iter().flat_map(|r| r.internal.clone()).collect();
+    let red_phis: Vec<InstId> = reductions.iter().map(|r| r.phi).collect();
+
+    // Classify every body instruction and check operand vectorizability.
+    // `widened` tracks insts whose vector clone will exist in the vector
+    // body (so later insts may use them as operands).
+    let mut widened: Vec<InstId> = Vec::new();
+    let mut geps: Vec<InstId> = Vec::new();
+    let mut gep_off: HashMap<InstId, i64> = HashMap::new();
+    let mut gep_base: HashMap<InstId, Value> = HashMap::new();
+    // Loads/stores as (position in body, gep) — the dependence check
+    // below needs the *textual* order of the memory operations, because
+    // widening preserves it while interleaving VF iterations.
+    let mut load_geps: Vec<(usize, InstId)> = Vec::new();
+    let mut store_geps: Vec<(usize, InstId)> = Vec::new();
+    let vectorizable = |v: Value, widened: &[InstId]| -> bool {
+        match v {
+            Value::Inst(id) if id == cl.iv => true,
+            Value::Inst(id) if widened.contains(&id) => true,
+            v if invariant(v) => matches!(f.value_type(v), Type::I64 | Type::F64),
+            _ => false,
+        }
+    };
+    for (pos, &id) in body.iter().enumerate() {
+        if id == cl.next || internal.contains(&id) {
+            continue;
+        }
+        let inst = f.inst(id);
+        match &inst.kind {
+            InstKind::Gep {
+                elem,
+                base,
+                indices,
+            } => {
+                let off = legal_gep(elem, *base, indices, cl.iv, vf, &invariant, &affine)?;
+                geps.push(id);
+                gep_off.insert(id, off);
+                gep_base.insert(id, *base);
+            }
+            InstKind::Load { ptr } => {
+                let Value::Inst(p) = ptr else { return None };
+                if !geps.contains(p) || !matches!(inst.ty, Type::I64 | Type::F64) {
+                    return None;
+                }
+                load_geps.push((pos, *p));
+                widened.push(id);
+            }
+            InstKind::Store { val, ptr } => {
+                let Value::Inst(p) = ptr else { return None };
+                if !geps.contains(p) || !vectorizable(*val, &widened) {
+                    return None;
+                }
+                if !matches!(f.value_type(*val), Type::I64 | Type::F64) {
+                    return None;
+                }
+                store_geps.push((pos, *p));
+            }
+            InstKind::Bin { op, lhs, rhs } => {
+                // sdiv/srem trap on zero: a vector group would evaluate
+                // lanes the scalar loop never reaches. Exclude them.
+                if matches!(op, BinOp::SDiv | BinOp::SRem) {
+                    return None;
+                }
+                if !matches!(inst.ty, Type::I64 | Type::F64)
+                    || !vectorizable(*lhs, &widened)
+                    || !vectorizable(*rhs, &widened)
+                {
+                    return None;
+                }
+                widened.push(id);
+            }
+            InstKind::Cast { op, val } => {
+                if !matches!(op, CastOp::SiToFp | CastOp::FpToSi) || !vectorizable(*val, &widened) {
+                    return None;
+                }
+                widened.push(id);
+            }
+            InstKind::DbgValue { .. } => {
+                // Debug markers stay in the scalar epilogue; the vector
+                // body drops them (vectorized code loses variable-level
+                // debug info, as in real compilers).
+            }
+            _ => return None,
+        }
+    }
+
+    // Cross-lane dependence rule for stencil offsets. Widening keeps
+    // the body's instruction order but interleaves VF iterations per
+    // wide op, so a load at offset `a` and a may-aliasing store at
+    // offset `b` collide when lane `i`'s read address equals lane
+    // `i + (a - b)`'s write address. Whether the wide schedule preserves
+    // the scalar value depends on *both* the offset direction and the
+    // textual order:
+    //
+    //   load before store: safe iff `a > b` — the colliding write
+    //     belongs to a *later* scalar iteration, and the wide load still
+    //     runs first, so both read the pre-store value.
+    //   store before load: safe iff `a < b` — the colliding write
+    //     belongs to an *earlier* scalar iteration, and the wide store
+    //     still runs first, so both read the stored value.
+    //
+    // Equal offsets collide only within a lane, where textual order is
+    // preserved exactly. Alias classes are conservative: a global is its
+    // own class, any other base may alias everything (`None`).
+    let alias_class = |b: Value| -> Option<Value> { matches!(b, Value::Global(_)).then_some(b) };
+    let may_alias = |a: Option<Value>, b: Option<Value>| a == b || a.is_none() || b.is_none();
+    // Output dependences: two may-aliasing stores at different offsets
+    // would collide across lanes with an order we don't model — reject
+    // (per class, all stores share one offset; a `None`-class store must
+    // agree with every class).
+    let mut store_off: HashMap<Option<Value>, i64> = HashMap::new();
+    for &(_, g) in &store_geps {
+        let class = alias_class(gep_base[&g]);
+        let off = gep_off[&g];
+        match store_off.get(&class) {
+            Some(&prev) if prev != off => return None,
+            _ => {
+                store_off.insert(class, off);
+            }
+        }
+    }
+    if let Some(&unknown) = store_off.get(&None) {
+        if store_off.values().any(|&o| o != unknown) {
+            return None;
+        }
+    }
+    for &(lp, lg) in &load_geps {
+        let (lc, a) = (alias_class(gep_base[&lg]), gep_off[&lg]);
+        for &(sp, sg) in &store_geps {
+            let (sc, b) = (alias_class(gep_base[&sg]), gep_off[&sg]);
+            if !may_alias(lc, sc) || a == b {
+                continue;
+            }
+            let safe = if lp < sp { a > b } else { a < b };
+            if !safe {
+                return None;
+            }
+        }
+    }
+
+    // Reduction contributions must themselves be vectorizable values.
+    for r in &reductions {
+        if !vectorizable(r.expr, &widened) {
+            return None;
+        }
+        // A reduction phi may only feed its own chain: any other in-loop
+        // use would need the accumulator broadcast, which we don't model.
+        for &id in &body {
+            if id == cl.next || internal.contains(&id) {
+                continue;
+            }
+            let mut used = false;
+            f.inst(id)
+                .kind
+                .for_each_operand(|v| used |= v == Value::Inst(r.phi));
+            if used {
+                return None;
+            }
+        }
+    }
+
+    // No body value may live out of the loop except the IV update and the
+    // reduction chains (the epilogue keeps computing those).
+    let mut escapes_ok: Vec<InstId> = vec![cl.iv, cl.next, cl.cmp];
+    for r in &reductions {
+        escapes_ok.push(r.phi);
+        escapes_ok.push(r.next);
+    }
+    for b in f.block_ids() {
+        if l.contains(b) {
+            continue;
+        }
+        for &id in &f.block(b).insts {
+            let mut escaped = false;
+            f.inst(id).kind.for_each_operand(|v| {
+                if let Value::Inst(d) = v {
+                    if in_loop(d, &owners) && !escapes_ok.contains(&d) {
+                        escaped = true;
+                    }
+                }
+            });
+            if escaped {
+                return None;
+            }
+        }
+    }
+
+    // ---- Legal. Build the vector main loop. ----
+    Some(emit_vector_loop(
+        f,
+        symbols,
+        &cl,
+        pre,
+        header,
+        &body,
+        &internal,
+        &red_phis,
+        &reductions,
+        &affine,
+        vf,
+        rotated,
+    ))
+}
+
+/// Walk from the header's in-loop successor down to the latch, requiring a
+/// straight line of single-successor blocks that are all in the loop.
+fn straight_line_body(
+    f: &Function,
+    l: &splendid_analysis::loops::Loop,
+    header: BlockId,
+    latch: BlockId,
+) -> Option<Vec<BlockId>> {
+    let succs = f.successors(header);
+    let mut cur = *succs.iter().find(|&&s| l.contains(s))?;
+    let mut chain = vec![cur];
+    let mut guard = 0;
+    while cur != latch {
+        let s = f.successors(cur);
+        if s.len() != 1 || !l.contains(s[0]) || s[0] == header {
+            return None;
+        }
+        cur = s[0];
+        chain.push(cur);
+        guard += 1;
+        if guard > l.blocks.len() {
+            return None;
+        }
+    }
+    // Every chain block (and the header) must be accounted for: no side
+    // blocks hanging off the loop.
+    if chain.len() + 1 != l.blocks.len() {
+        return None;
+    }
+    Some(chain)
+}
+
+/// A gep is stride-1 vectorizable when it indexes all the way down to the
+/// scalar element, the last index is the IV or a recognized `IV ± c`
+/// (stencil offset), everything else is invariant, and the innermost
+/// dimension is wide enough that adjacent rows cannot overlap within one
+/// vector group. Returns the constant lane offset (`0` for the plain IV).
+fn legal_gep(
+    elem: &splendid_ir::MemType,
+    base: Value,
+    indices: &[Value],
+    iv: InstId,
+    vf: u8,
+    invariant: &dyn Fn(Value) -> bool,
+    affine: &HashMap<InstId, i64>,
+) -> Option<i64> {
+    let splendid_ir::MemType::Array { elem: e, dims } = elem else {
+        return None;
+    };
+    if !matches!(e, Type::I64 | Type::F64) {
+        return None;
+    }
+    if indices.len() != dims.len() + 1 {
+        return None;
+    }
+    if *dims.last().unwrap() < vf as u64 {
+        return None;
+    }
+    let offset = match indices[indices.len() - 1] {
+        Value::Inst(x) if x == iv => 0,
+        Value::Inst(x) => *affine.get(&x)?,
+        _ => return None,
+    };
+    if !invariant(base) || !matches!(base, Value::Global(_) | Value::Arg(_) | Value::Inst(_)) {
+        return None;
+    }
+    if !indices[..indices.len() - 1].iter().all(|&i| invariant(i)) {
+        return None;
+    }
+    Some(offset)
+}
+
+/// Match a header phi as a `+`/`min`/`max` reduction over the loop body.
+fn recognize_reduction(
+    f: &Function,
+    l: &splendid_analysis::loops::Loop,
+    owners: &[Option<BlockId>],
+    pre: BlockId,
+    latch: BlockId,
+    phi: InstId,
+    body: &[InstId],
+) -> Option<Reduction> {
+    let ty = f.inst(phi).ty;
+    if !matches!(ty, Type::I64 | Type::F64) {
+        return None;
+    }
+    let InstKind::Phi { incomings } = &f.inst(phi).kind else {
+        return None;
+    };
+    if incomings.len() != 2 {
+        return None;
+    }
+    let mut init = None;
+    let mut next_val = None;
+    for &(b, v) in incomings {
+        if b == pre {
+            init = Some(v);
+        } else if b == latch {
+            next_val = Some(v);
+        }
+    }
+    let next = next_val?.as_inst()?;
+    if !body.contains(&next) {
+        return None;
+    }
+    let acc = Value::Inst(phi);
+
+    let count_uses = |target: InstId| -> usize {
+        let mut n = 0;
+        for b in f.block_ids() {
+            if !l.contains(b) {
+                continue;
+            }
+            for &id in &f.block(b).insts {
+                if id == target {
+                    continue;
+                }
+                f.inst(id)
+                    .kind
+                    .for_each_operand(|v| n += (v == Value::Inst(target)) as usize);
+            }
+        }
+        n
+    };
+
+    match f.inst(next).kind.clone() {
+        // acc.next = acc + x  (or x + acc)
+        InstKind::Bin { op, lhs, rhs } => {
+            let want = if ty == Type::F64 {
+                BinOp::FAdd
+            } else {
+                BinOp::Add
+            };
+            if op != want {
+                return None;
+            }
+            let expr = if lhs == acc {
+                rhs
+            } else if rhs == acc {
+                lhs
+            } else {
+                return None;
+            };
+            if expr == acc {
+                return None;
+            }
+            Some(Reduction {
+                phi,
+                init: init?,
+                next,
+                expr,
+                op: ReduceOp::Add,
+                internal: vec![next],
+            })
+        }
+        // acc.next = select(cmp(x, acc), x, acc) — min/max idiom.
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            let cmp = cond.as_inst()?;
+            if owners[cmp.index()].is_none_or(|b| !l.contains(b)) {
+                return None;
+            }
+            let (cl, cr, lt) = match f.inst(cmp).kind {
+                InstKind::ICmp { pred, lhs, rhs } if ty == Type::I64 => match pred {
+                    IPred::Slt => (lhs, rhs, true),
+                    IPred::Sgt => (lhs, rhs, false),
+                    _ => return None,
+                },
+                InstKind::FCmp { pred, lhs, rhs } if ty == Type::F64 => match pred {
+                    FPred::Olt => (lhs, rhs, true),
+                    FPred::Ogt => (lhs, rhs, false),
+                    _ => return None,
+                },
+                _ => return None,
+            };
+            // select(c, then, else) must pick `cl` when the compare is
+            // true, i.e. (then, else) == (cl, cr).
+            if (then_val, else_val) != (cl, cr) {
+                return None;
+            }
+            let (expr, op) = if cr == acc && cl != acc {
+                // keep cl when cl < acc → running minimum (or max for >).
+                (cl, if lt { ReduceOp::Min } else { ReduceOp::Max })
+            } else if cl == acc && cr != acc {
+                // keep acc when acc < cr → running minimum of (acc, cr).
+                (cr, if lt { ReduceOp::Min } else { ReduceOp::Max })
+            } else {
+                return None;
+            };
+            // The cmp must serve only the select, and the select only the
+            // phi backedge (checked via use counts inside the loop).
+            if count_uses(cmp) != 1 || count_uses(next) != 1 {
+                return None;
+            }
+            Some(Reduction {
+                phi,
+                init: init?,
+                next,
+                expr,
+                op,
+                internal: vec![cmp, next],
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Build `vec.cond`/`vec.body` before the original loop and demote the
+/// original loop to the scalar epilogue. Returns the reduction count.
+#[allow(clippy::too_many_arguments)]
+fn emit_vector_loop(
+    f: &mut Function,
+    symbols: &mut SymbolTable,
+    cl: &CountedLoop,
+    pre: BlockId,
+    header: BlockId,
+    body: &[InstId],
+    internal: &[InstId],
+    red_phis: &[InstId],
+    reductions: &[Reduction],
+    affine: &HashMap<InstId, i64>,
+    vf: u8,
+    rotated: bool,
+) -> usize {
+    let vc = f.add_block(symbols.intern("vec.cond"));
+    let vb = f.add_block(symbols.intern("vec.body"));
+    let lanes = vf;
+    let vi64 = Type::vec(VecElem::I64, lanes);
+
+    // Retarget the preheader into the vector loop.
+    let pre_term = f.terminator(pre).expect("preheader must have terminator");
+    retarget(f, pre_term, header, vc);
+
+    // vec.cond: IV phi, scalar accumulator phis, group-bounds test.
+    let viv = f.append_inst(
+        vc,
+        Inst::named(
+            InstKind::Phi {
+                incomings: vec![(pre, cl.init)],
+            },
+            Type::I64,
+            symbols.intern("vec.iv"),
+        ),
+    );
+    let mut vaccs = Vec::new();
+    for r in reductions {
+        let vacc = f.append_inst(
+            vc,
+            Inst::named(
+                InstKind::Phi {
+                    incomings: vec![(pre, r.init)],
+                },
+                f.inst(r.phi).ty,
+                symbols.intern("vec.acc"),
+            ),
+        );
+        vaccs.push(vacc);
+    }
+    // Top-tested epilogues can absorb zero iterations, so the vector loop
+    // may run while the group's *last lane* is in range. A rotated
+    // epilogue is a do-while that always executes once, so the vector
+    // loop must stop one group early whenever VF divides the remaining
+    // trip count: test `viv + VF < bound`, guaranteeing the epilogue at
+    // least one iteration. (The devectorizer keys on this offset — VF-1
+    // is {1,3,7}, VF is {2,4,8} — to recover VF from either shape.)
+    let last_offset = if rotated {
+        lanes as i64
+    } else {
+        lanes as i64 - 1
+    };
+    let last_lane = f.append_inst(
+        vc,
+        Inst::named(
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Value::Inst(viv),
+                rhs: Value::i64(last_offset),
+            },
+            Type::I64,
+            symbols.intern("vec.last"),
+        ),
+    );
+    let vcmp = f.append_inst(
+        vc,
+        Inst::named(
+            InstKind::ICmp {
+                pred: IPred::Slt,
+                lhs: Value::Inst(last_lane),
+                rhs: cl.bound,
+            },
+            Type::I1,
+            symbols.intern("vec.cmp"),
+        ),
+    );
+    f.append_inst(
+        vc,
+        Inst::new(
+            InstKind::CondBr {
+                cond: Value::Inst(vcmp),
+                then_bb: vb,
+                else_bb: header,
+            },
+            Type::Void,
+        ),
+    );
+
+    // The epilogue (original) header now starts from the vector loop's
+    // exit state instead of the preheader's initial values.
+    {
+        let iv_phi = f.inst_mut(cl.iv);
+        if let InstKind::Phi { incomings } = &mut iv_phi.kind {
+            for inc in incomings.iter_mut() {
+                if inc.0 == pre {
+                    *inc = (vc, Value::Inst(viv));
+                }
+            }
+        }
+    }
+    for (r, &vacc) in reductions.iter().zip(&vaccs) {
+        let phi = f.inst_mut(r.phi);
+        if let InstKind::Phi { incomings } = &mut phi.kind {
+            for inc in incomings.iter_mut() {
+                if inc.0 == pre {
+                    *inc = (vc, Value::Inst(vacc));
+                }
+            }
+        }
+    }
+
+    // Splats of loop-invariant operands are hoisted to the preheader, one
+    // per (value, element type), inserted just before its terminator.
+    let mut splats: HashMap<(Value, VecElem), Value> = HashMap::new();
+    let mut pre_insert = f.block(pre).insts.len() - 1;
+    // Lazily-built IV lane vector: splat(iv) + <0,1,..,VF-1>.
+    let mut iv_vec: Option<Value> = None;
+
+    // Vector clones of widened body insts / scalar clones of geps.
+    let mut vmap: HashMap<InstId, Value> = HashMap::new();
+    // Scalar `viv + c` clones for stencil gep indices, one per offset.
+    let mut stencil_idx: HashMap<i64, Value> = HashMap::new();
+
+    macro_rules! vec_operand {
+        ($v:expr, $elem:expr) => {{
+            let v: Value = $v;
+            let elem: VecElem = $elem;
+            if let Value::Inst(id) = v {
+                if id == cl.iv {
+                    // Lane vector of IV values for this group.
+                    let base = *iv_vec.get_or_insert_with(|| {
+                        // Step vector <0, 1, ..., VF-1> built once in the
+                        // preheader with an insertlane chain.
+                        let mut step = Value::Undef(vi64);
+                        for k in 0..lanes {
+                            let id = f.add_inst(Inst::named(
+                                InstKind::InsertLane {
+                                    vec: step,
+                                    val: Value::i64(k as i64),
+                                    lane: k,
+                                },
+                                vi64,
+                                symbols.intern("vec.step"),
+                            ));
+                            f.block_mut(pre).insts.insert(pre_insert, id);
+                            pre_insert += 1;
+                            step = Value::Inst(id);
+                        }
+                        let splat = f.append_inst(
+                            vb,
+                            Inst::named(
+                                InstKind::Splat {
+                                    val: Value::Inst(viv),
+                                },
+                                vi64,
+                                symbols.intern("vec.iv.splat"),
+                            ),
+                        );
+                        Value::Inst(f.append_inst(
+                            vb,
+                            Inst::named(
+                                InstKind::Bin {
+                                    op: BinOp::Add,
+                                    lhs: Value::Inst(splat),
+                                    rhs: step,
+                                },
+                                vi64,
+                                symbols.intern("vec.iv.lanes"),
+                            ),
+                        ))
+                    });
+                    assert_eq!(elem, VecElem::I64, "IV lanes are i64");
+                    base
+                } else if let Some(&m) = vmap.get(&id) {
+                    m
+                } else {
+                    // Invariant instruction result: splat in preheader.
+                    *splats.entry((v, elem)).or_insert_with(|| {
+                        let sid = f.add_inst(Inst::named(
+                            InstKind::Splat { val: v },
+                            Type::Vec(splendid_ir::VecTy::new(elem, lanes)),
+                            symbols.intern("vec.splat"),
+                        ));
+                        f.block_mut(pre).insts.insert(pre_insert, sid);
+                        pre_insert += 1;
+                        Value::Inst(sid)
+                    })
+                }
+            } else {
+                *splats.entry((v, elem)).or_insert_with(|| {
+                    let sid = f.add_inst(Inst::named(
+                        InstKind::Splat { val: v },
+                        Type::Vec(splendid_ir::VecTy::new(elem, lanes)),
+                        symbols.intern("vec.splat"),
+                    ));
+                    f.block_mut(pre).insts.insert(pre_insert, sid);
+                    pre_insert += 1;
+                    Value::Inst(sid)
+                })
+            }
+        }};
+    }
+
+    let elem_of = |t: Type| -> VecElem {
+        match t {
+            Type::F64 => VecElem::F64,
+            _ => VecElem::I64,
+        }
+    };
+
+    // Reduction updates happen at the point of the producing instruction.
+    let red_of_next: HashMap<InstId, usize> = reductions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.next, i))
+        .collect();
+    let mut vacc_next: Vec<Option<Value>> = vec![None; reductions.len()];
+
+    for &id in body {
+        if id == cl.next {
+            continue;
+        }
+        if let Some(&ri) = red_of_next.get(&id) {
+            // Fold this group's contributions into the scalar accumulator
+            // in lane order — bit-exact with the scalar loop.
+            let r = &reductions[ri];
+            let ty = f.inst(r.phi).ty;
+            let vexpr = vec_operand!(r.expr, elem_of(ty));
+            let acc_in = Value::Inst(vaccs[ri]);
+            let red = f.append_inst(
+                vb,
+                Inst::named(
+                    InstKind::Reduce {
+                        op: r.op,
+                        acc: acc_in,
+                        vec: vexpr,
+                    },
+                    ty,
+                    symbols.intern("vec.red"),
+                ),
+            );
+            vacc_next[ri] = Some(Value::Inst(red));
+            continue;
+        }
+        if internal.contains(&id) {
+            continue;
+        }
+        let inst = f.inst(id).clone();
+        match inst.kind {
+            InstKind::Gep {
+                elem,
+                base,
+                mut indices,
+            } => {
+                // Lane-0 address: same gep, IV replaced by the vector IV
+                // (stencil offsets become scalar `viv + c` clones).
+                for i in indices.iter_mut() {
+                    if *i == Value::Inst(cl.iv) {
+                        *i = Value::Inst(viv);
+                    } else if let Some(&c) = i.as_inst().and_then(|x| affine.get(&x)) {
+                        *i = *stencil_idx.entry(c).or_insert_with(|| {
+                            Value::Inst(f.append_inst(
+                                vb,
+                                Inst::named(
+                                    InstKind::Bin {
+                                        op: BinOp::Add,
+                                        lhs: Value::Inst(viv),
+                                        rhs: Value::i64(c),
+                                    },
+                                    Type::I64,
+                                    symbols.intern("vec.idx"),
+                                ),
+                            ))
+                        });
+                    }
+                }
+                let g = f.append_inst(
+                    vb,
+                    Inst::named(
+                        InstKind::Gep {
+                            elem,
+                            base,
+                            indices,
+                        },
+                        Type::Ptr,
+                        symbols.intern("vec.gep"),
+                    ),
+                );
+                vmap.insert(id, Value::Inst(g));
+            }
+            InstKind::Load { ptr } => {
+                let vptr = vmap[&ptr.as_inst().unwrap()];
+                let vt = Type::vec(elem_of(inst.ty), lanes);
+                let ld = f.append_inst(
+                    vb,
+                    Inst::named(InstKind::Load { ptr: vptr }, vt, symbols.intern("vec.ld")),
+                );
+                vmap.insert(id, Value::Inst(ld));
+            }
+            InstKind::Store { val, ptr } => {
+                let vptr = vmap[&ptr.as_inst().unwrap()];
+                let vval = vec_operand!(val, elem_of(f.value_type(val)));
+                f.append_inst(
+                    vb,
+                    Inst::new(
+                        InstKind::Store {
+                            val: vval,
+                            ptr: vptr,
+                        },
+                        Type::Void,
+                    ),
+                );
+            }
+            InstKind::Bin { op, lhs, rhs } => {
+                let elem = elem_of(inst.ty);
+                let vl = vec_operand!(lhs, elem);
+                let vr = vec_operand!(rhs, elem);
+                let vt = Type::vec(elem, lanes);
+                let b = f.append_inst(
+                    vb,
+                    Inst::named(
+                        InstKind::Bin {
+                            op,
+                            lhs: vl,
+                            rhs: vr,
+                        },
+                        vt,
+                        symbols.intern("vec.op"),
+                    ),
+                );
+                vmap.insert(id, Value::Inst(b));
+            }
+            InstKind::Cast { op, val } => {
+                let src_elem = elem_of(f.value_type(val));
+                let vv = vec_operand!(val, src_elem);
+                let vt = Type::vec(elem_of(inst.ty), lanes);
+                let c = f.append_inst(
+                    vb,
+                    Inst::named(
+                        InstKind::Cast { op, val: vv },
+                        vt,
+                        symbols.intern("vec.cvt"),
+                    ),
+                );
+                vmap.insert(id, Value::Inst(c));
+            }
+            InstKind::DbgValue { .. } => {}
+            other => unreachable!("illegal inst survived legality: {other:?}"),
+        }
+    }
+
+    // Advance the vector IV by VF and close the loop.
+    let viv_next = f.append_inst(
+        vb,
+        Inst::named(
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Value::Inst(viv),
+                rhs: Value::i64(lanes as i64),
+            },
+            Type::I64,
+            symbols.intern("vec.iv.next"),
+        ),
+    );
+    f.append_inst(vb, Inst::new(InstKind::Br { target: vc }, Type::Void));
+
+    // Patch the vec.cond phis' backedges.
+    if let InstKind::Phi { incomings } = &mut f.inst_mut(viv).kind {
+        incomings.push((vb, Value::Inst(viv_next)));
+    }
+    for (ri, &vacc) in vaccs.iter().enumerate() {
+        let next = vacc_next[ri].expect("reduction update not emitted");
+        if let InstKind::Phi { incomings } = &mut f.inst_mut(vacc).kind {
+            incomings.push((vb, next));
+        }
+    }
+
+    debug_assert_eq!(red_phis.len(), reductions.len());
+    reductions.len()
+}
+
+/// Rewrite every occurrence of `from` as a branch target of `term` to
+/// `to`.
+fn retarget(f: &mut Function, term: InstId, from: BlockId, to: BlockId) {
+    match &mut f.inst_mut(term).kind {
+        InstKind::Br { target } => {
+            if *target == from {
+                *target = to;
+            }
+        }
+        InstKind::CondBr {
+            then_bb, else_bb, ..
+        } => {
+            if *then_bb == from {
+                *then_bb = to;
+            }
+            if *else_bb == from {
+                *else_bb = to;
+            }
+        }
+        _ => panic!("retarget on non-branch terminator"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splendid_ir::builder::FuncBuilder;
+    use splendid_ir::verify::verify_function;
+    use splendid_ir::{GlobalInit, MemType};
+
+    /// `for (i = 0; i < n; i++) A[i] = B[i] + C[i];` over f64[100].
+    fn vector_add(m: &mut Module, n: i64) -> splendid_ir::FuncId {
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        let b = m.push_global_named("B", arr.clone(), GlobalInit::Zero);
+        let c = m.push_global_named("C", arr.clone(), GlobalInit::Zero);
+        let mut fb = FuncBuilder::new(m, "vadd", &[], Type::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let latch = fb.new_block("latch");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let iv = fb.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let cmp = fb.icmp(IPred::Slt, iv, Value::i64(n), "cmp");
+        fb.cond_br(cmp, body, exit);
+        fb.switch_to(body);
+        let gb = fb.gep(arr.clone(), Value::Global(b), vec![Value::i64(0), iv], "pb");
+        let lb = fb.load(Type::F64, gb, "vb");
+        let gc = fb.gep(arr.clone(), Value::Global(c), vec![Value::i64(0), iv], "pc");
+        let lc = fb.load(Type::F64, gc, "vc");
+        let sum = fb.bin(BinOp::FAdd, Type::F64, lb, lc, "sum");
+        let ga = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "pa");
+        fb.store(sum, ga);
+        fb.br(latch);
+        fb.switch_to(latch);
+        let next = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        if let Value::Inst(phi) = iv {
+            if let InstKind::Phi { incomings } = &mut fb.func_mut().inst_mut(phi).kind {
+                incomings.push((latch, next));
+            }
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    /// `s = 0; for (i = 0; i < n; i++) s += A[i] * B[i]; store s` — a dot
+    /// product with an f64 add reduction.
+    fn dot(m: &mut Module, n: i64) -> splendid_ir::FuncId {
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        let b = m.push_global_named("B", arr.clone(), GlobalInit::Zero);
+        let out = m.push_global_named("OUT", MemType::Scalar(Type::F64), GlobalInit::Zero);
+        let mut fb = FuncBuilder::new(m, "dot", &[], Type::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("latch");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let iv = fb.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let acc = fb.phi(Type::F64, vec![(entry, Value::f64(0.0))], "s");
+        let cmp = fb.icmp(IPred::Slt, iv, Value::i64(n), "cmp");
+        fb.cond_br(cmp, body, exit);
+        fb.switch_to(body);
+        let ga = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "pa");
+        let la = fb.load(Type::F64, ga, "va");
+        let gb = fb.gep(arr.clone(), Value::Global(b), vec![Value::i64(0), iv], "pb");
+        let lb = fb.load(Type::F64, gb, "vb");
+        let prod = fb.bin(BinOp::FMul, Type::F64, la, lb, "prod");
+        let acc_next = fb.bin(BinOp::FAdd, Type::F64, acc, prod, "s.next");
+        let next = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        for (phi, v) in [(iv, next), (acc, acc_next)] {
+            if let Value::Inst(p) = phi {
+                if let InstKind::Phi { incomings } = &mut fb.func_mut().inst_mut(p).kind {
+                    incomings.push((body, v));
+                }
+            }
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+        let go = fb.gep(
+            MemType::Scalar(Type::F64),
+            Value::Global(out),
+            vec![Value::i64(0)],
+            "po",
+        );
+        fb.store(acc, go);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    /// Seed every f64 array global named A/B/C with distinct nonzero
+    /// contents, run `func`, and checksum all of memory.
+    fn run_checksum(m: &Module, func: &str) -> f64 {
+        use splendid_interp::{MachineConfig, Vm};
+        let mut vm = Vm::new(m, MachineConfig::default());
+        for (gi, name) in ["A", "B", "C"].iter().enumerate() {
+            if vm.global_addr(name).is_ok() {
+                for i in 0..100 {
+                    let v = (i as f64) * 0.5 - 20.0 + (gi as f64) * 1.25;
+                    vm.write_global_f64(name, i, v).unwrap();
+                }
+            }
+        }
+        vm.call_by_name(func, &[]).unwrap();
+        vm.checksum_all().unwrap()
+    }
+
+    #[test]
+    fn widens_vector_add() {
+        let mut m = Module::new("t");
+        let fid = vector_add(&mut m, 97);
+        let scalar_sum = run_checksum(&m, "vadd");
+
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 1);
+        assert_eq!(stats.reductions, 0);
+        verify_function(m.func(fid)).unwrap();
+        let printed = splendid_ir::printer::function_str(&m, m.func(fid));
+        assert!(
+            printed.contains("load v4f64"),
+            "wide load missing:\n{printed}"
+        );
+        assert!(
+            printed.contains("vec.cond"),
+            "vector loop missing:\n{printed}"
+        );
+
+        let vec_sum = run_checksum(&m, "vadd");
+        assert_eq!(scalar_sum.to_bits(), vec_sum.to_bits());
+    }
+
+    #[test]
+    fn dot_reduction_bit_exact() {
+        let mut m = Module::new("t");
+        let fid = dot(&mut m, 97);
+        let scalar_sum = run_checksum(&m, "dot");
+
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 1);
+        assert_eq!(stats.reductions, 1);
+        verify_function(m.func(fid)).unwrap();
+        let printed = splendid_ir::printer::function_str(&m, m.func(fid));
+        assert!(
+            printed.contains("reduce add"),
+            "ordered reduce missing:\n{printed}"
+        );
+
+        let vec_sum = run_checksum(&m, "dot");
+        assert_eq!(scalar_sum.to_bits(), vec_sum.to_bits());
+    }
+
+    /// Rotated (do-while) form of `vector_add`, as `-O2` loop rotation
+    /// emits it: one block, bound test on the incremented IV.
+    fn rotated_vector_add(m: &mut Module, n: i64) -> splendid_ir::FuncId {
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        let b = m.push_global_named("B", arr.clone(), GlobalInit::Zero);
+        let c = m.push_global_named("C", arr.clone(), GlobalInit::Zero);
+        let mut fb = FuncBuilder::new(m, "vadd", &[], Type::Void);
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(body);
+        fb.switch_to(body);
+        let iv = fb.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let gb = fb.gep(arr.clone(), Value::Global(b), vec![Value::i64(0), iv], "pb");
+        let lb = fb.load(Type::F64, gb, "vb");
+        let gc = fb.gep(arr.clone(), Value::Global(c), vec![Value::i64(0), iv], "pc");
+        let lc = fb.load(Type::F64, gc, "vc");
+        let sum = fb.bin(BinOp::FAdd, Type::F64, lb, lc, "sum");
+        let ga = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "pa");
+        fb.store(sum, ga);
+        let next = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        if let Value::Inst(phi) = iv {
+            if let InstKind::Phi { incomings } = &mut fb.func_mut().inst_mut(phi).kind {
+                incomings.push((body, next));
+            }
+        }
+        let cmp = fb.icmp(IPred::Slt, next, Value::i64(n), "cmp");
+        fb.cond_br(cmp, body, exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn widens_rotated_loop_keeping_one_epilogue_iteration() {
+        // Trip count 96 is divisible by VF=4 — the dangerous case: if the
+        // vector loop consumed every group, the do-while epilogue would
+        // still run once and write A[96] out of the iteration space.
+        let mut m = Module::new("t");
+        let fid = rotated_vector_add(&mut m, 96);
+        let scalar_sum = run_checksum(&m, "vadd");
+
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 1);
+        verify_function(m.func(fid)).unwrap();
+        let printed = splendid_ir::printer::function_str(&m, m.func(fid));
+        assert!(
+            printed.contains("vec.cond"),
+            "vector loop missing:\n{printed}"
+        );
+
+        let vec_sum = run_checksum(&m, "vadd");
+        assert_eq!(scalar_sum.to_bits(), vec_sum.to_bits());
+    }
+
+    /// `for (i = 1; i < n; i++) body(i)` with `body` built by the caller
+    /// from `(fb, iv)`; the loop shape matches `vector_add`'s.
+    fn counted_loop_with(
+        m: &mut Module,
+        name: &str,
+        n: i64,
+        body_fn: impl FnOnce(&mut FuncBuilder, Value),
+    ) -> splendid_ir::FuncId {
+        let mut fb = FuncBuilder::new(m, name, &[], Type::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("latch");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let iv = fb.phi(Type::I64, vec![(entry, Value::i64(1))], "i");
+        let cmp = fb.icmp(IPred::Slt, iv, Value::i64(n), "cmp");
+        fb.cond_br(cmp, body, exit);
+        fb.switch_to(body);
+        body_fn(&mut fb, iv);
+        let next = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut fb.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn widens_stencil_loads() {
+        // Jacobi-style: B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0. The
+        // neighbor reads use iv±1 gep indices; A is load-only and B
+        // store-only, so the dependence rule admits the loop.
+        let mut m = Module::new("t");
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        let b = m.push_global_named("B", arr.clone(), GlobalInit::Zero);
+        let fid = counted_loop_with(&mut m, "sten", 99, |fb, iv| {
+            let im1 = fb.bin(BinOp::Sub, Type::I64, iv, Value::i64(1), "im1");
+            let gl = fb.gep(
+                arr.clone(),
+                Value::Global(a),
+                vec![Value::i64(0), im1],
+                "pl",
+            );
+            let ll = fb.load(Type::F64, gl, "vl");
+            let gc = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "pc");
+            let lc = fb.load(Type::F64, gc, "vc");
+            let ip1 = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "ip1");
+            let gr = fb.gep(
+                arr.clone(),
+                Value::Global(a),
+                vec![Value::i64(0), ip1],
+                "pr",
+            );
+            let lr = fb.load(Type::F64, gr, "vr");
+            let s1 = fb.bin(BinOp::FAdd, Type::F64, ll, lc, "s1");
+            let s2 = fb.bin(BinOp::FAdd, Type::F64, s1, lr, "s2");
+            let avg = fb.bin(BinOp::FDiv, Type::F64, s2, Value::f64(3.0), "avg");
+            let gb = fb.gep(arr.clone(), Value::Global(b), vec![Value::i64(0), iv], "pb");
+            fb.store(avg, gb);
+        });
+        let scalar_sum = run_checksum(&m, "sten");
+
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 1);
+        verify_function(m.func(fid)).unwrap();
+        let printed = splendid_ir::printer::function_str(&m, m.func(fid));
+        assert!(
+            printed.contains("load v4f64"),
+            "wide load missing:\n{printed}"
+        );
+
+        let vec_sum = run_checksum(&m, "sten");
+        assert_eq!(scalar_sum.to_bits(), vec_sum.to_bits());
+    }
+
+    #[test]
+    fn rejects_flow_dependent_stencil() {
+        // A[i] = A[i-1] * 0.5: lane k needs the value lane k-1 stores in
+        // the same group. Load offset -1 < store offset 0 → rejected.
+        let mut m = Module::new("t");
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        counted_loop_with(&mut m, "rec", 99, |fb, iv| {
+            let im1 = fb.bin(BinOp::Sub, Type::I64, iv, Value::i64(1), "im1");
+            let gl = fb.gep(
+                arr.clone(),
+                Value::Global(a),
+                vec![Value::i64(0), im1],
+                "pl",
+            );
+            let ll = fb.load(Type::F64, gl, "vl");
+            let half = fb.bin(BinOp::FMul, Type::F64, ll, Value::f64(0.5), "half");
+            let gs = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "ps");
+            fb.store(half, gs);
+        });
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 0, "flow dependence must reject");
+    }
+
+    #[test]
+    fn widens_shift_left_copy() {
+        // A[i] = A[i+1]: the colliding write belongs to a later
+        // iteration and the wide load still runs before the wide store,
+        // so every lane reads the original value — exactly as scalar.
+        let mut m = Module::new("t");
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        counted_loop_with(&mut m, "shl", 99, |fb, iv| {
+            let ip1 = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "ip1");
+            let gl = fb.gep(
+                arr.clone(),
+                Value::Global(a),
+                vec![Value::i64(0), ip1],
+                "pl",
+            );
+            let ll = fb.load(Type::F64, gl, "vl");
+            let gs = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "ps");
+            fb.store(ll, gs);
+        });
+        let scalar_sum = run_checksum(&m, "shl");
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 1);
+        let vec_sum = run_checksum(&m, "shl");
+        assert_eq!(scalar_sum.to_bits(), vec_sum.to_bits());
+    }
+
+    #[test]
+    fn rejects_store_before_shifted_load() {
+        // A[i] = 1.0; A[i] = A[i+1]: scalar iteration i reads A[i+1]
+        // *before* iteration i+1 stores 1.0 there, but the wide store
+        // covers every lane before the wide load runs — lane i would
+        // read the freshly stored 1.0. (Found by the seeded differential
+        // campaign; the textual-order check must reject it.)
+        let mut m = Module::new("t");
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        counted_loop_with(&mut m, "sbl", 99, |fb, iv| {
+            let gs = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "ps");
+            fb.store(Value::f64(1.0), gs);
+            let ip1 = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "ip1");
+            let gl = fb.gep(
+                arr.clone(),
+                Value::Global(a),
+                vec![Value::i64(0), ip1],
+                "pl",
+            );
+            let ll = fb.load(Type::F64, gl, "vl");
+            let g2 = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "p2");
+            fb.store(ll, g2);
+        });
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(
+            stats.vectorized_loops, 0,
+            "store-then-load hazard must reject"
+        );
+    }
+
+    #[test]
+    fn rejects_conflicting_store_offsets() {
+        // B[i] and B[i+1] written in one iteration: within a group the
+        // two wide stores reorder lane-crossing writes → rejected.
+        let mut m = Module::new("t");
+        let arr = MemType::array1(Type::F64, 100);
+        let b = m.push_global_named("B", arr.clone(), GlobalInit::Zero);
+        counted_loop_with(&mut m, "dup", 98, |fb, iv| {
+            let g0 = fb.gep(arr.clone(), Value::Global(b), vec![Value::i64(0), iv], "p0");
+            fb.store(Value::f64(1.0), g0);
+            let ip1 = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "ip1");
+            let g1 = fb.gep(
+                arr.clone(),
+                Value::Global(b),
+                vec![Value::i64(0), ip1],
+                "p1",
+            );
+            fb.store(Value::f64(2.0), g1);
+        });
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(
+            stats.vectorized_loops, 0,
+            "store-offset conflict must reject"
+        );
+    }
+
+    #[test]
+    fn rejects_non_unit_stride() {
+        // A[2*i] = B[i] has a non-IV last index on the store gep.
+        let mut m = Module::new("t");
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        let mut fb = FuncBuilder::new(&mut m, "strided", &[], Type::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("latch");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let iv = fb.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let cmp = fb.icmp(IPred::Slt, iv, Value::i64(40), "cmp");
+        fb.cond_br(cmp, body, exit);
+        fb.switch_to(body);
+        let two_i = fb.bin(BinOp::Mul, Type::I64, iv, Value::i64(2), "i2");
+        let ga = fb.gep(
+            arr.clone(),
+            Value::Global(a),
+            vec![Value::i64(0), two_i],
+            "pa",
+        );
+        fb.store(Value::f64(1.0), ga);
+        let next = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut fb.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish();
+
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 0);
+    }
+
+    #[test]
+    fn iv_as_data_uses_lane_vector() {
+        // A[i] = (double)i — exercises the splat + step-vector path.
+        let mut m = Module::new("t");
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        let mut fb = FuncBuilder::new(&mut m, "iota", &[], Type::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("latch");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let iv = fb.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let cmp = fb.icmp(IPred::Slt, iv, Value::i64(97), "cmp");
+        fb.cond_br(cmp, body, exit);
+        fb.switch_to(body);
+        let fi = fb.cast(CastOp::SiToFp, iv, Type::F64, "fi");
+        let ga = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "pa");
+        fb.store(fi, ga);
+        let next = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        if let Value::Inst(p) = iv {
+            if let InstKind::Phi { incomings } = &mut fb.func_mut().inst_mut(p).kind {
+                incomings.push((body, next));
+            }
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let fid = fb.finish();
+
+        let scalar_sum = run_checksum(&m, "iota");
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 1);
+        verify_function(m.func(fid)).unwrap();
+        let printed = splendid_ir::printer::function_str(&m, m.func(fid));
+        assert!(
+            printed.contains("insertlane"),
+            "step vector missing:\n{printed}"
+        );
+        assert!(
+            printed.contains("cast sitofp"),
+            "vector cast missing:\n{printed}"
+        );
+        let vec_sum = run_checksum(&m, "iota");
+        assert_eq!(scalar_sum.to_bits(), vec_sum.to_bits());
+    }
+
+    #[test]
+    fn min_reduction_recognized() {
+        // m = A[0-ish large]; for (...) if (A[i] < m) m = A[i]; as
+        // select(fcmp olt a, m, a, m).
+        let mut m = Module::new("t");
+        let arr = MemType::array1(Type::F64, 100);
+        let a = m.push_global_named("A", arr.clone(), GlobalInit::Zero);
+        let out = m.push_global_named("OUT", MemType::Scalar(Type::F64), GlobalInit::Zero);
+        let mut fb = FuncBuilder::new(&mut m, "minred", &[], Type::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("latch");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let iv = fb.phi(Type::I64, vec![(entry, Value::i64(0))], "i");
+        let acc = fb.phi(Type::F64, vec![(entry, Value::f64(1e30))], "m");
+        let cmp = fb.icmp(IPred::Slt, iv, Value::i64(97), "cmp");
+        fb.cond_br(cmp, body, exit);
+        fb.switch_to(body);
+        let ga = fb.gep(arr.clone(), Value::Global(a), vec![Value::i64(0), iv], "pa");
+        let la = fb.load(Type::F64, ga, "va");
+        let lt = fb.fcmp(FPred::Olt, la, acc, "lt");
+        let sel = fb.select(lt, la, acc, Type::F64, "m.next");
+        let next = fb.bin(BinOp::Add, Type::I64, iv, Value::i64(1), "i.next");
+        for (phi, v) in [(iv, next), (acc, sel)] {
+            if let Value::Inst(p) = phi {
+                if let InstKind::Phi { incomings } = &mut fb.func_mut().inst_mut(p).kind {
+                    incomings.push((body, v));
+                }
+            }
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+        let go = fb.gep(
+            MemType::Scalar(Type::F64),
+            Value::Global(out),
+            vec![Value::i64(0)],
+            "po",
+        );
+        fb.store(acc, go);
+        fb.ret(None);
+        let fid = fb.finish();
+
+        let scalar_sum = run_checksum(&m, "minred");
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(stats.vectorized_loops, 1);
+        assert_eq!(stats.reductions, 1);
+        verify_function(m.func(fid)).unwrap();
+        let printed = splendid_ir::printer::function_str(&m, m.func(fid));
+        assert!(
+            printed.contains("reduce min"),
+            "min reduce missing:\n{printed}"
+        );
+        let vec_sum = run_checksum(&m, "minred");
+        assert_eq!(scalar_sum.to_bits(), vec_sum.to_bits());
+    }
+}

@@ -34,7 +34,7 @@ pub mod mutate;
 
 use splendid_cfront::{lower_program, parse_program, LowerOptions};
 use splendid_interp::{CompilerProfile, MachineConfig, RtVal, Vm};
-use splendid_ir::{Function, Module, Type};
+use splendid_ir::{Function, InstKind, Module, Type};
 
 /// Checker bounds and seeding.
 #[derive(Debug, Clone)]
@@ -89,6 +89,11 @@ pub enum ReasonKind {
     /// A module global is outside the checker's comparison model
     /// (non-8-byte elements).
     UnsupportedGlobal,
+    /// The function contains instructions outside the checker's probe
+    /// model (vector IR: the lockstep comparison is defined over the
+    /// *devectorized* module the serve layer validates, not over raw
+    /// vector instructions).
+    UnsupportedInstruction,
     /// Every probe ran out of fuel on the source side.
     BoundExhausted,
     /// Every probe was inconclusive (the source itself failed to run).
@@ -105,6 +110,7 @@ impl ReasonKind {
             ReasonKind::MissingFunction => "missing-function",
             ReasonKind::UnsupportedSignature => "unsupported-signature",
             ReasonKind::UnsupportedGlobal => "unsupported-global",
+            ReasonKind::UnsupportedInstruction => "unsupported-instruction",
             ReasonKind::BoundExhausted => "bound-exhausted",
             ReasonKind::Inconclusive => "inconclusive",
             ReasonKind::Mismatch => "mismatch",
@@ -225,6 +231,15 @@ pub fn check_function(
         );
     };
 
+    // Probe model: scalar (and marker-call) instructions only. Raw
+    // vector IR is honestly incomplete: the serve pipeline devectorizes
+    // before validating, so a vector instruction reaching the checker
+    // means the caller skipped that step — refusing here is cheaper and
+    // sounder than pretending the scalar lockstep covers wide lanes.
+    if let Some(detail) = find_vector_instruction(src, sf) {
+        return unv(ReasonKind::UnsupportedInstruction, detail);
+    }
+
     // Input model: scalar int/float parameters only. Pointers cannot be
     // seeded meaningfully (the checker has no aliasing model), so such
     // functions are honestly incomplete rather than spuriously verified.
@@ -297,6 +312,34 @@ pub fn check_function(
 
 fn seedable(ty: Type) -> bool {
     ty.is_int() || ty.is_float()
+}
+
+/// First vector instruction of `f`, if any, described for the verdict.
+/// Both vector-typed results and the lane/reduce operations (whose
+/// results may be scalar) count — either puts the function outside the
+/// scalar probe model.
+fn find_vector_instruction(src: &Module, f: &Function) -> Option<String> {
+    for bb in f.block_ids() {
+        for &i in &f.block(bb).insts {
+            let inst = f.inst(i);
+            let vectorish = matches!(inst.ty, Type::Vec(_))
+                || matches!(
+                    inst.kind,
+                    InstKind::Splat { .. }
+                        | InstKind::ExtractLane { .. }
+                        | InstKind::InsertLane { .. }
+                        | InstKind::Reduce { .. }
+                );
+            if vectorish {
+                return Some(format!(
+                    "function '{}' contains vector instruction {} (devectorize before validating)",
+                    src.name_of(f.name),
+                    inst.ty
+                ));
+            }
+        }
+    }
+    None
 }
 
 enum ProbeOutcome {
@@ -642,6 +685,69 @@ void scale(double* A) {
                 assert!(!r.is_mismatch(), "incompleteness must not claim wrongness");
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    const VEC_KERNEL: &str = r#"
+double A[64];
+double B[64];
+double C[64];
+void kernel() {
+  int i;
+  for (i = 0; i < 64; i++) { A[i] = B[i] + C[i]; }
+}
+"#;
+
+    fn o2_pipeline(src: &str) -> Module {
+        let prog = parse_program(src).unwrap();
+        let mut m = lower_program(&prog, "v", &LowerOptions::default()).unwrap();
+        optimize_module(&mut m, &O2Options::default());
+        m
+    }
+
+    #[test]
+    fn raw_vector_ir_is_honest_incompleteness() {
+        use splendid_transforms::vectorize::{vectorize_module, VectorizeOptions};
+        let m = o2_pipeline(VEC_KERNEL);
+        let (_, source) = decompile_prepared(&m);
+        let mut wide = m.clone();
+        let stats = vectorize_module(&mut wide, &VectorizeOptions::default());
+        assert!(stats.vectorized_loops >= 1, "kernel should vectorize");
+        // Validating the *vectorized* module (caller skipped
+        // devectorize): the checker must refuse, not error or claim
+        // the scalar lockstep covered wide lanes.
+        let verdicts = check_module(&wide, &source, &ValidateConfig::default());
+        let kernel = verdicts.iter().find(|v| v.name == "kernel").unwrap();
+        match &kernel.verdict {
+            Verdict::Unverified(r) => {
+                assert_eq!(r.kind, ReasonKind::UnsupportedInstruction);
+                assert!(!r.is_mismatch(), "incompleteness must not claim wrongness");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lane_index_flip_in_devectorized_output_is_refuted() {
+        use splendid_transforms::vectorize::{vectorize_module, VectorizeOptions};
+        let mut m = o2_pipeline(VEC_KERNEL);
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert!(stats.vectorized_loops >= 1, "kernel should vectorize");
+        let (prepared, source) = decompile_prepared(&m);
+        assert!(source.contains("#pragma omp simd"), "{source}");
+        // The faithful devectorization verifies...
+        let ok = check_module(&prepared, &source, &ValidateConfig::default());
+        let kv = ok.iter().find(|v| v.name == "kernel").unwrap();
+        assert!(kv.verdict.is_verified(), "{:?}\n{source}", kv.verdict);
+        // ...and a lane-index flip (a devectorizer bug shifting which
+        // lane an iteration reads) is refuted, not silently verified.
+        let bad = source.replace("B[i]", "B[i + 1]");
+        assert_ne!(bad, source, "replacement must hit:\n{source}");
+        let verdicts = check_module(&prepared, &bad, &ValidateConfig::default());
+        let kernel = verdicts.iter().find(|v| v.name == "kernel").unwrap();
+        match &kernel.verdict {
+            Verdict::Unverified(r) if r.is_mismatch() => {}
+            other => panic!("expected mismatch, got {other:?}\n{bad}"),
         }
     }
 

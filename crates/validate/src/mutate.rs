@@ -166,9 +166,9 @@ impl Mutator {
             CStmt::Return(Some(e)) => self.visit_expr(e),
             CStmt::Block(b) => self.visit_stmts(b),
             CStmt::OmpParallel { body, .. } => self.visit_stmts(body),
-            CStmt::OmpFor { loop_stmt, .. } | CStmt::OmpParallelFor { loop_stmt, .. } => {
-                self.visit_stmt(loop_stmt)
-            }
+            CStmt::OmpFor { loop_stmt, .. }
+            | CStmt::OmpParallelFor { loop_stmt, .. }
+            | CStmt::OmpSimd { loop_stmt, .. } => self.visit_stmt(loop_stmt),
             CStmt::Return(None)
             | CStmt::OmpBarrier
             | CStmt::Goto(_)

@@ -52,7 +52,7 @@ fn usage() -> ! {
          splendid connect [--addr A] [--unix PATH] [file.{{ir,c}}] [--variant V] [--stats] [--malformed <dir>]\n  \
          splendid bench-daemon [--connections N] [--rounds M] [--functions F] [--addr A] [--json] [--min-speedup X] [--max-update-p50-ms MS]\n  \
          splendid bench-overload [--jobs N] [--rounds R] [--functions F] [--addr A] [--json]\n  \
-         splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--validate] [--stats]\n  \
+         splendid difftest [--seed S] [--cases N] [--case I] [--shrink] [--corpus <dir>] [--validate] [--vectorize] [--stats]\n  \
          splendid difftest --faults N [--fault-cases M] [--seed S]\n  \
          splendid validate <file.{{ir,c}}> [--variant V] [--stats] [--addr A] [--unix PATH]\n  \
          splendid bench-validate [--jobs N] [--rounds R] [--json] [--min-verified X]\n  \
@@ -96,6 +96,7 @@ struct Args {
     cache_budget_mb: u64,
     peer: Option<String>,
     validate: bool,
+    vectorize: bool,
     min_verified: f64,
     quick: bool,
     max_update_p50_ms: f64,
@@ -136,6 +137,7 @@ fn parse_args(args: &[String]) -> Args {
         cache_budget_mb: 0,
         peer: None,
         validate: false,
+        vectorize: false,
         min_verified: 0.9,
         quick: false,
         max_update_p50_ms: 0.0,
@@ -240,6 +242,7 @@ fn parse_args(args: &[String]) -> Args {
                     .unwrap_or_else(|_| fail("--min-speedup: not a number"))
             }
             "--validate" => out.validate = true,
+            "--vectorize" => out.vectorize = true,
             "--quick" => out.quick = true,
             "--max-update-p50-ms" => {
                 out.max_update_p50_ms = value("--max-update-p50-ms")
@@ -517,6 +520,16 @@ fn cmd_bench_serve(args: Args) {
         println!("  \"benchmark\": \"bench-serve\",");
         println!("  \"modules\": {modules},");
         println!("  \"workers\": {parallel_jobs},");
+        // A serial run still records honest numbers, but its "parallel
+        // speedup" is scheduler overhead, not parallelism — annotate so
+        // downstream gates (scripts/bench_serve.sh) skip it explicitly
+        // instead of blessing a meaningless ratio.
+        let gate = if parallel_jobs <= 1 {
+            "skipped: workers=1, parallel speedup is not meaningful on a serial run"
+        } else {
+            "enforced"
+        };
+        println!("  \"parallel_gate\": \"{gate}\",");
         println!("  \"rounds\": {rounds},");
         println!("  \"serial_seconds\": {serial:.6},");
         println!("  \"parallel_seconds\": {parallel:.6},");
@@ -613,7 +626,8 @@ fn cmd_difftest(args: Args) {
     let dec = SchedulerDecompiler {
         scheduler: &scheduler,
     };
-    let oracle = Oracle::new(&dec);
+    let mut oracle = Oracle::new(&dec);
+    oracle.vectorize = args.vectorize;
 
     // Corpus replay first, if requested: every checked-in program must
     // keep agreeing on every route.

@@ -1,0 +1,32 @@
+double A[120][120];
+double x[120];
+double y[120];
+double tmp[120];
+
+void init() {
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    x[i] = 1.0 + (double)i * 0.015625;
+    y[i] = 0.0;
+    for (uint64_t j = 0; j < 120; j = j + 1) {
+      A[i][j] = (double)((i + j) % 17 + 1) * 0.0625;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    tmp[i] = 0.0;
+    for (uint64_t j = 0; j < 120; j = j + 1) {
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    }
+  }
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    double v63 = tmp[i];
+    #pragma omp simd
+    for (uint64_t j = 0; j < 120; j = j + 1) {
+      y[j] = y[j] + A[i][j] * v63;
+    }
+  }
+  return;
+}

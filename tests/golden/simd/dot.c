@@ -1,0 +1,22 @@
+double A[120];
+double B[120];
+double S[1];
+
+void init() {
+  #pragma omp simd
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    A[i] = 0.5 + (double)i * 0.125;
+    B[i] = 2.0 - (double)i * 0.0625;
+  }
+  return;
+}
+
+void kernel() {
+  double s = 0.0;
+  #pragma omp simd reduction(+:s)
+  for (uint64_t i = 0; i < 120; i = i + 1) {
+    s = s + A[i] * B[i];
+  }
+  S[0] = s;
+  return;
+}

@@ -1,0 +1,27 @@
+double A[48][48];
+double B[48][48];
+double C[48][48];
+
+void init() {
+  for (uint64_t i = 0; i < 48; i = i + 1) {
+    long v41 = i + 3;
+    for (uint64_t j = 0; j < 48; j = j + 1) {
+      A[i][j] = (double)(i * j % 9 + 1) * 0.125;
+      B[i][j] = (double)(i * (j + 1) % 7 + 1) * 0.25;
+      C[i][j] = (double)(v41 * j % 11 + 1) * 0.5;
+    }
+  }
+  return;
+}
+
+void kernel() {
+  for (uint64_t i = 0; i < 48; i = i + 1) {
+    for (uint64_t j = 0; j < 48; j = j + 1) {
+      C[i][j] = C[i][j] * 1.2;
+      for (uint64_t k = 0; k < 48; k = k + 1) {
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+  return;
+}

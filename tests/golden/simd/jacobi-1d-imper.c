@@ -1,0 +1,24 @@
+double A[2000];
+double B[2000];
+
+void init() {
+  for (uint64_t i = 0; i < 2000; i = i + 1) {
+    A[i] = (double)(i % 17 + 2) * 0.25;
+    B[i] = 0.0;
+  }
+  return;
+}
+
+void kernel() {
+  for (uint64_t t = 0; t < 6; t = t + 1) {
+    #pragma omp simd
+    for (uint64_t i = 1; i < 1999; i = i + 1) {
+      B[i] = (A[i - 1] + A[i] + A[i + 1]) / 3.0;
+    }
+    #pragma omp simd
+    for (uint64_t i = 1; i < 1999; i = i + 1) {
+      A[i] = B[i];
+    }
+  }
+  return;
+}

@@ -1,0 +1,197 @@
+//! SIMD golden snapshots: the decompiled C for *vectorized* builds of
+//! four PolyBench-style kernels is pinned under `tests/golden/simd/`.
+//! Each kernel is compiled to `-O2` IR, widened by the deterministic
+//! vectorizer, and decompiled — the devectorizer recovers the loops as
+//! `#pragma omp simd` (with `reduction` clauses where the vectorizer
+//! converted an accumulator), so these snapshots pin the whole
+//! vector-IR-in / pragma-out path.
+//!
+//! Besides the textual snapshot, every kernel is checked semantically:
+//! the vectorized IR executed by the interpreter, the scalar IR, and the
+//! recompiled devectorized C must all produce bitwise-identical
+//! checksums.
+//!
+//! To regenerate after an intentional output change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_simd
+//! ```
+
+use splendid::cfront::OmpRuntime;
+use splendid::core::{decompile, SplendidOptions};
+use splendid::interp::{CompilerProfile, MachineConfig};
+use splendid::polybench::{kernels::benchmark, Harness};
+use splendid::transforms::vectorize::{vectorize_module, VectorizeOptions};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A dot-product kernel: PolyBench has no reduction-only kernel this
+/// small, and the SIMD scenario needs one whose accumulator becomes a
+/// `reduction(+:...)` clause.
+const DOT: &str = r#"
+#define N 120
+double A[120];
+double B[120];
+double S[1];
+
+void init() {
+  int i;
+  for (i = 0; i < N; i++) {
+    A[i] = 0.5 + i * 0.125;
+    B[i] = 2.0 - i * 0.0625;
+  }
+}
+
+void kernel() {
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 0; i < N; i++) {
+    s = s + A[i] * B[i];
+  }
+  S[0] = s;
+}
+"#;
+
+struct SimdCase {
+    /// Snapshot file stem under `tests/golden/simd/`.
+    name: &'static str,
+    /// Sequential C source fed to the `-O2` pipeline.
+    source: &'static str,
+    /// Globals checksummed after init+kernel.
+    check_globals: &'static [&'static str],
+    /// Loops the vectorizer must widen. gemm is legitimately 0: its
+    /// inner loops reduce through memory and read `B[k][j]` at stride N,
+    /// both outside the stride-1 lane model — the snapshot pins the
+    /// honest scalar fallback.
+    want_loops: usize,
+    /// Accumulators converted to ordered `reduce` form.
+    want_reductions: usize,
+}
+
+fn cases() -> Vec<SimdCase> {
+    let suite = |name: &'static str, want_loops: usize| {
+        let b = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        SimdCase {
+            name,
+            source: b.sequential,
+            check_globals: b.check_globals,
+            want_loops,
+            want_reductions: 0,
+        }
+    };
+    vec![
+        suite("gemm", 0),
+        // jacobi-1d: the stencil loop (iv±1 neighbor loads) and the
+        // copy-back loop.
+        suite("jacobi-1d-imper", 2),
+        // atax: the y-update loop; the tmp loop reduces through memory.
+        suite("atax", 1),
+        SimdCase {
+            name: "dot",
+            source: DOT,
+            check_globals: &["A", "B", "S"],
+            want_loops: 2,
+            want_reductions: 1,
+        },
+    ]
+}
+
+#[test]
+fn vectorized_builds_match_golden_snapshots() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/simd");
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    if update {
+        std::fs::create_dir_all(&dir).expect("create tests/golden/simd");
+    }
+
+    let mut report = String::new();
+    for case in cases() {
+        let name = case.name;
+        let mut m = Harness::compile(case.source, OmpRuntime::LibOmp)
+            .unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+        let scalar = Harness::run(&m, MachineConfig::default(), case.check_globals)
+            .unwrap_or_else(|e| panic!("{name}: scalar run: {e}"));
+
+        let stats = vectorize_module(&mut m, &VectorizeOptions::default());
+        assert_eq!(
+            stats.vectorized_loops, case.want_loops,
+            "{name}: vectorized loop count"
+        );
+        assert_eq!(
+            stats.reductions, case.want_reductions,
+            "{name}: reduction count"
+        );
+
+        // The vector IR itself computes the same bits as the scalar IR.
+        let wide = Harness::run(&m, MachineConfig::default(), case.check_globals)
+            .unwrap_or_else(|e| panic!("{name}: vectorized run: {e}"));
+        assert_eq!(
+            scalar.0.to_bits(),
+            wide.0.to_bits(),
+            "{name}: vectorized IR checksum diverged"
+        );
+
+        // Decompile (the pipeline devectorizes) and pin the output.
+        let out = decompile(&m, &SplendidOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: decompilation failed: {e}"));
+        let pragmas = out.source.matches("#pragma omp simd").count();
+        assert_eq!(
+            pragmas, case.want_loops,
+            "{name}: every vectorized loop must come back as a simd pragma:\n{}",
+            out.source
+        );
+        if case.want_reductions > 0 {
+            assert!(
+                out.source.contains("#pragma omp simd reduction(+:"),
+                "{name}: reduction clause missing:\n{}",
+                out.source
+            );
+        }
+
+        // The devectorized C recompiles to the same bits.
+        let re = Harness::recompile_and_run(
+            &out.source,
+            OmpRuntime::LibOmp,
+            CompilerProfile::gcc(),
+            case.check_globals,
+        )
+        .unwrap_or_else(|e| panic!("{name}: recompile: {e}\n{}", out.source));
+        assert_eq!(
+            scalar.0.to_bits(),
+            re.0.to_bits(),
+            "{name}: devectorized C checksum diverged"
+        );
+
+        let path = dir.join(format!("{name}.c"));
+        if update {
+            std::fs::write(&path, &out.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == out.source => {}
+            Ok(want) => {
+                let first_diff = want
+                    .lines()
+                    .zip(out.source.lines())
+                    .position(|(a, b)| a != b)
+                    .map(|i| i + 1)
+                    .unwrap_or_else(|| want.lines().count().min(out.source.lines().count()) + 1);
+                let _ = writeln!(
+                    report,
+                    "  {name}: output differs from {} (first difference at line {first_diff})",
+                    path.display()
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(report, "  {name}: cannot read {}: {e}", path.display());
+            }
+        }
+    }
+    assert!(
+        report.is_empty(),
+        "SIMD golden snapshots out of date:\n{report}\
+         regenerate with: UPDATE_GOLDEN=1 cargo test --test golden_simd"
+    );
+}
